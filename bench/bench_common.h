@@ -1,0 +1,56 @@
+// Shared fixtures for the experiment harnesses (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for the recorded results).
+//
+// All benchmarks run on deterministic generated graphs so that re-running
+// `build/bench/bench_*` reproduces EXPERIMENTS.md exactly (modulo machine
+// speed).
+
+#ifndef MRPA_BENCH_BENCH_COMMON_H_
+#define MRPA_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+
+#include "generators/generators.h"
+#include "graph/multi_graph.h"
+
+namespace mrpa::bench {
+
+// The default experiment substrate: a multi-relational Erdős–Rényi graph
+// with mean out-degree `mean_degree` and `num_labels` relation types.
+inline MultiRelationalGraph MakeErGraph(uint32_t num_vertices,
+                                        uint32_t num_labels,
+                                        double mean_degree,
+                                        uint64_t seed = 7) {
+  auto g = GenerateErdosRenyi(
+      {.num_vertices = num_vertices,
+       .num_labels = num_labels,
+       .num_edges = static_cast<size_t>(num_vertices * mean_degree),
+       .seed = seed});
+  return std::move(g).value();
+}
+
+// A heavy-tailed substrate for hub-sensitive experiments.
+inline MultiRelationalGraph MakeBaGraph(uint32_t num_vertices,
+                                        uint32_t num_labels,
+                                        uint32_t edges_per_vertex,
+                                        uint64_t seed = 7) {
+  auto g = GenerateBarabasiAlbert({.num_vertices = num_vertices,
+                                   .num_labels = num_labels,
+                                   .edges_per_vertex = edges_per_vertex,
+                                   .seed = seed});
+  return std::move(g).value();
+}
+
+inline MultiRelationalGraph MakeSocialGraph(uint32_t num_people,
+                                            uint64_t seed = 7) {
+  auto g = GenerateSocialNetwork({.num_people = num_people,
+                                  .num_items = num_people / 2,
+                                  .knows_per_person = 3,
+                                  .num_likes = num_people * 2,
+                                  .seed = seed});
+  return std::move(g).value();
+}
+
+}  // namespace mrpa::bench
+
+#endif  // MRPA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,155 @@
+// Experiment E1 (§II): cost of the core algebra operations as a function of
+// path length and path-set size — ◦, σ, γ±, ω′, jointness, ∪, ⋈◦, ×◦.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/path_set.h"
+#include "core/traversal.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+Path RandomJointPath(Rng& rng, size_t length, uint32_t num_vertices,
+                     uint32_t num_labels) {
+  std::vector<Edge> edges;
+  edges.reserve(length);
+  VertexId current = static_cast<VertexId>(rng.Below(num_vertices));
+  for (size_t n = 0; n < length; ++n) {
+    VertexId next = static_cast<VertexId>(rng.Below(num_vertices));
+    edges.emplace_back(current, static_cast<LabelId>(rng.Below(num_labels)),
+                       next);
+    current = next;
+  }
+  return Path(std::move(edges));
+}
+
+PathSet RandomJointPathSet(Rng& rng, size_t count, size_t length,
+                           uint32_t num_vertices = 64,
+                           uint32_t num_labels = 4) {
+  std::vector<Path> paths;
+  paths.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    paths.push_back(RandomJointPath(rng, length, num_vertices, num_labels));
+  }
+  return PathSet(std::move(paths));
+}
+
+// ◦: concatenation cost vs path length.
+void BM_Concat(benchmark::State& state) {
+  Rng rng(1);
+  const size_t length = static_cast<size_t>(state.range(0));
+  Path a = RandomJointPath(rng, length, 64, 4);
+  Path b = RandomJointPath(rng, length, 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Concat(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Concat)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// σ / γ− / γ+ / ω: projections are O(1) regardless of length.
+void BM_Projections(benchmark::State& state) {
+  Rng rng(2);
+  Path a = RandomJointPath(rng, static_cast<size_t>(state.range(0)), 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.EdgeAt(a.length() / 2 + 1));
+    benchmark::DoNotOptimize(a.Tail());
+    benchmark::DoNotOptimize(a.Head());
+  }
+}
+BENCHMARK(BM_Projections)->Arg(4)->Arg(64)->Arg(1024);
+
+// ω′: path label extraction is O(‖a‖).
+void BM_PathLabel(benchmark::State& state) {
+  Rng rng(3);
+  Path a = RandomJointPath(rng, static_cast<size_t>(state.range(0)), 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.PathLabel());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PathLabel)->Arg(4)->Arg(64)->Arg(1024);
+
+// Definition 3 jointness check is O(‖a‖).
+void BM_IsJoint(benchmark::State& state) {
+  Rng rng(4);
+  Path a = RandomJointPath(rng, static_cast<size_t>(state.range(0)), 64, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.IsJoint());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IsJoint)->Arg(4)->Arg(64)->Arg(1024);
+
+// ∪ over sets of equal size.
+void BM_Union(benchmark::State& state) {
+  Rng rng(5);
+  const size_t count = static_cast<size_t>(state.range(0));
+  PathSet a = RandomJointPathSet(rng, count, 3);
+  PathSet b = RandomJointPathSet(rng, count, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Union(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * count * 2);
+}
+BENCHMARK(BM_Union)->Arg(16)->Arg(256)->Arg(4096);
+
+// ⋈◦ over sets of equal size (16 vertices so joins actually match).
+void BM_ConcatenativeJoin(benchmark::State& state) {
+  Rng rng(6);
+  const size_t count = static_cast<size_t>(state.range(0));
+  PathSet a = RandomJointPathSet(rng, count, 2, /*num_vertices=*/16);
+  PathSet b = RandomJointPathSet(rng, count, 2, /*num_vertices=*/16);
+  size_t output = 0;
+  for (auto _ : state) {
+    auto joined = ConcatenativeJoin(a, b);
+    output = joined->size();
+    benchmark::DoNotOptimize(joined);
+  }
+  state.counters["output_paths"] =
+      benchmark::Counter(static_cast<double>(output));
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ConcatenativeJoin)->Arg(16)->Arg(128)->Arg(1024);
+
+// ×◦ over the same inputs (output is |A|·|B|).
+void BM_ConcatenativeProduct(benchmark::State& state) {
+  Rng rng(6);  // Same seed as the join bench: identical inputs.
+  const size_t count = static_cast<size_t>(state.range(0));
+  PathSet a = RandomJointPathSet(rng, count, 2, /*num_vertices=*/16);
+  PathSet b = RandomJointPathSet(rng, count, 2, /*num_vertices=*/16);
+  size_t output = 0;
+  for (auto _ : state) {
+    auto product = ConcatenativeProduct(a, b);
+    output = product->size();
+    benchmark::DoNotOptimize(product);
+  }
+  state.counters["output_paths"] =
+      benchmark::Counter(static_cast<double>(output));
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_ConcatenativeProduct)->Arg(16)->Arg(128)->Arg(1024);
+
+// Join-power on a real graph edge set: E^n growth.
+void BM_JoinPower(benchmark::State& state) {
+  auto g = mrpa::bench::MakeErGraph(200, 3, 3.0);
+  PathSet E = PathSet::FromEdges(
+      std::vector<Edge>(g.AllEdges().begin(), g.AllEdges().end()));
+  const size_t n = static_cast<size_t>(state.range(0));
+  size_t output = 0;
+  for (auto _ : state) {
+    auto power = JoinPower(E, n);
+    output = power->size();
+    benchmark::DoNotOptimize(power);
+  }
+  state.counters["output_paths"] =
+      benchmark::Counter(static_cast<double>(output));
+}
+BENCHMARK(BM_JoinPower)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Experiment E11 (extension; §IV footnote 6): semiring path analysis vs
+// explicit enumeration. Counting corner-to-corner lattice paths pits the
+// DP over the automaton×graph product (polynomial) against materializing
+// the path set (the count itself is C(2k, k), i.e. exponential in the
+// lattice side). Expected shape: enumeration explodes with the lattice
+// side; the analyzer's cost grows polynomially, so the gap widens without
+// bound — the case for a traversal engine carrying a counting/boolean
+// fast path.
+
+#include <benchmark/benchmark.h>
+
+#include <set>
+
+#include "bench/bench_common.h"
+#include "core/traversal.h"
+#include "regex/path_analysis.h"
+
+namespace mrpa {
+namespace {
+
+PathExprPtr CornerToCorner(uint32_t side) {
+  const VertexId corner = 0;
+  const VertexId opposite = side * side - 1;
+  const size_t length = 2 * (side - 1);
+  return PathExpr::From(corner) +
+         PathExpr::MakePower(PathExpr::AnyEdge(), length - 2) +
+         PathExpr::Into(opposite);
+}
+
+void BM_CountByEnumeration(benchmark::State& state) {
+  const uint32_t side = static_cast<uint32_t>(state.range(0));
+  auto lattice = GenerateLattice({.width = side, .height = side});
+  const size_t length = 2 * (side - 1);
+  size_t count = 0;
+  for (auto _ : state) {
+    auto paths = SourceDestinationTraversal(
+        *lattice, {0}, {side * side - 1}, length);
+    count = paths->size();
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(count));
+}
+BENCHMARK(BM_CountByEnumeration)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_CountByAnalysis(benchmark::State& state) {
+  const uint32_t side = static_cast<uint32_t>(state.range(0));
+  auto lattice = GenerateLattice({.width = side, .height = side});
+  auto analyzer = PathCounter::Compile(*CornerToCorner(side));
+  AnalysisOptions options;
+  options.max_path_length = 2 * (side - 1) + 2;
+  uint64_t count = 0;
+  for (auto _ : state) {
+    auto result = analyzer->AnalyzePairs(*lattice, options);
+    count = result->pairs.empty() ? 0 : result->pairs.begin()->second;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(count));
+}
+BENCHMARK(BM_CountByAnalysis)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(16);
+
+// Reachability (boolean semiring) over a labeled constraint on a random
+// graph, vs generating and projecting.
+void BM_ReachabilityByAnalysis(benchmark::State& state) {
+  auto g = mrpa::bench::MakeErGraph(
+      static_cast<uint32_t>(state.range(0)), 3, 2.0);
+  auto expr = PathExpr::Labeled(0) + PathExpr::MakeStar(PathExpr::Labeled(1)) +
+              PathExpr::Labeled(2);
+  auto analyzer = PathReachability::Compile(*expr);
+  AnalysisOptions options;
+  options.max_path_length = 8;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto result = analyzer->AnalyzePairs(g, options);
+    pairs = result->pairs.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["reachable_pairs"] =
+      benchmark::Counter(static_cast<double>(pairs));
+}
+BENCHMARK(BM_ReachabilityByAnalysis)->Arg(500)->Arg(2000)->Arg(8000);
+
+void BM_ReachabilityByGeneration(benchmark::State& state) {
+  auto g = mrpa::bench::MakeErGraph(
+      static_cast<uint32_t>(state.range(0)), 3, 2.0);
+  auto expr = PathExpr::Labeled(0) + PathExpr::MakeStar(PathExpr::Labeled(1)) +
+              PathExpr::Labeled(2);
+  EvalOptions options;
+  options.max_star_expansion = 6;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto paths = expr->Evaluate(g, options);
+    std::set<std::pair<VertexId, VertexId>> endpoints;
+    for (const Path& p : paths.value()) {
+      if (!p.empty()) endpoints.emplace(p.Tail(), p.Head());
+    }
+    pairs = endpoints.size();
+    benchmark::DoNotOptimize(endpoints);
+  }
+  state.counters["reachable_pairs"] =
+      benchmark::Counter(static_cast<double>(pairs));
+}
+BENCHMARK(BM_ReachabilityByGeneration)->Arg(500)->Arg(2000)->Arg(8000);
+
+// Constrained shortest path (tropical) — no enumeration-based counterpart
+// is feasible at this size; reported for the record.
+void BM_TropicalShortest(benchmark::State& state) {
+  auto g = mrpa::bench::MakeErGraph(2000, 3, 2.0);
+  auto expr = PathExpr::Labeled(0) +
+              PathExpr::MakeStar(PathExpr::Labeled(1)) +
+              PathExpr::Labeled(2);
+  auto analyzer = ShortestPathAnalyzer::Compile(*expr);
+  AnalysisOptions options;
+  options.max_path_length = 10;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    auto result = analyzer->AnalyzePairs(g, options);
+    pairs = result->pairs.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["pairs"] = benchmark::Counter(static_cast<double>(pairs));
+}
+BENCHMARK(BM_TropicalShortest);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

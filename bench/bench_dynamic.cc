@@ -1,0 +1,114 @@
+// Experiment E14 (ablation): the dynamic substrate's cost model. Compares
+//   * mutation throughput: DynamicMultiGraph::AddEdge vs rebuilding an
+//     immutable snapshot per edge,
+//   * first-query-after-mutation latency (the lazy rebuild bill) vs the
+//     always-fresh OutEdges path,
+//   * steady-state query speed dynamic vs frozen.
+// Expected shape: per-edge mutation O(deg) vs O(|E| log |E|) rebuilds
+// (orders of magnitude apart); OutEdges-based traversals identical on both;
+// index-dependent queries pay one rebuild after a burst, then match.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/traversal.h"
+#include "graph/dynamic_graph.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeErGraph;
+
+std::vector<Edge> MutationStream(uint32_t num_vertices, size_t count,
+                                 uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Edge> edges;
+  edges.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    edges.emplace_back(static_cast<VertexId>(rng.Below(num_vertices)), 0,
+                       static_cast<VertexId>(rng.Below(num_vertices)));
+  }
+  return edges;
+}
+
+void BM_MutateDynamic(benchmark::State& state) {
+  auto base = MakeErGraph(static_cast<uint32_t>(state.range(0)), 2, 3.0);
+  auto stream = MutationStream(base.num_vertices(), 1000, 5);
+  for (auto _ : state) {
+    DynamicMultiGraph g(base);
+    for (const Edge& e : stream) {
+      // Toggle: add if absent, remove if present — a steady churn.
+      if (!g.AddEdge(e).ok()) {
+        benchmark::DoNotOptimize(g.RemoveEdge(e));
+      }
+    }
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_MutateDynamic)->Arg(1000)->Arg(10000);
+
+void BM_MutateByRebuild(benchmark::State& state) {
+  auto base = MakeErGraph(static_cast<uint32_t>(state.range(0)), 2, 3.0);
+  // Rebuilding per edge is quadratic; use a 20-edge slice so the bench
+  // finishes, and compare per-item rates.
+  auto stream = MutationStream(base.num_vertices(), 20, 5);
+  for (auto _ : state) {
+    MultiGraphBuilder builder;
+    for (const Edge& e : base.AllEdges()) builder.AddEdge(e);
+    MultiRelationalGraph g = base;
+    for (const Edge& e : stream) {
+      builder.AddEdge(e);
+      g = builder.Build();  // Full snapshot per mutation.
+    }
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * stream.size());
+}
+BENCHMARK(BM_MutateByRebuild)->Arg(1000)->Arg(10000);
+
+// First index-dependent query after a mutation burst: pays the rebuild.
+void BM_QueryAfterBurst(benchmark::State& state) {
+  auto base = MakeErGraph(5000, 2, 3.0);
+  auto stream = MutationStream(base.num_vertices(), 100, 9);
+  size_t in_degree = 0;
+  for (auto _ : state) {
+    DynamicMultiGraph g(base);
+    for (const Edge& e : stream) benchmark::DoNotOptimize(g.AddEdge(e));
+    in_degree = g.InEdgeIndices(0).size();  // Triggers the lazy rebuild.
+    benchmark::DoNotOptimize(in_degree);
+  }
+}
+BENCHMARK(BM_QueryAfterBurst);
+
+// Steady-state traversal: dynamic vs frozen on identical content. OutEdges
+// never goes stale, so forward traversals skip the rebuild entirely.
+void BM_TraverseDynamic(benchmark::State& state) {
+  DynamicMultiGraph g(MakeErGraph(5000, 2, 3.0));
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = SourceTraversal(g, {0, 1, 2, 3}, 3);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_TraverseDynamic);
+
+void BM_TraverseFrozen(benchmark::State& state) {
+  auto g = MakeErGraph(5000, 2, 3.0);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = SourceTraversal(g, {0, 1, 2, 3}, 3);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_TraverseFrozen);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Experiment E9 (§I/§V): abstraction overhead of the traversal engine. The
+// same 2-hop and 3-hop queries executed four ways:
+//   * hand-rolled algebra fold        (core/traversal.h Traverse),
+//   * algebraic expression evaluation (core/expr.h),
+//   * lazy iterator                   (engine/path_iterator.h),
+//   * fluent engine                   (engine/traversal_builder.h).
+// Expected shape: all within a small constant factor; the iterator wins
+// when only a prefix of results is consumed (the Limit rows).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/expr.h"
+#include "core/traversal.h"
+#include "engine/path_iterator.h"
+#include "engine/traversal_builder.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeSocialGraph;
+
+// knows ⋈ created: "projects created by people X knows".
+std::vector<EdgePattern> QuerySteps() {
+  return {EdgePattern::Labeled(kSocialKnows),
+          EdgePattern::Labeled(kSocialCreated)};
+}
+
+void BM_AlgebraFold(benchmark::State& state) {
+  auto g = MakeSocialGraph(static_cast<uint32_t>(state.range(0)));
+  TraversalSpec spec{QuerySteps(), {}};
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = Traverse(g, spec);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_AlgebraFold)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_ExpressionEvaluate(benchmark::State& state) {
+  auto g = MakeSocialGraph(static_cast<uint32_t>(state.range(0)));
+  auto expr = PathExpr::Labeled(kSocialKnows) +
+              PathExpr::Labeled(kSocialCreated);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = expr->Evaluate(g);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_ExpressionEvaluate)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_LazyIteratorDrain(benchmark::State& state) {
+  auto g = MakeSocialGraph(static_cast<uint32_t>(state.range(0)));
+  size_t paths = 0;
+  for (auto _ : state) {
+    StepPathIterator it(g, QuerySteps());
+    paths = 0;
+    for (; it.Valid(); it.Next()) ++paths;
+    benchmark::DoNotOptimize(paths);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_LazyIteratorDrain)->Arg(1000)->Arg(5000)->Arg(20000);
+
+void BM_FluentEngine(benchmark::State& state) {
+  auto g = MakeSocialGraph(static_cast<uint32_t>(state.range(0)));
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result =
+        GraphTraversal(g).V().Out(kSocialKnows).Out(kSocialCreated).Count();
+    paths = result.value();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_FluentEngine)->Arg(1000)->Arg(5000)->Arg(20000);
+
+// First-k consumption: the lazy iterator stops after k results; the eager
+// engines must materialize everything.
+void BM_FirstK_Lazy(benchmark::State& state) {
+  auto g = MakeSocialGraph(5000);
+  const size_t k = static_cast<size_t>(state.range(0));
+  size_t taken = 0;
+  for (auto _ : state) {
+    StepPathIterator it(g, QuerySteps());
+    taken = 0;
+    for (; it.Valid() && taken < k; it.Next()) ++taken;
+    benchmark::DoNotOptimize(taken);
+  }
+  state.counters["taken"] = benchmark::Counter(static_cast<double>(taken));
+}
+BENCHMARK(BM_FirstK_Lazy)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_FirstK_Eager(benchmark::State& state) {
+  auto g = MakeSocialGraph(5000);
+  const size_t k = static_cast<size_t>(state.range(0));
+  TraversalSpec spec{QuerySteps(), {}};
+  size_t taken = 0;
+  for (auto _ : state) {
+    auto result = Traverse(g, spec);
+    taken = std::min(k, result->size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["taken"] = benchmark::Counter(static_cast<double>(taken));
+}
+BENCHMARK(BM_FirstK_Eager)->Arg(1)->Arg(10)->Arg(100);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Experiment E2 (§II footnote 7): "R ⋈◦ Q ⊆ R ×◦ Q" and the practical
+// claim behind it — when only joint paths are wanted, the join is the more
+// efficient use of resources. This bench sweeps the adjacency selectivity
+// (by varying the vertex-space size the path endpoints draw from) and
+// reports both runtimes and output sizes. Expected shape: the join's cost
+// tracks its (much smaller) output; the product's cost is Θ(|A|·|B|)
+// regardless of selectivity.
+
+#include <benchmark/benchmark.h>
+
+#include "core/path_set.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+PathSet MakeSet(Rng& rng, size_t count, uint32_t vertex_space) {
+  std::vector<Path> paths;
+  paths.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    VertexId tail = static_cast<VertexId>(rng.Below(vertex_space));
+    VertexId mid = static_cast<VertexId>(rng.Below(vertex_space));
+    VertexId head = static_cast<VertexId>(rng.Below(vertex_space));
+    paths.push_back(Path({Edge(tail, 0, mid), Edge(mid, 0, head)}));
+  }
+  return PathSet(std::move(paths));
+}
+
+// range(0): set size; range(1): vertex-space size (selectivity knob —
+// expected matches per left path ≈ |B| / vertex_space).
+void BM_Join(benchmark::State& state) {
+  Rng rng(42);
+  const size_t count = static_cast<size_t>(state.range(0));
+  const uint32_t space = static_cast<uint32_t>(state.range(1));
+  PathSet a = MakeSet(rng, count, space);
+  PathSet b = MakeSet(rng, count, space);
+  size_t output = 0;
+  for (auto _ : state) {
+    auto joined = ConcatenativeJoin(a, b);
+    output = joined->size();
+    benchmark::DoNotOptimize(joined);
+  }
+  state.counters["output_paths"] =
+      benchmark::Counter(static_cast<double>(output));
+  state.counters["input_paths"] =
+      benchmark::Counter(static_cast<double>(a.size() + b.size()));
+}
+BENCHMARK(BM_Join)
+    ->Args({256, 8})
+    ->Args({256, 64})
+    ->Args({256, 512})
+    ->Args({1024, 8})
+    ->Args({1024, 64})
+    ->Args({1024, 512})
+    ->Args({1024, 4096});
+
+void BM_Product(benchmark::State& state) {
+  Rng rng(42);  // Identical inputs to BM_Join.
+  const size_t count = static_cast<size_t>(state.range(0));
+  const uint32_t space = static_cast<uint32_t>(state.range(1));
+  PathSet a = MakeSet(rng, count, space);
+  PathSet b = MakeSet(rng, count, space);
+  size_t output = 0;
+  for (auto _ : state) {
+    auto product = ConcatenativeProduct(a, b);
+    output = product->size();
+    benchmark::DoNotOptimize(product);
+  }
+  state.counters["output_paths"] =
+      benchmark::Counter(static_cast<double>(output));
+  state.counters["input_paths"] =
+      benchmark::Counter(static_cast<double>(a.size() + b.size()));
+}
+BENCHMARK(BM_Product)
+    ->Args({256, 8})
+    ->Args({256, 64})
+    ->Args({256, 512})
+    ->Args({1024, 8})
+    ->Args({1024, 64})
+    ->Args({1024, 512})
+    ->Args({1024, 4096});
+
+// The subset claim, verified at benchmark scale on every configuration.
+void BM_SubsetInvariantCheck(benchmark::State& state) {
+  Rng rng(43);
+  PathSet a = MakeSet(rng, 512, 32);
+  PathSet b = MakeSet(rng, 512, 32);
+  bool holds = true;
+  for (auto _ : state) {
+    auto joined = ConcatenativeJoin(a, b);
+    auto product = ConcatenativeProduct(a, b);
+    holds = holds && joined->IsSubsetOf(product.value());
+    benchmark::DoNotOptimize(holds);
+  }
+  state.counters["subset_holds"] = benchmark::Counter(holds ? 1.0 : 0.0);
+}
+BENCHMARK(BM_SubsetInvariantCheck);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

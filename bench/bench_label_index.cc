@@ -1,0 +1,80 @@
+// Experiment E13 (ablation): the label-run refinement of the out-adjacency
+// index. In a multi-relational graph with |Ω| relations, a single-label
+// traversal step only needs 1/|Ω| of each vertex's out-run; exploiting the
+// (label, head) sort order within the run turns the per-step scan-and-test
+// into a binary-searched sub-span. This bench sweeps |Ω| and compares the
+// indexed inner loop (ForEachMatchingOutEdge) against the plain scan.
+// Expected shape: the scan's cost per step is flat in |Ω| (it always visits
+// the full run); the indexed loop's cost falls roughly as 1/|Ω|.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/traversal.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeErGraph;
+
+// A fixed total edge budget so heavier label diversity doesn't change |E|.
+MultiRelationalGraph Graph(uint32_t num_labels) {
+  return MakeErGraph(3000, num_labels, 8.0);
+}
+
+void BM_SingleLabelStep_Indexed(benchmark::State& state) {
+  auto g = Graph(static_cast<uint32_t>(state.range(0)));
+  const EdgePattern step = EdgePattern::Labeled(0);
+  size_t touched = 0;
+  for (auto _ : state) {
+    touched = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      ForEachMatchingOutEdge(g, v, step,
+                             [&](const Edge& e) { touched += e.head; });
+    }
+    benchmark::DoNotOptimize(touched);
+  }
+  state.counters["labels"] =
+      benchmark::Counter(static_cast<double>(g.num_labels()));
+}
+BENCHMARK(BM_SingleLabelStep_Indexed)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_SingleLabelStep_Scan(benchmark::State& state) {
+  auto g = Graph(static_cast<uint32_t>(state.range(0)));
+  const EdgePattern step = EdgePattern::Labeled(0);
+  size_t touched = 0;
+  for (auto _ : state) {
+    touched = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const Edge& e : g.OutEdges(v)) {
+        if (step.Matches(e)) touched += e.head;
+      }
+    }
+    benchmark::DoNotOptimize(touched);
+  }
+  state.counters["labels"] =
+      benchmark::Counter(static_cast<double>(g.num_labels()));
+}
+BENCHMARK(BM_SingleLabelStep_Scan)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+// End-to-end: a 3-step single-label traversal (which now rides the indexed
+// loop internally) across the same |Ω| sweep.
+void BM_LabeledTraversalVsLabels(benchmark::State& state) {
+  auto g = Graph(static_cast<uint32_t>(state.range(0)));
+  std::vector<std::vector<LabelId>> steps = {{0}, {0}, {0}};
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = LabeledTraversal(g, steps);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["labels"] =
+      benchmark::Counter(static_cast<double>(g.num_labels()));
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_LabeledTraversalVsLabels)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

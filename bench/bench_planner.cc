@@ -1,0 +1,115 @@
+// Experiment E12 (ablation): the chain planner's direction choice. The
+// same destination-selective query — all 3-hop paths arriving at one
+// vertex — evaluated forward (the naive §III fold) and backward (seeded at
+// the selective end). Expected shape: forward cost tracks the complete
+// 3-hop path count (grows with |V|·d̄³); backward cost tracks the answer
+// size. Source-selective queries show the mirror image, and the planner
+// picks the right end on both.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "engine/chain_planner.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeErGraph;
+
+std::vector<EdgePattern> DestinationSelective(VertexId sink) {
+  return {EdgePattern::Any(), EdgePattern::Any(), EdgePattern::Into(sink)};
+}
+
+std::vector<EdgePattern> SourceSelective(VertexId source) {
+  return {EdgePattern::From(source), EdgePattern::Any(), EdgePattern::Any()};
+}
+
+void BM_DestSelective_Forward(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 2.0);
+  auto steps = DestinationSelective(0);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = EvaluateChain(g, steps, ChainDirection::kForward);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_DestSelective_Forward)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_DestSelective_Backward(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 2.0);
+  auto steps = DestinationSelective(0);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = EvaluateChain(g, steps, ChainDirection::kBackward);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_DestSelective_Backward)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SourceSelective_Forward(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 2.0);
+  auto steps = SourceSelective(0);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = EvaluateChain(g, steps, ChainDirection::kForward);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_SourceSelective_Forward)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_SourceSelective_Backward(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 2.0);
+  auto steps = SourceSelective(0);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = EvaluateChain(g, steps, ChainDirection::kBackward);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_SourceSelective_Backward)->Arg(1000)->Arg(4000)->Arg(16000);
+
+// The planner end-to-end: extraction + estimation + the chosen direction.
+// Compare against the worst direction to see what the plan buys net of
+// planning overhead.
+void BM_Planned(benchmark::State& state) {
+  auto g = MakeErGraph(4000, 4, 2.0);
+  const bool dest_selective = state.range(0) != 0;
+  auto expr = dest_selective
+                  ? PathExpr::AnyEdge() + PathExpr::AnyEdge() +
+                        PathExpr::Into(0)
+                  : PathExpr::From(0) + PathExpr::AnyEdge() +
+                        PathExpr::AnyEdge();
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = EvaluatePlanned(*expr, g);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(dest_selective ? "dest_selective" : "source_selective");
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_Planned)->Arg(0)->Arg(1);
+
+// Planning overhead in isolation (estimation only, no evaluation).
+void BM_PlanOnly(benchmark::State& state) {
+  auto g = MakeErGraph(4000, 4, 2.0);
+  auto steps = DestinationSelective(0);
+  for (auto _ : state) {
+    ChainPlan plan = PlanChain(g, steps);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_PlanOnly);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Experiment E7 (§IV-C): deriving single-relational graphs. Compares the
+// three methods' costs:
+//   * FlattenIgnoringLabels — O(|E|),
+//   * ExtractLabelRelation  — O(|E_α|) via the label index,
+//   * DeriveLabelSequenceRelation (E_αβ...) — join-then-project, cost
+//     driven by the intermediate joint-path count.
+// Sweeps the sequence length k and the graph size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "graph/projection.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeBaGraph;
+using mrpa::bench::MakeErGraph;
+
+void BM_Flatten(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 3.0);
+  size_t arcs = 0;
+  for (auto _ : state) {
+    BinaryGraph flat = FlattenIgnoringLabels(g);
+    arcs = flat.num_arcs();
+    benchmark::DoNotOptimize(flat);
+  }
+  state.counters["arcs"] = benchmark::Counter(static_cast<double>(arcs));
+}
+BENCHMARK(BM_Flatten)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ExtractLabel(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 3.0);
+  size_t arcs = 0;
+  for (auto _ : state) {
+    BinaryGraph ea = ExtractLabelRelation(g, 0);
+    arcs = ea.num_arcs();
+    benchmark::DoNotOptimize(ea);
+  }
+  state.counters["arcs"] = benchmark::Counter(static_cast<double>(arcs));
+}
+BENCHMARK(BM_ExtractLabel)->Arg(1000)->Arg(10000)->Arg(100000);
+
+// E_{α β ...}: derivation cost vs label-sequence length k.
+void BM_DeriveSequence(benchmark::State& state) {
+  auto g = MakeErGraph(5000, 4, 3.0);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<LabelId> labels;
+  for (size_t n = 0; n < k; ++n) {
+    labels.push_back(static_cast<LabelId>(n % g.num_labels()));
+  }
+  size_t arcs = 0;
+  for (auto _ : state) {
+    auto derived = DeriveLabelSequenceRelation(g, labels);
+    arcs = derived->num_arcs();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["arcs"] = benchmark::Counter(static_cast<double>(arcs));
+}
+BENCHMARK(BM_DeriveSequence)->DenseRange(1, 4);
+
+// Derivation on a hub-heavy graph (worst case for join fan-out).
+void BM_DeriveSequenceOnHubs(benchmark::State& state) {
+  auto g = MakeBaGraph(5000, 4, 3);
+  const size_t k = static_cast<size_t>(state.range(0));
+  std::vector<LabelId> labels;
+  for (size_t n = 0; n < k; ++n) {
+    labels.push_back(static_cast<LabelId>(n % g.num_labels()));
+  }
+  size_t arcs = 0;
+  for (auto _ : state) {
+    auto derived = DeriveLabelSequenceRelation(g, labels);
+    arcs = derived->num_arcs();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["arcs"] = benchmark::Counter(static_cast<double>(arcs));
+}
+BENCHMARK(BM_DeriveSequenceOnHubs)->DenseRange(1, 3);
+
+// Expression-driven derivation (method 3b): (α ∪ β) ⋈ γ.
+void BM_DeriveViaExpression(benchmark::State& state) {
+  auto g = MakeErGraph(5000, 4, 3.0);
+  auto expr =
+      (PathExpr::Labeled(0) | PathExpr::Labeled(1)) + PathExpr::Labeled(2);
+  size_t arcs = 0;
+  for (auto _ : state) {
+    auto derived = DeriveRelation(g, *expr);
+    arcs = derived->num_arcs();
+    benchmark::DoNotOptimize(derived);
+  }
+  state.counters["arcs"] = benchmark::Counter(static_cast<double>(arcs));
+}
+BENCHMARK(BM_DeriveViaExpression);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

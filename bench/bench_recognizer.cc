@@ -1,0 +1,192 @@
+// Experiment E5 (§IV-A + Figure 1): regular path recognition. Compares the
+// three membership engines on the Figure 1 expression:
+//   * NfaRecognizer           — general simulation,
+//   * DfaRecognizer           — lazily determinized, amortized per-edge O(1),
+//   * evaluate-then-lookup    — materialize the language with the algebra
+//                               and test set membership (only viable when
+//                               the language is small).
+// Expected shape: DFA < NFA per query once warm; evaluate-then-lookup pays
+// a large setup cost but O(log n) queries afterwards.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/traversal.h"
+#include "regex/figure1.h"
+#include "regex/generator.h"
+#include "regex/dfa_minimizer.h"
+#include "regex/recognizer.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+// Query workload: a mix of accepted paths (generated from the language) and
+// rejected paths (random joint walks), deterministic per build.
+std::vector<Path> MakeWorkload(const MultiRelationalGraph& g,
+                               const PathExpr& expr, size_t count) {
+  GenerateOptions options;
+  options.max_path_length = 8;
+  auto in_language = GeneratePaths(expr, g, options);
+  std::vector<Path> workload;
+  workload.reserve(count);
+  // Alternate members and random walks.
+  Rng rng(77);
+  size_t member_cursor = 0;
+  while (workload.size() < count) {
+    if (!in_language->paths.empty() && workload.size() % 2 == 0) {
+      workload.push_back(
+          in_language->paths[member_cursor % in_language->paths.size()]);
+      ++member_cursor;
+    } else {
+      // Random joint walk of length 1..5.
+      size_t len = 1 + rng.Below(5);
+      VertexId v = static_cast<VertexId>(rng.Below(g.num_vertices()));
+      Path walk;
+      for (size_t k = 0; k < len; ++k) {
+        auto out = g.OutEdges(v);
+        if (out.empty()) break;
+        const Edge& e = out[rng.Below(out.size())];
+        walk.Append(e);
+        v = e.head;
+      }
+      if (!walk.empty()) workload.push_back(std::move(walk));
+    }
+  }
+  return workload;
+}
+
+void BM_NfaRecognize(benchmark::State& state) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto recognizer = NfaRecognizer::Compile(*expr);
+  auto workload = MakeWorkload(g, *expr, 256);
+  size_t accepted = 0;
+  for (auto _ : state) {
+    accepted = 0;
+    for (const Path& p : workload) {
+      if (recognizer->Recognize(p)) ++accepted;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * workload.size());
+  state.counters["accepted"] =
+      benchmark::Counter(static_cast<double>(accepted));
+}
+BENCHMARK(BM_NfaRecognize);
+
+void BM_DfaRecognize(benchmark::State& state) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto recognizer = DfaRecognizer::Compile(*expr);
+  auto workload = MakeWorkload(g, *expr, 256);
+  size_t accepted = 0;
+  for (auto _ : state) {
+    accepted = 0;
+    for (const Path& p : workload) {
+      auto result = recognizer->Recognize(p);
+      if (result.ok() && result.value()) ++accepted;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * workload.size());
+  state.counters["accepted"] =
+      benchmark::Counter(static_cast<double>(accepted));
+  state.counters["dfa_states"] =
+      benchmark::Counter(static_cast<double>(recognizer->num_dfa_states()));
+}
+BENCHMARK(BM_DfaRecognize);
+
+void BM_EvaluateThenLookup(benchmark::State& state) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto workload = MakeWorkload(g, *expr, 256);
+  size_t accepted = 0;
+  for (auto _ : state) {
+    // Setup cost paid every time: materialize the (bounded) language.
+    EvalOptions options;
+    options.max_star_expansion = 6;
+    auto language = expr->Evaluate(g, options);
+    accepted = 0;
+    for (const Path& p : workload) {
+      if (language->Contains(p)) ++accepted;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * workload.size());
+  state.counters["accepted"] =
+      benchmark::Counter(static_cast<double>(accepted));
+}
+BENCHMARK(BM_EvaluateThenLookup);
+
+
+void BM_MinimizedDfaRecognize(benchmark::State& state) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto minimized = BuildMinimizedDfa(*expr, g).value();
+  auto report = MeasureMinimization(*expr, g).value();
+  auto workload = MakeWorkload(g, *expr, 256);
+  size_t accepted = 0;
+  for (auto _ : state) {
+    accepted = 0;
+    for (const Path& p : workload) {
+      auto result = minimized.Recognize(p);
+      if (result.ok() && result.value()) ++accepted;
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetItemsProcessed(state.iterations() * workload.size());
+  state.counters["accepted"] =
+      benchmark::Counter(static_cast<double>(accepted));
+  state.counters["states_full"] =
+      benchmark::Counter(static_cast<double>(report.materialized_states));
+  state.counters["states_min"] =
+      benchmark::Counter(static_cast<double>(report.minimized_states));
+}
+BENCHMARK(BM_MinimizedDfaRecognize);
+
+// Per-query scaling with input path length: NFA is O(len · states), DFA is
+// O(len) amortized.
+void BM_RecognizeLongPath(benchmark::State& state) {
+  auto g = BuildFigure1Graph();
+  const Figure1Params p;
+  // A legitimate long member: i -α-> 3 (β-cycle)^k 3 -α-> k.
+  const size_t beta_pairs = static_cast<size_t>(state.range(0));
+  Path path;
+  path.Append(Edge(p.i, p.alpha, 3));
+  for (size_t n = 0; n < beta_pairs; ++n) {
+    path.Append(Edge(3, p.beta, 4));
+    path.Append(Edge(4, p.beta, 3));
+  }
+  path.Append(Edge(3, p.alpha, p.k));
+
+  const bool use_dfa = state.range(1) != 0;
+  auto expr = BuildFigure1Expr();
+  auto nfa = NfaRecognizer::Compile(*expr);
+  auto dfa = DfaRecognizer::Compile(*expr);
+  bool accepted = false;
+  for (auto _ : state) {
+    if (use_dfa) {
+      accepted = dfa->Recognize(path).value_or(false);
+    } else {
+      accepted = nfa->Recognize(path);
+    }
+    benchmark::DoNotOptimize(accepted);
+  }
+  state.SetLabel(use_dfa ? "dfa" : "nfa");
+  state.counters["path_length"] =
+      benchmark::Counter(static_cast<double>(path.length()));
+  state.counters["accepted"] = benchmark::Counter(accepted ? 1.0 : 0.0);
+}
+BENCHMARK(BM_RecognizeLongPath)
+    ->Args({8, 0})
+    ->Args({64, 0})
+    ->Args({512, 0})
+    ->Args({8, 1})
+    ->Args({64, 1})
+    ->Args({512, 1});
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

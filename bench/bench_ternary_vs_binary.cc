@@ -1,0 +1,118 @@
+// Experiment E10 (§II closing paragraph): the ternary-edge algebra vs the
+// binary-relation algebra of ref [4]. The binary algebra joins faster and
+// stores less — but it cannot recover path labels, which the test suite
+// demonstrates (binary_algebra_test.cc) and this bench quantifies:
+//   * join cost ternary vs binary on the same logical relation,
+//   * payload bytes per stored path set,
+//   * label-distinct path counts the binary image collapses.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/binary_algebra.h"
+#include "core/path_set.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeErGraph;
+
+// Ternary: length-1 path set per label-layer; Binary: pair set forgetting
+// labels. Both joined twice (3-hop composition).
+void BM_TernaryJoinChain(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 3.0);
+  PathSet E = PathSet::FromEdges(
+      std::vector<Edge>(g.AllEdges().begin(), g.AllEdges().end()));
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto two = ConcatenativeJoin(E, E);
+    auto three = ConcatenativeJoin(two.value(), E);
+    paths = three->size();
+    benchmark::DoNotOptimize(three);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_TernaryJoinChain)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_BinaryJoinChain(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 3.0);
+  std::vector<std::pair<VertexId, VertexId>> relation;
+  relation.reserve(g.num_edges());
+  for (const Edge& e : g.AllEdges()) relation.emplace_back(e.tail, e.head);
+  binary::VertexPathSet E =
+      binary::VertexPathSet::FromBinaryRelation(relation);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto two = binary::Join(E, E);
+    auto three = binary::Join(two, E);
+    paths = three.size();
+    benchmark::DoNotOptimize(three);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_BinaryJoinChain)->Arg(500)->Arg(1000)->Arg(2000);
+
+// The information-loss ratio: how many label-distinct ternary paths the
+// binary representation collapses into one vertex string. Reported as a
+// counter on a fixed workload.
+void BM_LabelCollapseRatio(benchmark::State& state) {
+  auto g = MakeErGraph(500, 4, 3.0);
+  PathSet E = PathSet::FromEdges(
+      std::vector<Edge>(g.AllEdges().begin(), g.AllEdges().end()));
+
+  std::vector<std::pair<VertexId, VertexId>> relation;
+  for (const Edge& e : g.AllEdges()) relation.emplace_back(e.tail, e.head);
+  binary::VertexPathSet B =
+      binary::VertexPathSet::FromBinaryRelation(relation);
+
+  size_t ternary_paths = 0, binary_paths = 0;
+  for (auto _ : state) {
+    auto t = ConcatenativeJoin(E, E);
+    auto b = binary::Join(B, B);
+    ternary_paths = t->size();
+    binary_paths = b.size();
+    benchmark::DoNotOptimize(t);
+    benchmark::DoNotOptimize(b);
+  }
+  state.counters["ternary_paths"] =
+      benchmark::Counter(static_cast<double>(ternary_paths));
+  state.counters["binary_paths"] =
+      benchmark::Counter(static_cast<double>(binary_paths));
+  state.counters["collapse_ratio"] = benchmark::Counter(
+      binary_paths == 0
+          ? 0.0
+          : static_cast<double>(ternary_paths) / binary_paths);
+}
+BENCHMARK(BM_LabelCollapseRatio);
+
+// Storage comparison on equal logical content.
+void BM_PayloadFootprint(benchmark::State& state) {
+  auto g = MakeErGraph(1000, 4, 3.0);
+  PathSet E = PathSet::FromEdges(
+      std::vector<Edge>(g.AllEdges().begin(), g.AllEdges().end()));
+  auto ternary = ConcatenativeJoin(E, E).value();
+
+  std::vector<std::pair<VertexId, VertexId>> relation;
+  for (const Edge& e : g.AllEdges()) relation.emplace_back(e.tail, e.head);
+  binary::VertexPathSet B =
+      binary::VertexPathSet::FromBinaryRelation(relation);
+  auto binary_join = binary::Join(B, B);
+
+  for (auto _ : state) {
+    size_t ternary_bytes = 0;
+    for (const Path& p : ternary) ternary_bytes += p.length() * sizeof(Edge);
+    size_t binary_bytes = binary::PayloadBytes(binary_join);
+    benchmark::DoNotOptimize(ternary_bytes);
+    benchmark::DoNotOptimize(binary_bytes);
+    state.counters["ternary_bytes"] =
+        benchmark::Counter(static_cast<double>(ternary_bytes));
+    state.counters["binary_bytes"] =
+        benchmark::Counter(static_cast<double>(binary_bytes));
+  }
+}
+BENCHMARK(BM_PayloadFootprint);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,133 @@
+// Experiments E3 and E4 (§III): complete traversal cost vs path length n
+// and graph size, and the payoff of restricting the traversal (source /
+// destination / labeled) relative to the complete traversal.
+//
+// Expected shape: complete-traversal cost grows with the joint-path count
+// (≈ |V|·d̄ⁿ); source restriction divides it by ≈ |V|/|Vs|; label
+// restriction divides it by ≈ |Ω| per restricted step; destination
+// restriction alone saves output but not intermediate work (it restricts
+// the last step only).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/traversal.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeErGraph;
+
+// E3: complete traversal, sweeping path length n at fixed graph shape.
+void BM_CompleteTraversalVsN(benchmark::State& state) {
+  auto g = MakeErGraph(2000, 4, 2.0);
+  const size_t n = static_cast<size_t>(state.range(0));
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = CompleteTraversal(g, n);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_CompleteTraversalVsN)->DenseRange(1, 4);
+
+// E3: complete traversal, sweeping graph size at fixed n = 3.
+void BM_CompleteTraversalVsV(benchmark::State& state) {
+  auto g = MakeErGraph(static_cast<uint32_t>(state.range(0)), 4, 2.0);
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = CompleteTraversal(g, 3);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_CompleteTraversalVsV)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Arg(2000)
+    ->Arg(4000)
+    ->Arg(8000);
+
+// E4: source restriction — |Vs| sweeps from 1 vertex to all of V.
+void BM_SourceTraversal(benchmark::State& state) {
+  auto g = MakeErGraph(2000, 4, 2.0);
+  const size_t num_sources = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> sources;
+  for (size_t v = 0; v < num_sources; ++v) {
+    sources.push_back(static_cast<VertexId>(v));
+  }
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = SourceTraversal(g, sources, 3);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_SourceTraversal)->Arg(1)->Arg(20)->Arg(200)->Arg(2000);
+
+// E4: destination restriction (same sweep for comparison).
+void BM_DestinationTraversal(benchmark::State& state) {
+  auto g = MakeErGraph(2000, 4, 2.0);
+  const size_t num_destinations = static_cast<size_t>(state.range(0));
+  std::vector<VertexId> destinations;
+  for (size_t v = 0; v < num_destinations; ++v) {
+    destinations.push_back(static_cast<VertexId>(v));
+  }
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = DestinationTraversal(g, destinations, 3);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_DestinationTraversal)->Arg(1)->Arg(20)->Arg(200)->Arg(2000);
+
+// E4: labeled restriction — 1 of 4 labels per step vs unrestricted.
+void BM_LabeledTraversal(benchmark::State& state) {
+  auto g = MakeErGraph(2000, 4, 2.0);
+  const bool restricted = state.range(0) != 0;
+  std::vector<std::vector<LabelId>> steps;
+  for (int k = 0; k < 3; ++k) {
+    steps.push_back(restricted ? std::vector<LabelId>{0}
+                               : std::vector<LabelId>{});
+  }
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = LabeledTraversal(g, steps);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+  state.SetLabel(restricted ? "one_label_per_step" : "all_labels");
+}
+BENCHMARK(BM_LabeledTraversal)->Arg(0)->Arg(1);
+
+// E4 combined: source + destination + label, the fully restricted idiom.
+void BM_CombinedRestriction(benchmark::State& state) {
+  auto g = MakeErGraph(2000, 4, 2.0);
+  TraversalSpec spec;
+  spec.steps = {
+      EdgePattern(IdConstraint({0, 1, 2, 3, 4}), IdConstraint::Exactly(0),
+                  IdConstraint()),
+      EdgePattern::Labeled(1),
+      EdgePattern(IdConstraint(), IdConstraint::Exactly(2),
+                  IdConstraint({10, 11, 12})),
+  };
+  size_t paths = 0;
+  for (auto _ : state) {
+    auto result = Traverse(g, spec);
+    paths = result->size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_CombinedRestriction);
+
+}  // namespace
+}  // namespace mrpa
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Co-authorship analysis — deriving a "semantically rich" single-relational
+// graph (§IV-C) from a bibliographic multi-relational graph.
+//
+// The multi-relational source has two relations:
+//   authored : person -> paper
+//   cites    : paper  -> paper
+// Neither is a person-person relation, yet the interesting questions
+// ("who collaborates with whom", "whose work builds on whose") are
+// person-person. The algebra derives them as path projections:
+//   collaboration ≈ endpoints of authored ⋈◦ authored⁻¹-free encoding:
+//     here: authored ⋈◦ cites ⋈◦ ... — we derive "cites-the-work-of":
+//     person -authored-> paper -cites-> paper, projected, then composed
+//     with authorship to reach persons.
+//
+//   ./build/examples/coauthor_analysis
+
+#include <iostream>
+
+#include "algorithms/assortativity.h"
+#include "algorithms/centrality.h"
+#include "core/traversal.h"
+#include "engine/traversal_builder.h"
+#include "graph/io.h"
+#include "graph/projection.h"
+
+using namespace mrpa;  // NOLINT — example brevity.
+
+namespace {
+
+// A small citation network with a familiar shape: three research groups,
+// papers citing across groups.
+constexpr const char* kBibliography = R"(
+# authors
+alice    authored  p_algebra
+alice    authored  p_traversal
+bob      authored  p_algebra
+bob      authored  p_engine
+carol    authored  p_tensor
+carol    authored  p_metrics
+dave     authored  p_engine
+dave     authored  p_stack
+erin     authored  p_metrics
+# citations
+p_traversal  cites  p_algebra
+p_engine     cites  p_algebra
+p_engine     cites  p_traversal
+p_tensor     cites  p_algebra
+p_metrics    cites  p_tensor
+p_stack      cites  p_engine
+p_stack      cites  p_traversal
+)";
+
+}  // namespace
+
+int main() {
+  auto graph_or = ReadGraphFromString(kBibliography);
+  if (!graph_or.ok()) {
+    std::cerr << "parse failure: " << graph_or.status() << "\n";
+    return 1;
+  }
+  MultiRelationalGraph g = std::move(graph_or).value();
+  const LabelId authored = *g.FindLabel("authored");
+  const LabelId cites = *g.FindLabel("cites");
+
+  std::cout << "Bibliographic graph: " << g.num_vertices() << " vertices, "
+            << g.num_edges() << " edges\n\n";
+
+  // --- Derive "builds-on": person -authored-> paper -cites-> paper --------
+  // (person → cited-paper arcs).
+  auto builds_on =
+      DeriveLabelSequenceRelation(g, {authored, cites}).value();
+  std::cout << "E_{authored,cites} (person → cited paper): "
+            << builds_on.num_arcs() << " arcs\n";
+  for (const auto& [person, paper] : builds_on.Arcs()) {
+    std::cout << "  " << g.VertexName(person) << " builds on "
+              << g.VertexName(paper) << "\n";
+  }
+
+  // --- Person-person influence via the engine -----------------------------
+  // person -authored-> paper <-cites- paper <-authored- person reversed:
+  // "whose work do I cite": out(authored), out(cites), in(authored).
+  std::cout << "\nInfluence pairs (X cites the work of Y):\n";
+  auto result = GraphTraversal(g)
+                    .V()
+                    .Out(authored)
+                    .Out(cites)
+                    .In(authored)
+                    .Execute()
+                    .value();
+  std::vector<std::pair<VertexId, VertexId>> influence;
+  for (const Traverser& t : result.traversers) {
+    VertexId from = t.history.Tail();
+    if (from != t.cursor) influence.emplace_back(from, t.cursor);
+  }
+  std::sort(influence.begin(), influence.end());
+  influence.erase(std::unique(influence.begin(), influence.end()),
+                  influence.end());
+  for (const auto& [from, to] : influence) {
+    std::cout << "  " << g.VertexName(from) << " → " << g.VertexName(to)
+              << "\n";
+  }
+
+  // --- Single-relational analysis over the derived influence graph --------
+  BinaryGraph influence_graph =
+      BinaryGraph::FromArcs(g.num_vertices(), influence);
+  auto rank = PageRank(influence_graph).value();
+  auto order = RankByScore(rank);
+  std::cout << "\nMost influential (PageRank over the derived graph):\n";
+  for (size_t n = 0; n < 3 && n < order.size(); ++n) {
+    if (rank[order[n]] <= 0) break;
+    std::cout << "  #" << n + 1 << " " << g.VertexName(order[n]) << "  ("
+              << rank[order[n]] << ")\n";
+  }
+
+  auto assortativity = DegreeAssortativity(influence_graph);
+  if (assortativity.ok()) {
+    std::cout << "\nDegree assortativity of the influence graph: "
+              << assortativity.value() << "\n";
+  }
+  return 0;
+}

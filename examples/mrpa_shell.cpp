@@ -1,0 +1,200 @@
+// mrpa_shell — an interactive query shell over the path algebra.
+//
+// Loads a multi-relational graph from MRG-TSV (or starts with a built-in
+// demo graph) and evaluates regular path expressions typed in the text
+// syntax of engine/parser.h. Each non-command line is parsed, evaluated
+// against the graph, and its path set printed with vertex/label names.
+//
+//   ./build/examples/mrpa_shell [graph.tsv] < queries.txt
+//
+// Commands:
+//   :load FILE          replace the graph with FILE's contents
+//   :graph              print graph statistics
+//   :vertices / :labels print the dictionaries
+//   :limit N            cap evaluation output (default 64 paths shown)
+//   :star N             set the star expansion bound (default 8)
+//   :generate EXPR      run the §IV-B generator instead of the evaluator
+//   :help               this text
+//   :quit               exit
+//   EXPR                evaluate, e.g.  [marko, knows, _] . [_, created, _]
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/parser.h"
+#include "graph/io.h"
+#include "regex/generator.h"
+#include "util/string_util.h"
+
+using namespace mrpa;  // NOLINT — example brevity.
+
+namespace {
+
+MultiRelationalGraph DemoGraph() {
+  MultiGraphBuilder b;
+  b.AddEdge("marko", "knows", "vadas");
+  b.AddEdge("marko", "knows", "josh");
+  b.AddEdge("josh", "knows", "vadas");
+  b.AddEdge("marko", "created", "lop");
+  b.AddEdge("josh", "created", "lop");
+  b.AddEdge("josh", "created", "ripple");
+  b.AddEdge("peter", "created", "lop");
+  b.AddEdge("vadas", "likes", "ripple");
+  b.AddEdge("peter", "likes", "ripple");
+  return b.Build();
+}
+
+std::string DescribePath(const MultiRelationalGraph& g, const Path& path) {
+  if (path.empty()) return "ε";
+  std::string out;
+  for (size_t n = 0; n < path.length(); ++n) {
+    if (n > 0) out += (path.edge(n - 1).head == path.edge(n).tail)
+                          ? " ◦ "
+                          : " ⊘ ";  // Mark disjoint seams.
+    out += g.DescribeEdge(path.edge(n));
+  }
+  return out;
+}
+
+void PrintPaths(const MultiRelationalGraph& g, const PathSet& paths,
+                size_t limit) {
+  size_t shown = 0;
+  for (const Path& p : paths) {
+    if (shown++ >= limit) {
+      std::cout << "  … " << (paths.size() - limit) << " more\n";
+      break;
+    }
+    std::cout << "  " << DescribePath(g, p) << "\n";
+  }
+  std::cout << "  (" << paths.size() << " paths)\n";
+}
+
+void PrintHelp() {
+  std::cout <<
+      "Commands:\n"
+      "  :load FILE      load an MRG-TSV graph\n"
+      "  :graph          graph statistics\n"
+      "  :summary        per-relation shape summary\n"
+      "  :dot            Graphviz DOT dump of the graph\n"
+      "  :vertices       list vertex names\n"
+      "  :labels         list label names\n"
+      "  :limit N        show at most N paths (default 64)\n"
+      "  :star N         star expansion bound (default 8)\n"
+      "  :generate EXPR  run the regular-path generator\n"
+      "  :quit           exit\n"
+      "Anything else is parsed as a path expression, e.g.:\n"
+      "  [marko, knows, _] . [_, created, _]\n"
+      "  [_, knows, _]* . [_, created, lop]\n"
+      "  [_, likes, _] >< [_, likes, _]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  MultiRelationalGraph graph;
+  if (argc > 1) {
+    auto loaded = ReadGraphFile(argv[1]);
+    if (!loaded.ok()) {
+      std::cerr << "cannot load " << argv[1] << ": " << loaded.status()
+                << "\n";
+      return 1;
+    }
+    graph = std::move(loaded).value();
+  } else {
+    graph = DemoGraph();
+    std::cout << "(no graph file given — using the built-in demo graph; "
+                 "try ':graph' or ':help')\n";
+  }
+
+  size_t print_limit = 64;
+  EvalOptions eval_options;
+  eval_options.max_star_expansion = 8;
+  eval_options.limits = PathSetLimits::AtMost(1 << 20);
+
+  std::string line;
+  while (std::cout << "mrpa> " << std::flush, std::getline(std::cin, line)) {
+    std::string_view input = Trim(line);
+    if (input.empty() || input.front() == '#') continue;
+
+    if (input.front() == ':') {
+      std::vector<std::string_view> parts = SplitWhitespace(input);
+      std::string_view command = parts[0];
+      if (command == ":quit" || command == ":q") break;
+      if (command == ":help") {
+        PrintHelp();
+      } else if (command == ":graph") {
+        std::cout << "  |V| = " << graph.num_vertices() << ", |Ω| = "
+                  << graph.num_labels() << ", |E| = " << graph.num_edges()
+                  << "\n";
+      } else if (command == ":summary") {
+        std::cout << SummarizeGraph(graph);
+      } else if (command == ":dot") {
+        Status status = WriteDot(graph, std::cout);
+        if (!status.ok()) std::cout << "  " << status << "\n";
+      } else if (command == ":vertices") {
+        for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+          std::cout << "  " << v << "\t" << graph.VertexName(v) << "\n";
+        }
+      } else if (command == ":labels") {
+        for (LabelId l = 0; l < graph.num_labels(); ++l) {
+          std::cout << "  " << l << "\t" << graph.LabelName(l) << "\n";
+        }
+      } else if (command == ":limit" && parts.size() == 2) {
+        uint64_t n = 0;
+        if (ParseUint64(parts[1], &n)) print_limit = static_cast<size_t>(n);
+      } else if (command == ":star" && parts.size() == 2) {
+        uint64_t n = 0;
+        if (ParseUint64(parts[1], &n)) {
+          eval_options.max_star_expansion = static_cast<size_t>(n);
+        }
+      } else if (command == ":load" && parts.size() == 2) {
+        auto loaded = ReadGraphFile(std::string(parts[1]));
+        if (!loaded.ok()) {
+          std::cout << "  error: " << loaded.status() << "\n";
+        } else {
+          graph = std::move(loaded).value();
+          std::cout << "  loaded: |V| = " << graph.num_vertices()
+                    << ", |E| = " << graph.num_edges() << "\n";
+        }
+      } else if (command == ":generate") {
+        std::string expr_text(input.substr(std::string(":generate").size()));
+        auto expr = ParsePathExpr(expr_text, &graph);
+        if (!expr.ok()) {
+          std::cout << "  " << expr.status() << "\n";
+          continue;
+        }
+        GenerateOptions options;
+        options.max_path_length = eval_options.max_star_expansion;
+        options.max_paths = 1 << 20;
+        auto result = GeneratePaths(**expr, graph, options);
+        if (!result.ok()) {
+          std::cout << "  " << result.status() << "\n";
+          continue;
+        }
+        PrintPaths(graph, result->paths, print_limit);
+        if (result->truncated) {
+          std::cout << "  (truncated at length "
+                    << options.max_path_length << ")\n";
+        }
+      } else {
+        std::cout << "  unknown command; :help for help\n";
+      }
+      continue;
+    }
+
+    auto expr = ParsePathExpr(input, &graph);
+    if (!expr.ok()) {
+      std::cout << "  " << expr.status() << "\n";
+      continue;
+    }
+    std::cout << "  " << (*expr)->ToString() << "\n";
+    auto result = (*expr)->Evaluate(graph, eval_options);
+    if (!result.ok()) {
+      std::cout << "  " << result.status() << "\n";
+      continue;
+    }
+    PrintPaths(graph, result.value(), print_limit);
+  }
+  return 0;
+}

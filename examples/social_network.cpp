@@ -1,0 +1,121 @@
+// Social-network analysis — the §IV-C workflow end to end.
+//
+// Generates a synthetic people/items network (knows / created / likes),
+// derives three single-relational views of it (the paper's three methods),
+// and runs the network-analysis library over each, showing how the choice
+// of derivation changes the answer — the paper's "loss of meaning"
+// argument as a runnable demo.
+//
+//   ./build/examples/social_network [num_people] [seed]
+
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "algorithms/centrality.h"
+#include "algorithms/components.h"
+#include "algorithms/degree.h"
+#include "generators/generators.h"
+#include "graph/projection.h"
+
+using namespace mrpa;  // NOLINT — example brevity.
+
+namespace {
+
+void PrintTop(const MultiRelationalGraph& g, const std::vector<double>& score,
+              size_t k) {
+  auto ranked = RankByScore(score);
+  for (size_t n = 0; n < k && n < ranked.size(); ++n) {
+    std::cout << "    #" << n + 1 << "  vertex " << std::setw(4) << ranked[n]
+              << "  score " << std::fixed << std::setprecision(5)
+              << score[ranked[n]] << "\n";
+  }
+  (void)g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t num_people =
+      argc > 1 ? static_cast<uint32_t>(std::atoi(argv[1])) : 500;
+  const uint64_t seed =
+      argc > 2 ? static_cast<uint64_t>(std::atoll(argv[2])) : 42;
+
+  auto graph = GenerateSocialNetwork({.num_people = num_people,
+                                      .num_items = num_people / 2,
+                                      .knows_per_person = 3,
+                                      .num_likes = num_people * 2,
+                                      .seed = seed});
+  if (!graph.ok()) {
+    std::cerr << "generation failed: " << graph.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "Social network: " << graph->num_vertices() << " vertices ("
+            << num_people << " people), " << graph->num_edges()
+            << " edges across " << graph->num_labels() << " relations\n\n";
+
+  // Per-relation shape.
+  auto per_label = PerLabelDegreeStats(*graph);
+  for (LabelId l = 0; l < graph->num_labels(); ++l) {
+    std::cout << "  relation '" << graph->LabelName(l)
+              << "': max out-degree " << per_label[l].max_out
+              << ", max in-degree " << per_label[l].max_in << "\n";
+  }
+  std::cout << "\n";
+
+  // --- Method 1: flatten, ignoring labels ---------------------------------
+  BinaryGraph flattened = FlattenIgnoringLabels(*graph);
+  auto flat_rank = PageRank(flattened).value();
+  std::cout << "Method 1 — flatten (ignore labels): " << flattened.num_arcs()
+            << " arcs. Top PageRank:\n";
+  PrintTop(*graph, flat_rank, 3);
+
+  // --- Method 2: extract one relation -------------------------------------
+  BinaryGraph knows = ExtractLabelRelation(*graph, kSocialKnows);
+  auto knows_rank = PageRank(knows).value();
+  std::cout << "\nMethod 2 — extract E_knows: " << knows.num_arcs()
+            << " arcs. Top PageRank:\n";
+  PrintTop(*graph, knows_rank, 3);
+
+  // --- Method 3: derive implicit relations from paths ---------------------
+  // E_{knows,knows}: friend-of-a-friend.
+  auto foaf =
+      DeriveLabelSequenceRelation(*graph, {kSocialKnows, kSocialKnows})
+          .value();
+  auto foaf_rank = PageRank(foaf).value();
+  std::cout << "\nMethod 3 — derive E_{knows,knows} (friend-of-a-friend): "
+            << foaf.num_arcs() << " arcs. Top PageRank:\n";
+  PrintTop(*graph, foaf_rank, 3);
+
+  // E_{knows,created}: "projects my acquaintances created" — a
+  // person→item relation no single label holds.
+  auto reach =
+      DeriveLabelSequenceRelation(*graph, {kSocialKnows, kSocialCreated})
+          .value();
+  std::cout << "\nDerived E_{knows,created}: " << reach.num_arcs()
+            << " person→item arcs\n";
+
+  // --- Structure of the derived friend graph ------------------------------
+  auto components = WeaklyConnectedComponents(knows);
+  std::cout << "\nE_knows structure: " << components.num_components
+            << " weak components, largest "
+            << components.LargestComponentSize() << " vertices\n";
+
+  auto closeness = ClosenessCentrality(knows.Symmetrized());
+  auto betweenness = BetweennessCentrality(knows.Symmetrized());
+  std::cout << "Closeness top-3 (undirected E_knows):\n";
+  PrintTop(*graph, closeness, 3);
+  std::cout << "Betweenness top-3 (undirected E_knows):\n";
+  PrintTop(*graph, betweenness, 3);
+
+  // Spreading activation from the most central person.
+  auto seeds = RankByScore(closeness);
+  auto activation = SpreadingActivation(knows, {seeds.front()});
+  std::cout << "\nSpreading activation from vertex " << seeds.front()
+            << " reaches "
+            << std::count_if(activation.begin(), activation.end(),
+                             [](double a) { return a > 0; })
+            << " vertices\n";
+  return 0;
+}

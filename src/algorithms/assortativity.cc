@@ -1,0 +1,102 @@
+#include "algorithms/assortativity.h"
+
+#include <cmath>
+
+namespace mrpa {
+
+Result<double> ScalarAssortativity(const BinaryGraph& graph,
+                                   const std::vector<double>& attribute) {
+  if (attribute.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("attribute size must equal |V|");
+  }
+  if (graph.num_arcs() == 0) {
+    return Status::InvalidArgument("assortativity undefined on 0 arcs");
+  }
+
+  const double m = static_cast<double>(graph.num_arcs());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0, sum_xy = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const double x = attribute[v];
+    for (VertexId w : graph.OutNeighbors(v)) {
+      const double y = attribute[w];
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_yy += y * y;
+      sum_xy += x * y;
+    }
+  }
+  const double var_x = sum_xx / m - (sum_x / m) * (sum_x / m);
+  const double var_y = sum_yy / m - (sum_y / m) * (sum_y / m);
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  const double cov = sum_xy / m - (sum_x / m) * (sum_y / m);
+  return cov / std::sqrt(var_x * var_y);
+}
+
+Result<double> DegreeAssortativity(const BinaryGraph& graph) {
+  if (graph.num_arcs() == 0) {
+    return Status::InvalidArgument("assortativity undefined on 0 arcs");
+  }
+  const uint32_t n = graph.num_vertices();
+  std::vector<double> out_degree(n, 0.0), in_degree(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    out_degree[v] = static_cast<double>(graph.OutDegree(v));
+    for (VertexId w : graph.OutNeighbors(v)) in_degree[w] += 1.0;
+  }
+
+  const double m = static_cast<double>(graph.num_arcs());
+  double sum_x = 0, sum_y = 0, sum_xx = 0, sum_yy = 0, sum_xy = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double x = out_degree[v];
+    for (VertexId w : graph.OutNeighbors(v)) {
+      const double y = in_degree[w];
+      sum_x += x;
+      sum_y += y;
+      sum_xx += x * x;
+      sum_yy += y * y;
+      sum_xy += x * y;
+    }
+  }
+  const double var_x = sum_xx / m - (sum_x / m) * (sum_x / m);
+  const double var_y = sum_yy / m - (sum_y / m) * (sum_y / m);
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  const double cov = sum_xy / m - (sum_x / m) * (sum_y / m);
+  return cov / std::sqrt(var_x * var_y);
+}
+
+Result<double> DiscreteAssortativity(const BinaryGraph& graph,
+                                     const std::vector<uint32_t>& category,
+                                     uint32_t num_categories) {
+  if (category.size() != graph.num_vertices()) {
+    return Status::InvalidArgument("category size must equal |V|");
+  }
+  if (graph.num_arcs() == 0) {
+    return Status::InvalidArgument("assortativity undefined on 0 arcs");
+  }
+  for (uint32_t c : category) {
+    if (c >= num_categories) {
+      return Status::InvalidArgument("category id out of range");
+    }
+  }
+
+  // Normalized mixing matrix marginals: a_i = Σ_j e_ij (tail side),
+  // b_j = Σ_i e_ij (head side).
+  const double m = static_cast<double>(graph.num_arcs());
+  std::vector<double> a(num_categories, 0.0), b(num_categories, 0.0);
+  double trace = 0.0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) {
+      const uint32_t ci = category[v];
+      const uint32_t cj = category[w];
+      a[ci] += 1.0 / m;
+      b[cj] += 1.0 / m;
+      if (ci == cj) trace += 1.0 / m;
+    }
+  }
+  double ab = 0.0;
+  for (uint32_t c = 0; c < num_categories; ++c) ab += a[c] * b[c];
+  if (ab >= 1.0) return 1.0;  // Degenerate single-category graph.
+  return (trace - ab) / (1.0 - ab);
+}
+
+}  // namespace mrpa

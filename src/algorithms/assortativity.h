@@ -1,0 +1,41 @@
+// Assortativity — the "assortative (scalar and discrete)" algorithm class
+// §IV-C lists.
+//
+// Scalar assortativity is the Pearson correlation of a numeric vertex
+// attribute across arcs (Newman 2003); degree assortativity is the special
+// case where the attribute is the degree. Discrete assortativity is the
+// modularity-style coefficient over a categorical attribute:
+//   r = (Σ_i e_ii − Σ_i a_i b_i) / (1 − Σ_i a_i b_i),
+// with e the normalized category mixing matrix.
+
+#ifndef MRPA_ALGORITHMS_ASSORTATIVITY_H_
+#define MRPA_ALGORITHMS_ASSORTATIVITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binary_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Pearson correlation of (attribute[tail], attribute[head]) over all arcs.
+// Fails with InvalidArgument when sizes mismatch or the graph has no arcs;
+// returns 0 when either marginal has zero variance.
+Result<double> ScalarAssortativity(const BinaryGraph& graph,
+                                   const std::vector<double>& attribute);
+
+// Scalar assortativity with attribute = out-degree (tail side) and
+// in-degree (head side) — the classic degree assortativity for directed
+// graphs.
+Result<double> DegreeAssortativity(const BinaryGraph& graph);
+
+// Discrete assortativity over a categorical attribute with values in
+// [0, num_categories).
+Result<double> DiscreteAssortativity(const BinaryGraph& graph,
+                                     const std::vector<uint32_t>& category,
+                                     uint32_t num_categories);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_ASSORTATIVITY_H_

@@ -1,0 +1,59 @@
+// Brandes' betweenness algorithm (2001): one BFS per source accumulating
+// pair dependencies back-to-front along the shortest-path DAG.
+
+#include <deque>
+#include <vector>
+
+#include "algorithms/centrality.h"
+
+namespace mrpa {
+
+std::vector<double> BetweennessCentrality(const BinaryGraph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<double> betweenness(n, 0.0);
+
+  std::vector<int64_t> dist(n);
+  std::vector<double> sigma(n);      // Shortest-path counts σ_sv.
+  std::vector<double> delta(n);      // Dependencies δ_s(v).
+  std::vector<std::vector<VertexId>> preds(n);
+
+  for (VertexId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+
+    std::vector<VertexId> order;  // BFS finish order (by distance).
+    std::deque<VertexId> queue;
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (VertexId w : graph.OutNeighbors(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+        if (dist[w] == dist[v] + 1) {
+          sigma[w] += sigma[v];
+          preds[w].push_back(v);
+        }
+      }
+    }
+
+    // Accumulation: vertices in reverse BFS order.
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      VertexId w = *it;
+      for (VertexId v : preds[w]) {
+        delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w]);
+      }
+      if (w != s) betweenness[w] += delta[w];
+    }
+  }
+  return betweenness;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,79 @@
+#include "algorithms/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mrpa {
+
+std::vector<uint32_t> BfsDistances(const BinaryGraph& graph, VertexId source) {
+  std::vector<uint32_t> dist(graph.num_vertices(), kUnreachable);
+  if (source >= graph.num_vertices()) return dist;
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<uint32_t>> AllPairsDistances(
+    const BinaryGraph& graph) {
+  std::vector<std::vector<uint32_t>> all;
+  all.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    all.push_back(BfsDistances(graph, v));
+  }
+  return all;
+}
+
+uint32_t Diameter(const BinaryGraph& graph) {
+  uint32_t diameter = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (uint32_t d : BfsDistances(graph, v)) {
+      if (d != kUnreachable) diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+std::vector<VertexId> ShortestPath(const BinaryGraph& graph, VertexId source,
+                                   VertexId target) {
+  if (source >= graph.num_vertices() || target >= graph.num_vertices()) {
+    return {};
+  }
+  std::vector<VertexId> parent(graph.num_vertices(), kInvalidVertex);
+  std::vector<bool> visited(graph.num_vertices(), false);
+  std::deque<VertexId> queue;
+  visited[source] = true;
+  queue.push_back(source);
+  while (!queue.empty() && !visited[target]) {
+    VertexId v = queue.front();
+    queue.pop_front();
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (!visited[w]) {
+        visited[w] = true;
+        parent[w] = v;
+        queue.push_back(w);
+      }
+    }
+  }
+  if (!visited[target]) return {};
+  std::vector<VertexId> path;
+  for (VertexId v = target; v != kInvalidVertex; v = parent[v]) {
+    path.push_back(v);
+    if (v == source) break;
+  }
+  std::reverse(path.begin(), path.end());
+  if (path.front() != source) return {};
+  return path;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,37 @@
+// Breadth-first search primitives over BinaryGraph — the geodesic substrate
+// for the §IV-C centralities.
+
+#ifndef MRPA_ALGORITHMS_BFS_H_
+#define MRPA_ALGORITHMS_BFS_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/binary_graph.h"
+
+namespace mrpa {
+
+// Distance value for unreachable vertices.
+inline constexpr uint32_t kUnreachable = std::numeric_limits<uint32_t>::max();
+
+// Single-source shortest (hop-count) distances. dist[source] = 0,
+// kUnreachable where no path exists.
+std::vector<uint32_t> BfsDistances(const BinaryGraph& graph, VertexId source);
+
+// All-pairs hop distances via repeated BFS; O(V·(V+E)). Row v is
+// BfsDistances(graph, v).
+std::vector<std::vector<uint32_t>> AllPairsDistances(const BinaryGraph& graph);
+
+// The hop-count diameter over reachable pairs (0 for graphs with no
+// reachable pairs).
+uint32_t Diameter(const BinaryGraph& graph);
+
+// One shortest path from source to target (vertex sequence, inclusive), or
+// an empty vector when unreachable / source == target with no self-loop.
+std::vector<VertexId> ShortestPath(const BinaryGraph& graph, VertexId source,
+                                   VertexId target);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_BFS_H_

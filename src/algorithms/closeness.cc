@@ -1,0 +1,41 @@
+#include "algorithms/bfs.h"
+#include "algorithms/centrality.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mrpa {
+
+std::vector<double> ClosenessCentrality(const BinaryGraph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<double> closeness(n, 0.0);
+  if (n <= 1) return closeness;
+
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<uint32_t> dist = BfsDistances(graph, v);
+    uint64_t total = 0;
+    uint32_t reachable = 0;  // Excluding v itself.
+    for (VertexId u = 0; u < n; ++u) {
+      if (u == v || dist[u] == kUnreachable) continue;
+      total += dist[u];
+      ++reachable;
+    }
+    if (reachable == 0 || total == 0) continue;
+    // Wasserman–Faust: (r/(n-1)) · (r/Σd) with r = |reachable|.
+    const double r = static_cast<double>(reachable);
+    closeness[v] = (r / (n - 1)) * (r / static_cast<double>(total));
+  }
+  return closeness;
+}
+
+std::vector<VertexId> RankByScore(const std::vector<double>& scores) {
+  std::vector<VertexId> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](VertexId a, VertexId b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,72 @@
+#include "algorithms/clustering.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+ClusteringResult ComputeClustering(const BinaryGraph& graph) {
+  // Undirected simple view, self-loops dropped.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (v == w) continue;
+      arcs.emplace_back(v, w);
+      arcs.emplace_back(w, v);
+    }
+  }
+  BinaryGraph undirected =
+      BinaryGraph::FromArcs(graph.num_vertices(), std::move(arcs));
+
+  const uint32_t n = undirected.num_vertices();
+  ClusteringResult result;
+  result.triangles_per_vertex.assign(n, 0);
+  result.local_coefficient.assign(n, 0.0);
+
+  // Forward counting: for each vertex, intersect neighbor lists of
+  // higher-id neighbors (each triangle found exactly once).
+  for (VertexId u = 0; u < n; ++u) {
+    auto nu = undirected.OutNeighbors(u);
+    for (VertexId v : nu) {
+      if (v <= u) continue;
+      auto nv = undirected.OutNeighbors(v);
+      // Sorted-list intersection over w > v.
+      auto iu = std::lower_bound(nu.begin(), nu.end(), v + 1);
+      auto iv = std::lower_bound(nv.begin(), nv.end(), v + 1);
+      while (iu != nu.end() && iv != nv.end()) {
+        if (*iu < *iv) {
+          ++iu;
+        } else if (*iv < *iu) {
+          ++iv;
+        } else {
+          ++result.total_triangles;
+          ++result.triangles_per_vertex[u];
+          ++result.triangles_per_vertex[v];
+          ++result.triangles_per_vertex[*iu];
+          ++iu;
+          ++iv;
+        }
+      }
+    }
+  }
+
+  uint64_t wedges = 0;
+  double coefficient_sum = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint64_t degree = undirected.OutDegree(v);
+    const uint64_t pairs = degree * (degree - 1) / 2;
+    wedges += pairs;
+    if (pairs > 0) {
+      result.local_coefficient[v] =
+          static_cast<double>(result.triangles_per_vertex[v]) / pairs;
+    }
+    coefficient_sum += result.local_coefficient[v];
+  }
+  result.average_coefficient = n == 0 ? 0.0 : coefficient_sum / n;
+  result.global_coefficient =
+      wedges == 0 ? 0.0
+                  : 3.0 * static_cast<double>(result.total_triangles) /
+                        static_cast<double>(wedges);
+  return result;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,35 @@
+// Triangle counting and clustering coefficients.
+//
+// Defined over the undirected view of the graph: the functions symmetrize
+// internally (arc (i,j) implies {i,j}) and ignore self-loops, following the
+// standard definitions (ref [1] of the paper, ch. 3).
+
+#ifndef MRPA_ALGORITHMS_CLUSTERING_H_
+#define MRPA_ALGORITHMS_CLUSTERING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binary_graph.h"
+
+namespace mrpa {
+
+struct ClusteringResult {
+  // Number of triangles each vertex participates in.
+  std::vector<uint64_t> triangles_per_vertex;
+  // Total distinct triangles in the graph (each counted once).
+  uint64_t total_triangles = 0;
+  // Local clustering coefficient per vertex: triangles(v) / C(deg(v), 2);
+  // 0 where deg(v) < 2.
+  std::vector<double> local_coefficient;
+  // Average of the local coefficients (Watts–Strogatz).
+  double average_coefficient = 0.0;
+  // Global (transitivity): 3·triangles / #open-or-closed wedges.
+  double global_coefficient = 0.0;
+};
+
+ClusteringResult ComputeClustering(const BinaryGraph& graph);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_CLUSTERING_H_

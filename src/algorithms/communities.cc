@@ -1,0 +1,86 @@
+#include "algorithms/communities.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace mrpa {
+
+CommunityResult LabelPropagationCommunities(const BinaryGraph& graph,
+                                            size_t max_rounds) {
+  const BinaryGraph undirected = graph.Symmetrized();
+  const uint32_t n = undirected.num_vertices();
+
+  CommunityResult result;
+  result.community.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.community[v] = v;
+
+  std::unordered_map<uint32_t, uint32_t> frequency;
+  for (size_t round = 0; round < max_rounds; ++round) {
+    bool changed = false;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto neighbors = undirected.OutNeighbors(v);
+      if (neighbors.empty()) continue;
+      frequency.clear();
+      for (VertexId w : neighbors) ++frequency[result.community[w]];
+      // Most frequent, ties toward the smallest community id.
+      uint32_t best = result.community[v];
+      uint32_t best_count = 0;
+      for (const auto& [community, count] : frequency) {
+        if (count > best_count ||
+            (count == best_count && community < best)) {
+          best = community;
+          best_count = count;
+        }
+      }
+      if (best != result.community[v]) {
+        result.community[v] = best;
+        changed = true;
+      }
+    }
+    result.rounds = round + 1;
+    if (!changed) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Densify ids.
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (uint32_t& c : result.community) {
+    auto [it, inserted] =
+        dense.try_emplace(c, static_cast<uint32_t>(dense.size()));
+    c = it->second;
+  }
+  result.num_communities = static_cast<uint32_t>(dense.size());
+  return result;
+}
+
+double Modularity(const BinaryGraph& graph,
+                  const std::vector<uint32_t>& community) {
+  const BinaryGraph undirected = graph.Symmetrized();
+  const uint32_t n = undirected.num_vertices();
+  if (community.size() != n) return 0.0;
+
+  // Treat each undirected edge once: m = |arcs|/2 (self-loops excluded for
+  // simplicity — they do not affect community comparisons here).
+  double m2 = 0.0;  // 2m = total degree.
+  std::unordered_map<uint32_t, double> degree_sum;
+  std::unordered_map<uint32_t, double> internal;  // 2 × internal edges.
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : undirected.OutNeighbors(v)) {
+      if (v == w) continue;
+      m2 += 1.0;
+      degree_sum[community[v]] += 1.0;
+      if (community[v] == community[w]) internal[community[v]] += 1.0;
+    }
+  }
+  if (m2 == 0.0) return 0.0;
+  double q = 0.0;
+  for (const auto& [c, dsum] : degree_sum) {
+    const double e_in = internal.count(c) ? internal.at(c) : 0.0;
+    q += e_in / m2 - (dsum / m2) * (dsum / m2);
+  }
+  return q;
+}
+
+}  // namespace mrpa

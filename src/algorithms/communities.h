@@ -1,0 +1,39 @@
+// Community detection by (synchronous-free) label propagation.
+//
+// Raghavan et al.'s algorithm over the undirected view: every vertex
+// repeatedly adopts the most frequent community among its neighbors until
+// no vertex changes (or `max_rounds` passes). Deterministic: vertices are
+// processed in id order and frequency ties break toward the smallest
+// community id, so identical inputs yield identical communities on every
+// platform.
+
+#ifndef MRPA_ALGORITHMS_COMMUNITIES_H_
+#define MRPA_ALGORITHMS_COMMUNITIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binary_graph.h"
+
+namespace mrpa {
+
+struct CommunityResult {
+  // community[v]: dense ids in [0, num_communities).
+  std::vector<uint32_t> community;
+  uint32_t num_communities = 0;
+  // Rounds executed before convergence (== max_rounds if it never settled).
+  size_t rounds = 0;
+  bool converged = false;
+};
+
+CommunityResult LabelPropagationCommunities(const BinaryGraph& graph,
+                                            size_t max_rounds = 100);
+
+// Newman modularity of a vertex partition over the undirected view —
+// the standard quality score for CommunityResult.
+double Modularity(const BinaryGraph& graph,
+                  const std::vector<uint32_t>& community);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_COMMUNITIES_H_

@@ -1,0 +1,105 @@
+#include "algorithms/components.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace mrpa {
+
+uint32_t ComponentResult::LargestComponentSize() const {
+  uint32_t largest = 0;
+  for (uint32_t size : sizes) largest = std::max(largest, size);
+  return largest;
+}
+
+ComponentResult WeaklyConnectedComponents(const BinaryGraph& graph) {
+  const BinaryGraph undirected = graph.Symmetrized();
+  const uint32_t n = undirected.num_vertices();
+  ComponentResult result;
+  result.component.assign(n, UINT32_MAX);
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (result.component[root] != UINT32_MAX) continue;
+    const uint32_t id = result.num_components++;
+    result.sizes.push_back(0);
+    std::deque<VertexId> queue = {root};
+    result.component[root] = id;
+    while (!queue.empty()) {
+      VertexId v = queue.front();
+      queue.pop_front();
+      ++result.sizes[id];
+      for (VertexId w : undirected.OutNeighbors(v)) {
+        if (result.component[w] == UINT32_MAX) {
+          result.component[w] = id;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+ComponentResult StronglyConnectedComponents(const BinaryGraph& graph) {
+  const uint32_t n = graph.num_vertices();
+  ComponentResult result;
+  result.component.assign(n, UINT32_MAX);
+
+  // Iterative Tarjan.
+  constexpr uint32_t kUnvisited = UINT32_MAX;
+  std::vector<uint32_t> index(n, kUnvisited);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<VertexId> scc_stack;
+  uint32_t next_index = 0;
+
+  struct Frame {
+    VertexId v;
+    size_t child = 0;  // Cursor into OutNeighbors(v).
+  };
+  std::vector<Frame> call_stack;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push_back({root});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      const auto neighbors = graph.OutNeighbors(frame.v);
+      if (frame.child < neighbors.size()) {
+        VertexId w = neighbors[frame.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push_back({w});
+        } else if (on_stack[w]) {
+          lowlink[frame.v] = std::min(lowlink[frame.v], index[w]);
+        }
+      } else {
+        const VertexId v = frame.v;
+        call_stack.pop_back();
+        if (!call_stack.empty()) {
+          lowlink[call_stack.back().v] =
+              std::min(lowlink[call_stack.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          const uint32_t id = result.num_components++;
+          result.sizes.push_back(0);
+          while (true) {
+            VertexId w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+            result.component[w] = id;
+            ++result.sizes[id];
+            if (w == v) break;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mrpa

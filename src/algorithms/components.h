@@ -1,0 +1,32 @@
+// Connectivity structure of single-relational graphs.
+
+#ifndef MRPA_ALGORITHMS_COMPONENTS_H_
+#define MRPA_ALGORITHMS_COMPONENTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binary_graph.h"
+
+namespace mrpa {
+
+struct ComponentResult {
+  // component[v] ∈ [0, num_components), dense ids in discovery order.
+  std::vector<uint32_t> component;
+  uint32_t num_components = 0;
+
+  // Size of each component.
+  std::vector<uint32_t> sizes;
+  uint32_t LargestComponentSize() const;
+};
+
+// Weakly connected components (directions ignored).
+ComponentResult WeaklyConnectedComponents(const BinaryGraph& graph);
+
+// Strongly connected components (Tarjan, iterative). Component ids are in
+// reverse topological order of the condensation.
+ComponentResult StronglyConnectedComponents(const BinaryGraph& graph);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_COMPONENTS_H_

@@ -1,0 +1,103 @@
+#include "algorithms/dag.h"
+
+#include <deque>
+
+#include "util/popcount.h"
+
+namespace mrpa {
+
+std::optional<std::vector<VertexId>> TopologicalOrder(
+    const BinaryGraph& graph) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<uint32_t> in_degree(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : graph.OutNeighbors(v)) ++in_degree[w];
+  }
+  std::deque<VertexId> ready;
+  for (VertexId v = 0; v < n; ++v) {
+    if (in_degree[v] == 0) ready.push_back(v);
+  }
+  std::vector<VertexId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    VertexId v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (VertexId w : graph.OutNeighbors(v)) {
+      if (--in_degree[w] == 0) ready.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // A cycle survived.
+  return order;
+}
+
+Result<ReachabilityMatrix> ReachabilityMatrix::Build(
+    const BinaryGraph& graph, uint32_t max_vertices) {
+  const uint32_t n = graph.num_vertices();
+  if (n > max_vertices) {
+    return Status::InvalidArgument(
+        "reachability matrix needs " + std::to_string(n) +
+        " rows > max_vertices = " + std::to_string(max_vertices) +
+        "; raise the bound explicitly to opt in");
+  }
+  ReachabilityMatrix matrix(n);
+
+  // Semi-naive iteration: row(v) = ⋃_{w ∈ N(v)} ({w} ∪ row(w)) to a fixed
+  // point. Processing in reverse topological order converges in one pass
+  // on DAGs; cyclic graphs take at most diameter extra sweeps.
+  std::vector<VertexId> schedule;
+  if (auto topo = TopologicalOrder(graph); topo.has_value()) {
+    schedule.assign(topo->rbegin(), topo->rend());
+  } else {
+    schedule.resize(n);
+    for (VertexId v = 0; v < n; ++v) schedule[v] = v;
+  }
+
+  const size_t words = matrix.words_per_row_;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (VertexId v : schedule) {
+      uint64_t* row = matrix.bits_.data() + static_cast<size_t>(v) * words;
+      for (VertexId w : graph.OutNeighbors(v)) {
+        // row(v) |= {w}.
+        uint64_t& word = row[w / 64];
+        const uint64_t bit = uint64_t{1} << (w % 64);
+        if (!(word & bit)) {
+          word |= bit;
+          changed = true;
+        }
+        // row(v) |= row(w).
+        const uint64_t* other =
+            matrix.bits_.data() + static_cast<size_t>(w) * words;
+        for (size_t k = 0; k < words; ++k) {
+          const uint64_t merged = row[k] | other[k];
+          if (merged != row[k]) {
+            row[k] = merged;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return matrix;
+}
+
+bool ReachabilityMatrix::Reaches(VertexId from, VertexId to) const {
+  if (from >= num_vertices_ || to >= num_vertices_) return false;
+  return (bits_[static_cast<size_t>(from) * words_per_row_ + to / 64] >>
+          (to % 64)) &
+         1;
+}
+
+size_t ReachabilityMatrix::CountReachable(VertexId from) const {
+  if (from >= num_vertices_) return 0;
+  size_t count = 0;
+  for (size_t k = 0; k < words_per_row_; ++k) {
+    count += PopCount64(
+        bits_[static_cast<size_t>(from) * words_per_row_ + k]);
+  }
+  return count;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,62 @@
+// DAG utilities: topological order and (bounded-size) transitive closure.
+//
+// Derived single-relational graphs (§IV-C) from acyclic label sequences —
+// citation chains, version histories — are DAGs; these are the standard
+// consumers.
+
+#ifndef MRPA_ALGORITHMS_DAG_H_
+#define MRPA_ALGORITHMS_DAG_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/binary_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Kahn's algorithm. Returns nullopt when the graph has a directed cycle.
+std::optional<std::vector<VertexId>> TopologicalOrder(
+    const BinaryGraph& graph);
+
+inline bool IsDag(const BinaryGraph& graph) {
+  return TopologicalOrder(graph).has_value();
+}
+
+// Reachability matrix as packed bitsets: row v holds every u reachable from
+// v by a non-empty directed path (v itself is included only if v lies on a
+// cycle). O(V·E/64) via reverse-topological propagation on DAGs and a
+// per-SCC fallback otherwise — here implemented uniformly as iterative
+// BFS-free bitset DP over strongly-connected condensation-free graphs:
+// plain semi-naive iteration to a fixed point.
+class ReachabilityMatrix {
+ public:
+  // Fails with InvalidArgument when V exceeds `max_vertices` (the matrix is
+  // quadratic; the guard forces callers to opt in for big graphs).
+  static Result<ReachabilityMatrix> Build(const BinaryGraph& graph,
+                                          uint32_t max_vertices = 4096);
+
+  bool Reaches(VertexId from, VertexId to) const;
+  // Number of vertices reachable from v.
+  size_t CountReachable(VertexId from) const;
+  uint32_t num_vertices() const { return num_vertices_; }
+
+ private:
+  ReachabilityMatrix(uint32_t n)
+      : num_vertices_(n), words_per_row_((n + 63) / 64),
+        bits_(static_cast<size_t>(n) * words_per_row_, 0) {}
+
+  void SetBit(VertexId row, VertexId column) {
+    bits_[static_cast<size_t>(row) * words_per_row_ + column / 64] |=
+        uint64_t{1} << (column % 64);
+  }
+
+  uint32_t num_vertices_;
+  size_t words_per_row_;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_DAG_H_

@@ -1,0 +1,43 @@
+#include "algorithms/degree.h"
+
+#include <algorithm>
+
+#include "graph/projection.h"
+
+namespace mrpa {
+
+std::vector<uint32_t> DegreeStats::OutDegreeHistogram() const {
+  std::vector<uint32_t> histogram(max_out + 1, 0);
+  for (uint32_t d : out_degree) ++histogram[d];
+  return histogram;
+}
+
+DegreeStats ComputeDegreeStats(const BinaryGraph& graph) {
+  const uint32_t n = graph.num_vertices();
+  DegreeStats stats;
+  stats.out_degree.assign(n, 0);
+  stats.in_degree.assign(n, 0);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t d = static_cast<uint32_t>(graph.OutDegree(v));
+    stats.out_degree[v] = d;
+    total += d;
+    stats.max_out = std::max(stats.max_out, d);
+    for (VertexId w : graph.OutNeighbors(v)) ++stats.in_degree[w];
+  }
+  for (uint32_t d : stats.in_degree) stats.max_in = std::max(stats.max_in, d);
+  stats.mean_out = n == 0 ? 0.0 : static_cast<double>(total) / n;
+  return stats;
+}
+
+std::vector<DegreeStats> PerLabelDegreeStats(
+    const MultiRelationalGraph& graph) {
+  std::vector<DegreeStats> per_label;
+  per_label.reserve(graph.num_labels());
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    per_label.push_back(ComputeDegreeStats(ExtractLabelRelation(graph, l)));
+  }
+  return per_label;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,33 @@
+// Degree statistics for single- and multi-relational graphs.
+
+#ifndef MRPA_ALGORITHMS_DEGREE_H_
+#define MRPA_ALGORITHMS_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binary_graph.h"
+#include "graph/multi_graph.h"
+
+namespace mrpa {
+
+struct DegreeStats {
+  std::vector<uint32_t> out_degree;
+  std::vector<uint32_t> in_degree;
+  double mean_out = 0.0;
+  uint32_t max_out = 0;
+  uint32_t max_in = 0;
+
+  // Histogram of out-degrees: histogram[d] = #vertices with out-degree d.
+  std::vector<uint32_t> OutDegreeHistogram() const;
+};
+
+DegreeStats ComputeDegreeStats(const BinaryGraph& graph);
+
+// Per-label degree stats for a multi-relational graph: element l describes
+// the binary relation E_l.
+std::vector<DegreeStats> PerLabelDegreeStats(const MultiRelationalGraph& graph);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_DEGREE_H_

@@ -1,0 +1,51 @@
+#include <cmath>
+
+#include "algorithms/centrality.h"
+
+namespace mrpa {
+
+Result<std::vector<double>> EigenvectorCentrality(
+    const BinaryGraph& graph, const PowerIterationOptions& options) {
+  const uint32_t n = graph.num_vertices();
+  if (n == 0) return std::vector<double>{};
+  if (graph.num_arcs() == 0) {
+    // No edges: centrality is identically zero (conventional degenerate
+    // case; the shifted iteration below would otherwise fix any vector).
+    return std::vector<double>(n, 0.0);
+  }
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next(n);
+
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // x ← (Aᵀ + I) x: vertex w receives from every in-neighbor v (iterate
+    // arcs forward and scatter). The +I Perron shift keeps the dominant
+    // eigenvalue strictly largest in magnitude so the iteration converges
+    // on bipartite graphs (e.g. stars) instead of oscillating; the shift
+    // does not change the eigenvectors.
+    for (uint32_t w = 0; w < n; ++w) next[w] = x[w];
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId w : graph.OutNeighbors(v)) next[w] += x[v];
+    }
+    double norm = 0.0;
+    for (double value : next) norm += value * value;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      // A^T x vanished (e.g. no edges): centrality is all-zero.
+      return std::vector<double>(n, 0.0);
+    }
+    double delta = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      next[i] /= norm;
+      delta += std::abs(next[i] - x[i]);
+    }
+    x.swap(next);
+    if (delta < options.tolerance) return x;
+  }
+  return Status::ResourceExhausted(
+      "power iteration did not converge within " +
+      std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace mrpa

@@ -1,0 +1,94 @@
+#include "algorithms/katz_hits.h"
+
+#include <cmath>
+
+namespace mrpa {
+
+Result<std::vector<double>> KatzCentrality(const BinaryGraph& graph,
+                                           const KatzOptions& options) {
+  const uint32_t n = graph.num_vertices();
+  if (n == 0) return std::vector<double>{};
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return Status::InvalidArgument("alpha must lie in (0, 1)");
+  }
+
+  std::vector<double> x(n, options.beta);
+  std::vector<double> next(n);
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    std::fill(next.begin(), next.end(), options.beta);
+    for (VertexId v = 0; v < n; ++v) {
+      const double contribution = options.alpha * x[v];
+      for (VertexId w : graph.OutNeighbors(v)) next[w] += contribution;
+    }
+    double delta = 0.0;
+    for (uint32_t i = 0; i < n; ++i) delta += std::abs(next[i] - x[i]);
+    x.swap(next);
+    if (delta < options.tolerance) return x;
+    if (!std::isfinite(delta)) {
+      return Status::InvalidArgument(
+          "Katz iteration diverged: alpha exceeds 1/lambda_max");
+    }
+  }
+  return Status::ResourceExhausted(
+      "Katz iteration did not converge within " +
+      std::to_string(options.max_iterations) +
+      " iterations (alpha too close to 1/lambda_max?)");
+}
+
+Result<HitsResult> Hits(const BinaryGraph& graph, const HitsOptions& options) {
+  const uint32_t n = graph.num_vertices();
+  HitsResult result;
+  result.hub.assign(n, 1.0);
+  result.authority.assign(n, 1.0);
+  if (n == 0) return result;
+  if (graph.num_arcs() == 0) {
+    result.hub.assign(n, 0.0);
+    result.authority.assign(n, 0.0);
+    return result;
+  }
+
+  auto normalize = [](std::vector<double>& v) {
+    double norm = 0.0;
+    for (double value : v) norm += value * value;
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (double& value : v) value /= norm;
+    }
+  };
+
+  std::vector<double> new_authority(n), new_hub(n);
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // a ← Aᵀ h.
+    std::fill(new_authority.begin(), new_authority.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId w : graph.OutNeighbors(v)) {
+        new_authority[w] += result.hub[v];
+      }
+    }
+    normalize(new_authority);
+    // h ← A a.
+    std::fill(new_hub.begin(), new_hub.end(), 0.0);
+    for (VertexId v = 0; v < n; ++v) {
+      for (VertexId w : graph.OutNeighbors(v)) {
+        new_hub[v] += new_authority[w];
+      }
+    }
+    normalize(new_hub);
+
+    double delta = 0.0;
+    for (uint32_t i = 0; i < n; ++i) {
+      delta += std::abs(new_authority[i] - result.authority[i]) +
+               std::abs(new_hub[i] - result.hub[i]);
+    }
+    result.authority.swap(new_authority);
+    result.hub.swap(new_hub);
+    if (delta < options.tolerance) return result;
+  }
+  return Status::ResourceExhausted(
+      "HITS did not converge within " +
+      std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace mrpa

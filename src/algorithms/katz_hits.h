@@ -1,0 +1,43 @@
+// Katz centrality and HITS — two further members of the spectral family
+// §IV-C points single-relational algorithms at.
+
+#ifndef MRPA_ALGORITHMS_KATZ_HITS_H_
+#define MRPA_ALGORITHMS_KATZ_HITS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/binary_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Katz centrality: x(v) = Σ_{k≥1} Σ_u α^k · (#k-step walks u→v) + β, i.e.
+// the fixed point of x = α·Aᵀx + β·1. Converges for α < 1/λ_max; the
+// implementation iterates to `tolerance` and fails with ResourceExhausted
+// if `max_iterations` is hit (typically a sign α is too large).
+struct KatzOptions {
+  double alpha = 0.1;
+  double beta = 1.0;
+  size_t max_iterations = 1000;
+  double tolerance = 1e-10;
+};
+Result<std::vector<double>> KatzCentrality(const BinaryGraph& graph,
+                                           const KatzOptions& options = {});
+
+// HITS (Kleinberg): mutually reinforcing hub and authority scores,
+//   a ← Aᵀh,  h ← Aa,  both L2-normalized each round.
+struct HitsResult {
+  std::vector<double> hub;
+  std::vector<double> authority;
+};
+struct HitsOptions {
+  size_t max_iterations = 200;
+  double tolerance = 1e-10;
+};
+Result<HitsResult> Hits(const BinaryGraph& graph,
+                        const HitsOptions& options = {});
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_KATZ_HITS_H_

@@ -1,0 +1,72 @@
+#include "algorithms/kcore.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+std::vector<VertexId> CoreDecomposition::CoreMembers(uint32_t k) const {
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < core_number.size(); ++v) {
+    if (core_number[v] >= k) members.push_back(v);
+  }
+  return members;
+}
+
+CoreDecomposition KCoreDecomposition(const BinaryGraph& graph) {
+  const BinaryGraph undirected = graph.Symmetrized();
+  const uint32_t n = undirected.num_vertices();
+
+  CoreDecomposition result;
+  result.core_number.assign(n, 0);
+  if (n == 0) return result;
+
+  // Bucket peeling (Batagelj–Zaveršnik): process vertices in nondecreasing
+  // current-degree order, decrementing neighbors as we peel.
+  std::vector<uint32_t> degree(n);
+  uint32_t max_degree = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = static_cast<uint32_t>(undirected.OutDegree(v));
+    max_degree = std::max(max_degree, degree[v]);
+  }
+
+  // bucket_start[d]: first index in `order` of vertices with degree d.
+  std::vector<uint32_t> bucket_start(max_degree + 2, 0);
+  for (VertexId v = 0; v < n; ++v) ++bucket_start[degree[v] + 1];
+  for (uint32_t d = 0; d <= max_degree; ++d) {
+    bucket_start[d + 1] += bucket_start[d];
+  }
+  std::vector<VertexId> order(n);
+  std::vector<uint32_t> position(n);
+  {
+    std::vector<uint32_t> cursor(bucket_start.begin(),
+                                 bucket_start.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      position[v] = cursor[degree[v]]++;
+      order[position[v]] = v;
+    }
+  }
+
+  for (uint32_t i = 0; i < n; ++i) {
+    VertexId v = order[i];
+    result.core_number[v] = degree[v];
+    result.degeneracy = std::max(result.degeneracy, degree[v]);
+    for (VertexId w : undirected.OutNeighbors(v)) {
+      if (degree[w] <= degree[v]) continue;  // Already peeled or equal.
+      // Swap w toward the front of its bucket, then shrink its degree.
+      const uint32_t dw = degree[w];
+      const uint32_t pw = position[w];
+      const uint32_t bucket_front = bucket_start[dw];
+      VertexId front_vertex = order[bucket_front];
+      if (front_vertex != w) {
+        std::swap(order[bucket_front], order[pw]);
+        position[w] = bucket_front;
+        position[front_vertex] = pw;
+      }
+      ++bucket_start[dw];
+      --degree[w];
+    }
+  }
+  return result;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,29 @@
+// k-core decomposition over the undirected view of a graph.
+//
+// The k-core is the maximal subgraph in which every vertex has degree ≥ k;
+// a vertex's core number is the largest k for which it belongs to the
+// k-core. Computed by the linear-time peeling (bucket) algorithm.
+
+#ifndef MRPA_ALGORITHMS_KCORE_H_
+#define MRPA_ALGORITHMS_KCORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/binary_graph.h"
+
+namespace mrpa {
+
+struct CoreDecomposition {
+  std::vector<uint32_t> core_number;  // Per vertex.
+  uint32_t degeneracy = 0;            // max core number.
+
+  // Vertices belonging to the k-core (core_number ≥ k).
+  std::vector<VertexId> CoreMembers(uint32_t k) const;
+};
+
+CoreDecomposition KCoreDecomposition(const BinaryGraph& graph);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ALGORITHMS_KCORE_H_

@@ -1,0 +1,49 @@
+#include <cmath>
+
+#include "algorithms/centrality.h"
+
+namespace mrpa {
+
+Result<std::vector<double>> PageRank(const BinaryGraph& graph,
+                                     const PageRankOptions& options) {
+  const uint32_t n = graph.num_vertices();
+  if (n == 0) return std::vector<double>{};
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must lie in [0, 1)");
+  }
+
+  const double uniform = 1.0 / n;
+  std::vector<double> rank(n, uniform);
+  std::vector<double> next(n);
+
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    // Teleport term — the ×◦-style disjoint jump: uniform restart mass.
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+    }
+    const double base =
+        (1.0 - options.damping) * uniform +
+        options.damping * dangling * uniform;
+    std::fill(next.begin(), next.end(), base);
+
+    for (VertexId v = 0; v < n; ++v) {
+      const auto neighbors = graph.OutNeighbors(v);
+      if (neighbors.empty()) continue;
+      const double share =
+          options.damping * rank[v] / static_cast<double>(neighbors.size());
+      for (VertexId w : neighbors) next[w] += share;
+    }
+
+    double delta = 0.0;
+    for (uint32_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < options.tolerance) return rank;
+  }
+  return Status::ResourceExhausted(
+      "PageRank did not converge within " +
+      std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace mrpa

@@ -1,0 +1,38 @@
+#include "algorithms/centrality.h"
+
+namespace mrpa {
+
+std::vector<double> SpreadingActivation(
+    const BinaryGraph& graph, const std::vector<VertexId>& seeds,
+    const SpreadingActivationOptions& options) {
+  const uint32_t n = graph.num_vertices();
+  std::vector<double> activation(n, 0.0);
+  std::vector<double> pulse(n, 0.0);
+  for (VertexId seed : seeds) {
+    if (seed < n) pulse[seed] += 1.0;
+  }
+  for (uint32_t v = 0; v < n; ++v) activation[v] = pulse[v];
+
+  std::vector<double> next(n);
+  for (size_t round = 0; round < options.rounds; ++round) {
+    std::fill(next.begin(), next.end(), 0.0);
+    bool any = false;
+    for (VertexId v = 0; v < n; ++v) {
+      if (pulse[v] == 0.0) continue;
+      const auto neighbors = graph.OutNeighbors(v);
+      if (neighbors.empty()) continue;
+      const double share =
+          options.decay * pulse[v] / static_cast<double>(neighbors.size());
+      for (VertexId w : neighbors) {
+        next[w] += share;
+        any = true;
+      }
+    }
+    if (!any) break;
+    for (uint32_t v = 0; v < n; ++v) activation[v] += next[v];
+    pulse.swap(next);
+  }
+  return activation;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,104 @@
+#include "core/binary_algebra.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+namespace mrpa::binary {
+
+Result<VertexPath> VertexPath::JointConcat(const VertexPath& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  if (Head() != other.Tail()) {
+    return Status::InvalidArgument(
+        "joint concat requires head(a) == tail(b)");
+  }
+  std::vector<VertexId> combined;
+  combined.reserve(vertices_.size() + other.vertices_.size() - 1);
+  combined.insert(combined.end(), vertices_.begin(), vertices_.end());
+  combined.insert(combined.end(), other.vertices_.begin() + 1,
+                  other.vertices_.end());
+  return VertexPath(std::move(combined));
+}
+
+std::string VertexPath::ToString() const {
+  if (vertices_.empty()) return "ε";
+  std::ostringstream os;
+  os << '(';
+  for (size_t i = 0; i < vertices_.size(); ++i) {
+    if (i > 0) os << ',';
+    os << vertices_[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+Result<VertexPath> ForgetLabels(const Path& path) {
+  if (path.empty()) return VertexPath();
+  if (!path.IsJoint()) {
+    return Status::InvalidArgument(
+        "only joint paths have a single vertex-string image");
+  }
+  std::vector<VertexId> vertices;
+  vertices.reserve(path.length() + 1);
+  vertices.push_back(path.Tail());
+  for (const Edge& e : path) vertices.push_back(e.head);
+  return VertexPath(std::move(vertices));
+}
+
+VertexPathSet::VertexPathSet(std::vector<VertexPath> paths)
+    : paths_(std::move(paths)) {
+  std::sort(paths_.begin(), paths_.end());
+  paths_.erase(std::unique(paths_.begin(), paths_.end()), paths_.end());
+}
+
+VertexPathSet VertexPathSet::FromBinaryRelation(
+    const std::vector<std::pair<VertexId, VertexId>>& relation) {
+  std::vector<VertexPath> paths;
+  paths.reserve(relation.size());
+  for (const auto& [i, j] : relation) paths.emplace_back(i, j);
+  return VertexPathSet(std::move(paths));
+}
+
+bool VertexPathSet::Contains(const VertexPath& p) const {
+  return std::binary_search(paths_.begin(), paths_.end(), p);
+}
+
+VertexPathSet Join(const VertexPathSet& a, const VertexPathSet& b) {
+  std::unordered_map<VertexId, std::vector<const VertexPath*>> by_tail;
+  by_tail.reserve(b.size());
+  bool b_has_epsilon = false;
+  for (const VertexPath& q : b.paths()) {
+    if (q.empty()) {
+      b_has_epsilon = true;
+    } else {
+      by_tail[q.Tail()].push_back(&q);
+    }
+  }
+
+  std::vector<VertexPath> out;
+  for (const VertexPath& p : a.paths()) {
+    if (p.empty()) {
+      out.insert(out.end(), b.paths().begin(), b.paths().end());
+      continue;
+    }
+    if (b_has_epsilon) out.push_back(p);
+    auto it = by_tail.find(p.Head());
+    if (it == by_tail.end()) continue;
+    for (const VertexPath* q : it->second) {
+      Result<VertexPath> joined = p.JointConcat(*q);
+      out.push_back(std::move(joined).value());  // Adjacency held by lookup.
+    }
+  }
+  return VertexPathSet(std::move(out));
+}
+
+size_t PayloadBytes(const VertexPathSet& set) {
+  size_t bytes = 0;
+  for (const VertexPath& p : set.paths()) {
+    bytes += p.vertices().size() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
+}  // namespace mrpa::binary

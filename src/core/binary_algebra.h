@@ -1,0 +1,104 @@
+// The binary-relation path algebra of the paper's reference [4]
+// (Russling's breadth-first traversal scheme), implemented for comparison.
+//
+// In that algebra a path is a vertex string (V*), concatenation is
+// ◦ : V* × V* → V*, and joins operate over binary relations E ⊆ V × V.
+// The paper's §II closing paragraph argues this representation *loses the
+// path label*: joining edges drawn from different relations yields a bare
+// vertex sequence from which the originating relations cannot be recovered.
+//
+// This module exists to make that argument executable (experiment E10):
+// tests demonstrate that two distinct multi-relational paths collapse to
+// the same VertexPath, and the bench compares footprint and join cost.
+
+#ifndef MRPA_CORE_BINARY_ALGEBRA_H_
+#define MRPA_CORE_BINARY_ALGEBRA_H_
+
+#include <compare>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/edge.h"
+#include "core/ids.h"
+#include "core/path.h"
+#include "util/status.h"
+
+namespace mrpa::binary {
+
+// A path as a vertex string. A single edge (i, j) is the string "i j";
+// the empty path is the identity. Note there is no label component.
+class VertexPath {
+ public:
+  VertexPath() = default;
+  explicit VertexPath(std::vector<VertexId> vertices)
+      : vertices_(std::move(vertices)) {}
+  VertexPath(VertexId i, VertexId j) : vertices_{i, j} {}
+
+  // Edge count: max(0, |vertices| - 1).
+  size_t length() const {
+    return vertices_.empty() ? 0 : vertices_.size() - 1;
+  }
+  bool empty() const { return vertices_.empty(); }
+
+  VertexId Tail() const {
+    return vertices_.empty() ? kInvalidVertex : vertices_.front();
+  }
+  VertexId Head() const {
+    return vertices_.empty() ? kInvalidVertex : vertices_.back();
+  }
+
+  const std::vector<VertexId>& vertices() const { return vertices_; }
+
+  // Joint concatenation in the [4] style: the shared join vertex appears
+  // once ("i j" ◦ "j k" = "i j k"). Requires Head() == other.Tail() when
+  // both sides are non-empty.
+  Result<VertexPath> JointConcat(const VertexPath& other) const;
+
+  friend auto operator<=>(const VertexPath&, const VertexPath&) = default;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<VertexId> vertices_;
+};
+
+// Forgets labels: maps a ternary-algebra path to its vertex string. Joint
+// multi-relational paths with different path labels map to the SAME
+// VertexPath — the information loss the paper's §II paragraph describes.
+// Requires a joint path (disjoint paths have no single vertex string).
+Result<VertexPath> ForgetLabels(const Path& path);
+
+// A set of vertex paths with the [4]-style concatenative join.
+class VertexPathSet {
+ public:
+  VertexPathSet() = default;
+  explicit VertexPathSet(std::vector<VertexPath> paths);
+
+  static VertexPathSet FromBinaryRelation(
+      const std::vector<std::pair<VertexId, VertexId>>& relation);
+
+  size_t size() const { return paths_.size(); }
+  bool empty() const { return paths_.empty(); }
+  bool Contains(const VertexPath& p) const;
+  const std::vector<VertexPath>& paths() const { return paths_; }
+
+  friend bool operator==(const VertexPathSet&,
+                         const VertexPathSet&) = default;
+
+ private:
+  std::vector<VertexPath> paths_;  // Sorted, unique.
+};
+
+// The concatenative join over vertex-path sets (hash equijoin on
+// Head(a) == Tail(b), shared vertex collapsed).
+VertexPathSet Join(const VertexPathSet& a, const VertexPathSet& b);
+
+// Bytes of payload needed to store the set (vertex ids only) — used by the
+// E10 bench to compare footprints against the ternary representation.
+size_t PayloadBytes(const VertexPathSet& set);
+
+}  // namespace mrpa::binary
+
+#endif  // MRPA_CORE_BINARY_ALGEBRA_H_

@@ -1,0 +1,65 @@
+// Edge: an element of E ⊆ (V × Ω × V), the ternary edge relation.
+//
+// The paper (§II, closing paragraph) argues that the ternary representation
+// (i, α, j) — rather than a family of binary relations — is what lets the
+// concatenative join preserve path labels. Edge is therefore the atomic unit
+// of the whole algebra: paths are strings over E, and every projection
+// (γ−, γ+, ω) is a field access.
+
+#ifndef MRPA_CORE_EDGE_H_
+#define MRPA_CORE_EDGE_H_
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "core/ids.h"
+#include "util/hash.h"
+
+namespace mrpa {
+
+// A directed, labeled edge (tail, label, head): "tail --label--> head".
+struct Edge {
+  VertexId tail = kInvalidVertex;
+  LabelId label = kInvalidLabel;
+  VertexId head = kInvalidVertex;
+
+  constexpr Edge() = default;
+  constexpr Edge(VertexId tail_vertex, LabelId edge_label,
+                 VertexId head_vertex)
+      : tail(tail_vertex), label(edge_label), head(head_vertex) {}
+
+  // Canonical ordering: by tail, then label, then head. The graph substrate
+  // sorts its edge array this way so that out-adjacency is a contiguous run.
+  friend constexpr auto operator<=>(const Edge&, const Edge&) = default;
+
+  // "(i,α,j)" rendered with numeric ids, e.g. "(0,1,2)".
+  std::string ToString() const;
+};
+
+// γ− : E → V, the tail (source) projection for a single edge.
+constexpr VertexId EdgeTail(const Edge& e) { return e.tail; }
+
+// γ+ : E → V, the head (target) projection for a single edge.
+constexpr VertexId EdgeHead(const Edge& e) { return e.head; }
+
+// ω : E → Ω, the label projection.
+constexpr LabelId EdgeLabel(const Edge& e) { return e.label; }
+
+std::ostream& operator<<(std::ostream& os, const Edge& e);
+
+// Hash functor usable with unordered containers.
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    uint64_t h = Mix64(e.tail);
+    h = HashCombine(h, e.label);
+    h = HashCombine(h, e.head);
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_EDGE_H_

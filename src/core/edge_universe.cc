@@ -1,0 +1,25 @@
+#include "core/edge_universe.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+bool EdgeUniverse::HasEdge(const Edge& e) const {
+  std::span<const Edge> out = OutEdges(e.tail);
+  return std::binary_search(out.begin(), out.end(), e);
+}
+
+std::span<const Edge> EdgeUniverse::OutEdgesWithLabel(VertexId v,
+                                                      LabelId label) const {
+  std::span<const Edge> out = OutEdges(v);
+  auto lower = std::lower_bound(
+      out.begin(), out.end(), label,
+      [](const Edge& e, LabelId l) { return e.label < l; });
+  auto upper = std::upper_bound(
+      lower, out.end(), label,
+      [](LabelId l, const Edge& e) { return l < e.label; });
+  if (lower == upper) return {};
+  return std::span<const Edge>(&*lower, static_cast<size_t>(upper - lower));
+}
+
+}  // namespace mrpa

@@ -1,0 +1,69 @@
+// EdgeUniverse: the abstract finite edge relation E that algebra expressions
+// and traversals evaluate against.
+//
+// The core library is independent of any particular storage layout; the
+// graph substrate (graph/multi_graph.h) provides the canonical CSR-backed
+// implementation. The interface exposes exactly the access paths the algebra
+// needs:
+//   * the full edge array in canonical (tail, label, head) order,
+//   * contiguous out-adjacency per tail vertex,
+//   * index lists per head vertex and per label,
+//   * membership testing.
+
+#ifndef MRPA_CORE_EDGE_UNIVERSE_H_
+#define MRPA_CORE_EDGE_UNIVERSE_H_
+
+#include <cstddef>
+#include <span>
+
+#include "core/edge.h"
+#include "core/ids.h"
+
+namespace mrpa {
+
+class EdgeUniverse {
+ public:
+  virtual ~EdgeUniverse() = default;
+
+  // |V|: vertex ids are dense in [0, num_vertices()).
+  virtual uint32_t num_vertices() const = 0;
+
+  // |Ω|: label ids are dense in [0, num_labels()).
+  virtual uint32_t num_labels() const = 0;
+
+  // |E|.
+  virtual size_t num_edges() const = 0;
+
+  // Every edge, sorted by (tail, label, head), no duplicates (E is a set).
+  //
+  // Lifetime: all span-returning accessors view storage owned by the
+  // universe. Never call them on a temporary
+  // (`for (e : MakeGraph().AllEdges())` dangles); bind the graph to a local
+  // first.
+  virtual std::span<const Edge> AllEdges() const = 0;
+
+  // The contiguous slice of AllEdges() with tail = v, sorted by
+  // (label, head). Empty when v has no out-edges or is out of range.
+  virtual std::span<const Edge> OutEdges(VertexId v) const = 0;
+
+  // The sub-run of OutEdges(v) with the given label — a binary search over
+  // the (label, head)-sorted run, so selective labeled steps skip the scan
+  // over unrelated relations entirely (experiment E13 measures the gap).
+  std::span<const Edge> OutEdgesWithLabel(VertexId v, LabelId label) const;
+
+  // Indices (into AllEdges()) of edges with head = v, sorted.
+  virtual std::span<const EdgeIndex> InEdgeIndices(VertexId v) const = 0;
+
+  // Indices (into AllEdges()) of edges with label = l, sorted.
+  virtual std::span<const EdgeIndex> LabelEdgeIndices(LabelId l) const = 0;
+
+  // True iff e ∈ E. Logarithmic over the canonical edge array by default.
+  virtual bool HasEdge(const Edge& e) const;
+
+  // Convenience: the edge at a given canonical index.
+  const Edge& EdgeAt(EdgeIndex index) const { return AllEdges()[index]; }
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_EDGE_UNIVERSE_H_

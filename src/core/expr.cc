@@ -1,0 +1,201 @@
+#include "core/expr.h"
+
+#include <sstream>
+
+namespace mrpa {
+
+PathExprPtr PathExpr::Empty() { return New(ExprKind::kEmpty); }
+
+PathExprPtr PathExpr::Epsilon() { return New(ExprKind::kEpsilon); }
+
+PathExprPtr PathExpr::Atom(EdgePattern pattern) {
+  auto node = New(ExprKind::kAtom);
+  node->pattern_ = std::move(pattern);
+  return node;
+}
+
+PathExprPtr PathExpr::Literal(PathSet paths) {
+  auto node = New(ExprKind::kLiteral);
+  node->literal_ = std::move(paths);
+  return node;
+}
+
+PathExprPtr PathExpr::MakeUnion(PathExprPtr lhs, PathExprPtr rhs) {
+  auto node = New(ExprKind::kUnion);
+  node->children_ = {std::move(lhs),
+                                                  std::move(rhs)};
+  return node;
+}
+
+PathExprPtr PathExpr::MakeJoin(PathExprPtr lhs, PathExprPtr rhs) {
+  auto node = New(ExprKind::kJoin);
+  node->children_ = {std::move(lhs),
+                                                  std::move(rhs)};
+  return node;
+}
+
+PathExprPtr PathExpr::MakeProduct(PathExprPtr lhs, PathExprPtr rhs) {
+  auto node = New(ExprKind::kProduct);
+  node->children_ = {std::move(lhs),
+                                                  std::move(rhs)};
+  return node;
+}
+
+PathExprPtr PathExpr::MakeStar(PathExprPtr inner) {
+  auto node = New(ExprKind::kStar);
+  node->children_ = {std::move(inner)};
+  return node;
+}
+
+PathExprPtr PathExpr::MakePlus(PathExprPtr inner) {
+  auto node = New(ExprKind::kPlus);
+  node->children_ = {std::move(inner)};
+  return node;
+}
+
+PathExprPtr PathExpr::MakeOptional(PathExprPtr inner) {
+  auto node = New(ExprKind::kOptional);
+  node->children_ = {std::move(inner)};
+  return node;
+}
+
+PathExprPtr PathExpr::MakePower(PathExprPtr inner, size_t n) {
+  auto node = New(ExprKind::kPower);
+  node->children_ = {std::move(inner)};
+  node->power_ = n;
+  return node;
+}
+
+namespace {
+
+// Star/Plus closure: ⋃_{k} base ⋈◦ ... ⋈◦ base, expanding until the frontier
+// is empty (fixed point — happens on DAG-shaped inputs) or `rounds`
+// repetitions were unrolled. `include_epsilon` distinguishes R* from R+.
+Result<PathSet> JointClosure(const PathSet& base, bool include_epsilon,
+                             size_t rounds, const PathSetLimits& limits) {
+  PathSet acc = include_epsilon ? PathSet::EpsilonSet() : PathSet();
+  PathSet frontier = base;
+  for (size_t k = 0; k < rounds && !frontier.empty(); ++k) {
+    acc = Union(acc, frontier);
+    if (limits.max_paths && acc.size() > *limits.max_paths) {
+      return Status::ResourceExhausted(
+          "closure exceeded max_paths = " + std::to_string(*limits.max_paths));
+    }
+    Result<PathSet> next = ConcatenativeJoin(frontier, base, limits);
+    if (!next.ok()) return next.status();
+    frontier = std::move(next).value();
+  }
+  // acc now holds ⋃_{k≤rounds} base^k (k ≥ 1 for Plus, k ≥ 0 for Star);
+  // any non-empty frontier beyond the bound is deliberately dropped.
+  return acc;
+}
+
+}  // namespace
+
+Result<PathSet> PathExpr::Evaluate(const EdgeUniverse& universe,
+                                   const EvalOptions& options) const {
+  switch (kind_) {
+    case ExprKind::kEmpty:
+      return PathSet();
+    case ExprKind::kEpsilon:
+      return PathSet::EpsilonSet();
+    case ExprKind::kAtom:
+      return PathSet::FromEdges(CollectMatchingEdges(universe, pattern_));
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kUnion: {
+      Result<PathSet> lhs = children_[0]->Evaluate(universe, options);
+      if (!lhs.ok()) return lhs.status();
+      Result<PathSet> rhs = children_[1]->Evaluate(universe, options);
+      if (!rhs.ok()) return rhs.status();
+      return Union(lhs.value(), rhs.value());
+    }
+    case ExprKind::kJoin: {
+      Result<PathSet> lhs = children_[0]->Evaluate(universe, options);
+      if (!lhs.ok()) return lhs.status();
+      Result<PathSet> rhs = children_[1]->Evaluate(universe, options);
+      if (!rhs.ok()) return rhs.status();
+      return ConcatenativeJoin(lhs.value(), rhs.value(), options.limits);
+    }
+    case ExprKind::kProduct: {
+      Result<PathSet> lhs = children_[0]->Evaluate(universe, options);
+      if (!lhs.ok()) return lhs.status();
+      Result<PathSet> rhs = children_[1]->Evaluate(universe, options);
+      if (!rhs.ok()) return rhs.status();
+      return ConcatenativeProduct(lhs.value(), rhs.value(), options.limits);
+    }
+    case ExprKind::kStar: {
+      Result<PathSet> base = children_[0]->Evaluate(universe, options);
+      if (!base.ok()) return base.status();
+      return JointClosure(base.value(), /*include_epsilon=*/true,
+                          options.max_star_expansion, options.limits);
+    }
+    case ExprKind::kPlus: {
+      Result<PathSet> base = children_[0]->Evaluate(universe, options);
+      if (!base.ok()) return base.status();
+      return JointClosure(base.value(), /*include_epsilon=*/false,
+                          options.max_star_expansion, options.limits);
+    }
+    case ExprKind::kOptional: {
+      Result<PathSet> base = children_[0]->Evaluate(universe, options);
+      if (!base.ok()) return base.status();
+      return Union(base.value(), PathSet::EpsilonSet());
+    }
+    case ExprKind::kPower: {
+      Result<PathSet> base = children_[0]->Evaluate(universe, options);
+      if (!base.ok()) return base.status();
+      return JoinPower(base.value(), power_, options.limits);
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+bool PathExpr::IsProductFree() const {
+  if (kind_ == ExprKind::kProduct) return false;
+  for (const PathExprPtr& child : children_) {
+    if (!child->IsProductFree()) return false;
+  }
+  return true;
+}
+
+size_t PathExpr::NodeCount() const {
+  size_t count = 1;
+  for (const PathExprPtr& child : children_) count += child->NodeCount();
+  return count;
+}
+
+std::string PathExpr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kEmpty:
+      return "∅";
+    case ExprKind::kEpsilon:
+      return "ε";
+    case ExprKind::kAtom:
+      return pattern_.ToString();
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kUnion:
+      return "(" + children_[0]->ToString() + " ∪ " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kJoin:
+      return "(" + children_[0]->ToString() + " ⋈ " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kProduct:
+      return "(" + children_[0]->ToString() + " × " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kStar:
+      return children_[0]->ToString() + "*";
+    case ExprKind::kPlus:
+      return children_[0]->ToString() + "+";
+    case ExprKind::kOptional:
+      return children_[0]->ToString() + "?";
+    case ExprKind::kPower: {
+      std::ostringstream os;
+      os << children_[0]->ToString() << '^' << power_;
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+}  // namespace mrpa

@@ -1,0 +1,149 @@
+// PathExpr: algebraic expressions over path sets — the regular expressions
+// of §IV-A, extended with the explicit ×◦ and the practical shorthands the
+// paper lists in footnote 8 (R+, R?, Rⁿ).
+//
+// Grammar (paper, §IV-A): if E is the alphabet, then ∅, ε, and any edge-set
+// atom are regular expressions, and for regular expressions R and Q so are
+//   R ∪ Q        Union
+//   R ⋈◦ Q       Join           (concatenation guarded by adjacency)
+//   R*           Star           (joint Kleene closure)
+// plus the derived forms R ⋈◦ R* (Plus), R ∪ {ε} (Optional), and the n-fold
+// join power (Power). ×◦ (Product) is included for recognizing potentially
+// disjoint paths (footnote 7).
+//
+// An expression is a graph-independent value; Evaluate() binds it to an
+// EdgeUniverse and materializes the denoted path set bottom-up. The same
+// tree also drives the Thompson construction in regex/nfa.h, so recognizer,
+// generator, and set evaluation all share one syntax.
+//
+// Star over a cyclic graph denotes an infinite set, so evaluation takes an
+// explicit bound (EvalOptions::max_star_expansion); on acyclic inputs the
+// evaluator reaches the fixed point earlier and stops by itself.
+
+#ifndef MRPA_CORE_EXPR_H_
+#define MRPA_CORE_EXPR_H_
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/edge_universe.h"
+#include "core/path_set.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+enum class ExprKind {
+  kEmpty,     // ∅
+  kEpsilon,   // {ε}
+  kAtom,      // an edge set given by a pattern, e.g. [i, α, _]
+  kLiteral,   // an explicit path set, e.g. {(j, α, i)}
+  kUnion,     // R ∪ Q
+  kJoin,      // R ⋈◦ Q
+  kProduct,   // R ×◦ Q
+  kStar,      // R*   (joint closure)
+  kPlus,      // R+ = R ⋈◦ R*
+  kOptional,  // R? = R ∪ {ε}
+  kPower,     // Rⁿ = R ⋈◦ ... ⋈◦ R (n times)
+};
+
+class PathExpr;
+using PathExprPtr = std::shared_ptr<const PathExpr>;
+
+// Bounds for Evaluate(). Star/Plus expand until the fixed point or until a
+// repetition would create paths longer than max_star_expansion rounds.
+struct EvalOptions {
+  // Maximum number of R-repetitions unrolled for each Star/Plus node.
+  size_t max_star_expansion = 16;
+  // Overall path-set size guard, applied to every intermediate result.
+  PathSetLimits limits;
+};
+
+// An immutable expression node. Build with the factory functions below (or
+// the operator sugar at the bottom of this header); share freely —
+// subexpressions are reference-counted and never mutated.
+class PathExpr : public std::enable_shared_from_this<PathExpr> {
+ public:
+  ExprKind kind() const { return kind_; }
+
+  // Valid for kAtom only.
+  const EdgePattern& pattern() const { return pattern_; }
+  // Valid for kLiteral only.
+  const PathSet& literal() const { return literal_; }
+  // Valid for kPower only.
+  size_t power() const { return power_; }
+  // Children: 2 for the binary kinds, 1 for star/plus/optional/power,
+  // 0 otherwise.
+  const std::vector<PathExprPtr>& children() const { return children_; }
+
+  // Materializes the denoted subset of P(E*) against `universe`.
+  Result<PathSet> Evaluate(const EdgeUniverse& universe,
+                           const EvalOptions& options = {}) const;
+
+  // True when the expression contains no ×◦ node; such expressions denote
+  // only joint paths and admit the DFA fast path in regex/recognizer.h.
+  bool IsProductFree() const;
+
+  // Structural size (node count) — used by tests and the planner.
+  size_t NodeCount() const;
+
+  // Parenthesized rendering using the paper's glyphs (∅, ε, ∪, ⋈, ×, *).
+  std::string ToString() const;
+
+  // --- Factories ---------------------------------------------------------
+  static PathExprPtr Empty();
+  static PathExprPtr Epsilon();
+  static PathExprPtr Atom(EdgePattern pattern);
+  static PathExprPtr Literal(PathSet paths);
+  static PathExprPtr MakeUnion(PathExprPtr lhs, PathExprPtr rhs);
+  static PathExprPtr MakeJoin(PathExprPtr lhs, PathExprPtr rhs);
+  static PathExprPtr MakeProduct(PathExprPtr lhs, PathExprPtr rhs);
+  static PathExprPtr MakeStar(PathExprPtr inner);
+  static PathExprPtr MakePlus(PathExprPtr inner);
+  static PathExprPtr MakeOptional(PathExprPtr inner);
+  static PathExprPtr MakePower(PathExprPtr inner, size_t n);
+
+  // Convenience atoms mirroring the set-builder notation.
+  static PathExprPtr AnyEdge() { return Atom(EdgePattern::Any()); }
+  static PathExprPtr From(VertexId i) { return Atom(EdgePattern::From(i)); }
+  static PathExprPtr Labeled(LabelId alpha) {
+    return Atom(EdgePattern::Labeled(alpha));
+  }
+  static PathExprPtr Into(VertexId j) { return Atom(EdgePattern::Into(j)); }
+  static PathExprPtr SingleEdge(const Edge& e) {
+    return Literal(PathSet({Path(e)}));
+  }
+
+ private:
+  struct Private {};  // Locks constructors to the factories.
+
+ public:
+  PathExpr(Private, ExprKind kind) : kind_(kind) {}
+
+ private:
+  static std::shared_ptr<PathExpr> New(ExprKind kind) {
+    return std::make_shared<PathExpr>(Private{}, kind);
+  }
+
+  ExprKind kind_;
+  EdgePattern pattern_;
+  PathSet literal_;
+  size_t power_ = 0;
+  std::vector<PathExprPtr> children_;
+};
+
+// Operator sugar: `a | b` is ∪, `a + b` is ⋈◦ (adjacency-guarded
+// concatenation — the regex concatenation of §IV-A).
+inline PathExprPtr operator|(PathExprPtr lhs, PathExprPtr rhs) {
+  return PathExpr::MakeUnion(std::move(lhs), std::move(rhs));
+}
+inline PathExprPtr operator+(PathExprPtr lhs, PathExprPtr rhs) {
+  return PathExpr::MakeJoin(std::move(lhs), std::move(rhs));
+}
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_EXPR_H_

@@ -1,0 +1,35 @@
+// Fundamental identifier types for the multi-relational graph G = (V, E)
+// with E ⊆ (V × Ω × V).
+//
+// Vertices (V) and edge labels / relation types (Ω) are interned 32-bit ids.
+// String names, when present, live in the graph's dictionaries
+// (graph/multi_graph.h); the algebra itself operates on ids only.
+
+#ifndef MRPA_CORE_IDS_H_
+#define MRPA_CORE_IDS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace mrpa {
+
+// An element of the vertex set V.
+using VertexId = uint32_t;
+
+// An element of the label set Ω (a relation type).
+using LabelId = uint32_t;
+
+// A position into an edge universe's canonical edge array.
+using EdgeIndex = uint32_t;
+
+// Sentinels. Valid ids are strictly below these.
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr EdgeIndex kInvalidEdgeIndex =
+    std::numeric_limits<EdgeIndex>::max();
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_IDS_H_

@@ -1,0 +1,95 @@
+// Monoid law checkers.
+//
+// The paper grounds the algebra in monoid theory: (E*, ◦, ε) is the free
+// monoid over E (footnote 2), and (P(E*), ∪, ∅) and the join/product
+// structures satisfy the expected identities. These helpers verify the laws
+// on concrete samples; the property-test suites drive them with randomized
+// inputs. They are header-only templates so any binary operation with any
+// carrier can be checked.
+
+#ifndef MRPA_CORE_MONOID_H_
+#define MRPA_CORE_MONOID_H_
+
+#include <vector>
+
+namespace mrpa {
+
+// Checks (a·b)·c == a·(b·c) for every triple drawn from `samples`.
+// `op` is any callable T(const T&, const T&).
+template <typename T, typename Op>
+bool CheckAssociativity(const std::vector<T>& samples, const Op& op) {
+  for (const T& a : samples) {
+    for (const T& b : samples) {
+      for (const T& c : samples) {
+        if (!(op(op(a, b), c) == op(a, op(b, c)))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Checks identity·a == a == a·identity for every sample.
+template <typename T, typename Op>
+bool CheckIdentity(const std::vector<T>& samples, const Op& op,
+                   const T& identity) {
+  for (const T& a : samples) {
+    if (!(op(identity, a) == a)) return false;
+    if (!(op(a, identity) == a)) return false;
+  }
+  return true;
+}
+
+// Checks a·b == b·a for every pair; used both positively (∪ commutes) and
+// negatively (◦ does not — the paper stresses non-commutativity).
+template <typename T, typename Op>
+bool CheckCommutativity(const std::vector<T>& samples, const Op& op) {
+  for (const T& a : samples) {
+    for (const T& b : samples) {
+      if (!(op(a, b) == op(b, a))) return false;
+    }
+  }
+  return true;
+}
+
+// Checks a·a == a for every sample (∪ is idempotent).
+template <typename T, typename Op>
+bool CheckIdempotence(const std::vector<T>& samples, const Op& op) {
+  for (const T& a : samples) {
+    if (!(op(a, a) == a)) return false;
+  }
+  return true;
+}
+
+// Checks left and right distributivity of `mul` over `add`:
+//   a·(b+c) == a·b + a·c   and   (a+b)·c == a·c + b·c.
+// The concatenative join distributes over union, which is what makes
+// P(E*) with (∪, ⋈◦) a (non-commutative) semiring-like structure.
+template <typename T, typename Add, typename Mul>
+bool CheckDistributivity(const std::vector<T>& samples, const Add& add,
+                         const Mul& mul) {
+  for (const T& a : samples) {
+    for (const T& b : samples) {
+      for (const T& c : samples) {
+        if (!(mul(a, add(b, c)) == add(mul(a, b), mul(a, c)))) return false;
+        if (!(mul(add(a, b), c) == add(mul(a, c), mul(b, c)))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Checks that `zero` annihilates under `mul`: zero·a == zero == a·zero
+// (∅ is absorbing for both ⋈◦ and ×◦).
+template <typename T, typename Mul>
+bool CheckAnnihilator(const std::vector<T>& samples, const Mul& mul,
+                      const T& zero) {
+  for (const T& a : samples) {
+    if (!(mul(zero, a) == zero)) return false;
+    if (!(mul(a, zero) == zero)) return false;
+  }
+  return true;
+}
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_MONOID_H_

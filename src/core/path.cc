@@ -1,0 +1,61 @@
+#include "core/path.h"
+
+#include <sstream>
+
+namespace mrpa {
+
+std::string Edge::ToString() const {
+  std::ostringstream os;
+  os << '(' << tail << ',' << label << ',' << head << ')';
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << e.ToString();
+}
+
+Result<Edge> Path::EdgeAt(size_t n) const {
+  if (n == 0 || n > edges_.size()) {
+    return Status::OutOfRange("sigma: index " + std::to_string(n) +
+                              " outside [1, " + std::to_string(edges_.size()) +
+                              "]");
+  }
+  return edges_[n - 1];
+}
+
+std::vector<LabelId> Path::PathLabel() const {
+  std::vector<LabelId> labels;
+  labels.reserve(edges_.size());
+  for (const Edge& e : edges_) labels.push_back(e.label);
+  return labels;
+}
+
+bool Path::IsJoint() const {
+  for (size_t n = 1; n < edges_.size(); ++n) {
+    if (edges_[n - 1].head != edges_[n].tail) return false;
+  }
+  return true;
+}
+
+Path Path::Concat(const Path& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  std::vector<Edge> combined;
+  combined.reserve(edges_.size() + other.edges_.size());
+  combined.insert(combined.end(), edges_.begin(), edges_.end());
+  combined.insert(combined.end(), other.edges_.begin(), other.edges_.end());
+  return Path(std::move(combined));
+}
+
+std::string Path::ToString() const {
+  if (empty()) return "ε";
+  std::string out;
+  for (const Edge& e : edges_) out += e.ToString();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Path& path) {
+  return os << path.ToString();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,136 @@
+// Path: an element of the free monoid E*, i.e. a finite string of edges.
+//
+// Definition 1 of the paper: a path is a sequence over E ⊆ (V × Ω × V); the
+// empty string ε is the identity of concatenation, and any single edge is a
+// path of length 1. Paths are allowed to repeat edges and are allowed to be
+// *disjoint* (Definition 3) — jointness is a predicate, not an invariant,
+// because the concatenative product ×◦ deliberately constructs disjoint
+// paths (the paper's "teleportation" motivation, §II footnote 5).
+//
+// Operations implemented here, in the paper's notation:
+//   ‖a‖        Path::length()
+//   a ◦ b      Concat(a, b) / operator path * path
+//   σ(a, n)    Path::EdgeAt(n)       (n is 1-based, as in the paper)
+//   γ−(a)      Path::Tail()
+//   γ+(a)      Path::Head()
+//   ω′(a)      Path::PathLabel()
+//   f(a)       Path::IsJoint()
+
+#ifndef MRPA_CORE_PATH_H_
+#define MRPA_CORE_PATH_H_
+
+#include <compare>
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/edge.h"
+#include "core/ids.h"
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+class Path {
+ public:
+  using const_iterator = std::vector<Edge>::const_iterator;
+
+  // The empty path ε (the monoid identity).
+  Path() = default;
+
+  // A path of length 1 from a single edge (E ⊂ E*).
+  explicit Path(const Edge& e) : edges_(1, e) {}
+
+  // A path from an explicit edge sequence, joint or not.
+  explicit Path(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+  Path(std::initializer_list<Edge> edges) : edges_(edges) {}
+
+  Path(const Path&) = default;
+  Path& operator=(const Path&) = default;
+  Path(Path&&) noexcept = default;
+  Path& operator=(Path&&) noexcept = default;
+
+  // ‖a‖: the number of edges in the path. ‖ε‖ = 0.
+  size_t length() const { return edges_.size(); }
+
+  // True iff this is ε.
+  bool empty() const { return edges_.empty(); }
+
+  // σ(a, n): the n-th edge, 1-based per the paper. Returns OutOfRange when
+  // n = 0 or n > ‖a‖ (in particular, for any n when a = ε).
+  Result<Edge> EdgeAt(size_t n) const;
+
+  // Unchecked 0-based access for hot loops. Requires index < length().
+  const Edge& edge(size_t index) const { return edges_[index]; }
+
+  // γ−(a): the tail (first vertex) of the path. Undefined for ε; returns
+  // kInvalidVertex in that case (ε has no endpoints).
+  VertexId Tail() const { return empty() ? kInvalidVertex : edges_.front().tail; }
+
+  // γ+(a): the head (last vertex) of the path. kInvalidVertex for ε.
+  VertexId Head() const { return empty() ? kInvalidVertex : edges_.back().head; }
+
+  // ω′(a): the path label — the concatenation of the edge labels of a, an
+  // element of Ω*. ω′(ε) is the empty label string.
+  std::vector<LabelId> PathLabel() const;
+
+  // Definition 3 (path jointness): true iff ‖a‖ ≤ 1 or every consecutive
+  // edge pair satisfies γ+(σ(a,n)) = γ−(σ(a,n+1)). ε is vacuously joint.
+  bool IsJoint() const;
+
+  // a ◦ b: concatenation. ε is a two-sided identity. No jointness check is
+  // performed — use PathSet::ConcatenativeJoin for the adjacency-guarded
+  // variant.
+  Path Concat(const Path& other) const;
+
+  // In-place append of a single edge (amortized O(1)); used by streaming
+  // generators to avoid quadratic copying.
+  void Append(const Edge& e) { edges_.push_back(e); }
+
+  // The edges as a flat sequence.
+  const std::vector<Edge>& edges() const { return edges_; }
+  const_iterator begin() const { return edges_.begin(); }
+  const_iterator end() const { return edges_.end(); }
+
+  // Lexicographic ordering over the edge sequence; gives PathSet its
+  // canonical order.
+  friend auto operator<=>(const Path&, const Path&) = default;
+
+  // "ε" for the empty path; otherwise "(i,α,j)(j,β,k)" style.
+  std::string ToString() const;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+// a ◦ b as a free function / operator. `a * b` mirrors the paper's use of a
+// product sign for concatenation in the ω′ definition.
+inline Path Concat(const Path& a, const Path& b) { return a.Concat(b); }
+inline Path operator*(const Path& a, const Path& b) { return a.Concat(b); }
+
+// True iff γ+(a) = γ−(b), the adjacency condition of the concatenative
+// join; false when either path is ε (the join admits ε via its own explicit
+// disjunct, not via this predicate).
+inline bool AreAdjacent(const Path& a, const Path& b) {
+  return !a.empty() && !b.empty() && a.Head() == b.Tail();
+}
+
+std::ostream& operator<<(std::ostream& os, const Path& path);
+
+struct PathHash {
+  size_t operator()(const Path& p) const {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (const Edge& e : p.edges()) {
+      h = HashCombine(h, e.tail);
+      h = HashCombine(h, e.label);
+      h = HashCombine(h, e.head);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_PATH_H_

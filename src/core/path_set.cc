@@ -1,0 +1,211 @@
+#include "core/path_set.h"
+
+#include <algorithm>
+#include <iterator>
+#include <limits>
+#include <sstream>
+#include <unordered_map>
+
+namespace mrpa {
+
+namespace {
+
+// Canonicalizes in place: sort + unique.
+void Canonicalize(std::vector<Path>& paths) {
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+}
+
+Status ExceededLimit(size_t limit) {
+  return Status::ResourceExhausted(
+      "path-set operation exceeded max_paths = " + std::to_string(limit));
+}
+
+}  // namespace
+
+PathSet::PathSet(std::vector<Path> paths) : paths_(std::move(paths)) {
+  Canonicalize(paths_);
+}
+
+PathSet::PathSet(std::initializer_list<Path> paths) : paths_(paths) {
+  Canonicalize(paths_);
+}
+
+PathSet PathSet::FromEdges(const std::vector<Edge>& edges) {
+  std::vector<Path> paths;
+  paths.reserve(edges.size());
+  for (const Edge& e : edges) paths.emplace_back(e);
+  return PathSet(std::move(paths));
+}
+
+bool PathSet::Contains(const Path& p) const {
+  return std::binary_search(paths_.begin(), paths_.end(), p);
+}
+
+void PathSet::Insert(const Path& p) {
+  auto it = std::lower_bound(paths_.begin(), paths_.end(), p);
+  if (it != paths_.end() && *it == p) return;
+  paths_.insert(it, p);
+}
+
+bool PathSet::AllJoint() const {
+  return std::all_of(paths_.begin(), paths_.end(),
+                     [](const Path& p) { return p.IsJoint(); });
+}
+
+bool PathSet::IsSubsetOf(const PathSet& other) const {
+  return std::includes(other.paths_.begin(), other.paths_.end(),
+                       paths_.begin(), paths_.end());
+}
+
+PathSet PathSet::FilterByTail(VertexId tail) const {
+  std::vector<Path> out;
+  for (const Path& p : paths_) {
+    if (!p.empty() && p.Tail() == tail) out.push_back(p);
+  }
+  PathSet result;
+  result.paths_ = std::move(out);  // Filtering preserves canonical order.
+  return result;
+}
+
+PathSet PathSet::FilterByHead(VertexId head) const {
+  std::vector<Path> out;
+  for (const Path& p : paths_) {
+    if (!p.empty() && p.Head() == head) out.push_back(p);
+  }
+  PathSet result;
+  result.paths_ = std::move(out);
+  return result;
+}
+
+PathSet PathSet::FilterByLength(size_t length) const {
+  std::vector<Path> out;
+  for (const Path& p : paths_) {
+    if (p.length() == length) out.push_back(p);
+  }
+  PathSet result;
+  result.paths_ = std::move(out);
+  return result;
+}
+
+std::string PathSet::ToString() const {
+  std::ostringstream os;
+  os << '{';
+  for (size_t i = 0; i < paths_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << paths_[i].ToString();
+  }
+  os << '}';
+  return os.str();
+}
+
+PathSet Union(const PathSet& a, const PathSet& b) {
+  std::vector<Path> merged;
+  merged.reserve(a.size() + b.size());
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(merged));
+  // set_union over canonical inputs yields a canonical output; build via the
+  // already-sorted constructor path.
+  PathSet out;
+  out = PathSet(std::move(merged));
+  return out;
+}
+
+PathSet Intersection(const PathSet& a, const PathSet& b) {
+  std::vector<Path> merged;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(merged));
+  return PathSet(std::move(merged));
+}
+
+PathSet Difference(const PathSet& a, const PathSet& b) {
+  std::vector<Path> merged;
+  std::set_difference(a.begin(), a.end(), b.begin(), b.end(),
+                      std::back_inserter(merged));
+  return PathSet(std::move(merged));
+}
+
+Result<PathSet> ConcatenativeJoin(const PathSet& a, const PathSet& b,
+                                  const PathSetLimits& limits) {
+  const size_t limit = limits.max_paths.value_or(
+      std::numeric_limits<size_t>::max());
+
+  // Bucket the right side by tail vertex; ε goes in its own bucket since it
+  // joins with everything.
+  std::unordered_map<VertexId, std::vector<const Path*>> by_tail;
+  bool b_has_epsilon = false;
+  by_tail.reserve(b.size());
+  for (const Path& q : b) {
+    if (q.empty()) {
+      b_has_epsilon = true;
+    } else {
+      by_tail[q.Tail()].push_back(&q);
+    }
+  }
+
+  PathSetBuilder builder;
+  for (const Path& p : a) {
+    if (p.empty()) {
+      // ε ◦ b = b for every b ∈ B (the a=ε disjunct admits all of B).
+      for (const Path& q : b) {
+        if (builder.staged_size() >= limit) return ExceededLimit(limit);
+        builder.Add(q);
+      }
+      continue;
+    }
+    if (b_has_epsilon) {
+      // p ◦ ε = p (the b=ε disjunct).
+      if (builder.staged_size() >= limit) return ExceededLimit(limit);
+      builder.Add(p);
+    }
+    auto it = by_tail.find(p.Head());
+    if (it == by_tail.end()) continue;
+    for (const Path* q : it->second) {
+      if (builder.staged_size() >= limit) return ExceededLimit(limit);
+      builder.Add(p.Concat(*q));
+    }
+  }
+  return builder.Build();
+}
+
+Result<PathSet> ConcatenativeProduct(const PathSet& a, const PathSet& b,
+                                     const PathSetLimits& limits) {
+  const size_t limit = limits.max_paths.value_or(
+      std::numeric_limits<size_t>::max());
+  PathSetBuilder builder;
+  for (const Path& p : a) {
+    for (const Path& q : b) {
+      if (builder.staged_size() >= limit) return ExceededLimit(limit);
+      builder.Add(p.Concat(q));
+    }
+  }
+  return builder.Build();
+}
+
+Result<PathSet> JoinPower(const PathSet& a, size_t n,
+                          const PathSetLimits& limits) {
+  PathSet acc = PathSet::EpsilonSet();
+  for (size_t k = 0; k < n; ++k) {
+    Result<PathSet> next = ConcatenativeJoin(acc, a, limits);
+    if (!next.ok()) return next.status();
+    acc = std::move(next).value();
+    if (acc.empty()) break;  // ∅ is absorbing for the join.
+  }
+  return acc;
+}
+
+void PathSetBuilder::AddAll(const PathSet& set) {
+  staged_.insert(staged_.end(), set.begin(), set.end());
+}
+
+PathSet PathSetBuilder::Build() {
+  PathSet out(std::move(staged_));
+  staged_.clear();
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const PathSet& set) {
+  return os << set.ToString();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,114 @@
+// Semirings for weighted path analysis.
+//
+// The paper grounds the algebra in monoid theory and notes (§IV, footnote 6)
+// that richer machinery extends the core operations. The classic such
+// extension — and the standard algebraic-path-problem toolkit — is to weigh
+// paths in a semiring (S, ⊕, ⊗, 0̄, 1̄): a path's weight is the ⊗-product of
+// its edge weights, and a path *set*'s weight is the ⊕-sum over its members.
+// Choosing the semiring chooses the analysis:
+//
+//   CountingSemiring  (ℕ, +, ·, 0, 1)        how many paths
+//   BooleanSemiring   ({⊥,⊤}, ∨, ∧, ⊥, ⊤)    does any path exist
+//   TropicalSemiring  (ℝ∪{∞}, min, +, ∞, 0)  cheapest path
+//   MaxProbSemiring   ([0,1], max, ·, 0, 1)  most probable path
+//
+// regex/path_analysis.h evaluates these over the language of a regular path
+// expression restricted to a graph, without enumerating the paths.
+//
+// Each semiring exposes:
+//   using Value       — the carrier type
+//   static Value Zero()  / One()            — ⊕ and ⊗ identities
+//   static Value Plus(a, b) / Times(a, b)
+//   static Value UnitEdgeWeight()           — default per-edge weight
+
+#ifndef MRPA_CORE_SEMIRING_H_
+#define MRPA_CORE_SEMIRING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace mrpa {
+
+struct CountingSemiring {
+  using Value = uint64_t;
+  static Value Zero() { return 0; }
+  static Value One() { return 1; }
+  static Value Plus(Value a, Value b) { return a + b; }
+  static Value Times(Value a, Value b) { return a * b; }
+  static Value UnitEdgeWeight() { return 1; }
+};
+
+struct BooleanSemiring {
+  using Value = bool;
+  static Value Zero() { return false; }
+  static Value One() { return true; }
+  static Value Plus(Value a, Value b) { return a || b; }
+  static Value Times(Value a, Value b) { return a && b; }
+  static Value UnitEdgeWeight() { return true; }
+};
+
+// Min-plus: Zero is +∞ (no path), One is 0 (the free path). With the unit
+// edge weight 1.0, the aggregate is the hop count of the shortest accepted
+// path.
+struct TropicalSemiring {
+  using Value = double;
+  static Value Zero() { return std::numeric_limits<double>::infinity(); }
+  static Value One() { return 0.0; }
+  static Value Plus(Value a, Value b) { return std::min(a, b); }
+  static Value Times(Value a, Value b) { return a + b; }
+  static Value UnitEdgeWeight() { return 1.0; }
+};
+
+// Max-times over [0, 1]: the probability of the most probable accepted
+// path, edges weighted by transition probability.
+struct MaxProbSemiring {
+  using Value = double;
+  static Value Zero() { return 0.0; }
+  static Value One() { return 1.0; }
+  static Value Plus(Value a, Value b) { return std::max(a, b); }
+  static Value Times(Value a, Value b) { return a * b; }
+  static Value UnitEdgeWeight() { return 1.0; }
+};
+
+// --- Law checkers (used by the property tests) -----------------------------
+
+// ⊕ is associative/commutative with identity Zero; ⊗ is associative with
+// identity One; ⊗ distributes over ⊕; Zero annihilates ⊗.
+template <typename S>
+bool CheckSemiringLaws(const std::vector<typename S::Value>& samples) {
+  using V = typename S::Value;
+  for (const V& a : samples) {
+    if (!(S::Plus(S::Zero(), a) == a)) return false;
+    if (!(S::Plus(a, S::Zero()) == a)) return false;
+    if (!(S::Times(S::One(), a) == a)) return false;
+    if (!(S::Times(a, S::One()) == a)) return false;
+    if (!(S::Times(S::Zero(), a) == S::Zero())) return false;
+    if (!(S::Times(a, S::Zero()) == S::Zero())) return false;
+    for (const V& b : samples) {
+      if (!(S::Plus(a, b) == S::Plus(b, a))) return false;
+      for (const V& c : samples) {
+        if (!(S::Plus(S::Plus(a, b), c) == S::Plus(a, S::Plus(b, c)))) {
+          return false;
+        }
+        if (!(S::Times(S::Times(a, b), c) == S::Times(a, S::Times(b, c)))) {
+          return false;
+        }
+        if (!(S::Times(a, S::Plus(b, c)) ==
+              S::Plus(S::Times(a, b), S::Times(a, c)))) {
+          return false;
+        }
+        if (!(S::Times(S::Plus(a, b), c) ==
+              S::Plus(S::Times(a, c), S::Times(b, c)))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_SEMIRING_H_

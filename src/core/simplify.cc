@@ -1,0 +1,175 @@
+#include "core/simplify.h"
+
+namespace mrpa {
+
+namespace {
+
+bool IsEmpty(const PathExprPtr& e) { return e->kind() == ExprKind::kEmpty; }
+
+bool IsEpsilon(const PathExprPtr& e) {
+  return e->kind() == ExprKind::kEpsilon;
+}
+
+// Structural equality (same shape, patterns, literals). Conservative: two
+// structurally different trees may still denote the same language, which
+// simply means the R ∪ R rule fires less often.
+bool StructurallyEqual(const PathExprPtr& a, const PathExprPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case ExprKind::kEmpty:
+    case ExprKind::kEpsilon:
+      return true;
+    case ExprKind::kAtom:
+      return a->pattern() == b->pattern();
+    case ExprKind::kLiteral:
+      return a->literal() == b->literal();
+    case ExprKind::kPower:
+      if (a->power() != b->power()) return false;
+      break;
+    default:
+      break;
+  }
+  if (a->children().size() != b->children().size()) return false;
+  for (size_t i = 0; i < a->children().size(); ++i) {
+    if (!StructurallyEqual(a->children()[i], b->children()[i])) return false;
+  }
+  return true;
+}
+
+PathExprPtr SimplifyNode(const PathExprPtr& expr);
+
+PathExprPtr SimplifyChildrenThenNode(const PathExprPtr& expr) {
+  // Rebuild only when a child changed.
+  std::vector<PathExprPtr> simplified;
+  bool changed = false;
+  simplified.reserve(expr->children().size());
+  for (const PathExprPtr& child : expr->children()) {
+    PathExprPtr s = Simplify(child);
+    changed |= s.get() != child.get();
+    simplified.push_back(std::move(s));
+  }
+  if (!changed) return SimplifyNode(expr);
+
+  PathExprPtr rebuilt;
+  switch (expr->kind()) {
+    case ExprKind::kUnion:
+      rebuilt = PathExpr::MakeUnion(simplified[0], simplified[1]);
+      break;
+    case ExprKind::kJoin:
+      rebuilt = PathExpr::MakeJoin(simplified[0], simplified[1]);
+      break;
+    case ExprKind::kProduct:
+      rebuilt = PathExpr::MakeProduct(simplified[0], simplified[1]);
+      break;
+    case ExprKind::kStar:
+      rebuilt = PathExpr::MakeStar(simplified[0]);
+      break;
+    case ExprKind::kPlus:
+      rebuilt = PathExpr::MakePlus(simplified[0]);
+      break;
+    case ExprKind::kOptional:
+      rebuilt = PathExpr::MakeOptional(simplified[0]);
+      break;
+    case ExprKind::kPower:
+      rebuilt = PathExpr::MakePower(simplified[0], expr->power());
+      break;
+    default:
+      rebuilt = expr;
+      break;
+  }
+  return SimplifyNode(rebuilt);
+}
+
+PathExprPtr SimplifyNode(const PathExprPtr& expr) {
+  const auto& children = expr->children();
+  switch (expr->kind()) {
+    case ExprKind::kLiteral:
+      if (expr->literal().empty()) return PathExpr::Empty();
+      if (expr->literal() == PathSet::EpsilonSet()) {
+        return PathExpr::Epsilon();
+      }
+      return expr;
+    case ExprKind::kUnion: {
+      if (IsEmpty(children[0])) return children[1];
+      if (IsEmpty(children[1])) return children[0];
+      if (StructurallyEqual(children[0], children[1])) return children[0];
+      // ε ∪ R* = R*; ε ∪ R = R?.
+      if (IsEpsilon(children[0])) {
+        if (children[1]->kind() == ExprKind::kStar) return children[1];
+        return PathExpr::MakeOptional(children[1]);
+      }
+      if (IsEpsilon(children[1])) {
+        if (children[0]->kind() == ExprKind::kStar) return children[0];
+        return PathExpr::MakeOptional(children[0]);
+      }
+      return expr;
+    }
+    case ExprKind::kJoin:
+    case ExprKind::kProduct: {
+      if (IsEmpty(children[0]) || IsEmpty(children[1])) {
+        return PathExpr::Empty();
+      }
+      if (IsEpsilon(children[0])) return children[1];
+      if (IsEpsilon(children[1])) return children[0];
+      return expr;
+    }
+    case ExprKind::kStar: {
+      const PathExprPtr& inner = children[0];
+      if (IsEmpty(inner) || IsEpsilon(inner)) return PathExpr::Epsilon();
+      if (inner->kind() == ExprKind::kStar) return inner;
+      if (inner->kind() == ExprKind::kOptional ||
+          inner->kind() == ExprKind::kPlus) {
+        // (R?)* = (R+)* = R*.
+        return PathExpr::MakeStar(inner->children()[0]);
+      }
+      return expr;
+    }
+    case ExprKind::kPlus: {
+      const PathExprPtr& inner = children[0];
+      if (IsEmpty(inner)) return PathExpr::Empty();
+      if (IsEpsilon(inner)) return PathExpr::Epsilon();
+      if (inner->kind() == ExprKind::kStar ||
+          inner->kind() == ExprKind::kPlus) {
+        return inner;  // (R*)+ = R*, (R+)+ = R+.
+      }
+      if (inner->kind() == ExprKind::kOptional) {
+        // (R?)+ = R*.
+        return PathExpr::MakeStar(inner->children()[0]);
+      }
+      return expr;
+    }
+    case ExprKind::kOptional: {
+      const PathExprPtr& inner = children[0];
+      if (IsEmpty(inner) || IsEpsilon(inner)) return PathExpr::Epsilon();
+      if (inner->kind() == ExprKind::kStar ||
+          inner->kind() == ExprKind::kOptional) {
+        return inner;  // (R*)? = R*, (R?)? = R?.
+      }
+      if (inner->kind() == ExprKind::kPlus) {
+        // (R+)? = R*.
+        return PathExpr::MakeStar(inner->children()[0]);
+      }
+      return expr;
+    }
+    case ExprKind::kPower: {
+      const PathExprPtr& inner = children[0];
+      if (expr->power() == 0) return PathExpr::Epsilon();
+      if (expr->power() == 1) return inner;
+      if (IsEmpty(inner)) return PathExpr::Empty();
+      if (IsEpsilon(inner)) return PathExpr::Epsilon();
+      return expr;
+    }
+    default:
+      return expr;
+  }
+}
+
+}  // namespace
+
+PathExprPtr Simplify(const PathExprPtr& expr) {
+  if (expr->children().empty()) return SimplifyNode(expr);
+  return SimplifyChildrenThenNode(expr);
+}
+
+}  // namespace mrpa

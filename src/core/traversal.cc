@@ -1,0 +1,113 @@
+#include "core/traversal.h"
+
+#include <limits>
+
+namespace mrpa {
+
+namespace {
+
+// Left-to-right fold of ⋈◦ over per-step edge sets. The first step's edge
+// set seeds the accumulator; every later step extends paths whose head
+// matches. Iterating with an adjacency-aware extension (rather than
+// repeatedly calling the generic join) keeps this O(paths · out-degree).
+Result<PathSet> FoldJoin(const EdgeUniverse& universe,
+                         const std::vector<EdgePattern>& steps,
+                         const PathSetLimits& limits) {
+  if (steps.empty()) return PathSet::EpsilonSet();
+  const size_t limit =
+      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+
+  PathSet acc =
+      PathSet::FromEdges(CollectMatchingEdges(universe, steps.front()));
+  for (size_t k = 1; k < steps.size() && !acc.empty(); ++k) {
+    const EdgePattern& step = steps[k];
+    PathSetBuilder builder;
+    Status overflow;
+    for (const Path& p : acc) {
+      // Extend p with matching out-edges of its head — an index-backed
+      // equijoin on γ+(p) = γ−(e), narrowed to the label sub-run when the
+      // step pins one label.
+      ForEachMatchingOutEdge(universe, p.Head(), step, [&](const Edge& e) {
+        if (!overflow.ok()) return;
+        if (builder.staged_size() >= limit) {
+          overflow = Status::ResourceExhausted(
+              "traversal exceeded max_paths = " + std::to_string(limit));
+          return;
+        }
+        Path extended = p;
+        extended.Append(e);
+        builder.Add(std::move(extended));
+      });
+      if (!overflow.ok()) return overflow;
+    }
+    acc = builder.Build();
+  }
+  return acc;
+}
+
+std::vector<EdgePattern> UniformSteps(size_t n, const EdgePattern& pattern) {
+  return std::vector<EdgePattern>(n, pattern);
+}
+
+}  // namespace
+
+Result<PathSet> CompleteTraversal(const EdgeUniverse& universe, size_t n,
+                                  const PathSetLimits& limits) {
+  return FoldJoin(universe, UniformSteps(n, EdgePattern::Any()), limits);
+}
+
+Result<PathSet> SourceTraversal(const EdgeUniverse& universe,
+                                const std::vector<VertexId>& sources, size_t n,
+                                bool complement, const PathSetLimits& limits) {
+  if (n == 0) return PathSet::EpsilonSet();
+  std::vector<EdgePattern> steps = UniformSteps(n, EdgePattern::Any());
+  steps.front() = EdgePattern::FromAnyOf(sources, complement);
+  return FoldJoin(universe, steps, limits);
+}
+
+Result<PathSet> DestinationTraversal(const EdgeUniverse& universe,
+                                     const std::vector<VertexId>& destinations,
+                                     size_t n, bool complement,
+                                     const PathSetLimits& limits) {
+  if (n == 0) return PathSet::EpsilonSet();
+  std::vector<EdgePattern> steps = UniformSteps(n, EdgePattern::Any());
+  steps.back() = EdgePattern::IntoAnyOf(destinations, complement);
+  return FoldJoin(universe, steps, limits);
+}
+
+Result<PathSet> SourceDestinationTraversal(
+    const EdgeUniverse& universe, const std::vector<VertexId>& sources,
+    const std::vector<VertexId>& destinations, size_t n,
+    const PathSetLimits& limits) {
+  if (n == 0) return PathSet::EpsilonSet();
+  std::vector<EdgePattern> steps = UniformSteps(n, EdgePattern::Any());
+  steps.front() = EdgePattern::FromAnyOf(sources);
+  if (n == 1) {
+    // A single step must satisfy both restrictions at once.
+    steps.front() = EdgePattern(IdConstraint(sources), IdConstraint(),
+                                IdConstraint(destinations));
+  } else {
+    steps.back() = EdgePattern::IntoAnyOf(destinations);
+  }
+  return FoldJoin(universe, steps, limits);
+}
+
+Result<PathSet> LabeledTraversal(
+    const EdgeUniverse& universe,
+    const std::vector<std::vector<LabelId>>& step_labels,
+    const PathSetLimits& limits) {
+  std::vector<EdgePattern> steps;
+  steps.reserve(step_labels.size());
+  for (const std::vector<LabelId>& labels : step_labels) {
+    steps.push_back(labels.empty() ? EdgePattern::Any()
+                                   : EdgePattern::LabeledAnyOf(labels));
+  }
+  return FoldJoin(universe, steps, limits);
+}
+
+Result<PathSet> Traverse(const EdgeUniverse& universe,
+                         const TraversalSpec& spec) {
+  return FoldJoin(universe, spec.steps, spec.limits);
+}
+
+}  // namespace mrpa

@@ -1,0 +1,72 @@
+// The basic traversal idioms of §III, expressed directly over the algebra.
+//
+//   Complete traversal     E ⋈◦ ... ⋈◦ E (n times)          — §III-A
+//   Source traversal       A ⋈◦ E ... ⋈◦ E, A = {e | γ−(e) ∈ Vs}  — §III-B
+//   Destination traversal  E ⋈◦ ... E ⋈◦ B, B = {e | γ+(e) ∈ Vd}  — §III-C
+//   Labeled traversal      A ⋈◦ B, A/B restricted by Ωe/Ωf        — §III-D
+//
+// Each function materializes the denoted path set. The TraversalSpec form
+// composes all the restrictions (a per-step label set plus source and
+// destination vertex sets) into one n-step traversal, which is how the
+// combined idioms at the end of §III-C are expressed.
+
+#ifndef MRPA_CORE_TRAVERSAL_H_
+#define MRPA_CORE_TRAVERSAL_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/edge_universe.h"
+#include "core/path_set.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// All joint paths of length exactly `n` (§III-A). n = 0 yields {ε}.
+Result<PathSet> CompleteTraversal(const EdgeUniverse& universe, size_t n,
+                                  const PathSetLimits& limits = {});
+
+// All joint paths of length `n` whose tail vertex lies in `sources`
+// (§III-B). Pass `complement = true` for the Vs-bar form ("start anywhere
+// except Vs").
+Result<PathSet> SourceTraversal(const EdgeUniverse& universe,
+                                const std::vector<VertexId>& sources, size_t n,
+                                bool complement = false,
+                                const PathSetLimits& limits = {});
+
+// All joint paths of length `n` whose head vertex lies in `destinations`
+// (§III-C).
+Result<PathSet> DestinationTraversal(const EdgeUniverse& universe,
+                                     const std::vector<VertexId>& destinations,
+                                     size_t n, bool complement = false,
+                                     const PathSetLimits& limits = {});
+
+// Source and destination combined: emanate from Vs, arrive in Vd, length n.
+Result<PathSet> SourceDestinationTraversal(
+    const EdgeUniverse& universe, const std::vector<VertexId>& sources,
+    const std::vector<VertexId>& destinations, size_t n,
+    const PathSetLimits& limits = {});
+
+// Labeled traversal (§III-D): one label set per step; step k of the result
+// paths carries a label in `step_labels[k]`. An empty inner vector means Ω
+// (unrestricted) for that step.
+Result<PathSet> LabeledTraversal(
+    const EdgeUniverse& universe,
+    const std::vector<std::vector<LabelId>>& step_labels,
+    const PathSetLimits& limits = {});
+
+// The fully general n-step traversal: an arbitrary EdgePattern per step,
+// joined left-to-right. This subsumes all of the above (each idiom is a
+// particular pattern sequence) and is what the fluent engine lowers to.
+struct TraversalSpec {
+  std::vector<EdgePattern> steps;
+  PathSetLimits limits;
+};
+
+Result<PathSet> Traverse(const EdgeUniverse& universe,
+                         const TraversalSpec& spec);
+
+}  // namespace mrpa
+
+#endif  // MRPA_CORE_TRAVERSAL_H_

@@ -1,0 +1,179 @@
+#include "engine/chain_planner.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/simplify.h"
+
+namespace mrpa {
+
+namespace {
+
+bool FlattenChain(const PathExpr& expr, std::vector<EdgePattern>& out) {
+  switch (expr.kind()) {
+    case ExprKind::kAtom:
+      out.push_back(expr.pattern());
+      return true;
+    case ExprKind::kEpsilon:
+      return true;  // Identity of ⋈◦: contributes no step.
+    case ExprKind::kJoin:
+      return FlattenChain(*expr.children()[0], out) &&
+             FlattenChain(*expr.children()[1], out);
+    case ExprKind::kPower: {
+      if (expr.children()[0]->kind() != ExprKind::kAtom) return false;
+      for (size_t k = 0; k < expr.power(); ++k) {
+        out.push_back(expr.children()[0]->pattern());
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::optional<std::vector<EdgePattern>> ExtractAtomChain(
+    const PathExpr& expr) {
+  std::vector<EdgePattern> steps;
+  if (!FlattenChain(expr, steps)) return std::nullopt;
+  return steps;
+}
+
+size_t EstimatePatternCardinality(const EdgeUniverse& universe,
+                                  const EdgePattern& pattern) {
+  size_t bound = universe.num_edges();
+
+  // Each indexable positional constraint gives an exact count for that
+  // position alone; the conjunction is at most the minimum of them.
+  auto tail_count = [&](VertexId v) -> size_t {
+    return v < universe.num_vertices() ? universe.OutEdges(v).size() : 0;
+  };
+  auto head_count = [&](VertexId v) -> size_t {
+    return v < universe.num_vertices() ? universe.InEdgeIndices(v).size() : 0;
+  };
+  auto label_count = [&](LabelId l) -> size_t {
+    return l < universe.num_labels() ? universe.LabelEdgeIndices(l).size()
+                                     : 0;
+  };
+
+  const IdConstraint& tail = pattern.tail();
+  if (!tail.IsUnconstrained() && !tail.negated()) {
+    size_t total = 0;
+    for (uint32_t v : *tail.ids()) total += tail_count(v);
+    bound = std::min(bound, total);
+  }
+  const IdConstraint& head = pattern.head();
+  if (!head.IsUnconstrained() && !head.negated()) {
+    size_t total = 0;
+    for (uint32_t v : *head.ids()) total += head_count(v);
+    bound = std::min(bound, total);
+  }
+  const IdConstraint& label = pattern.label();
+  if (!label.IsUnconstrained() && !label.negated()) {
+    size_t total = 0;
+    for (uint32_t l : *label.ids()) total += label_count(l);
+    bound = std::min(bound, total);
+  }
+  return bound;
+}
+
+ChainPlan PlanChain(const EdgeUniverse& universe,
+                    const std::vector<EdgePattern>& steps) {
+  ChainPlan plan;
+  if (steps.empty()) return plan;
+  plan.forward_seed_estimate =
+      EstimatePatternCardinality(universe, steps.front());
+  plan.backward_seed_estimate =
+      EstimatePatternCardinality(universe, steps.back());
+  plan.direction = plan.backward_seed_estimate < plan.forward_seed_estimate
+                       ? ChainDirection::kBackward
+                       : ChainDirection::kForward;
+  return plan;
+}
+
+namespace {
+
+Result<PathSet> EvaluateForward(const EdgeUniverse& universe,
+                                const std::vector<EdgePattern>& steps,
+                                const PathSetLimits& limits) {
+  const size_t limit =
+      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+  PathSet acc =
+      PathSet::FromEdges(CollectMatchingEdges(universe, steps.front()));
+  for (size_t k = 1; k < steps.size() && !acc.empty(); ++k) {
+    PathSetBuilder builder;
+    Status overflow;
+    for (const Path& p : acc) {
+      ForEachMatchingOutEdge(
+          universe, p.Head(), steps[k], [&](const Edge& e) {
+            if (!overflow.ok()) return;
+            if (builder.staged_size() >= limit) {
+              overflow = Status::ResourceExhausted(
+                  "chain evaluation exceeded max_paths = " +
+                  std::to_string(limit));
+              return;
+            }
+            Path extended = p;
+            extended.Append(e);
+            builder.Add(std::move(extended));
+          });
+      if (!overflow.ok()) return overflow;
+    }
+    acc = builder.Build();
+  }
+  return acc;
+}
+
+Result<PathSet> EvaluateBackward(const EdgeUniverse& universe,
+                                 const std::vector<EdgePattern>& steps,
+                                 const PathSetLimits& limits) {
+  const size_t limit =
+      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+  PathSet acc =
+      PathSet::FromEdges(CollectMatchingEdges(universe, steps.back()));
+  for (size_t k = steps.size() - 1; k-- > 0 && !acc.empty();) {
+    PathSetBuilder builder;
+    for (const Path& p : acc) {
+      // Extend at the tail: edges whose head is γ−(p), via the in-index.
+      for (EdgeIndex idx : universe.InEdgeIndices(p.Tail())) {
+        const Edge& e = universe.EdgeAt(idx);
+        if (!steps[k].Matches(e)) continue;
+        if (builder.staged_size() >= limit) {
+          return Status::ResourceExhausted(
+              "chain evaluation exceeded max_paths = " +
+              std::to_string(limit));
+        }
+        builder.Add(Path(e).Concat(p));
+      }
+    }
+    acc = builder.Build();
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<PathSet> EvaluateChain(const EdgeUniverse& universe,
+                              const std::vector<EdgePattern>& steps,
+                              ChainDirection direction,
+                              const PathSetLimits& limits) {
+  if (steps.empty()) return PathSet::EpsilonSet();
+  return direction == ChainDirection::kForward
+             ? EvaluateForward(universe, steps, limits)
+             : EvaluateBackward(universe, steps, limits);
+}
+
+Result<PathSet> EvaluatePlanned(const PathExpr& expr,
+                                const EdgeUniverse& universe,
+                                const EvalOptions& options) {
+  // Simplification first: collapsing ε/∅ nodes exposes atom chains.
+  PathExprPtr simplified = Simplify(expr.shared_from_this());
+  std::optional<std::vector<EdgePattern>> chain =
+      ExtractAtomChain(*simplified);
+  if (!chain.has_value()) return simplified->Evaluate(universe, options);
+  ChainPlan plan = PlanChain(universe, *chain);
+  return EvaluateChain(universe, *chain, plan.direction, options.limits);
+}
+
+}  // namespace mrpa

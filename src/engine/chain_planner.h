@@ -1,0 +1,78 @@
+// A cardinality-guided evaluation planner for join chains — the seed of the
+// query optimizer a production traversal engine would grow around the
+// algebra.
+//
+// The §III fold (core/traversal.h) always evaluates A₁ ⋈◦ A₂ ⋈◦ ... ⋈◦ Aₙ
+// left to right. That is the wrong order when the chain is
+// destination-selective: E ⋈◦ E ⋈◦ [_,_,v] seeds with ALL of E and prunes
+// only at the last step, while the same query evaluated right to left seeds
+// with v's in-edges and stays small throughout. ⋈◦ is associative (the
+// paper proves it), so both orders denote the same set — the planner just
+// picks the cheaper seed end using index statistics:
+//
+//   1. ExtractAtomChain: is the expression a pure ⋈◦ chain of atoms?
+//   2. EstimatePatternCardinality: exact-or-upper-bound edge counts from
+//      the universe's indices (no data scan).
+//   3. PlanChain: compare the two chain ends, pick a direction.
+//   4. EvaluateChain: run the fold forward, or backward (extending paths at
+//      their tail via the in-index).
+//
+// Experiment E12 (bench_planner) measures the ablation: planned vs naive on
+// selectivity-skewed chains.
+
+#ifndef MRPA_ENGINE_CHAIN_PLANNER_H_
+#define MRPA_ENGINE_CHAIN_PLANNER_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/edge_universe.h"
+#include "core/expr.h"
+#include "core/path_set.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Flattens `expr` into its ⋈◦ chain of atom patterns, if it is one
+// (arbitrary nesting of kJoin over kAtom leaves; kEpsilon leaves vanish).
+// Returns nullopt for anything else — union, star, product, literals.
+std::optional<std::vector<EdgePattern>> ExtractAtomChain(const PathExpr& expr);
+
+// |{e ∈ E : pattern matches e}|, exactly when an index answers it (point
+// tail / head / label constraints, including small sets), otherwise an
+// upper bound (|E|). Never scans edge data.
+size_t EstimatePatternCardinality(const EdgeUniverse& universe,
+                                  const EdgePattern& pattern);
+
+enum class ChainDirection {
+  kForward,   // Seed with steps.front(), extend at head (the §III fold).
+  kBackward,  // Seed with steps.back(), extend at tail via the in-index.
+};
+
+struct ChainPlan {
+  ChainDirection direction = ChainDirection::kForward;
+  size_t forward_seed_estimate = 0;
+  size_t backward_seed_estimate = 0;
+};
+
+// Picks the cheaper seed end. Empty chains plan forward trivially.
+ChainPlan PlanChain(const EdgeUniverse& universe,
+                    const std::vector<EdgePattern>& steps);
+
+// Evaluates the chain in the given direction; both directions produce the
+// identical path set (⋈◦ associativity).
+Result<PathSet> EvaluateChain(const EdgeUniverse& universe,
+                              const std::vector<EdgePattern>& steps,
+                              ChainDirection direction,
+                              const PathSetLimits& limits = {});
+
+// One-call form: extract, plan, evaluate; falls back to PathExpr::Evaluate
+// for non-chain expressions.
+Result<PathSet> EvaluatePlanned(const PathExpr& expr,
+                                const EdgeUniverse& universe,
+                                const EvalOptions& options = {});
+
+}  // namespace mrpa
+
+#endif  // MRPA_ENGINE_CHAIN_PLANNER_H_

@@ -1,0 +1,387 @@
+#include "engine/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace mrpa {
+
+namespace {
+
+enum class TokenKind {
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLParen,     // (
+  kRParen,     // )
+  kLBrace,     // {
+  kRBrace,     // }
+  kComma,      // ,
+  kUnderscore, // _
+  kBang,       // !
+  kUnion,      // | or ∪
+  kJoin,       // . or ⋈
+  kProduct,    // >< or ×
+  kStar,       // *
+  kPlus,       // +
+  kQuestion,   // ?
+  kCaret,      // ^
+  kEmpty,      // empty or ∅
+  kEpsilon,    // eps or ε
+  kTerm,       // NAME or NUMBER
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // For kTerm.
+  size_t position;   // Byte offset, for error messages.
+};
+
+Status ParseError(size_t position, const std::string& message) {
+  return Status::InvalidArgument("parse error at offset " +
+                                 std::to_string(position) + ": " + message);
+}
+
+bool IsTermChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+         c == ':' || c == '/' || c == '@';
+}
+
+// Multi-byte glyph aliases, checked by prefix.
+struct Glyph {
+  std::string_view utf8;
+  TokenKind kind;
+};
+constexpr Glyph kGlyphs[] = {
+    {"∪", TokenKind::kUnion},   {"⋈", TokenKind::kJoin},
+    {"×", TokenKind::kProduct}, {"∅", TokenKind::kEmpty},
+    {"ε", TokenKind::kEpsilon},
+};
+
+Result<std::vector<Token>> Tokenize(std::string_view text) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    bool matched_glyph = false;
+    for (const Glyph& glyph : kGlyphs) {
+      if (text.substr(i, glyph.utf8.size()) == glyph.utf8) {
+        tokens.push_back({glyph.kind, "", start});
+        i += glyph.utf8.size();
+        matched_glyph = true;
+        break;
+      }
+    }
+    if (matched_glyph) continue;
+
+    switch (c) {
+      case '[':
+        tokens.push_back({TokenKind::kLBracket, "", start});
+        ++i;
+        continue;
+      case ']':
+        tokens.push_back({TokenKind::kRBracket, "", start});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "", start});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, "", start});
+        ++i;
+        continue;
+      case '{':
+        tokens.push_back({TokenKind::kLBrace, "", start});
+        ++i;
+        continue;
+      case '}':
+        tokens.push_back({TokenKind::kRBrace, "", start});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, "", start});
+        ++i;
+        continue;
+      case '!':
+        tokens.push_back({TokenKind::kBang, "", start});
+        ++i;
+        continue;
+      case '|':
+        tokens.push_back({TokenKind::kUnion, "", start});
+        ++i;
+        continue;
+      case '.':
+        tokens.push_back({TokenKind::kJoin, "", start});
+        ++i;
+        continue;
+      case '*':
+        tokens.push_back({TokenKind::kStar, "", start});
+        ++i;
+        continue;
+      case '+':
+        tokens.push_back({TokenKind::kPlus, "", start});
+        ++i;
+        continue;
+      case '?':
+        tokens.push_back({TokenKind::kQuestion, "", start});
+        ++i;
+        continue;
+      case '^':
+        tokens.push_back({TokenKind::kCaret, "", start});
+        ++i;
+        continue;
+      case '>':
+        if (i + 1 < text.size() && text[i + 1] == '<') {
+          tokens.push_back({TokenKind::kProduct, "", start});
+          i += 2;
+          continue;
+        }
+        return ParseError(start, "stray '>' (product is '><')");
+      default:
+        break;
+    }
+
+    if (c == '_' && (i + 1 >= text.size() || !IsTermChar(text[i + 1]))) {
+      tokens.push_back({TokenKind::kUnderscore, "", start});
+      ++i;
+      continue;
+    }
+    if (IsTermChar(c) || c == '_') {
+      size_t end = i;
+      while (end < text.size() &&
+             (IsTermChar(text[end]) || text[end] == '_')) {
+        ++end;
+      }
+      std::string word(text.substr(i, end - i));
+      if (word == "empty") {
+        tokens.push_back({TokenKind::kEmpty, "", start});
+      } else if (word == "eps" || word == "epsilon") {
+        tokens.push_back({TokenKind::kEpsilon, "", start});
+      } else {
+        tokens.push_back({TokenKind::kTerm, std::move(word), start});
+      }
+      i = end;
+      continue;
+    }
+    return ParseError(start, std::string("unexpected character '") + c + "'");
+  }
+  tokens.push_back({TokenKind::kEnd, "", text.size()});
+  return tokens;
+}
+
+// Which atom position a field occupies, for name resolution.
+enum class FieldSlot { kTail, kLabel, kHead };
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const MultiRelationalGraph* graph)
+      : tokens_(std::move(tokens)), graph_(graph) {}
+
+  Result<PathExprPtr> Parse() {
+    Result<PathExprPtr> expr = ParseUnion();
+    if (!expr.ok()) return expr;
+    if (Peek().kind != TokenKind::kEnd) {
+      return ParseError(Peek().position, "trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[cursor_]; }
+  Token Advance() { return tokens_[cursor_++]; }
+  bool Accept(TokenKind kind) {
+    if (Peek().kind == kind) {
+      ++cursor_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<PathExprPtr> ParseUnion() {
+    Result<PathExprPtr> lhs = ParseSeq();
+    if (!lhs.ok()) return lhs;
+    PathExprPtr expr = lhs.value();
+    while (Accept(TokenKind::kUnion)) {
+      Result<PathExprPtr> rhs = ParseSeq();
+      if (!rhs.ok()) return rhs;
+      expr = PathExpr::MakeUnion(std::move(expr), std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<PathExprPtr> ParseSeq() {
+    Result<PathExprPtr> lhs = ParsePostfix();
+    if (!lhs.ok()) return lhs;
+    PathExprPtr expr = lhs.value();
+    while (true) {
+      if (Accept(TokenKind::kJoin)) {
+        Result<PathExprPtr> rhs = ParsePostfix();
+        if (!rhs.ok()) return rhs;
+        expr = PathExpr::MakeJoin(std::move(expr), std::move(rhs).value());
+      } else if (Accept(TokenKind::kProduct)) {
+        Result<PathExprPtr> rhs = ParsePostfix();
+        if (!rhs.ok()) return rhs;
+        expr = PathExpr::MakeProduct(std::move(expr), std::move(rhs).value());
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<PathExprPtr> ParsePostfix() {
+    Result<PathExprPtr> primary = ParsePrimary();
+    if (!primary.ok()) return primary;
+    PathExprPtr expr = primary.value();
+    while (true) {
+      if (Accept(TokenKind::kStar)) {
+        expr = PathExpr::MakeStar(std::move(expr));
+      } else if (Accept(TokenKind::kPlus)) {
+        expr = PathExpr::MakePlus(std::move(expr));
+      } else if (Accept(TokenKind::kQuestion)) {
+        expr = PathExpr::MakeOptional(std::move(expr));
+      } else if (Accept(TokenKind::kCaret)) {
+        const Token& exponent = Peek();
+        uint64_t n = 0;
+        if (exponent.kind != TokenKind::kTerm ||
+            !ParseUint64(exponent.text, &n)) {
+          return ParseError(exponent.position,
+                            "'^' must be followed by a number");
+        }
+        Advance();
+        expr = PathExpr::MakePower(std::move(expr), static_cast<size_t>(n));
+      } else {
+        return expr;
+      }
+    }
+  }
+
+  Result<PathExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kLParen: {
+        Advance();
+        Result<PathExprPtr> inner = ParseUnion();
+        if (!inner.ok()) return inner;
+        if (!Accept(TokenKind::kRParen)) {
+          return ParseError(Peek().position, "expected ')'");
+        }
+        return inner;
+      }
+      case TokenKind::kEmpty:
+        Advance();
+        return PathExpr::Empty();
+      case TokenKind::kEpsilon:
+        Advance();
+        return PathExpr::Epsilon();
+      case TokenKind::kLBracket:
+        return ParseAtom();
+      default:
+        return ParseError(token.position,
+                          "expected '(', '[', 'empty', or 'eps'");
+    }
+  }
+
+  Result<PathExprPtr> ParseAtom() {
+    Advance();  // '['.
+    Result<IdConstraint> tail = ParseField(FieldSlot::kTail);
+    if (!tail.ok()) return tail.status();
+    if (!Accept(TokenKind::kComma)) {
+      return ParseError(Peek().position, "expected ',' in atom");
+    }
+    Result<IdConstraint> label = ParseField(FieldSlot::kLabel);
+    if (!label.ok()) return label.status();
+    if (!Accept(TokenKind::kComma)) {
+      return ParseError(Peek().position, "expected ',' in atom");
+    }
+    Result<IdConstraint> head = ParseField(FieldSlot::kHead);
+    if (!head.ok()) return head.status();
+    if (!Accept(TokenKind::kRBracket)) {
+      return ParseError(Peek().position, "expected ']'");
+    }
+    return PathExpr::Atom(EdgePattern(std::move(tail).value(),
+                                      std::move(label).value(),
+                                      std::move(head).value()));
+  }
+
+  Result<IdConstraint> ParseField(FieldSlot slot) {
+    if (Accept(TokenKind::kBang)) {
+      Result<IdConstraint> inner = ParseField(slot);
+      if (!inner.ok()) return inner;
+      if (inner->IsUnconstrained()) {
+        // !_ matches nothing: the complement of everything.
+        return IdConstraint(std::vector<uint32_t>{}, /*negated=*/false);
+      }
+      return IdConstraint(*inner->ids(), !inner->negated());
+    }
+    if (Accept(TokenKind::kUnderscore)) {
+      return IdConstraint();
+    }
+    if (Accept(TokenKind::kLBrace)) {
+      std::vector<uint32_t> ids;
+      while (true) {
+        const Token& token = Peek();
+        if (token.kind != TokenKind::kTerm) {
+          return ParseError(token.position, "expected id or name in set");
+        }
+        Result<uint32_t> id = ResolveTerm(Advance(), slot);
+        if (!id.ok()) return id.status();
+        ids.push_back(id.value());
+        if (Accept(TokenKind::kRBrace)) break;
+        if (!Accept(TokenKind::kComma)) {
+          return ParseError(Peek().position, "expected ',' or '}' in set");
+        }
+      }
+      return IdConstraint(std::move(ids));
+    }
+    const Token& token = Peek();
+    if (token.kind != TokenKind::kTerm) {
+      return ParseError(token.position,
+                        "expected '_', '!', '{', id, or name");
+    }
+    Result<uint32_t> id = ResolveTerm(Advance(), slot);
+    if (!id.ok()) return id.status();
+    return IdConstraint::Exactly(id.value());
+  }
+
+  Result<uint32_t> ResolveTerm(const Token& token, FieldSlot slot) {
+    uint64_t numeric = 0;
+    if (ParseUint64(token.text, &numeric)) {
+      return static_cast<uint32_t>(numeric);
+    }
+    if (graph_ == nullptr) {
+      return ParseError(token.position, "name '" + token.text +
+                                            "' but no graph bound for "
+                                            "resolution");
+    }
+    if (slot == FieldSlot::kLabel) {
+      if (auto id = graph_->FindLabel(token.text); id.has_value()) return *id;
+      return ParseError(token.position, "unknown label '" + token.text + "'");
+    }
+    if (auto id = graph_->FindVertex(token.text); id.has_value()) return *id;
+    return ParseError(token.position, "unknown vertex '" + token.text + "'");
+  }
+
+  std::vector<Token> tokens_;
+  const MultiRelationalGraph* graph_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace
+
+Result<PathExprPtr> ParsePathExpr(std::string_view text,
+                                  const MultiRelationalGraph* graph) {
+  Result<std::vector<Token>> tokens = Tokenize(text);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value(), graph);
+  return parser.Parse();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,49 @@
+// A text syntax for regular path expressions (§IV-A), so expressions can be
+// written in queries, config files, and the mrpa_shell example instead of
+// being assembled with factory calls.
+//
+// Grammar (ASCII-first; the paper's glyphs are accepted as aliases):
+//
+//   expr    := union
+//   union   := seq ( ('|' | '∪') seq )*
+//   seq     := postfix ( ('.' | '⋈') postfix        join (concatenation)
+//                      | ('><' | '×') postfix )*     product
+//   postfix := primary ( '*' | '+' | '?' | '^' INT )*
+//   primary := '(' expr ')' | 'empty' | '∅' | 'eps' | 'ε' | atom
+//   atom    := '[' field ',' field ',' field ']'
+//   field   := '_'                      unconstrained
+//            | term                     single id
+//            | '{' term (',' term)* '}' id set
+//            | '!' field                complement (negation)
+//   term    := NUMBER | NAME            names resolve via the bound graph
+//
+// Examples:
+//   [marko, knows, _] . [_, created, _]
+//   [i, a, _] . [_, b, _]* . (([_, a, j] . [j, a, i]) | [_, a, k])
+//   [_, likes, _] >< [_, likes, _]        (disjoint pairs, ×◦)
+//   [_, !{knows}, _]                      (any label except knows)
+//
+// Name resolution: tail/head fields resolve against the graph's vertex
+// dictionary, the middle field against the label dictionary; bare numbers
+// are used as ids directly. Parsing without a graph restricts terms to
+// numbers.
+
+#ifndef MRPA_ENGINE_PARSER_H_
+#define MRPA_ENGINE_PARSER_H_
+
+#include <string_view>
+
+#include "core/expr.h"
+#include "graph/multi_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Parses `text` into an expression tree. `graph` supplies name resolution
+// and may be null (numeric ids only). Errors carry the offending position.
+Result<PathExprPtr> ParsePathExpr(std::string_view text,
+                                  const MultiRelationalGraph* graph = nullptr);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ENGINE_PARSER_H_

@@ -1,0 +1,94 @@
+#include "engine/path_iterator.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+StepPathIterator::StepPathIterator(const EdgeUniverse& universe,
+                                   std::vector<EdgePattern> steps)
+    : universe_(universe), steps_(std::move(steps)) {
+  SeekToFirst();
+}
+
+void StepPathIterator::SeekToFirst() {
+  stack_.clear();
+  current_ = Path();
+  yielded_ = 0;
+  exhausted_epsilon_ = false;
+
+  if (steps_.empty()) {
+    valid_ = true;  // The 0-step traversal denotes {ε}.
+    yielded_ = 1;
+    return;
+  }
+
+  Frame root;
+  FillFrame(0, kInvalidVertex, root);
+  stack_.push_back(std::move(root));
+  valid_ = true;  // Tentative; Advance() clears it if nothing exists.
+  Advance();
+}
+
+void StepPathIterator::Next() {
+  if (!valid_) return;
+  if (steps_.empty()) {
+    // ε was the only element.
+    valid_ = false;
+    exhausted_epsilon_ = true;
+    return;
+  }
+  // Consume the deepest frame's current edge and move on.
+  ++stack_.back().cursor;
+  Advance();
+}
+
+void StepPathIterator::FillFrame(size_t depth, VertexId prefix_head,
+                                 Frame& frame) {
+  frame.candidates.clear();
+  frame.cursor = 0;
+  const EdgePattern& step = steps_[depth];
+  if (depth == 0) {
+    frame.candidates = CollectMatchingEdges(universe_, step);
+    return;
+  }
+  ForEachMatchingOutEdge(universe_, prefix_head, step, [&](const Edge& e) {
+    frame.candidates.push_back(e);
+  });
+}
+
+void StepPathIterator::Advance() {
+  while (!stack_.empty()) {
+    Frame& top = stack_.back();
+    if (top.cursor >= top.candidates.size()) {
+      // This frame is exhausted; backtrack.
+      stack_.pop_back();
+      if (!stack_.empty()) ++stack_.back().cursor;
+      continue;
+    }
+    if (stack_.size() == steps_.size()) {
+      // A complete path: assemble it from the stack spine.
+      std::vector<Edge> edges;
+      edges.reserve(stack_.size());
+      for (const Frame& frame : stack_) {
+        edges.push_back(frame.candidates[frame.cursor]);
+      }
+      current_ = Path(std::move(edges));
+      ++yielded_;
+      return;
+    }
+    // Descend.
+    const Edge& chosen = top.candidates[top.cursor];
+    Frame next;
+    FillFrame(stack_.size(), chosen.head, next);
+    stack_.push_back(std::move(next));
+  }
+  valid_ = false;
+}
+
+PathSet DrainToPathSet(StepPathIterator& it) {
+  PathSetBuilder builder;
+  for (; it.Valid(); it.Next()) builder.Add(it.Current());
+  return builder.Build();
+}
+
+}  // namespace mrpa

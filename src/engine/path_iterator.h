@@ -1,0 +1,82 @@
+// Lazy path enumeration (RocksDB-style iterators).
+//
+// Materializing a PathSet is the right model for the algebra, but an engine
+// often only needs to stream paths (count them, take the first k, feed a
+// projection). StepPathIterator enumerates the joint paths of an n-step
+// pattern traversal — the same language FoldJoin/Traverse materializes —
+// one path at a time, in depth-first (lexicographic) order, holding only
+// the DFS spine in memory.
+//
+// Usage follows the RocksDB Iterator idiom:
+//   StepPathIterator it(graph, steps);
+//   for (it.SeekToFirst(); it.Valid(); it.Next()) use(it.Current());
+
+#ifndef MRPA_ENGINE_PATH_ITERATOR_H_
+#define MRPA_ENGINE_PATH_ITERATOR_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/edge_universe.h"
+#include "core/path.h"
+#include "core/path_set.h"
+
+namespace mrpa {
+
+class StepPathIterator {
+ public:
+  // `steps` may be empty, in which case the iterator yields exactly ε.
+  // The universe and the iterator must outlive each other's use; neither
+  // is owned.
+  StepPathIterator(const EdgeUniverse& universe,
+                   std::vector<EdgePattern> steps);
+
+  // Positions at the first path (implicitly called by the constructor).
+  void SeekToFirst();
+
+  bool Valid() const { return valid_; }
+
+  // Advances to the next path in lexicographic order. Requires Valid().
+  void Next();
+
+  // The current path; valid until the next Next()/SeekToFirst(). Requires
+  // Valid().
+  const Path& Current() const { return current_; }
+
+  // Paths yielded so far (including the current one).
+  size_t yielded() const { return yielded_; }
+
+ private:
+  struct Frame {
+    // The candidate edges for this step (the matching out-run of the
+    // previous head, or the step-0 seed edges) and the cursor within them.
+    std::vector<Edge> candidates;
+    size_t cursor = 0;
+  };
+
+  // Fills `frame` with step `depth` candidates extending `prefix_head`
+  // (ignored at depth 0).
+  void FillFrame(size_t depth, VertexId prefix_head, Frame& frame);
+
+  // Descends from the current stack until a full-length path is assembled
+  // or the stack empties.
+  void Advance();
+
+  const EdgeUniverse& universe_;
+  std::vector<EdgePattern> steps_;
+  std::vector<Frame> stack_;
+  Path current_;
+  bool valid_ = false;
+  bool exhausted_epsilon_ = false;  // For the empty-steps case.
+  size_t yielded_ = 0;
+};
+
+// Drains the iterator into a PathSet — equivalent to Traverse() and used to
+// cross-check the two engines in tests.
+PathSet DrainToPathSet(StepPathIterator& it);
+
+}  // namespace mrpa
+
+#endif  // MRPA_ENGINE_PATH_ITERATOR_H_

@@ -1,0 +1,48 @@
+#include "generators/generators.h"
+#include "util/random.h"
+
+namespace mrpa {
+
+Result<MultiRelationalGraph> GenerateBarabasiAlbert(
+    const BarabasiAlbertParams& params) {
+  if (params.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  if (params.num_labels == 0) {
+    return Status::InvalidArgument("num_labels must be positive");
+  }
+  if (params.edges_per_vertex == 0) {
+    return Status::InvalidArgument("edges_per_vertex must be positive");
+  }
+
+  Rng rng(params.seed);
+  MultiGraphBuilder builder;
+  builder.ReserveVertices(params.num_vertices);
+  builder.ReserveLabels(params.num_labels);
+
+  // `attachment` holds one entry per (in-degree + 1) unit of attachment
+  // mass, so a uniform draw from it is a preferential draw over vertices.
+  std::vector<VertexId> attachment;
+  attachment.reserve(static_cast<size_t>(params.num_vertices) *
+                     (params.edges_per_vertex + 1));
+  attachment.push_back(0);  // Seed vertex 0 with baseline mass.
+
+  for (VertexId v = 1; v < params.num_vertices; ++v) {
+    const uint32_t fanout =
+        std::min<uint32_t>(params.edges_per_vertex, v);
+    for (uint32_t k = 0; k < fanout; ++k) {
+      VertexId target =
+          attachment[static_cast<size_t>(rng.Below(attachment.size()))];
+      if (target == v) {
+        target = static_cast<VertexId>(rng.Below(v));  // No self-loops.
+      }
+      LabelId label = static_cast<LabelId>(rng.Below(params.num_labels));
+      builder.AddEdge(v, label, target);
+      attachment.push_back(target);  // Target gained in-degree.
+    }
+    attachment.push_back(v);  // Baseline mass for the newcomer.
+  }
+  return builder.Build();
+}
+
+}  // namespace mrpa

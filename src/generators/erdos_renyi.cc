@@ -1,0 +1,72 @@
+#include <unordered_set>
+
+#include "generators/generators.h"
+#include "util/hash.h"
+#include "util/random.h"
+
+namespace mrpa {
+
+Result<MultiRelationalGraph> GenerateErdosRenyi(
+    const ErdosRenyiParams& params) {
+  if (params.num_vertices == 0) {
+    return Status::InvalidArgument("num_vertices must be positive");
+  }
+  if (params.num_labels == 0) {
+    return Status::InvalidArgument("num_labels must be positive");
+  }
+  const uint64_t n = params.num_vertices;
+  const uint64_t loop_slots = params.allow_self_loops ? 0 : n;
+  const uint64_t capacity =
+      (n * n - loop_slots) * static_cast<uint64_t>(params.num_labels);
+  if (params.num_edges > capacity) {
+    return Status::InvalidArgument(
+        "requested " + std::to_string(params.num_edges) +
+        " distinct edges but V×Ω×V only holds " + std::to_string(capacity));
+  }
+
+  Rng rng(params.seed);
+  MultiGraphBuilder builder;
+  builder.ReserveVertices(params.num_vertices);
+  builder.ReserveLabels(params.num_labels);
+
+  // Rejection sampling of distinct triples. Dense requests (> 1/2 of the
+  // space) would degenerate, so fall back to sampling the complement size
+  // via shuffle when the request is very dense.
+  if (params.num_edges * 2 <= capacity) {
+    std::unordered_set<uint64_t> seen;
+    seen.reserve(params.num_edges * 2);
+    while (seen.size() < params.num_edges) {
+      VertexId tail = static_cast<VertexId>(rng.Below(n));
+      VertexId head = static_cast<VertexId>(rng.Below(n));
+      if (!params.allow_self_loops && tail == head) continue;
+      LabelId label = static_cast<LabelId>(rng.Below(params.num_labels));
+      uint64_t key = (static_cast<uint64_t>(tail) * n + head) *
+                         params.num_labels +
+                     label;
+      if (seen.insert(key).second) builder.AddEdge(tail, label, head);
+    }
+  } else {
+    // Enumerate the full space and sample without replacement.
+    std::vector<uint64_t> keys;
+    keys.reserve(capacity);
+    for (uint64_t t = 0; t < n; ++t) {
+      for (uint64_t h = 0; h < n; ++h) {
+        if (!params.allow_self_loops && t == h) continue;
+        for (uint64_t l = 0; l < params.num_labels; ++l) {
+          keys.push_back((t * n + h) * params.num_labels + l);
+        }
+      }
+    }
+    rng.Shuffle(keys);
+    for (size_t i = 0; i < params.num_edges; ++i) {
+      uint64_t key = keys[i];
+      LabelId label = static_cast<LabelId>(key % params.num_labels);
+      uint64_t pair = key / params.num_labels;
+      builder.AddEdge(static_cast<VertexId>(pair / n), label,
+                      static_cast<VertexId>(pair % n));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace mrpa

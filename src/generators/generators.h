@@ -1,0 +1,95 @@
+// Synthetic multi-relational graph generators.
+//
+// The paper has no datasets (it is formal), so every experiment runs on
+// deterministic synthetic graphs whose shape parameters (|V|, |Ω|, density,
+// degree distribution) are what the algebra's cost actually depends on.
+// All generators take an explicit seed; identical (parameters, seed) pairs
+// produce identical graphs on every platform (see util/random.h).
+
+#ifndef MRPA_GENERATORS_GENERATORS_H_
+#define MRPA_GENERATORS_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/multi_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// G(n, m, |Ω|): multi-relational Erdős–Rényi. Draws `num_edges` distinct
+// (tail, label, head) triples uniformly from V × Ω × V. Self-loops allowed
+// unless `allow_self_loops` is false.
+struct ErdosRenyiParams {
+  uint32_t num_vertices = 0;
+  uint32_t num_labels = 1;
+  size_t num_edges = 0;
+  bool allow_self_loops = true;
+  uint64_t seed = 1;
+};
+Result<MultiRelationalGraph> GenerateErdosRenyi(const ErdosRenyiParams& params);
+
+// Multi-relational Barabási–Albert preferential attachment: vertices arrive
+// one at a time and attach `edges_per_vertex` out-edges to existing vertices
+// with probability proportional to (in-degree + 1); each new edge draws a
+// uniform label. Produces the heavy-tailed in-degree distributions real
+// multi-relational data (citation, social) exhibits.
+struct BarabasiAlbertParams {
+  uint32_t num_vertices = 0;
+  uint32_t num_labels = 1;
+  uint32_t edges_per_vertex = 2;
+  uint64_t seed = 1;
+};
+Result<MultiRelationalGraph> GenerateBarabasiAlbert(
+    const BarabasiAlbertParams& params);
+
+// A `width` × `height` directed lattice with a distinct label per direction
+// ("east" = label 0, "south" = label 1), optionally wrapping (torus).
+// Useful for experiments needing predictable path counts: the number of
+// joint east/south paths between lattice corners is a binomial coefficient.
+struct LatticeParams {
+  uint32_t width = 0;
+  uint32_t height = 0;
+  bool wrap = false;
+};
+Result<MultiRelationalGraph> GenerateLattice(const LatticeParams& params);
+
+// A schema-shaped social network in the style of the property-graph
+// datasets the paper's intro motivates (people know people, people create
+// and like items):
+//   knows   : person -> person  (preferential attachment)
+//   created : person -> item    (each item has exactly one creator)
+//   likes   : person -> item    (uniform, num_likes total)
+// Labels: 0 = knows, 1 = created, 2 = likes (named in the dictionary).
+struct SocialNetworkParams {
+  uint32_t num_people = 0;
+  uint32_t num_items = 0;
+  uint32_t knows_per_person = 3;
+  size_t num_likes = 0;
+  uint64_t seed = 1;
+};
+Result<MultiRelationalGraph> GenerateSocialNetwork(
+    const SocialNetworkParams& params);
+
+// Well-known label ids for GenerateSocialNetwork outputs.
+inline constexpr LabelId kSocialKnows = 0;
+inline constexpr LabelId kSocialCreated = 1;
+inline constexpr LabelId kSocialLikes = 2;
+
+// Multi-relational Watts–Strogatz small world: a directed ring lattice
+// (each vertex points to its next `neighbors_each_side` ring successors)
+// with each edge's head rewired uniformly with probability `rewire_prob`;
+// labels drawn uniformly. Produces the high-clustering / short-path regime
+// between the lattice and ER extremes.
+struct WattsStrogatzParams {
+  uint32_t num_vertices = 0;
+  uint32_t num_labels = 1;
+  uint32_t neighbors_each_side = 2;
+  double rewire_prob = 0.1;
+  uint64_t seed = 1;
+};
+Result<MultiRelationalGraph> GenerateWattsStrogatz(
+    const WattsStrogatzParams& params);
+
+}  // namespace mrpa
+
+#endif  // MRPA_GENERATORS_GENERATORS_H_

@@ -1,0 +1,37 @@
+#include "generators/generators.h"
+
+namespace mrpa {
+
+Result<MultiRelationalGraph> GenerateLattice(const LatticeParams& params) {
+  if (params.width == 0 || params.height == 0) {
+    return Status::InvalidArgument("lattice dimensions must be positive");
+  }
+
+  MultiGraphBuilder builder;
+  const LabelId east = builder.AddLabel("east");
+  const LabelId south = builder.AddLabel("south");
+  builder.ReserveVertices(params.width * params.height);
+
+  auto vertex_at = [&](uint32_t x, uint32_t y) -> VertexId {
+    return y * params.width + x;
+  };
+
+  for (uint32_t y = 0; y < params.height; ++y) {
+    for (uint32_t x = 0; x < params.width; ++x) {
+      const VertexId v = vertex_at(x, y);
+      if (x + 1 < params.width) {
+        builder.AddEdge(v, east, vertex_at(x + 1, y));
+      } else if (params.wrap && params.width > 1) {
+        builder.AddEdge(v, east, vertex_at(0, y));
+      }
+      if (y + 1 < params.height) {
+        builder.AddEdge(v, south, vertex_at(x, y + 1));
+      } else if (params.wrap && params.height > 1) {
+        builder.AddEdge(v, south, vertex_at(x, 0));
+      }
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,72 @@
+#include <unordered_set>
+
+#include "generators/generators.h"
+#include "util/random.h"
+
+namespace mrpa {
+
+Result<MultiRelationalGraph> GenerateSocialNetwork(
+    const SocialNetworkParams& params) {
+  if (params.num_people == 0) {
+    return Status::InvalidArgument("num_people must be positive");
+  }
+  if (params.num_items == 0) {
+    return Status::InvalidArgument("num_items must be positive");
+  }
+
+  Rng rng(params.seed);
+  MultiGraphBuilder builder;
+  // Fix the label ids promised in generators.h.
+  const LabelId knows = builder.AddLabel("knows");
+  const LabelId created = builder.AddLabel("created");
+  const LabelId likes = builder.AddLabel("likes");
+
+  // People occupy ids [0, num_people); items [num_people, num_people+items).
+  const uint32_t total = params.num_people + params.num_items;
+  builder.ReserveVertices(total);
+  auto item_vertex = [&](uint32_t item) -> VertexId {
+    return params.num_people + item;
+  };
+
+  // knows: preferential attachment over people (heavy-tailed popularity).
+  if (params.num_people > 1) {
+    std::vector<VertexId> attachment = {0};
+    for (VertexId p = 1; p < params.num_people; ++p) {
+      const uint32_t fanout = std::min<uint32_t>(params.knows_per_person, p);
+      for (uint32_t k = 0; k < fanout; ++k) {
+        VertexId target =
+            attachment[static_cast<size_t>(rng.Below(attachment.size()))];
+        if (target == p) target = static_cast<VertexId>(rng.Below(p));
+        builder.AddEdge(p, knows, target);
+        attachment.push_back(target);
+      }
+      attachment.push_back(p);
+    }
+  }
+
+  // created: every item gets exactly one uniformly drawn creator.
+  for (uint32_t item = 0; item < params.num_items; ++item) {
+    VertexId creator = static_cast<VertexId>(rng.Below(params.num_people));
+    builder.AddEdge(creator, created, item_vertex(item));
+  }
+
+  // likes: num_likes distinct (person, item) pairs, uniform.
+  const uint64_t like_capacity =
+      static_cast<uint64_t>(params.num_people) * params.num_items;
+  const size_t target_likes = static_cast<size_t>(
+      std::min<uint64_t>(params.num_likes, like_capacity));
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(target_likes * 2);
+  while (seen.size() < target_likes) {
+    uint64_t person = rng.Below(params.num_people);
+    uint64_t item = rng.Below(params.num_items);
+    if (seen.insert(person * params.num_items + item).second) {
+      builder.AddEdge(static_cast<VertexId>(person), likes,
+                      item_vertex(static_cast<uint32_t>(item)));
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace mrpa

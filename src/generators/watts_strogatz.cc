@@ -1,0 +1,47 @@
+#include "generators/generators.h"
+#include "util/random.h"
+
+namespace mrpa {
+
+Result<MultiRelationalGraph> GenerateWattsStrogatz(
+    const WattsStrogatzParams& params) {
+  if (params.num_vertices < 3) {
+    return Status::InvalidArgument("need at least 3 vertices");
+  }
+  if (params.num_labels == 0) {
+    return Status::InvalidArgument("num_labels must be positive");
+  }
+  if (params.neighbors_each_side == 0 ||
+      params.neighbors_each_side * 2 >= params.num_vertices) {
+    return Status::InvalidArgument(
+        "neighbors_each_side must be in [1, (|V|-1)/2]");
+  }
+  if (params.rewire_prob < 0.0 || params.rewire_prob > 1.0) {
+    return Status::InvalidArgument("rewire_prob must lie in [0, 1]");
+  }
+
+  Rng rng(params.seed);
+  MultiGraphBuilder builder;
+  builder.ReserveVertices(params.num_vertices);
+  builder.ReserveLabels(params.num_labels);
+
+  const uint32_t n = params.num_vertices;
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t k = 1; k <= params.neighbors_each_side; ++k) {
+      VertexId head = (v + k) % n;
+      if (rng.Chance(params.rewire_prob)) {
+        // Rewire: uniform non-self target (may duplicate an existing edge;
+        // the builder's set semantics collapse those, as in the standard
+        // simple-graph WS construction).
+        do {
+          head = static_cast<VertexId>(rng.Below(n));
+        } while (head == v);
+      }
+      builder.AddEdge(v, static_cast<LabelId>(rng.Below(params.num_labels)),
+                      head);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,64 @@
+#include "graph/binary_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrpa {
+
+BinaryGraph BinaryGraph::FromArcs(
+    uint32_t num_vertices, std::vector<std::pair<VertexId, VertexId>> arcs) {
+  std::sort(arcs.begin(), arcs.end());
+  arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+
+  BinaryGraph g(num_vertices);
+  g.targets_.reserve(arcs.size());
+  for (const auto& [from, to] : arcs) {
+    assert(from < num_vertices && to < num_vertices);
+    ++g.offsets_[from + 1];
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  for (const auto& [from, to] : arcs) {
+    (void)from;
+    g.targets_.push_back(to);
+  }
+  return g;
+}
+
+bool BinaryGraph::HasArc(VertexId from, VertexId to) const {
+  std::span<const VertexId> succ = OutNeighbors(from);
+  return std::binary_search(succ.begin(), succ.end(), to);
+}
+
+BinaryGraph BinaryGraph::Reversed() const {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(num_arcs());
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    for (VertexId to : OutNeighbors(v)) arcs.emplace_back(to, v);
+  }
+  return FromArcs(num_vertices_, std::move(arcs));
+}
+
+BinaryGraph BinaryGraph::Symmetrized() const {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(num_arcs() * 2);
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    for (VertexId to : OutNeighbors(v)) {
+      arcs.emplace_back(v, to);
+      arcs.emplace_back(to, v);
+    }
+  }
+  return FromArcs(num_vertices_, std::move(arcs));
+}
+
+std::vector<std::pair<VertexId, VertexId>> BinaryGraph::Arcs() const {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(num_arcs());
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    for (VertexId to : OutNeighbors(v)) arcs.emplace_back(v, to);
+  }
+  return arcs;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,67 @@
+// BinaryGraph: a single-relational (unlabeled, directed) graph
+// G¨ = (V¨, E¨ ⊆ V¨ × V¨) in CSR form.
+//
+// This is the *output* side of §IV-C: path projections over the
+// multi-relational graph produce binary edge sets (e.g. E_α, E_αβ), and the
+// single-relational algorithm library (src/algorithms/) consumes this type.
+
+#ifndef MRPA_GRAPH_BINARY_GRAPH_H_
+#define MRPA_GRAPH_BINARY_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace mrpa {
+
+class BinaryGraph {
+ public:
+  // An empty graph over `num_vertices` isolated vertices.
+  explicit BinaryGraph(uint32_t num_vertices = 0)
+      : num_vertices_(num_vertices), offsets_(num_vertices + 1, 0) {}
+
+  // Builds from an arbitrary (possibly duplicated) arc list; duplicates
+  // collapse (E¨ is a set). Vertex ids must be < num_vertices.
+  static BinaryGraph FromArcs(
+      uint32_t num_vertices,
+      std::vector<std::pair<VertexId, VertexId>> arcs);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  size_t num_arcs() const { return targets_.size(); }
+
+  // Successors of v, sorted ascending.
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    if (v >= num_vertices_) return {};
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  size_t OutDegree(VertexId v) const { return OutNeighbors(v).size(); }
+
+  bool HasArc(VertexId from, VertexId to) const;
+
+  // The reversed graph (arc (i,j) becomes (j,i)); used by algorithms that
+  // need predecessor access.
+  BinaryGraph Reversed() const;
+
+  // The symmetric closure: every arc plus its reverse. Several classical
+  // centralities are defined over undirected graphs.
+  BinaryGraph Symmetrized() const;
+
+  // All arcs as pairs, in CSR order.
+  std::vector<std::pair<VertexId, VertexId>> Arcs() const;
+
+  friend bool operator==(const BinaryGraph&, const BinaryGraph&) = default;
+
+ private:
+  uint32_t num_vertices_ = 0;
+  std::vector<size_t> offsets_;    // Size num_vertices_ + 1.
+  std::vector<VertexId> targets_;  // Sorted within each vertex's run.
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_GRAPH_BINARY_GRAPH_H_

@@ -1,0 +1,155 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+namespace {
+
+// The per-vertex order: (label, head), matching a snapshot's out-run.
+bool OutOrder(const Edge& a, const Edge& b) {
+  return std::tie(a.label, a.head) < std::tie(b.label, b.head);
+}
+
+}  // namespace
+
+DynamicMultiGraph::DynamicMultiGraph(uint32_t num_vertices,
+                                     uint32_t num_labels)
+    : num_vertices_(num_vertices),
+      num_labels_(num_labels),
+      out_(num_vertices) {}
+
+DynamicMultiGraph::DynamicMultiGraph(const MultiRelationalGraph& snapshot)
+    : DynamicMultiGraph(snapshot.num_vertices(), snapshot.num_labels()) {
+  for (VertexId v = 0; v < snapshot.num_vertices(); ++v) {
+    auto run = snapshot.OutEdges(v);
+    out_[v].assign(run.begin(), run.end());  // Already (label, head)-sorted.
+  }
+  num_edges_ = snapshot.num_edges();
+}
+
+void DynamicMultiGraph::EnsureVertex(VertexId v) {
+  if (v >= num_vertices_) {
+    num_vertices_ = v + 1;
+    out_.resize(num_vertices_);
+  }
+}
+
+void DynamicMultiGraph::EnsureLabel(LabelId l) {
+  if (l >= num_labels_) num_labels_ = l + 1;
+}
+
+Status DynamicMultiGraph::AddEdge(const Edge& e) {
+  EnsureVertex(e.tail);
+  EnsureVertex(e.head);
+  EnsureLabel(e.label);
+  std::vector<Edge>& run = out_[e.tail];
+  auto it = std::lower_bound(run.begin(), run.end(), e, OutOrder);
+  if (it != run.end() && *it == e) {
+    return Status::AlreadyExists("edge " + e.ToString() + " already in E");
+  }
+  run.insert(it, e);
+  ++num_edges_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status DynamicMultiGraph::RemoveEdge(const Edge& e) {
+  if (e.tail >= num_vertices_) {
+    return Status::NotFound("edge " + e.ToString() + " not in E");
+  }
+  std::vector<Edge>& run = out_[e.tail];
+  auto it = std::lower_bound(run.begin(), run.end(), e, OutOrder);
+  if (it == run.end() || !(*it == e)) {
+    return Status::NotFound("edge " + e.ToString() + " not in E");
+  }
+  run.erase(it);
+  --num_edges_;
+  dirty_ = true;
+  return Status::OK();
+}
+
+std::span<const Edge> DynamicMultiGraph::OutEdges(VertexId v) const {
+  if (v >= num_vertices_) return {};
+  return out_[v];
+}
+
+bool DynamicMultiGraph::HasEdge(const Edge& e) const {
+  if (e.tail >= num_vertices_) return false;
+  const std::vector<Edge>& run = out_[e.tail];
+  auto it = std::lower_bound(run.begin(), run.end(), e, OutOrder);
+  return it != run.end() && *it == e;
+}
+
+void DynamicMultiGraph::RebuildCaches() const {
+  all_edges_.clear();
+  all_edges_.reserve(num_edges_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    all_edges_.insert(all_edges_.end(), out_[v].begin(), out_[v].end());
+  }
+  // Per-vertex runs are (label, head)-sorted and vertices ascend, so
+  // all_edges_ is already in canonical (tail, label, head) order.
+
+  in_offsets_.assign(num_vertices_ + 1, 0);
+  for (const Edge& e : all_edges_) ++in_offsets_[e.head + 1];
+  for (uint32_t v = 0; v < num_vertices_; ++v) {
+    in_offsets_[v + 1] += in_offsets_[v];
+  }
+  in_index_.assign(all_edges_.size(), 0);
+  {
+    std::vector<size_t> cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+    for (size_t i = 0; i < all_edges_.size(); ++i) {
+      in_index_[cursor[all_edges_[i].head]++] = static_cast<EdgeIndex>(i);
+    }
+  }
+
+  label_offsets_.assign(num_labels_ + 1, 0);
+  for (const Edge& e : all_edges_) ++label_offsets_[e.label + 1];
+  for (uint32_t l = 0; l < num_labels_; ++l) {
+    label_offsets_[l + 1] += label_offsets_[l];
+  }
+  label_index_.assign(all_edges_.size(), 0);
+  {
+    std::vector<size_t> cursor(label_offsets_.begin(),
+                               label_offsets_.end() - 1);
+    for (size_t i = 0; i < all_edges_.size(); ++i) {
+      label_index_[cursor[all_edges_[i].label]++] =
+          static_cast<EdgeIndex>(i);
+    }
+  }
+  dirty_ = false;
+}
+
+std::span<const Edge> DynamicMultiGraph::AllEdges() const {
+  if (dirty_) RebuildCaches();
+  return all_edges_;
+}
+
+std::span<const EdgeIndex> DynamicMultiGraph::InEdgeIndices(
+    VertexId v) const {
+  if (v >= num_vertices_) return {};
+  if (dirty_) RebuildCaches();
+  return std::span<const EdgeIndex>(in_index_.data() + in_offsets_[v],
+                                    in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+std::span<const EdgeIndex> DynamicMultiGraph::LabelEdgeIndices(
+    LabelId l) const {
+  if (l >= num_labels_) return {};
+  if (dirty_) RebuildCaches();
+  return std::span<const EdgeIndex>(
+      label_index_.data() + label_offsets_[l],
+      label_offsets_[l + 1] - label_offsets_[l]);
+}
+
+MultiRelationalGraph DynamicMultiGraph::Snapshot() const {
+  MultiGraphBuilder builder;
+  builder.ReserveVertices(num_vertices_);
+  builder.ReserveLabels(num_labels_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (const Edge& e : out_[v]) builder.AddEdge(e);
+  }
+  return builder.Build();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,89 @@
+// DynamicMultiGraph: a mutable multi-relational graph with cheap edge
+// insertion/removal, directly usable everywhere an EdgeUniverse is
+// accepted.
+//
+// Cost model (the reason this exists next to the immutable snapshot):
+//   * AddEdge / RemoveEdge        O(out-degree) — sorted insert into the
+//                                 tail vertex's adjacency vector
+//   * OutEdges / OutEdgesWithLabel  always fast; served straight from the
+//                                 per-vertex vectors, never stale
+//   * AllEdges / InEdgeIndices / LabelEdgeIndices
+//                                 lazily rebuilt after a mutation burst
+//                                 (O(|E| log |E|) once, then cached)
+//
+// A traversal engine alternates mutation phases and query phases; this
+// layout makes each phase pay only for what it touches. Snapshot() freezes
+// the current state into an immutable MultiRelationalGraph (names carried
+// over when constructed from one).
+//
+// Thread-compatibility: const query methods may rebuild the lazy caches,
+// so the class is single-writer/single-reader; freeze to a snapshot for
+// shared read access.
+
+#ifndef MRPA_GRAPH_DYNAMIC_GRAPH_H_
+#define MRPA_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "graph/multi_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+class DynamicMultiGraph final : public EdgeUniverse {
+ public:
+  // An empty graph over the given spaces (both may grow via AddEdge).
+  explicit DynamicMultiGraph(uint32_t num_vertices = 0,
+                             uint32_t num_labels = 0);
+
+  // Thaws an immutable snapshot (O(|E|)).
+  explicit DynamicMultiGraph(const MultiRelationalGraph& snapshot);
+
+  // --- Mutation ------------------------------------------------------------
+  // Inserts e; grows the vertex/label spaces to cover its ids. Fails with
+  // AlreadyExists when e ∈ E (E is a set).
+  Status AddEdge(const Edge& e);
+
+  // Removes e; fails with NotFound when e ∉ E.
+  Status RemoveEdge(const Edge& e);
+
+  // --- EdgeUniverse ----------------------------------------------------------
+  uint32_t num_vertices() const override { return num_vertices_; }
+  uint32_t num_labels() const override { return num_labels_; }
+  size_t num_edges() const override { return num_edges_; }
+  std::span<const Edge> OutEdges(VertexId v) const override;
+  std::span<const Edge> AllEdges() const override;
+  std::span<const EdgeIndex> InEdgeIndices(VertexId v) const override;
+  std::span<const EdgeIndex> LabelEdgeIndices(LabelId l) const override;
+  bool HasEdge(const Edge& e) const override;
+
+  // Freezes into an immutable CSR snapshot.
+  MultiRelationalGraph Snapshot() const;
+
+  // True when the next AllEdges()/In/Label query will pay a rebuild.
+  bool IndexesDirty() const { return dirty_; }
+
+ private:
+  void EnsureVertex(VertexId v);
+  void EnsureLabel(LabelId l);
+  void RebuildCaches() const;
+
+  uint32_t num_vertices_ = 0;
+  uint32_t num_labels_ = 0;
+  size_t num_edges_ = 0;
+  // out_[v]: sorted by (label, head) — the same order a snapshot's run has.
+  std::vector<std::vector<Edge>> out_;
+
+  // Lazy caches mirroring MultiRelationalGraph's derived indices.
+  mutable bool dirty_ = true;
+  mutable std::vector<Edge> all_edges_;
+  mutable std::vector<EdgeIndex> in_index_;
+  mutable std::vector<size_t> in_offsets_;
+  mutable std::vector<EdgeIndex> label_index_;
+  mutable std::vector<size_t> label_offsets_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_GRAPH_DYNAMIC_GRAPH_H_

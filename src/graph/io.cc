@@ -1,0 +1,138 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mrpa {
+
+Result<MultiRelationalGraph> ReadGraphText(std::istream& in) {
+  MultiGraphBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    std::vector<std::string_view> fields = SplitWhitespace(trimmed);
+    if (fields.size() != 3) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": expected 3 fields, got " +
+                                std::to_string(fields.size()));
+    }
+    builder.AddEdge(fields[0], fields[1], fields[2]);
+  }
+  if (in.bad()) return Status::IOError("stream read failure");
+  return builder.Build();
+}
+
+Result<MultiRelationalGraph> ReadGraphFromString(const std::string& text) {
+  std::istringstream in(text);
+  return ReadGraphText(in);
+}
+
+Result<MultiRelationalGraph> ReadGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return ReadGraphText(in);
+}
+
+namespace {
+
+std::string TokenFor(const std::string& name, uint32_t id) {
+  return name.empty() ? "@" + std::to_string(id) : name;
+}
+
+}  // namespace
+
+Status WriteGraphText(const MultiRelationalGraph& graph, std::ostream& out) {
+  out << "# mrpa multi-relational graph: " << graph.num_vertices()
+      << " vertices, " << graph.num_labels() << " labels, "
+      << graph.num_edges() << " edges\n";
+  for (const Edge& e : graph.AllEdges()) {
+    out << TokenFor(graph.VertexName(e.tail), e.tail) << '\t'
+        << TokenFor(graph.LabelName(e.label), e.label) << '\t'
+        << TokenFor(graph.VertexName(e.head), e.head) << '\n';
+  }
+  if (!out) return Status::IOError("stream write failure");
+  return Status::OK();
+}
+
+Status WriteGraphFile(const MultiRelationalGraph& graph,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  return WriteGraphText(graph, out);
+}
+
+namespace {
+
+// DOT identifiers with special characters must be quoted; quotes escaped.
+std::string DotQuote(const std::string& token) {
+  std::string quoted = "\"";
+  for (char c : token) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+Status WriteDot(const MultiRelationalGraph& graph, std::ostream& out) {
+  out << "digraph mrpa {\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    out << "  " << v;
+    const std::string& name = graph.VertexName(v);
+    if (!name.empty()) out << " [label=" << DotQuote(name) << "]";
+    out << ";\n";
+  }
+  for (const Edge& e : graph.AllEdges()) {
+    out << "  " << e.tail << " -> " << e.head << " [label="
+        << DotQuote(TokenFor(graph.LabelName(e.label), e.label)) << "];\n";
+  }
+  out << "}\n";
+  if (!out) return Status::IOError("stream write failure");
+  return Status::OK();
+}
+
+std::string SummarizeGraph(const MultiRelationalGraph& graph) {
+  std::ostringstream os;
+  os << "vertices: " << graph.num_vertices() << "\n"
+     << "labels:   " << graph.num_labels() << "\n"
+     << "edges:    " << graph.num_edges() << "\n";
+  for (LabelId l = 0; l < graph.num_labels(); ++l) {
+    os << "  relation '"
+       << TokenFor(graph.LabelName(l), l) << "': "
+       << graph.LabelEdgeIndices(l).size() << " edges\n";
+  }
+  size_t max_out = 0, max_in = 0;
+  VertexId argmax_out = 0, argmax_in = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) > max_out) {
+      max_out = graph.OutDegree(v);
+      argmax_out = v;
+    }
+    if (graph.InDegree(v) > max_in) {
+      max_in = graph.InDegree(v);
+      argmax_in = v;
+    }
+  }
+  if (graph.num_vertices() > 0) {
+    os << "max out-degree: " << max_out << " (vertex "
+       << TokenFor(graph.VertexName(argmax_out), argmax_out) << ")\n"
+       << "max in-degree:  " << max_in << " (vertex "
+       << TokenFor(graph.VertexName(argmax_in), argmax_in) << ")\n";
+    const double denominator = static_cast<double>(graph.num_vertices()) *
+                               graph.num_vertices() *
+                               std::max<uint32_t>(graph.num_labels(), 1);
+    os << "density (|E| / |V|²|Ω|): "
+       << static_cast<double>(graph.num_edges()) / denominator << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mrpa

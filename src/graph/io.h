@@ -1,0 +1,45 @@
+// Text I/O for multi-relational graphs.
+//
+// Format ("MRG-TSV"): one edge per line, three tab- (or whitespace-)
+// separated fields `tail label head`. Fields are arbitrary tokens, interned
+// as names. Lines starting with '#' and blank lines are ignored.
+//
+//   # a tiny social network
+//   marko   knows     peter
+//   marko   created   mrpa
+//   peter   created   mrpa
+
+#ifndef MRPA_GRAPH_IO_H_
+#define MRPA_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/multi_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Parses MRG-TSV from a stream / string / file.
+Result<MultiRelationalGraph> ReadGraphText(std::istream& in);
+Result<MultiRelationalGraph> ReadGraphFromString(const std::string& text);
+Result<MultiRelationalGraph> ReadGraphFile(const std::string& path);
+
+// Writes MRG-TSV. Vertices or labels without names are written as numeric
+// ids prefixed with '@' (e.g. "@17"); ReadGraphText treats such tokens as
+// ordinary names, so write→read round-trips are stable but not id-preserving.
+Status WriteGraphText(const MultiRelationalGraph& graph, std::ostream& out);
+Status WriteGraphFile(const MultiRelationalGraph& graph,
+                      const std::string& path);
+
+// Graphviz DOT export: one digraph, edge labels from Ω, vertex names when
+// present. For eyeballing small graphs (`dot -Tsvg`).
+Status WriteDot(const MultiRelationalGraph& graph, std::ostream& out);
+
+// Shape summary: sizes, per-label edge counts, degree extremes. One line
+// per fact, used by mrpa_shell's :summary and handy in logs.
+std::string SummarizeGraph(const MultiRelationalGraph& graph);
+
+}  // namespace mrpa
+
+#endif  // MRPA_GRAPH_IO_H_

@@ -1,0 +1,159 @@
+#include "graph/multi_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mrpa {
+
+uint32_t Dictionary::Intern(std::string_view name) {
+  auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<uint32_t> Dictionary::Find(std::string_view name) const {
+  auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Dictionary::NameOf(uint32_t id) const {
+  static const std::string kEmpty;
+  return id < names_.size() ? names_[id] : kEmpty;
+}
+
+void Dictionary::EnsureSize(uint32_t count) {
+  while (names_.size() < count) names_.emplace_back();
+}
+
+VertexId MultiGraphBuilder::AddVertex(std::string_view name) {
+  return vertices_.Intern(name);
+}
+
+LabelId MultiGraphBuilder::AddLabel(std::string_view name) {
+  return labels_.Intern(name);
+}
+
+void MultiGraphBuilder::AddEdge(std::string_view tail, std::string_view label,
+                                std::string_view head) {
+  // Intern in tail, label, head order explicitly — doing it inside the
+  // AddEdge call would leave id assignment to the compiler's argument
+  // evaluation order, breaking cross-platform determinism.
+  VertexId tail_id = vertices_.Intern(tail);
+  LabelId label_id = labels_.Intern(label);
+  VertexId head_id = vertices_.Intern(head);
+  AddEdge(tail_id, label_id, head_id);
+}
+
+void MultiGraphBuilder::AddEdge(VertexId tail, LabelId label, VertexId head) {
+  assert(tail != kInvalidVertex && head != kInvalidVertex &&
+         label != kInvalidLabel);
+  edges_.emplace_back(tail, label, head);
+  min_vertices_ = std::max({min_vertices_, tail + 1, head + 1});
+  min_labels_ = std::max(min_labels_, label + 1);
+}
+
+void MultiGraphBuilder::ReserveVertices(uint32_t count) {
+  min_vertices_ = std::max(min_vertices_, count);
+}
+
+void MultiGraphBuilder::ReserveLabels(uint32_t count) {
+  min_labels_ = std::max(min_labels_, count);
+}
+
+MultiRelationalGraph MultiGraphBuilder::Build() const {
+  MultiRelationalGraph g;
+  g.num_vertices_ = std::max(min_vertices_, vertices_.size());
+  g.num_labels_ = std::max(min_labels_, labels_.size());
+  g.vertex_names_ = vertices_;
+  g.label_names_ = labels_;
+  g.vertex_names_.EnsureSize(g.num_vertices_);
+  g.label_names_.EnsureSize(g.num_labels_);
+
+  // Canonicalize E as a set.
+  g.edges_ = edges_;
+  std::sort(g.edges_.begin(), g.edges_.end());
+  g.edges_.erase(std::unique(g.edges_.begin(), g.edges_.end()),
+                 g.edges_.end());
+
+  const size_t num_edges = g.edges_.size();
+  const uint32_t num_vertices = g.num_vertices_;
+  const uint32_t num_labels = g.num_labels_;
+
+  // Out-adjacency offsets: counting sort over the already-sorted edge array.
+  g.out_offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : g.edges_) ++g.out_offsets_[e.tail + 1];
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+
+  // In-index: edge positions grouped by head.
+  g.in_offsets_.assign(num_vertices + 1, 0);
+  for (const Edge& e : g.edges_) ++g.in_offsets_[e.head + 1];
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_index_.assign(num_edges, 0);
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(),
+                               g.in_offsets_.end() - 1);
+    for (size_t i = 0; i < num_edges; ++i) {
+      g.in_index_[cursor[g.edges_[i].head]++] = static_cast<EdgeIndex>(i);
+    }
+  }
+
+  // Label index: edge positions grouped by label.
+  g.label_offsets_.assign(num_labels + 1, 0);
+  for (const Edge& e : g.edges_) ++g.label_offsets_[e.label + 1];
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    g.label_offsets_[l + 1] += g.label_offsets_[l];
+  }
+  g.label_index_.assign(num_edges, 0);
+  {
+    std::vector<size_t> cursor(g.label_offsets_.begin(),
+                               g.label_offsets_.end() - 1);
+    for (size_t i = 0; i < num_edges; ++i) {
+      g.label_index_[cursor[g.edges_[i].label]++] = static_cast<EdgeIndex>(i);
+    }
+  }
+
+  return g;
+}
+
+std::span<const Edge> MultiRelationalGraph::OutEdges(VertexId v) const {
+  if (v >= num_vertices_) return {};
+  return std::span<const Edge>(edges_.data() + out_offsets_[v],
+                               out_offsets_[v + 1] - out_offsets_[v]);
+}
+
+std::span<const EdgeIndex> MultiRelationalGraph::InEdgeIndices(
+    VertexId v) const {
+  if (v >= num_vertices_) return {};
+  return std::span<const EdgeIndex>(in_index_.data() + in_offsets_[v],
+                                    in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+std::span<const EdgeIndex> MultiRelationalGraph::LabelEdgeIndices(
+    LabelId l) const {
+  if (l >= num_labels_) return {};
+  return std::span<const EdgeIndex>(
+      label_index_.data() + label_offsets_[l],
+      label_offsets_[l + 1] - label_offsets_[l]);
+}
+
+std::string MultiRelationalGraph::DescribeEdge(const Edge& e) const {
+  const std::string& tail = VertexName(e.tail);
+  const std::string& label = LabelName(e.label);
+  const std::string& head = VertexName(e.head);
+  std::string out = tail.empty() ? std::to_string(e.tail) : tail;
+  out += " -";
+  out += label.empty() ? std::to_string(e.label) : label;
+  out += "-> ";
+  out += head.empty() ? std::to_string(e.head) : head;
+  return out;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,151 @@
+// MultiRelationalGraph: the canonical in-memory store for G = (V, E) with
+// E ⊆ (V × Ω × V).
+//
+// Construction goes through MultiGraphBuilder (mutable, hash-backed); the
+// finished graph is an immutable CSR-style snapshot:
+//   * edges_      — every edge, sorted by (tail, label, head); E is a set,
+//                   so duplicates inserted into the builder collapse.
+//   * out_offsets_ — CSR offsets: OutEdges(v) is edges_[out_offsets_[v] ..
+//                   out_offsets_[v+1]).
+//   * in_index_ / in_offsets_ — per-head lists of edge indices.
+//   * label_index_ / label_offsets_ — per-label lists of edge indices.
+//
+// Vertices and labels optionally carry string names through interning
+// dictionaries, so examples can write g.AddEdge("marko", "knows", "peter")
+// while the algebra sees dense ids.
+
+#ifndef MRPA_GRAPH_MULTI_GRAPH_H_
+#define MRPA_GRAPH_MULTI_GRAPH_H_
+
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge.h"
+#include "core/edge_universe.h"
+#include "core/ids.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Bidirectional string <-> dense id interner shared by vertex and label
+// namespaces.
+class Dictionary {
+ public:
+  // Returns the id for `name`, interning it if new.
+  uint32_t Intern(std::string_view name);
+
+  // Returns the id for `name` if present.
+  std::optional<uint32_t> Find(std::string_view name) const;
+
+  // The name for `id`; empty string for ids created without names.
+  const std::string& NameOf(uint32_t id) const;
+
+  // Grows the namespace to cover ids [0, count) with empty names.
+  void EnsureSize(uint32_t count);
+
+  uint32_t size() const { return static_cast<uint32_t>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, uint32_t> ids_;
+};
+
+class MultiRelationalGraph;
+
+// Accumulates vertices and edges, then Build()s the immutable snapshot.
+class MultiGraphBuilder {
+ public:
+  MultiGraphBuilder() = default;
+
+  // Named interface (examples, I/O).
+  VertexId AddVertex(std::string_view name);
+  LabelId AddLabel(std::string_view name);
+  void AddEdge(std::string_view tail, std::string_view label,
+               std::string_view head);
+
+  // Id interface (generators, benches). Ids need not be pre-declared; the
+  // vertex/label spaces grow to cover the maximum id seen.
+  void AddEdge(VertexId tail, LabelId label, VertexId head);
+  void AddEdge(const Edge& e) { AddEdge(e.tail, e.label, e.head); }
+
+  // Ensures the built graph has at least this many vertices / labels even if
+  // some have no incident edges.
+  void ReserveVertices(uint32_t count);
+  void ReserveLabels(uint32_t count);
+
+  size_t num_staged_edges() const { return edges_.size(); }
+
+  // Produces the snapshot; the builder may be reused afterwards (it keeps
+  // its contents).
+  MultiRelationalGraph Build() const;
+
+ private:
+  Dictionary vertices_;
+  Dictionary labels_;
+  std::vector<Edge> edges_;
+  uint32_t min_vertices_ = 0;
+  uint32_t min_labels_ = 0;
+};
+
+class MultiRelationalGraph final : public EdgeUniverse {
+ public:
+  // An empty graph (no vertices, labels, or edges).
+  MultiRelationalGraph() = default;
+
+  MultiRelationalGraph(const MultiRelationalGraph&) = default;
+  MultiRelationalGraph& operator=(const MultiRelationalGraph&) = default;
+  MultiRelationalGraph(MultiRelationalGraph&&) noexcept = default;
+  MultiRelationalGraph& operator=(MultiRelationalGraph&&) noexcept = default;
+
+  // --- EdgeUniverse -------------------------------------------------------
+  uint32_t num_vertices() const override { return num_vertices_; }
+  uint32_t num_labels() const override { return num_labels_; }
+  size_t num_edges() const override { return edges_.size(); }
+  std::span<const Edge> AllEdges() const override { return edges_; }
+  std::span<const Edge> OutEdges(VertexId v) const override;
+  std::span<const EdgeIndex> InEdgeIndices(VertexId v) const override;
+  std::span<const EdgeIndex> LabelEdgeIndices(LabelId l) const override;
+
+  // --- Degrees ------------------------------------------------------------
+  size_t OutDegree(VertexId v) const { return OutEdges(v).size(); }
+  size_t InDegree(VertexId v) const { return InEdgeIndices(v).size(); }
+
+  // --- Names --------------------------------------------------------------
+  std::optional<VertexId> FindVertex(std::string_view name) const {
+    return vertex_names_.Find(name);
+  }
+  std::optional<LabelId> FindLabel(std::string_view name) const {
+    return label_names_.Find(name);
+  }
+  const std::string& VertexName(VertexId v) const {
+    return vertex_names_.NameOf(v);
+  }
+  const std::string& LabelName(LabelId l) const {
+    return label_names_.NameOf(l);
+  }
+
+  // Renders an edge with names when available: "marko -knows-> peter".
+  std::string DescribeEdge(const Edge& e) const;
+
+ private:
+  friend class MultiGraphBuilder;
+
+  uint32_t num_vertices_ = 0;
+  uint32_t num_labels_ = 0;
+  std::vector<Edge> edges_;            // Sorted (tail, label, head), unique.
+  std::vector<size_t> out_offsets_;    // Size num_vertices_ + 1.
+  std::vector<EdgeIndex> in_index_;    // Grouped by head.
+  std::vector<size_t> in_offsets_;     // Size num_vertices_ + 1.
+  std::vector<EdgeIndex> label_index_; // Grouped by label.
+  std::vector<size_t> label_offsets_;  // Size num_labels_ + 1.
+  Dictionary vertex_names_;
+  Dictionary label_names_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_GRAPH_MULTI_GRAPH_H_

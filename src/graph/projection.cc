@@ -1,0 +1,55 @@
+#include "graph/projection.h"
+
+#include <utility>
+
+#include "core/traversal.h"
+
+namespace mrpa {
+
+BinaryGraph FlattenIgnoringLabels(const MultiRelationalGraph& graph) {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(graph.num_edges());
+  for (const Edge& e : graph.AllEdges()) arcs.emplace_back(e.tail, e.head);
+  return BinaryGraph::FromArcs(graph.num_vertices(), std::move(arcs));
+}
+
+BinaryGraph ExtractLabelRelation(const MultiRelationalGraph& graph,
+                                 LabelId label) {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (EdgeIndex idx : graph.LabelEdgeIndices(label)) {
+    const Edge& e = graph.EdgeAt(idx);
+    arcs.emplace_back(e.tail, e.head);
+  }
+  return BinaryGraph::FromArcs(graph.num_vertices(), std::move(arcs));
+}
+
+BinaryGraph ProjectPaths(const PathSet& paths, uint32_t num_vertices) {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(paths.size());
+  for (const Path& p : paths) {
+    if (p.empty()) continue;
+    arcs.emplace_back(p.Tail(), p.Head());
+  }
+  return BinaryGraph::FromArcs(num_vertices, std::move(arcs));
+}
+
+Result<BinaryGraph> DeriveLabelSequenceRelation(
+    const MultiRelationalGraph& graph, const std::vector<LabelId>& labels,
+    const PathSetLimits& limits) {
+  std::vector<std::vector<LabelId>> steps;
+  steps.reserve(labels.size());
+  for (LabelId l : labels) steps.push_back({l});
+  Result<PathSet> paths = LabeledTraversal(graph, steps, limits);
+  if (!paths.ok()) return paths.status();
+  return ProjectPaths(paths.value(), graph.num_vertices());
+}
+
+Result<BinaryGraph> DeriveRelation(const MultiRelationalGraph& graph,
+                                   const PathExpr& expr,
+                                   const EvalOptions& options) {
+  Result<PathSet> paths = expr.Evaluate(graph, options);
+  if (!paths.ok()) return paths.status();
+  return ProjectPaths(paths.value(), graph.num_vertices());
+}
+
+}  // namespace mrpa

@@ -1,0 +1,137 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+namespace mrpa {
+
+WeightedBinaryGraph WeightedBinaryGraph::FromArcs(
+    uint32_t num_vertices,
+    std::vector<std::tuple<VertexId, VertexId, double>> arcs) {
+  std::sort(arcs.begin(), arcs.end(),
+            [](const auto& a, const auto& b) {
+              return std::tie(std::get<0>(a), std::get<1>(a)) <
+                     std::tie(std::get<0>(b), std::get<1>(b));
+            });
+
+  WeightedBinaryGraph g(num_vertices);
+  g.arcs_.reserve(arcs.size());
+  std::vector<size_t> counts(num_vertices + 1, 0);
+  for (size_t i = 0; i < arcs.size();) {
+    const VertexId from = std::get<0>(arcs[i]);
+    const VertexId to = std::get<1>(arcs[i]);
+    double weight = 0.0;
+    while (i < arcs.size() && std::get<0>(arcs[i]) == from &&
+           std::get<1>(arcs[i]) == to) {
+      weight += std::get<2>(arcs[i]);
+      ++i;
+    }
+    g.arcs_.push_back({to, weight});
+    ++counts[from + 1];
+  }
+  for (uint32_t v = 0; v < num_vertices; ++v) counts[v + 1] += counts[v];
+  g.offsets_ = std::move(counts);
+  return g;
+}
+
+double WeightedBinaryGraph::OutWeight(VertexId v) const {
+  double total = 0.0;
+  for (const WeightedArc& arc : OutArcs(v)) total += arc.weight;
+  return total;
+}
+
+BinaryGraph WeightedBinaryGraph::Structure() const {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(num_arcs());
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    for (const WeightedArc& arc : OutArcs(v)) arcs.emplace_back(v, arc.target);
+  }
+  return BinaryGraph::FromArcs(num_vertices_, std::move(arcs));
+}
+
+Result<std::vector<double>> DijkstraDistances(const WeightedBinaryGraph& graph,
+                                              VertexId source) {
+  const uint32_t n = graph.num_vertices();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  if (source >= n) return dist;
+
+  for (VertexId v = 0; v < n; ++v) {
+    for (const WeightedArc& arc : graph.OutArcs(v)) {
+      if (arc.weight < 0.0) {
+        return Status::InvalidArgument("Dijkstra requires non-negative "
+                                       "weights");
+      }
+    }
+  }
+
+  using Entry = std::pair<double, VertexId>;  // (distance, vertex).
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[source] = 0.0;
+  queue.push({0.0, source});
+  while (!queue.empty()) {
+    auto [d, v] = queue.top();
+    queue.pop();
+    if (d > dist[v]) continue;  // Stale entry.
+    for (const WeightedArc& arc : graph.OutArcs(v)) {
+      const double candidate = d + arc.weight;
+      if (candidate < dist[arc.target]) {
+        dist[arc.target] = candidate;
+        queue.push({candidate, arc.target});
+      }
+    }
+  }
+  return dist;
+}
+
+Result<std::vector<double>> WeightedPageRank(
+    const WeightedBinaryGraph& graph,
+    const WeightedPageRankOptions& options) {
+  const uint32_t n = graph.num_vertices();
+  if (n == 0) return std::vector<double>{};
+  if (options.damping < 0.0 || options.damping >= 1.0) {
+    return Status::InvalidArgument("damping must lie in [0, 1)");
+  }
+  // Pre-compute out-weights; vertices with zero out-weight are dangling.
+  std::vector<double> out_weight(n, 0.0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const WeightedArc& arc : graph.OutArcs(v)) {
+      if (arc.weight < 0.0) {
+        return Status::InvalidArgument(
+            "weighted PageRank requires non-negative weights");
+      }
+      out_weight[v] += arc.weight;
+    }
+  }
+
+  const double uniform = 1.0 / n;
+  std::vector<double> rank(n, uniform), next(n);
+  for (size_t iteration = 0; iteration < options.max_iterations;
+       ++iteration) {
+    double dangling = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (out_weight[v] == 0.0) dangling += rank[v];
+    }
+    const double base = (1.0 - options.damping) * uniform +
+                        options.damping * dangling * uniform;
+    std::fill(next.begin(), next.end(), base);
+    for (VertexId v = 0; v < n; ++v) {
+      if (out_weight[v] == 0.0) continue;
+      const double scale = options.damping * rank[v] / out_weight[v];
+      for (const WeightedArc& arc : graph.OutArcs(v)) {
+        next[arc.target] += scale * arc.weight;
+      }
+    }
+    double delta = 0.0;
+    for (uint32_t i = 0; i < n; ++i) delta += std::abs(next[i] - rank[i]);
+    rank.swap(next);
+    if (delta < options.tolerance) return rank;
+  }
+  return Status::ResourceExhausted(
+      "weighted PageRank did not converge within " +
+      std::to_string(options.max_iterations) + " iterations");
+}
+
+}  // namespace mrpa

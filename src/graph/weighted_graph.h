@@ -1,0 +1,80 @@
+// WeightedBinaryGraph: a single-relational graph with per-arc weights.
+//
+// §IV-C derives *relations* from paths; its natural refinement derives
+// *weighted* relations — the weight of arc (u, v) being, e.g., the number
+// of witnessing paths (see regex/derived_relations.h). This type carries
+// such weights into weighted consumers: Dijkstra and weighted PageRank.
+
+#ifndef MRPA_GRAPH_WEIGHTED_GRAPH_H_
+#define MRPA_GRAPH_WEIGHTED_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "core/ids.h"
+#include "graph/binary_graph.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+struct WeightedArc {
+  VertexId target;
+  double weight;
+
+  friend bool operator==(const WeightedArc&, const WeightedArc&) = default;
+};
+
+class WeightedBinaryGraph {
+ public:
+  explicit WeightedBinaryGraph(uint32_t num_vertices = 0)
+      : num_vertices_(num_vertices), offsets_(num_vertices + 1, 0) {}
+
+  // Builds from (from, to, weight) triples. Duplicate (from, to) pairs
+  // combine by summing weights (the natural semantics for witness counts).
+  static WeightedBinaryGraph FromArcs(
+      uint32_t num_vertices,
+      std::vector<std::tuple<VertexId, VertexId, double>> arcs);
+
+  uint32_t num_vertices() const { return num_vertices_; }
+  size_t num_arcs() const { return arcs_.size(); }
+
+  std::span<const WeightedArc> OutArcs(VertexId v) const {
+    if (v >= num_vertices_) return {};
+    return std::span<const WeightedArc>(arcs_.data() + offsets_[v],
+                                        offsets_[v + 1] - offsets_[v]);
+  }
+
+  // Total weight leaving v.
+  double OutWeight(VertexId v) const;
+
+  // The unweighted skeleton.
+  BinaryGraph Structure() const;
+
+ private:
+  uint32_t num_vertices_ = 0;
+  std::vector<size_t> offsets_;
+  std::vector<WeightedArc> arcs_;  // Sorted by target within each vertex.
+};
+
+// Dijkstra single-source shortest paths over non-negative arc weights.
+// Fails with InvalidArgument on any negative weight. Unreachable vertices
+// get +infinity.
+Result<std::vector<double>> DijkstraDistances(const WeightedBinaryGraph& graph,
+                                              VertexId source);
+
+// PageRank where the walker follows arcs with probability proportional to
+// weight. Dangling mass redistributes uniformly; scores sum to 1.
+struct WeightedPageRankOptions {
+  double damping = 0.85;
+  size_t max_iterations = 200;
+  double tolerance = 1e-12;
+};
+Result<std::vector<double>> WeightedPageRank(
+    const WeightedBinaryGraph& graph,
+    const WeightedPageRankOptions& options = {});
+
+}  // namespace mrpa
+
+#endif  // MRPA_GRAPH_WEIGHTED_GRAPH_H_

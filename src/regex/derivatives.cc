@@ -1,0 +1,144 @@
+#include "regex/derivatives.h"
+
+#include "core/simplify.h"
+
+namespace mrpa {
+
+bool IsNullable(const PathExpr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kEmpty:
+      return false;
+    case ExprKind::kEpsilon:
+      return true;
+    case ExprKind::kAtom:
+      return false;
+    case ExprKind::kLiteral:
+      return expr.literal().ContainsEpsilon();
+    case ExprKind::kUnion:
+      return IsNullable(*expr.children()[0]) ||
+             IsNullable(*expr.children()[1]);
+    case ExprKind::kJoin:
+    case ExprKind::kProduct:
+      return IsNullable(*expr.children()[0]) &&
+             IsNullable(*expr.children()[1]);
+    case ExprKind::kStar:
+    case ExprKind::kOptional:
+      return true;
+    case ExprKind::kPlus:
+      return IsNullable(*expr.children()[0]);
+    case ExprKind::kPower:
+      return expr.power() == 0 || IsNullable(*expr.children()[0]);
+  }
+  return false;
+}
+
+namespace {
+
+Result<PathExprPtr> DeriveUnsimplified(const PathExprPtr& expr,
+                                       const Edge& e) {
+  switch (expr->kind()) {
+    case ExprKind::kEmpty:
+    case ExprKind::kEpsilon:
+      return PathExpr::Empty();
+    case ExprKind::kAtom:
+      return expr->pattern().Matches(e)
+                 ? PathExpr::Epsilon()
+                 : PathExpr::Empty();
+    case ExprKind::kLiteral: {
+      // D_e({p₁, …}) = { rest of pᵢ | pᵢ starts with e }. Disjoint
+      // literal paths are outside the classical fragment.
+      PathSetBuilder rests;
+      for (const Path& p : expr->literal()) {
+        if (p.empty()) continue;
+        if (!p.IsJoint()) {
+          return Status::InvalidArgument(
+              "derivative undefined for disjoint literal paths");
+        }
+        if (p.edge(0) != e) continue;
+        rests.Add(Path(std::vector<Edge>(p.edges().begin() + 1,
+                                         p.edges().end())));
+      }
+      PathSet rest_set = rests.Build();
+      if (rest_set.empty()) return PathExpr::Empty();
+      return PathExpr::Literal(std::move(rest_set));
+    }
+    case ExprKind::kUnion: {
+      Result<PathExprPtr> lhs = DeriveUnsimplified(expr->children()[0], e);
+      if (!lhs.ok()) return lhs;
+      Result<PathExprPtr> rhs = DeriveUnsimplified(expr->children()[1], e);
+      if (!rhs.ok()) return rhs;
+      return PathExpr::MakeUnion(std::move(lhs).value(),
+                                 std::move(rhs).value());
+    }
+    case ExprKind::kJoin: {
+      Result<PathExprPtr> lhs = DeriveUnsimplified(expr->children()[0], e);
+      if (!lhs.ok()) return lhs;
+      PathExprPtr left_part =
+          PathExpr::MakeJoin(std::move(lhs).value(), expr->children()[1]);
+      if (!IsNullable(*expr->children()[0])) return left_part;
+      Result<PathExprPtr> rhs = DeriveUnsimplified(expr->children()[1], e);
+      if (!rhs.ok()) return rhs;
+      return PathExpr::MakeUnion(std::move(left_part),
+                                 std::move(rhs).value());
+    }
+    case ExprKind::kProduct:
+      return Status::InvalidArgument(
+          "derivative undefined for ×◦ (disjoint seams); use "
+          "NfaRecognizer");
+    case ExprKind::kStar: {
+      Result<PathExprPtr> inner = DeriveUnsimplified(expr->children()[0], e);
+      if (!inner.ok()) return inner;
+      return PathExpr::MakeJoin(std::move(inner).value(), expr);
+    }
+    case ExprKind::kPlus: {
+      Result<PathExprPtr> inner = DeriveUnsimplified(expr->children()[0], e);
+      if (!inner.ok()) return inner;
+      return PathExpr::MakeJoin(std::move(inner).value(),
+                                PathExpr::MakeStar(expr->children()[0]));
+    }
+    case ExprKind::kOptional:
+      return DeriveUnsimplified(expr->children()[0], e);
+    case ExprKind::kPower: {
+      if (expr->power() == 0) return PathExpr::Empty();
+      Result<PathExprPtr> inner = DeriveUnsimplified(expr->children()[0], e);
+      if (!inner.ok()) return inner;
+      return PathExpr::MakeJoin(
+          std::move(inner).value(),
+          PathExpr::MakePower(expr->children()[0], expr->power() - 1));
+    }
+  }
+  return Status::Internal("unknown expression kind");
+}
+
+}  // namespace
+
+Result<PathExprPtr> Derivative(const PathExprPtr& expr, const Edge& e) {
+  Result<PathExprPtr> derived = DeriveUnsimplified(expr, e);
+  if (!derived.ok()) return derived;
+  return Simplify(derived.value());
+}
+
+Result<DerivativeRecognizer> DerivativeRecognizer::Compile(PathExprPtr expr) {
+  if (!expr->IsProductFree()) {
+    return Status::InvalidArgument(
+        "derivative recognition is restricted to joint-only expressions");
+  }
+  return DerivativeRecognizer(Simplify(expr));
+}
+
+Result<bool> DerivativeRecognizer::Recognize(const Path& path) const {
+  if (!path.IsJoint()) {
+    return Status::InvalidArgument(
+        "derivative recognition requires a joint input path");
+  }
+  PathExprPtr current = expr_;
+  for (const Edge& e : path) {
+    if (current->kind() == ExprKind::kEmpty) return false;  // Dead.
+    Result<PathExprPtr> next = Derivative(current, e);
+    if (!next.ok()) return next.status();
+    current = std::move(next).value();
+  }
+  return IsNullable(*current);
+}
+
+}  // namespace mrpa

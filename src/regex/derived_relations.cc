@@ -1,0 +1,46 @@
+#include "regex/derived_relations.h"
+
+#include <cmath>
+
+namespace mrpa {
+
+Result<WeightedBinaryGraph> DeriveCountedRelation(
+    const PathExpr& expr, const MultiRelationalGraph& graph,
+    const AnalysisOptions& options) {
+  Result<PathCounter> analyzer = PathCounter::Compile(expr);
+  if (!analyzer.ok()) return analyzer.status();
+  Result<PathCounter::PairResult> result =
+      analyzer->AnalyzePairs(graph, options);
+  if (!result.ok()) return result.status();
+
+  std::vector<std::tuple<VertexId, VertexId, double>> arcs;
+  arcs.reserve(result->pairs.size());
+  for (const auto& [pair, count] : result->pairs) {
+    arcs.emplace_back(pair.first, pair.second,
+                      static_cast<double>(count));
+  }
+  return WeightedBinaryGraph::FromArcs(graph.num_vertices(),
+                                       std::move(arcs));
+}
+
+Result<WeightedBinaryGraph> DeriveShortestRelation(
+    const PathExpr& expr, const MultiRelationalGraph& graph,
+    const AnalysisOptions& options) {
+  Result<ShortestPathAnalyzer> analyzer =
+      ShortestPathAnalyzer::Compile(expr);
+  if (!analyzer.ok()) return analyzer.status();
+  Result<ShortestPathAnalyzer::PairResult> result =
+      analyzer->AnalyzePairs(graph, options);
+  if (!result.ok()) return result.status();
+
+  std::vector<std::tuple<VertexId, VertexId, double>> arcs;
+  arcs.reserve(result->pairs.size());
+  for (const auto& [pair, distance] : result->pairs) {
+    if (!std::isfinite(distance)) continue;
+    arcs.emplace_back(pair.first, pair.second, distance);
+  }
+  return WeightedBinaryGraph::FromArcs(graph.num_vertices(),
+                                       std::move(arcs));
+}
+
+}  // namespace mrpa

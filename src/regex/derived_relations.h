@@ -1,0 +1,37 @@
+// Weighted §IV-C derivations: from "which endpoint pairs does an accepted
+// path connect" (the paper's E_αβ) to "how strongly" — the arc weight is
+// the number of witnessing paths (or any other semiring aggregate).
+//
+// This is the bridge between the regular-path machinery and the weighted
+// single-relational consumers (graph/weighted_graph.h): e.g. a co-citation
+// strength graph is DeriveCountedRelation over
+// [_, cites, _] ⋈◦ ... and its WeightedPageRank ranks papers by how often
+// they are co-witnessed.
+
+#ifndef MRPA_REGEX_DERIVED_RELATIONS_H_
+#define MRPA_REGEX_DERIVED_RELATIONS_H_
+
+#include "core/expr.h"
+#include "graph/multi_graph.h"
+#include "graph/weighted_graph.h"
+#include "regex/path_analysis.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// Arc (u, v) with weight = number of accepted joint paths from u to v of
+// length ≤ options.max_path_length. Joint-only expressions (the LazyDfa
+// restriction). ε contributes no arc.
+Result<WeightedBinaryGraph> DeriveCountedRelation(
+    const PathExpr& expr, const MultiRelationalGraph& graph,
+    const AnalysisOptions& options = {});
+
+// Arc (u, v) with weight = hop count of the SHORTEST accepted u→v path —
+// a distance-flavored relation (smaller is closer).
+Result<WeightedBinaryGraph> DeriveShortestRelation(
+    const PathExpr& expr, const MultiRelationalGraph& graph,
+    const AnalysisOptions& options = {});
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_DERIVED_RELATIONS_H_

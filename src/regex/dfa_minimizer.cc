@@ -1,0 +1,194 @@
+#include "regex/dfa_minimizer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "regex/lazy_dfa.h"
+
+namespace mrpa {
+
+namespace {
+
+// The fully materialized, total automaton before minimization.
+struct FullDfa {
+  uint32_t start = 0;
+  uint32_t dead = 0;  // Total: missing transitions route here.
+  std::vector<bool> accepting;
+  std::vector<std::vector<uint32_t>> transitions;
+  std::vector<EdgePattern> patterns;
+  std::unordered_map<std::string, uint32_t> class_of_signature;
+};
+
+Result<FullDfa> Materialize(const PathExpr& expr,
+                            const EdgeUniverse& universe) {
+  Result<LazyDfa> lazy = LazyDfa::Compile(expr);
+  if (!lazy.ok()) return lazy.status();
+
+  FullDfa full;
+  full.patterns = lazy->nfa().patterns();
+
+  // Discover every edge class occurring in the universe. One representative
+  // edge per class is kept to drive the lazy automaton.
+  std::vector<Edge> representative;
+  for (const Edge& e : universe.AllEdges()) {
+    std::string signature(full.patterns.size(), '0');
+    for (size_t i = 0; i < full.patterns.size(); ++i) {
+      if (full.patterns[i].Matches(e)) signature[i] = '1';
+    }
+    auto [it, inserted] = full.class_of_signature.try_emplace(
+        signature, static_cast<uint32_t>(representative.size()));
+    if (inserted) representative.push_back(e);
+  }
+  const size_t num_classes = representative.size();
+
+  // Drive the lazy automaton to closure: BFS over its states across all
+  // classes. Lazy state ids are dense and stable, so we can index by them.
+  std::vector<std::vector<uint32_t>> lazy_transitions;
+  std::vector<bool> lazy_accepting;
+  size_t explored = 0;
+  lazy_transitions.emplace_back();  // Start state row; filled below.
+  lazy_accepting.push_back(lazy->accepting(lazy->start()));
+  while (explored < lazy_transitions.size()) {
+    const uint32_t state = static_cast<uint32_t>(explored);
+    lazy_transitions[state].assign(num_classes, LazyDfa::kDead);
+    for (size_t c = 0; c < num_classes; ++c) {
+      uint32_t next = lazy->Step(state, representative[c]);
+      lazy_transitions[state][c] = next;
+      while (next != LazyDfa::kDead && next >= lazy_transitions.size()) {
+        lazy_transitions.emplace_back();
+        lazy_accepting.push_back(
+            lazy->accepting(static_cast<uint32_t>(lazy_transitions.size()) -
+                            1));
+      }
+    }
+    ++explored;
+  }
+
+  // Totalize with a dead sink.
+  const uint32_t dead = static_cast<uint32_t>(lazy_transitions.size());
+  full.start = lazy->start();
+  full.dead = dead;
+  full.accepting = lazy_accepting;
+  full.accepting.push_back(false);
+  full.transitions = std::move(lazy_transitions);
+  full.transitions.emplace_back(num_classes, dead);
+  for (uint32_t s = 0; s < dead; ++s) {
+    for (size_t c = 0; c < num_classes; ++c) {
+      if (full.transitions[s][c] == LazyDfa::kDead) {
+        full.transitions[s][c] = dead;
+      }
+    }
+  }
+  return full;
+}
+
+// Moore partition refinement: start from {accepting, rejecting}, split
+// blocks whose members disagree on some (class → block) successor until a
+// fixed point.
+std::vector<uint32_t> Refine(const FullDfa& full) {
+  const size_t n = full.accepting.size();
+  const size_t num_classes =
+      full.transitions.empty() ? 0 : full.transitions[0].size();
+  std::vector<uint32_t> block(n);
+  for (size_t s = 0; s < n; ++s) block[s] = full.accepting[s] ? 1 : 0;
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Signature of a state: (current block, successor blocks per class).
+    std::map<std::vector<uint32_t>, uint32_t> new_ids;
+    std::vector<uint32_t> next_block(n);
+    for (size_t s = 0; s < n; ++s) {
+      std::vector<uint32_t> signature;
+      signature.reserve(num_classes + 1);
+      signature.push_back(block[s]);
+      for (size_t c = 0; c < num_classes; ++c) {
+        signature.push_back(block[full.transitions[s][c]]);
+      }
+      auto [it, inserted] = new_ids.try_emplace(
+          std::move(signature), static_cast<uint32_t>(new_ids.size()));
+      next_block[s] = it->second;
+    }
+    // The refinement only ever splits blocks, so the partition changed iff
+    // the block count grew.
+    const size_t old_blocks =
+        block.empty() ? 0 : *std::max_element(block.begin(), block.end()) + 1;
+    changed = new_ids.size() != old_blocks;
+    block = std::move(next_block);
+  }
+  return block;
+}
+
+}  // namespace
+
+Result<MinimizedDfa> BuildMinimizedDfa(const PathExpr& expr,
+                                       const EdgeUniverse& universe) {
+  Result<FullDfa> full = Materialize(expr, universe);
+  if (!full.ok()) return full.status();
+
+  std::vector<uint32_t> block = Refine(full.value());
+  const uint32_t num_blocks =
+      block.empty() ? 0 : *std::max_element(block.begin(), block.end()) + 1;
+  const size_t num_classes =
+      full->transitions.empty() ? 0 : full->transitions[0].size();
+
+  MinimizedDfa minimized;
+  minimized.start_ = block[full->start];
+  minimized.num_classes_ = num_classes;
+  minimized.accepting_.assign(num_blocks, false);
+  minimized.transitions_.assign(num_blocks,
+                                std::vector<uint32_t>(num_classes, 0));
+  for (size_t s = 0; s < full->accepting.size(); ++s) {
+    if (full->accepting[s]) minimized.accepting_[block[s]] = true;
+    for (size_t c = 0; c < num_classes; ++c) {
+      minimized.transitions_[block[s]][c] = block[full->transitions[s][c]];
+    }
+  }
+  minimized.patterns_ = full->patterns;
+  minimized.class_of_signature_ = full->class_of_signature;
+  return minimized;
+}
+
+std::optional<uint32_t> MinimizedDfa::ClassOf(const Edge& e) const {
+  std::string signature(patterns_.size(), '0');
+  for (size_t i = 0; i < patterns_.size(); ++i) {
+    if (patterns_[i].Matches(e)) signature[i] = '1';
+  }
+  auto it = class_of_signature_.find(signature);
+  if (it == class_of_signature_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<bool> MinimizedDfa::Recognize(const Path& path) const {
+  if (!path.IsJoint()) {
+    return Status::InvalidArgument(
+        "minimized-DFA recognition requires a joint input path");
+  }
+  uint32_t state = start_;
+  for (const Edge& e : path) {
+    std::optional<uint32_t> edge_class = ClassOf(e);
+    if (!edge_class.has_value()) {
+      // Signature never seen in the bound universe. If it matches no
+      // pattern at all (all-zero), it certainly dies; other unseen
+      // signatures cannot arise for edges of the universe, so reject.
+      return false;
+    }
+    state = transitions_[state][*edge_class];
+  }
+  return static_cast<bool>(accepting_[state]);
+}
+
+Result<DfaSizeReport> MeasureMinimization(const PathExpr& expr,
+                                          const EdgeUniverse& universe) {
+  Result<FullDfa> full = Materialize(expr, universe);
+  if (!full.ok()) return full.status();
+  Result<MinimizedDfa> minimized = BuildMinimizedDfa(expr, universe);
+  if (!minimized.ok()) return minimized.status();
+  DfaSizeReport report;
+  report.materialized_states = full->accepting.size();
+  report.minimized_states = minimized->num_states();
+  report.edge_classes = full->class_of_signature.size();
+  return report;
+}
+
+}  // namespace mrpa

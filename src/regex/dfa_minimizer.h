@@ -1,0 +1,85 @@
+// DFA materialization and minimization over a bound edge universe.
+//
+// LazyDfa builds states on demand, which is ideal for ad-hoc recognition
+// but leaves the automaton's size workload-dependent. For a *bound*
+// universe the construction can be closed: classify every edge of E into
+// its pattern-match signature class, explore the full subset automaton over
+// those classes, and then minimize it by partition refinement (Moore's
+// algorithm — chosen over Hopcroft for auditability; our automata have tens
+// of states, so the extra log factor is irrelevant).
+//
+// The result is the canonical machine for the expression *relative to E*:
+// equivalent states collapse, so two expressions denoting the same language
+// over E minimize to isomorphic automata. Recognition against the
+// minimized DFA is valid for joint paths whose edges come from the bound
+// universe (unknown edges fall into their signature class if it was
+// discovered, and are rejected — soundly, since an undiscovered signature
+// matches no pattern combination seen in E... it maps to the dead state).
+
+#ifndef MRPA_REGEX_DFA_MINIMIZER_H_
+#define MRPA_REGEX_DFA_MINIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "core/expr.h"
+#include "core/path.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+// A complete (total) DFA over the edge classes of a bound universe.
+class MinimizedDfa {
+ public:
+  uint32_t start() const { return start_; }
+  bool accepting(uint32_t state) const { return accepting_[state]; }
+  size_t num_states() const { return accepting_.size(); }
+  size_t num_classes() const { return num_classes_; }
+
+  // Recognizes a joint path. Fails with InvalidArgument on disjoint input.
+  Result<bool> Recognize(const Path& path) const;
+
+  // δ(state, class). Always defined (the automaton is total; one state may
+  // be a dead sink).
+  uint32_t Step(uint32_t state, uint32_t edge_class) const {
+    return transitions_[state][edge_class];
+  }
+
+  // The class of an edge, or nullopt when its signature never occurred in
+  // the bound universe (such an edge can only be rejected).
+  std::optional<uint32_t> ClassOf(const Edge& e) const;
+
+ private:
+  friend Result<MinimizedDfa> BuildMinimizedDfa(const PathExpr& expr,
+                                                const EdgeUniverse& universe);
+
+  uint32_t start_ = 0;
+  size_t num_classes_ = 0;
+  std::vector<bool> accepting_;
+  std::vector<std::vector<uint32_t>> transitions_;  // [state][class].
+  std::vector<EdgePattern> patterns_;
+  std::unordered_map<std::string, uint32_t> class_of_signature_;
+};
+
+// Materializes the full subset DFA of `expr` over `universe`'s edge classes
+// and minimizes it. Fails with InvalidArgument for expressions with ×◦
+// seams (same restriction as every deterministic engine here).
+Result<MinimizedDfa> BuildMinimizedDfa(const PathExpr& expr,
+                                       const EdgeUniverse& universe);
+
+// The pre-minimization state count, for tests and the E5 bench (how much
+// minimization buys).
+struct DfaSizeReport {
+  size_t materialized_states = 0;  // Full subset construction (incl. dead).
+  size_t minimized_states = 0;
+  size_t edge_classes = 0;
+};
+Result<DfaSizeReport> MeasureMinimization(const PathExpr& expr,
+                                          const EdgeUniverse& universe);
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_DFA_MINIMIZER_H_

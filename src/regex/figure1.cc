@@ -1,0 +1,54 @@
+#include "regex/figure1.h"
+
+#include "core/edge_pattern.h"
+
+namespace mrpa {
+
+PathExprPtr BuildFigure1Expr(const Figure1Params& p) {
+  // [i, α, _]: first edge leaves i with label α.
+  PathExprPtr first = PathExpr::Atom(
+      EdgePattern(IdConstraint::Exactly(p.i), IdConstraint::Exactly(p.alpha),
+                  IdConstraint()));
+  // [_, β, _]*: zero or more β-labeled intermediate edges.
+  PathExprPtr middle = PathExpr::MakeStar(PathExpr::Labeled(p.beta));
+  // [_, α, j] ⋈◦ {(j, α, i)}: an α-edge into j followed by exactly (j,α,i).
+  PathExprPtr into_j = PathExpr::Atom(
+      EdgePattern(IdConstraint(), IdConstraint::Exactly(p.alpha),
+                  IdConstraint::Exactly(p.j)));
+  PathExprPtr loop_back = PathExpr::SingleEdge(Edge(p.j, p.alpha, p.i));
+  PathExprPtr j_branch = PathExpr::MakeJoin(into_j, loop_back);
+  // [_, α, k]: or a single α-edge into k.
+  PathExprPtr k_branch = PathExpr::Atom(
+      EdgePattern(IdConstraint(), IdConstraint::Exactly(p.alpha),
+                  IdConstraint::Exactly(p.k)));
+
+  return PathExpr::MakeJoin(
+      PathExpr::MakeJoin(first, middle),
+      PathExpr::MakeUnion(j_branch, k_branch));
+}
+
+MultiRelationalGraph BuildFigure1Graph() {
+  const Figure1Params p;
+  MultiGraphBuilder builder;
+  builder.ReserveVertices(5);
+  builder.ReserveLabels(2);
+  const VertexId v3 = 3;
+  const VertexId v4 = 4;
+
+  // α-edges out of i: directly into j and k, and into the β-chain.
+  builder.AddEdge(p.i, p.alpha, p.j);
+  builder.AddEdge(p.i, p.alpha, p.k);
+  builder.AddEdge(p.i, p.alpha, v3);
+  // β-chain: 3 -β-> 4 -β-> 3 (a cycle, so the star is unbounded), and
+  // β-edges reaching the accepting α-edges.
+  builder.AddEdge(v3, p.beta, v4);
+  builder.AddEdge(v4, p.beta, v3);
+  // α-edges into j and k from the chain.
+  builder.AddEdge(v4, p.alpha, p.j);
+  builder.AddEdge(v3, p.alpha, p.k);
+  // The loop-closing edge of the figure's j-branch.
+  builder.AddEdge(p.j, p.alpha, p.i);
+  return builder.Build();
+}
+
+}  // namespace mrpa

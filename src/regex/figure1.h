@@ -1,0 +1,43 @@
+// The paper's Figure 1, as a reusable fixture.
+//
+// The expression (§IV-A):
+//
+//   [i, α, _] ⋈◦ [_, β, _]* ⋈◦ (([_, α, j] ⋈◦ {(j, α, i)}) ∪ [_, α, k])
+//
+// recognizing "all paths emanating from i, terminating at i or k, with the
+// first and last label traversed being α, and all intermediate edge labels
+// (zero or more) being β". Its automaton (Figure 1) is the canonical
+// example for both the recognizer (E5) and the single-stack generator (E6),
+// and the examples/ binaries print it.
+
+#ifndef MRPA_REGEX_FIGURE1_H_
+#define MRPA_REGEX_FIGURE1_H_
+
+#include "core/expr.h"
+#include "core/ids.h"
+#include "graph/multi_graph.h"
+
+namespace mrpa {
+
+// The vertex/label bindings of the figure.
+struct Figure1Params {
+  VertexId i = 0;
+  VertexId j = 1;
+  VertexId k = 2;
+  LabelId alpha = 0;
+  LabelId beta = 1;
+};
+
+// Builds the Figure 1 expression for the given bindings.
+PathExprPtr BuildFigure1Expr(const Figure1Params& params = {});
+
+// A small concrete graph on which the Figure 1 language is non-trivial:
+// vertices {i=0, j=1, k=2, 3, 4}, labels {α=0, β=1}, with α-edges from i,
+// a β-chain through vertices 3 and 4, α-edges into j and k, and the edge
+// (j, α, i) that closes the figure's loop branch. Used by tests, benches,
+// and examples/regex_paths.
+MultiRelationalGraph BuildFigure1Graph();
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_FIGURE1_H_

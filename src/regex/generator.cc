@@ -1,0 +1,194 @@
+#include "regex/generator.h"
+
+#include <algorithm>
+#include <map>
+
+namespace mrpa {
+
+namespace {
+
+// Frontier: working path sets keyed by automaton position, merged across
+// "parallel branches" (clones at the same position union their stacks).
+using Frontier = std::map<NfaPosition, PathSet>;
+
+// Distributes `paths` to `position` and its ε/break closure, unioning into
+// the frontier.
+void Distribute(const Nfa& nfa, NfaPosition position, const PathSet& paths,
+                Frontier& frontier) {
+  std::vector<NfaPosition> closure = {position};
+  EpsilonClose(nfa, closure);
+  for (const NfaPosition& pos : closure) {
+    auto [it, inserted] = frontier.try_emplace(pos, paths);
+    if (!inserted) it->second = Union(it->second, paths);
+  }
+}
+
+Frontier InitialFrontier(const Nfa& nfa) {
+  Frontier frontier;
+  // The stack starts holding {ε}; position 0 has no previous edge, so the
+  // first consumption is adjacency-free (break armed).
+  Distribute(nfa, {nfa.start(), true}, PathSet::EpsilonSet(), frontier);
+  return frontier;
+}
+
+// Collects accept-state stack tops into `out`; returns false once the
+// max_paths cap is exceeded.
+bool Collect(const Nfa& nfa, const Frontier& frontier, PathSet& out,
+             const GenerateOptions& options) {
+  for (const auto& [pos, paths] : frontier) {
+    if (pos.state != nfa.accept()) continue;
+    out = Union(out, paths);
+  }
+  return !(options.max_paths && out.size() > *options.max_paths);
+}
+
+bool HasConsumeTransition(const Nfa& nfa, const Frontier& frontier) {
+  for (const auto& [pos, paths] : frontier) {
+    (void)paths;
+    for (const NfaTransition& t : nfa.TransitionsFrom(pos.state)) {
+      if (t.type == NfaTransition::Type::kConsume) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<PathSet> MaterializePatternSets(const Nfa& nfa,
+                                            const EdgeUniverse& universe) {
+  std::vector<PathSet> sets;
+  sets.reserve(nfa.patterns().size());
+  for (const EdgePattern& pattern : nfa.patterns()) {
+    sets.push_back(
+        PathSet::FromEdges(CollectMatchingEdges(universe, pattern)));
+  }
+  return sets;
+}
+
+}  // namespace
+
+Result<StackMachineGenerator> StackMachineGenerator::Compile(
+    const PathExpr& expr) {
+  Result<Nfa> nfa = CompileToNfa(expr);
+  if (!nfa.ok()) return nfa.status();
+  return StackMachineGenerator(std::move(nfa).value());
+}
+
+Result<GenerateResult> StackMachineGenerator::Generate(
+    const EdgeUniverse& universe, const GenerateOptions& options) const {
+  const std::vector<PathSet> pattern_sets =
+      MaterializePatternSets(nfa_, universe);
+
+  GenerateResult result;
+  Frontier frontier = InitialFrontier(nfa_);
+  if (!Collect(nfa_, frontier, result.paths, options)) {
+    result.truncated = true;
+    return result;
+  }
+
+  for (size_t round = 0; round < options.max_path_length; ++round) {
+    Frontier next;
+    for (const auto& [pos, working_set] : frontier) {
+      for (const NfaTransition& t : nfa_.TransitionsFrom(pos.state)) {
+        if (t.type != NfaTransition::Type::kConsume) continue;
+        // Pop the working set, join it with the transition's edge set —
+        // ⋈◦ normally, ×◦ when a break seam was crossed — and push.
+        Result<PathSet> pushed =
+            pos.break_armed
+                ? ConcatenativeProduct(working_set,
+                                       pattern_sets[t.pattern_id])
+                : ConcatenativeJoin(working_set, pattern_sets[t.pattern_id]);
+        if (!pushed.ok()) return pushed.status();
+        if (pushed->empty()) continue;  // ∅ halts this branch.
+        Distribute(nfa_, {t.target, false}, pushed.value(), next);
+      }
+    }
+    if (next.empty()) break;
+    frontier = std::move(next);
+    result.rounds = round + 1;
+    if (!Collect(nfa_, frontier, result.paths, options)) {
+      result.truncated = true;
+      return result;
+    }
+    if (round + 1 == options.max_path_length &&
+        HasConsumeTransition(nfa_, frontier)) {
+      result.truncated = true;
+    }
+  }
+  return result;
+}
+
+Result<ProductGraphGenerator> ProductGraphGenerator::Compile(
+    const PathExpr& expr) {
+  Result<Nfa> nfa = CompileToNfa(expr);
+  if (!nfa.ok()) return nfa.status();
+  return ProductGraphGenerator(std::move(nfa).value());
+}
+
+Result<GenerateResult> ProductGraphGenerator::Generate(
+    const EdgeUniverse& universe, const GenerateOptions& options) const {
+  // Full pattern materialization is only needed for adjacency-free steps
+  // (ε working paths or break seams); joint steps use the out-edge index.
+  const std::vector<PathSet> pattern_sets =
+      MaterializePatternSets(nfa_, universe);
+
+  GenerateResult result;
+  Frontier frontier = InitialFrontier(nfa_);
+  if (!Collect(nfa_, frontier, result.paths, options)) {
+    result.truncated = true;
+    return result;
+  }
+
+  for (size_t round = 0; round < options.max_path_length; ++round) {
+    Frontier next;
+    for (const auto& [pos, working_set] : frontier) {
+      for (const NfaTransition& t : nfa_.TransitionsFrom(pos.state)) {
+        if (t.type != NfaTransition::Type::kConsume) continue;
+        const EdgePattern& pattern = nfa_.patterns()[t.pattern_id];
+        PathSetBuilder builder;
+        for (const Path& path : working_set) {
+          if (pos.break_armed || path.empty()) {
+            // Adjacency-free step: any matching edge extends the path.
+            for (const Path& edge_path : pattern_sets[t.pattern_id]) {
+              builder.Add(path.Concat(edge_path));
+            }
+          } else {
+            // Joint step: only out-edges of the head can extend — the
+            // index lookup that makes this engine cheap (narrowed further
+            // to the label sub-run for single-label patterns).
+            ForEachMatchingOutEdge(
+                universe, path.Head(), pattern, [&](const Edge& e) {
+                  Path extended = path;
+                  extended.Append(e);
+                  builder.Add(std::move(extended));
+                });
+          }
+        }
+        PathSet pushed = builder.Build();
+        if (pushed.empty()) continue;
+        Distribute(nfa_, {t.target, false}, pushed, next);
+      }
+    }
+    if (next.empty()) break;
+    frontier = std::move(next);
+    result.rounds = round + 1;
+    if (!Collect(nfa_, frontier, result.paths, options)) {
+      result.truncated = true;
+      return result;
+    }
+    if (round + 1 == options.max_path_length &&
+        HasConsumeTransition(nfa_, frontier)) {
+      result.truncated = true;
+    }
+  }
+  return result;
+}
+
+Result<GenerateResult> GeneratePaths(const PathExpr& expr,
+                                     const EdgeUniverse& universe,
+                                     const GenerateOptions& options) {
+  Result<ProductGraphGenerator> generator =
+      ProductGraphGenerator::Compile(expr);
+  if (!generator.ok()) return generator.status();
+  return generator->Generate(universe, options);
+}
+
+}  // namespace mrpa

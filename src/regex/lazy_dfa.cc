@@ -1,0 +1,96 @@
+#include "regex/lazy_dfa.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+LazyDfa::LazyDfa(Nfa nfa) : nfa_(std::move(nfa)) {
+  std::vector<NfaPosition> start = {{nfa_.start(), true}};
+  EpsilonClose(nfa_, start);
+  StateSet initial;
+  initial.reserve(start.size());
+  for (const NfaPosition& pos : start) initial.push_back(pos.state);
+  std::sort(initial.begin(), initial.end());
+  initial.erase(std::unique(initial.begin(), initial.end()), initial.end());
+  start_state_ = InternState(std::move(initial));
+}
+
+Result<LazyDfa> LazyDfa::Compile(const PathExpr& expr) {
+  Result<Nfa> nfa = CompileToNfa(expr);
+  if (!nfa.ok()) return nfa.status();
+  if (!nfa->IsJointOnly()) {
+    return Status::InvalidArgument(
+        "expression contains ×◦ seams; deterministic execution is "
+        "restricted to joint-only expressions");
+  }
+  return LazyDfa(std::move(nfa).value());
+}
+
+uint32_t LazyDfa::Step(uint32_t state, const Edge& e) {
+  std::string signature = SignatureOf(e);
+  auto [class_it, inserted] = class_of_signature_.try_emplace(
+      signature, static_cast<uint32_t>(class_of_signature_.size()));
+  const uint32_t edge_class = class_it->second;
+  (void)inserted;
+
+  auto& cache = transition_cache_[state];
+  auto it = cache.find(edge_class);
+  if (it != cache.end()) return it->second;
+  return ComputeStep(state, edge_class, signature);
+}
+
+std::string LazyDfa::SignatureOf(const Edge& e) const {
+  std::string signature(nfa_.patterns().size(), '0');
+  for (size_t i = 0; i < nfa_.patterns().size(); ++i) {
+    if (nfa_.patterns()[i].Matches(e)) signature[i] = '1';
+  }
+  return signature;
+}
+
+uint32_t LazyDfa::InternState(StateSet states) {
+  std::string key;
+  key.reserve(states.size() * sizeof(uint32_t));
+  for (uint32_t s : states) {
+    key.append(reinterpret_cast<const char*>(&s), sizeof(s));
+  }
+  auto [it, inserted] = state_of_key_.try_emplace(
+      key, static_cast<uint32_t>(dfa_states_.size()));
+  if (inserted) {
+    accepting_.push_back(std::binary_search(states.begin(), states.end(),
+                                            nfa_.accept()));
+    dfa_states_.push_back(std::move(states));
+    transition_cache_.emplace_back();
+  }
+  return it->second;
+}
+
+uint32_t LazyDfa::ComputeStep(uint32_t dfa_state, uint32_t edge_class,
+                              const std::string& signature) {
+  // Every consume transition whose pattern bit is set fires; ε-close the
+  // target set. Break flags are irrelevant (joint-only), so positions
+  // collapse to bare states.
+  std::vector<NfaPosition> next;
+  for (uint32_t s : dfa_states_[dfa_state]) {
+    for (const NfaTransition& t : nfa_.TransitionsFrom(s)) {
+      if (t.type != NfaTransition::Type::kConsume) continue;
+      if (signature[t.pattern_id] != '1') continue;
+      next.push_back({t.target, false});
+    }
+  }
+  uint32_t result = kDead;
+  if (!next.empty()) {
+    EpsilonClose(nfa_, next);
+    StateSet states;
+    states.reserve(next.size());
+    for (const NfaPosition& pos : next) states.push_back(pos.state);
+    std::sort(states.begin(), states.end());
+    states.erase(std::unique(states.begin(), states.end()), states.end());
+    result = InternState(std::move(states));
+  }
+  // Index freshly: InternState may have grown transition_cache_,
+  // invalidating earlier references.
+  transition_cache_[dfa_state].emplace(edge_class, result);
+  return result;
+}
+
+}  // namespace mrpa

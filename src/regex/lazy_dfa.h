@@ -1,0 +1,70 @@
+// LazyDfa: on-demand subset construction over edge-class minterms — the
+// deterministic execution engine shared by the DFA recognizer
+// (regex/recognizer.h) and the semiring path analyzer
+// (regex/path_analysis.h).
+//
+// Soundness requires a joint-only expression (no ×◦ seams, no disjoint
+// literals) and joint inputs: there the adjacency guards of the path
+// algebra are vacuous and the automaton is a plain NFA over E, which
+// determinizes classically. Edges are classified by their pattern-match
+// signature; states and transitions materialize on first use (grep-style),
+// so construction cost is proportional to what the workload actually
+// touches.
+
+#ifndef MRPA_REGEX_LAZY_DFA_H_
+#define MRPA_REGEX_LAZY_DFA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/expr.h"
+#include "regex/nfa.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+class LazyDfa {
+ public:
+  // No transition exists.
+  static constexpr uint32_t kDead = UINT32_MAX;
+
+  // Fails with InvalidArgument when the expression contains ×◦ seams.
+  static Result<LazyDfa> Compile(const PathExpr& expr);
+
+  uint32_t start() const { return start_state_; }
+  bool accepting(uint32_t state) const { return accepting_[state]; }
+
+  // δ(state, e): the successor state, materializing it if new; kDead when
+  // no run continues. Non-const: mutates the lazy caches.
+  uint32_t Step(uint32_t state, const Edge& e);
+
+  // Introspection.
+  size_t num_states() const { return dfa_states_.size(); }
+  size_t num_edge_classes() const { return class_of_signature_.size(); }
+  const Nfa& nfa() const { return nfa_; }
+
+ private:
+  explicit LazyDfa(Nfa nfa);
+
+  using StateSet = std::vector<uint32_t>;  // Sorted NFA state ids.
+
+  std::string SignatureOf(const Edge& e) const;
+  uint32_t InternState(StateSet states);
+  uint32_t ComputeStep(uint32_t dfa_state, uint32_t edge_class,
+                       const std::string& signature);
+
+  Nfa nfa_;
+  uint32_t start_state_ = 0;
+  std::vector<StateSet> dfa_states_;
+  std::vector<bool> accepting_;
+  std::unordered_map<std::string, uint32_t> state_of_key_;
+  std::unordered_map<std::string, uint32_t> class_of_signature_;
+  // transition_cache_[state] maps edge class -> next state (kDead allowed).
+  std::vector<std::unordered_map<uint32_t, uint32_t>> transition_cache_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_LAZY_DFA_H_

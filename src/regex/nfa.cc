@@ -1,0 +1,267 @@
+#include "regex/nfa.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mrpa {
+
+namespace {
+
+// Powers are unrolled by duplicating the operand automaton; cap the blowup.
+constexpr size_t kMaxPowerUnroll = 1024;
+
+}  // namespace
+
+size_t Nfa::num_transitions() const {
+  size_t count = 0;
+  for (const auto& outgoing : transitions_) count += outgoing.size();
+  return count;
+}
+
+std::string Nfa::ToString() const {
+  std::ostringstream os;
+  os << "NFA: " << num_states() << " states, start=" << start_
+     << ", accept=" << accept_ << '\n';
+  for (uint32_t s = 0; s < num_states(); ++s) {
+    for (const NfaTransition& t : transitions_[s]) {
+      os << "  " << s << " --";
+      switch (t.type) {
+        case NfaTransition::Type::kEpsilon:
+          os << "ε";
+          break;
+        case NfaTransition::Type::kBreak:
+          os << "break";
+          break;
+        case NfaTransition::Type::kConsume:
+          os << patterns_[t.pattern_id].ToString();
+          break;
+      }
+      os << "--> " << t.target << '\n';
+    }
+  }
+  return os.str();
+}
+
+// Builds Thompson fragments bottom-up. Each fragment is a (start, accept)
+// pair of fresh states inside the shared state arena.
+class ThompsonBuilder {
+ public:
+  Result<Nfa> Build(const PathExpr& expr) {
+    Result<Fragment> fragment = BuildFragment(expr);
+    if (!fragment.ok()) return fragment.status();
+    nfa_.start_ = fragment->start;
+    nfa_.accept_ = fragment->accept;
+    return std::move(nfa_);
+  }
+
+ private:
+  struct Fragment {
+    uint32_t start;
+    uint32_t accept;
+  };
+
+  uint32_t NewState() {
+    nfa_.transitions_.emplace_back();
+    return static_cast<uint32_t>(nfa_.transitions_.size() - 1);
+  }
+
+  void AddEpsilon(uint32_t from, uint32_t to) {
+    nfa_.transitions_[from].push_back(
+        {NfaTransition::Type::kEpsilon, to, 0});
+  }
+
+  void AddBreak(uint32_t from, uint32_t to) {
+    nfa_.transitions_[from].push_back({NfaTransition::Type::kBreak, to, 0});
+    nfa_.joint_only_ = false;
+  }
+
+  void AddConsume(uint32_t from, uint32_t to, const EdgePattern& pattern) {
+    // Reuse an existing identical pattern to keep the pattern table small
+    // (tables are scanned per-edge during DFA classification).
+    uint32_t id = 0;
+    auto it =
+        std::find(nfa_.patterns_.begin(), nfa_.patterns_.end(), pattern);
+    if (it != nfa_.patterns_.end()) {
+      id = static_cast<uint32_t>(it - nfa_.patterns_.begin());
+    } else {
+      id = static_cast<uint32_t>(nfa_.patterns_.size());
+      nfa_.patterns_.push_back(pattern);
+    }
+    nfa_.transitions_[from].push_back(
+        {NfaTransition::Type::kConsume, to, id});
+  }
+
+  Result<Fragment> BuildFragment(const PathExpr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::kEmpty: {
+        // Two states, no transitions: accepts nothing.
+        Fragment f{NewState(), NewState()};
+        return f;
+      }
+      case ExprKind::kEpsilon: {
+        Fragment f{NewState(), NewState()};
+        AddEpsilon(f.start, f.accept);
+        return f;
+      }
+      case ExprKind::kAtom: {
+        Fragment f{NewState(), NewState()};
+        AddConsume(f.start, f.accept, expr.pattern());
+        return f;
+      }
+      case ExprKind::kLiteral:
+        return BuildLiteral(expr.literal());
+      case ExprKind::kUnion: {
+        Result<Fragment> lhs = BuildFragment(*expr.children()[0]);
+        if (!lhs.ok()) return lhs.status();
+        Result<Fragment> rhs = BuildFragment(*expr.children()[1]);
+        if (!rhs.ok()) return rhs.status();
+        Fragment f{NewState(), NewState()};
+        AddEpsilon(f.start, lhs->start);
+        AddEpsilon(f.start, rhs->start);
+        AddEpsilon(lhs->accept, f.accept);
+        AddEpsilon(rhs->accept, f.accept);
+        return f;
+      }
+      case ExprKind::kJoin: {
+        Result<Fragment> lhs = BuildFragment(*expr.children()[0]);
+        if (!lhs.ok()) return lhs.status();
+        Result<Fragment> rhs = BuildFragment(*expr.children()[1]);
+        if (!rhs.ok()) return rhs.status();
+        // ⋈◦ seam: plain ε keeps the adjacency demand armed.
+        AddEpsilon(lhs->accept, rhs->start);
+        return Fragment{lhs->start, rhs->accept};
+      }
+      case ExprKind::kProduct: {
+        Result<Fragment> lhs = BuildFragment(*expr.children()[0]);
+        if (!lhs.ok()) return lhs.status();
+        Result<Fragment> rhs = BuildFragment(*expr.children()[1]);
+        if (!rhs.ok()) return rhs.status();
+        // ×◦ seam: the break waives adjacency for rhs's first edge.
+        AddBreak(lhs->accept, rhs->start);
+        return Fragment{lhs->start, rhs->accept};
+      }
+      case ExprKind::kStar: {
+        Result<Fragment> inner = BuildFragment(*expr.children()[0]);
+        if (!inner.ok()) return inner.status();
+        Fragment f{NewState(), NewState()};
+        AddEpsilon(f.start, inner->start);
+        AddEpsilon(f.start, f.accept);
+        AddEpsilon(inner->accept, inner->start);  // Joint repetition seam.
+        AddEpsilon(inner->accept, f.accept);
+        return f;
+      }
+      case ExprKind::kPlus: {
+        Result<Fragment> inner = BuildFragment(*expr.children()[0]);
+        if (!inner.ok()) return inner.status();
+        Fragment f{NewState(), NewState()};
+        AddEpsilon(f.start, inner->start);
+        AddEpsilon(inner->accept, inner->start);
+        AddEpsilon(inner->accept, f.accept);
+        return f;
+      }
+      case ExprKind::kOptional: {
+        Result<Fragment> inner = BuildFragment(*expr.children()[0]);
+        if (!inner.ok()) return inner.status();
+        Fragment f{NewState(), NewState()};
+        AddEpsilon(f.start, inner->start);
+        AddEpsilon(f.start, f.accept);
+        AddEpsilon(inner->accept, f.accept);
+        return f;
+      }
+      case ExprKind::kPower: {
+        if (expr.power() > kMaxPowerUnroll) {
+          return Status::InvalidArgument(
+              "power exponent " + std::to_string(expr.power()) +
+              " exceeds unroll limit " + std::to_string(kMaxPowerUnroll));
+        }
+        if (expr.power() == 0) {
+          Fragment f{NewState(), NewState()};
+          AddEpsilon(f.start, f.accept);
+          return f;
+        }
+        Result<Fragment> acc = BuildFragment(*expr.children()[0]);
+        if (!acc.ok()) return acc.status();
+        Fragment chain = acc.value();
+        for (size_t k = 1; k < expr.power(); ++k) {
+          Result<Fragment> next = BuildFragment(*expr.children()[0]);
+          if (!next.ok()) return next.status();
+          AddEpsilon(chain.accept, next->start);
+          chain.accept = next->accept;
+        }
+        return chain;
+      }
+    }
+    return Status::Internal("unknown expression kind");
+  }
+
+  // A literal path set becomes a union of edge chains. Interior seams of a
+  // joint literal demand adjacency (trivially satisfied by equal input);
+  // interior seams of a *disjoint* literal get a break so the exact path
+  // still matches.
+  Result<Fragment> BuildLiteral(const PathSet& literal) {
+    Fragment f{NewState(), NewState()};
+    for (const Path& path : literal) {
+      if (path.empty()) {
+        AddEpsilon(f.start, f.accept);
+        continue;
+      }
+      uint32_t current = f.start;
+      for (size_t n = 0; n < path.length(); ++n) {
+        const Edge& e = path.edge(n);
+        if (n > 0 && path.edge(n - 1).head != e.tail) {
+          uint32_t seam = NewState();
+          AddBreak(current, seam);
+          current = seam;
+        }
+        uint32_t next = (n + 1 == path.length()) ? f.accept : NewState();
+        AddConsume(current, next, EdgePattern::Exactly(e));
+        current = next;
+      }
+    }
+    return f;
+  }
+
+  Nfa nfa_;
+};
+
+Result<Nfa> CompileToNfa(const PathExpr& expr) {
+  ThompsonBuilder builder;
+  return builder.Build(expr);
+}
+
+void EpsilonClose(const Nfa& nfa, std::vector<NfaPosition>& positions) {
+  std::vector<NfaPosition> stack = positions;
+  std::sort(positions.begin(), positions.end());
+  positions.erase(std::unique(positions.begin(), positions.end()),
+                  positions.end());
+  auto contains = [&](const NfaPosition& p) {
+    return std::binary_search(positions.begin(), positions.end(), p);
+  };
+  auto insert_sorted = [&](const NfaPosition& p) {
+    auto it = std::lower_bound(positions.begin(), positions.end(), p);
+    positions.insert(it, p);
+  };
+
+  while (!stack.empty()) {
+    NfaPosition current = stack.back();
+    stack.pop_back();
+    for (const NfaTransition& t : nfa.TransitionsFrom(current.state)) {
+      NfaPosition next{t.target, current.break_armed};
+      switch (t.type) {
+        case NfaTransition::Type::kEpsilon:
+          break;
+        case NfaTransition::Type::kBreak:
+          next.break_armed = true;
+          break;
+        case NfaTransition::Type::kConsume:
+          continue;  // Closure does not consume.
+      }
+      if (!contains(next)) {
+        insert_sorted(next);
+        stack.push_back(next);
+      }
+    }
+  }
+}
+
+}  // namespace mrpa

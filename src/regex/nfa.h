@@ -1,0 +1,99 @@
+// ε-NFA over the edge alphabet E, built from a PathExpr by the Thompson
+// construction (§IV-A: a regular expression over E has a corresponding
+// finite state automaton whose transition function is based on edge-set
+// membership).
+//
+// Two departures from the textbook construction make the automaton exact
+// for the *path* algebra rather than the plain string algebra:
+//
+//   1. Consuming transitions carry an EdgePattern (a set of edges), not a
+//      single symbol — the paper's transition-on-set-membership (footnote 9).
+//   2. Concatenation seams differ by operator. A ⋈◦ seam requires the next
+//      consumed edge to be adjacent to the previous one (γ+ = γ−); a ×◦
+//      seam does not. The NFA encodes the latter as a distinguished kBreak
+//      ε-transition: crossing it arms a one-shot "adjacency waiver" that the
+//      next consumption spends. All other consumptions demand adjacency,
+//      which is exactly the jointness structure ⋈◦ induces.
+//
+// The start state has no in-transitions and the single accept state has no
+// out-transitions (standard Thompson invariants); recognizer and generator
+// both rely on this.
+
+#ifndef MRPA_REGEX_NFA_H_
+#define MRPA_REGEX_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/expr.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+struct NfaTransition {
+  enum class Type : uint8_t {
+    kEpsilon,  // Move without consuming.
+    kBreak,    // Move without consuming; waive adjacency for next consume.
+    kConsume,  // Consume one edge matching patterns()[pattern_id].
+  };
+
+  Type type;
+  uint32_t target;
+  uint32_t pattern_id = 0;  // Meaningful for kConsume only.
+};
+
+class Nfa {
+ public:
+  uint32_t num_states() const {
+    return static_cast<uint32_t>(transitions_.size());
+  }
+  uint32_t start() const { return start_; }
+  uint32_t accept() const { return accept_; }
+
+  const std::vector<NfaTransition>& TransitionsFrom(uint32_t state) const {
+    return transitions_[state];
+  }
+  const std::vector<EdgePattern>& patterns() const { return patterns_; }
+
+  // True when no kBreak transition exists; such automata recognize only
+  // joint paths and are eligible for the DFA fast path.
+  bool IsJointOnly() const { return joint_only_; }
+
+  size_t num_transitions() const;
+
+  // Human-readable dump, one transition per line; for debugging and the
+  // examples.
+  std::string ToString() const;
+
+ private:
+  friend class ThompsonBuilder;
+
+  uint32_t start_ = 0;
+  uint32_t accept_ = 0;
+  bool joint_only_ = true;
+  std::vector<std::vector<NfaTransition>> transitions_;  // Per state.
+  std::vector<EdgePattern> patterns_;
+};
+
+// Compiles `expr` into an ε-NFA. Fails with InvalidArgument when a kPower
+// node has an unreasonably large exponent (the construction unrolls powers).
+Result<Nfa> CompileToNfa(const PathExpr& expr);
+
+// The ε-closure machinery shared by recognizer and generator: a simulation
+// position is (state, break_armed). Closure follows kEpsilon (preserving the
+// flag) and kBreak (setting it).
+struct NfaPosition {
+  uint32_t state;
+  bool break_armed;
+
+  friend auto operator<=>(const NfaPosition&, const NfaPosition&) = default;
+};
+
+// Expands `positions` to their ε/break closure in place (sorted, unique).
+void EpsilonClose(const Nfa& nfa, std::vector<NfaPosition>& positions);
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_NFA_H_

@@ -1,0 +1,182 @@
+// Semiring-weighted analysis of regular path languages — computing over the
+// language of an expression restricted to a graph WITHOUT enumerating it.
+//
+// The language {a ∈ E* | a joint, a ∈ L(R)} restricted to a finite graph can
+// be exponentially large (or infinite under star), yet questions like
+//   * how many accepted paths of length ≤ L connect u to v   (counting)
+//   * is v reachable from u along an accepted path            (boolean)
+//   * what is the cheapest accepted u→v path                  (tropical)
+// are answered in polynomial time by dynamic programming over the product
+// of the (lazily determinized) automaton and the graph:
+//
+//   value[(q, u, v)] = ⊕ over accepted runs ending in DFA state q that
+//                      started at vertex u and currently stand at v
+//
+// Determinism is what makes the counting exact: each accepted path has
+// exactly one DFA run, so paths are never double-counted the way ambiguous
+// NFA runs would be. Consequently the analyzer shares LazyDfa's restriction
+// to joint-only expressions.
+//
+// §IV-C connection: AnalyzePairs with the counting semiring is the weighted
+// generalization of the paper's E_αβ projection — instead of just which
+// (γ−, γ+) endpoint pairs are connected by an accepted path, it reports
+// how many witnesses each pair has (e.g. co-citation *strength* rather
+// than mere co-citation).
+
+#ifndef MRPA_REGEX_PATH_ANALYSIS_H_
+#define MRPA_REGEX_PATH_ANALYSIS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/edge_universe.h"
+#include "core/expr.h"
+#include "core/semiring.h"
+#include "regex/lazy_dfa.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+struct AnalysisOptions {
+  // Paths longer than this do not contribute. Star languages over cyclic
+  // graphs are infinite, so a bound is always required; for counting it is
+  // part of the question ("paths of length ≤ L"), for tropical/boolean a
+  // bound of num_vertices() × automaton states is exact (longer accepted
+  // paths cannot improve min/∨ aggregates — they revisit a (state, vertex)
+  // pair).
+  size_t max_path_length = 16;
+  // Abort if the live DP frontier exceeds this many (state, vertex[, tail])
+  // items.
+  size_t max_frontier = 1 << 22;
+};
+
+template <typename S>
+class RegularPathAnalyzer {
+ public:
+  using Value = typename S::Value;
+  // Per-edge weight; defaults to S::UnitEdgeWeight() for every edge.
+  using WeightFn = std::function<Value(const Edge&)>;
+
+  // Endpoint-pair aggregates: (γ−, γ+) → ⊕-sum of accepted path weights.
+  struct PairResult {
+    std::map<std::pair<VertexId, VertexId>, Value> pairs;
+    // ε ∈ L(R): the empty path is accepted but has no endpoints; reported
+    // out of band.
+    bool epsilon_accepted = false;
+    // True when the length bound stopped a still-live frontier.
+    bool truncated = false;
+  };
+
+  // Fails with InvalidArgument for expressions with ×◦ seams.
+  static Result<RegularPathAnalyzer> Compile(const PathExpr& expr) {
+    Result<LazyDfa> dfa = LazyDfa::Compile(expr);
+    if (!dfa.ok()) return dfa.status();
+    return RegularPathAnalyzer(std::move(dfa).value());
+  }
+
+  // Full (tail, head) table. O(L · states · V · d̄) time with a frontier of
+  // at most states · V² items.
+  Result<PairResult> AnalyzePairs(const EdgeUniverse& universe,
+                                  const AnalysisOptions& options = {},
+                                  const WeightFn& weight = nullptr) {
+    return Analyze(universe, options, weight, /*track_tails=*/true);
+  }
+
+  // The ⊕-total over the whole (bounded) language; cheaper — the DP drops
+  // the tail dimension. Includes ε's contribution (weight One) if accepted.
+  Result<Value> AnalyzeTotal(const EdgeUniverse& universe,
+                             const AnalysisOptions& options = {},
+                             const WeightFn& weight = nullptr) {
+    Result<PairResult> result =
+        Analyze(universe, options, weight, /*track_tails=*/false);
+    if (!result.ok()) return result.status();
+    Value total = result->epsilon_accepted ? S::One() : S::Zero();
+    for (const auto& [pair, value] : result->pairs) {
+      total = S::Plus(total, value);
+    }
+    return total;
+  }
+
+  size_t num_dfa_states() const { return dfa_.num_states(); }
+
+ private:
+  explicit RegularPathAnalyzer(LazyDfa dfa) : dfa_(std::move(dfa)) {}
+
+  // DP key: (dfa_state, tail, head); when !track_tails, tail is fixed to
+  // kInvalidVertex and pairs are keyed by (kInvalidVertex, head).
+  struct Item {
+    uint32_t state;
+    VertexId tail;
+    VertexId head;
+    friend auto operator<=>(const Item&, const Item&) = default;
+  };
+
+  Result<PairResult> Analyze(const EdgeUniverse& universe,
+                             const AnalysisOptions& options,
+                             const WeightFn& weight, bool track_tails) {
+    auto edge_weight = [&](const Edge& e) -> Value {
+      return weight ? weight(e) : S::UnitEdgeWeight();
+    };
+
+    PairResult result;
+    result.epsilon_accepted = dfa_.accepting(dfa_.start());
+
+    // Seed: every edge in E taken as a first step.
+    std::map<Item, Value> frontier;
+    for (const Edge& e : universe.AllEdges()) {
+      uint32_t next = dfa_.Step(dfa_.start(), e);
+      if (next == LazyDfa::kDead) continue;
+      Item item{next, track_tails ? e.tail : kInvalidVertex, e.head};
+      auto [it, inserted] = frontier.try_emplace(item, edge_weight(e));
+      if (!inserted) it->second = S::Plus(it->second, edge_weight(e));
+    }
+
+    for (size_t length = 1; length <= options.max_path_length; ++length) {
+      // Harvest accepted items at this length.
+      for (const auto& [item, value] : frontier) {
+        if (!dfa_.accepting(item.state)) continue;
+        auto key = std::make_pair(item.tail, item.head);
+        auto [it, inserted] = result.pairs.try_emplace(key, value);
+        if (!inserted) it->second = S::Plus(it->second, value);
+      }
+      if (length == options.max_path_length) {
+        result.truncated = !frontier.empty();
+        break;
+      }
+      // Extend.
+      std::map<Item, Value> next_frontier;
+      for (const auto& [item, value] : frontier) {
+        for (const Edge& e : universe.OutEdges(item.head)) {
+          uint32_t next = dfa_.Step(item.state, e);
+          if (next == LazyDfa::kDead) continue;
+          Item extended{next, item.tail, e.head};
+          Value contribution = S::Times(value, edge_weight(e));
+          auto [it, inserted] =
+              next_frontier.try_emplace(extended, contribution);
+          if (!inserted) it->second = S::Plus(it->second, contribution);
+          if (next_frontier.size() > options.max_frontier) {
+            return Status::ResourceExhausted(
+                "analysis frontier exceeded max_frontier = " +
+                std::to_string(options.max_frontier));
+          }
+        }
+      }
+      if (next_frontier.empty()) break;  // Language exhausted: exact result.
+      frontier = std::move(next_frontier);
+    }
+    return result;
+  }
+
+  LazyDfa dfa_;
+};
+
+// Convenience aliases for the common analyses.
+using PathCounter = RegularPathAnalyzer<CountingSemiring>;
+using PathReachability = RegularPathAnalyzer<BooleanSemiring>;
+using ShortestPathAnalyzer = RegularPathAnalyzer<TropicalSemiring>;
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_PATH_ANALYSIS_H_

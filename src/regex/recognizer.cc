@@ -1,0 +1,68 @@
+#include "regex/recognizer.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+Result<NfaRecognizer> NfaRecognizer::Compile(const PathExpr& expr) {
+  Result<Nfa> nfa = CompileToNfa(expr);
+  if (!nfa.ok()) return nfa.status();
+  return NfaRecognizer(std::move(nfa).value());
+}
+
+bool NfaRecognizer::Recognize(const Path& path) const {
+  // Position 0 has no previous edge, so adjacency is vacuously satisfied:
+  // start with the break armed.
+  std::vector<NfaPosition> current = {{nfa_.start(), true}};
+  EpsilonClose(nfa_, current);
+
+  for (size_t n = 0; n < path.length(); ++n) {
+    const Edge& e = path.edge(n);
+    const bool adjacent = n == 0 || path.edge(n - 1).head == e.tail;
+    std::vector<NfaPosition> next;
+    for (const NfaPosition& pos : current) {
+      if (!pos.break_armed && !adjacent) continue;
+      for (const NfaTransition& t : nfa_.TransitionsFrom(pos.state)) {
+        if (t.type != NfaTransition::Type::kConsume) continue;
+        if (!nfa_.patterns()[t.pattern_id].Matches(e)) continue;
+        next.push_back({t.target, false});
+      }
+    }
+    if (next.empty()) return false;
+    EpsilonClose(nfa_, next);
+    current = std::move(next);
+  }
+
+  return std::any_of(current.begin(), current.end(),
+                     [&](const NfaPosition& pos) {
+                       return pos.state == nfa_.accept();
+                     });
+}
+
+Result<DfaRecognizer> DfaRecognizer::Compile(const PathExpr& expr) {
+  Result<LazyDfa> dfa = LazyDfa::Compile(expr);
+  if (!dfa.ok()) {
+    if (dfa.status().IsInvalidArgument()) {
+      return Status::InvalidArgument(
+          "expression contains ×◦ seams; DFA recognition is restricted to "
+          "joint-only expressions — use NfaRecognizer");
+    }
+    return dfa.status();
+  }
+  return DfaRecognizer(std::move(dfa).value());
+}
+
+Result<bool> DfaRecognizer::Recognize(const Path& path) {
+  if (!path.IsJoint()) {
+    return Status::InvalidArgument(
+        "DFA recognition requires a joint input path");
+  }
+  uint32_t state = dfa_.start();
+  for (const Edge& e : path) {
+    state = dfa_.Step(state, e);
+    if (state == LazyDfa::kDead) return false;
+  }
+  return dfa_.accepting(state);
+}
+
+}  // namespace mrpa

@@ -1,0 +1,70 @@
+// Regular path recognizers (§IV-A).
+//
+// Given a regular path expression R over E, a recognizer decides whether a
+// concrete path a ∈ E* belongs to the denoted path set. Two engines:
+//
+//   * NfaRecognizer — simulates the ε-NFA directly. Fully general: handles
+//     ×◦ (disjoint seams) and disjoint input paths via the break-armed
+//     position machinery in nfa.h. O(|a| · |states| · |patterns|) worst case.
+//
+//   * DfaRecognizer — a thin wrapper over the shared LazyDfa
+//     (regex/lazy_dfa.h): lazily determinized, amortized O(|a|) per joint
+//     path once warm. Restricted to joint-only expressions and joint
+//     inputs; Compile() rejects expressions with ×◦ seams.
+//
+// Both engines agree with PathExpr::Evaluate membership (see the property
+// tests) — recognizer, generator, and evaluator share one semantics.
+
+#ifndef MRPA_REGEX_RECOGNIZER_H_
+#define MRPA_REGEX_RECOGNIZER_H_
+
+#include <cstdint>
+
+#include "core/path.h"
+#include "regex/lazy_dfa.h"
+#include "regex/nfa.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+class NfaRecognizer {
+ public:
+  explicit NfaRecognizer(Nfa nfa) : nfa_(std::move(nfa)) {}
+
+  // Compiles the expression; never fails for well-formed expressions except
+  // on oversized power unrolls.
+  static Result<NfaRecognizer> Compile(const PathExpr& expr);
+
+  // True iff `path` is in the expression's language. ε is accepted iff the
+  // start closure reaches the accept state.
+  bool Recognize(const Path& path) const;
+
+  const Nfa& nfa() const { return nfa_; }
+
+ private:
+  Nfa nfa_;
+};
+
+class DfaRecognizer {
+ public:
+  // Fails with InvalidArgument when the expression contains ×◦ seams
+  // (including disjoint literals) — use NfaRecognizer for those.
+  static Result<DfaRecognizer> Compile(const PathExpr& expr);
+
+  // Lazy recognition; non-const because new DFA states/transitions may be
+  // materialized. Fails with InvalidArgument for disjoint input paths.
+  Result<bool> Recognize(const Path& path);
+
+  // Introspection for tests and the E5 bench.
+  size_t num_dfa_states() const { return dfa_.num_states(); }
+  size_t num_edge_classes() const { return dfa_.num_edge_classes(); }
+
+ private:
+  explicit DfaRecognizer(LazyDfa dfa) : dfa_(std::move(dfa)) {}
+
+  LazyDfa dfa_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_RECOGNIZER_H_

@@ -1,0 +1,156 @@
+#include "regex/sampler.h"
+
+#include <limits>
+
+namespace mrpa {
+
+namespace {
+
+// Saturating addition keeps overflow detectable without UB.
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return a > std::numeric_limits<uint64_t>::max() - b
+             ? std::numeric_limits<uint64_t>::max()
+             : a + b;
+}
+
+}  // namespace
+
+Result<PathSampler> PathSampler::Compile(const PathExpr& expr) {
+  Result<LazyDfa> dfa = LazyDfa::Compile(expr);
+  if (!dfa.ok()) return dfa.status();
+  return PathSampler(std::move(dfa).value());
+}
+
+uint64_t PathSampler::Completions(uint32_t state, VertexId vertex,
+                                  uint32_t remaining) {
+  Key key{state, vertex, remaining};
+  if (auto it = completion_counts_.find(key);
+      it != completion_counts_.end()) {
+    return it->second;
+  }
+  // "Stop here" is a completion iff the state accepts.
+  uint64_t total = dfa_.accepting(state) ? 1 : 0;
+  if (remaining > 0) {
+    for (const Edge& e : universe_->OutEdges(vertex)) {
+      uint32_t next = dfa_.Step(state, e);
+      if (next == LazyDfa::kDead) continue;
+      total = SaturatingAdd(total, Completions(next, e.head, remaining - 1));
+    }
+  }
+  if (total == std::numeric_limits<uint64_t>::max()) overflowed_ = true;
+  completion_counts_.emplace(key, total);
+  return total;
+}
+
+Status PathSampler::Prepare(const EdgeUniverse& universe,
+                            const SampleOptions& options) {
+  universe_ = &universe;
+  options_ = options;
+  completion_counts_.clear();
+  overflowed_ = false;
+  rng_.Seed(options.seed);
+
+  epsilon_accepted_ = dfa_.accepting(dfa_.start());
+  language_size_ = epsilon_accepted_ ? 1 : 0;
+  if (options.max_path_length > 0) {
+    for (const Edge& e : universe.AllEdges()) {
+      uint32_t next = dfa_.Step(dfa_.start(), e);
+      if (next == LazyDfa::kDead) continue;
+      language_size_ = SaturatingAdd(
+          language_size_,
+          Completions(next, e.head,
+                      static_cast<uint32_t>(options.max_path_length) - 1));
+    }
+  }
+  if (overflowed_ ||
+      language_size_ == std::numeric_limits<uint64_t>::max()) {
+    prepared_ = false;
+    return Status::InvalidArgument(
+        "language size overflows uint64; lower max_path_length");
+  }
+  if (language_size_ == 0) {
+    prepared_ = false;
+    return Status::InvalidArgument(
+        "the bounded language is empty; nothing to sample");
+  }
+  prepared_ = true;
+  return Status::OK();
+}
+
+Result<Path> PathSampler::Sample() {
+  if (!prepared_) {
+    return Status::InvalidArgument("Prepare() must succeed before Sample()");
+  }
+  // Draw a rank in [0, language_size) and walk the counting table.
+  uint64_t rank = rng_.Below(language_size_);
+
+  if (epsilon_accepted_) {
+    if (rank == 0) return Path();
+    rank -= 1;
+  }
+
+  Path path;
+  uint32_t state = dfa_.start();
+  VertexId vertex = kInvalidVertex;
+  uint32_t remaining = static_cast<uint32_t>(options_.max_path_length);
+
+  // First edge: drawn from the whole edge set.
+  for (const Edge& e : universe_->AllEdges()) {
+    uint32_t next = dfa_.Step(state, e);
+    if (next == LazyDfa::kDead) continue;
+    uint64_t below = Completions(next, e.head, remaining - 1);
+    if (rank < below) {
+      path.Append(e);
+      state = next;
+      vertex = e.head;
+      remaining -= 1;
+      break;
+    }
+    rank -= below;
+  }
+  if (path.empty()) {
+    return Status::Internal("sampler rank walked past the language");
+  }
+
+  // Subsequent edges: either stop (if accepting) or continue.
+  while (true) {
+    if (dfa_.accepting(state)) {
+      if (rank == 0) return path;
+      rank -= 1;
+    }
+    if (remaining == 0) {
+      return Status::Internal("sampler rank exceeded completions");
+    }
+    bool stepped = false;
+    for (const Edge& e : universe_->OutEdges(vertex)) {
+      uint32_t next = dfa_.Step(state, e);
+      if (next == LazyDfa::kDead) continue;
+      uint64_t below = Completions(next, e.head, remaining - 1);
+      if (rank < below) {
+        path.Append(e);
+        state = next;
+        vertex = e.head;
+        remaining -= 1;
+        stepped = true;
+        break;
+      }
+      rank -= below;
+    }
+    if (!stepped) {
+      return Status::Internal("sampler rank exceeded completions");
+    }
+  }
+}
+
+Result<std::vector<Path>> PathSampler::SampleMany(size_t count) {
+  std::vector<Path> samples;
+  samples.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    Result<Path> sample = Sample();
+    if (!sample.ok()) return sample.status();
+    samples.push_back(std::move(sample).value());
+  }
+  return samples;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,90 @@
+// Uniform random sampling from a regular path language — the §IV-B
+// generator's statistical sibling.
+//
+// Enumerating all accepted paths is exponential; counting them (the
+// semiring DP of regex/path_analysis.h) is polynomial. Sampling combines
+// the two: a backward counting table
+//
+//   A(q, v, r) = #accepted completions from DFA state q standing at
+//                vertex v with ≤ r edges remaining
+//
+// turns generation into a guided random walk — at each step the next edge
+// is drawn with probability proportional to the number of accepted
+// completions through it, which makes every accepted path of length ≤ L
+// EXACTLY equally likely. Use cases: statistical estimates over path
+// populations too large to enumerate (mean length, label-mix, endpoint
+// distributions), and fair test-input generation.
+//
+// Joint-only expressions (the LazyDfa restriction); determinism per seed.
+
+#ifndef MRPA_REGEX_SAMPLER_H_
+#define MRPA_REGEX_SAMPLER_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "core/expr.h"
+#include "core/path.h"
+#include "regex/lazy_dfa.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mrpa {
+
+struct SampleOptions {
+  // Samples are uniform over accepted paths of length ≤ max_path_length
+  // (the ε path included when accepted).
+  size_t max_path_length = 8;
+  uint64_t seed = 1;
+};
+
+class PathSampler {
+ public:
+  // Fails with InvalidArgument for expressions with ×◦ seams.
+  static Result<PathSampler> Compile(const PathExpr& expr);
+
+  // Binds the sampler to a universe and precomputes the completion-count
+  // table. Fails with InvalidArgument when the (bounded) language is empty
+  // or its size overflows uint64.
+  Status Prepare(const EdgeUniverse& universe, const SampleOptions& options);
+
+  // The exact number of accepted paths of length ≤ max_path_length (after
+  // Prepare).
+  uint64_t LanguageSize() const { return language_size_; }
+
+  // Draws one path, uniformly from the bounded language. Requires a prior
+  // successful Prepare.
+  Result<Path> Sample();
+
+  // Draws `count` paths (independent, with replacement).
+  Result<std::vector<Path>> SampleMany(size_t count);
+
+ private:
+  explicit PathSampler(LazyDfa dfa) : dfa_(std::move(dfa)) {}
+
+  struct Key {
+    uint32_t state;
+    VertexId vertex;
+    uint32_t remaining;
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  // A(q, v, r), memoized. Saturates at kOverflow (reported by Prepare).
+  uint64_t Completions(uint32_t state, VertexId vertex, uint32_t remaining);
+
+  LazyDfa dfa_;
+  const EdgeUniverse* universe_ = nullptr;
+  SampleOptions options_;
+  std::map<Key, uint64_t> completion_counts_;
+  uint64_t language_size_ = 0;
+  bool epsilon_accepted_ = false;
+  Rng rng_{1};
+  bool prepared_ = false;
+  bool overflowed_ = false;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_REGEX_SAMPLER_H_

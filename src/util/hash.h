@@ -1,0 +1,40 @@
+// Hashing utilities shared by PathSet, graph indices, and the automata.
+
+#ifndef MRPA_UTIL_HASH_H_
+#define MRPA_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mrpa {
+
+// 64-bit avalanche mix (the SplitMix64 finalizer). Good for integer keys
+// whose low bits are poorly distributed, e.g. interned ids.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Combines an existing seed with the hash of another value, boost-style but
+// over 64 bits.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) +
+                 (seed >> 4));
+}
+
+// FNV-1a over an arbitrary byte range; used for hashing path payloads.
+inline uint64_t HashBytes(const void* data, size_t length) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < length; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_HASH_H_

@@ -1,0 +1,14 @@
+// Bit counting helper (kept out of <bit> for toolchain portability).
+
+#ifndef MRPA_UTIL_POPCOUNT_H_
+#define MRPA_UTIL_POPCOUNT_H_
+
+#include <cstdint>
+
+namespace mrpa {
+
+inline int PopCount64(uint64_t x) { return __builtin_popcountll(x); }
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_POPCOUNT_H_

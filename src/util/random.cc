@@ -1,0 +1,25 @@
+#include "util/random.h"
+
+namespace mrpa {
+
+size_t Rng::SampleWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    assert(w >= 0.0);
+    total += w;
+  }
+  if (total <= 0.0) return weights.size();
+  double target = NextDouble() * total;
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  // Floating-point slack: fall back to the last positively weighted index.
+  for (size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return weights.size();
+}
+
+}  // namespace mrpa

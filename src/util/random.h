@@ -1,0 +1,131 @@
+// Deterministic pseudo-random number generation for workload generators,
+// property tests, and benchmarks.
+//
+// All randomized components of mrpa are seeded explicitly so that every
+// experiment in EXPERIMENTS.md is exactly reproducible. The generator is
+// xoshiro256**, seeded via SplitMix64 (the construction recommended by the
+// xoshiro authors), both implemented here to avoid platform-dependent
+// std::mt19937 streams.
+
+#ifndef MRPA_UTIL_RANDOM_H_
+#define MRPA_UTIL_RANDOM_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace mrpa {
+
+// SplitMix64: a tiny 64-bit generator used for seeding.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 64-bit PRNG with a 2^256-1 period.
+//
+// Satisfies the UniformRandomBitGenerator requirements, so it can be plugged
+// into <random> distributions if desired, though the convenience methods
+// below are preferred inside mrpa for cross-platform determinism.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  // Seeds the four 64-bit state words from SplitMix64(seed).
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.Next();
+  }
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  // multiply-shift rejection method (unbiased).
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      uint64_t threshold = (-bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Between(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1) with 53 bits of randomness.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability p (clamped to [0, 1]).
+  bool Chance(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return NextDouble() < p;
+  }
+
+  // Fisher-Yates shuffles `items` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples an index from the (unnormalized, non-negative) weight vector.
+  // Returns weights.size() if all weights are zero.
+  size_t SampleWeighted(const std::vector<double>& weights);
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_RANDOM_H_

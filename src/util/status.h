@@ -1,0 +1,181 @@
+// Status and Result<T>: exception-free error handling for the mrpa library.
+//
+// The library follows the RocksDB/Arrow convention: fallible operations
+// return a Status (or a Result<T> when they also produce a value) instead of
+// throwing. Logic errors (precondition violations by the caller) are still
+// surfaced via assertions in debug builds.
+
+#ifndef MRPA_UTIL_STATUS_H_
+#define MRPA_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mrpa {
+
+// Machine-inspectable category for a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,   // Caller supplied an argument outside the contract.
+  kNotFound = 2,          // A referenced vertex / label / edge does not exist.
+  kOutOfRange = 3,        // An index (e.g. sigma's n) exceeds a bound.
+  kAlreadyExists = 4,     // Insertion would violate uniqueness.
+  kResourceExhausted = 5, // An evaluation bound (paths, memory) was exceeded.
+  kUnimplemented = 6,     // Feature intentionally not provided.
+  kIOError = 7,           // Graph text I/O failure.
+  kCorruption = 8,        // Malformed persistent or wire data.
+  kInternal = 9,          // Invariant broken inside the library (a bug).
+};
+
+// Returns a stable human-readable name ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+// A cheap value type describing the outcome of an operation.
+//
+// An OK status carries no message and no allocation. Error statuses carry a
+// code and a human-readable message. Status is copyable and movable.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  // Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// A Status or a value of type T.
+//
+// Usage:
+//   Result<PathSet> r = EvaluateExpression(expr, graph);
+//   if (!r.ok()) return r.status();
+//   PathSet paths = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value: `return some_t;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  // Implicit construction from an error status: `return Status::NotFound(..)`.
+  // Constructing a Result from an OK status is a programming error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  // Accessing the value of an errored Result is a programming error.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;  // OK iff value_ holds.
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status out of the enclosing function.
+#define MRPA_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::mrpa::Status _mrpa_status = (expr);     \
+    if (!_mrpa_status.ok()) return _mrpa_status; \
+  } while (0)
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harnesses and examples.
+
+#ifndef MRPA_UTIL_STOPWATCH_H_
+#define MRPA_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace mrpa {
+
+// Measures elapsed wall time from construction or the last Restart().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed time in the requested unit.
+  double ElapsedSeconds() const { return ElapsedNanos() * 1e-9; }
+  double ElapsedMillis() const { return ElapsedNanos() * 1e-6; }
+  double ElapsedMicros() const { return ElapsedNanos() * 1e-3; }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_STOPWATCH_H_

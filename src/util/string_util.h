@@ -1,0 +1,35 @@
+// Small string helpers used by graph I/O and the example/bench binaries.
+
+#ifndef MRPA_UTIL_STRING_UTIL_H_
+#define MRPA_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mrpa {
+
+// Splits `text` on `delimiter`, keeping empty fields. "a,,b" -> {"a","","b"}.
+std::vector<std::string_view> Split(std::string_view text, char delimiter);
+
+// Splits on any run of whitespace, dropping empty fields.
+std::vector<std::string_view> SplitWhitespace(std::string_view text);
+
+// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+// True if `text` begins with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Parses a base-10 unsigned integer; returns false on any malformed input,
+// overflow, or trailing garbage.
+bool ParseUint64(std::string_view text, uint64_t* out);
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_STRING_UTIL_H_

@@ -1,0 +1,105 @@
+#include "algorithms/assortativity.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(ScalarAssortativityTest, PerfectPositiveCorrelation) {
+  // Arcs only between equal-attribute vertices.
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  auto r = ScalarAssortativity(g, {1.0, 1.0, 5.0, 5.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-12);
+}
+
+TEST(ScalarAssortativityTest, PerfectNegativeCorrelation) {
+  // Low always points at high and vice versa.
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 2}, {2, 0}, {1, 3}, {3, 1}});
+  auto r = ScalarAssortativity(g, {1.0, 1.0, 5.0, 5.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), -1.0, 1e-12);
+}
+
+TEST(ScalarAssortativityTest, ZeroVarianceIsZero) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}});
+  auto r = ScalarAssortativity(g, {2.0, 2.0, 2.0});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0.0);
+}
+
+TEST(ScalarAssortativityTest, Validation) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}});
+  EXPECT_TRUE(ScalarAssortativity(g, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(ScalarAssortativity(BinaryGraph(3), {1.0, 2.0, 3.0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(DegreeAssortativityTest, DisassortativeStar) {
+  // Undirected star: high-degree center connects to degree-1 leaves →
+  // strongly negative.
+  BinaryGraph star = BinaryGraph::FromArcs(
+      5, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}, {0, 4}, {4, 0}});
+  auto r = DegreeAssortativity(star);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LT(r.value(), -0.9);
+}
+
+TEST(DegreeAssortativityTest, RegularGraphHasNoVariance) {
+  BinaryGraph cycle = BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3},
+                                                {3, 0}});
+  auto r = DegreeAssortativity(cycle);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0.0);  // All degrees equal → zero variance → 0.
+}
+
+TEST(DegreeAssortativityTest, NoArcsIsError) {
+  EXPECT_TRUE(DegreeAssortativity(BinaryGraph(3)).status().IsInvalidArgument());
+}
+
+TEST(DiscreteAssortativityTest, PerfectlyAssortative) {
+  // All arcs within categories.
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {1, 0}, {2, 3}, {3, 2}});
+  auto r = DiscreteAssortativity(g, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), 1.0, 1e-12);
+}
+
+TEST(DiscreteAssortativityTest, PerfectlyDisassortative) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 2}, {2, 0}, {1, 3}, {3, 1}});
+  auto r = DiscreteAssortativity(g, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.value(), -1.0, 1e-12);
+}
+
+TEST(DiscreteAssortativityTest, SingleCategoryDegenerate) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}});
+  auto r = DiscreteAssortativity(g, {0, 0, 0}, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 1.0);
+}
+
+TEST(DiscreteAssortativityTest, MixedGraphInBetween) {
+  // Three intra-category arcs, one inter-category arc.
+  BinaryGraph g = BinaryGraph::FromArcs(
+      4, {{0, 1}, {1, 0}, {2, 3}, {2, 1}});
+  auto r = DiscreteAssortativity(g, {0, 0, 1, 1}, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r.value(), 0.0);
+  EXPECT_LT(r.value(), 1.0);
+}
+
+TEST(DiscreteAssortativityTest, Validation) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 1}});
+  EXPECT_TRUE(
+      DiscreteAssortativity(g, {0}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      DiscreteAssortativity(g, {0, 5}, 2).status().IsInvalidArgument());
+  EXPECT_TRUE(DiscreteAssortativity(BinaryGraph(2), {0, 1}, 2)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mrpa

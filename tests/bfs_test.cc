@@ -1,0 +1,100 @@
+#include "algorithms/bfs.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+// 0 -> 1 -> 2 -> 3, 0 -> 2.
+BinaryGraph Dag() {
+  return BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+}
+
+TEST(BfsTest, DistancesFromSource) {
+  auto dist = BfsDistances(Dag(), 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);  // Shortcut 0->2 wins over 0->1->2.
+  EXPECT_EQ(dist[3], 2u);
+}
+
+TEST(BfsTest, UnreachableIsMarked) {
+  auto dist = BfsDistances(Dag(), 3);
+  EXPECT_EQ(dist[3], 0u);
+  EXPECT_EQ(dist[0], kUnreachable);
+  EXPECT_EQ(dist[1], kUnreachable);
+  EXPECT_EQ(dist[2], kUnreachable);
+}
+
+TEST(BfsTest, OutOfRangeSourceAllUnreachable) {
+  auto dist = BfsDistances(Dag(), 99);
+  for (uint32_t d : dist) EXPECT_EQ(d, kUnreachable);
+}
+
+TEST(BfsTest, AllPairsMatchesSingleSource) {
+  BinaryGraph g = Dag();
+  auto all = AllPairsDistances(g);
+  ASSERT_EQ(all.size(), 4u);
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(all[v], BfsDistances(g, v));
+  }
+}
+
+TEST(BfsTest, DiameterOfChain) {
+  BinaryGraph chain = BinaryGraph::FromArcs(5, {{0, 1}, {1, 2}, {2, 3},
+                                                {3, 4}});
+  EXPECT_EQ(Diameter(chain), 4u);
+}
+
+TEST(BfsTest, DiameterOfCycle) {
+  BinaryGraph cycle = BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3},
+                                                {3, 0}});
+  EXPECT_EQ(Diameter(cycle), 3u);
+}
+
+TEST(BfsTest, DiameterOfEdgelessGraphIsZero) {
+  EXPECT_EQ(Diameter(BinaryGraph(5)), 0u);
+}
+
+TEST(ShortestPathTest, FindsAPath) {
+  auto path = ShortestPath(Dag(), 0, 3);
+  ASSERT_EQ(path.size(), 3u);  // 0 -> 2 -> 3.
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  // Consecutive pairs are arcs.
+  BinaryGraph g = Dag();
+  for (size_t n = 1; n < path.size(); ++n) {
+    EXPECT_TRUE(g.HasArc(path[n - 1], path[n]));
+  }
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  auto path = ShortestPath(Dag(), 1, 1);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(ShortestPathTest, UnreachableIsEmpty) {
+  EXPECT_TRUE(ShortestPath(Dag(), 3, 0).empty());
+  EXPECT_TRUE(ShortestPath(Dag(), 0, 99).empty());
+  EXPECT_TRUE(ShortestPath(Dag(), 99, 0).empty());
+}
+
+TEST(ShortestPathTest, LengthMatchesBfsDistance) {
+  BinaryGraph g = Dag();
+  for (VertexId s = 0; s < 4; ++s) {
+    auto dist = BfsDistances(g, s);
+    for (VertexId t = 0; t < 4; ++t) {
+      auto path = ShortestPath(g, s, t);
+      if (dist[t] == kUnreachable) {
+        EXPECT_TRUE(path.empty());
+      } else {
+        ASSERT_FALSE(path.empty());
+        EXPECT_EQ(path.size() - 1, dist[t]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

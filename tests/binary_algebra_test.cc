@@ -1,0 +1,124 @@
+// Tests for the ref-[4]-style binary algebra and the path-label-loss
+// argument of §II's closing paragraph (experiment E10's correctness side).
+
+#include "core/binary_algebra.h"
+
+#include <gtest/gtest.h>
+
+#include "core/path_set.h"
+
+namespace mrpa {
+namespace {
+
+using binary::ForgetLabels;
+using binary::Join;
+using binary::PayloadBytes;
+using binary::VertexPath;
+using binary::VertexPathSet;
+
+TEST(VertexPathTest, Basics) {
+  VertexPath empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.length(), 0u);
+  EXPECT_EQ(empty.Tail(), kInvalidVertex);
+
+  VertexPath edge(3, 5);
+  EXPECT_EQ(edge.length(), 1u);
+  EXPECT_EQ(edge.Tail(), 3u);
+  EXPECT_EQ(edge.Head(), 5u);
+  EXPECT_EQ(edge.ToString(), "(3,5)");
+}
+
+TEST(VertexPathTest, JointConcatCollapsesSharedVertex) {
+  VertexPath a(0, 1), b(1, 2);
+  auto joined = a.JointConcat(b);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->vertices(), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(joined->length(), 2u);
+}
+
+TEST(VertexPathTest, JointConcatRejectsNonAdjacent) {
+  VertexPath a(0, 1), b(2, 3);
+  EXPECT_TRUE(a.JointConcat(b).status().IsInvalidArgument());
+}
+
+TEST(VertexPathTest, EmptyIsIdentity) {
+  VertexPath a(0, 1), empty;
+  EXPECT_EQ(a.JointConcat(empty).value(), a);
+  EXPECT_EQ(empty.JointConcat(a).value(), a);
+}
+
+TEST(ForgetLabelsTest, DropsLabelInformation) {
+  // The §II argument: two paths with different path labels map to the SAME
+  // vertex string, so the originating relations cannot be recovered.
+  Path alpha_path({Edge(0, /*α=*/0, 1), Edge(1, /*α=*/0, 2)});
+  Path mixed_path({Edge(0, /*α=*/0, 1), Edge(1, /*β=*/1, 2)});
+  ASSERT_NE(alpha_path, mixed_path);
+  ASSERT_NE(alpha_path.PathLabel(), mixed_path.PathLabel());
+
+  auto image_a = ForgetLabels(alpha_path);
+  auto image_b = ForgetLabels(mixed_path);
+  ASSERT_TRUE(image_a.ok());
+  ASSERT_TRUE(image_b.ok());
+  EXPECT_EQ(image_a.value(), image_b.value());  // Label loss, demonstrated.
+}
+
+TEST(ForgetLabelsTest, EpsilonMapsToEmpty) {
+  auto image = ForgetLabels(Path());
+  ASSERT_TRUE(image.ok());
+  EXPECT_TRUE(image->empty());
+}
+
+TEST(ForgetLabelsTest, RejectsDisjointPaths) {
+  Path disjoint({Edge(0, 0, 1), Edge(5, 0, 6)});
+  EXPECT_TRUE(ForgetLabels(disjoint).status().IsInvalidArgument());
+}
+
+TEST(VertexPathSetTest, FromBinaryRelationDedups) {
+  VertexPathSet s = VertexPathSet::FromBinaryRelation(
+      {{0, 1}, {1, 2}, {0, 1}});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(VertexPath(0, 1)));
+}
+
+TEST(VertexPathSetTest, JoinMirrorsTernaryJoinShape) {
+  VertexPathSet a = VertexPathSet::FromBinaryRelation({{0, 1}, {2, 3}});
+  VertexPathSet b = VertexPathSet::FromBinaryRelation({{1, 2}, {3, 0}});
+  VertexPathSet joined = Join(a, b);
+  EXPECT_EQ(joined.size(), 2u);  // 0-1-2 and 2-3-0.
+  EXPECT_TRUE(joined.Contains(VertexPath({0, 1, 2})));
+  EXPECT_TRUE(joined.Contains(VertexPath({2, 3, 0})));
+}
+
+TEST(VertexPathSetTest, JoinCollapsesLabelDistinctPaths) {
+  // In the ternary algebra, (0,α,1)◦(1,α,2) and (0,β,1)◦(1,β,2) are two
+  // distinct paths. Their binary images coincide: the binary join of the
+  // corresponding relations produces ONE path where the ternary join keeps
+  // two — the information deficiency in executable form.
+  PathSet A({Path(Edge(0, 0, 1)), Path(Edge(0, 1, 1))});
+  PathSet B({Path(Edge(1, 0, 2)), Path(Edge(1, 1, 2))});
+  auto ternary = ConcatenativeJoin(A, B);
+  ASSERT_TRUE(ternary.ok());
+  EXPECT_EQ(ternary->size(), 4u);  // αα, αβ, βα, ββ — labels preserved.
+
+  VertexPathSet a = VertexPathSet::FromBinaryRelation({{0, 1}});
+  VertexPathSet b = VertexPathSet::FromBinaryRelation({{1, 2}});
+  EXPECT_EQ(Join(a, b).size(), 1u);  // All four collapse to 0-1-2.
+}
+
+TEST(VertexPathSetTest, EpsilonDisjunct) {
+  VertexPathSet a = VertexPathSet::FromBinaryRelation({{0, 1}});
+  VertexPathSet with_eps(std::vector<VertexPath>{VertexPath(), {1, 2}});
+  VertexPathSet joined = Join(a, with_eps);
+  EXPECT_TRUE(joined.Contains(VertexPath(0, 1)));          // a ◦ ε.
+  EXPECT_TRUE(joined.Contains(VertexPath({0, 1, 2})));     // Adjacent join.
+}
+
+TEST(VertexPathSetTest, PayloadBytes) {
+  VertexPathSet s(std::vector<VertexPath>{VertexPath(0, 1),
+                                          VertexPath({0, 1, 2})});
+  EXPECT_EQ(PayloadBytes(s), (2 + 3) * sizeof(VertexId));
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,81 @@
+#include "graph/binary_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mrpa {
+namespace {
+
+TEST(BinaryGraphTest, EmptyGraph) {
+  BinaryGraph g(4);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_arcs(), 0u);
+  EXPECT_TRUE(g.OutNeighbors(0).empty());
+  EXPECT_FALSE(g.HasArc(0, 1));
+}
+
+TEST(BinaryGraphTest, FromArcsDedupsAndSorts) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 2}, {0, 1}, {0, 2}, {1, 0}});
+  EXPECT_EQ(g.num_arcs(), 3u);
+  auto n0 = g.OutNeighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+  EXPECT_TRUE(g.HasArc(1, 0));
+  EXPECT_FALSE(g.HasArc(2, 0));
+}
+
+TEST(BinaryGraphTest, OutOfRangeQueriesAreSafe) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 1}});
+  EXPECT_TRUE(g.OutNeighbors(5).empty());
+  EXPECT_FALSE(g.HasArc(5, 0));
+}
+
+TEST(BinaryGraphTest, Reversed) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}, {0, 2}});
+  BinaryGraph r = g.Reversed();
+  EXPECT_EQ(r.num_arcs(), 3u);
+  EXPECT_TRUE(r.HasArc(1, 0));
+  EXPECT_TRUE(r.HasArc(2, 1));
+  EXPECT_TRUE(r.HasArc(2, 0));
+  EXPECT_FALSE(r.HasArc(0, 1));
+  // Double reversal is identity.
+  EXPECT_EQ(r.Reversed(), g);
+}
+
+TEST(BinaryGraphTest, Symmetrized) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}});
+  BinaryGraph s = g.Symmetrized();
+  EXPECT_EQ(s.num_arcs(), 2u);
+  EXPECT_TRUE(s.HasArc(0, 1));
+  EXPECT_TRUE(s.HasArc(1, 0));
+  // Symmetrizing is idempotent.
+  EXPECT_EQ(s.Symmetrized(), s);
+}
+
+TEST(BinaryGraphTest, SymmetrizedKeepsSelfLoopsSingle) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 0}});
+  BinaryGraph s = g.Symmetrized();
+  EXPECT_EQ(s.num_arcs(), 1u);
+  EXPECT_TRUE(s.HasArc(0, 0));
+}
+
+TEST(BinaryGraphTest, ArcsRoundTrip) {
+  std::vector<std::pair<VertexId, VertexId>> arcs = {{0, 1}, {1, 2}, {2, 0}};
+  BinaryGraph g = BinaryGraph::FromArcs(3, arcs);
+  auto out = g.Arcs();
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, arcs);
+  EXPECT_EQ(BinaryGraph::FromArcs(3, out), g);
+}
+
+TEST(BinaryGraphTest, Degrees) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {0, 2}, {0, 3}, {1, 0}});
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+}
+
+}  // namespace
+}  // namespace mrpa

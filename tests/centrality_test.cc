@@ -1,0 +1,219 @@
+// Tests for the §IV-C algorithm classes: geodesic (closeness, betweenness)
+// and spectral (eigenvector, PageRank, spreading activation) centralities,
+// verified against hand-computed values on canonical graphs.
+
+#include "algorithms/centrality.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace mrpa {
+namespace {
+
+// Undirected (symmetrized) star: center 0, leaves 1..4.
+BinaryGraph Star5() {
+  return BinaryGraph::FromArcs(
+      5, {{0, 1}, {1, 0}, {0, 2}, {2, 0}, {0, 3}, {3, 0}, {0, 4}, {4, 0}});
+}
+
+// Undirected path: 0 - 1 - 2 - 3 - 4.
+BinaryGraph Path5() {
+  return BinaryGraph::FromArcs(
+      5, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 3}, {3, 2}, {3, 4}, {4, 3}});
+}
+
+// Directed cycle 0 -> 1 -> 2 -> 3 -> 0.
+BinaryGraph Cycle4() {
+  return BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+}
+
+TEST(ClosenessTest, StarCenterDominates) {
+  auto c = ClosenessCentrality(Star5());
+  // Center: distance 1 to all 4 leaves → c = 4/4 · 4/4 = 1.
+  EXPECT_DOUBLE_EQ(c[0], 1.0);
+  // Leaves: distances {1, 2, 2, 2} sum 7 → 4/4 · 4/7.
+  for (VertexId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_NEAR(c[leaf], 4.0 / 7.0, 1e-12);
+  }
+}
+
+TEST(ClosenessTest, PathMiddleBeatsEnds) {
+  auto c = ClosenessCentrality(Path5());
+  EXPECT_GT(c[2], c[1]);
+  EXPECT_GT(c[1], c[0]);
+  EXPECT_DOUBLE_EQ(c[0], c[4]);  // Symmetry.
+  EXPECT_DOUBLE_EQ(c[1], c[3]);
+  // Middle: distances {2,1,1,2} sum 6 → 4/6 · 4/4? No: (r/(n-1))·(r/Σd)
+  // with r = 4, n = 5 → 1 · 4/6.
+  EXPECT_NEAR(c[2], 4.0 / 6.0, 1e-12);
+}
+
+TEST(ClosenessTest, IsolatedVertexScoresZero) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 0}});
+  auto c = ClosenessCentrality(g);
+  EXPECT_EQ(c[2], 0.0);
+  EXPECT_GT(c[0], 0.0);
+}
+
+TEST(ClosenessTest, TinyGraphs) {
+  EXPECT_TRUE(ClosenessCentrality(BinaryGraph(0)).empty());
+  auto single = ClosenessCentrality(BinaryGraph(1));
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0], 0.0);
+}
+
+TEST(BetweennessTest, StarCenterCarriesAllPairs) {
+  auto b = BetweennessCentrality(Star5());
+  // Every leaf-to-leaf shortest path (4·3 ordered pairs) passes the center.
+  EXPECT_DOUBLE_EQ(b[0], 12.0);
+  for (VertexId leaf = 1; leaf < 5; ++leaf) EXPECT_DOUBLE_EQ(b[leaf], 0.0);
+}
+
+TEST(BetweennessTest, PathInteriorValues) {
+  auto b = BetweennessCentrality(Path5());
+  // Vertex 1 lies on ordered pairs (0,2),(0,3),(0,4),(2,0),(3,0),(4,0) = 6.
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 6.0);
+  EXPECT_DOUBLE_EQ(b[2], 8.0);
+  EXPECT_DOUBLE_EQ(b[3], 6.0);
+  EXPECT_DOUBLE_EQ(b[4], 0.0);
+}
+
+TEST(BetweennessTest, SplitShortestPathsShareCredit) {
+  // Diamond: 0 -> {1, 2} -> 3; two equal shortest paths 0→3.
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto b = BetweennessCentrality(g);
+  EXPECT_DOUBLE_EQ(b[1], 0.5);
+  EXPECT_DOUBLE_EQ(b[2], 0.5);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[3], 0.0);
+}
+
+TEST(BetweennessTest, CycleUniform) {
+  auto b = BetweennessCentrality(Cycle4());
+  // Symmetric: every vertex lies on the same number of shortest paths.
+  for (VertexId v = 1; v < 4; ++v) EXPECT_DOUBLE_EQ(b[v], b[0]);
+  EXPECT_GT(b[0], 0.0);
+}
+
+TEST(EigenvectorTest, CycleIsUniform) {
+  auto result = EigenvectorCentrality(Cycle4());
+  ASSERT_TRUE(result.ok());
+  const double expected = 1.0 / std::sqrt(4.0);
+  for (double score : result.value()) EXPECT_NEAR(score, expected, 1e-6);
+}
+
+TEST(EigenvectorTest, HubAttractsMass) {
+  // Symmetrized star: the center must score strictly highest.
+  auto result = EigenvectorCentrality(Star5());
+  ASSERT_TRUE(result.ok());
+  for (VertexId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT((*result)[0], (*result)[leaf]);
+  }
+}
+
+TEST(EigenvectorTest, EdgelessGraphIsZero) {
+  auto result = EigenvectorCentrality(BinaryGraph(3));
+  ASSERT_TRUE(result.ok());
+  for (double score : result.value()) EXPECT_EQ(score, 0.0);
+}
+
+TEST(EigenvectorTest, EmptyGraph) {
+  auto result = EigenvectorCentrality(BinaryGraph(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(PageRankTest, SumsToOne) {
+  auto result = PageRank(Star5());
+  ASSERT_TRUE(result.ok());
+  double total = std::accumulate(result->begin(), result->end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, CycleIsUniform) {
+  auto result = PageRank(Cycle4());
+  ASSERT_TRUE(result.ok());
+  for (double score : result.value()) EXPECT_NEAR(score, 0.25, 1e-9);
+}
+
+TEST(PageRankTest, DirectedStarSinkCollectsMass) {
+  // All leaves point at the center; center is dangling.
+  BinaryGraph g = BinaryGraph::FromArcs(5, {{1, 0}, {2, 0}, {3, 0}, {4, 0}});
+  auto result = PageRank(g);
+  ASSERT_TRUE(result.ok());
+  for (VertexId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT((*result)[0], (*result)[leaf]);
+  }
+  double total = std::accumulate(result->begin(), result->end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(PageRankTest, TeleportationBoundsScores) {
+  // With damping d, every score ≥ (1-d)/n (the disjoint-jump floor).
+  PageRankOptions options;
+  options.damping = 0.85;
+  auto result = PageRank(Star5(), options);
+  ASSERT_TRUE(result.ok());
+  for (double score : result.value()) {
+    EXPECT_GE(score, (1.0 - options.damping) / 5.0 - 1e-12);
+  }
+}
+
+TEST(PageRankTest, ValidatesDamping) {
+  PageRankOptions options;
+  options.damping = 1.0;
+  EXPECT_TRUE(PageRank(Star5(), options).status().IsInvalidArgument());
+  options.damping = -0.1;
+  EXPECT_TRUE(PageRank(Star5(), options).status().IsInvalidArgument());
+}
+
+TEST(PageRankTest, ZeroDampingIsUniform) {
+  PageRankOptions options;
+  options.damping = 0.0;
+  auto result = PageRank(Star5(), options);
+  ASSERT_TRUE(result.ok());
+  for (double score : result.value()) EXPECT_NEAR(score, 0.2, 1e-12);
+}
+
+TEST(SpreadingActivationTest, SeedKeepsInitialEnergy) {
+  auto activation = SpreadingActivation(Path5(), {0});
+  EXPECT_GE(activation[0], 1.0);
+  // Energy decays with distance from the seed.
+  EXPECT_GT(activation[1], activation[2]);
+  EXPECT_GT(activation[2], activation[3]);
+}
+
+TEST(SpreadingActivationTest, NoSeedsNoActivation) {
+  auto activation = SpreadingActivation(Path5(), {});
+  for (double a : activation) EXPECT_EQ(a, 0.0);
+}
+
+TEST(SpreadingActivationTest, RoundsLimitHorizon) {
+  SpreadingActivationOptions options;
+  options.rounds = 1;
+  auto activation = SpreadingActivation(Path5(), {0}, options);
+  EXPECT_GT(activation[1], 0.0);
+  EXPECT_EQ(activation[2], 0.0);  // Two hops away: untouched after 1 round.
+}
+
+TEST(SpreadingActivationTest, MultipleSeedsAccumulate) {
+  auto one = SpreadingActivation(Path5(), {0});
+  auto both = SpreadingActivation(Path5(), {0, 4});
+  EXPECT_GT(both[2], one[2]);
+}
+
+TEST(SpreadingActivationTest, OutOfRangeSeedIgnored) {
+  auto activation = SpreadingActivation(Path5(), {99});
+  for (double a : activation) EXPECT_EQ(a, 0.0);
+}
+
+TEST(RankByScoreTest, DescendingWithStableTies) {
+  auto ranked = RankByScore({0.5, 0.9, 0.5, 0.1});
+  EXPECT_EQ(ranked, (std::vector<VertexId>{1, 0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,191 @@
+// Tests for the chain planner: extraction, estimation, direction choice,
+// and forward/backward equivalence (⋈◦ associativity, exercised).
+
+#include "engine/chain_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.h"
+#include "generators/generators.h"
+
+namespace mrpa {
+namespace {
+
+MultiRelationalGraph Skewed() {
+  // A funnel: many sources fan into a single sink via a mid layer.
+  // 20 sources -α-> 4 mids -β-> 1 sink (vertex 24).
+  MultiGraphBuilder b;
+  for (VertexId s = 0; s < 20; ++s) {
+    b.AddEdge(s, 0, 20 + (s % 4));
+  }
+  for (VertexId m = 20; m < 24; ++m) {
+    b.AddEdge(m, 1, 24);
+  }
+  return b.Build();
+}
+
+TEST(ExtractAtomChainTest, FlattensNestedJoins) {
+  auto expr = (PathExpr::Labeled(0) + PathExpr::Labeled(1)) +
+              PathExpr::Labeled(2);
+  auto chain = ExtractAtomChain(*expr);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->size(), 3u);
+  EXPECT_EQ((*chain)[0], EdgePattern::Labeled(0));
+  EXPECT_EQ((*chain)[2], EdgePattern::Labeled(2));
+}
+
+TEST(ExtractAtomChainTest, EpsilonVanishes) {
+  auto expr = PathExpr::Epsilon() + PathExpr::Labeled(0) +
+              PathExpr::Epsilon();
+  auto chain = ExtractAtomChain(*expr);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->size(), 1u);
+}
+
+TEST(ExtractAtomChainTest, PowerOfAtomUnrolls) {
+  auto expr = PathExpr::From(0) +
+              PathExpr::MakePower(PathExpr::AnyEdge(), 3);
+  auto chain = ExtractAtomChain(*expr);
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->size(), 4u);
+}
+
+TEST(ExtractAtomChainTest, RejectsNonChains) {
+  EXPECT_FALSE(ExtractAtomChain(*(PathExpr::Labeled(0) |
+                                  PathExpr::Labeled(1)))
+                   .has_value());
+  EXPECT_FALSE(
+      ExtractAtomChain(*PathExpr::MakeStar(PathExpr::Labeled(0)))
+          .has_value());
+  EXPECT_FALSE(ExtractAtomChain(*PathExpr::MakeProduct(
+                                    PathExpr::Labeled(0),
+                                    PathExpr::Labeled(1)))
+                   .has_value());
+  EXPECT_FALSE(ExtractAtomChain(
+                   *(PathExpr::Labeled(0) +
+                     PathExpr::MakeOptional(PathExpr::Labeled(1))))
+                   .has_value());
+}
+
+TEST(EstimateTest, ExactForIndexedConstraints) {
+  auto g = Skewed();
+  EXPECT_EQ(EstimatePatternCardinality(g, EdgePattern::Any()),
+            g.num_edges());
+  EXPECT_EQ(EstimatePatternCardinality(g, EdgePattern::Labeled(0)), 20u);
+  EXPECT_EQ(EstimatePatternCardinality(g, EdgePattern::Labeled(1)), 4u);
+  EXPECT_EQ(EstimatePatternCardinality(g, EdgePattern::Into(24)), 4u);
+  EXPECT_EQ(EstimatePatternCardinality(g, EdgePattern::From(0)), 1u);
+  EXPECT_EQ(
+      EstimatePatternCardinality(g, EdgePattern::FromAnyOf({0, 1, 2})), 3u);
+}
+
+TEST(EstimateTest, MinimumOfConstraints) {
+  auto g = Skewed();
+  // label 0 (20 edges) ∧ head 24 (4 edges): bound is 4.
+  EdgePattern p(IdConstraint(), IdConstraint::Exactly(0),
+                IdConstraint::Exactly(24));
+  EXPECT_EQ(EstimatePatternCardinality(g, p), 4u);
+}
+
+TEST(EstimateTest, NegatedConstraintsFallBack) {
+  auto g = Skewed();
+  EXPECT_EQ(EstimatePatternCardinality(
+                g, EdgePattern::LabeledAnyOf({0}, /*negated=*/true)),
+            g.num_edges());
+}
+
+TEST(PlanTest, PicksSelectiveEnd) {
+  auto g = Skewed();
+  // E ⋈◦ [_,_,24]: backward seed (4 in-edges) beats forward (24 edges).
+  std::vector<EdgePattern> dest_selective = {EdgePattern::Any(),
+                                             EdgePattern::Into(24)};
+  ChainPlan plan = PlanChain(g, dest_selective);
+  EXPECT_EQ(plan.direction, ChainDirection::kBackward);
+  EXPECT_LT(plan.backward_seed_estimate, plan.forward_seed_estimate);
+
+  // [0,_,_] ⋈◦ E: forward seed (1 edge) wins.
+  std::vector<EdgePattern> source_selective = {EdgePattern::From(0),
+                                               EdgePattern::Any()};
+  plan = PlanChain(g, source_selective);
+  EXPECT_EQ(plan.direction, ChainDirection::kForward);
+}
+
+TEST(EvaluateChainTest, DirectionsAgree) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 40, .num_labels = 3, .num_edges = 120, .seed = 17});
+  ASSERT_TRUE(graph.ok());
+  const std::vector<std::vector<EdgePattern>> chains = {
+      {EdgePattern::Any(), EdgePattern::Any()},
+      {EdgePattern::Labeled(0), EdgePattern::Labeled(1),
+       EdgePattern::Labeled(2)},
+      {EdgePattern::From(3), EdgePattern::Any(), EdgePattern::Into(7)},
+      {EdgePattern::Any()},
+      {},
+  };
+  for (const auto& steps : chains) {
+    auto forward = EvaluateChain(*graph, steps, ChainDirection::kForward);
+    auto backward = EvaluateChain(*graph, steps, ChainDirection::kBackward);
+    ASSERT_TRUE(forward.ok());
+    ASSERT_TRUE(backward.ok());
+    EXPECT_EQ(forward.value(), backward.value());
+  }
+}
+
+TEST(EvaluateChainTest, MatchesTraverse) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 30, .num_labels = 2, .num_edges = 90, .seed = 23});
+  ASSERT_TRUE(graph.ok());
+  std::vector<EdgePattern> steps = {EdgePattern::Labeled(0),
+                                    EdgePattern::Any(),
+                                    EdgePattern::Labeled(1)};
+  auto via_chain =
+      EvaluateChain(*graph, steps, ChainDirection::kBackward);
+  auto via_traverse = Traverse(*graph, {steps, {}});
+  ASSERT_TRUE(via_chain.ok());
+  ASSERT_TRUE(via_traverse.ok());
+  EXPECT_EQ(via_chain.value(), via_traverse.value());
+}
+
+TEST(EvaluateChainTest, BackwardHonorsLimits) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 50, .num_labels = 1, .num_edges = 200, .seed = 29});
+  ASSERT_TRUE(graph.ok());
+  std::vector<EdgePattern> steps(3, EdgePattern::Any());
+  auto result = EvaluateChain(*graph, steps, ChainDirection::kBackward,
+                              PathSetLimits::AtMost(5));
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(EvaluatePlannedTest, ChainsAndNonChains) {
+  auto g = Skewed();
+  // A chain: must equal the plain evaluation.
+  auto chain_expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto planned = EvaluatePlanned(*chain_expr, g);
+  auto direct = chain_expr->Evaluate(g);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(planned.value(), direct.value());
+
+  // A non-chain: falls back to Evaluate.
+  auto union_expr = PathExpr::Labeled(0) | PathExpr::Labeled(1);
+  auto planned_union = EvaluatePlanned(*union_expr, g);
+  auto direct_union = union_expr->Evaluate(g);
+  ASSERT_TRUE(planned_union.ok());
+  ASSERT_TRUE(direct_union.ok());
+  EXPECT_EQ(planned_union.value(), direct_union.value());
+}
+
+TEST(EvaluatePlannedTest, DestinationSelectiveUsesBackward) {
+  // Correctness of the motivating case: E ⋈◦ E ⋈◦ [_,_,sink].
+  auto g = Skewed();
+  auto expr = PathExpr::AnyEdge() + PathExpr::Into(24);
+  auto planned = EvaluatePlanned(*expr, g);
+  auto direct = expr->Evaluate(g);
+  ASSERT_TRUE(planned.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(planned.value(), direct.value());
+  EXPECT_EQ(planned->size(), 20u);  // One funnel path per source vertex.
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,77 @@
+#include "algorithms/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(ClusteringTest, TriangleGraph) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto result = ComputeClustering(g);
+  EXPECT_EQ(result.total_triangles, 1u);
+  for (VertexId v = 0; v < 3; ++v) {
+    EXPECT_EQ(result.triangles_per_vertex[v], 1u);
+    EXPECT_DOUBLE_EQ(result.local_coefficient[v], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(result.average_coefficient, 1.0);
+  EXPECT_DOUBLE_EQ(result.global_coefficient, 1.0);
+}
+
+TEST(ClusteringTest, StarHasNoTriangles) {
+  BinaryGraph star = BinaryGraph::FromArcs(5, {{0, 1}, {0, 2}, {0, 3},
+                                               {0, 4}});
+  auto result = ComputeClustering(star);
+  EXPECT_EQ(result.total_triangles, 0u);
+  EXPECT_DOUBLE_EQ(result.global_coefficient, 0.0);
+}
+
+TEST(ClusteringTest, CompleteGraphK4) {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (VertexId a = 0; a < 4; ++a) {
+    for (VertexId b = a + 1; b < 4; ++b) arcs.emplace_back(a, b);
+  }
+  BinaryGraph k4 = BinaryGraph::FromArcs(4, std::move(arcs));
+  auto result = ComputeClustering(k4);
+  EXPECT_EQ(result.total_triangles, 4u);  // C(4,3).
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_EQ(result.triangles_per_vertex[v], 3u);
+    EXPECT_DOUBLE_EQ(result.local_coefficient[v], 1.0);
+  }
+  EXPECT_DOUBLE_EQ(result.global_coefficient, 1.0);
+}
+
+TEST(ClusteringTest, PawGraph) {
+  // Triangle 0-1-2 with a pendant 3 attached to 0.
+  BinaryGraph g =
+      BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  auto result = ComputeClustering(g);
+  EXPECT_EQ(result.total_triangles, 1u);
+  EXPECT_DOUBLE_EQ(result.local_coefficient[0], 1.0 / 3.0);  // deg 3.
+  EXPECT_DOUBLE_EQ(result.local_coefficient[1], 1.0);
+  EXPECT_DOUBLE_EQ(result.local_coefficient[3], 0.0);        // deg 1.
+  // Wedges: C(3,2)+C(2,2)+C(2,2)+0 = 3+1+1 = 5; transitivity = 3/5.
+  EXPECT_DOUBLE_EQ(result.global_coefficient, 3.0 / 5.0);
+}
+
+TEST(ClusteringTest, DirectionAndDuplicatesIgnored) {
+  // Same triangle expressed with redundant reciprocal arcs.
+  BinaryGraph g = BinaryGraph::FromArcs(
+      3, {{0, 1}, {1, 0}, {1, 2}, {2, 1}, {2, 0}, {0, 2}});
+  auto result = ComputeClustering(g);
+  EXPECT_EQ(result.total_triangles, 1u);
+}
+
+TEST(ClusteringTest, SelfLoopsIgnored) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 0}, {0, 1}, {1, 2}, {2, 0}});
+  auto result = ComputeClustering(g);
+  EXPECT_EQ(result.total_triangles, 1u);
+}
+
+TEST(ClusteringTest, EmptyGraph) {
+  auto result = ComputeClustering(BinaryGraph(0));
+  EXPECT_EQ(result.total_triangles, 0u);
+  EXPECT_EQ(result.average_coefficient, 0.0);
+}
+
+}  // namespace
+}  // namespace mrpa

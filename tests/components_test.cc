@@ -1,0 +1,110 @@
+#include "algorithms/components.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(WeakComponentsTest, DirectionIgnored) {
+  // 0 -> 1, 2 -> 1: weakly one component despite no directed path 0 <-> 2.
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {2, 1}});
+  auto result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_EQ(result.component[0], result.component[2]);
+  EXPECT_EQ(result.LargestComponentSize(), 3u);
+}
+
+TEST(WeakComponentsTest, IsolatedVerticesAreSingletons) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}});
+  auto result = WeaklyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 3u);
+  EXPECT_EQ(result.LargestComponentSize(), 2u);
+  EXPECT_NE(result.component[2], result.component[3]);
+}
+
+TEST(WeakComponentsTest, SizesSumToN) {
+  BinaryGraph g = BinaryGraph::FromArcs(6, {{0, 1}, {1, 2}, {4, 5}});
+  auto result = WeaklyConnectedComponents(g);
+  uint32_t total = 0;
+  for (uint32_t s : result.sizes) total += s;
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(result.num_components, 3u);  // {0,1,2}, {3}, {4,5}.
+}
+
+TEST(WeakComponentsTest, EmptyGraph) {
+  auto result = WeaklyConnectedComponents(BinaryGraph(0));
+  EXPECT_EQ(result.num_components, 0u);
+  EXPECT_EQ(result.LargestComponentSize(), 0u);
+}
+
+TEST(StrongComponentsTest, CycleIsOneScc) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 1u);
+  EXPECT_EQ(result.LargestComponentSize(), 3u);
+}
+
+TEST(StrongComponentsTest, DagIsAllSingletons) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  auto result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 4u);
+  EXPECT_EQ(result.LargestComponentSize(), 1u);
+}
+
+TEST(StrongComponentsTest, TwoCyclesBridged) {
+  // SCCs {0,1} and {2,3} connected by a one-way bridge.
+  BinaryGraph g = BinaryGraph::FromArcs(
+      4, {{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}});
+  auto result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 2u);
+  EXPECT_EQ(result.component[0], result.component[1]);
+  EXPECT_EQ(result.component[2], result.component[3]);
+  EXPECT_NE(result.component[0], result.component[2]);
+}
+
+TEST(StrongComponentsTest, ReverseTopologicalIds) {
+  // Tarjan assigns the sink SCC the smaller id.
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 1}});
+  auto result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 2u);
+  EXPECT_LT(result.component[1], result.component[0]);  // 1 is the sink.
+}
+
+TEST(StrongComponentsTest, SelfLoopVertex) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 0}, {0, 1}});
+  auto result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 2u);
+}
+
+TEST(StrongComponentsTest, DeepChainDoesNotOverflowStack) {
+  // The iterative Tarjan must handle long chains (recursive versions blow
+  // the call stack around tens of thousands of frames).
+  const uint32_t n = 200000;
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  arcs.reserve(n - 1);
+  for (uint32_t v = 0; v + 1 < n; ++v) arcs.emplace_back(v, v + 1);
+  BinaryGraph g = BinaryGraph::FromArcs(n, std::move(arcs));
+  auto result = StronglyConnectedComponents(g);
+  EXPECT_EQ(result.num_components, n);
+}
+
+TEST(StrongComponentsTest, WeakVsStrongRelationship) {
+  // Strong components refine weak components.
+  BinaryGraph g = BinaryGraph::FromArcs(
+      5, {{0, 1}, {1, 0}, {1, 2}, {3, 4}});
+  auto weak = WeaklyConnectedComponents(g);
+  auto strong = StronglyConnectedComponents(g);
+  EXPECT_EQ(weak.num_components, 2u);
+  EXPECT_EQ(strong.num_components, 4u);  // {0,1}, {2}, {3}, {4}.
+  // Vertices in the same strong component share a weak component.
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = 0; b < 5; ++b) {
+      if (strong.component[a] == strong.component[b]) {
+        EXPECT_EQ(weak.component[a], weak.component[b]);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,98 @@
+#include "algorithms/dag.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mrpa {
+namespace {
+
+TEST(TopologicalOrderTest, OrdersDag) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+  // Every arc goes forward in the order.
+  std::vector<size_t> position(4);
+  for (size_t i = 0; i < order->size(); ++i) position[(*order)[i]] = i;
+  for (const auto& [from, to] : g.Arcs()) {
+    EXPECT_LT(position[from], position[to]);
+  }
+}
+
+TEST(TopologicalOrderTest, DetectsCycle) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  EXPECT_FALSE(TopologicalOrder(g).has_value());
+  EXPECT_FALSE(IsDag(g));
+}
+
+TEST(TopologicalOrderTest, SelfLoopIsCycle) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 1}, {1, 1}});
+  EXPECT_FALSE(IsDag(g));
+}
+
+TEST(TopologicalOrderTest, EmptyAndEdgeless) {
+  EXPECT_TRUE(IsDag(BinaryGraph(0)));
+  auto order = TopologicalOrder(BinaryGraph(3));
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(order->size(), 3u);
+}
+
+TEST(ReachabilityTest, DagReachability) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {0, 3}});
+  auto matrix = ReachabilityMatrix::Build(g);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_TRUE(matrix->Reaches(0, 1));
+  EXPECT_TRUE(matrix->Reaches(0, 2));
+  EXPECT_TRUE(matrix->Reaches(0, 3));
+  EXPECT_TRUE(matrix->Reaches(1, 2));
+  EXPECT_FALSE(matrix->Reaches(1, 3));
+  EXPECT_FALSE(matrix->Reaches(2, 0));
+  EXPECT_FALSE(matrix->Reaches(0, 0));  // Not on a cycle.
+  EXPECT_EQ(matrix->CountReachable(0), 3u);
+  EXPECT_EQ(matrix->CountReachable(2), 0u);
+}
+
+TEST(ReachabilityTest, CyclesReachThemselves) {
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 0}, {1, 2}});
+  auto matrix = ReachabilityMatrix::Build(g);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_TRUE(matrix->Reaches(0, 0));
+  EXPECT_TRUE(matrix->Reaches(1, 1));
+  EXPECT_FALSE(matrix->Reaches(2, 2));
+  EXPECT_TRUE(matrix->Reaches(0, 2));
+}
+
+TEST(ReachabilityTest, AgreesWithBfsOnWideGraph) {
+  // A 100-vertex graph spanning multiple 64-bit words per row.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (VertexId v = 0; v + 1 < 100; ++v) arcs.emplace_back(v, v + 1);
+  arcs.emplace_back(99, 50);  // A back edge creating a cycle.
+  BinaryGraph g = BinaryGraph::FromArcs(100, std::move(arcs));
+  auto matrix = ReachabilityMatrix::Build(g);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_TRUE(matrix->Reaches(0, 99));
+  EXPECT_TRUE(matrix->Reaches(60, 55));  // Around the cycle.
+  EXPECT_FALSE(matrix->Reaches(10, 5));
+  EXPECT_TRUE(matrix->Reaches(70, 70));  // On the cycle.
+  EXPECT_FALSE(matrix->Reaches(10, 10));
+  EXPECT_EQ(matrix->CountReachable(0), 99u);
+}
+
+TEST(ReachabilityTest, SizeGuard) {
+  BinaryGraph g(100);
+  auto matrix = ReachabilityMatrix::Build(g, /*max_vertices=*/50);
+  EXPECT_TRUE(matrix.status().IsInvalidArgument());
+}
+
+TEST(ReachabilityTest, OutOfRangeQueries) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 1}});
+  auto matrix = ReachabilityMatrix::Build(g);
+  ASSERT_TRUE(matrix.ok());
+  EXPECT_FALSE(matrix->Reaches(5, 0));
+  EXPECT_FALSE(matrix->Reaches(0, 5));
+  EXPECT_EQ(matrix->CountReachable(5), 0u);
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,52 @@
+#include "algorithms/degree.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(DegreeStatsTest, BasicCounts) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {0, 2}, {0, 3}, {1, 0}});
+  auto stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.out_degree, (std::vector<uint32_t>{3, 1, 0, 0}));
+  EXPECT_EQ(stats.in_degree, (std::vector<uint32_t>{1, 1, 1, 1}));
+  EXPECT_EQ(stats.max_out, 3u);
+  EXPECT_EQ(stats.max_in, 1u);
+  EXPECT_DOUBLE_EQ(stats.mean_out, 1.0);
+}
+
+TEST(DegreeStatsTest, Histogram) {
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 1}, {0, 2}, {1, 2}});
+  auto stats = ComputeDegreeStats(g);
+  auto histogram = stats.OutDegreeHistogram();
+  // Degrees: 0→2, 1→1, 2→0, 3→0.
+  ASSERT_EQ(histogram.size(), 3u);
+  EXPECT_EQ(histogram[0], 2u);
+  EXPECT_EQ(histogram[1], 1u);
+  EXPECT_EQ(histogram[2], 1u);
+}
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  auto stats = ComputeDegreeStats(BinaryGraph(0));
+  EXPECT_TRUE(stats.out_degree.empty());
+  EXPECT_EQ(stats.mean_out, 0.0);
+  EXPECT_EQ(stats.OutDegreeHistogram().size(), 1u);
+}
+
+TEST(PerLabelDegreeTest, SplitsByRelation) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 0, 2);
+  b.AddEdge(0, 1, 1);
+  auto g = b.Build();
+  auto per_label = PerLabelDegreeStats(g);
+  ASSERT_EQ(per_label.size(), 2u);
+  EXPECT_EQ(per_label[0].out_degree[0], 2u);  // Two α-edges from 0.
+  EXPECT_EQ(per_label[1].out_degree[0], 1u);  // One β-edge from 0.
+  EXPECT_EQ(per_label[0].in_degree[1], 1u);
+  EXPECT_EQ(per_label[1].in_degree[1], 1u);
+  EXPECT_EQ(per_label[1].in_degree[2], 0u);
+}
+
+}  // namespace
+}  // namespace mrpa

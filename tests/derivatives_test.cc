@@ -1,0 +1,142 @@
+// Tests for Brzozowski derivatives: nullability, derivative laws, and
+// agreement with the automaton recognizers.
+
+#include "regex/derivatives.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.h"
+#include "regex/figure1.h"
+#include "regex/recognizer.h"
+
+namespace mrpa {
+namespace {
+
+TEST(NullabilityTest, BaseCases) {
+  EXPECT_FALSE(IsNullable(*PathExpr::Empty()));
+  EXPECT_TRUE(IsNullable(*PathExpr::Epsilon()));
+  EXPECT_FALSE(IsNullable(*PathExpr::Labeled(0)));
+  EXPECT_TRUE(IsNullable(*PathExpr::Literal(PathSet::EpsilonSet())));
+  EXPECT_FALSE(
+      IsNullable(*PathExpr::Literal(PathSet({Path(Edge(0, 0, 1))}))));
+}
+
+TEST(NullabilityTest, Compound) {
+  auto a = PathExpr::Labeled(0);
+  EXPECT_TRUE(IsNullable(*PathExpr::MakeStar(a)));
+  EXPECT_TRUE(IsNullable(*PathExpr::MakeOptional(a)));
+  EXPECT_FALSE(IsNullable(*PathExpr::MakePlus(a)));
+  EXPECT_TRUE(IsNullable(*PathExpr::MakePlus(PathExpr::MakeStar(a))));
+  EXPECT_FALSE(IsNullable(*(a + a)));
+  EXPECT_TRUE(IsNullable(*(PathExpr::Epsilon() + PathExpr::Epsilon())));
+  EXPECT_TRUE(IsNullable(*(a | PathExpr::Epsilon())));
+  EXPECT_EQ(IsNullable(*PathExpr::MakePower(a, 0)), true);
+  EXPECT_EQ(IsNullable(*PathExpr::MakePower(a, 2)), false);
+}
+
+TEST(DerivativeTest, AtomDerivative) {
+  auto atom = PathExpr::Labeled(1);
+  auto hit = Derivative(atom, Edge(0, 1, 2));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ((*hit)->kind(), ExprKind::kEpsilon);
+  auto miss = Derivative(atom, Edge(0, 2, 2));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ((*miss)->kind(), ExprKind::kEmpty);
+}
+
+TEST(DerivativeTest, JoinDerivativeUsesNullability) {
+  // D_e(a? ⋈ b) must include D_e(b) because a? is nullable.
+  auto a = PathExpr::Labeled(0);
+  auto b = PathExpr::Labeled(1);
+  auto expr = PathExpr::MakeOptional(a) + b;
+  auto by_b_edge = Derivative(expr, Edge(0, 1, 1));
+  ASSERT_TRUE(by_b_edge.ok());
+  EXPECT_TRUE(IsNullable(**by_b_edge));  // b consumed; ε remains.
+}
+
+TEST(DerivativeTest, StarUnrollsOnce) {
+  auto star = PathExpr::MakeStar(PathExpr::Labeled(0));
+  auto derived = Derivative(star, Edge(0, 0, 1));
+  ASSERT_TRUE(derived.ok());
+  // D = ε ⋈ a* which simplifies to a*.
+  EXPECT_EQ((*derived)->ToString(), star->ToString());
+}
+
+TEST(DerivativeTest, LiteralDerivative) {
+  PathSet literal({Path({Edge(0, 0, 1), Edge(1, 1, 2)}),
+                   Path(Edge(0, 0, 1)), Path(Edge(5, 0, 6))});
+  auto expr = PathExpr::Literal(literal);
+  auto derived = Derivative(expr, Edge(0, 0, 1));
+  ASSERT_TRUE(derived.ok());
+  // Rests: {(1,1,2)} and ε.
+  EXPECT_TRUE(IsNullable(**derived));
+  auto again = Derivative(*derived, Edge(1, 1, 2));
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(IsNullable(**again));
+  auto dead = Derivative(expr, Edge(9, 9, 9));
+  ASSERT_TRUE(dead.ok());
+  EXPECT_EQ((*dead)->kind(), ExprKind::kEmpty);
+}
+
+TEST(DerivativeTest, ProductRejected) {
+  auto product =
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1));
+  EXPECT_TRUE(Derivative(product, Edge(0, 0, 1)).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      DerivativeRecognizer::Compile(product).status().IsInvalidArgument());
+}
+
+TEST(DerivativeRecognizerTest, AgreesWithNfaOnFigure1) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto derivative = DerivativeRecognizer::Compile(expr);
+  ASSERT_TRUE(derivative.ok());
+  auto nfa = NfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(nfa.ok());
+
+  PathSet all = PathSet::EpsilonSet();
+  for (size_t n = 1; n <= 5; ++n) {
+    auto level = CompleteTraversal(g, n);
+    ASSERT_TRUE(level.ok());
+    all = Union(all, level.value());
+  }
+  for (const Path& p : all) {
+    auto via_derivative = derivative->Recognize(p);
+    ASSERT_TRUE(via_derivative.ok()) << p.ToString();
+    EXPECT_EQ(via_derivative.value(), nfa->Recognize(p)) << p.ToString();
+  }
+}
+
+TEST(DerivativeRecognizerTest, RejectsDisjointInput) {
+  auto recognizer =
+      DerivativeRecognizer::Compile(PathExpr::MakeStar(PathExpr::AnyEdge()));
+  ASSERT_TRUE(recognizer.ok());
+  auto result = recognizer->Recognize(Path({Edge(0, 0, 1), Edge(5, 0, 6)}));
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(DerivativeRecognizerTest, LongPathsStayBounded) {
+  // Simplification must keep repeated derivatives from blowing up: the
+  // derivative of a* by matching edges is always a* again.
+  auto star = PathExpr::MakeStar(PathExpr::Labeled(0));
+  PathExprPtr current = star;
+  for (int n = 0; n < 200; ++n) {
+    auto next = Derivative(current, Edge(0, 0, 0));
+    ASSERT_TRUE(next.ok());
+    current = *next;
+    ASSERT_LE(current->NodeCount(), star->NodeCount() + 2);
+  }
+  EXPECT_TRUE(IsNullable(*current));
+}
+
+TEST(DerivativeRecognizerTest, EpsilonAndEmpty) {
+  auto eps = DerivativeRecognizer::Compile(PathExpr::Epsilon()).value();
+  EXPECT_TRUE(eps.Recognize(Path()).value());
+  EXPECT_FALSE(eps.Recognize(Path(Edge(0, 0, 1))).value());
+  auto none = DerivativeRecognizer::Compile(PathExpr::Empty()).value();
+  EXPECT_FALSE(none.Recognize(Path()).value());
+  EXPECT_FALSE(none.Recognize(Path(Edge(0, 0, 1))).value());
+}
+
+}  // namespace
+}  // namespace mrpa

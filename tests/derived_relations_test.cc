@@ -1,0 +1,121 @@
+// Tests for weighted §IV-C derivations.
+
+#include "regex/derived_relations.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/generators.h"
+
+namespace mrpa {
+namespace {
+
+// Diamond: 0 -α-> {1,2} -β-> 3, plus direct 0 -α-> 3.
+MultiRelationalGraph Diamond() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 0, 2);
+  b.AddEdge(1, 1, 3);
+  b.AddEdge(2, 1, 3);
+  b.AddEdge(0, 0, 3);
+  return b.Build();
+}
+
+TEST(DeriveCountedTest, CountsWitnesses) {
+  auto g = Diamond();
+  auto expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto derived = DeriveCountedRelation(*expr, g);
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived->num_arcs(), 1u);
+  auto arcs = derived->OutArcs(0);
+  ASSERT_EQ(arcs.size(), 1u);
+  EXPECT_EQ(arcs[0].target, 3u);
+  EXPECT_DOUBLE_EQ(arcs[0].weight, 2.0);  // Two αβ witnesses.
+}
+
+TEST(DeriveCountedTest, FeedsWeightedPageRank) {
+  auto graph = GenerateSocialNetwork({.num_people = 80,
+                                      .num_items = 30,
+                                      .num_likes = 200,
+                                      .seed = 3});
+  ASSERT_TRUE(graph.ok());
+  // knows² with witness counts.
+  auto expr = PathExpr::Labeled(kSocialKnows) +
+              PathExpr::Labeled(kSocialKnows);
+  auto derived = DeriveCountedRelation(*expr, *graph);
+  ASSERT_TRUE(derived.ok());
+  ASSERT_GT(derived->num_arcs(), 0u);
+  auto rank = WeightedPageRank(derived.value());
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(rank->size(), graph->num_vertices());
+}
+
+TEST(DeriveCountedTest, StructureMatchesUnweightedDerivation) {
+  auto g = Diamond();
+  auto expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto counted = DeriveCountedRelation(*expr, g);
+  ASSERT_TRUE(counted.ok());
+  // The unweighted §IV-C projection of the same expression.
+  auto paths = expr->Evaluate(g);
+  ASSERT_TRUE(paths.ok());
+  std::set<std::pair<VertexId, VertexId>> expected;
+  for (const Path& p : paths.value()) {
+    if (!p.empty()) expected.emplace(p.Tail(), p.Head());
+  }
+  BinaryGraph structure = counted->Structure();
+  EXPECT_EQ(structure.num_arcs(), expected.size());
+  for (const auto& [from, to] : expected) {
+    EXPECT_TRUE(structure.HasArc(from, to));
+  }
+}
+
+TEST(DeriveShortestTest, WeightIsWitnessLength) {
+  auto g = Diamond();
+  // Any non-empty path: 0→3 has a 1-hop witness; 1→3 likewise.
+  auto derived =
+      DeriveShortestRelation(*PathExpr::MakePlus(PathExpr::AnyEdge()), g);
+  ASSERT_TRUE(derived.ok());
+  bool found_0_3 = false;
+  for (const WeightedArc& arc : derived->OutArcs(0)) {
+    if (arc.target == 3) {
+      found_0_3 = true;
+      EXPECT_DOUBLE_EQ(arc.weight, 1.0);
+    }
+  }
+  EXPECT_TRUE(found_0_3);
+
+  // Restricted to αβ, the shortest 0→3 witness is 2 hops.
+  auto constrained = DeriveShortestRelation(
+      *(PathExpr::Labeled(0) + PathExpr::Labeled(1)), g);
+  ASSERT_TRUE(constrained.ok());
+  ASSERT_EQ(constrained->OutArcs(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(constrained->OutArcs(0)[0].weight, 2.0);
+}
+
+TEST(DeriveShortestTest, FeedsDijkstra) {
+  // Two-stage composition: derive a "knows-distance" relation, then run
+  // weighted SSSP over it.
+  auto graph = GenerateSocialNetwork({.num_people = 60,
+                                      .num_items = 10,
+                                      .num_likes = 20,
+                                      .seed = 9});
+  ASSERT_TRUE(graph.ok());
+  auto derived = DeriveShortestRelation(
+      *PathExpr::MakePlus(PathExpr::Labeled(kSocialKnows)), *graph,
+      {.max_path_length = 6});
+  ASSERT_TRUE(derived.ok());
+  auto dist = DijkstraDistances(derived.value(), 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->size(), graph->num_vertices());
+}
+
+TEST(DeriveTest, RejectsProductExpressions) {
+  auto g = Diamond();
+  auto expr =
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1));
+  EXPECT_TRUE(DeriveCountedRelation(*expr, g).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      DeriveShortestRelation(*expr, g).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mrpa

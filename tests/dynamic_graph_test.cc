@@ -1,0 +1,180 @@
+// Tests for the mutable DynamicMultiGraph: set semantics, index freshness
+// across mutation bursts, snapshot equivalence, and drop-in EdgeUniverse
+// compatibility with the traversal machinery.
+
+#include "graph/dynamic_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/traversal.h"
+#include "generators/generators.h"
+#include "regex/generator.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+TEST(DynamicGraphTest, StartsEmpty) {
+  DynamicMultiGraph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.AllEdges().empty());
+  EXPECT_TRUE(g.OutEdges(0).empty());
+}
+
+TEST(DynamicGraphTest, AddAndRemove) {
+  DynamicMultiGraph g;
+  EXPECT_TRUE(g.AddEdge(Edge(0, 0, 1)).ok());
+  EXPECT_TRUE(g.AddEdge(Edge(1, 1, 2)).ok());
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_TRUE(g.HasEdge(Edge(0, 0, 1)));
+
+  EXPECT_TRUE(g.RemoveEdge(Edge(0, 0, 1)).ok());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(Edge(0, 0, 1)));
+}
+
+TEST(DynamicGraphTest, SetSemantics) {
+  DynamicMultiGraph g;
+  ASSERT_TRUE(g.AddEdge(Edge(0, 0, 1)).ok());
+  EXPECT_TRUE(g.AddEdge(Edge(0, 0, 1)).IsAlreadyExists());
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.RemoveEdge(Edge(0, 0, 2)).IsNotFound());
+  EXPECT_TRUE(g.RemoveEdge(Edge(9, 9, 9)).IsNotFound());
+}
+
+TEST(DynamicGraphTest, OutEdgesStaySortedAndFresh) {
+  DynamicMultiGraph g;
+  ASSERT_TRUE(g.AddEdge(Edge(0, 1, 5)).ok());
+  ASSERT_TRUE(g.AddEdge(Edge(0, 0, 7)).ok());
+  ASSERT_TRUE(g.AddEdge(Edge(0, 1, 2)).ok());
+  auto run = g.OutEdges(0);
+  ASSERT_EQ(run.size(), 3u);
+  // (label, head) order: (0,7), (1,2), (1,5).
+  EXPECT_EQ(run[0], Edge(0, 0, 7));
+  EXPECT_EQ(run[1], Edge(0, 1, 2));
+  EXPECT_EQ(run[2], Edge(0, 1, 5));
+  // The label sub-run accessor works unchanged.
+  EXPECT_EQ(g.OutEdgesWithLabel(0, 1).size(), 2u);
+}
+
+TEST(DynamicGraphTest, LazyIndexesRebuildAfterMutations) {
+  DynamicMultiGraph g;
+  ASSERT_TRUE(g.AddEdge(Edge(0, 0, 1)).ok());
+  EXPECT_TRUE(g.IndexesDirty());
+  EXPECT_EQ(g.InEdgeIndices(1).size(), 1u);  // Forces a rebuild.
+  EXPECT_FALSE(g.IndexesDirty());
+
+  ASSERT_TRUE(g.AddEdge(Edge(2, 0, 1)).ok());
+  EXPECT_TRUE(g.IndexesDirty());
+  EXPECT_EQ(g.InEdgeIndices(1).size(), 2u);
+  EXPECT_EQ(g.LabelEdgeIndices(0).size(), 2u);
+
+  ASSERT_TRUE(g.RemoveEdge(Edge(0, 0, 1)).ok());
+  EXPECT_EQ(g.InEdgeIndices(1).size(), 1u);
+  EXPECT_EQ(g.EdgeAt(g.InEdgeIndices(1)[0]), Edge(2, 0, 1));
+}
+
+TEST(DynamicGraphTest, AllEdgesCanonicalOrder) {
+  DynamicMultiGraph g;
+  Rng rng(3);
+  for (int n = 0; n < 100; ++n) {
+    g.AddEdge(Edge(static_cast<VertexId>(rng.Below(10)),
+                   static_cast<LabelId>(rng.Below(3)),
+                   static_cast<VertexId>(rng.Below(10))))
+        .ok();  // Duplicates allowed to fail.
+  }
+  auto edges = g.AllEdges();
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  EXPECT_EQ(edges.size(), g.num_edges());
+}
+
+TEST(DynamicGraphTest, RoundTripsWithSnapshot) {
+  auto source = GenerateErdosRenyi(
+      {.num_vertices = 30, .num_labels = 3, .num_edges = 80, .seed = 4});
+  ASSERT_TRUE(source.ok());
+
+  DynamicMultiGraph dynamic(*source);
+  EXPECT_EQ(dynamic.num_edges(), source->num_edges());
+  for (const Edge& e : source->AllEdges()) EXPECT_TRUE(dynamic.HasEdge(e));
+
+  MultiRelationalGraph frozen = dynamic.Snapshot();
+  ASSERT_EQ(frozen.num_edges(), source->num_edges());
+  for (size_t i = 0; i < frozen.num_edges(); ++i) {
+    EXPECT_EQ(frozen.AllEdges()[i], source->AllEdges()[i]);
+  }
+}
+
+TEST(DynamicGraphTest, MatchesSnapshotSemanticsUnderChurn) {
+  // Random interleaved adds/removes; after every burst the dynamic graph
+  // must answer exactly like a freshly built snapshot.
+  DynamicMultiGraph dynamic;
+  MultiGraphBuilder reference;
+  std::vector<Edge> alive;
+  Rng rng(11);
+
+  for (int burst = 0; burst < 10; ++burst) {
+    for (int op = 0; op < 20; ++op) {
+      if (!alive.empty() && rng.Chance(0.3)) {
+        size_t pick = static_cast<size_t>(rng.Below(alive.size()));
+        ASSERT_TRUE(dynamic.RemoveEdge(alive[pick]).ok());
+        alive.erase(alive.begin() + pick);
+      } else {
+        Edge e(static_cast<VertexId>(rng.Below(12)),
+               static_cast<LabelId>(rng.Below(3)),
+               static_cast<VertexId>(rng.Below(12)));
+        if (dynamic.AddEdge(e).ok()) alive.push_back(e);
+      }
+    }
+    // Rebuild the reference from scratch.
+    MultiGraphBuilder builder;
+    builder.ReserveVertices(dynamic.num_vertices());
+    builder.ReserveLabels(dynamic.num_labels());
+    for (const Edge& e : alive) builder.AddEdge(e);
+    MultiRelationalGraph snapshot = builder.Build();
+
+    ASSERT_EQ(dynamic.num_edges(), snapshot.num_edges());
+    auto dynamic_edges = dynamic.AllEdges();
+    auto snapshot_edges = snapshot.AllEdges();
+    for (size_t i = 0; i < dynamic_edges.size(); ++i) {
+      EXPECT_EQ(dynamic_edges[i], snapshot_edges[i]);
+    }
+    // Traversals agree.
+    auto via_dynamic = CompleteTraversal(dynamic, 2);
+    auto via_snapshot = CompleteTraversal(snapshot, 2);
+    ASSERT_TRUE(via_dynamic.ok());
+    ASSERT_TRUE(via_snapshot.ok());
+    EXPECT_EQ(via_dynamic.value(), via_snapshot.value());
+  }
+}
+
+TEST(DynamicGraphTest, WorksWithRegularPathMachinery) {
+  DynamicMultiGraph g;
+  ASSERT_TRUE(g.AddEdge(Edge(0, 0, 1)).ok());
+  ASSERT_TRUE(g.AddEdge(Edge(1, 1, 2)).ok());
+  auto expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto generated = GeneratePaths(*expr, g);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(generated->paths.size(), 1u);
+
+  // Mutate and re-run: results track the new state.
+  ASSERT_TRUE(g.RemoveEdge(Edge(1, 1, 2)).ok());
+  generated = GeneratePaths(*expr, g);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_TRUE(generated->paths.empty());
+}
+
+TEST(DynamicGraphTest, GrowsSpacesOnDemand) {
+  DynamicMultiGraph g(2, 1);
+  EXPECT_EQ(g.num_vertices(), 2u);
+  ASSERT_TRUE(g.AddEdge(Edge(7, 4, 3)).ok());
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_labels(), 5u);
+}
+
+}  // namespace
+}  // namespace mrpa

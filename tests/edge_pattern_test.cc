@@ -1,0 +1,181 @@
+// Tests for the set-builder notation [i,_,_] / [_,α,_] / [_,_,j] (§IV-A)
+// and its generalization to id-set and complement constraints (§III).
+
+#include "core/edge_pattern.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/multi_graph.h"
+
+namespace mrpa {
+namespace {
+
+MultiRelationalGraph SmallGraph() {
+  // Vertices 0..3, labels 0..1.
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 0, 2);
+  b.AddEdge(2, 1, 0);
+  b.AddEdge(2, 0, 3);
+  b.AddEdge(3, 1, 3);  // Self-loop.
+  return b.Build();
+}
+
+TEST(IdConstraintTest, UnconstrainedMatchesEverything) {
+  IdConstraint c;
+  EXPECT_TRUE(c.IsUnconstrained());
+  EXPECT_TRUE(c.Matches(0));
+  EXPECT_TRUE(c.Matches(12345));
+  EXPECT_EQ(c.SingleId(), std::nullopt);
+}
+
+TEST(IdConstraintTest, SetConstraint) {
+  IdConstraint c({3, 1, 3});  // Dedups and sorts.
+  EXPECT_TRUE(c.Matches(1));
+  EXPECT_TRUE(c.Matches(3));
+  EXPECT_FALSE(c.Matches(2));
+  EXPECT_EQ(c.SingleId(), std::nullopt);
+}
+
+TEST(IdConstraintTest, SingletonExposesSingleId) {
+  IdConstraint c = IdConstraint::Exactly(7);
+  EXPECT_EQ(c.SingleId(), std::optional<uint32_t>(7));
+  EXPECT_TRUE(c.Matches(7));
+  EXPECT_FALSE(c.Matches(8));
+}
+
+TEST(IdConstraintTest, NegatedConstraint) {
+  IdConstraint c({1, 2}, /*negated=*/true);
+  EXPECT_FALSE(c.Matches(1));
+  EXPECT_FALSE(c.Matches(2));
+  EXPECT_TRUE(c.Matches(0));
+  EXPECT_TRUE(c.Matches(3));
+  EXPECT_EQ(c.SingleId(), std::nullopt);  // Negated singletons are not points.
+}
+
+TEST(IdConstraintTest, EmptySetMatchesNothing) {
+  IdConstraint c(std::vector<uint32_t>{});
+  EXPECT_FALSE(c.IsUnconstrained());
+  EXPECT_FALSE(c.Matches(0));
+  // And its complement matches everything.
+  IdConstraint everything(std::vector<uint32_t>{}, /*negated=*/true);
+  EXPECT_TRUE(everything.Matches(0));
+}
+
+TEST(EdgePatternTest, AnyIsE) {
+  EdgePattern any = EdgePattern::Any();
+  EXPECT_TRUE(any.IsUnconstrained());
+  EXPECT_TRUE(any.Matches(Edge(0, 0, 0)));
+  EXPECT_TRUE(any.Matches(Edge(9, 9, 9)));
+}
+
+TEST(EdgePatternTest, SetBuilderForms) {
+  // [i, _, _], [_, α, _], [_, _, j].
+  EXPECT_TRUE(EdgePattern::From(1).Matches(Edge(1, 5, 9)));
+  EXPECT_FALSE(EdgePattern::From(1).Matches(Edge(2, 5, 9)));
+  EXPECT_TRUE(EdgePattern::Labeled(5).Matches(Edge(1, 5, 9)));
+  EXPECT_FALSE(EdgePattern::Labeled(4).Matches(Edge(1, 5, 9)));
+  EXPECT_TRUE(EdgePattern::Into(9).Matches(Edge(1, 5, 9)));
+  EXPECT_FALSE(EdgePattern::Into(8).Matches(Edge(1, 5, 9)));
+}
+
+TEST(EdgePatternTest, ExactlyMatchesOneEdge) {
+  EdgePattern p = EdgePattern::Exactly(Edge(1, 0, 2));
+  EXPECT_TRUE(p.Matches(Edge(1, 0, 2)));
+  EXPECT_FALSE(p.Matches(Edge(1, 0, 3)));
+  EXPECT_FALSE(p.Matches(Edge(1, 1, 2)));
+  EXPECT_FALSE(p.Matches(Edge(0, 0, 2)));
+}
+
+TEST(EdgePatternTest, CompoundConstraints) {
+  // [i, α, j] with i ∈ {0,1}, α = 0, j ∉ {3}.
+  EdgePattern p(IdConstraint({0, 1}), IdConstraint::Exactly(0),
+                IdConstraint({3}, /*negated=*/true));
+  EXPECT_TRUE(p.Matches(Edge(0, 0, 1)));
+  EXPECT_TRUE(p.Matches(Edge(1, 0, 2)));
+  EXPECT_FALSE(p.Matches(Edge(2, 0, 1)));  // Tail not allowed.
+  EXPECT_FALSE(p.Matches(Edge(0, 1, 1)));  // Label mismatch.
+  EXPECT_FALSE(p.Matches(Edge(0, 0, 3)));  // Head forbidden.
+}
+
+TEST(EdgePatternTest, ToStringForms) {
+  EXPECT_EQ(EdgePattern::Any().ToString(), "[_, _, _]");
+  EXPECT_EQ(EdgePattern::From(3).ToString(), "[3, _, _]");
+  EXPECT_EQ(EdgePattern::Labeled(1).ToString(), "[_, 1, _]");
+  EXPECT_EQ(EdgePattern::Into(2).ToString(), "[_, _, 2]");
+}
+
+// CollectMatchingEdges must agree with a brute-force scan for every access
+// path it can choose.
+class CollectMatchingTest : public ::testing::Test {
+ protected:
+  void ExpectMatchesBruteForce(const EdgePattern& pattern) {
+    std::vector<Edge> expected;
+    for (const Edge& e : graph_.AllEdges()) {
+      if (pattern.Matches(e)) expected.push_back(e);
+    }
+    std::vector<Edge> actual = CollectMatchingEdges(graph_, pattern);
+    EXPECT_EQ(actual, expected) << pattern.ToString();
+  }
+
+  MultiRelationalGraph graph_ = SmallGraph();
+};
+
+TEST_F(CollectMatchingTest, FullScan) {
+  ExpectMatchesBruteForce(EdgePattern::Any());
+}
+
+TEST_F(CollectMatchingTest, SingleTailUsesOutRun) {
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    ExpectMatchesBruteForce(EdgePattern::From(v));
+  }
+}
+
+TEST_F(CollectMatchingTest, TailSet) {
+  ExpectMatchesBruteForce(EdgePattern::FromAnyOf({0, 2}));
+  ExpectMatchesBruteForce(EdgePattern::FromAnyOf({3}));
+  ExpectMatchesBruteForce(EdgePattern::FromAnyOf({}));
+}
+
+TEST_F(CollectMatchingTest, SingleHeadUsesInIndex) {
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    ExpectMatchesBruteForce(EdgePattern::Into(v));
+  }
+}
+
+TEST_F(CollectMatchingTest, SingleLabelUsesLabelIndex) {
+  ExpectMatchesBruteForce(EdgePattern::Labeled(0));
+  ExpectMatchesBruteForce(EdgePattern::Labeled(1));
+}
+
+TEST_F(CollectMatchingTest, CompoundFallsBackCorrectly) {
+  // Negated tail forces non-point paths.
+  ExpectMatchesBruteForce(EdgePattern::FromAnyOf({0}, /*negated=*/true));
+  ExpectMatchesBruteForce(
+      EdgePattern(IdConstraint({0, 1}), IdConstraint::Exactly(0),
+                  IdConstraint()));
+  ExpectMatchesBruteForce(
+      EdgePattern(IdConstraint(), IdConstraint::Exactly(1),
+                  IdConstraint::Exactly(0)));
+}
+
+TEST_F(CollectMatchingTest, OutOfRangeIdsMatchNothing) {
+  EXPECT_TRUE(CollectMatchingEdges(graph_, EdgePattern::From(99)).empty());
+  EXPECT_TRUE(CollectMatchingEdges(graph_, EdgePattern::Into(99)).empty());
+  EXPECT_TRUE(CollectMatchingEdges(graph_, EdgePattern::Labeled(99)).empty());
+}
+
+TEST_F(CollectMatchingTest, ResultsAreSorted) {
+  for (const EdgePattern& p :
+       {EdgePattern::Any(), EdgePattern::Labeled(0), EdgePattern::Into(2),
+        EdgePattern::FromAnyOf({1, 2, 3})}) {
+    std::vector<Edge> edges = CollectMatchingEdges(graph_, p);
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

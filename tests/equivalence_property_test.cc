@@ -1,0 +1,293 @@
+// Cross-engine equivalence properties, randomized over graphs and
+// expressions. The paper gives one semantics — the algebra — and this suite
+// pins every execution engine to it:
+//
+//   Evaluate(expr)        (bottom-up set algebra, core/expr.cc)
+//     == StackMachineGenerator   (the literal §IV-B automaton)
+//     == ProductGraphGenerator   (index-backed product search)
+//   and for every path p in the universe of candidates:
+//     p ∈ Evaluate(expr)  ⇔  NfaRecognizer(expr).Recognize(p)
+//     (and DfaRecognizer agrees on joint p for product-free expr)
+//   and the engine/iterator stack equals the §III fold:
+//     Traverse(spec) == DrainToPathSet(StepPathIterator(spec))
+
+#include <gtest/gtest.h>
+
+#include "core/expr.h"
+#include "core/traversal.h"
+#include "engine/path_iterator.h"
+#include "generators/generators.h"
+#include "regex/derivatives.h"
+#include "regex/generator.h"
+#include "regex/recognizer.h"
+#include "regex/sampler.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+// Random small expression over a graph with `num_labels` labels and
+// `num_vertices` vertices. Depth-bounded; star/plus appear only over atoms
+// so the language stays small.
+PathExprPtr RandomExpr(Rng& rng, uint32_t num_vertices, uint32_t num_labels,
+                       int depth) {
+  auto random_atom = [&]() -> PathExprPtr {
+    switch (rng.Below(4)) {
+      case 0:
+        return PathExpr::Labeled(
+            static_cast<LabelId>(rng.Below(num_labels)));
+      case 1:
+        return PathExpr::From(
+            static_cast<VertexId>(rng.Below(num_vertices)));
+      case 2:
+        return PathExpr::Into(
+            static_cast<VertexId>(rng.Below(num_vertices)));
+      default:
+        return PathExpr::AnyEdge();
+    }
+  };
+  if (depth <= 0) return random_atom();
+  switch (rng.Below(6)) {
+    case 0:
+      return PathExpr::MakeUnion(
+          RandomExpr(rng, num_vertices, num_labels, depth - 1),
+          RandomExpr(rng, num_vertices, num_labels, depth - 1));
+    case 1:
+      return PathExpr::MakeJoin(
+          RandomExpr(rng, num_vertices, num_labels, depth - 1),
+          RandomExpr(rng, num_vertices, num_labels, depth - 1));
+    case 2:
+      return PathExpr::MakeProduct(random_atom(), random_atom());
+    case 3:
+      return PathExpr::MakeOptional(
+          RandomExpr(rng, num_vertices, num_labels, depth - 1));
+    case 4:
+      return PathExpr::MakePower(random_atom(), rng.Below(3) + 1);
+    default:
+      return random_atom();
+  }
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    // A small dense-ish random multigraph keeps languages non-trivial but
+    // enumerable.
+    auto graph = GenerateErdosRenyi({.num_vertices = 6,
+                                     .num_labels = 2,
+                                     .num_edges = 14,
+                                     .seed = GetParam()});
+    ASSERT_TRUE(graph.ok());
+    graph_ = std::move(graph).value();
+    rng_.Seed(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  }
+
+  MultiRelationalGraph graph_;
+  Rng rng_{0};
+};
+
+TEST_P(EquivalenceTest, GeneratorsMatchEvaluatorOnStarFreeExprs) {
+  EvalOptions eval_options;
+  eval_options.max_star_expansion = 12;
+  GenerateOptions gen_options;
+  gen_options.max_path_length = 12;
+
+  for (int trial = 0; trial < 12; ++trial) {
+    PathExprPtr expr = RandomExpr(rng_, 6, 2, 2);
+    auto evaluated = expr->Evaluate(graph_, eval_options);
+    ASSERT_TRUE(evaluated.ok()) << expr->ToString();
+
+    auto stack = StackMachineGenerator::Compile(*expr);
+    ASSERT_TRUE(stack.ok());
+    auto stack_result = stack->Generate(graph_, gen_options);
+    ASSERT_TRUE(stack_result.ok()) << expr->ToString();
+
+    auto product = ProductGraphGenerator::Compile(*expr);
+    ASSERT_TRUE(product.ok());
+    auto product_result = product->Generate(graph_, gen_options);
+    ASSERT_TRUE(product_result.ok()) << expr->ToString();
+
+    EXPECT_EQ(stack_result->paths, product_result->paths)
+        << expr->ToString();
+    EXPECT_EQ(stack_result->paths, evaluated.value()) << expr->ToString();
+  }
+}
+
+TEST_P(EquivalenceTest, StarLanguagesAgreeBetweenGenerators) {
+  // Star over cyclic graphs: evaluator and generators bound differently, so
+  // compare only the two generators (same bound semantics) and check
+  // soundness against the recognizer.
+  GenerateOptions options;
+  options.max_path_length = 4;
+  PathExprPtr expr = PathExpr::MakeStar(PathExpr::AnyEdge());
+
+  auto stack = StackMachineGenerator::Compile(*expr);
+  auto product = ProductGraphGenerator::Compile(*expr);
+  ASSERT_TRUE(stack.ok());
+  ASSERT_TRUE(product.ok());
+  auto a = stack->Generate(graph_, options);
+  auto b = product->Generate(graph_, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->paths, b->paths);
+  EXPECT_EQ(a->truncated, b->truncated);
+}
+
+TEST_P(EquivalenceTest, RecognizerAcceptsExactlyTheGeneratedSet) {
+  GenerateOptions gen_options;
+  gen_options.max_path_length = 3;
+
+  for (int trial = 0; trial < 8; ++trial) {
+    PathExprPtr expr = RandomExpr(rng_, 6, 2, 2);
+    auto generated = GeneratePaths(*expr, graph_, gen_options);
+    ASSERT_TRUE(generated.ok()) << expr->ToString();
+    auto recognizer = NfaRecognizer::Compile(*expr);
+    ASSERT_TRUE(recognizer.ok());
+
+    // Soundness: every generated path is recognized.
+    for (const Path& p : generated->paths) {
+      EXPECT_TRUE(recognizer->Recognize(p))
+          << expr->ToString() << " should accept " << p.ToString();
+    }
+
+    // Completeness (bounded): every graph path of length ≤ 2 that the
+    // recognizer accepts must have been generated (bound 3 > 2 keeps the
+    // frontier complete through length 2). Skip when generation truncated.
+    if (generated->truncated) continue;
+    auto candidates = CompleteTraversal(graph_, 1);
+    ASSERT_TRUE(candidates.ok());
+    auto pairs = CompleteTraversal(graph_, 2);
+    ASSERT_TRUE(pairs.ok());
+    PathSet all = Union(Union(candidates.value(), pairs.value()),
+                        PathSet::EpsilonSet());
+    for (const Path& p : all) {
+      EXPECT_EQ(recognizer->Recognize(p), generated->paths.Contains(p))
+          << expr->ToString() << " vs " << p.ToString();
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, DfaAgreesWithNfaOnJointPaths) {
+  for (int trial = 0; trial < 8; ++trial) {
+    PathExprPtr expr = RandomExpr(rng_, 6, 2, 2);
+    if (!expr->IsProductFree()) continue;
+    auto nfa = NfaRecognizer::Compile(*expr);
+    auto dfa = DfaRecognizer::Compile(*expr);
+    ASSERT_TRUE(nfa.ok());
+    ASSERT_TRUE(dfa.ok());
+
+    auto joints = CompleteTraversal(graph_, 2);
+    ASSERT_TRUE(joints.ok());
+    PathSet all = Union(joints.value(), PathSet::EpsilonSet());
+    for (const Path& p : all) {
+      auto via_dfa = dfa->Recognize(p);
+      ASSERT_TRUE(via_dfa.ok());
+      EXPECT_EQ(via_dfa.value(), nfa->Recognize(p))
+          << expr->ToString() << " vs " << p.ToString();
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, IteratorMatchesEagerTraversalOnRandomSpecs) {
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<EdgePattern> steps;
+    size_t n = rng_.Below(4);
+    for (size_t s = 0; s < n; ++s) {
+      switch (rng_.Below(3)) {
+        case 0:
+          steps.push_back(EdgePattern::Labeled(
+              static_cast<LabelId>(rng_.Below(2))));
+          break;
+        case 1:
+          steps.push_back(EdgePattern::FromAnyOf(
+              {static_cast<VertexId>(rng_.Below(6)),
+               static_cast<VertexId>(rng_.Below(6))}));
+          break;
+        default:
+          steps.push_back(EdgePattern::Any());
+      }
+    }
+    StepPathIterator it(graph_, steps);
+    PathSet lazy = DrainToPathSet(it);
+    auto eager = Traverse(graph_, {steps, {}});
+    ASSERT_TRUE(eager.ok());
+    EXPECT_EQ(lazy, eager.value());
+  }
+}
+
+TEST_P(EquivalenceTest, TraversalIdiomsAreExpressibleAsExprs) {
+  // §III-D labeled traversal ≡ join of labeled atoms.
+  auto via_idiom = LabeledTraversal(graph_, {{0}, {1}});
+  auto via_expr =
+      (PathExpr::Labeled(0) + PathExpr::Labeled(1))->Evaluate(graph_);
+  ASSERT_TRUE(via_idiom.ok());
+  ASSERT_TRUE(via_expr.ok());
+  EXPECT_EQ(via_idiom.value(), via_expr.value());
+
+  // §III-A complete traversal ≡ E ⋈◦ E.
+  auto complete = CompleteTraversal(graph_, 2);
+  auto e_join_e = (PathExpr::AnyEdge() + PathExpr::AnyEdge())
+                      ->Evaluate(graph_);
+  ASSERT_TRUE(complete.ok());
+  ASSERT_TRUE(e_join_e.ok());
+  EXPECT_EQ(complete.value(), e_join_e.value());
+}
+
+
+TEST_P(EquivalenceTest, DerivativeRecognizerAgreesWithNfaOnJointPaths) {
+  for (int trial = 0; trial < 6; ++trial) {
+    PathExprPtr expr = RandomExpr(rng_, 6, 2, 2);
+    if (!expr->IsProductFree()) continue;
+    auto nfa = NfaRecognizer::Compile(*expr);
+    auto derivative = DerivativeRecognizer::Compile(expr);
+    ASSERT_TRUE(nfa.ok());
+    ASSERT_TRUE(derivative.ok());
+
+    auto joints = CompleteTraversal(graph_, 2);
+    ASSERT_TRUE(joints.ok());
+    PathSet all = Union(joints.value(), PathSet::EpsilonSet());
+    for (const Path& p : all) {
+      auto via_derivative = derivative->Recognize(p);
+      ASSERT_TRUE(via_derivative.ok());
+      EXPECT_EQ(via_derivative.value(), nfa->Recognize(p))
+          << expr->ToString() << " vs " << p.ToString();
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, SamplerLanguageSizeMatchesGenerator) {
+  for (int trial = 0; trial < 6; ++trial) {
+    PathExprPtr expr = RandomExpr(rng_, 6, 2, 1);
+    if (!expr->IsProductFree()) continue;
+    auto sampler = PathSampler::Compile(*expr);
+    ASSERT_TRUE(sampler.ok());
+    SampleOptions options;
+    options.max_path_length = 4;
+    options.seed = GetParam();
+    Status prepared = sampler->Prepare(graph_, options);
+
+    GenerateOptions gen_options;
+    gen_options.max_path_length = 4;
+    auto generated = GeneratePaths(*expr, graph_, gen_options);
+    ASSERT_TRUE(generated.ok());
+
+    if (!prepared.ok()) {
+      EXPECT_TRUE(generated->paths.empty()) << expr->ToString();
+      continue;
+    }
+    EXPECT_EQ(sampler->LanguageSize(), generated->paths.size())
+        << expr->ToString();
+    auto samples = sampler->SampleMany(20);
+    ASSERT_TRUE(samples.ok());
+    for (const Path& p : samples.value()) {
+      EXPECT_TRUE(generated->paths.Contains(p))
+          << expr->ToString() << " sampled " << p.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
+                         ::testing::Values(3, 7, 11, 19, 23, 31));
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,210 @@
+// Tests for PathExpr construction and evaluation (§IV-A grammar plus the
+// footnote-8 shorthands), including star fixed points and bounds.
+
+#include "core/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/multi_graph.h"
+
+namespace mrpa {
+namespace {
+
+// A 4-vertex DAG with two labels:
+//   0 -α-> 1 -β-> 2 -α-> 3,  0 -β-> 2,  1 -α-> 3.
+MultiRelationalGraph Dag() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(1, 1, 2);
+  b.AddEdge(2, 0, 3);
+  b.AddEdge(0, 1, 2);
+  b.AddEdge(1, 0, 3);
+  return b.Build();
+}
+
+// 3-cycle 0 -> 1 -> 2 -> 0, single label.
+MultiRelationalGraph Cycle3() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(1, 0, 2);
+  b.AddEdge(2, 0, 0);
+  return b.Build();
+}
+
+TEST(ExprTest, EmptyDenotesEmptySet) {
+  auto g = Dag();
+  auto result = PathExpr::Empty()->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST(ExprTest, EpsilonDenotesSingleton) {
+  auto g = Dag();
+  auto result = PathExpr::Epsilon()->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), PathSet::EpsilonSet());
+}
+
+TEST(ExprTest, AtomCollectsPatternEdges) {
+  auto g = Dag();
+  auto result = PathExpr::Labeled(0)->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // (0,0,1), (1,0,3), (2,0,3).
+  for (const Path& p : result.value()) {
+    EXPECT_EQ(p.length(), 1u);
+    EXPECT_EQ(p.edge(0).label, 0u);
+  }
+}
+
+TEST(ExprTest, AnyEdgeDenotesE) {
+  auto g = Dag();
+  auto result = PathExpr::AnyEdge()->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), g.num_edges());
+}
+
+TEST(ExprTest, LiteralDenotesItself) {
+  auto g = Dag();
+  PathSet literal({Path(Edge(7, 7, 7))});  // Not even in the graph.
+  auto result = PathExpr::Literal(literal)->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), literal);
+}
+
+TEST(ExprTest, UnionEvaluates) {
+  auto g = Dag();
+  auto expr = PathExpr::Labeled(0) | PathExpr::Labeled(1);
+  auto result = expr->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), g.num_edges());
+}
+
+TEST(ExprTest, JoinEvaluatesAdjacent) {
+  auto g = Dag();
+  // α then β: only 0-α->1-β->2.
+  auto expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto result = expr->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0], Path({Edge(0, 0, 1), Edge(1, 1, 2)}));
+}
+
+TEST(ExprTest, ProductEvaluatesAllPairs) {
+  auto g = Dag();
+  auto expr =
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1));
+  auto result = expr->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u * 2u);  // 3 α-edges × 2 β-edges.
+}
+
+TEST(ExprTest, StarReachesFixpointOnDag) {
+  auto g = Dag();
+  EvalOptions options;
+  options.max_star_expansion = 100;  // Far beyond the longest path.
+  auto result = PathExpr::MakeStar(PathExpr::AnyEdge())->Evaluate(g, options);
+  ASSERT_TRUE(result.ok());
+  // All joint paths in the DAG: ε + 5 edges + {0-1-2 (αβ), 1-2-3 (βα),
+  // 0-2-3 (βα)} + {0-1-2-3 (αβα)} ... enumerate: length-2 joints:
+  // (0,0,1)(1,1,2), (0,0,1)(1,0,3)? (1,0,3) tail 1 == head 1 ✓,
+  // (1,1,2)(2,0,3), (0,1,2)(2,0,3). That's 4. Length-3:
+  // (0,0,1)(1,1,2)(2,0,3). Total = 1 + 5 + 4 + 1 = 11.
+  EXPECT_EQ(result->size(), 11u);
+  EXPECT_TRUE(result->ContainsEpsilon());
+}
+
+TEST(ExprTest, StarBoundLimitsCycleExpansion) {
+  auto g = Cycle3();
+  EvalOptions options;
+  options.max_star_expansion = 4;
+  auto result = PathExpr::MakeStar(PathExpr::AnyEdge())->Evaluate(g, options);
+  ASSERT_TRUE(result.ok());
+  // ε + 3 paths per length 1..4 (the cycle has exactly 3 joint paths of
+  // every positive length).
+  EXPECT_EQ(result->size(), 1u + 3u * 4u);
+}
+
+TEST(ExprTest, PlusExcludesEpsilon) {
+  auto g = Cycle3();
+  EvalOptions options;
+  options.max_star_expansion = 2;
+  auto star = PathExpr::MakeStar(PathExpr::AnyEdge())->Evaluate(g, options);
+  auto plus = PathExpr::MakePlus(PathExpr::AnyEdge())->Evaluate(g, options);
+  ASSERT_TRUE(star.ok());
+  ASSERT_TRUE(plus.ok());
+  EXPECT_TRUE(star->ContainsEpsilon());
+  EXPECT_FALSE(plus->ContainsEpsilon());
+  EXPECT_EQ(star->size(), plus->size() + 1);
+}
+
+TEST(ExprTest, OptionalAddsEpsilon) {
+  auto g = Dag();
+  auto result = PathExpr::MakeOptional(PathExpr::Labeled(1))->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ContainsEpsilon());
+  EXPECT_EQ(result->size(), 3u);  // ε + 2 β-edges.
+}
+
+TEST(ExprTest, PowerIsIteratedJoin) {
+  auto g = Cycle3();
+  auto power2 = PathExpr::MakePower(PathExpr::AnyEdge(), 2)->Evaluate(g);
+  ASSERT_TRUE(power2.ok());
+  EXPECT_EQ(power2->size(), 3u);
+  for (const Path& p : power2.value()) EXPECT_EQ(p.length(), 2u);
+
+  auto power0 = PathExpr::MakePower(PathExpr::AnyEdge(), 0)->Evaluate(g);
+  ASSERT_TRUE(power0.ok());
+  EXPECT_EQ(power0.value(), PathSet::EpsilonSet());
+}
+
+TEST(ExprTest, EvaluationRespectsLimits) {
+  auto g = Cycle3();
+  EvalOptions options;
+  options.max_star_expansion = 50;
+  options.limits = PathSetLimits::AtMost(10);
+  auto result = PathExpr::MakeStar(PathExpr::AnyEdge())->Evaluate(g, options);
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(ExprTest, IsProductFree) {
+  auto join = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  EXPECT_TRUE(join->IsProductFree());
+  auto with_product = PathExpr::MakeStar(
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1)));
+  EXPECT_FALSE(with_product->IsProductFree());
+}
+
+TEST(ExprTest, NodeCount) {
+  auto expr = PathExpr::MakeStar(PathExpr::Labeled(0) + PathExpr::Labeled(1));
+  EXPECT_EQ(expr->NodeCount(), 4u);
+  EXPECT_EQ(PathExpr::Epsilon()->NodeCount(), 1u);
+}
+
+TEST(ExprTest, ToStringUsesPaperGlyphs) {
+  auto expr = PathExpr::MakeStar(PathExpr::Labeled(1));
+  EXPECT_EQ(expr->ToString(), "[_, 1, _]*");
+  auto u = PathExpr::Empty() | PathExpr::Epsilon();
+  EXPECT_EQ(u->ToString(), "(∅ ∪ ε)");
+  auto j = PathExpr::From(0) + PathExpr::Into(2);
+  EXPECT_EQ(j->ToString(), "([0, _, _] ⋈ [_, _, 2])");
+}
+
+TEST(ExprTest, SharedSubexpressions) {
+  // The same node can appear in several parents (DAG-shaped expressions).
+  auto shared = PathExpr::Labeled(0);
+  auto expr = shared + shared;
+  auto g = Cycle3();
+  auto result = expr->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // Length-2 joint paths on the cycle.
+}
+
+TEST(ExprTest, StarOfEmptyIsEpsilon) {
+  auto g = Dag();
+  auto result = PathExpr::MakeStar(PathExpr::Empty())->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), PathSet::EpsilonSet());
+}
+
+}  // namespace
+}  // namespace mrpa

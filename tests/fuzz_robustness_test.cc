@@ -1,0 +1,140 @@
+// Robustness sweeps: randomized hostile inputs must produce clean Status
+// errors (or valid results), never crashes, hangs, or UB. These are cheap
+// deterministic "fuzz-lite" suites run in CI with the rest of the tests.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "engine/parser.h"
+#include "generators/generators.h"
+#include "graph/io.h"
+#include "regex/generator.h"
+#include "regex/recognizer.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(FuzzTest, ParserSurvivesTokenSoup) {
+  const std::string alphabet = "[](){}...,,||**++??^^><!_ 019abz∪⋈×εabc";
+  // Byte-level random strings (may split UTF-8 glyphs — that too must be
+  // handled gracefully).
+  for (int trial = 0; trial < 300; ++trial) {
+    size_t length = rng_.Below(40);
+    std::string soup;
+    for (size_t n = 0; n < length; ++n) {
+      soup += alphabet[rng_.Below(alphabet.size())];
+    }
+    auto expr = ParsePathExpr(soup);
+    if (!expr.ok()) {
+      EXPECT_TRUE(expr.status().IsInvalidArgument()) << soup;
+    }
+  }
+}
+
+TEST_P(FuzzTest, ParserSurvivesRandomBytes) {
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t length = rng_.Below(32);
+    std::string bytes;
+    for (size_t n = 0; n < length; ++n) {
+      bytes += static_cast<char>(rng_.Below(256));
+    }
+    auto expr = ParsePathExpr(bytes);
+    if (!expr.ok()) {
+      EXPECT_TRUE(expr.status().IsInvalidArgument());
+    }
+  }
+}
+
+TEST_P(FuzzTest, GraphReaderSurvivesGarbageLines) {
+  const std::string alphabet = "abc \t#@01\n";
+  for (int trial = 0; trial < 200; ++trial) {
+    size_t length = rng_.Below(64);
+    std::string text;
+    for (size_t n = 0; n < length; ++n) {
+      text += alphabet[rng_.Below(alphabet.size())];
+    }
+    auto graph = ReadGraphFromString(text);
+    if (!graph.ok()) {
+      EXPECT_TRUE(graph.status().IsCorruption()) << text;
+    }
+  }
+}
+
+TEST_P(FuzzTest, RecognizerSurvivesArbitraryPaths) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 6, .num_labels = 2, .num_edges = 12,
+       .seed = GetParam()});
+  ASSERT_TRUE(graph.ok());
+  auto recognizer = NfaRecognizer::Compile(
+      *(PathExpr::MakeStar(PathExpr::Labeled(0)) + PathExpr::Labeled(1)));
+  ASSERT_TRUE(recognizer.ok());
+  for (int trial = 0; trial < 200; ++trial) {
+    // Paths with arbitrary (possibly out-of-universe, disjoint) edges.
+    std::vector<Edge> edges;
+    size_t length = rng_.Below(6);
+    for (size_t n = 0; n < length; ++n) {
+      edges.emplace_back(static_cast<VertexId>(rng_.Below(100)),
+                         static_cast<LabelId>(rng_.Below(100)),
+                         static_cast<VertexId>(rng_.Below(100)));
+    }
+    bool accepted = recognizer->Recognize(Path(std::move(edges)));
+    (void)accepted;  // Any boolean answer is fine; crashing is not.
+  }
+}
+
+TEST_P(FuzzTest, GeneratorBoundsHoldOnDenseGraphs) {
+  // Dense small graphs with tight bounds: generation must terminate and
+  // respect the caps.
+  auto graph = GenerateErdosRenyi({.num_vertices = 5,
+                                   .num_labels = 2,
+                                   .num_edges = 30,
+                                   .seed = GetParam()});
+  ASSERT_TRUE(graph.ok());
+  GenerateOptions options;
+  options.max_path_length = 5;
+  options.max_paths = 500;
+  auto result =
+      GeneratePaths(*PathExpr::MakeStar(PathExpr::AnyEdge()), *graph,
+                    options);
+  ASSERT_TRUE(result.ok());
+  for (const Path& p : result->paths) {
+    EXPECT_LE(p.length(), options.max_path_length);
+    EXPECT_TRUE(p.IsJoint());
+  }
+}
+
+TEST_P(FuzzTest, BuilderSurvivesRandomIds) {
+  // Random (sparse, high) ids must build a consistent graph with all
+  // indices covering all edges.
+  MultiGraphBuilder builder;
+  for (int n = 0; n < 50; ++n) {
+    builder.AddEdge(static_cast<VertexId>(rng_.Below(1000)),
+                    static_cast<LabelId>(rng_.Below(20)),
+                    static_cast<VertexId>(rng_.Below(1000)));
+  }
+  MultiRelationalGraph g = builder.Build();
+  size_t via_out = 0, via_in = 0, via_label = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    via_out += g.OutEdges(v).size();
+    via_in += g.InEdgeIndices(v).size();
+  }
+  for (LabelId l = 0; l < g.num_labels(); ++l) {
+    via_label += g.LabelEdgeIndices(l).size();
+  }
+  EXPECT_EQ(via_out, g.num_edges());
+  EXPECT_EQ(via_in, g.num_edges());
+  EXPECT_EQ(via_label, g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace mrpa

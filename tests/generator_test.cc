@@ -1,0 +1,219 @@
+// Tests for the §IV-B regular path generators: the literal single-stack
+// machine, the product-graph search, their agreement with each other, with
+// the recognizer, and with direct algebra evaluation.
+
+#include "regex/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "regex/figure1.h"
+#include "regex/recognizer.h"
+
+namespace mrpa {
+namespace {
+
+constexpr VertexId i = 0, j = 1, k = 2, v3 = 3, v4 = 4;
+constexpr LabelId alpha = 0, beta = 1;
+
+GenerateResult MustGenerateStack(const PathExpr& expr,
+                                 const EdgeUniverse& g,
+                                 const GenerateOptions& options = {}) {
+  auto gen = StackMachineGenerator::Compile(expr);
+  EXPECT_TRUE(gen.ok());
+  auto result = gen->Generate(g, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+GenerateResult MustGenerateProduct(const PathExpr& expr,
+                                   const EdgeUniverse& g,
+                                   const GenerateOptions& options = {}) {
+  auto gen = ProductGraphGenerator::Compile(expr);
+  EXPECT_TRUE(gen.ok());
+  auto result = gen->Generate(g, options);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return std::move(result).value();
+}
+
+TEST(GeneratorTest, AtomGeneratesMatchingEdges) {
+  auto g = BuildFigure1Graph();
+  auto result = MustGenerateStack(*PathExpr::Labeled(beta), g);
+  EXPECT_EQ(result.paths.size(), 2u);  // The two β-chain edges.
+  EXPECT_FALSE(result.truncated);
+}
+
+TEST(GeneratorTest, EpsilonGeneratesEpsilon) {
+  auto g = BuildFigure1Graph();
+  auto result = MustGenerateStack(*PathExpr::Epsilon(), g);
+  EXPECT_EQ(result.paths, PathSet::EpsilonSet());
+}
+
+TEST(GeneratorTest, EmptyGeneratesNothing) {
+  auto g = BuildFigure1Graph();
+  auto result = MustGenerateStack(*PathExpr::Empty(), g);
+  EXPECT_TRUE(result.paths.empty());
+}
+
+TEST(GeneratorTest, Figure1LanguageOnFigure1Graph) {
+  auto g = BuildFigure1Graph();
+  GenerateOptions options;
+  options.max_path_length = 6;
+  auto result = MustGenerateStack(*BuildFigure1Expr(), g, options);
+
+  // Enumerate by hand (max length 6).
+  // Zero β's: (i,α,j)(j,α,i)? — needs final branch: [_,α,j] then (j,α,i):
+  //   (i,α,j) is [i,α,_] and also [_,α,j]? The first edge consumes [i,α,_];
+  //   the final α-edge is a *different* consumption, so the shortest
+  //   j-branch path is (i,α,j)(j,α,i)? No: [i,α,_] ⋈ β*(0) ⋈ [_,α,j] ⋈
+  //   {(j,α,i)} needs 3 edges minimum.
+  //   3-edge j-branch: (i,α,j)? head j, then [_,α,j] from j: none (j's only
+  //   α-out is (j,α,i)). (i,α,v3): no α-edge into j from v3. So shortest is
+  //   4 via β? v3-β->v4 then (v4,α,j)(j,α,i): (i,α,v3)(v3,β,v4)(v4,α,j)
+  //   (j,α,i) — length 4. With 2 more β's: length 6.
+  // k-branch: (i,α,v3)(v3,α,k)? v3's α-out: (v3,α,k) ✓ — length 2.
+  //   (i,α,j): j has no α-edge to k. (i,α,k): k has no out-α to k.
+  //   With β's: (i,α,v3)(v3,β,v4)(v4,β,v3)(v3,α,k) — length 4; length 6
+  //   with four β's.
+  EXPECT_TRUE(result.paths.Contains(
+      Path({Edge(i, alpha, v3), Edge(v3, alpha, k)})));
+  EXPECT_TRUE(result.paths.Contains(
+      Path({Edge(i, alpha, v3), Edge(v3, beta, v4), Edge(v4, alpha, j),
+            Edge(j, alpha, i)})));
+  EXPECT_TRUE(result.paths.Contains(
+      Path({Edge(i, alpha, v3), Edge(v3, beta, v4), Edge(v4, beta, v3),
+            Edge(v3, alpha, k)})));
+  // The β-cycle makes the language infinite: the bound must report
+  // truncation.
+  EXPECT_TRUE(result.truncated);
+
+  // Every generated path must be joint, start at i with α, and end at i or
+  // k with a final α edge.
+  for (const Path& p : result.paths) {
+    EXPECT_TRUE(p.IsJoint());
+    EXPECT_EQ(p.Tail(), i);
+    EXPECT_EQ(p.edge(0).label, alpha);
+    EXPECT_TRUE(p.Head() == i || p.Head() == k);
+  }
+}
+
+TEST(GeneratorTest, StackAndProductEnginesAgree) {
+  auto g = BuildFigure1Graph();
+  GenerateOptions options;
+  options.max_path_length = 5;
+  for (const PathExprPtr& expr :
+       {BuildFigure1Expr(), PathExpr::MakeStar(PathExpr::AnyEdge()),
+        PathExpr::Labeled(alpha) + PathExpr::Labeled(beta),
+        PathExpr::MakeProduct(PathExpr::Labeled(alpha),
+                              PathExpr::Labeled(alpha)),
+        PathExpr::MakePlus(PathExpr::Labeled(beta))}) {
+    auto stack = MustGenerateStack(*expr, g, options);
+    auto product = MustGenerateProduct(*expr, g, options);
+    EXPECT_EQ(stack.paths, product.paths) << expr->ToString();
+    EXPECT_EQ(stack.truncated, product.truncated) << expr->ToString();
+  }
+}
+
+TEST(GeneratorTest, AgreesWithEvaluateOnBoundedLanguages) {
+  // On expressions whose languages are finite in the graph (no star over a
+  // cycle), generation must equal direct algebraic evaluation.
+  auto g = BuildFigure1Graph();
+  GenerateOptions gen_options;
+  gen_options.max_path_length = 10;
+  EvalOptions eval_options;
+  eval_options.max_star_expansion = 10;
+
+  for (const PathExprPtr& expr :
+       {PathExpr::Labeled(alpha) + PathExpr::Labeled(beta),
+        PathExpr::Labeled(alpha) | PathExpr::Labeled(beta),
+        PathExpr::MakeOptional(PathExpr::From(i)),
+        PathExpr::MakePower(PathExpr::AnyEdge(), 3),
+        PathExpr::MakeProduct(PathExpr::Labeled(alpha),
+                              PathExpr::Labeled(beta))}) {
+    auto generated = MustGenerateProduct(*expr, g, gen_options);
+    auto evaluated = expr->Evaluate(g, eval_options);
+    ASSERT_TRUE(evaluated.ok());
+    EXPECT_EQ(generated.paths, evaluated.value()) << expr->ToString();
+    EXPECT_FALSE(generated.truncated);
+  }
+}
+
+TEST(GeneratorTest, GeneratedPathsAreRecognized) {
+  // Soundness: everything generated is in the expression's language.
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  GenerateOptions options;
+  options.max_path_length = 6;
+  auto generated = MustGenerateProduct(*expr, g, options);
+  auto recognizer = NfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(recognizer.ok());
+  ASSERT_GT(generated.paths.size(), 0u);
+  for (const Path& p : generated.paths) {
+    EXPECT_TRUE(recognizer->Recognize(p)) << p.ToString();
+  }
+}
+
+TEST(GeneratorTest, ProductExpressionGeneratesDisjointPaths) {
+  auto g = BuildFigure1Graph();
+  auto expr = PathExpr::MakeProduct(PathExpr::Labeled(beta),
+                                    PathExpr::Labeled(beta));
+  auto result = MustGenerateStack(*expr, g);
+  // 2 β-edges × 2 β-edges = 4 concatenations (two joint — the cycle —
+  // and two disjoint self-pairings).
+  EXPECT_EQ(result.paths.size(), 4u);
+  size_t disjoint = 0;
+  for (const Path& p : result.paths) {
+    if (!p.IsJoint()) ++disjoint;
+  }
+  EXPECT_EQ(disjoint, 2u);
+}
+
+TEST(GeneratorTest, MaxPathsTruncates) {
+  auto g = BuildFigure1Graph();
+  GenerateOptions options;
+  options.max_path_length = 12;
+  options.max_paths = 3;
+  auto gen = StackMachineGenerator::Compile(
+      *PathExpr::MakeStar(PathExpr::AnyEdge()));
+  ASSERT_TRUE(gen.ok());
+  auto result = gen->Generate(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+}
+
+TEST(GeneratorTest, AcyclicStarTerminatesWithoutTruncation) {
+  // A DAG: 0 -α-> 1 -α-> 2.
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(1, 0, 2);
+  auto g = b.Build();
+  GenerateOptions options;
+  options.max_path_length = 50;
+  auto result =
+      MustGenerateProduct(*PathExpr::MakeStar(PathExpr::AnyEdge()), g,
+                          options);
+  EXPECT_FALSE(result.truncated);
+  // ε, 2 edges, 1 two-edge path.
+  EXPECT_EQ(result.paths.size(), 4u);
+}
+
+TEST(GeneratorTest, RoundsReported) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(1, 0, 2);
+  b.AddEdge(2, 0, 3);
+  auto g = b.Build();
+  auto result = MustGenerateProduct(
+      *PathExpr::MakePower(PathExpr::AnyEdge(), 3), g);
+  EXPECT_EQ(result.rounds, 3u);
+  EXPECT_EQ(result.paths.size(), 1u);
+}
+
+TEST(GeneratorTest, ConvenienceWrapper) {
+  auto g = BuildFigure1Graph();
+  auto result = GeneratePaths(*PathExpr::Labeled(alpha), g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->paths.size(), 6u);  // All α-edges of the fixture graph.
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,227 @@
+// Tests for the synthetic workload generators: determinism, parameter
+// validation, and structural properties.
+
+#include "generators/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(ErdosRenyiTest, ProducesRequestedShape) {
+  auto g = GenerateErdosRenyi(
+      {.num_vertices = 50, .num_labels = 3, .num_edges = 200, .seed = 7});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 50u);
+  EXPECT_EQ(g->num_labels(), 3u);
+  EXPECT_EQ(g->num_edges(), 200u);  // Distinct triples, exactly as asked.
+}
+
+TEST(ErdosRenyiTest, DeterministicForSeed) {
+  ErdosRenyiParams params{
+      .num_vertices = 30, .num_labels = 2, .num_edges = 100, .seed = 42};
+  auto g1 = GenerateErdosRenyi(params);
+  auto g2 = GenerateErdosRenyi(params);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_EQ(g1->num_edges(), g2->num_edges());
+  for (size_t i = 0; i < g1->num_edges(); ++i) {
+    EXPECT_EQ(g1->AllEdges()[i], g2->AllEdges()[i]);
+  }
+}
+
+TEST(ErdosRenyiTest, DifferentSeedsDiffer) {
+  auto g1 = GenerateErdosRenyi(
+      {.num_vertices = 30, .num_labels = 2, .num_edges = 100, .seed = 1});
+  auto g2 = GenerateErdosRenyi(
+      {.num_vertices = 30, .num_labels = 2, .num_edges = 100, .seed = 2});
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  bool differs = false;
+  for (size_t i = 0; i < g1->num_edges() && !differs; ++i) {
+    differs = !(g1->AllEdges()[i] == g2->AllEdges()[i]);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(ErdosRenyiTest, NoSelfLoopsWhenDisallowed) {
+  auto g = GenerateErdosRenyi({.num_vertices = 20,
+                               .num_labels = 2,
+                               .num_edges = 150,
+                               .allow_self_loops = false,
+                               .seed = 3});
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->AllEdges()) EXPECT_NE(e.tail, e.head);
+}
+
+TEST(ErdosRenyiTest, DensePathEnumerates) {
+  // > half the space forces the shuffle-based branch.
+  auto g = GenerateErdosRenyi(
+      {.num_vertices = 5, .num_labels = 2, .num_edges = 40, .seed = 5});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 40u);
+}
+
+TEST(ErdosRenyiTest, ValidatesParameters) {
+  EXPECT_TRUE(GenerateErdosRenyi({.num_vertices = 0, .num_edges = 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateErdosRenyi(
+                  {.num_vertices = 2, .num_labels = 0, .num_edges = 1})
+                  .status()
+                  .IsInvalidArgument());
+  // Requesting more distinct edges than V×Ω×V holds.
+  EXPECT_TRUE(GenerateErdosRenyi(
+                  {.num_vertices = 2, .num_labels = 1, .num_edges = 5})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(BarabasiAlbertTest, ShapeAndDeterminism) {
+  BarabasiAlbertParams params{.num_vertices = 100,
+                              .num_labels = 4,
+                              .edges_per_vertex = 3,
+                              .seed = 11};
+  auto g1 = GenerateBarabasiAlbert(params);
+  auto g2 = GenerateBarabasiAlbert(params);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->num_vertices(), 100u);
+  EXPECT_LE(g1->num_edges(), 99u * 3u);
+  EXPECT_GT(g1->num_edges(), 0u);
+  ASSERT_EQ(g1->num_edges(), g2->num_edges());
+  for (size_t i = 0; i < g1->num_edges(); ++i) {
+    EXPECT_EQ(g1->AllEdges()[i], g2->AllEdges()[i]);
+  }
+}
+
+TEST(BarabasiAlbertTest, NoSelfLoops) {
+  auto g = GenerateBarabasiAlbert(
+      {.num_vertices = 200, .num_labels = 2, .edges_per_vertex = 2, .seed = 13});
+  ASSERT_TRUE(g.ok());
+  for (const Edge& e : g->AllEdges()) EXPECT_NE(e.tail, e.head);
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedInDegrees) {
+  auto g = GenerateBarabasiAlbert(
+      {.num_vertices = 500, .num_labels = 1, .edges_per_vertex = 2, .seed = 17});
+  ASSERT_TRUE(g.ok());
+  uint32_t max_in = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    max_in = std::max(max_in, static_cast<uint32_t>(g->InDegree(v)));
+  }
+  // Preferential attachment produces hubs far above the mean in-degree (~2).
+  EXPECT_GT(max_in, 10u);
+}
+
+TEST(BarabasiAlbertTest, ValidatesParameters) {
+  EXPECT_TRUE(GenerateBarabasiAlbert({.num_vertices = 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateBarabasiAlbert({.num_vertices = 10, .num_labels = 0})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      GenerateBarabasiAlbert({.num_vertices = 10, .edges_per_vertex = 0})
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(LatticeTest, EdgeCountsAndLabels) {
+  auto g = GenerateLattice({.width = 4, .height = 3});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 12u);
+  EXPECT_EQ(g->num_labels(), 2u);
+  // east: 3 per row × 3 rows = 9; south: 4 per column × 2 = 8.
+  EXPECT_EQ(g->num_edges(), 17u);
+  EXPECT_EQ(g->LabelName(0), "east");
+  EXPECT_EQ(g->LabelName(1), "south");
+}
+
+TEST(LatticeTest, WrapAddsTorusEdges) {
+  auto g = GenerateLattice({.width = 3, .height = 3, .wrap = true});
+  ASSERT_TRUE(g.ok());
+  // Torus: every vertex has exactly one east and one south edge.
+  EXPECT_EQ(g->num_edges(), 9u * 2u);
+  for (VertexId v = 0; v < 9; ++v) EXPECT_EQ(g->OutDegree(v), 2u);
+}
+
+TEST(LatticeTest, ValidatesDimensions) {
+  EXPECT_TRUE(
+      GenerateLattice({.width = 0, .height = 3}).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      GenerateLattice({.width = 3, .height = 0}).status().IsInvalidArgument());
+}
+
+TEST(SocialNetworkTest, SchemaAndLabels) {
+  auto g = GenerateSocialNetwork({.num_people = 50,
+                                  .num_items = 20,
+                                  .knows_per_person = 3,
+                                  .num_likes = 100,
+                                  .seed = 23});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 70u);
+  EXPECT_EQ(g->LabelName(kSocialKnows), "knows");
+  EXPECT_EQ(g->LabelName(kSocialCreated), "created");
+  EXPECT_EQ(g->LabelName(kSocialLikes), "likes");
+
+  // Schema constraints: knows is person->person, created/likes person->item.
+  for (const Edge& e : g->AllEdges()) {
+    EXPECT_LT(e.tail, 50u);  // Only people have out-edges.
+    if (e.label == kSocialKnows) {
+      EXPECT_LT(e.head, 50u);
+    } else {
+      EXPECT_GE(e.head, 50u);
+    }
+  }
+}
+
+TEST(SocialNetworkTest, EveryItemHasOneCreator) {
+  auto g = GenerateSocialNetwork(
+      {.num_people = 30, .num_items = 15, .num_likes = 0, .seed = 29});
+  ASSERT_TRUE(g.ok());
+  std::vector<int> creators(45, 0);
+  for (EdgeIndex idx : g->LabelEdgeIndices(kSocialCreated)) {
+    ++creators[g->EdgeAt(idx).head];
+  }
+  for (uint32_t item = 30; item < 45; ++item) EXPECT_EQ(creators[item], 1);
+}
+
+TEST(SocialNetworkTest, LikesCountHonored) {
+  auto g = GenerateSocialNetwork(
+      {.num_people = 10, .num_items = 10, .num_likes = 37, .seed = 31});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->LabelEdgeIndices(kSocialLikes).size(), 37u);
+}
+
+TEST(SocialNetworkTest, LikesClampedToCapacity) {
+  auto g = GenerateSocialNetwork(
+      {.num_people = 2, .num_items = 2, .num_likes = 100, .seed = 37});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->LabelEdgeIndices(kSocialLikes).size(), 4u);
+}
+
+TEST(SocialNetworkTest, ValidatesParameters) {
+  EXPECT_TRUE(GenerateSocialNetwork({.num_people = 0, .num_items = 1})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(GenerateSocialNetwork({.num_people = 1, .num_items = 0})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SocialNetworkTest, Deterministic) {
+  SocialNetworkParams params{
+      .num_people = 40, .num_items = 10, .num_likes = 60, .seed = 41};
+  auto g1 = GenerateSocialNetwork(params);
+  auto g2 = GenerateSocialNetwork(params);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_EQ(g1->num_edges(), g2->num_edges());
+  for (size_t i = 0; i < g1->num_edges(); ++i) {
+    EXPECT_EQ(g1->AllEdges()[i], g2->AllEdges()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,151 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mrpa {
+namespace {
+
+TEST(ReadGraphTest, ParsesTriples) {
+  auto g = ReadGraphFromString(
+      "marko knows peter\n"
+      "marko created mrpa\n"
+      "peter created mrpa\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 3u);
+  EXPECT_EQ(g->num_labels(), 2u);
+  EXPECT_EQ(g->num_edges(), 3u);
+}
+
+TEST(ReadGraphTest, SkipsCommentsAndBlanks) {
+  auto g = ReadGraphFromString(
+      "# header comment\n"
+      "\n"
+      "a r b\n"
+      "   \n"
+      "# trailing comment\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(ReadGraphTest, AcceptsTabsAndSpaces) {
+  auto g = ReadGraphFromString("a\tr\tb\nc  r   d\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(ReadGraphTest, RejectsWrongFieldCount) {
+  auto too_few = ReadGraphFromString("a b\n");
+  EXPECT_TRUE(too_few.status().IsCorruption());
+  auto too_many = ReadGraphFromString("a b c d\n");
+  EXPECT_TRUE(too_many.status().IsCorruption());
+  // The error names the offending line.
+  EXPECT_NE(too_few.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(ReadGraphTest, EmptyInputIsEmptyGraph) {
+  auto g = ReadGraphFromString("");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 0u);
+}
+
+TEST(ReadGraphTest, DuplicateLinesCollapse) {
+  auto g = ReadGraphFromString("a r b\na r b\n");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(WriteGraphTest, RoundTripsNamedGraph) {
+  auto original = ReadGraphFromString(
+      "marko knows peter\n"
+      "peter knows josh\n"
+      "marko created mrpa\n");
+  ASSERT_TRUE(original.ok());
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(original.value(), out).ok());
+
+  auto reread = ReadGraphFromString(out.str());
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_vertices(), original->num_vertices());
+  EXPECT_EQ(reread->num_labels(), original->num_labels());
+  EXPECT_EQ(reread->num_edges(), original->num_edges());
+  // Edge multiset matches under names.
+  ASSERT_TRUE(reread->FindVertex("marko").has_value());
+  ASSERT_TRUE(reread->FindLabel("created").has_value());
+}
+
+TEST(WriteGraphTest, UnnamedIdsGetPlaceholders) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(b.Build(), out).ok());
+  EXPECT_NE(out.str().find("@0"), std::string::npos);
+  EXPECT_NE(out.str().find("@1"), std::string::npos);
+  // And such output re-parses.
+  auto reread = ReadGraphFromString(out.str());
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_edges(), 1u);
+}
+
+TEST(ReadGraphFileTest, MissingFileIsIOError) {
+  auto g = ReadGraphFile("/nonexistent/path/graph.tsv");
+  EXPECT_TRUE(g.status().IsIOError());
+}
+
+TEST(FileRoundTripTest, WriteThenRead) {
+  MultiGraphBuilder b;
+  b.AddEdge("x", "r", "y");
+  b.AddEdge("y", "s", "z");
+  MultiRelationalGraph g = b.Build();
+  const std::string path = ::testing::TempDir() + "/mrpa_io_test.tsv";
+  ASSERT_TRUE(WriteGraphFile(g, path).ok());
+  auto reread = ReadGraphFile(path);
+  ASSERT_TRUE(reread.ok());
+  EXPECT_EQ(reread->num_edges(), 2u);
+  EXPECT_TRUE(reread->FindLabel("s").has_value());
+}
+
+
+TEST(WriteDotTest, EmitsQuotedLabels) {
+  MultiGraphBuilder b;
+  b.AddEdge("a \"quoted\"", "rel", "b");
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(b.Build(), out).ok());
+  const std::string dot = out.str();
+  EXPECT_NE(dot.find("digraph mrpa {"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"rel\""), std::string::npos);
+  EXPECT_NE(dot.find("\\\""), std::string::npos);  // Escaped quote.
+}
+
+TEST(WriteDotTest, UnnamedVerticesPlain) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDot(b.Build(), out).ok());
+  EXPECT_NE(out.str().find("0 -> 1"), std::string::npos);
+}
+
+TEST(SummarizeTest, ReportsShape) {
+  MultiGraphBuilder b;
+  b.AddEdge("hub", "r", "x");
+  b.AddEdge("hub", "r", "y");
+  b.AddEdge("hub", "s", "x");
+  std::string summary = SummarizeGraph(b.Build());
+  EXPECT_NE(summary.find("vertices: 3"), std::string::npos);
+  EXPECT_NE(summary.find("labels:   2"), std::string::npos);
+  EXPECT_NE(summary.find("edges:    3"), std::string::npos);
+  EXPECT_NE(summary.find("relation 'r': 2 edges"), std::string::npos);
+  EXPECT_NE(summary.find("max out-degree: 3 (vertex hub)"),
+            std::string::npos);
+}
+
+TEST(SummarizeTest, EmptyGraph) {
+  std::string summary = SummarizeGraph(MultiGraphBuilder().Build());
+  EXPECT_NE(summary.find("vertices: 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mrpa

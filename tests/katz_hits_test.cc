@@ -1,0 +1,96 @@
+#include "algorithms/katz_hits.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrpa {
+namespace {
+
+TEST(KatzTest, IsolatedVerticesGetBeta) {
+  auto result = KatzCentrality(BinaryGraph(3), {.alpha = 0.1, .beta = 2.0});
+  ASSERT_TRUE(result.ok());
+  for (double score : result.value()) EXPECT_DOUBLE_EQ(score, 2.0);
+}
+
+TEST(KatzTest, ChainClosedForm) {
+  // 0 -> 1 -> 2 with alpha a, beta 1:
+  //   x0 = 1, x1 = 1 + a·x0, x2 = 1 + a·x1 = 1 + a + a².
+  const double a = 0.25;
+  BinaryGraph chain = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}});
+  auto result = KatzCentrality(chain, {.alpha = a, .beta = 1.0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR((*result)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*result)[1], 1.0 + a, 1e-9);
+  EXPECT_NEAR((*result)[2], 1.0 + a + a * a, 1e-9);
+}
+
+TEST(KatzTest, InDegreeRaisesScore) {
+  BinaryGraph star = BinaryGraph::FromArcs(5, {{1, 0}, {2, 0}, {3, 0},
+                                               {4, 0}});
+  auto result = KatzCentrality(star);
+  ASSERT_TRUE(result.ok());
+  for (VertexId leaf = 1; leaf < 5; ++leaf) {
+    EXPECT_GT((*result)[0], (*result)[leaf]);
+  }
+}
+
+TEST(KatzTest, ValidatesAlpha) {
+  BinaryGraph g = BinaryGraph::FromArcs(2, {{0, 1}});
+  EXPECT_TRUE(KatzCentrality(g, {.alpha = 0.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(KatzCentrality(g, {.alpha = 1.0}).status().IsInvalidArgument());
+}
+
+TEST(KatzTest, DivergentAlphaReported) {
+  // A tight cycle has lambda_max = 1, so any alpha < 1 converges — use a
+  // dense graph instead: K5 has lambda_max = 4; alpha 0.9 diverges.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = 0; b < 5; ++b) {
+      if (a != b) arcs.emplace_back(a, b);
+    }
+  }
+  BinaryGraph k5 = BinaryGraph::FromArcs(5, std::move(arcs));
+  auto result = KatzCentrality(k5, {.alpha = 0.9, .max_iterations = 5000});
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(HitsTest, BipartiteHubsAndAuthorities) {
+  // Hubs {0,1} each point at authorities {2,3}.
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 2}, {0, 3}, {1, 2}, {1, 3}});
+  auto result = Hits(g);
+  ASSERT_TRUE(result.ok());
+  const double half = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(result->hub[0], half, 1e-6);
+  EXPECT_NEAR(result->hub[1], half, 1e-6);
+  EXPECT_NEAR(result->hub[2], 0.0, 1e-9);
+  EXPECT_NEAR(result->authority[2], half, 1e-6);
+  EXPECT_NEAR(result->authority[3], half, 1e-6);
+  EXPECT_NEAR(result->authority[0], 0.0, 1e-9);
+}
+
+TEST(HitsTest, AsymmetricWeights) {
+  // Vertex 0 points at both authorities, vertex 1 at one: 0 is the better
+  // hub; authority 2 (cited by both) beats 3.
+  BinaryGraph g = BinaryGraph::FromArcs(4, {{0, 2}, {0, 3}, {1, 2}});
+  auto result = Hits(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->hub[0], result->hub[1]);
+  EXPECT_GT(result->authority[2], result->authority[3]);
+}
+
+TEST(HitsTest, EdgelessGraphAllZero) {
+  auto result = Hits(BinaryGraph(3));
+  ASSERT_TRUE(result.ok());
+  for (double v : result->hub) EXPECT_EQ(v, 0.0);
+  for (double v : result->authority) EXPECT_EQ(v, 0.0);
+}
+
+TEST(HitsTest, EmptyGraph) {
+  auto result = Hits(BinaryGraph(0));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->hub.empty());
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,79 @@
+#include "algorithms/kcore.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(KCoreTest, TriangleWithPendant) {
+  // Triangle {0,1,2} (core 2) with pendant 3 (core 1) and isolate 4 (core 0).
+  BinaryGraph g =
+      BinaryGraph::FromArcs(5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  auto result = KCoreDecomposition(g);
+  EXPECT_EQ(result.core_number[0], 2u);
+  EXPECT_EQ(result.core_number[1], 2u);
+  EXPECT_EQ(result.core_number[2], 2u);
+  EXPECT_EQ(result.core_number[3], 1u);
+  EXPECT_EQ(result.core_number[4], 0u);
+  EXPECT_EQ(result.degeneracy, 2u);
+}
+
+TEST(KCoreTest, CoreMembers) {
+  BinaryGraph g =
+      BinaryGraph::FromArcs(5, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  auto result = KCoreDecomposition(g);
+  EXPECT_EQ(result.CoreMembers(2), (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(result.CoreMembers(1), (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(result.CoreMembers(0).size(), 5u);
+  EXPECT_TRUE(result.CoreMembers(3).empty());
+}
+
+TEST(KCoreTest, CompleteGraph) {
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (VertexId a = 0; a < 5; ++a) {
+    for (VertexId b = a + 1; b < 5; ++b) arcs.emplace_back(a, b);
+  }
+  BinaryGraph k5 = BinaryGraph::FromArcs(5, std::move(arcs));
+  auto result = KCoreDecomposition(k5);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(result.core_number[v], 4u);
+  EXPECT_EQ(result.degeneracy, 4u);
+}
+
+TEST(KCoreTest, PathGraphIsOneCore) {
+  BinaryGraph path = BinaryGraph::FromArcs(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto result = KCoreDecomposition(path);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(result.core_number[v], 1u);
+}
+
+TEST(KCoreTest, NestedCores) {
+  // K4 {0..3} with a path 3-4-5 hanging off.
+  std::vector<std::pair<VertexId, VertexId>> arcs;
+  for (VertexId a = 0; a < 4; ++a) {
+    for (VertexId b = a + 1; b < 4; ++b) arcs.emplace_back(a, b);
+  }
+  arcs.emplace_back(3, 4);
+  arcs.emplace_back(4, 5);
+  BinaryGraph g = BinaryGraph::FromArcs(6, std::move(arcs));
+  auto result = KCoreDecomposition(g);
+  EXPECT_EQ(result.core_number[0], 3u);
+  EXPECT_EQ(result.core_number[3], 3u);
+  EXPECT_EQ(result.core_number[4], 1u);
+  EXPECT_EQ(result.core_number[5], 1u);
+  EXPECT_EQ(result.degeneracy, 3u);
+}
+
+TEST(KCoreTest, DirectionIgnored) {
+  // A directed 3-cycle symmetrizes to an undirected triangle: core 2.
+  BinaryGraph g = BinaryGraph::FromArcs(3, {{0, 1}, {1, 2}, {2, 0}});
+  auto result = KCoreDecomposition(g);
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(result.core_number[v], 2u);
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  auto result = KCoreDecomposition(BinaryGraph(0));
+  EXPECT_TRUE(result.core_number.empty());
+  EXPECT_EQ(result.degeneracy, 0u);
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,188 @@
+// Property tests for the algebraic structure the paper builds on:
+//   * (E*, ◦, ε) is the free monoid over E (footnote 2),
+//   * (P(E*), ∪, ∅) is a commutative idempotent monoid,
+//   * ⋈◦ and ×◦ are associative with identity {ε} and annihilator ∅,
+//   * ⋈◦/×◦ distribute over ∪,
+//   * R ⋈◦ Q ⊆ R ×◦ Q (footnote 7).
+// Randomized inputs sweep across several seeds via TEST_P.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/monoid.h"
+#include "core/path.h"
+#include "core/path_set.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+// Random path over a small vertex/label space (small so that adjacency —
+// and hence non-trivial joins — occur frequently).
+Path RandomPath(Rng& rng, size_t max_len, uint32_t num_vertices = 4,
+                uint32_t num_labels = 2) {
+  size_t len = static_cast<size_t>(rng.Below(max_len + 1));
+  std::vector<Edge> edges;
+  edges.reserve(len);
+  for (size_t n = 0; n < len; ++n) {
+    edges.emplace_back(static_cast<VertexId>(rng.Below(num_vertices)),
+                       static_cast<LabelId>(rng.Below(num_labels)),
+                       static_cast<VertexId>(rng.Below(num_vertices)));
+  }
+  return Path(std::move(edges));
+}
+
+PathSet RandomPathSet(Rng& rng, size_t max_paths, size_t max_len) {
+  size_t count = static_cast<size_t>(rng.Below(max_paths + 1));
+  std::vector<Path> paths;
+  paths.reserve(count);
+  for (size_t n = 0; n < count; ++n) {
+    paths.push_back(RandomPath(rng, max_len));
+  }
+  return PathSet(std::move(paths));
+}
+
+class MonoidPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(MonoidPropertyTest, FreeMonoidLaws) {
+  std::vector<Path> samples;
+  for (int n = 0; n < 6; ++n) samples.push_back(RandomPath(rng_, 4));
+  samples.push_back(Path());  // Always include ε.
+
+  auto concat = [](const Path& a, const Path& b) { return a.Concat(b); };
+  EXPECT_TRUE(CheckAssociativity(samples, concat));
+  EXPECT_TRUE(CheckIdentity(samples, concat, Path()));
+}
+
+TEST_P(MonoidPropertyTest, ConcatGenerallyNotCommutative) {
+  // Find a witness pair; with 4 vertices × 2 labels, overwhelmingly likely.
+  bool found_witness = false;
+  for (int attempt = 0; attempt < 64 && !found_witness; ++attempt) {
+    Path a = RandomPath(rng_, 3);
+    Path b = RandomPath(rng_, 3);
+    if (a.Concat(b) != b.Concat(a)) found_witness = true;
+  }
+  EXPECT_TRUE(found_witness);
+}
+
+TEST_P(MonoidPropertyTest, UnionMonoidLaws) {
+  std::vector<PathSet> samples;
+  for (int n = 0; n < 5; ++n) samples.push_back(RandomPathSet(rng_, 5, 3));
+  samples.push_back(PathSet());
+
+  auto set_union = [](const PathSet& a, const PathSet& b) {
+    return Union(a, b);
+  };
+  EXPECT_TRUE(CheckAssociativity(samples, set_union));
+  EXPECT_TRUE(CheckIdentity(samples, set_union, PathSet()));
+  EXPECT_TRUE(CheckCommutativity(samples, set_union));
+  EXPECT_TRUE(CheckIdempotence(samples, set_union));
+}
+
+TEST_P(MonoidPropertyTest, JoinMonoidLaws) {
+  std::vector<PathSet> samples;
+  for (int n = 0; n < 4; ++n) samples.push_back(RandomPathSet(rng_, 4, 2));
+  samples.push_back(PathSet::EpsilonSet());
+
+  auto join = [](const PathSet& a, const PathSet& b) {
+    return ConcatenativeJoin(a, b).value();
+  };
+  EXPECT_TRUE(CheckAssociativity(samples, join));
+  EXPECT_TRUE(CheckIdentity(samples, join, PathSet::EpsilonSet()));
+  EXPECT_TRUE(CheckAnnihilator(samples, join, PathSet()));
+}
+
+TEST_P(MonoidPropertyTest, ProductMonoidLaws) {
+  std::vector<PathSet> samples;
+  for (int n = 0; n < 4; ++n) samples.push_back(RandomPathSet(rng_, 4, 2));
+  samples.push_back(PathSet::EpsilonSet());
+
+  auto product = [](const PathSet& a, const PathSet& b) {
+    return ConcatenativeProduct(a, b).value();
+  };
+  EXPECT_TRUE(CheckAssociativity(samples, product));
+  EXPECT_TRUE(CheckIdentity(samples, product, PathSet::EpsilonSet()));
+  EXPECT_TRUE(CheckAnnihilator(samples, product, PathSet()));
+}
+
+TEST_P(MonoidPropertyTest, JoinDistributesOverUnion) {
+  std::vector<PathSet> samples;
+  for (int n = 0; n < 4; ++n) samples.push_back(RandomPathSet(rng_, 4, 2));
+
+  auto set_union = [](const PathSet& a, const PathSet& b) {
+    return Union(a, b);
+  };
+  auto join = [](const PathSet& a, const PathSet& b) {
+    return ConcatenativeJoin(a, b).value();
+  };
+  auto product = [](const PathSet& a, const PathSet& b) {
+    return ConcatenativeProduct(a, b).value();
+  };
+  EXPECT_TRUE(CheckDistributivity(samples, set_union, join));
+  EXPECT_TRUE(CheckDistributivity(samples, set_union, product));
+}
+
+TEST_P(MonoidPropertyTest, JoinSubsetOfProduct) {
+  for (int trial = 0; trial < 20; ++trial) {
+    PathSet a = RandomPathSet(rng_, 6, 3);
+    PathSet b = RandomPathSet(rng_, 6, 3);
+    Result<PathSet> joined = ConcatenativeJoin(a, b);
+    Result<PathSet> product = ConcatenativeProduct(a, b);
+    ASSERT_TRUE(joined.ok());
+    ASSERT_TRUE(product.ok());
+    EXPECT_TRUE(joined->IsSubsetOf(product.value()));
+  }
+}
+
+TEST_P(MonoidPropertyTest, JoinOutputsAreConcatenations) {
+  // Every joined path must split into an A-prefix and a B-suffix with an
+  // adjacent (or ε) seam.
+  PathSet a = RandomPathSet(rng_, 6, 3);
+  PathSet b = RandomPathSet(rng_, 6, 3);
+  Result<PathSet> joined = ConcatenativeJoin(a, b);
+  ASSERT_TRUE(joined.ok());
+  for (const Path& p : joined.value()) {
+    bool witnessed = false;
+    for (const Path& pa : a) {
+      for (const Path& pb : b) {
+        if (pa.Concat(pb) != p) continue;
+        if (pa.empty() || pb.empty() || pa.Head() == pb.Tail()) {
+          witnessed = true;
+        }
+      }
+    }
+    EXPECT_TRUE(witnessed) << p.ToString();
+  }
+}
+
+TEST_P(MonoidPropertyTest, PathLabelHomomorphism) {
+  // ω′ is a monoid homomorphism (E*, ◦) → (Ω*, ·): ω′(a ◦ b) = ω′(a)·ω′(b).
+  for (int trial = 0; trial < 30; ++trial) {
+    Path a = RandomPath(rng_, 4);
+    Path b = RandomPath(rng_, 4);
+    std::vector<LabelId> expected = a.PathLabel();
+    std::vector<LabelId> rhs = b.PathLabel();
+    expected.insert(expected.end(), rhs.begin(), rhs.end());
+    EXPECT_EQ(a.Concat(b).PathLabel(), expected);
+  }
+}
+
+TEST_P(MonoidPropertyTest, JointnessClosedUnderAdjacentConcat) {
+  for (int trial = 0; trial < 30; ++trial) {
+    Path a = RandomPath(rng_, 4);
+    Path b = RandomPath(rng_, 4);
+    if (a.IsJoint() && b.IsJoint() && AreAdjacent(a, b)) {
+      EXPECT_TRUE(a.Concat(b).IsJoint());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MonoidPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mrpa

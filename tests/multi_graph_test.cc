@@ -1,0 +1,221 @@
+// Tests for the MultiRelationalGraph store: builder semantics (E as a set),
+// CSR indices, dictionaries, and the EdgeUniverse contract.
+
+#include "graph/multi_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace mrpa {
+namespace {
+
+TEST(DictionaryTest, InternsAndFinds) {
+  Dictionary d;
+  uint32_t a = d.Intern("alpha");
+  uint32_t b = d.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.Intern("alpha"), a);  // Idempotent.
+  EXPECT_EQ(d.Find("alpha"), std::optional<uint32_t>(a));
+  EXPECT_EQ(d.Find("gamma"), std::nullopt);
+  EXPECT_EQ(d.NameOf(a), "alpha");
+  EXPECT_EQ(d.NameOf(99), "");
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, EnsureSizePadsWithEmptyNames) {
+  Dictionary d;
+  d.Intern("x");
+  d.EnsureSize(5);
+  EXPECT_EQ(d.size(), 5u);
+  EXPECT_EQ(d.NameOf(3), "");
+  EXPECT_EQ(d.NameOf(0), "x");
+}
+
+TEST(BuilderTest, EmptyGraph) {
+  MultiGraphBuilder b;
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_labels(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.AllEdges().empty());
+  EXPECT_TRUE(g.OutEdges(0).empty());  // Out of range is safe.
+}
+
+TEST(BuilderTest, EdgeSetSemantics) {
+  // E is a set: duplicate insertions collapse.
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 0, 1);
+  EXPECT_EQ(b.num_staged_edges(), 3u);
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(BuilderTest, ParallelEdgesWithDistinctLabelsKept) {
+  // The multi-relational point: (i,α,j) and (i,β,j) are different edges.
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 1, 1);
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_labels(), 2u);
+}
+
+TEST(BuilderTest, VertexAndLabelSpacesCoverMaxId) {
+  MultiGraphBuilder b;
+  b.AddEdge(2, 5, 7);
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_labels(), 6u);
+}
+
+TEST(BuilderTest, ReserveCreatesIsolatedVertices) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.ReserveVertices(10);
+  b.ReserveLabels(4);
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 10u);
+  EXPECT_EQ(g.num_labels(), 4u);
+  EXPECT_TRUE(g.OutEdges(9).empty());
+  EXPECT_TRUE(g.InEdgeIndices(9).empty());
+}
+
+TEST(BuilderTest, NamedInterface) {
+  MultiGraphBuilder b;
+  b.AddEdge("marko", "knows", "peter");
+  b.AddEdge("marko", "created", "mrpa");
+  b.AddEdge("peter", "created", "mrpa");
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_labels(), 2u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  ASSERT_TRUE(g.FindVertex("marko").has_value());
+  ASSERT_TRUE(g.FindLabel("knows").has_value());
+  EXPECT_EQ(g.VertexName(*g.FindVertex("peter")), "peter");
+  EXPECT_FALSE(g.FindVertex("unknown").has_value());
+}
+
+TEST(BuilderTest, BuilderIsReusable) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  MultiRelationalGraph g1 = b.Build();
+  b.AddEdge(1, 0, 2);
+  MultiRelationalGraph g2 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+class IndexedGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MultiGraphBuilder b;
+    b.AddEdge(0, 0, 1);
+    b.AddEdge(0, 1, 2);
+    b.AddEdge(1, 0, 2);
+    b.AddEdge(2, 1, 0);
+    b.AddEdge(2, 0, 0);
+    b.AddEdge(1, 1, 1);  // Self-loop.
+    graph_ = b.Build();
+  }
+
+  MultiRelationalGraph graph_;
+};
+
+TEST_F(IndexedGraphTest, AllEdgesCanonicallySorted) {
+  auto edges = graph_.AllEdges();
+  EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+  EXPECT_EQ(edges.size(), 6u);
+}
+
+TEST_F(IndexedGraphTest, OutEdgesAreContiguousRuns) {
+  size_t total = 0;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    for (const Edge& e : graph_.OutEdges(v)) {
+      EXPECT_EQ(e.tail, v);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, graph_.num_edges());
+  EXPECT_EQ(graph_.OutDegree(0), 2u);
+  EXPECT_EQ(graph_.OutDegree(1), 2u);
+  EXPECT_EQ(graph_.OutDegree(2), 2u);
+}
+
+TEST_F(IndexedGraphTest, InIndexCoversAllEdges) {
+  size_t total = 0;
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    for (EdgeIndex idx : graph_.InEdgeIndices(v)) {
+      EXPECT_EQ(graph_.EdgeAt(idx).head, v);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, graph_.num_edges());
+  EXPECT_EQ(graph_.InDegree(0), 2u);
+  EXPECT_EQ(graph_.InDegree(1), 2u);
+  EXPECT_EQ(graph_.InDegree(2), 2u);
+}
+
+TEST_F(IndexedGraphTest, LabelIndexCoversAllEdges) {
+  size_t total = 0;
+  for (LabelId l = 0; l < graph_.num_labels(); ++l) {
+    for (EdgeIndex idx : graph_.LabelEdgeIndices(l)) {
+      EXPECT_EQ(graph_.EdgeAt(idx).label, l);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, graph_.num_edges());
+}
+
+TEST_F(IndexedGraphTest, HasEdge) {
+  EXPECT_TRUE(graph_.HasEdge(Edge(0, 0, 1)));
+  EXPECT_TRUE(graph_.HasEdge(Edge(1, 1, 1)));
+  EXPECT_FALSE(graph_.HasEdge(Edge(0, 0, 2)));
+  EXPECT_FALSE(graph_.HasEdge(Edge(9, 9, 9)));
+}
+
+TEST_F(IndexedGraphTest, OutOfRangeAccessorsAreEmpty) {
+  EXPECT_TRUE(graph_.OutEdges(100).empty());
+  EXPECT_TRUE(graph_.InEdgeIndices(100).empty());
+  EXPECT_TRUE(graph_.LabelEdgeIndices(100).empty());
+}
+
+
+TEST_F(IndexedGraphTest, OutEdgesWithLabelSubRuns) {
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    for (LabelId l = 0; l < graph_.num_labels() + 1; ++l) {
+      std::vector<Edge> expected;
+      for (const Edge& e : graph_.OutEdges(v)) {
+        if (e.label == l) expected.push_back(e);
+      }
+      auto run = graph_.OutEdgesWithLabel(v, l);
+      ASSERT_EQ(run.size(), expected.size()) << "v=" << v << " l=" << l;
+      for (size_t i = 0; i < run.size(); ++i) EXPECT_EQ(run[i], expected[i]);
+    }
+  }
+}
+
+TEST_F(IndexedGraphTest, OutEdgesWithLabelOutOfRange) {
+  EXPECT_TRUE(graph_.OutEdgesWithLabel(99, 0).empty());
+  EXPECT_TRUE(graph_.OutEdgesWithLabel(0, 99).empty());
+}
+
+TEST(DescribeEdgeTest, UsesNamesWhenAvailable) {
+  MultiGraphBuilder b;
+  b.AddEdge("a", "likes", "b");
+  MultiRelationalGraph g = b.Build();
+  Edge e = g.AllEdges()[0];
+  EXPECT_EQ(g.DescribeEdge(e), "a -likes-> b");
+}
+
+TEST(DescribeEdgeTest, FallsBackToIds) {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  MultiRelationalGraph g = b.Build();
+  EXPECT_EQ(g.DescribeEdge(Edge(0, 0, 1)), "0 -0-> 1");
+}
+
+}  // namespace
+}  // namespace mrpa

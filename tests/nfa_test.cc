@@ -1,0 +1,195 @@
+// Tests for the Thompson construction (structure, seam kinds, invariants)
+// and the ε/break closure.
+
+#include "regex/nfa.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "regex/figure1.h"
+
+namespace mrpa {
+namespace {
+
+size_t CountConsume(const Nfa& nfa) {
+  size_t count = 0;
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    for (const NfaTransition& t : nfa.TransitionsFrom(s)) {
+      if (t.type == NfaTransition::Type::kConsume) ++count;
+    }
+  }
+  return count;
+}
+
+size_t CountBreak(const Nfa& nfa) {
+  size_t count = 0;
+  for (uint32_t s = 0; s < nfa.num_states(); ++s) {
+    for (const NfaTransition& t : nfa.TransitionsFrom(s)) {
+      if (t.type == NfaTransition::Type::kBreak) ++count;
+    }
+  }
+  return count;
+}
+
+TEST(NfaTest, EmptyHasNoTransitions) {
+  auto nfa = CompileToNfa(*PathExpr::Empty());
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->num_states(), 2u);
+  EXPECT_EQ(nfa->num_transitions(), 0u);
+  EXPECT_NE(nfa->start(), nfa->accept());
+}
+
+TEST(NfaTest, EpsilonHasSingleEpsilonTransition) {
+  auto nfa = CompileToNfa(*PathExpr::Epsilon());
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->num_transitions(), 1u);
+  EXPECT_EQ(CountConsume(nfa.value()), 0u);
+}
+
+TEST(NfaTest, AtomHasOneConsume) {
+  auto nfa = CompileToNfa(*PathExpr::Labeled(3));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(CountConsume(nfa.value()), 1u);
+  EXPECT_EQ(nfa->patterns().size(), 1u);
+  EXPECT_TRUE(nfa->IsJointOnly());
+}
+
+TEST(NfaTest, PatternTableDeduplicates) {
+  // The same atom used twice shares one pattern entry.
+  auto shared = PathExpr::Labeled(1);
+  auto nfa = CompileToNfa(*(shared + shared));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(nfa->patterns().size(), 1u);
+  EXPECT_EQ(CountConsume(nfa.value()), 2u);
+}
+
+TEST(NfaTest, JoinSeamIsPlainEpsilon) {
+  auto nfa = CompileToNfa(*(PathExpr::Labeled(0) + PathExpr::Labeled(1)));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->IsJointOnly());
+  EXPECT_EQ(CountBreak(nfa.value()), 0u);
+}
+
+TEST(NfaTest, ProductSeamIsBreak) {
+  auto nfa = CompileToNfa(
+      *PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1)));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_FALSE(nfa->IsJointOnly());
+  EXPECT_EQ(CountBreak(nfa.value()), 1u);
+}
+
+TEST(NfaTest, DisjointLiteralGetsBreakSeam) {
+  PathSet literal({Path({Edge(0, 0, 1), Edge(5, 0, 6)})});  // Disjoint.
+  auto nfa = CompileToNfa(*PathExpr::Literal(literal));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_FALSE(nfa->IsJointOnly());
+  EXPECT_EQ(CountBreak(nfa.value()), 1u);
+  EXPECT_EQ(CountConsume(nfa.value()), 2u);
+}
+
+TEST(NfaTest, JointLiteralStaysJointOnly) {
+  PathSet literal({Path({Edge(0, 0, 1), Edge(1, 0, 2)}), Path()});
+  auto nfa = CompileToNfa(*PathExpr::Literal(literal));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->IsJointOnly());
+  EXPECT_EQ(CountConsume(nfa.value()), 2u);
+}
+
+TEST(NfaTest, StarAddsLoopEpsilons) {
+  auto inner = PathExpr::Labeled(0);
+  auto star = CompileToNfa(*PathExpr::MakeStar(inner));
+  ASSERT_TRUE(star.ok());
+  EXPECT_TRUE(star->IsJointOnly());
+  // Thompson star: 4 ε-transitions + the inner consume.
+  EXPECT_EQ(star->num_transitions(), 5u);
+}
+
+TEST(NfaTest, PowerUnrolls) {
+  auto nfa = CompileToNfa(*PathExpr::MakePower(PathExpr::Labeled(0), 4));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(CountConsume(nfa.value()), 4u);
+}
+
+TEST(NfaTest, PowerZeroIsEpsilon) {
+  auto nfa = CompileToNfa(*PathExpr::MakePower(PathExpr::Labeled(0), 0));
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_EQ(CountConsume(nfa.value()), 0u);
+  EXPECT_EQ(nfa->num_transitions(), 1u);
+}
+
+TEST(NfaTest, OversizedPowerRejected) {
+  auto nfa = CompileToNfa(*PathExpr::MakePower(PathExpr::Labeled(0), 100000));
+  EXPECT_TRUE(nfa.status().IsInvalidArgument());
+}
+
+TEST(NfaTest, AcceptHasNoOutTransitions) {
+  // Thompson invariant relied on by the generator's halt condition.
+  for (const PathExprPtr& expr :
+       {BuildFigure1Expr(), PathExpr::MakeStar(PathExpr::AnyEdge()),
+        PathExpr::MakeOptional(PathExpr::Labeled(1) + PathExpr::Labeled(0))}) {
+    auto nfa = CompileToNfa(*expr);
+    ASSERT_TRUE(nfa.ok());
+    EXPECT_TRUE(nfa->TransitionsFrom(nfa->accept()).empty())
+        << expr->ToString();
+  }
+}
+
+TEST(EpsilonCloseTest, FollowsEpsilonChains) {
+  auto nfa = CompileToNfa(*PathExpr::MakeStar(PathExpr::Labeled(0)));
+  ASSERT_TRUE(nfa.ok());
+  std::vector<NfaPosition> positions = {{nfa->start(), false}};
+  EpsilonClose(nfa.value(), positions);
+  // Start closure must include the accept state (ε ∈ L(R*)).
+  bool has_accept = false;
+  for (const NfaPosition& p : positions) {
+    if (p.state == nfa->accept()) has_accept = true;
+  }
+  EXPECT_TRUE(has_accept);
+}
+
+TEST(EpsilonCloseTest, BreakArmsFlag) {
+  auto nfa = CompileToNfa(
+      *PathExpr::MakeProduct(PathExpr::Epsilon(), PathExpr::Labeled(0)));
+  ASSERT_TRUE(nfa.ok());
+  std::vector<NfaPosition> positions = {{nfa->start(), false}};
+  EpsilonClose(nfa.value(), positions);
+  // Some position past the break seam must carry break_armed = true.
+  bool any_armed = false;
+  for (const NfaPosition& p : positions) any_armed |= p.break_armed;
+  EXPECT_TRUE(any_armed);
+}
+
+TEST(EpsilonCloseTest, IdempotentAndSorted) {
+  auto nfa = CompileToNfa(*BuildFigure1Expr());
+  ASSERT_TRUE(nfa.ok());
+  std::vector<NfaPosition> once = {{nfa->start(), true}};
+  EpsilonClose(nfa.value(), once);
+  std::vector<NfaPosition> twice = once;
+  EpsilonClose(nfa.value(), twice);
+  EXPECT_EQ(once, twice);
+  EXPECT_TRUE(std::is_sorted(once.begin(), once.end()));
+}
+
+TEST(NfaTest, ToStringMentionsStatesAndSeams) {
+  auto nfa = CompileToNfa(
+      *PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1)));
+  ASSERT_TRUE(nfa.ok());
+  std::string dump = nfa->ToString();
+  EXPECT_NE(dump.find("NFA:"), std::string::npos);
+  EXPECT_NE(dump.find("break"), std::string::npos);
+  EXPECT_NE(dump.find("[_, 0, _]"), std::string::npos);
+}
+
+TEST(Figure1Test, ExpressionShape) {
+  auto expr = BuildFigure1Expr();
+  EXPECT_TRUE(expr->IsProductFree());
+  auto nfa = CompileToNfa(*expr);
+  ASSERT_TRUE(nfa.ok());
+  EXPECT_TRUE(nfa->IsJointOnly());
+  // Patterns: [i,α,_], [_,β,_], [_,α,j], {(j,α,i)} as Exactly, [_,α,k].
+  EXPECT_EQ(nfa->patterns().size(), 5u);
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,228 @@
+// Tests for the path-expression text syntax.
+
+#include "engine/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "regex/figure1.h"
+
+namespace mrpa {
+namespace {
+
+MultiRelationalGraph Named() {
+  MultiGraphBuilder b;
+  b.AddEdge("marko", "knows", "peter");
+  b.AddEdge("peter", "created", "mrpa");
+  b.AddEdge("marko", "created", "mrpa");
+  return b.Build();
+}
+
+TEST(ParserTest, Atoms) {
+  auto expr = ParsePathExpr("[0, 1, _]");
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  EXPECT_EQ((*expr)->kind(), ExprKind::kAtom);
+  EXPECT_TRUE((*expr)->pattern().Matches(Edge(0, 1, 7)));
+  EXPECT_FALSE((*expr)->pattern().Matches(Edge(0, 2, 7)));
+}
+
+TEST(ParserTest, Wildcards) {
+  auto expr = ParsePathExpr("[_, _, _]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE((*expr)->pattern().IsUnconstrained());
+}
+
+TEST(ParserTest, IdSets) {
+  auto expr = ParsePathExpr("[{1, 3, 5}, _, _]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE((*expr)->pattern().Matches(Edge(3, 0, 0)));
+  EXPECT_FALSE((*expr)->pattern().Matches(Edge(2, 0, 0)));
+}
+
+TEST(ParserTest, Negation) {
+  auto expr = ParsePathExpr("[!{0}, _, !9]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_TRUE((*expr)->pattern().Matches(Edge(1, 0, 0)));
+  EXPECT_FALSE((*expr)->pattern().Matches(Edge(0, 0, 0)));
+  EXPECT_FALSE((*expr)->pattern().Matches(Edge(1, 0, 9)));
+}
+
+TEST(ParserTest, NegatedWildcardMatchesNothing) {
+  auto expr = ParsePathExpr("[!_, _, _]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_FALSE((*expr)->pattern().Matches(Edge(0, 0, 0)));
+  EXPECT_FALSE((*expr)->pattern().Matches(Edge(5, 5, 5)));
+}
+
+TEST(ParserTest, EmptyAndEpsilon) {
+  EXPECT_EQ((*ParsePathExpr("empty"))->kind(), ExprKind::kEmpty);
+  EXPECT_EQ((*ParsePathExpr("∅"))->kind(), ExprKind::kEmpty);
+  EXPECT_EQ((*ParsePathExpr("eps"))->kind(), ExprKind::kEpsilon);
+  EXPECT_EQ((*ParsePathExpr("epsilon"))->kind(), ExprKind::kEpsilon);
+  EXPECT_EQ((*ParsePathExpr("ε"))->kind(), ExprKind::kEpsilon);
+}
+
+TEST(ParserTest, BinaryOperators) {
+  auto join = ParsePathExpr("[_, 0, _] . [_, 1, _]");
+  ASSERT_TRUE(join.ok());
+  EXPECT_EQ((*join)->kind(), ExprKind::kJoin);
+
+  auto glyph_join = ParsePathExpr("[_, 0, _] ⋈ [_, 1, _]");
+  ASSERT_TRUE(glyph_join.ok());
+  EXPECT_EQ((*glyph_join)->kind(), ExprKind::kJoin);
+
+  auto set_union = ParsePathExpr("[_, 0, _] | [_, 1, _]");
+  ASSERT_TRUE(set_union.ok());
+  EXPECT_EQ((*set_union)->kind(), ExprKind::kUnion);
+
+  auto product = ParsePathExpr("[_, 0, _] >< [_, 1, _]");
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ((*product)->kind(), ExprKind::kProduct);
+
+  auto glyph_product = ParsePathExpr("[_, 0, _] × [_, 1, _]");
+  ASSERT_TRUE(glyph_product.ok());
+  EXPECT_EQ((*glyph_product)->kind(), ExprKind::kProduct);
+}
+
+TEST(ParserTest, PostfixOperators) {
+  EXPECT_EQ((*ParsePathExpr("[_, 0, _]*"))->kind(), ExprKind::kStar);
+  EXPECT_EQ((*ParsePathExpr("[_, 0, _]+"))->kind(), ExprKind::kPlus);
+  EXPECT_EQ((*ParsePathExpr("[_, 0, _]?"))->kind(), ExprKind::kOptional);
+  auto power = ParsePathExpr("[_, 0, _]^3");
+  ASSERT_TRUE(power.ok());
+  EXPECT_EQ((*power)->kind(), ExprKind::kPower);
+  EXPECT_EQ((*power)->power(), 3u);
+}
+
+TEST(ParserTest, PostfixStacks) {
+  // (R*)? parses left-to-right over the same primary.
+  auto expr = ParsePathExpr("[_, 0, _]*?");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind(), ExprKind::kOptional);
+  EXPECT_EQ((*expr)->children()[0]->kind(), ExprKind::kStar);
+}
+
+TEST(ParserTest, PrecedenceJoinBindsTighterThanUnion) {
+  auto expr = ParsePathExpr("[_, 0, _] . [_, 1, _] | [_, 2, _]");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind(), ExprKind::kUnion);
+  EXPECT_EQ((*expr)->children()[0]->kind(), ExprKind::kJoin);
+  EXPECT_EQ((*expr)->children()[1]->kind(), ExprKind::kAtom);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  auto expr = ParsePathExpr("[_, 0, _] . ([_, 1, _] | [_, 2, _])");
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind(), ExprKind::kJoin);
+  EXPECT_EQ((*expr)->children()[1]->kind(), ExprKind::kUnion);
+}
+
+TEST(ParserTest, NameResolution) {
+  auto g = Named();
+  auto expr = ParsePathExpr("[marko, knows, _] . [_, created, mrpa]", &g);
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  auto result = (*expr)->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  // marko-knows->peter-created->mrpa.
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].length(), 2u);
+}
+
+TEST(ParserTest, NamesInSets) {
+  auto g = Named();
+  auto expr = ParsePathExpr("[{marko, peter}, created, _]", &g);
+  ASSERT_TRUE(expr.ok());
+  auto result = (*expr)->Evaluate(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 2u);
+}
+
+TEST(ParserTest, UnknownNameErrors) {
+  auto g = Named();
+  auto unknown_vertex = ParsePathExpr("[nobody, knows, _]", &g);
+  EXPECT_TRUE(unknown_vertex.status().IsInvalidArgument());
+  EXPECT_NE(unknown_vertex.status().message().find("nobody"),
+            std::string::npos);
+  auto unknown_label = ParsePathExpr("[marko, dislikes, _]", &g);
+  EXPECT_TRUE(unknown_label.status().IsInvalidArgument());
+}
+
+TEST(ParserTest, NamesWithoutGraphError) {
+  auto expr = ParsePathExpr("[marko, 0, _]");
+  EXPECT_TRUE(expr.status().IsInvalidArgument());
+}
+
+TEST(ParserTest, SyntaxErrors) {
+  for (const char* bad :
+       {"", "[0, 1]", "[0 1 2]", "(", "[0,1,2] .", "[0,1,2] | ", "[0,1,2]]",
+        "[0,1,2]^x", "[0,1,2] >", "@", "[{}, _, _]", "[0,1,2] [3,4,5]"}) {
+    auto expr = ParsePathExpr(bad);
+    EXPECT_FALSE(expr.ok()) << "should reject: " << bad;
+    EXPECT_TRUE(expr.status().IsInvalidArgument()) << bad;
+  }
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto expr = ParsePathExpr("[0, 1, 2] $ [3, 4, 5]");
+  ASSERT_FALSE(expr.ok());
+  EXPECT_NE(expr.status().message().find("offset 10"), std::string::npos);
+}
+
+TEST(ParserTest, Figure1RoundTrip) {
+  // The Figure 1 expression written in text matches the built one
+  // semantically: same language on the fixture graph.
+  auto g = BuildFigure1Graph();
+  auto parsed = ParsePathExpr(
+      "[0, 0, _] . [_, 1, _]* . (([_, 0, 1] . [1, 0, 0]) | [_, 0, 2])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EvalOptions options;
+  options.max_star_expansion = 5;
+  auto from_text = (*parsed)->Evaluate(g, options);
+  auto from_builder = BuildFigure1Expr()->Evaluate(g, options);
+  ASSERT_TRUE(from_text.ok());
+  ASSERT_TRUE(from_builder.ok());
+  EXPECT_EQ(from_text.value(), from_builder.value());
+}
+
+TEST(ParserTest, WhitespaceInsensitive) {
+  auto compact = ParsePathExpr("[0,0,_].[_,1,_]*");
+  auto spaced = ParsePathExpr("  [ 0 , 0 , _ ]  .  [ _ , 1 , _ ] *  ");
+  ASSERT_TRUE(compact.ok());
+  ASSERT_TRUE(spaced.ok());
+  EXPECT_EQ((*compact)->ToString(), (*spaced)->ToString());
+}
+
+TEST(ParserTest, NumericIdsAcceptedWithGraph) {
+  auto g = Named();
+  auto expr = ParsePathExpr("[0, 0, _]", &g);
+  ASSERT_TRUE(expr.ok());
+}
+
+
+TEST(ParserTest, ToStringRoundTripsForNonLiteralExprs) {
+  // PathExpr::ToString emits the paper's glyphs, which the parser accepts
+  // as aliases; any literal-free expression round-trips semantically.
+  auto g = BuildFigure1Graph();
+  const std::vector<const char*> sources = {
+      "[0, 0, _] . [_, 1, _]* . (([_, 0, 1] . [1, 0, 0]) | [_, 0, 2])",
+      "[!{0,1}, _, _] | [_, 0, _]^2",
+      "([_, 0, _] >< [_, 1, _])?",
+      "[{0,2,4}, !1, _]+",
+  };
+  EvalOptions options;
+  options.max_star_expansion = 4;
+  for (const char* source : sources) {
+    auto first = ParsePathExpr(source);
+    ASSERT_TRUE(first.ok()) << source;
+    auto second = ParsePathExpr((*first)->ToString());
+    ASSERT_TRUE(second.ok()) << "re-parse of " << (*first)->ToString();
+    auto a = (*first)->Evaluate(g, options);
+    auto b = (*second)->Evaluate(g, options);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value()) << source;
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

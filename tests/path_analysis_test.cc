@@ -1,0 +1,247 @@
+// Tests for the semiring path analyzer: counting, reachability, and
+// tropical aggregates checked against explicit path enumeration.
+
+#include "regex/path_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.h"
+#include "generators/generators.h"
+#include "regex/figure1.h"
+#include "regex/generator.h"
+
+namespace mrpa {
+namespace {
+
+// Diamond DAG with two labels: 0 -α-> {1, 2} -β-> 3, plus 0 -α-> 3.
+MultiRelationalGraph Diamond() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 0, 2);
+  b.AddEdge(1, 1, 3);
+  b.AddEdge(2, 1, 3);
+  b.AddEdge(0, 0, 3);
+  return b.Build();
+}
+
+TEST(PathCounterTest, CountsDiamondPaths) {
+  auto g = Diamond();
+  // α then β: exactly two joint paths, both 0 → 3.
+  auto expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto analyzer = PathCounter::Compile(*expr);
+  ASSERT_TRUE(analyzer.ok());
+  auto result = analyzer->AnalyzePairs(g);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->pairs.size(), 1u);
+  EXPECT_EQ((result->pairs.at({0, 3})), 2u);
+  EXPECT_FALSE(result->epsilon_accepted);
+  EXPECT_FALSE(result->truncated);
+}
+
+TEST(PathCounterTest, TotalMatchesGeneratorOnFiniteLanguages) {
+  auto g = Diamond();
+  for (const PathExprPtr& expr :
+       {PathExpr::Labeled(0) + PathExpr::Labeled(1),
+        PathExpr::Labeled(0) | PathExpr::Labeled(1),
+        PathExpr::MakeStar(PathExpr::AnyEdge()),
+        PathExpr::MakePower(PathExpr::AnyEdge(), 2),
+        PathExpr::MakeOptional(PathExpr::From(0))}) {
+    auto analyzer = PathCounter::Compile(*expr);
+    ASSERT_TRUE(analyzer.ok());
+    AnalysisOptions options;
+    options.max_path_length = 10;
+    auto total = analyzer->AnalyzeTotal(g, options);
+    ASSERT_TRUE(total.ok());
+
+    GenerateOptions gen_options;
+    gen_options.max_path_length = 10;
+    auto generated = GeneratePaths(*expr, g, gen_options);
+    ASSERT_TRUE(generated.ok());
+    EXPECT_EQ(total.value(), generated->paths.size()) << expr->ToString();
+  }
+}
+
+TEST(PathCounterTest, PairCountsMatchGeneratedEndpoints) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 8, .num_labels = 2, .num_edges = 18, .seed = 5});
+  ASSERT_TRUE(graph.ok());
+  auto expr = PathExpr::MakePower(PathExpr::AnyEdge(), 3);
+  auto analyzer = PathCounter::Compile(*expr);
+  ASSERT_TRUE(analyzer.ok());
+  auto result = analyzer->AnalyzePairs(*graph);
+  ASSERT_TRUE(result.ok());
+
+  // Brute force: enumerate and bucket by endpoints.
+  auto paths = CompleteTraversal(*graph, 3);
+  ASSERT_TRUE(paths.ok());
+  std::map<std::pair<VertexId, VertexId>, uint64_t> expected;
+  for (const Path& p : paths.value()) {
+    ++expected[{p.Tail(), p.Head()}];
+  }
+  EXPECT_EQ(result->pairs, expected);
+}
+
+TEST(PathCounterTest, CountsRunsOnlyOncePerPath) {
+  // An ambiguous expression: (α | α.β?) has overlapping branches; the
+  // deterministic DP must still count each *path* once.
+  auto g = Diamond();
+  auto expr = PathExpr::Labeled(0) |
+              (PathExpr::Labeled(0) + PathExpr::MakeOptional(
+                                          PathExpr::Labeled(1)));
+  auto analyzer = PathCounter::Compile(*expr);
+  ASSERT_TRUE(analyzer.ok());
+  auto total = analyzer->AnalyzeTotal(g);
+  ASSERT_TRUE(total.ok());
+  // Language = α-edges (3 of them, twice-derivable but one path each) plus
+  // the two αβ diamond paths.
+  EXPECT_EQ(total.value(), 5u);
+}
+
+TEST(PathCounterTest, EpsilonReportedOutOfBand) {
+  auto g = Diamond();
+  auto analyzer = PathCounter::Compile(*PathExpr::MakeStar(
+      PathExpr::Labeled(0)));
+  ASSERT_TRUE(analyzer.ok());
+  auto result = analyzer->AnalyzePairs(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->epsilon_accepted);
+  // AnalyzeTotal includes ε.
+  auto total = analyzer->AnalyzeTotal(g);
+  ASSERT_TRUE(total.ok());
+  // α-paths: 3 single α-edges + (0,α,1)? joins: α edges from heads: 1,2,3
+  // have no α-out, so α* = ε + 3 singles.
+  EXPECT_EQ(total.value(), 4u);
+}
+
+TEST(PathCounterTest, LatticeBinomialWithoutEnumeration) {
+  // The headline use: counting C(10,5) = 252 corner-to-corner paths on a
+  // 6×6 lattice without materializing a single one.
+  auto lattice = GenerateLattice({.width = 6, .height = 6});
+  ASSERT_TRUE(lattice.ok());
+  auto expr = PathExpr::From(0) +
+              PathExpr::MakePower(PathExpr::AnyEdge(), 8) +
+              PathExpr::Into(35);
+  auto analyzer = PathCounter::Compile(*expr);
+  ASSERT_TRUE(analyzer.ok());
+  AnalysisOptions options;
+  options.max_path_length = 10;
+  auto result = analyzer->AnalyzePairs(*lattice, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->pairs.count({0, 35}));
+  EXPECT_EQ(result->pairs.at({0, 35}), 252u);
+}
+
+TEST(PathCounterTest, RejectsProductExpressions) {
+  auto expr =
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1));
+  EXPECT_TRUE(PathCounter::Compile(*expr).status().IsInvalidArgument());
+}
+
+TEST(PathCounterTest, FrontierGuard) {
+  auto lattice = GenerateLattice({.width = 12, .height = 12});
+  ASSERT_TRUE(lattice.ok());
+  auto analyzer =
+      PathCounter::Compile(*PathExpr::MakeStar(PathExpr::AnyEdge()));
+  ASSERT_TRUE(analyzer.ok());
+  AnalysisOptions options;
+  options.max_path_length = 20;
+  options.max_frontier = 64;
+  auto result = analyzer->AnalyzePairs(*lattice, options);
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(ReachabilityTest, BooleanAggregates) {
+  auto g = Diamond();
+  auto expr = PathExpr::MakeStar(PathExpr::AnyEdge());
+  auto analyzer = PathReachability::Compile(*expr);
+  ASSERT_TRUE(analyzer.ok());
+  AnalysisOptions options;
+  options.max_path_length = 6;
+  auto result = analyzer->AnalyzePairs(g, options);
+  ASSERT_TRUE(result.ok());
+  // Reachable non-trivially: (0,1),(0,2),(0,3),(1,3),(2,3).
+  EXPECT_EQ(result->pairs.size(), 5u);
+  EXPECT_TRUE(result->pairs.at({0, 3}));
+  EXPECT_FALSE(result->pairs.count({3, 0}));
+}
+
+TEST(TropicalTest, ShortestAcceptedPathLength) {
+  auto g = Diamond();
+  // Paths 0→3: direct α (length 1) and two αβ (length 2). Under star-of-
+  // anything, the cheapest 0→3 path is 1 hop.
+  auto analyzer =
+      ShortestPathAnalyzer::Compile(*PathExpr::MakePlus(PathExpr::AnyEdge()));
+  ASSERT_TRUE(analyzer.ok());
+  auto result = analyzer->AnalyzePairs(g);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.at({0, 3}), 1.0);
+  EXPECT_EQ(result->pairs.at({1, 3}), 1.0);
+
+  // Constrained to α then β, the cheapest 0→3 witness has 2 hops.
+  auto constrained = ShortestPathAnalyzer::Compile(
+      *(PathExpr::Labeled(0) + PathExpr::Labeled(1)));
+  ASSERT_TRUE(constrained.ok());
+  auto constrained_result = constrained->AnalyzePairs(g);
+  ASSERT_TRUE(constrained_result.ok());
+  EXPECT_EQ(constrained_result->pairs.at({0, 3}), 2.0);
+}
+
+TEST(TropicalTest, CustomEdgeWeights) {
+  auto g = Diamond();
+  // Make the direct 0-α->3 edge expensive; the αβ detour wins.
+  auto weight = [](const Edge& e) -> double {
+    return (e.tail == 0 && e.head == 3) ? 10.0 : 1.0;
+  };
+  auto analyzer =
+      ShortestPathAnalyzer::Compile(*PathExpr::MakePlus(PathExpr::AnyEdge()));
+  ASSERT_TRUE(analyzer.ok());
+  auto result = analyzer->AnalyzePairs(g, {}, weight);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->pairs.at({0, 3}), 2.0);  // Via 1 or 2.
+}
+
+TEST(MaxProbTest, MostProbableWitness) {
+  auto g = Diamond();
+  auto weight = [](const Edge& e) -> double {
+    return e.head == 1 ? 0.9 : 0.5;  // The route via vertex 1 is likelier.
+  };
+  RegularPathAnalyzer<MaxProbSemiring> analyzer =
+      RegularPathAnalyzer<MaxProbSemiring>::Compile(
+          *(PathExpr::Labeled(0) + PathExpr::Labeled(1)))
+          .value();
+  auto result = analyzer.AnalyzePairs(g, {}, weight);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->pairs.at({0, 3}), 0.9 * 0.5);
+}
+
+TEST(AnalyzerTest, Figure1CountsMatchGenerator) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto analyzer = PathCounter::Compile(*expr);
+  ASSERT_TRUE(analyzer.ok());
+  AnalysisOptions options;
+  options.max_path_length = 8;
+  auto total = analyzer->AnalyzeTotal(g, options);
+  ASSERT_TRUE(total.ok());
+
+  GenerateOptions gen_options;
+  gen_options.max_path_length = 8;
+  auto generated = GeneratePaths(*expr, g, gen_options);
+  ASSERT_TRUE(generated.ok());
+  EXPECT_EQ(total.value(), generated->paths.size());
+}
+
+TEST(AnalyzerTest, TruncationReported) {
+  auto g = BuildFigure1Graph();  // The β-cycle keeps the frontier alive.
+  auto analyzer =
+      PathCounter::Compile(*PathExpr::MakeStar(PathExpr::AnyEdge()));
+  ASSERT_TRUE(analyzer.ok());
+  AnalysisOptions options;
+  options.max_path_length = 4;
+  auto result = analyzer->AnalyzePairs(g, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,127 @@
+// Tests for the lazy StepPathIterator: agreement with eager Traverse,
+// ordering, and the RocksDB-style iteration contract.
+
+#include "engine/path_iterator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/traversal.h"
+#include "generators/generators.h"
+
+namespace mrpa {
+namespace {
+
+MultiRelationalGraph Chain() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(1, 0, 2);
+  b.AddEdge(2, 0, 3);
+  b.AddEdge(1, 1, 3);
+  return b.Build();
+}
+
+TEST(PathIteratorTest, EmptyStepsYieldsEpsilonOnce) {
+  auto g = Chain();
+  StepPathIterator it(g, {});
+  ASSERT_TRUE(it.Valid());
+  EXPECT_TRUE(it.Current().empty());
+  it.Next();
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PathIteratorTest, SingleStepEnumeratesMatchingEdges) {
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::Labeled(0)});
+  size_t count = 0;
+  for (; it.Valid(); it.Next()) {
+    EXPECT_EQ(it.Current().length(), 1u);
+    EXPECT_EQ(it.Current().edge(0).label, 0u);
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);
+}
+
+TEST(PathIteratorTest, MatchesEagerTraverse) {
+  auto g = Chain();
+  for (size_t n = 0; n <= 4; ++n) {
+    std::vector<EdgePattern> steps(n, EdgePattern::Any());
+    StepPathIterator it(g, steps);
+    PathSet lazy = DrainToPathSet(it);
+    auto eager = Traverse(g, {steps, {}});
+    ASSERT_TRUE(eager.ok());
+    EXPECT_EQ(lazy, eager.value()) << "n=" << n;
+  }
+}
+
+TEST(PathIteratorTest, MatchesEagerTraverseOnLattice) {
+  auto lattice = GenerateLattice({.width = 4, .height = 4});
+  ASSERT_TRUE(lattice.ok());
+  std::vector<EdgePattern> steps = {
+      EdgePattern::FromAnyOf({0}), EdgePattern::Any(), EdgePattern::Any()};
+  StepPathIterator it(*lattice, steps);
+  PathSet lazy = DrainToPathSet(it);
+  auto eager = Traverse(*lattice, {steps, {}});
+  ASSERT_TRUE(eager.ok());
+  EXPECT_EQ(lazy, eager.value());
+}
+
+TEST(PathIteratorTest, YieldsInLexicographicOrder) {
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::Any(), EdgePattern::Any()});
+  Path previous;
+  bool first = true;
+  for (; it.Valid(); it.Next()) {
+    if (!first) EXPECT_LT(previous, it.Current());
+    previous = it.Current();
+    first = false;
+  }
+  EXPECT_FALSE(first);  // At least one path.
+}
+
+TEST(PathIteratorTest, AllYieldedPathsAreJoint) {
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::Any(), EdgePattern::Any(),
+                          EdgePattern::Any()});
+  for (; it.Valid(); it.Next()) EXPECT_TRUE(it.Current().IsJoint());
+}
+
+TEST(PathIteratorTest, NoMatchesIsInvalidImmediately) {
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::Labeled(9)});
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(PathIteratorTest, DeadEndPrefixesAreSkipped) {
+  // Step 1 reaches vertex 3 (a sink); step 2 must backtrack past it.
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::IntoAnyOf({3, 1}),
+                          EdgePattern::Any()});
+  // Prefixes into 3 extend nowhere; prefixes into 1 extend twice.
+  size_t count = 0;
+  for (; it.Valid(); it.Next()) ++count;
+  EXPECT_EQ(count, 2u);
+}
+
+TEST(PathIteratorTest, SeekToFirstRewinds) {
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::Any()});
+  PathSet first_pass = DrainToPathSet(it);
+  EXPECT_FALSE(it.Valid());
+  it.SeekToFirst();
+  ASSERT_TRUE(it.Valid());
+  PathSet second_pass = DrainToPathSet(it);
+  EXPECT_EQ(first_pass, second_pass);
+}
+
+TEST(PathIteratorTest, YieldedCounter) {
+  auto g = Chain();
+  StepPathIterator it(g, {EdgePattern::Any()});
+  size_t n = 0;
+  for (; it.Valid(); it.Next()) {
+    ++n;
+    EXPECT_EQ(it.yielded(), n);
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,273 @@
+// Tests for P(E*) operations: ∪, ⋈◦ (including the paper's §II worked
+// example), ×◦, join powers, limits, and the builder.
+
+#include "core/path_set.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+constexpr VertexId i = 0, j = 1, k = 2;
+constexpr LabelId alpha = 0, beta = 1;
+
+Path P(std::initializer_list<Edge> edges) { return Path(edges); }
+
+TEST(PathSetTest, CanonicalizesOnConstruction) {
+  Path a(Edge(0, 0, 1)), b(Edge(0, 0, 2));
+  PathSet s({b, a, b, a, a});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], a);  // Sorted ascending.
+  EXPECT_EQ(s[1], b);
+}
+
+TEST(PathSetTest, EpsilonSet) {
+  PathSet s = PathSet::EpsilonSet();
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.ContainsEpsilon());
+  EXPECT_TRUE(s.Contains(Path()));
+}
+
+TEST(PathSetTest, FromEdges) {
+  PathSet s = PathSet::FromEdges({Edge(1, 0, 2), Edge(0, 0, 1), Edge(1, 0, 2)});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Path(Edge(0, 0, 1))));
+  EXPECT_TRUE(s.Contains(Path(Edge(1, 0, 2))));
+}
+
+TEST(PathSetTest, InsertKeepsCanonicalOrder) {
+  PathSet s;
+  s.Insert(Path(Edge(0, 0, 2)));
+  s.Insert(Path(Edge(0, 0, 1)));
+  s.Insert(Path(Edge(0, 0, 2)));  // Duplicate ignored.
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], Path(Edge(0, 0, 1)));
+}
+
+TEST(PathSetTest, UnionIsSetUnion) {
+  PathSet a({Path(Edge(0, 0, 1)), Path(Edge(0, 0, 2))});
+  PathSet b({Path(Edge(0, 0, 2)), Path(Edge(0, 0, 3))});
+  PathSet u = Union(a, b);
+  EXPECT_EQ(u.size(), 3u);
+  EXPECT_TRUE(a.IsSubsetOf(u));
+  EXPECT_TRUE(b.IsSubsetOf(u));
+}
+
+TEST(PathSetTest, UnionWithEmpty) {
+  PathSet a({Path(Edge(0, 0, 1))});
+  EXPECT_EQ(Union(a, PathSet()), a);
+  EXPECT_EQ(Union(PathSet(), a), a);
+  EXPECT_EQ(Union(PathSet(), PathSet()), PathSet());
+}
+
+
+TEST(PathSetTest, IntersectionAndDifference) {
+  Path a(Edge(0, 0, 1)), b(Edge(0, 0, 2)), c(Edge(0, 0, 3));
+  PathSet x({a, b});
+  PathSet y({b, c});
+  EXPECT_EQ(Intersection(x, y), PathSet({b}));
+  EXPECT_EQ(Difference(x, y), PathSet({a}));
+  EXPECT_EQ(Difference(y, x), PathSet({c}));
+  EXPECT_EQ(Intersection(x, PathSet()), PathSet());
+  EXPECT_EQ(Difference(x, PathSet()), x);
+  EXPECT_EQ(Difference(x, x), PathSet());
+  // De-Morgan-ish sanity: |x| = |x∩y| + |x\\y|.
+  EXPECT_EQ(x.size(), Intersection(x, y).size() + Difference(x, y).size());
+}
+
+TEST(PathSetTest, JoinMatchesPaperWorkedExample) {
+  // §II: A = {(i,α,j), (j,β,k,k,α,j)},
+  //      B = {(j,β,j), (j,β,i,i,α,k), (i,β,k)}.
+  PathSet A({P({Edge(i, alpha, j)}),
+             P({Edge(j, beta, k), Edge(k, alpha, j)})});
+  PathSet B({P({Edge(j, beta, j)}),
+             P({Edge(j, beta, i), Edge(i, alpha, k)}),
+             P({Edge(i, beta, k)})});
+
+  Result<PathSet> joined = ConcatenativeJoin(A, B);
+  ASSERT_TRUE(joined.ok());
+
+  PathSet expected({
+      P({Edge(i, alpha, j), Edge(j, beta, j)}),
+      P({Edge(i, alpha, j), Edge(j, beta, i), Edge(i, alpha, k)}),
+      P({Edge(j, beta, k), Edge(k, alpha, j), Edge(j, beta, j)}),
+      P({Edge(j, beta, k), Edge(k, alpha, j), Edge(j, beta, i),
+         Edge(i, alpha, k)}),
+  });
+  EXPECT_EQ(joined.value(), expected);
+}
+
+TEST(PathSetTest, JoinRequiresAdjacency) {
+  PathSet A({P({Edge(0, 0, 1)})});
+  PathSet B({P({Edge(2, 0, 3)})});  // Tail 2 ≠ head 1.
+  Result<PathSet> joined = ConcatenativeJoin(A, B);
+  ASSERT_TRUE(joined.ok());
+  EXPECT_TRUE(joined->empty());
+}
+
+TEST(PathSetTest, JoinEpsilonDisjuncts) {
+  // a = ε or b = ε joins unconditionally.
+  PathSet A({Path(), P({Edge(0, 0, 1)})});
+  PathSet B({P({Edge(5, 0, 6)})});
+  Result<PathSet> joined = ConcatenativeJoin(A, B);
+  ASSERT_TRUE(joined.ok());
+  // ε ◦ (5,0,6) = (5,0,6); (0,0,1) does not join (head 1 ≠ tail 5).
+  EXPECT_EQ(joined.value(), PathSet({P({Edge(5, 0, 6)})}));
+
+  Result<PathSet> reversed = ConcatenativeJoin(B, A);
+  ASSERT_TRUE(reversed.ok());
+  // (5,0,6) ◦ ε = (5,0,6) via the b = ε disjunct.
+  EXPECT_TRUE(reversed->Contains(P({Edge(5, 0, 6)})));
+}
+
+TEST(PathSetTest, EpsilonSetIsJoinIdentity) {
+  PathSet A({P({Edge(0, 0, 1)}), P({Edge(1, 0, 2), Edge(2, 0, 0)})});
+  Result<PathSet> left = ConcatenativeJoin(PathSet::EpsilonSet(), A);
+  Result<PathSet> right = ConcatenativeJoin(A, PathSet::EpsilonSet());
+  ASSERT_TRUE(left.ok());
+  ASSERT_TRUE(right.ok());
+  EXPECT_EQ(left.value(), A);
+  EXPECT_EQ(right.value(), A);
+}
+
+TEST(PathSetTest, EmptySetAnnihilatesJoin) {
+  PathSet A({P({Edge(0, 0, 1)})});
+  EXPECT_TRUE(ConcatenativeJoin(A, PathSet())->empty());
+  EXPECT_TRUE(ConcatenativeJoin(PathSet(), A)->empty());
+}
+
+TEST(PathSetTest, ProductConcatenatesAllPairs) {
+  PathSet A({P({Edge(0, 0, 1)}), P({Edge(2, 0, 3)})});
+  PathSet B({P({Edge(9, 1, 9)})});
+  Result<PathSet> product = ConcatenativeProduct(A, B);
+  ASSERT_TRUE(product.ok());
+  EXPECT_EQ(product->size(), 2u);
+  EXPECT_TRUE(product->Contains(P({Edge(0, 0, 1), Edge(9, 1, 9)})));
+  EXPECT_TRUE(product->Contains(P({Edge(2, 0, 3), Edge(9, 1, 9)})));
+  // Both are disjoint paths.
+  for (const Path& p : product.value()) EXPECT_FALSE(p.IsJoint());
+}
+
+TEST(PathSetTest, JoinIsSubsetOfProduct) {
+  // Footnote 7: R ⋈◦ Q ⊆ R ×◦ Q.
+  PathSet A({P({Edge(0, 0, 1)}), P({Edge(1, 0, 2)})});
+  PathSet B({P({Edge(1, 1, 0)}), P({Edge(2, 1, 0)}), Path()});
+  Result<PathSet> joined = ConcatenativeJoin(A, B);
+  Result<PathSet> product = ConcatenativeProduct(A, B);
+  ASSERT_TRUE(joined.ok());
+  ASSERT_TRUE(product.ok());
+  EXPECT_TRUE(joined->IsSubsetOf(product.value()));
+  EXPECT_LT(joined->size(), product->size());
+}
+
+TEST(PathSetTest, JoinAssociativity) {
+  PathSet A({P({Edge(0, 0, 1)})});
+  PathSet B({P({Edge(1, 0, 2)}), P({Edge(1, 1, 3)})});
+  PathSet C({P({Edge(2, 0, 0)}), P({Edge(3, 0, 0)})});
+  auto ab_c = ConcatenativeJoin(ConcatenativeJoin(A, B).value(), C);
+  auto a_bc = ConcatenativeJoin(A, ConcatenativeJoin(B, C).value());
+  ASSERT_TRUE(ab_c.ok());
+  ASSERT_TRUE(a_bc.ok());
+  EXPECT_EQ(ab_c.value(), a_bc.value());
+}
+
+TEST(PathSetTest, JoinNotCommutative) {
+  PathSet A({P({Edge(0, 0, 1)})});
+  PathSet B({P({Edge(1, 0, 2)})});
+  EXPECT_NE(ConcatenativeJoin(A, B).value(),
+            ConcatenativeJoin(B, A).value());
+}
+
+TEST(PathSetTest, JoinPowerZeroIsEpsilon) {
+  PathSet A({P({Edge(0, 0, 1)})});
+  EXPECT_EQ(JoinPower(A, 0).value(), PathSet::EpsilonSet());
+}
+
+TEST(PathSetTest, JoinPowerOneIsSelf) {
+  PathSet A({P({Edge(0, 0, 1)}), P({Edge(1, 0, 0)})});
+  EXPECT_EQ(JoinPower(A, 1).value(), A);
+}
+
+TEST(PathSetTest, JoinPowerWalksCycle) {
+  // 2-cycle: 0 -> 1 -> 0; exactly 2 joint paths of each length ≥ 1.
+  PathSet E2({P({Edge(0, 0, 1)}), P({Edge(1, 0, 0)})});
+  for (size_t n = 1; n <= 5; ++n) {
+    Result<PathSet> power = JoinPower(E2, n);
+    ASSERT_TRUE(power.ok());
+    EXPECT_EQ(power->size(), 2u) << "n=" << n;
+    for (const Path& p : power.value()) {
+      EXPECT_EQ(p.length(), n);
+      EXPECT_TRUE(p.IsJoint());
+    }
+  }
+}
+
+TEST(PathSetTest, LimitsStopRunawayJoin) {
+  // Complete bipartite-ish blowup: 3 × 3 = 9 > 4.
+  PathSet A({P({Edge(0, 0, 5)}), P({Edge(1, 0, 5)}), P({Edge(2, 0, 5)})});
+  PathSet B({P({Edge(5, 0, 0)}), P({Edge(5, 0, 1)}), P({Edge(5, 0, 2)})});
+  Result<PathSet> joined =
+      ConcatenativeJoin(A, B, PathSetLimits::AtMost(4));
+  EXPECT_TRUE(joined.status().IsResourceExhausted());
+
+  Result<PathSet> product =
+      ConcatenativeProduct(A, B, PathSetLimits::AtMost(4));
+  EXPECT_TRUE(product.status().IsResourceExhausted());
+}
+
+TEST(PathSetTest, LimitsPassWhenUnderCap) {
+  PathSet A({P({Edge(0, 0, 1)})});
+  PathSet B({P({Edge(1, 0, 2)})});
+  Result<PathSet> joined =
+      ConcatenativeJoin(A, B, PathSetLimits::AtMost(10));
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 1u);
+}
+
+TEST(PathSetTest, Filters) {
+  PathSet s({P({Edge(0, 0, 1)}), P({Edge(0, 0, 2), Edge(2, 0, 3)}),
+             P({Edge(5, 0, 1)}), Path()});
+  EXPECT_EQ(s.FilterByTail(0).size(), 2u);
+  EXPECT_EQ(s.FilterByHead(1).size(), 2u);
+  EXPECT_EQ(s.FilterByLength(1).size(), 2u);
+  EXPECT_EQ(s.FilterByLength(0).size(), 1u);  // ε.
+  EXPECT_EQ(s.FilterByLength(2).size(), 1u);
+}
+
+TEST(PathSetTest, AllJoint) {
+  PathSet joint({P({Edge(0, 0, 1), Edge(1, 0, 2)})});
+  PathSet mixed({P({Edge(0, 0, 1), Edge(5, 0, 2)})});
+  EXPECT_TRUE(joint.AllJoint());
+  EXPECT_FALSE(mixed.AllJoint());
+  EXPECT_TRUE(PathSet().AllJoint());
+}
+
+TEST(PathSetTest, BuilderDedupsAndResets) {
+  PathSetBuilder builder;
+  builder.Add(P({Edge(0, 0, 1)}));
+  builder.Add(P({Edge(0, 0, 1)}));
+  builder.Add(Path());
+  EXPECT_EQ(builder.staged_size(), 3u);
+  PathSet s = builder.Build();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(builder.staged_size(), 0u);
+  EXPECT_TRUE(builder.Build().empty());
+}
+
+TEST(PathSetTest, BuilderAddAll) {
+  PathSet a({P({Edge(0, 0, 1)})});
+  PathSet b({P({Edge(1, 0, 2)}), P({Edge(0, 0, 1)})});
+  PathSetBuilder builder;
+  builder.AddAll(a);
+  builder.AddAll(b);
+  EXPECT_EQ(builder.Build(), Union(a, b));
+}
+
+TEST(PathSetTest, ToStringRendersSet) {
+  PathSet s({Path(), P({Edge(0, 1, 2)})});
+  EXPECT_EQ(s.ToString(), "{ε, (0,1,2)}");
+  EXPECT_EQ(PathSet().ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,194 @@
+// Tests for Definition 1 (paths), the unary projections σ, γ−, γ+, ω, the
+// path label ω′ (Definition 2), jointness (Definition 3), and ◦.
+
+#include "core/path.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mrpa {
+namespace {
+
+// Vertices i=0, j=1, k=2; labels α=0, β=1 — the paper's running example.
+constexpr VertexId i = 0, j = 1, k = 2;
+constexpr LabelId alpha = 0, beta = 1;
+
+TEST(EdgeTest, Projections) {
+  Edge e(i, alpha, j);
+  EXPECT_EQ(EdgeTail(e), i);
+  EXPECT_EQ(EdgeHead(e), j);
+  EXPECT_EQ(EdgeLabel(e), alpha);
+}
+
+TEST(EdgeTest, CanonicalOrdering) {
+  EXPECT_LT(Edge(0, 0, 0), Edge(0, 0, 1));
+  EXPECT_LT(Edge(0, 0, 9), Edge(0, 1, 0));
+  EXPECT_LT(Edge(0, 9, 9), Edge(1, 0, 0));
+  EXPECT_EQ(Edge(1, 2, 3), Edge(1, 2, 3));
+}
+
+TEST(EdgeTest, ToString) {
+  EXPECT_EQ(Edge(0, 1, 2).ToString(), "(0,1,2)");
+  std::ostringstream os;
+  os << Edge(3, 4, 5);
+  EXPECT_EQ(os.str(), "(3,4,5)");
+}
+
+TEST(PathTest, EmptyPathIsEpsilon) {
+  Path epsilon;
+  EXPECT_TRUE(epsilon.empty());
+  EXPECT_EQ(epsilon.length(), 0u);
+  EXPECT_EQ(epsilon.Tail(), kInvalidVertex);
+  EXPECT_EQ(epsilon.Head(), kInvalidVertex);
+  EXPECT_TRUE(epsilon.PathLabel().empty());
+  EXPECT_TRUE(epsilon.IsJoint());  // Vacuously.
+  EXPECT_EQ(epsilon.ToString(), "ε");
+}
+
+TEST(PathTest, SingleEdgeIsLengthOnePath) {
+  // "Any edge in E is a path with a path length of 1" (Definition 1).
+  Path p(Edge(i, alpha, j));
+  EXPECT_EQ(p.length(), 1u);
+  EXPECT_EQ(p.Tail(), i);
+  EXPECT_EQ(p.Head(), j);
+  EXPECT_TRUE(p.IsJoint());
+}
+
+TEST(PathTest, SigmaIsOneBased) {
+  // σ(a,1) = (i,α,j), σ(a,2) = (j,β,k) — the paper's worked example.
+  Path a({Edge(i, alpha, j), Edge(j, beta, k)});
+  ASSERT_TRUE(a.EdgeAt(1).ok());
+  EXPECT_EQ(a.EdgeAt(1).value(), Edge(i, alpha, j));
+  ASSERT_TRUE(a.EdgeAt(2).ok());
+  EXPECT_EQ(a.EdgeAt(2).value(), Edge(j, beta, k));
+}
+
+TEST(PathTest, SigmaOutOfRange) {
+  Path a({Edge(i, alpha, j)});
+  EXPECT_TRUE(a.EdgeAt(0).status().IsOutOfRange());
+  EXPECT_TRUE(a.EdgeAt(2).status().IsOutOfRange());
+  Path epsilon;
+  EXPECT_TRUE(epsilon.EdgeAt(1).status().IsOutOfRange());
+}
+
+TEST(PathTest, GammaProjections) {
+  // γ−((i,α,j)) = i and γ+((i,α,j)) = j.
+  Path a({Edge(i, alpha, j), Edge(j, beta, k)});
+  EXPECT_EQ(a.Tail(), i);
+  EXPECT_EQ(a.Head(), k);
+}
+
+TEST(PathTest, PathLabelConcatenatesEdgeLabels) {
+  // ω′(a) = product of ω(σ(a,n)) (Definition 2).
+  Path a({Edge(i, alpha, j), Edge(j, beta, k), Edge(k, alpha, j)});
+  EXPECT_EQ(a.PathLabel(), (std::vector<LabelId>{alpha, beta, alpha}));
+}
+
+TEST(PathTest, PathLabelOfSingleEdgeIsItsLabel) {
+  // ω′(e) = ω(e) for e ∈ E.
+  Path e(Edge(j, beta, j));
+  EXPECT_EQ(e.PathLabel(), std::vector<LabelId>{beta});
+}
+
+TEST(PathTest, ConcatMatchesPaperExample) {
+  // (i,α,j) ◦ (j,β,k) = (i,α,j,j,β,k).
+  Path e(Edge(i, alpha, j));
+  Path f(Edge(j, beta, k));
+  Path combined = e.Concat(f);
+  EXPECT_EQ(combined.length(), 2u);
+  EXPECT_EQ(combined, Path({Edge(i, alpha, j), Edge(j, beta, k)}));
+}
+
+TEST(PathTest, ConcatIsAssociative) {
+  Path a(Edge(i, alpha, j)), b(Edge(j, beta, k)), c(Edge(k, alpha, i));
+  EXPECT_EQ((a.Concat(b)).Concat(c), a.Concat(b.Concat(c)));
+}
+
+TEST(PathTest, ConcatIsNotCommutative) {
+  Path a(Edge(i, alpha, j)), b(Edge(j, beta, k));
+  EXPECT_NE(a.Concat(b), b.Concat(a));
+}
+
+TEST(PathTest, EpsilonIsTwoSidedIdentity) {
+  Path epsilon;
+  Path a({Edge(i, alpha, j), Edge(j, beta, k)});
+  EXPECT_EQ(epsilon.Concat(a), a);
+  EXPECT_EQ(a.Concat(epsilon), a);
+  EXPECT_EQ(epsilon.Concat(epsilon), epsilon);
+}
+
+TEST(PathTest, OperatorStarIsConcat) {
+  Path a(Edge(i, alpha, j)), b(Edge(j, beta, k));
+  EXPECT_EQ(a * b, a.Concat(b));
+  EXPECT_EQ(Concat(a, b), a.Concat(b));
+}
+
+TEST(PathTest, RepeatedEdgesAllowed) {
+  // "A path allows for repeated edges" (Definition 1).
+  Edge loop(i, alpha, i);
+  Path p({loop, loop, loop});
+  EXPECT_EQ(p.length(), 3u);
+  EXPECT_TRUE(p.IsJoint());
+}
+
+TEST(PathTest, JointnessDefinition) {
+  EXPECT_TRUE(Path({Edge(i, alpha, j)}).IsJoint());           // ‖a‖ = 1.
+  EXPECT_TRUE(Path({Edge(i, alpha, j), Edge(j, beta, k)}).IsJoint());
+  EXPECT_FALSE(Path({Edge(i, alpha, j), Edge(k, beta, i)}).IsJoint());
+  // A long chain with one bad seam in the middle.
+  EXPECT_FALSE(Path({Edge(0, 0, 1), Edge(1, 0, 2), Edge(3, 0, 4)}).IsJoint());
+}
+
+TEST(PathTest, DisjointConcatenationIsRepresentable) {
+  // ×◦ produces disjoint paths; the Path type must carry them.
+  Path a(Edge(i, alpha, j));
+  Path b(Edge(k, beta, i));
+  Path product = a.Concat(b);
+  EXPECT_EQ(product.length(), 2u);
+  EXPECT_FALSE(product.IsJoint());
+  EXPECT_EQ(product.Tail(), i);
+  EXPECT_EQ(product.Head(), i);
+}
+
+TEST(PathTest, AreAdjacent) {
+  Path a(Edge(i, alpha, j)), b(Edge(j, beta, k)), c(Edge(k, alpha, i));
+  EXPECT_TRUE(AreAdjacent(a, b));
+  EXPECT_FALSE(AreAdjacent(a, c));
+  EXPECT_FALSE(AreAdjacent(Path(), a));  // ε handled by the join disjunct.
+  EXPECT_FALSE(AreAdjacent(a, Path()));
+}
+
+TEST(PathTest, LexicographicOrdering) {
+  Path epsilon;
+  Path a(Edge(0, 0, 0));
+  Path b(Edge(0, 0, 1));
+  Path ab({Edge(0, 0, 0), Edge(0, 0, 1)});
+  EXPECT_LT(epsilon, a);  // ε sorts first.
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, ab);       // Prefix sorts before extension.
+  EXPECT_LT(ab, b);
+}
+
+TEST(PathTest, AppendMatchesConcat) {
+  Path p(Edge(i, alpha, j));
+  p.Append(Edge(j, beta, k));
+  EXPECT_EQ(p, Path(Edge(i, alpha, j)).Concat(Path(Edge(j, beta, k))));
+}
+
+TEST(PathTest, ToStringRendersEdgeSequence) {
+  Path p({Edge(0, 1, 2), Edge(2, 0, 1)});
+  EXPECT_EQ(p.ToString(), "(0,1,2)(2,0,1)");
+}
+
+TEST(PathTest, HashDistinguishesPaths) {
+  PathHash hash;
+  Path a({Edge(0, 0, 1), Edge(1, 0, 2)});
+  Path b({Edge(0, 0, 1), Edge(1, 0, 3)});
+  Path a_copy = a;
+  EXPECT_EQ(hash(a), hash(a_copy));
+  EXPECT_NE(hash(a), hash(b));  // Not guaranteed, but true for FNV here.
+}
+
+}  // namespace
+}  // namespace mrpa

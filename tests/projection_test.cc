@@ -1,0 +1,150 @@
+// Tests for §IV-C: all three methods of deriving single-relational graphs
+// from a multi-relational graph.
+
+#include "graph/projection.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+constexpr LabelId alpha = 0, beta = 1;
+
+// 0 -α-> 1, 1 -β-> 2, 0 -β-> 1, 2 -α-> 0, plus a parallel pair 0-α->2 /
+// 0-β->2 that the flattening collapses.
+MultiRelationalGraph Sample() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, alpha, 1);
+  b.AddEdge(1, beta, 2);
+  b.AddEdge(0, beta, 1);
+  b.AddEdge(2, alpha, 0);
+  b.AddEdge(0, alpha, 2);
+  b.AddEdge(0, beta, 2);
+  return b.Build();
+}
+
+TEST(FlattenTest, IgnoresLabelsAndCollapsesParallels) {
+  auto g = Sample();
+  BinaryGraph flat = FlattenIgnoringLabels(g);
+  EXPECT_EQ(flat.num_vertices(), g.num_vertices());
+  // (0,1) appears twice (α and β) and (0,2) twice — both collapse.
+  EXPECT_EQ(flat.num_arcs(), 4u);
+  EXPECT_TRUE(flat.HasArc(0, 1));
+  EXPECT_TRUE(flat.HasArc(0, 2));
+  EXPECT_TRUE(flat.HasArc(1, 2));
+  EXPECT_TRUE(flat.HasArc(2, 0));
+}
+
+TEST(ExtractLabelTest, PullsSingleRelation) {
+  // E_α = {(γ−(e), γ+(e)) | ω(e) = α}.
+  auto g = Sample();
+  BinaryGraph ea = ExtractLabelRelation(g, alpha);
+  EXPECT_EQ(ea.num_arcs(), 3u);
+  EXPECT_TRUE(ea.HasArc(0, 1));
+  EXPECT_TRUE(ea.HasArc(2, 0));
+  EXPECT_TRUE(ea.HasArc(0, 2));
+  EXPECT_FALSE(ea.HasArc(1, 2));  // That's a β edge.
+
+  BinaryGraph eb = ExtractLabelRelation(g, beta);
+  EXPECT_EQ(eb.num_arcs(), 3u);
+}
+
+TEST(ExtractLabelTest, UnknownLabelIsEmpty) {
+  auto g = Sample();
+  EXPECT_EQ(ExtractLabelRelation(g, 99).num_arcs(), 0u);
+}
+
+TEST(ProjectPathsTest, ProjectsEndpoints) {
+  PathSet paths({Path({Edge(0, alpha, 1), Edge(1, beta, 2)}),
+                 Path(Edge(3, alpha, 3)), Path()});
+  BinaryGraph projected = ProjectPaths(paths, 5);
+  EXPECT_EQ(projected.num_arcs(), 2u);  // ε contributes nothing.
+  EXPECT_TRUE(projected.HasArc(0, 2));
+  EXPECT_TRUE(projected.HasArc(3, 3));
+}
+
+TEST(DeriveLabelSequenceTest, MatchesPaperEalphaBeta) {
+  // E_αβ = ⋃_{a ∈ A ⋈◦ B} (γ−(a), γ+(a)) with A = α-edges, B = β-edges.
+  auto g = Sample();
+  auto derived = DeriveLabelSequenceRelation(g, {alpha, beta});
+  ASSERT_TRUE(derived.ok());
+
+  // Manual: α-edges {(0,1),(2,0),(0,2)}; β-edges {(1,2),(0,1),(0,2)}.
+  // Joint αβ 2-paths: 0-1-2 (α then β via 1), 2-0-1, 2-0-2, 0-2-? (no β
+  // from 2). So arcs: (0,2), (2,1), (2,2).
+  EXPECT_EQ(derived->num_arcs(), 3u);
+  EXPECT_TRUE(derived->HasArc(0, 2));
+  EXPECT_TRUE(derived->HasArc(2, 1));
+  EXPECT_TRUE(derived->HasArc(2, 2));
+}
+
+TEST(DeriveLabelSequenceTest, AgreesWithManualJoinProjection) {
+  auto g = Sample();
+  // Build A ⋈◦ B by hand and project.
+  PathSet A = PathSet::FromEdges(
+      CollectMatchingEdges(g, EdgePattern::Labeled(alpha)));
+  PathSet B = PathSet::FromEdges(
+      CollectMatchingEdges(g, EdgePattern::Labeled(beta)));
+  auto joined = ConcatenativeJoin(A, B);
+  ASSERT_TRUE(joined.ok());
+  BinaryGraph manual = ProjectPaths(joined.value(), g.num_vertices());
+
+  auto derived = DeriveLabelSequenceRelation(g, {alpha, beta});
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived.value(), manual);
+}
+
+TEST(DeriveLabelSequenceTest, SingleLabelEqualsExtract) {
+  auto g = Sample();
+  auto derived = DeriveLabelSequenceRelation(g, {alpha});
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(derived.value(), ExtractLabelRelation(g, alpha));
+}
+
+TEST(DeriveLabelSequenceTest, LongerSequences) {
+  auto g = Sample();
+  auto derived = DeriveLabelSequenceRelation(g, {alpha, beta, alpha});
+  ASSERT_TRUE(derived.ok());
+  // αβα 3-paths: 0-1-2-0 and 2-0-1-? (no α out of 1) and 2-0-2-0.
+  EXPECT_EQ(derived->num_arcs(), 2u);
+  EXPECT_TRUE(derived->HasArc(0, 0));
+  EXPECT_TRUE(derived->HasArc(2, 0));
+}
+
+TEST(DeriveRelationTest, ExpressionDrivenDerivation) {
+  auto g = Sample();
+  // (α ∪ β) followed by β — a relation no single label sequence captures.
+  auto expr = (PathExpr::Labeled(alpha) | PathExpr::Labeled(beta)) +
+              PathExpr::Labeled(beta);
+  auto derived = DeriveRelation(g, *expr);
+  ASSERT_TRUE(derived.ok());
+  auto ab = DeriveLabelSequenceRelation(g, {alpha, beta});
+  auto bb = DeriveLabelSequenceRelation(g, {beta, beta});
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(bb.ok());
+  // The union of the two sequence-derived relations.
+  for (const auto& [from, to] : ab->Arcs()) {
+    EXPECT_TRUE(derived->HasArc(from, to));
+  }
+  for (const auto& [from, to] : bb->Arcs()) {
+    EXPECT_TRUE(derived->HasArc(from, to));
+  }
+  auto merged = ab->Arcs();
+  auto bb_arcs = bb->Arcs();
+  merged.insert(merged.end(), bb_arcs.begin(), bb_arcs.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  EXPECT_EQ(derived->num_arcs(), merged.size());
+}
+
+TEST(DeriveRelationTest, PropagatesLimits) {
+  auto g = Sample();
+  EvalOptions options;
+  options.limits = PathSetLimits::AtMost(1);
+  auto derived = DeriveRelation(
+      g, *(PathExpr::AnyEdge() + PathExpr::AnyEdge()), options);
+  EXPECT_TRUE(derived.status().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,233 @@
+// Tests for the §IV-A recognizers: the Figure 1 language, NFA/DFA agreement,
+// disjoint-path recognition via ×◦, and the DFA's restrictions.
+
+#include "regex/recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "regex/figure1.h"
+
+namespace mrpa {
+namespace {
+
+constexpr VertexId i = 0, j = 1, k = 2, v3 = 3, v4 = 4;
+constexpr LabelId alpha = 0, beta = 1;
+
+class Figure1RecognizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto compiled = NfaRecognizer::Compile(*BuildFigure1Expr());
+    ASSERT_TRUE(compiled.ok());
+    recognizer_ = std::make_unique<NfaRecognizer>(std::move(compiled).value());
+  }
+
+  bool Recognize(std::initializer_list<Edge> edges) {
+    return recognizer_->Recognize(Path(edges));
+  }
+
+  std::unique_ptr<NfaRecognizer> recognizer_;
+};
+
+TEST_F(Figure1RecognizerTest, AcceptsKBranchDirect) {
+  // [i,α,_] with zero β's then [_,α,k]: needs two edges — (i,α,x)(x,α,k).
+  EXPECT_TRUE(Recognize({Edge(i, alpha, v3), Edge(v3, alpha, k)}));
+}
+
+TEST_F(Figure1RecognizerTest, AcceptsJBranchWithLoopBack) {
+  // (i,α,x)(x,α,j)(j,α,i).
+  EXPECT_TRUE(
+      Recognize({Edge(i, alpha, v4), Edge(v4, alpha, j), Edge(j, alpha, i)}));
+}
+
+TEST_F(Figure1RecognizerTest, AcceptsBetaChain) {
+  EXPECT_TRUE(Recognize({Edge(i, alpha, v3), Edge(v3, beta, v4),
+                         Edge(v4, beta, v3), Edge(v3, alpha, k)}));
+}
+
+TEST_F(Figure1RecognizerTest, RejectsWrongStart) {
+  // First edge must emanate from i with label α.
+  EXPECT_FALSE(Recognize({Edge(j, alpha, v3), Edge(v3, alpha, k)}));
+  EXPECT_FALSE(Recognize({Edge(i, beta, v3), Edge(v3, alpha, k)}));
+}
+
+TEST_F(Figure1RecognizerTest, RejectsWrongIntermediateLabel) {
+  // Intermediate edges must be β.
+  EXPECT_FALSE(Recognize({Edge(i, alpha, v3), Edge(v3, alpha, v4),
+                          Edge(v4, beta, v3), Edge(v3, alpha, k)}));
+}
+
+TEST_F(Figure1RecognizerTest, RejectsWrongTermination) {
+  // Last α-edge must enter j (followed by (j,α,i)) or k.
+  EXPECT_FALSE(Recognize({Edge(i, alpha, v3), Edge(v3, alpha, v4)}));
+}
+
+TEST_F(Figure1RecognizerTest, RejectsJBranchWithoutLoopBack) {
+  EXPECT_FALSE(Recognize({Edge(i, alpha, v3), Edge(v3, alpha, j)}));
+}
+
+TEST_F(Figure1RecognizerTest, RejectsEpsilonAndTooShort) {
+  EXPECT_FALSE(recognizer_->Recognize(Path()));
+  EXPECT_FALSE(Recognize({Edge(i, alpha, k)}));  // One α-edge only: the
+  // expression demands a first α-edge AND a final α-edge.
+}
+
+TEST_F(Figure1RecognizerTest, RejectsDisjointVersionOfAcceptedPath) {
+  // Same edges as an accepted path but with a broken seam.
+  EXPECT_FALSE(Recognize({Edge(i, alpha, v3), Edge(v4, alpha, k)}));
+}
+
+TEST(NfaRecognizerTest, EpsilonLanguage) {
+  auto r = NfaRecognizer::Compile(*PathExpr::Epsilon());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Recognize(Path()));
+  EXPECT_FALSE(r->Recognize(Path(Edge(0, 0, 1))));
+}
+
+TEST(NfaRecognizerTest, EmptyLanguage) {
+  auto r = NfaRecognizer::Compile(*PathExpr::Empty());
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->Recognize(Path()));
+  EXPECT_FALSE(r->Recognize(Path(Edge(0, 0, 1))));
+}
+
+TEST(NfaRecognizerTest, StarAcceptsAllJointRepetitions) {
+  auto r = NfaRecognizer::Compile(*PathExpr::MakeStar(PathExpr::Labeled(0)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Recognize(Path()));
+  EXPECT_TRUE(r->Recognize(Path(Edge(0, 0, 1))));
+  EXPECT_TRUE(r->Recognize(Path({Edge(0, 0, 1), Edge(1, 0, 2)})));
+  // Star repetitions demand jointness.
+  EXPECT_FALSE(r->Recognize(Path({Edge(0, 0, 1), Edge(5, 0, 6)})));
+  // And the right label.
+  EXPECT_FALSE(r->Recognize(Path(Edge(0, 1, 1))));
+}
+
+TEST(NfaRecognizerTest, ProductAcceptsDisjointSeam) {
+  auto expr =
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1));
+  auto r = NfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(r.ok());
+  // Disjoint pair: accepted (×◦ waives adjacency).
+  EXPECT_TRUE(r->Recognize(Path({Edge(0, 0, 1), Edge(7, 1, 8)})));
+  // Adjacent pair: also accepted (join ⊆ product).
+  EXPECT_TRUE(r->Recognize(Path({Edge(0, 0, 1), Edge(1, 1, 2)})));
+  // Wrong labels rejected either way.
+  EXPECT_FALSE(r->Recognize(Path({Edge(0, 1, 1), Edge(7, 1, 8)})));
+}
+
+TEST(NfaRecognizerTest, JoinDemandsAdjacency) {
+  auto expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  auto r = NfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Recognize(Path({Edge(0, 0, 1), Edge(1, 1, 2)})));
+  EXPECT_FALSE(r->Recognize(Path({Edge(0, 0, 1), Edge(7, 1, 8)})));
+}
+
+TEST(NfaRecognizerTest, BreakWaiverIsOneShot) {
+  // (A ×◦ B) ⋈◦ C: the seam between B and C still demands adjacency.
+  auto expr = PathExpr::MakeJoin(
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1)),
+      PathExpr::Labeled(0));
+  auto r = NfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(r.ok());
+  // Disjoint A|B seam, joint B|C seam: accept.
+  EXPECT_TRUE(r->Recognize(
+      Path({Edge(0, 0, 1), Edge(7, 1, 8), Edge(8, 0, 9)})));
+  // Disjoint A|B seam AND disjoint B|C seam: reject.
+  EXPECT_FALSE(r->Recognize(
+      Path({Edge(0, 0, 1), Edge(7, 1, 8), Edge(3, 0, 9)})));
+}
+
+TEST(NfaRecognizerTest, UnionOfBranches) {
+  auto expr = PathExpr::Labeled(0) | (PathExpr::Labeled(1) +
+                                      PathExpr::Labeled(1));
+  auto r = NfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Recognize(Path(Edge(3, 0, 4))));
+  EXPECT_TRUE(r->Recognize(Path({Edge(3, 1, 4), Edge(4, 1, 5)})));
+  EXPECT_FALSE(r->Recognize(Path(Edge(3, 1, 4))));
+}
+
+TEST(NfaRecognizerTest, OptionalAndPower) {
+  auto opt = NfaRecognizer::Compile(*PathExpr::MakeOptional(
+      PathExpr::Labeled(0)));
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt->Recognize(Path()));
+  EXPECT_TRUE(opt->Recognize(Path(Edge(0, 0, 1))));
+  EXPECT_FALSE(opt->Recognize(Path({Edge(0, 0, 1), Edge(1, 0, 2)})));
+
+  auto pow = NfaRecognizer::Compile(*PathExpr::MakePower(
+      PathExpr::Labeled(0), 3));
+  ASSERT_TRUE(pow.ok());
+  EXPECT_FALSE(pow->Recognize(Path({Edge(0, 0, 1), Edge(1, 0, 2)})));
+  EXPECT_TRUE(pow->Recognize(
+      Path({Edge(0, 0, 1), Edge(1, 0, 2), Edge(2, 0, 3)})));
+  EXPECT_FALSE(pow->Recognize(Path({Edge(0, 0, 1), Edge(1, 0, 2),
+                                    Edge(2, 0, 3), Edge(3, 0, 4)})));
+}
+
+// --- DFA ------------------------------------------------------------------
+
+TEST(DfaRecognizerTest, RejectsProductExpressions) {
+  auto dfa = DfaRecognizer::Compile(
+      *PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1)));
+  EXPECT_TRUE(dfa.status().IsInvalidArgument());
+}
+
+TEST(DfaRecognizerTest, RejectsDisjointInputs) {
+  auto dfa = DfaRecognizer::Compile(*PathExpr::MakeStar(PathExpr::AnyEdge()));
+  ASSERT_TRUE(dfa.ok());
+  auto result = dfa->Recognize(Path({Edge(0, 0, 1), Edge(5, 0, 6)}));
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(DfaRecognizerTest, AgreesWithNfaOnFigure1) {
+  auto expr = BuildFigure1Expr();
+  auto nfa = NfaRecognizer::Compile(*expr);
+  auto dfa = DfaRecognizer::Compile(*expr);
+  ASSERT_TRUE(nfa.ok());
+  ASSERT_TRUE(dfa.ok());
+
+  const std::vector<Path> cases = {
+      Path(),
+      Path({Edge(i, alpha, v3), Edge(v3, alpha, k)}),
+      Path({Edge(i, alpha, v4), Edge(v4, alpha, j), Edge(j, alpha, i)}),
+      Path({Edge(i, alpha, v3), Edge(v3, beta, v4), Edge(v4, alpha, k)}),
+      Path({Edge(j, alpha, v3), Edge(v3, alpha, k)}),
+      Path({Edge(i, beta, v3), Edge(v3, alpha, k)}),
+      Path({Edge(i, alpha, v3), Edge(v3, alpha, j)}),
+      Path(Edge(i, alpha, k)),
+  };
+  for (const Path& p : cases) {
+    auto via_dfa = dfa->Recognize(p);
+    ASSERT_TRUE(via_dfa.ok()) << p.ToString();
+    EXPECT_EQ(via_dfa.value(), nfa->Recognize(p)) << p.ToString();
+  }
+}
+
+TEST(DfaRecognizerTest, LazyStatesGrowWithUse) {
+  auto dfa = DfaRecognizer::Compile(*BuildFigure1Expr());
+  ASSERT_TRUE(dfa.ok());
+  size_t initial = dfa->num_dfa_states();
+  auto ignored =
+      dfa->Recognize(Path({Edge(i, alpha, v3), Edge(v3, alpha, k)}));
+  ASSERT_TRUE(ignored.ok());
+  EXPECT_GT(dfa->num_dfa_states(), initial);
+  EXPECT_GT(dfa->num_edge_classes(), 0u);
+}
+
+TEST(DfaRecognizerTest, HandlesEdgesOutsideAnyPattern) {
+  auto dfa = DfaRecognizer::Compile(*PathExpr::MakeStar(
+      PathExpr::Labeled(0)));
+  ASSERT_TRUE(dfa.ok());
+  auto rejected = dfa->Recognize(Path(Edge(0, 9, 1)));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_FALSE(rejected.value());
+  // The recognizer keeps working afterwards.
+  auto accepted = dfa->Recognize(Path(Edge(0, 0, 1)));
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_TRUE(accepted.value());
+}
+
+}  // namespace
+}  // namespace mrpa

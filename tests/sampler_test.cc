@@ -1,0 +1,174 @@
+// Tests for the uniform path sampler: exact language sizes, membership of
+// every sample, uniformity of the empirical distribution, determinism.
+
+#include "regex/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "generators/generators.h"
+#include "regex/figure1.h"
+#include "regex/generator.h"
+#include "regex/recognizer.h"
+
+namespace mrpa {
+namespace {
+
+MultiRelationalGraph Diamond() {
+  MultiGraphBuilder b;
+  b.AddEdge(0, 0, 1);
+  b.AddEdge(0, 0, 2);
+  b.AddEdge(1, 1, 3);
+  b.AddEdge(2, 1, 3);
+  b.AddEdge(0, 0, 3);
+  return b.Build();
+}
+
+TEST(SamplerTest, LanguageSizeMatchesGenerator) {
+  auto g = Diamond();
+  for (const PathExprPtr& expr :
+       {PathExpr::Labeled(0) + PathExpr::Labeled(1),
+        PathExpr::MakeStar(PathExpr::AnyEdge()),
+        PathExpr::MakeOptional(PathExpr::From(0))}) {
+    auto sampler = PathSampler::Compile(*expr);
+    ASSERT_TRUE(sampler.ok());
+    SampleOptions options;
+    options.max_path_length = 6;
+    ASSERT_TRUE(sampler->Prepare(g, options).ok()) << expr->ToString();
+
+    GenerateOptions gen_options;
+    gen_options.max_path_length = 6;
+    auto generated = GeneratePaths(*expr, g, gen_options);
+    ASSERT_TRUE(generated.ok());
+    EXPECT_EQ(sampler->LanguageSize(), generated->paths.size())
+        << expr->ToString();
+  }
+}
+
+TEST(SamplerTest, SamplesAreInTheLanguage) {
+  auto g = BuildFigure1Graph();
+  auto expr = BuildFigure1Expr();
+  auto sampler = PathSampler::Compile(*expr);
+  ASSERT_TRUE(sampler.ok());
+  SampleOptions options;
+  options.max_path_length = 8;
+  options.seed = 17;
+  ASSERT_TRUE(sampler->Prepare(g, options).ok());
+
+  auto recognizer = NfaRecognizer::Compile(*expr).value();
+  auto samples = sampler->SampleMany(200);
+  ASSERT_TRUE(samples.ok());
+  for (const Path& p : samples.value()) {
+    EXPECT_LE(p.length(), options.max_path_length);
+    EXPECT_TRUE(recognizer.Recognize(p)) << p.ToString();
+  }
+}
+
+TEST(SamplerTest, EmpiricallyUniform) {
+  // Small language: every member's frequency should be near 1/|L|.
+  auto g = Diamond();
+  auto expr = PathExpr::MakeStar(PathExpr::AnyEdge());
+  auto sampler = PathSampler::Compile(*expr);
+  ASSERT_TRUE(sampler.ok());
+  SampleOptions options;
+  options.max_path_length = 2;
+  options.seed = 5;
+  ASSERT_TRUE(sampler->Prepare(g, options).ok());
+
+  GenerateOptions gen_options;
+  gen_options.max_path_length = 2;
+  auto language = GeneratePaths(*expr, g, gen_options).value().paths;
+  ASSERT_EQ(sampler->LanguageSize(), language.size());
+  const size_t n = language.size();  // ε + 5 edges + 2 two-edge = 8.
+  ASSERT_EQ(n, 8u);
+
+  const size_t draws = 8000;
+  std::map<Path, size_t> histogram;
+  for (size_t d = 0; d < draws; ++d) {
+    auto sample = sampler->Sample();
+    ASSERT_TRUE(sample.ok());
+    ++histogram[sample.value()];
+  }
+  // Every member appears, with frequency within 4 sigma of uniform.
+  const double expected = static_cast<double>(draws) / n;
+  const double sigma = std::sqrt(expected * (1.0 - 1.0 / n));
+  for (const Path& member : language) {
+    ASSERT_TRUE(histogram.count(member)) << member.ToString();
+    EXPECT_NEAR(histogram[member], expected, 4 * sigma) << member.ToString();
+  }
+  // And nothing outside the language appears.
+  EXPECT_EQ(histogram.size(), n);
+}
+
+TEST(SamplerTest, DeterministicPerSeed) {
+  auto g = Diamond();
+  auto expr = PathExpr::MakeStar(PathExpr::AnyEdge());
+  SampleOptions options;
+  options.max_path_length = 3;
+  options.seed = 99;
+
+  auto s1 = PathSampler::Compile(*expr).value();
+  auto s2 = PathSampler::Compile(*expr).value();
+  ASSERT_TRUE(s1.Prepare(g, options).ok());
+  ASSERT_TRUE(s2.Prepare(g, options).ok());
+  auto a = s1.SampleMany(50);
+  auto b = s2.SampleMany(50);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+TEST(SamplerTest, EmptyLanguageRejected) {
+  auto g = Diamond();
+  auto sampler = PathSampler::Compile(*PathExpr::Labeled(9)).value();
+  EXPECT_TRUE(sampler.Prepare(g, {}).IsInvalidArgument());
+}
+
+TEST(SamplerTest, SampleBeforePrepareRejected) {
+  auto sampler = PathSampler::Compile(*PathExpr::AnyEdge()).value();
+  EXPECT_TRUE(sampler.Sample().status().IsInvalidArgument());
+}
+
+TEST(SamplerTest, ProductExpressionsRejected) {
+  auto expr =
+      PathExpr::MakeProduct(PathExpr::Labeled(0), PathExpr::Labeled(1));
+  EXPECT_TRUE(PathSampler::Compile(*expr).status().IsInvalidArgument());
+}
+
+TEST(SamplerTest, EpsilonOnlyLanguage) {
+  auto g = Diamond();
+  auto sampler = PathSampler::Compile(*PathExpr::Epsilon()).value();
+  ASSERT_TRUE(sampler.Prepare(g, {}).ok());
+  EXPECT_EQ(sampler.LanguageSize(), 1u);
+  auto sample = sampler.Sample();
+  ASSERT_TRUE(sample.ok());
+  EXPECT_TRUE(sample->empty());
+}
+
+TEST(SamplerTest, WorksOnLargerGraphs) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 50, .num_labels = 3, .num_edges = 150, .seed = 23});
+  ASSERT_TRUE(graph.ok());
+  auto expr = PathExpr::Labeled(0) +
+              PathExpr::MakeStar(PathExpr::Labeled(1)) +
+              PathExpr::Labeled(2);
+  auto sampler = PathSampler::Compile(*expr).value();
+  SampleOptions options;
+  options.max_path_length = 6;
+  options.seed = 7;
+  Status prepared = sampler.Prepare(*graph, options);
+  if (!prepared.ok()) {
+    GTEST_SKIP() << "empty language for this seed: " << prepared;
+  }
+  auto recognizer = NfaRecognizer::Compile(*expr).value();
+  auto samples = sampler.SampleMany(100);
+  ASSERT_TRUE(samples.ok());
+  for (const Path& p : samples.value()) {
+    EXPECT_TRUE(recognizer.Recognize(p));
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,47 @@
+#include "core/semiring.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mrpa {
+namespace {
+
+TEST(SemiringLawsTest, Counting) {
+  EXPECT_TRUE(CheckSemiringLaws<CountingSemiring>({0, 1, 2, 3, 7, 100}));
+}
+
+TEST(SemiringLawsTest, Boolean) {
+  EXPECT_TRUE(CheckSemiringLaws<BooleanSemiring>({false, true}));
+}
+
+TEST(SemiringLawsTest, Tropical) {
+  EXPECT_TRUE(CheckSemiringLaws<TropicalSemiring>(
+      {0.0, 1.0, 2.5, 10.0, TropicalSemiring::Zero()}));
+}
+
+TEST(SemiringLawsTest, MaxProb) {
+  EXPECT_TRUE(
+      CheckSemiringLaws<MaxProbSemiring>({0.0, 0.25, 0.5, 0.75, 1.0}));
+}
+
+TEST(SemiringTest, CountingBasics) {
+  EXPECT_EQ(CountingSemiring::Plus(2, 3), 5u);
+  EXPECT_EQ(CountingSemiring::Times(2, 3), 6u);
+  EXPECT_EQ(CountingSemiring::UnitEdgeWeight(), 1u);
+}
+
+TEST(SemiringTest, TropicalIsMinPlus) {
+  EXPECT_EQ(TropicalSemiring::Plus(3.0, 5.0), 3.0);
+  EXPECT_EQ(TropicalSemiring::Times(3.0, 5.0), 8.0);
+  EXPECT_TRUE(std::isinf(TropicalSemiring::Zero()));
+  EXPECT_EQ(TropicalSemiring::Times(TropicalSemiring::One(), 4.0), 4.0);
+}
+
+TEST(SemiringTest, MaxProbIsMaxTimes) {
+  EXPECT_EQ(MaxProbSemiring::Plus(0.3, 0.6), 0.6);
+  EXPECT_EQ(MaxProbSemiring::Times(0.5, 0.5), 0.25);
+}
+
+}  // namespace
+}  // namespace mrpa

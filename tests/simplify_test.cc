@@ -1,0 +1,163 @@
+// Tests for the algebraic simplifier: each rewrite fires, and every
+// simplification preserves the denoted language on random graphs.
+
+#include "core/simplify.h"
+
+#include <gtest/gtest.h>
+
+#include "generators/generators.h"
+
+namespace mrpa {
+namespace {
+
+PathExprPtr A() { return PathExpr::Labeled(0); }
+PathExprPtr B() { return PathExpr::Labeled(1); }
+
+TEST(SimplifyTest, UnionIdentities) {
+  EXPECT_EQ(Simplify(A() | PathExpr::Empty())->ToString(), A()->ToString());
+  EXPECT_EQ(Simplify(PathExpr::Empty() | A())->ToString(), A()->ToString());
+  EXPECT_EQ(Simplify(A() | A())->ToString(), A()->ToString());
+  // ε ∪ R becomes R?.
+  EXPECT_EQ(Simplify(PathExpr::Epsilon() | A())->kind(),
+            ExprKind::kOptional);
+  // ε ∪ R* stays R*.
+  auto star = PathExpr::MakeStar(A());
+  EXPECT_EQ(Simplify(PathExpr::Epsilon() | star)->kind(), ExprKind::kStar);
+}
+
+TEST(SimplifyTest, JoinIdentities) {
+  EXPECT_EQ(Simplify(A() + PathExpr::Epsilon())->ToString(), A()->ToString());
+  EXPECT_EQ(Simplify(PathExpr::Epsilon() + A())->ToString(), A()->ToString());
+  EXPECT_EQ(Simplify(A() + PathExpr::Empty())->kind(), ExprKind::kEmpty);
+  EXPECT_EQ(Simplify(PathExpr::Empty() + A())->kind(), ExprKind::kEmpty);
+}
+
+TEST(SimplifyTest, ProductIdentities) {
+  auto product = PathExpr::MakeProduct(A(), PathExpr::Epsilon());
+  EXPECT_EQ(Simplify(product)->ToString(), A()->ToString());
+  auto annihilated = PathExpr::MakeProduct(PathExpr::Empty(), A());
+  EXPECT_EQ(Simplify(annihilated)->kind(), ExprKind::kEmpty);
+}
+
+TEST(SimplifyTest, StarIdentities) {
+  EXPECT_EQ(Simplify(PathExpr::MakeStar(PathExpr::Empty()))->kind(),
+            ExprKind::kEpsilon);
+  EXPECT_EQ(Simplify(PathExpr::MakeStar(PathExpr::Epsilon()))->kind(),
+            ExprKind::kEpsilon);
+  auto star_star = PathExpr::MakeStar(PathExpr::MakeStar(A()));
+  PathExprPtr s = Simplify(star_star);
+  EXPECT_EQ(s->kind(), ExprKind::kStar);
+  EXPECT_EQ(s->children()[0]->kind(), ExprKind::kAtom);
+  // (R?)* = R*.
+  auto opt_star = PathExpr::MakeStar(PathExpr::MakeOptional(A()));
+  s = Simplify(opt_star);
+  EXPECT_EQ(s->kind(), ExprKind::kStar);
+  EXPECT_EQ(s->children()[0]->kind(), ExprKind::kAtom);
+}
+
+TEST(SimplifyTest, PlusAndOptionalIdentities) {
+  EXPECT_EQ(Simplify(PathExpr::MakePlus(PathExpr::Empty()))->kind(),
+            ExprKind::kEmpty);
+  EXPECT_EQ(Simplify(PathExpr::MakePlus(PathExpr::Epsilon()))->kind(),
+            ExprKind::kEpsilon);
+  // (R+)? = R* and (R?)+ = R*.
+  EXPECT_EQ(
+      Simplify(PathExpr::MakeOptional(PathExpr::MakePlus(A())))->kind(),
+      ExprKind::kStar);
+  EXPECT_EQ(
+      Simplify(PathExpr::MakePlus(PathExpr::MakeOptional(A())))->kind(),
+      ExprKind::kStar);
+  // (R*)? = R*.
+  EXPECT_EQ(
+      Simplify(PathExpr::MakeOptional(PathExpr::MakeStar(A())))->kind(),
+      ExprKind::kStar);
+}
+
+TEST(SimplifyTest, PowerIdentities) {
+  EXPECT_EQ(Simplify(PathExpr::MakePower(A(), 0))->kind(),
+            ExprKind::kEpsilon);
+  EXPECT_EQ(Simplify(PathExpr::MakePower(A(), 1))->ToString(),
+            A()->ToString());
+  EXPECT_EQ(Simplify(PathExpr::MakePower(PathExpr::Empty(), 3))->kind(),
+            ExprKind::kEmpty);
+  EXPECT_EQ(Simplify(PathExpr::MakePower(PathExpr::Epsilon(), 3))->kind(),
+            ExprKind::kEpsilon);
+  EXPECT_EQ(Simplify(PathExpr::MakePower(A(), 3))->kind(), ExprKind::kPower);
+}
+
+TEST(SimplifyTest, LiteralNormalization) {
+  EXPECT_EQ(Simplify(PathExpr::Literal(PathSet()))->kind(),
+            ExprKind::kEmpty);
+  EXPECT_EQ(Simplify(PathExpr::Literal(PathSet::EpsilonSet()))->kind(),
+            ExprKind::kEpsilon);
+  PathSet nontrivial({Path(Edge(0, 0, 1))});
+  EXPECT_EQ(Simplify(PathExpr::Literal(nontrivial))->kind(),
+            ExprKind::kLiteral);
+}
+
+TEST(SimplifyTest, CascadesBottomUp) {
+  // (A ⋈ ε) ∪ ∅ → A in one call.
+  auto expr = (A() + PathExpr::Epsilon()) | PathExpr::Empty();
+  EXPECT_EQ(Simplify(expr)->ToString(), A()->ToString());
+  // ((∅ ∪ A)*)? → A*.
+  auto nested = PathExpr::MakeOptional(
+      PathExpr::MakeStar(PathExpr::Empty() | A()));
+  PathExprPtr s = Simplify(nested);
+  EXPECT_EQ(s->kind(), ExprKind::kStar);
+  EXPECT_EQ(s->children()[0]->ToString(), A()->ToString());
+}
+
+TEST(SimplifyTest, NodeCountNeverGrows) {
+  const std::vector<PathExprPtr> exprs = {
+      (A() + B()) | (A() + B()),
+      PathExpr::MakeStar(PathExpr::MakeStar(PathExpr::MakeStar(A()))),
+      PathExpr::MakePower(A() + PathExpr::Epsilon(), 1),
+      A() | (PathExpr::Empty() + B()),
+  };
+  for (const PathExprPtr& expr : exprs) {
+    EXPECT_LE(Simplify(expr)->NodeCount(), expr->NodeCount())
+        << expr->ToString();
+  }
+}
+
+TEST(SimplifyTest, PreservesLanguageOnRandomGraphs) {
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 8, .num_labels = 2, .num_edges = 20, .seed = 77});
+  ASSERT_TRUE(graph.ok());
+  EvalOptions options;
+  options.max_star_expansion = 5;
+
+  const std::vector<PathExprPtr> exprs = {
+      (A() + PathExpr::Epsilon()) | PathExpr::Empty(),
+      PathExpr::MakeStar(PathExpr::MakeOptional(A())),
+      PathExpr::MakePlus(PathExpr::MakeOptional(B())),
+      PathExpr::Epsilon() | (A() + B()),
+      PathExpr::MakePower(A() | A(), 2),
+      PathExpr::MakeOptional(PathExpr::MakePlus(A() + PathExpr::Epsilon())),
+      PathExpr::MakeProduct(A(), PathExpr::Epsilon()) | B(),
+  };
+  for (const PathExprPtr& expr : exprs) {
+    PathExprPtr simplified = Simplify(expr);
+    auto original = expr->Evaluate(*graph, options);
+    auto reduced = simplified->Evaluate(*graph, options);
+    ASSERT_TRUE(original.ok());
+    ASSERT_TRUE(reduced.ok());
+    EXPECT_EQ(original.value(), reduced.value())
+        << expr->ToString() << "  →  " << simplified->ToString();
+  }
+}
+
+TEST(SimplifyTest, IdempotentOnFixedPoints) {
+  const std::vector<PathExprPtr> exprs = {
+      A(), A() + B(), PathExpr::MakeStar(A()), A() | B(),
+      PathExpr::MakePower(A(), 3),
+  };
+  for (const PathExprPtr& expr : exprs) {
+    PathExprPtr once = Simplify(expr);
+    PathExprPtr twice = Simplify(once);
+    EXPECT_EQ(once->ToString(), twice->ToString());
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,85 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mrpa {
+namespace {
+
+TEST(SplitTest, KeepsEmptyFields) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(SplitTest, NoDelimiterYieldsWhole) {
+  auto parts = Split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(SplitTest, EmptyInputYieldsOneEmptyField) {
+  auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitWhitespaceTest, DropsRuns) {
+  auto parts = SplitWhitespace("  a \t b\n\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitWhitespaceTest, AllWhitespaceYieldsNothing) {
+  EXPECT_TRUE(SplitWhitespace(" \t\n ").empty());
+}
+
+TEST(JoinTest, Joins) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(AffixTest, StartsAndEnds) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ParseUint64Test, ParsesValid) {
+  uint64_t out = 0;
+  EXPECT_TRUE(ParseUint64("0", &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(ParseUint64("18446744073709551615", &out));
+  EXPECT_EQ(out, UINT64_MAX);
+  EXPECT_TRUE(ParseUint64("42", &out));
+  EXPECT_EQ(out, 42u);
+}
+
+TEST(ParseUint64Test, RejectsMalformed) {
+  uint64_t out = 0;
+  EXPECT_FALSE(ParseUint64("", &out));
+  EXPECT_FALSE(ParseUint64("-1", &out));
+  EXPECT_FALSE(ParseUint64("12x", &out));
+  EXPECT_FALSE(ParseUint64(" 1", &out));
+  EXPECT_FALSE(ParseUint64("18446744073709551616", &out));  // Overflow.
+  EXPECT_FALSE(ParseUint64("99999999999999999999", &out));
+}
+
+}  // namespace
+}  // namespace mrpa

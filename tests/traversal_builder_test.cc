@@ -1,0 +1,262 @@
+// Tests for the fluent GraphTraversal engine.
+
+#include "engine/traversal_builder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/traversal.h"
+#include "engine/chain_planner.h"
+
+namespace mrpa {
+namespace {
+
+// The classic TinkerPop-style toy graph:
+//   marko -knows-> vadas, marko -knows-> josh,
+//   marko -created-> lop, josh -created-> lop, josh -created-> ripple,
+//   peter -created-> lop.
+MultiRelationalGraph Toy() {
+  MultiGraphBuilder b;
+  b.AddEdge("marko", "knows", "vadas");
+  b.AddEdge("marko", "knows", "josh");
+  b.AddEdge("marko", "created", "lop");
+  b.AddEdge("josh", "created", "lop");
+  b.AddEdge("josh", "created", "ripple");
+  b.AddEdge("peter", "created", "lop");
+  return b.Build();
+}
+
+TEST(GraphTraversalTest, SeedAllVertices) {
+  auto g = Toy();
+  auto count = GraphTraversal(g).V().Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), g.num_vertices());
+}
+
+TEST(GraphTraversalTest, SeedByNameSkipsUnknown) {
+  auto g = Toy();
+  auto count = GraphTraversal(g).V({"marko", "nonexistent"}).Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 1u);
+}
+
+TEST(GraphTraversalTest, OutByLabelName) {
+  auto g = Toy();
+  auto cursors = GraphTraversal(g).V({"marko"}).Out("knows").Cursors();
+  ASSERT_TRUE(cursors.ok());
+  EXPECT_EQ(cursors->size(), 2u);  // vadas, josh.
+  auto created = GraphTraversal(g).V({"marko"}).Out("created").Cursors();
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created->size(), 1u);  // lop.
+}
+
+TEST(GraphTraversalTest, TwoHopOut) {
+  // marko -knows-> josh -created-> {lop, ripple}.
+  auto g = Toy();
+  auto result =
+      GraphTraversal(g).V({"marko"}).Out("knows").Out("created").Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 2u);
+  for (const Traverser& t : result->traversers) {
+    EXPECT_EQ(t.history.length(), 2u);
+    EXPECT_TRUE(t.history.IsJoint());
+    EXPECT_EQ(t.history.Head(), t.cursor);
+  }
+}
+
+TEST(GraphTraversalTest, UnknownLabelMatchesNothing) {
+  auto g = Toy();
+  auto count = GraphTraversal(g).V({"marko"}).Out("dislikes").Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 0u);
+}
+
+TEST(GraphTraversalTest, InStepMovesToTail) {
+  // Who created lop?
+  auto g = Toy();
+  auto result = GraphTraversal(g).V({"lop"}).In("created").Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 3u);  // marko, josh, peter.
+  for (const Traverser& t : result->traversers) {
+    EXPECT_EQ(t.history.length(), 1u);
+    EXPECT_EQ(t.history.edge(0).tail, t.cursor);
+  }
+}
+
+TEST(GraphTraversalTest, InThenOutIsCoCreation) {
+  // Co-creators of lop's creators' projects: lop <-created- X -created-> Y.
+  auto g = Toy();
+  auto cursors = GraphTraversal(g)
+                     .V({"lop"})
+                     .In("created")
+                     .Out("created")
+                     .Dedup()
+                     .Cursors();
+  ASSERT_TRUE(cursors.ok());
+  EXPECT_EQ(cursors->size(), 2u);  // lop and ripple.
+}
+
+TEST(GraphTraversalTest, InStepHistoriesMayBeDisjoint) {
+  // In-then-in walks edges "backwards"; the recorded history carries the
+  // stored edge orientation, so seams can be disjoint — by design
+  // (Definition 3 territory).
+  auto g = Toy();
+  auto result =
+      GraphTraversal(g).V({"lop"}).In("created").In("knows").Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 1u);  // josh <-knows- marko (via josh).
+  EXPECT_FALSE(result->traversers[0].history.IsJoint());
+}
+
+TEST(GraphTraversalTest, JointOnlyFiltersDisjointHistories) {
+  auto g = Toy();
+  auto result = GraphTraversal(g)
+                    .V({"lop"})
+                    .In("created")
+                    .In("knows")
+                    .JointOnly()
+                    .Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 0u);
+}
+
+TEST(GraphTraversalTest, BothCombinesDirections) {
+  auto g = Toy();
+  auto out_count = GraphTraversal(g).V({"josh"}).Out().Count();
+  auto in_count = GraphTraversal(g).V({"josh"}).In().Count();
+  auto both_count = GraphTraversal(g).V({"josh"}).Both().Count();
+  ASSERT_TRUE(both_count.ok());
+  EXPECT_EQ(both_count.value(), out_count.value() + in_count.value());
+}
+
+TEST(GraphTraversalTest, TimesRepeatsLastStep) {
+  auto g = Toy();
+  auto once = GraphTraversal(g).V({"marko"}).Out().Count();
+  auto twice = GraphTraversal(g).V({"marko"}).Out().Times(1).Count();
+  ASSERT_TRUE(once.ok());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once.value(), 3u);
+  EXPECT_EQ(twice.value(), 2u);  // Via josh only: lop, ripple.
+}
+
+TEST(GraphTraversalTest, HasCursorFilters) {
+  auto g = Toy();
+  VertexId lop = *g.FindVertex("lop");
+  auto kept = GraphTraversal(g).V({"marko"}).Out().HasCursor({lop}).Count();
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.value(), 1u);
+  auto dropped =
+      GraphTraversal(g).V({"marko"}).Out().HasCursorNot({lop}).Count();
+  ASSERT_TRUE(dropped.ok());
+  EXPECT_EQ(dropped.value(), 2u);
+}
+
+TEST(GraphTraversalTest, FilterPredicate) {
+  auto g = Toy();
+  auto count = GraphTraversal(g)
+                   .V()
+                   .Out()
+                   .Filter([](const Traverser& t) {
+                     return t.history.edge(0).label == 0;  // "knows".
+                   })
+                   .Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 2u);
+}
+
+TEST(GraphTraversalTest, DedupCollapsesCursors) {
+  auto g = Toy();
+  auto raw = GraphTraversal(g).V().Out("created").Cursors();
+  auto deduped = GraphTraversal(g).V().Out("created").Dedup().Cursors();
+  ASSERT_TRUE(raw.ok());
+  ASSERT_TRUE(deduped.ok());
+  EXPECT_EQ(raw->size(), 4u);     // lop ×3, ripple.
+  EXPECT_EQ(deduped->size(), 2u);  // lop, ripple.
+}
+
+TEST(GraphTraversalTest, LimitTruncates) {
+  auto g = Toy();
+  auto count = GraphTraversal(g).V().Limit(2).Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), 2u);
+}
+
+TEST(GraphTraversalTest, MaxTraversersGuard) {
+  auto g = Toy();
+  auto result =
+      GraphTraversal(g).WithMaxTraversers(2).V().Out().Execute();
+  EXPECT_TRUE(result.status().IsResourceExhausted());
+}
+
+TEST(GraphTraversalTest, ToPathSetMatchesAlgebraicTraversal) {
+  // Forward-only traversals coincide with the §III source traversal.
+  auto g = Toy();
+  VertexId marko = *g.FindVertex("marko");
+  auto via_engine =
+      GraphTraversal(g).V({marko}).Out().Out().ToPathSet();
+  ASSERT_TRUE(via_engine.ok());
+  auto via_algebra = SourceTraversal(g, {marko}, 2);
+  ASSERT_TRUE(via_algebra.ok());
+  EXPECT_EQ(via_engine.value(), via_algebra.value());
+}
+
+TEST(GraphTraversalTest, EmptyPipelineYieldsNothing) {
+  auto g = Toy();
+  auto result = GraphTraversal(g).Execute();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Count(), 0u);
+}
+
+
+TEST(ToExprTest, ForwardPipelineLowersToJoinChain) {
+  auto g = Toy();
+  VertexId marko = *g.FindVertex("marko");
+  auto pipeline = GraphTraversal(g).V({marko}).Out("knows").Out("created");
+  auto expr = pipeline.ToExpr();
+  ASSERT_TRUE(expr.ok()) << expr.status();
+
+  // The lowered expression denotes exactly the pipeline's path set.
+  auto via_expr = (*expr)->Evaluate(g);
+  auto via_pipeline = pipeline.ToPathSet();
+  ASSERT_TRUE(via_expr.ok());
+  ASSERT_TRUE(via_pipeline.ok());
+  EXPECT_EQ(via_expr.value(), via_pipeline.value());
+
+  // And it is planner-eligible (a pure atom chain).
+  EXPECT_TRUE(ExtractAtomChain(**expr).has_value());
+  auto planned = EvaluatePlanned(**expr, g);
+  ASSERT_TRUE(planned.ok());
+  EXPECT_EQ(planned.value(), via_pipeline.value());
+}
+
+TEST(ToExprTest, SeedAllLowersUnrestricted) {
+  auto g = Toy();
+  auto pipeline = GraphTraversal(g).V().Out("created");
+  auto expr = pipeline.ToExpr();
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->Evaluate(g).value(), pipeline.ToPathSet().value());
+}
+
+TEST(ToExprTest, RejectsNonForwardPipelines) {
+  auto g = Toy();
+  EXPECT_TRUE(GraphTraversal(g).ToExpr().status().IsUnimplemented());
+  EXPECT_TRUE(
+      GraphTraversal(g).V().ToExpr().status().IsUnimplemented());
+  EXPECT_TRUE(GraphTraversal(g).V().In("created").ToExpr().status()
+                  .IsUnimplemented());
+  EXPECT_TRUE(GraphTraversal(g).V().Out().Dedup().ToExpr().status()
+                  .IsUnimplemented());
+  EXPECT_TRUE(GraphTraversal(g).Out().ToExpr().status().IsUnimplemented());
+}
+
+TEST(TraversalResultTest, CursorsAreSorted) {
+  auto g = Toy();
+  auto result = GraphTraversal(g).V().Execute();
+  ASSERT_TRUE(result.ok());
+  auto cursors = result->Cursors();
+  EXPECT_TRUE(std::is_sorted(cursors.begin(), cursors.end()));
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,121 @@
+#include "graph/weighted_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace mrpa {
+namespace {
+
+TEST(WeightedGraphTest, FromArcsSumsDuplicates) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 2.0}, {0, 1, 3.0}, {0, 2, 1.0}});
+  EXPECT_EQ(g.num_arcs(), 2u);
+  auto arcs = g.OutArcs(0);
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0].target, 1u);
+  EXPECT_DOUBLE_EQ(arcs[0].weight, 5.0);
+  EXPECT_DOUBLE_EQ(arcs[1].weight, 1.0);
+  EXPECT_DOUBLE_EQ(g.OutWeight(0), 6.0);
+}
+
+TEST(WeightedGraphTest, StructureDropsWeights) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 2.5}, {1, 2, 0.5}});
+  BinaryGraph structure = g.Structure();
+  EXPECT_EQ(structure.num_arcs(), 2u);
+  EXPECT_TRUE(structure.HasArc(0, 1));
+  EXPECT_TRUE(structure.HasArc(1, 2));
+}
+
+TEST(WeightedGraphTest, OutOfRangeSafe) {
+  WeightedBinaryGraph g(2);
+  EXPECT_TRUE(g.OutArcs(5).empty());
+  EXPECT_EQ(g.OutWeight(5), 0.0);
+}
+
+TEST(DijkstraTest, ShortestDistances) {
+  // 0 -1.0-> 1 -1.0-> 2, plus a 0 -5.0-> 2 shortcut that loses.
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 5.0}});
+  auto dist = DijkstraDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ((*dist)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*dist)[1], 1.0);
+  EXPECT_DOUBLE_EQ((*dist)[2], 2.0);
+}
+
+TEST(DijkstraTest, ExpensiveDirectVsCheapDetour) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      4, {{0, 3, 10.0}, {0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}});
+  auto dist = DijkstraDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ((*dist)[3], 3.0);
+}
+
+TEST(DijkstraTest, UnreachableIsInfinite) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(3, {{0, 1, 1.0}});
+  auto dist = DijkstraDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_TRUE(std::isinf((*dist)[2]));
+}
+
+TEST(DijkstraTest, RejectsNegativeWeights) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(2, {{0, 1, -1.0}});
+  EXPECT_TRUE(DijkstraDistances(g, 0).status().IsInvalidArgument());
+}
+
+TEST(DijkstraTest, ZeroWeightArcsAllowed) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 0.0}, {1, 2, 0.0}});
+  auto dist = DijkstraDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_DOUBLE_EQ((*dist)[2], 0.0);
+}
+
+TEST(WeightedPageRankTest, SumsToOne) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 1.0}, {1, 2, 2.0}, {2, 0, 3.0}});
+  auto rank = WeightedPageRank(g);
+  ASSERT_TRUE(rank.ok());
+  double total = std::accumulate(rank->begin(), rank->end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(WeightedPageRankTest, WeightSkewsMass) {
+  // Vertex 0 sends 9× more mass to 1 than to 2.
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 9.0}, {0, 2, 1.0}});
+  auto rank = WeightedPageRank(g);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_GT((*rank)[1], (*rank)[2]);
+  // With equal weights the two sinks tie.
+  WeightedBinaryGraph balanced = WeightedBinaryGraph::FromArcs(
+      3, {{0, 1, 1.0}, {0, 2, 1.0}});
+  auto balanced_rank = WeightedPageRank(balanced);
+  ASSERT_TRUE(balanced_rank.ok());
+  EXPECT_NEAR((*balanced_rank)[1], (*balanced_rank)[2], 1e-9);
+}
+
+TEST(WeightedPageRankTest, MatchesUnweightedOnUnitWeights) {
+  // Unit-weight graph ≡ the unweighted PageRank up to tolerance.
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(
+      4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  auto rank = WeightedPageRank(g);
+  ASSERT_TRUE(rank.ok());
+  for (double score : rank.value()) EXPECT_NEAR(score, 0.25, 1e-9);
+}
+
+TEST(WeightedPageRankTest, Validation) {
+  WeightedBinaryGraph g = WeightedBinaryGraph::FromArcs(2, {{0, 1, 1.0}});
+  WeightedPageRankOptions options;
+  options.damping = 1.0;
+  EXPECT_TRUE(WeightedPageRank(g, options).status().IsInvalidArgument());
+  WeightedBinaryGraph negative =
+      WeightedBinaryGraph::FromArcs(2, {{0, 1, -2.0}});
+  EXPECT_TRUE(WeightedPageRank(negative).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace mrpa
