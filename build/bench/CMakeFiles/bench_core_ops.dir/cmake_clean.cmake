@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_core_ops.dir/bench_core_ops.cc.o"
+  "CMakeFiles/bench_core_ops.dir/bench_core_ops.cc.o.d"
+  "bench_core_ops"
+  "bench_core_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_core_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

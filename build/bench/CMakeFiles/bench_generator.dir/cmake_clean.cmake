@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_generator.dir/bench_generator.cc.o"
+  "CMakeFiles/bench_generator.dir/bench_generator.cc.o.d"
+  "bench_generator"
+  "bench_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_label_index.dir/bench_label_index.cc.o"
+  "CMakeFiles/bench_label_index.dir/bench_label_index.cc.o.d"
+  "bench_label_index"
+  "bench_label_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_label_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recognizer.dir/bench_recognizer.cc.o"
+  "CMakeFiles/bench_recognizer.dir/bench_recognizer.cc.o.d"
+  "bench_recognizer"
+  "bench_recognizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recognizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

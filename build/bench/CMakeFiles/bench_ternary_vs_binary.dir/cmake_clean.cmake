@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ternary_vs_binary.dir/bench_ternary_vs_binary.cc.o"
+  "CMakeFiles/bench_ternary_vs_binary.dir/bench_ternary_vs_binary.cc.o.d"
+  "bench_ternary_vs_binary"
+  "bench_ternary_vs_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ternary_vs_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_traversals.dir/bench_traversals.cc.o"
+  "CMakeFiles/bench_traversals.dir/bench_traversals.cc.o.d"
+  "bench_traversals"
+  "bench_traversals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_traversals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

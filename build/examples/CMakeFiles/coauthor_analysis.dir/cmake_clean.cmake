@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coauthor_analysis.dir/coauthor_analysis.cpp.o"
+  "CMakeFiles/coauthor_analysis.dir/coauthor_analysis.cpp.o.d"
+  "coauthor_analysis"
+  "coauthor_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coauthor_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

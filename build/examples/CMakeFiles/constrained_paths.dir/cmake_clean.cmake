@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_paths.dir/constrained_paths.cpp.o"
+  "CMakeFiles/constrained_paths.dir/constrained_paths.cpp.o.d"
+  "constrained_paths"
+  "constrained_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

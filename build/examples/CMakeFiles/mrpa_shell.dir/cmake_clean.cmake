@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_shell.dir/mrpa_shell.cpp.o"
+  "CMakeFiles/mrpa_shell.dir/mrpa_shell.cpp.o.d"
+  "mrpa_shell"
+  "mrpa_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/regex_paths.cpp" "examples/CMakeFiles/regex_paths.dir/regex_paths.cpp.o" "gcc" "examples/CMakeFiles/regex_paths.dir/regex_paths.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/mrpa_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mrpa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/generators/CMakeFiles/mrpa_generators.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/mrpa_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrpa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_paths.dir/regex_paths.cpp.o"
+  "CMakeFiles/regex_paths.dir/regex_paths.cpp.o.d"
+  "regex_paths"
+  "regex_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

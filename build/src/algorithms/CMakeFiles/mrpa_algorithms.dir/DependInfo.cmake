@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/assortativity.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/assortativity.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/assortativity.cc.o.d"
+  "/root/repo/src/algorithms/betweenness.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/betweenness.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/betweenness.cc.o.d"
+  "/root/repo/src/algorithms/bfs.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/bfs.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/bfs.cc.o.d"
+  "/root/repo/src/algorithms/closeness.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/closeness.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/closeness.cc.o.d"
+  "/root/repo/src/algorithms/clustering.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/clustering.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/clustering.cc.o.d"
+  "/root/repo/src/algorithms/communities.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/communities.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/communities.cc.o.d"
+  "/root/repo/src/algorithms/components.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/components.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/components.cc.o.d"
+  "/root/repo/src/algorithms/dag.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/dag.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/dag.cc.o.d"
+  "/root/repo/src/algorithms/degree.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/degree.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/degree.cc.o.d"
+  "/root/repo/src/algorithms/eigenvector.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/eigenvector.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/eigenvector.cc.o.d"
+  "/root/repo/src/algorithms/katz_hits.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/katz_hits.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/katz_hits.cc.o.d"
+  "/root/repo/src/algorithms/kcore.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/kcore.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/kcore.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/pagerank.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/spreading_activation.cc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/spreading_activation.cc.o" "gcc" "src/algorithms/CMakeFiles/mrpa_algorithms.dir/spreading_activation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mrpa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

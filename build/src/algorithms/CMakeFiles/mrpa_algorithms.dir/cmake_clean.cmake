@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_algorithms.dir/assortativity.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/assortativity.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/betweenness.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/betweenness.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/bfs.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/bfs.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/closeness.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/closeness.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/clustering.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/clustering.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/communities.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/communities.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/components.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/components.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/dag.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/dag.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/degree.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/degree.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/eigenvector.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/eigenvector.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/katz_hits.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/katz_hits.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/kcore.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/kcore.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/pagerank.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/pagerank.cc.o.d"
+  "CMakeFiles/mrpa_algorithms.dir/spreading_activation.cc.o"
+  "CMakeFiles/mrpa_algorithms.dir/spreading_activation.cc.o.d"
+  "libmrpa_algorithms.a"
+  "libmrpa_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

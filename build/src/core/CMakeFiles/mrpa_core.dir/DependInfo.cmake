@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/binary_algebra.cc" "src/core/CMakeFiles/mrpa_core.dir/binary_algebra.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/binary_algebra.cc.o.d"
+  "/root/repo/src/core/edge_pattern.cc" "src/core/CMakeFiles/mrpa_core.dir/edge_pattern.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/edge_pattern.cc.o.d"
+  "/root/repo/src/core/edge_universe.cc" "src/core/CMakeFiles/mrpa_core.dir/edge_universe.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/edge_universe.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/core/CMakeFiles/mrpa_core.dir/expr.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/expr.cc.o.d"
+  "/root/repo/src/core/path.cc" "src/core/CMakeFiles/mrpa_core.dir/path.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/path.cc.o.d"
+  "/root/repo/src/core/path_set.cc" "src/core/CMakeFiles/mrpa_core.dir/path_set.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/path_set.cc.o.d"
+  "/root/repo/src/core/simplify.cc" "src/core/CMakeFiles/mrpa_core.dir/simplify.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/simplify.cc.o.d"
+  "/root/repo/src/core/traversal.cc" "src/core/CMakeFiles/mrpa_core.dir/traversal.cc.o" "gcc" "src/core/CMakeFiles/mrpa_core.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_core.dir/binary_algebra.cc.o"
+  "CMakeFiles/mrpa_core.dir/binary_algebra.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/edge_pattern.cc.o"
+  "CMakeFiles/mrpa_core.dir/edge_pattern.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/edge_universe.cc.o"
+  "CMakeFiles/mrpa_core.dir/edge_universe.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/expr.cc.o"
+  "CMakeFiles/mrpa_core.dir/expr.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/path.cc.o"
+  "CMakeFiles/mrpa_core.dir/path.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/path_set.cc.o"
+  "CMakeFiles/mrpa_core.dir/path_set.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/simplify.cc.o"
+  "CMakeFiles/mrpa_core.dir/simplify.cc.o.d"
+  "CMakeFiles/mrpa_core.dir/traversal.cc.o"
+  "CMakeFiles/mrpa_core.dir/traversal.cc.o.d"
+  "libmrpa_core.a"
+  "libmrpa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

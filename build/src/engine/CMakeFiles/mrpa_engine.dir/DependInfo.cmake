@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/chain_planner.cc" "src/engine/CMakeFiles/mrpa_engine.dir/chain_planner.cc.o" "gcc" "src/engine/CMakeFiles/mrpa_engine.dir/chain_planner.cc.o.d"
+  "/root/repo/src/engine/parser.cc" "src/engine/CMakeFiles/mrpa_engine.dir/parser.cc.o" "gcc" "src/engine/CMakeFiles/mrpa_engine.dir/parser.cc.o.d"
+  "/root/repo/src/engine/path_iterator.cc" "src/engine/CMakeFiles/mrpa_engine.dir/path_iterator.cc.o" "gcc" "src/engine/CMakeFiles/mrpa_engine.dir/path_iterator.cc.o.d"
+  "/root/repo/src/engine/traversal_builder.cc" "src/engine/CMakeFiles/mrpa_engine.dir/traversal_builder.cc.o" "gcc" "src/engine/CMakeFiles/mrpa_engine.dir/traversal_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrpa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/regex/CMakeFiles/mrpa_regex.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

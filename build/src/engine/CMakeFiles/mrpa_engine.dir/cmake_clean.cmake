@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_engine.dir/chain_planner.cc.o"
+  "CMakeFiles/mrpa_engine.dir/chain_planner.cc.o.d"
+  "CMakeFiles/mrpa_engine.dir/parser.cc.o"
+  "CMakeFiles/mrpa_engine.dir/parser.cc.o.d"
+  "CMakeFiles/mrpa_engine.dir/path_iterator.cc.o"
+  "CMakeFiles/mrpa_engine.dir/path_iterator.cc.o.d"
+  "CMakeFiles/mrpa_engine.dir/traversal_builder.cc.o"
+  "CMakeFiles/mrpa_engine.dir/traversal_builder.cc.o.d"
+  "libmrpa_engine.a"
+  "libmrpa_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/generators/barabasi_albert.cc" "src/generators/CMakeFiles/mrpa_generators.dir/barabasi_albert.cc.o" "gcc" "src/generators/CMakeFiles/mrpa_generators.dir/barabasi_albert.cc.o.d"
+  "/root/repo/src/generators/erdos_renyi.cc" "src/generators/CMakeFiles/mrpa_generators.dir/erdos_renyi.cc.o" "gcc" "src/generators/CMakeFiles/mrpa_generators.dir/erdos_renyi.cc.o.d"
+  "/root/repo/src/generators/lattice.cc" "src/generators/CMakeFiles/mrpa_generators.dir/lattice.cc.o" "gcc" "src/generators/CMakeFiles/mrpa_generators.dir/lattice.cc.o.d"
+  "/root/repo/src/generators/social_network.cc" "src/generators/CMakeFiles/mrpa_generators.dir/social_network.cc.o" "gcc" "src/generators/CMakeFiles/mrpa_generators.dir/social_network.cc.o.d"
+  "/root/repo/src/generators/watts_strogatz.cc" "src/generators/CMakeFiles/mrpa_generators.dir/watts_strogatz.cc.o" "gcc" "src/generators/CMakeFiles/mrpa_generators.dir/watts_strogatz.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/mrpa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mrpa_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_generators.dir/barabasi_albert.cc.o"
+  "CMakeFiles/mrpa_generators.dir/barabasi_albert.cc.o.d"
+  "CMakeFiles/mrpa_generators.dir/erdos_renyi.cc.o"
+  "CMakeFiles/mrpa_generators.dir/erdos_renyi.cc.o.d"
+  "CMakeFiles/mrpa_generators.dir/lattice.cc.o"
+  "CMakeFiles/mrpa_generators.dir/lattice.cc.o.d"
+  "CMakeFiles/mrpa_generators.dir/social_network.cc.o"
+  "CMakeFiles/mrpa_generators.dir/social_network.cc.o.d"
+  "CMakeFiles/mrpa_generators.dir/watts_strogatz.cc.o"
+  "CMakeFiles/mrpa_generators.dir/watts_strogatz.cc.o.d"
+  "libmrpa_generators.a"
+  "libmrpa_generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

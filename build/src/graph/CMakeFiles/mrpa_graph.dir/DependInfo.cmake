@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/binary_graph.cc" "src/graph/CMakeFiles/mrpa_graph.dir/binary_graph.cc.o" "gcc" "src/graph/CMakeFiles/mrpa_graph.dir/binary_graph.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/graph/CMakeFiles/mrpa_graph.dir/dynamic_graph.cc.o" "gcc" "src/graph/CMakeFiles/mrpa_graph.dir/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/mrpa_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/mrpa_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/multi_graph.cc" "src/graph/CMakeFiles/mrpa_graph.dir/multi_graph.cc.o" "gcc" "src/graph/CMakeFiles/mrpa_graph.dir/multi_graph.cc.o.d"
+  "/root/repo/src/graph/projection.cc" "src/graph/CMakeFiles/mrpa_graph.dir/projection.cc.o" "gcc" "src/graph/CMakeFiles/mrpa_graph.dir/projection.cc.o.d"
+  "/root/repo/src/graph/weighted_graph.cc" "src/graph/CMakeFiles/mrpa_graph.dir/weighted_graph.cc.o" "gcc" "src/graph/CMakeFiles/mrpa_graph.dir/weighted_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

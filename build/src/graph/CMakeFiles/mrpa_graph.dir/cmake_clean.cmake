@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_graph.dir/binary_graph.cc.o"
+  "CMakeFiles/mrpa_graph.dir/binary_graph.cc.o.d"
+  "CMakeFiles/mrpa_graph.dir/dynamic_graph.cc.o"
+  "CMakeFiles/mrpa_graph.dir/dynamic_graph.cc.o.d"
+  "CMakeFiles/mrpa_graph.dir/io.cc.o"
+  "CMakeFiles/mrpa_graph.dir/io.cc.o.d"
+  "CMakeFiles/mrpa_graph.dir/multi_graph.cc.o"
+  "CMakeFiles/mrpa_graph.dir/multi_graph.cc.o.d"
+  "CMakeFiles/mrpa_graph.dir/projection.cc.o"
+  "CMakeFiles/mrpa_graph.dir/projection.cc.o.d"
+  "CMakeFiles/mrpa_graph.dir/weighted_graph.cc.o"
+  "CMakeFiles/mrpa_graph.dir/weighted_graph.cc.o.d"
+  "libmrpa_graph.a"
+  "libmrpa_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

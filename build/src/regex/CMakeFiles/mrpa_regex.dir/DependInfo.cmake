@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/regex/derivatives.cc" "src/regex/CMakeFiles/mrpa_regex.dir/derivatives.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/derivatives.cc.o.d"
+  "/root/repo/src/regex/derived_relations.cc" "src/regex/CMakeFiles/mrpa_regex.dir/derived_relations.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/derived_relations.cc.o.d"
+  "/root/repo/src/regex/dfa_minimizer.cc" "src/regex/CMakeFiles/mrpa_regex.dir/dfa_minimizer.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/dfa_minimizer.cc.o.d"
+  "/root/repo/src/regex/figure1.cc" "src/regex/CMakeFiles/mrpa_regex.dir/figure1.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/figure1.cc.o.d"
+  "/root/repo/src/regex/generator.cc" "src/regex/CMakeFiles/mrpa_regex.dir/generator.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/generator.cc.o.d"
+  "/root/repo/src/regex/lazy_dfa.cc" "src/regex/CMakeFiles/mrpa_regex.dir/lazy_dfa.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/lazy_dfa.cc.o.d"
+  "/root/repo/src/regex/nfa.cc" "src/regex/CMakeFiles/mrpa_regex.dir/nfa.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/nfa.cc.o.d"
+  "/root/repo/src/regex/recognizer.cc" "src/regex/CMakeFiles/mrpa_regex.dir/recognizer.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/recognizer.cc.o.d"
+  "/root/repo/src/regex/sampler.cc" "src/regex/CMakeFiles/mrpa_regex.dir/sampler.cc.o" "gcc" "src/regex/CMakeFiles/mrpa_regex.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mrpa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mrpa_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mrpa_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

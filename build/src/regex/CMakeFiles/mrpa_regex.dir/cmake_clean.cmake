@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_regex.dir/derivatives.cc.o"
+  "CMakeFiles/mrpa_regex.dir/derivatives.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/derived_relations.cc.o"
+  "CMakeFiles/mrpa_regex.dir/derived_relations.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/dfa_minimizer.cc.o"
+  "CMakeFiles/mrpa_regex.dir/dfa_minimizer.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/figure1.cc.o"
+  "CMakeFiles/mrpa_regex.dir/figure1.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/generator.cc.o"
+  "CMakeFiles/mrpa_regex.dir/generator.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/lazy_dfa.cc.o"
+  "CMakeFiles/mrpa_regex.dir/lazy_dfa.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/nfa.cc.o"
+  "CMakeFiles/mrpa_regex.dir/nfa.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/recognizer.cc.o"
+  "CMakeFiles/mrpa_regex.dir/recognizer.cc.o.d"
+  "CMakeFiles/mrpa_regex.dir/sampler.cc.o"
+  "CMakeFiles/mrpa_regex.dir/sampler.cc.o.d"
+  "libmrpa_regex.a"
+  "libmrpa_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

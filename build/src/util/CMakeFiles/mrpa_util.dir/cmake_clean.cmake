@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrpa_util.dir/random.cc.o"
+  "CMakeFiles/mrpa_util.dir/random.cc.o.d"
+  "CMakeFiles/mrpa_util.dir/status.cc.o"
+  "CMakeFiles/mrpa_util.dir/status.cc.o.d"
+  "CMakeFiles/mrpa_util.dir/string_util.cc.o"
+  "CMakeFiles/mrpa_util.dir/string_util.cc.o.d"
+  "libmrpa_util.a"
+  "libmrpa_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrpa_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

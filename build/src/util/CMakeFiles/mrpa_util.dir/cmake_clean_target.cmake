@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmrpa_util.a"
+)

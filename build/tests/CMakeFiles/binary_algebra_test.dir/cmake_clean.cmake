@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_algebra_test.dir/binary_algebra_test.cc.o"
+  "CMakeFiles/binary_algebra_test.dir/binary_algebra_test.cc.o.d"
+  "binary_algebra_test"
+  "binary_algebra_test.pdb"
+  "binary_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

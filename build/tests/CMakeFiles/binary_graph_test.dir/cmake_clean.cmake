@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_graph_test.dir/binary_graph_test.cc.o"
+  "CMakeFiles/binary_graph_test.dir/binary_graph_test.cc.o.d"
+  "binary_graph_test"
+  "binary_graph_test.pdb"
+  "binary_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

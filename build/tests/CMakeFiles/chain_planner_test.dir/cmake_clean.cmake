@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chain_planner_test.dir/chain_planner_test.cc.o"
+  "CMakeFiles/chain_planner_test.dir/chain_planner_test.cc.o.d"
+  "chain_planner_test"
+  "chain_planner_test.pdb"
+  "chain_planner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chain_planner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

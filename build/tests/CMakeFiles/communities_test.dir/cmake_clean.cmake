@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/communities_test.dir/communities_test.cc.o"
+  "CMakeFiles/communities_test.dir/communities_test.cc.o.d"
+  "communities_test"
+  "communities_test.pdb"
+  "communities_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/communities_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/degree_test.dir/degree_test.cc.o"
+  "CMakeFiles/degree_test.dir/degree_test.cc.o.d"
+  "degree_test"
+  "degree_test.pdb"
+  "degree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/degree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

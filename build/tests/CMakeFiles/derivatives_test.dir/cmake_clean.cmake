@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derivatives_test.dir/derivatives_test.cc.o"
+  "CMakeFiles/derivatives_test.dir/derivatives_test.cc.o.d"
+  "derivatives_test"
+  "derivatives_test.pdb"
+  "derivatives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derivatives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfa_minimizer_test.dir/dfa_minimizer_test.cc.o"
+  "CMakeFiles/dfa_minimizer_test.dir/dfa_minimizer_test.cc.o.d"
+  "dfa_minimizer_test"
+  "dfa_minimizer_test.pdb"
+  "dfa_minimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfa_minimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_pattern_test.dir/edge_pattern_test.cc.o"
+  "CMakeFiles/edge_pattern_test.dir/edge_pattern_test.cc.o.d"
+  "edge_pattern_test"
+  "edge_pattern_test.pdb"
+  "edge_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

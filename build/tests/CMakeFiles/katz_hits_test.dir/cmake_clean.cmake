@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/katz_hits_test.dir/katz_hits_test.cc.o"
+  "CMakeFiles/katz_hits_test.dir/katz_hits_test.cc.o.d"
+  "katz_hits_test"
+  "katz_hits_test.pdb"
+  "katz_hits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/katz_hits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monoid_property_test.dir/monoid_property_test.cc.o"
+  "CMakeFiles/monoid_property_test.dir/monoid_property_test.cc.o.d"
+  "monoid_property_test"
+  "monoid_property_test.pdb"
+  "monoid_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monoid_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_graph_test.dir/multi_graph_test.cc.o"
+  "CMakeFiles/multi_graph_test.dir/multi_graph_test.cc.o.d"
+  "multi_graph_test"
+  "multi_graph_test.pdb"
+  "multi_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

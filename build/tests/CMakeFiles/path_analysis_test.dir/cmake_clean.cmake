@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_analysis_test.dir/path_analysis_test.cc.o"
+  "CMakeFiles/path_analysis_test.dir/path_analysis_test.cc.o.d"
+  "path_analysis_test"
+  "path_analysis_test.pdb"
+  "path_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

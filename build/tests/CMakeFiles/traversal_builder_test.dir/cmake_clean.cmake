@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traversal_builder_test.dir/traversal_builder_test.cc.o"
+  "CMakeFiles/traversal_builder_test.dir/traversal_builder_test.cc.o.d"
+  "traversal_builder_test"
+  "traversal_builder_test.pdb"
+  "traversal_builder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traversal_builder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
