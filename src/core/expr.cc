@@ -68,14 +68,29 @@ PathExprPtr PathExpr::MakePower(PathExprPtr inner, size_t n) {
 
 namespace {
 
+// Charges an intermediate materialization against the guard's memory
+// budget (no-op when ungoverned).
+Status ChargeMaterialization(ExecContext* exec, const PathSet& set) {
+  if (exec == nullptr) return Status::OK();
+  return exec->ChargeBytes(ApproxBytes(set));
+}
+
 // Star/Plus closure: ⋃_{k} base ⋈◦ ... ⋈◦ base, expanding until the frontier
 // is empty (fixed point — happens on DAG-shaped inputs) or `rounds`
 // repetitions were unrolled. `include_epsilon` distinguishes R* from R+.
 Result<PathSet> JointClosure(const PathSet& base, bool include_epsilon,
-                             size_t rounds, const PathSetLimits& limits) {
+                             size_t rounds, const EvalOptions& options) {
+  const PathSetLimits& limits = options.limits;
   PathSet acc = include_epsilon ? PathSet::EpsilonSet() : PathSet();
   PathSet frontier = base;
   for (size_t k = 0; k < rounds && !frontier.empty(); ++k) {
+    if (options.exec != nullptr) {
+      // One step per frontier path about to be extended; this is where
+      // star languages on cyclic graphs blow up, so the deadline and step
+      // budget must be polled inside the closure, not just per node.
+      MRPA_RETURN_IF_ERROR(options.exec->CheckStep(frontier.size() + 1));
+      MRPA_RETURN_IF_ERROR(ChargeMaterialization(options.exec, frontier));
+    }
     acc = Union(acc, frontier);
     if (limits.max_paths && acc.size() > *limits.max_paths) {
       return Status::ResourceExhausted(
@@ -94,6 +109,11 @@ Result<PathSet> JointClosure(const PathSet& base, bool include_epsilon,
 
 Result<PathSet> PathExpr::Evaluate(const EdgeUniverse& universe,
                                    const EvalOptions& options) const {
+  if (options.exec != nullptr) {
+    // One step per node visit: bounds the recursion and polls the
+    // deadline/cancellation on a stride.
+    MRPA_RETURN_IF_ERROR(options.exec->CheckStep());
+  }
   switch (kind_) {
     case ExprKind::kEmpty:
       return PathSet();
@@ -115,26 +135,34 @@ Result<PathSet> PathExpr::Evaluate(const EdgeUniverse& universe,
       if (!lhs.ok()) return lhs.status();
       Result<PathSet> rhs = children_[1]->Evaluate(universe, options);
       if (!rhs.ok()) return rhs.status();
-      return ConcatenativeJoin(lhs.value(), rhs.value(), options.limits);
+      Result<PathSet> joined =
+          ConcatenativeJoin(lhs.value(), rhs.value(), options.limits);
+      if (!joined.ok()) return joined.status();
+      MRPA_RETURN_IF_ERROR(ChargeMaterialization(options.exec, *joined));
+      return joined;
     }
     case ExprKind::kProduct: {
       Result<PathSet> lhs = children_[0]->Evaluate(universe, options);
       if (!lhs.ok()) return lhs.status();
       Result<PathSet> rhs = children_[1]->Evaluate(universe, options);
       if (!rhs.ok()) return rhs.status();
-      return ConcatenativeProduct(lhs.value(), rhs.value(), options.limits);
+      Result<PathSet> product =
+          ConcatenativeProduct(lhs.value(), rhs.value(), options.limits);
+      if (!product.ok()) return product.status();
+      MRPA_RETURN_IF_ERROR(ChargeMaterialization(options.exec, *product));
+      return product;
     }
     case ExprKind::kStar: {
       Result<PathSet> base = children_[0]->Evaluate(universe, options);
       if (!base.ok()) return base.status();
       return JointClosure(base.value(), /*include_epsilon=*/true,
-                          options.max_star_expansion, options.limits);
+                          options.max_star_expansion, options);
     }
     case ExprKind::kPlus: {
       Result<PathSet> base = children_[0]->Evaluate(universe, options);
       if (!base.ok()) return base.status();
       return JointClosure(base.value(), /*include_epsilon=*/false,
-                          options.max_star_expansion, options.limits);
+                          options.max_star_expansion, options);
     }
     case ExprKind::kOptional: {
       Result<PathSet> base = children_[0]->Evaluate(universe, options);

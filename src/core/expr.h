@@ -60,6 +60,11 @@ struct EvalOptions {
   size_t max_star_expansion = 16;
   // Overall path-set size guard, applied to every intermediate result.
   PathSetLimits limits;
+  // Optional execution guard (deadline / budgets / cancellation), checked
+  // at every node visit, closure round, and intermediate materialization.
+  // Evaluation is bottom-up, so a trip surfaces as the guard's Status with
+  // no partial result; not owned, may be null (ungoverned).
+  ExecContext* exec = nullptr;
 };
 
 // An immutable expression node. Build with the factory functions below (or

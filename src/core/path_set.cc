@@ -204,6 +204,12 @@ PathSet PathSetBuilder::Build() {
   return out;
 }
 
+size_t ApproxBytes(const PathSet& set) {
+  size_t total = sizeof(PathSet);
+  for (const Path& p : set) total += ApproxBytes(p);
+  return total;
+}
+
 std::ostream& operator<<(std::ostream& os, const PathSet& set) {
   return os << set.ToString();
 }

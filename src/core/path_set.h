@@ -22,9 +22,18 @@
 #include <vector>
 
 #include "core/path.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace mrpa {
+
+// Estimated heap footprint of a materialized path / path set, the unit the
+// ExecContext memory budget is charged in. An estimate, not an accounting:
+// object headers and allocator slack are approximated by sizeof().
+inline size_t ApproxBytes(const Path& p) {
+  return sizeof(Path) + p.length() * sizeof(Edge);
+}
+
 
 // Resource bounds for set-producing operations. Join/product output is
 // quadratic in the worst case; operations that would exceed `max_paths`
@@ -98,6 +107,25 @@ class PathSet {
 
   // Invariant: sorted ascending, no duplicates.
   std::vector<Path> paths_;
+};
+
+// Estimated heap footprint of a whole set, summed over its paths.
+size_t ApproxBytes(const PathSet& set);
+
+// A PathSet plus the truncation contract of DESIGN.md's "Execution
+// governance" section: when an ExecContext limit trips mid-evaluation, the
+// evaluator returns what it computed with `truncated = true`, the tripping
+// Status in `limit`, and the governance counters in `stats` — callers can
+// use the partial answer, retry with a larger budget, or surface `limit`.
+struct GovernedPathSet {
+  PathSet paths;
+  // True iff a limit stopped evaluation early; `paths` is then a subset of
+  // the full answer.
+  bool truncated = false;
+  // OK when complete; kResourceExhausted / kDeadlineExceeded / kCancelled
+  // (or an injected fault) when truncated.
+  Status limit;
+  ExecStats stats;
 };
 
 // ∪: set union of two path sets (linear merge).

@@ -1,48 +1,130 @@
 #include "core/traversal.h"
 
 #include <limits>
+#include <utility>
 
 namespace mrpa {
 
 namespace {
 
-// Left-to-right fold of ⋈◦ over per-step edge sets. The first step's edge
-// set seeds the accumulator; every later step extends paths whose head
-// matches. Iterating with an adjacency-aware extension (rather than
-// repeatedly calling the generic join) keeps this O(paths · out-degree).
-Result<PathSet> FoldJoin(const EdgeUniverse& universe,
-                         const std::vector<EdgePattern>& steps,
-                         const PathSetLimits& limits) {
-  if (steps.empty()) return PathSet::EpsilonSet();
-  const size_t limit =
-      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+// Left-to-right fold of ⋈◦ over per-step edge sets, threaded through the
+// execution guard. The first step's edge set seeds the accumulator; every
+// later step extends paths whose head matches. Iterating with an
+// adjacency-aware extension (rather than repeatedly calling the generic
+// join) keeps this O(paths · out-degree).
+//
+// Two failure regimes coexist:
+//   * limits.max_paths (the pre-governance API) stays a hard error — the
+//     whole evaluation returns ResourceExhausted with no partial result.
+//   * ctx budgets trip gracefully — the fold stops and reports whatever
+//     full-length paths it already yielded, flagged `truncated`.
+// The path budget is charged only for full-length (final level) paths, so a
+// budget of k yields the k first full-length paths in canonical order —
+// the same prefix StepPathIterator yields under the same budget.
+Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
+                                 const std::vector<EdgePattern>& steps,
+                                 const PathSetLimits& limits,
+                                 ExecContext& ctx) {
+  GovernedPathSet out;
+  if (steps.empty()) {
+    // The 0-step traversal denotes {ε}; ε still counts against the budget.
+    if (Status trip = ctx.ChargePaths(); !trip.ok()) {
+      out.truncated = true;
+      out.limit = std::move(trip);
+    } else {
+      out.paths = PathSet::EpsilonSet();
+    }
+    out.stats = ctx.Snapshot();
+    return out;
+  }
 
-  PathSet acc =
-      PathSet::FromEdges(CollectMatchingEdges(universe, steps.front()));
+  const size_t hard_limit =
+      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+  const size_t last_level = steps.size() - 1;
+  Status trip;
+
+  // Seed level: lift the matching edges into length-1 paths.
+  PathSetBuilder builder;
+  for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
+    if (!ctx.CheckStep().ok() ||
+        (last_level == 0 && !ctx.ChargePaths().ok()) ||
+        !ctx.ChargeBytes(sizeof(Path) + sizeof(Edge)).ok()) {
+      trip = ctx.limit_status();
+      break;
+    }
+    builder.Add(Path(e));
+  }
+  if (!trip.ok()) {
+    out.truncated = true;
+    out.limit = std::move(trip);
+    if (last_level == 0) out.paths = builder.Build();
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+  PathSet acc = builder.Build();
+
   for (size_t k = 1; k < steps.size() && !acc.empty(); ++k) {
     const EdgePattern& step = steps[k];
-    PathSetBuilder builder;
+    const bool final_level = k == last_level;
     Status overflow;
     for (const Path& p : acc) {
       // Extend p with matching out-edges of its head — an index-backed
       // equijoin on γ+(p) = γ−(e), narrowed to the label sub-run when the
-      // step pins one label.
+      // step pins one label. The path budget is charged per emitted path
+      // (so a budget of k keeps exactly the first k), but steps and bytes
+      // are batched per source path to keep the guard off the innermost
+      // loop — those budgets have one-out-run granularity.
+      const size_t bytes_per_edge = ApproxBytes(p) + sizeof(Edge);
+      size_t expanded = 0;
       ForEachMatchingOutEdge(universe, p.Head(), step, [&](const Edge& e) {
-        if (!overflow.ok()) return;
-        if (builder.staged_size() >= limit) {
+        if (!overflow.ok() || !trip.ok()) return;
+        if (builder.staged_size() >= hard_limit) {
           overflow = Status::ResourceExhausted(
-              "traversal exceeded max_paths = " + std::to_string(limit));
+              "traversal exceeded max_paths = " + std::to_string(hard_limit));
           return;
         }
+        if (final_level && !ctx.ChargePaths().ok()) {
+          trip = ctx.limit_status();
+          return;
+        }
+        ++expanded;
         Path extended = p;
         extended.Append(e);
         builder.Add(std::move(extended));
       });
       if (!overflow.ok()) return overflow;
+      if (trip.ok() && (!ctx.CheckStep(expanded + 1).ok() ||
+                        !ctx.ChargeBytes(expanded * bytes_per_edge).ok())) {
+        trip = ctx.limit_status();
+      }
+      if (!trip.ok()) break;
+    }
+    if (!trip.ok()) {
+      out.truncated = true;
+      out.limit = std::move(trip);
+      if (final_level) out.paths = builder.Build();
+      out.stats = ctx.Snapshot();
+      return out;
     }
     acc = builder.Build();
   }
-  return acc;
+  out.paths = std::move(acc);
+  out.stats = ctx.Snapshot();
+  return out;
+}
+
+// The ungoverned entry points run under a fresh unlimited context; the only
+// way it can trip is an armed fault injector, which is surfaced as the
+// error the injector prescribed.
+Result<PathSet> FoldJoinStrict(const EdgeUniverse& universe,
+                               const std::vector<EdgePattern>& steps,
+                               const PathSetLimits& limits) {
+  ExecContext unlimited;
+  Result<GovernedPathSet> result =
+      FoldJoin(universe, steps, limits, unlimited);
+  if (!result.ok()) return result.status();
+  if (result->truncated) return result->limit;
+  return std::move(result->paths);
 }
 
 std::vector<EdgePattern> UniformSteps(size_t n, const EdgePattern& pattern) {
@@ -53,7 +135,7 @@ std::vector<EdgePattern> UniformSteps(size_t n, const EdgePattern& pattern) {
 
 Result<PathSet> CompleteTraversal(const EdgeUniverse& universe, size_t n,
                                   const PathSetLimits& limits) {
-  return FoldJoin(universe, UniformSteps(n, EdgePattern::Any()), limits);
+  return FoldJoinStrict(universe, UniformSteps(n, EdgePattern::Any()), limits);
 }
 
 Result<PathSet> SourceTraversal(const EdgeUniverse& universe,
@@ -62,7 +144,7 @@ Result<PathSet> SourceTraversal(const EdgeUniverse& universe,
   if (n == 0) return PathSet::EpsilonSet();
   std::vector<EdgePattern> steps = UniformSteps(n, EdgePattern::Any());
   steps.front() = EdgePattern::FromAnyOf(sources, complement);
-  return FoldJoin(universe, steps, limits);
+  return FoldJoinStrict(universe, steps, limits);
 }
 
 Result<PathSet> DestinationTraversal(const EdgeUniverse& universe,
@@ -72,7 +154,7 @@ Result<PathSet> DestinationTraversal(const EdgeUniverse& universe,
   if (n == 0) return PathSet::EpsilonSet();
   std::vector<EdgePattern> steps = UniformSteps(n, EdgePattern::Any());
   steps.back() = EdgePattern::IntoAnyOf(destinations, complement);
-  return FoldJoin(universe, steps, limits);
+  return FoldJoinStrict(universe, steps, limits);
 }
 
 Result<PathSet> SourceDestinationTraversal(
@@ -89,7 +171,7 @@ Result<PathSet> SourceDestinationTraversal(
   } else {
     steps.back() = EdgePattern::IntoAnyOf(destinations);
   }
-  return FoldJoin(universe, steps, limits);
+  return FoldJoinStrict(universe, steps, limits);
 }
 
 Result<PathSet> LabeledTraversal(
@@ -102,12 +184,18 @@ Result<PathSet> LabeledTraversal(
     steps.push_back(labels.empty() ? EdgePattern::Any()
                                    : EdgePattern::LabeledAnyOf(labels));
   }
-  return FoldJoin(universe, steps, limits);
+  return FoldJoinStrict(universe, steps, limits);
 }
 
 Result<PathSet> Traverse(const EdgeUniverse& universe,
                          const TraversalSpec& spec) {
-  return FoldJoin(universe, spec.steps, spec.limits);
+  return FoldJoinStrict(universe, spec.steps, spec.limits);
+}
+
+Result<GovernedPathSet> TraverseGoverned(const EdgeUniverse& universe,
+                                         const TraversalSpec& spec,
+                                         ExecContext& ctx) {
+  return FoldJoin(universe, spec.steps, spec.limits, ctx);
 }
 
 }  // namespace mrpa

@@ -67,6 +67,18 @@ struct TraversalSpec {
 Result<PathSet> Traverse(const EdgeUniverse& universe,
                          const TraversalSpec& spec);
 
+// Governed evaluation: the same fold, threaded through `ctx`. When a budget,
+// deadline, or cancellation trips, the result is returned OK with
+// `truncated = true`, the tripping Status in `limit`, and whatever
+// full-length paths were already yielded in `paths` (paths yielded under a
+// budget of k are exactly the k first paths in the set's canonical order).
+// A trip at an intermediate join level yields an empty (but still truncated)
+// set — only full-length paths are ever reported. spec.limits.max_paths
+// keeps its hard-error semantics (non-OK Result), as in Traverse().
+Result<GovernedPathSet> TraverseGoverned(const EdgeUniverse& universe,
+                                         const TraversalSpec& spec,
+                                         ExecContext& ctx);
+
 }  // namespace mrpa
 
 #endif  // MRPA_CORE_TRAVERSAL_H_

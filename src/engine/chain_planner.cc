@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "core/simplify.h"
+#include "core/traversal.h"
 
 namespace mrpa {
 
@@ -94,74 +96,111 @@ ChainPlan PlanChain(const EdgeUniverse& universe,
 
 namespace {
 
-Result<PathSet> EvaluateForward(const EdgeUniverse& universe,
-                                const std::vector<EdgePattern>& steps,
-                                const PathSetLimits& limits) {
-  const size_t limit =
+// Backward evaluation, threaded through the execution guard. The forward
+// direction is exactly the §III fold and delegates to TraverseGoverned;
+// this one seeds with the last step and extends paths at their tail via
+// the in-index. The path budget is charged for full-length (final level,
+// k == 0) paths only, mirroring the forward accounting.
+Result<GovernedPathSet> EvaluateBackwardGoverned(
+    const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
+    const PathSetLimits& limits, ExecContext& ctx) {
+  GovernedPathSet out;
+  const size_t hard_limit =
       limits.max_paths.value_or(std::numeric_limits<size_t>::max());
-  PathSet acc =
-      PathSet::FromEdges(CollectMatchingEdges(universe, steps.front()));
-  for (size_t k = 1; k < steps.size() && !acc.empty(); ++k) {
-    PathSetBuilder builder;
-    Status overflow;
-    for (const Path& p : acc) {
-      ForEachMatchingOutEdge(
-          universe, p.Head(), steps[k], [&](const Edge& e) {
-            if (!overflow.ok()) return;
-            if (builder.staged_size() >= limit) {
-              overflow = Status::ResourceExhausted(
-                  "chain evaluation exceeded max_paths = " +
-                  std::to_string(limit));
-              return;
-            }
-            Path extended = p;
-            extended.Append(e);
-            builder.Add(std::move(extended));
-          });
-      if (!overflow.ok()) return overflow;
-    }
-    acc = builder.Build();
-  }
-  return acc;
-}
+  Status trip;
 
-Result<PathSet> EvaluateBackward(const EdgeUniverse& universe,
-                                 const std::vector<EdgePattern>& steps,
-                                 const PathSetLimits& limits) {
-  const size_t limit =
-      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
-  PathSet acc =
-      PathSet::FromEdges(CollectMatchingEdges(universe, steps.back()));
+  PathSetBuilder builder;
+  for (const Edge& e : CollectMatchingEdges(universe, steps.back())) {
+    if (trip = ctx.CheckStep(); !trip.ok()) break;
+    if (steps.size() == 1) {
+      if (trip = ctx.ChargePaths(); !trip.ok()) break;
+    }
+    if (trip = ctx.ChargeBytes(sizeof(Path) + sizeof(Edge)); !trip.ok()) {
+      break;
+    }
+    builder.Add(Path(e));
+  }
+  if (!trip.ok()) {
+    out.truncated = true;
+    out.limit = std::move(trip);
+    if (steps.size() == 1) out.paths = builder.Build();
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+  PathSet acc = builder.Build();
+
   for (size_t k = steps.size() - 1; k-- > 0 && !acc.empty();) {
-    PathSetBuilder builder;
+    const bool final_level = k == 0;
     for (const Path& p : acc) {
       // Extend at the tail: edges whose head is γ−(p), via the in-index.
       for (EdgeIndex idx : universe.InEdgeIndices(p.Tail())) {
         const Edge& e = universe.EdgeAt(idx);
+        if (trip = ctx.CheckStep(); !trip.ok()) break;
         if (!steps[k].Matches(e)) continue;
-        if (builder.staged_size() >= limit) {
+        if (builder.staged_size() >= hard_limit) {
           return Status::ResourceExhausted(
               "chain evaluation exceeded max_paths = " +
-              std::to_string(limit));
+              std::to_string(hard_limit));
+        }
+        if (final_level) {
+          if (trip = ctx.ChargePaths(); !trip.ok()) break;
+        }
+        if (trip = ctx.ChargeBytes(ApproxBytes(p) + sizeof(Edge));
+            !trip.ok()) {
+          break;
         }
         builder.Add(Path(e).Concat(p));
       }
+      if (!trip.ok()) break;
+    }
+    if (!trip.ok()) {
+      out.truncated = true;
+      out.limit = std::move(trip);
+      if (final_level) out.paths = builder.Build();
+      out.stats = ctx.Snapshot();
+      return out;
     }
     acc = builder.Build();
   }
-  return acc;
+  out.paths = std::move(acc);
+  out.stats = ctx.Snapshot();
+  return out;
 }
 
 }  // namespace
+
+Result<GovernedPathSet> EvaluateChainGoverned(
+    const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
+    ChainDirection direction, ExecContext& ctx, const PathSetLimits& limits) {
+  if (steps.empty()) {
+    GovernedPathSet out;
+    if (Status trip = ctx.ChargePaths(); !trip.ok()) {
+      out.truncated = true;
+      out.limit = std::move(trip);
+    } else {
+      out.paths = PathSet::EpsilonSet();
+    }
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+  if (direction == ChainDirection::kForward) {
+    return TraverseGoverned(universe, TraversalSpec{steps, limits}, ctx);
+  }
+  return EvaluateBackwardGoverned(universe, steps, limits, ctx);
+}
 
 Result<PathSet> EvaluateChain(const EdgeUniverse& universe,
                               const std::vector<EdgePattern>& steps,
                               ChainDirection direction,
                               const PathSetLimits& limits) {
-  if (steps.empty()) return PathSet::EpsilonSet();
-  return direction == ChainDirection::kForward
-             ? EvaluateForward(universe, steps, limits)
-             : EvaluateBackward(universe, steps, limits);
+  // Ungoverned: run under an unlimited context. The only possible trip is
+  // an armed fault injector, surfaced as the injected error.
+  ExecContext unlimited;
+  Result<GovernedPathSet> result =
+      EvaluateChainGoverned(universe, steps, direction, unlimited, limits);
+  if (!result.ok()) return result.status();
+  if (result->truncated) return result->limit;
+  return std::move(result->paths);
 }
 
 Result<PathSet> EvaluatePlanned(const PathExpr& expr,
@@ -174,6 +213,36 @@ Result<PathSet> EvaluatePlanned(const PathExpr& expr,
   if (!chain.has_value()) return simplified->Evaluate(universe, options);
   ChainPlan plan = PlanChain(universe, *chain);
   return EvaluateChain(universe, *chain, plan.direction, options.limits);
+}
+
+Result<GovernedPathSet> EvaluatePlannedGoverned(const PathExpr& expr,
+                                                const EdgeUniverse& universe,
+                                                ExecContext& ctx,
+                                                const EvalOptions& options) {
+  PathExprPtr simplified = Simplify(expr.shared_from_this());
+  std::optional<std::vector<EdgePattern>> chain =
+      ExtractAtomChain(*simplified);
+  if (!chain.has_value()) {
+    // Non-chain fallback: the bottom-up evaluator has no salvageable
+    // prefix, so a trip degrades to an empty truncated result.
+    EvalOptions governed = options;
+    governed.exec = &ctx;
+    Result<PathSet> evaluated = simplified->Evaluate(universe, governed);
+    GovernedPathSet out;
+    if (evaluated.ok()) {
+      out.paths = std::move(evaluated).value();
+    } else if (ctx.Exceeded()) {
+      out.truncated = true;
+      out.limit = ctx.limit_status();
+    } else {
+      return evaluated.status();  // A real error, not a governance trip.
+    }
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+  ChainPlan plan = PlanChain(universe, *chain);
+  return EvaluateChainGoverned(universe, *chain, plan.direction, ctx,
+                               options.limits);
 }
 
 }  // namespace mrpa

@@ -67,11 +67,30 @@ Result<PathSet> EvaluateChain(const EdgeUniverse& universe,
                               ChainDirection direction,
                               const PathSetLimits& limits = {});
 
+// Governed evaluation (the truncation contract of core/traversal.h's
+// TraverseGoverned): a budget/deadline/cancellation trip returns the
+// full-length paths yielded so far with `truncated = true` instead of
+// discarding them. limits.max_paths keeps its hard-error semantics.
+Result<GovernedPathSet> EvaluateChainGoverned(
+    const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
+    ChainDirection direction, ExecContext& ctx,
+    const PathSetLimits& limits = {});
+
 // One-call form: extract, plan, evaluate; falls back to PathExpr::Evaluate
 // for non-chain expressions.
 Result<PathSet> EvaluatePlanned(const PathExpr& expr,
                                 const EdgeUniverse& universe,
                                 const EvalOptions& options = {});
+
+// Governed one-call form. For atom chains the trip yields a truncated
+// partial result; for the PathExpr::Evaluate fallback a trip yields an
+// empty truncated result (the evaluator materializes bottom-up, so there
+// is no meaningful prefix to salvage) — `limit` carries the Status either
+// way.
+Result<GovernedPathSet> EvaluatePlannedGoverned(const PathExpr& expr,
+                                                const EdgeUniverse& universe,
+                                                ExecContext& ctx,
+                                                const EvalOptions& options = {});
 
 }  // namespace mrpa
 

@@ -1,13 +1,22 @@
 #include "engine/path_iterator.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace mrpa {
 
 StepPathIterator::StepPathIterator(const EdgeUniverse& universe,
-                                   std::vector<EdgePattern> steps)
-    : universe_(universe), steps_(std::move(steps)) {
+                                   std::vector<EdgePattern> steps,
+                                   ExecContext* exec)
+    : universe_(universe), steps_(std::move(steps)), exec_(exec) {
   SeekToFirst();
+}
+
+void StepPathIterator::MarkTruncated(Status status) {
+  truncated_ = true;
+  status_ = std::move(status);
+  valid_ = false;
+  stack_.clear();
 }
 
 void StepPathIterator::SeekToFirst() {
@@ -15,15 +24,24 @@ void StepPathIterator::SeekToFirst() {
   current_ = Path();
   yielded_ = 0;
   exhausted_epsilon_ = false;
+  // A sticky ExecContext keeps a re-seek truncated too; the flags are only
+  // reset so status() reflects this seek's outcome.
+  truncated_ = false;
+  status_ = Status::OK();
 
   if (steps_.empty()) {
-    valid_ = true;  // The 0-step traversal denotes {ε}.
+    // The 0-step traversal denotes {ε}; ε still counts against the budget.
+    if (exec_ != nullptr && !exec_->ChargePaths().ok()) {
+      MarkTruncated(exec_->limit_status());
+      return;
+    }
+    valid_ = true;
     yielded_ = 1;
     return;
   }
 
   Frame root;
-  FillFrame(0, kInvalidVertex, root);
+  if (!FillFrame(0, kInvalidVertex, root)) return;
   stack_.push_back(std::move(root));
   valid_ = true;  // Tentative; Advance() clears it if nothing exists.
   Advance();
@@ -42,18 +60,26 @@ void StepPathIterator::Next() {
   Advance();
 }
 
-void StepPathIterator::FillFrame(size_t depth, VertexId prefix_head,
+bool StepPathIterator::FillFrame(size_t depth, VertexId prefix_head,
                                  Frame& frame) {
   frame.candidates.clear();
   frame.cursor = 0;
   const EdgePattern& step = steps_[depth];
   if (depth == 0) {
     frame.candidates = CollectMatchingEdges(universe_, step);
-    return;
+  } else {
+    ForEachMatchingOutEdge(universe_, prefix_head, step, [&](const Edge& e) {
+      frame.candidates.push_back(e);
+    });
   }
-  ForEachMatchingOutEdge(universe_, prefix_head, step, [&](const Edge& e) {
-    frame.candidates.push_back(e);
-  });
+  if (exec_ != nullptr &&
+      // One step per candidate considered — the same unit the materializing
+      // fold charges, so the two engines trip at comparable points.
+      !exec_->CheckStep(frame.candidates.size() + 1).ok()) {
+    MarkTruncated(exec_->limit_status());
+    return false;
+  }
+  return true;
 }
 
 void StepPathIterator::Advance() {
@@ -66,7 +92,11 @@ void StepPathIterator::Advance() {
       continue;
     }
     if (stack_.size() == steps_.size()) {
-      // A complete path: assemble it from the stack spine.
+      // A complete path: charge it, then assemble it from the stack spine.
+      if (exec_ != nullptr && !exec_->ChargePaths().ok()) {
+        MarkTruncated(exec_->limit_status());
+        return;
+      }
       std::vector<Edge> edges;
       edges.reserve(stack_.size());
       for (const Frame& frame : stack_) {
@@ -79,7 +109,7 @@ void StepPathIterator::Advance() {
     // Descend.
     const Edge& chosen = top.candidates[top.cursor];
     Frame next;
-    FillFrame(stack_.size(), chosen.head, next);
+    if (!FillFrame(stack_.size(), chosen.head, next)) return;
     stack_.push_back(std::move(next));
   }
   valid_ = false;

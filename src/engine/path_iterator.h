@@ -10,6 +10,20 @@
 // Usage follows the RocksDB Iterator idiom:
 //   StepPathIterator it(graph, steps);
 //   for (it.SeekToFirst(); it.Valid(); it.Next()) use(it.Current());
+//
+// Execution governance: pass an ExecContext to bound the enumeration. When
+// a budget, deadline, or cancellation trips, the iterator simply becomes
+// invalid — paths yielded before the trip were already streamed to the
+// caller (the iterator's natural truncation contract). Distinguish
+// exhaustion from truncation with truncated()/status() after the loop:
+//
+//   StepPathIterator it(graph, steps, &ctx);
+//   for (; it.Valid(); it.Next()) use(it.Current());
+//   if (it.truncated()) log(it.status());   // partial enumeration
+//
+// Under a path budget of k, the iterator yields exactly the first k paths
+// of the DFS order — the same k paths TraverseGoverned reports under the
+// same budget.
 
 #ifndef MRPA_ENGINE_PATH_ITERATOR_H_
 #define MRPA_ENGINE_PATH_ITERATOR_H_
@@ -22,18 +36,23 @@
 #include "core/edge_universe.h"
 #include "core/path.h"
 #include "core/path_set.h"
+#include "util/exec_context.h"
 
 namespace mrpa {
 
 class StepPathIterator {
  public:
   // `steps` may be empty, in which case the iterator yields exactly ε.
-  // The universe and the iterator must outlive each other's use; neither
-  // is owned.
+  // The universe, the iterator, and (when given) the ExecContext must
+  // outlive each other's use; none is owned. A null `exec` means
+  // ungoverned enumeration.
   StepPathIterator(const EdgeUniverse& universe,
-                   std::vector<EdgePattern> steps);
+                   std::vector<EdgePattern> steps,
+                   ExecContext* exec = nullptr);
 
   // Positions at the first path (implicitly called by the constructor).
+  // Note: re-seeking does not reset the ExecContext — budgets span the
+  // whole iterator lifetime.
   void SeekToFirst();
 
   bool Valid() const { return valid_; }
@@ -48,6 +67,12 @@ class StepPathIterator {
   // Paths yielded so far (including the current one).
   size_t yielded() const { return yielded_; }
 
+  // True once an ExecContext limit (or injected fault) stopped the
+  // enumeration early; status() is then the tripping Status. A naturally
+  // exhausted iterator has truncated() == false and an OK status().
+  bool truncated() const { return truncated_; }
+  const Status& status() const { return status_; }
+
  private:
   struct Frame {
     // The candidate edges for this step (the matching out-run of the
@@ -57,24 +82,31 @@ class StepPathIterator {
   };
 
   // Fills `frame` with step `depth` candidates extending `prefix_head`
-  // (ignored at depth 0).
-  void FillFrame(size_t depth, VertexId prefix_head, Frame& frame);
+  // (ignored at depth 0). Returns false when the step budget tripped.
+  bool FillFrame(size_t depth, VertexId prefix_head, Frame& frame);
 
   // Descends from the current stack until a full-length path is assembled
   // or the stack empties.
   void Advance();
 
+  // Records a governance trip and invalidates the iterator.
+  void MarkTruncated(Status status);
+
   const EdgeUniverse& universe_;
   std::vector<EdgePattern> steps_;
+  ExecContext* exec_;  // Nullable; not owned.
   std::vector<Frame> stack_;
   Path current_;
   bool valid_ = false;
   bool exhausted_epsilon_ = false;  // For the empty-steps case.
   size_t yielded_ = 0;
+  bool truncated_ = false;
+  Status status_;
 };
 
 // Drains the iterator into a PathSet — equivalent to Traverse() and used to
-// cross-check the two engines in tests.
+// cross-check the two engines in tests. A governed iterator that trips
+// mid-drain yields the prefix it managed; inspect it.truncated() after.
 PathSet DrainToPathSet(StepPathIterator& it);
 
 }  // namespace mrpa

@@ -126,6 +126,11 @@ GraphTraversal& GraphTraversal::WithMaxTraversers(size_t cap) {
   return *this;
 }
 
+GraphTraversal& GraphTraversal::WithExecContext(ExecContext* exec) {
+  exec_ = exec;
+  return *this;
+}
+
 namespace {
 
 bool LabelAllowed(const std::vector<uint32_t>& labels, LabelId label) {
@@ -191,12 +196,26 @@ Result<TraversalResult> GraphTraversal::Execute() const {
   TraversalResult result;
   std::vector<Traverser>& current = result.traversers;
 
+  // Governance trip: keep the partial population, flag it, and return OK —
+  // the truncation contract of DESIGN.md.
+  Status trip;
+  auto truncate = [&]() -> Result<TraversalResult> {
+    result.truncated = true;
+    result.limit = std::move(trip);
+    result.stats = exec_->Snapshot();
+    return result;
+  };
+
   for (const Step& step : steps_) {
     switch (step.kind) {
       case StepKind::kSeedAll: {
         current.clear();
         current.reserve(graph_->num_vertices());
         for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+          if (exec_ != nullptr && !exec_->CheckStep().ok()) {
+            trip = exec_->limit_status();
+            return truncate();
+          }
           current.push_back({Path(), v});
         }
         break;
@@ -204,6 +223,10 @@ Result<TraversalResult> GraphTraversal::Execute() const {
       case StepKind::kSeedIds: {
         current.clear();
         for (VertexId v : step.ids) {
+          if (exec_ != nullptr && !exec_->CheckStep().ok()) {
+            trip = exec_->limit_status();
+            return truncate();
+          }
           if (v < graph_->num_vertices()) current.push_back({Path(), v});
         }
         break;
@@ -215,20 +238,39 @@ Result<TraversalResult> GraphTraversal::Execute() const {
         for (const Traverser& t : current) {
           if (step.kind != StepKind::kMoveIn) {
             for (const Edge& e : graph_->OutEdges(t.cursor)) {
+              if (exec_ != nullptr &&
+                  (!exec_->CheckStep().ok() ||
+                   !exec_->ChargeBytes(ApproxBytes(t.history) + sizeof(Edge))
+                        .ok())) {
+                trip = exec_->limit_status();
+                break;
+              }
               if (!LabelAllowed(step.ids, e.label)) continue;
               Traverser moved{t.history, e.head};
               moved.history.Append(e);
               next.push_back(std::move(moved));
             }
           }
-          if (step.kind != StepKind::kMoveOut) {
+          if (trip.ok() && step.kind != StepKind::kMoveOut) {
             for (EdgeIndex idx : graph_->InEdgeIndices(t.cursor)) {
+              if (exec_ != nullptr &&
+                  (!exec_->CheckStep().ok() ||
+                   !exec_->ChargeBytes(ApproxBytes(t.history) + sizeof(Edge))
+                        .ok())) {
+                trip = exec_->limit_status();
+                break;
+              }
               const Edge& e = graph_->EdgeAt(idx);
               if (!LabelAllowed(step.ids, e.label)) continue;
               Traverser moved{t.history, e.tail};
               moved.history.Append(e);
               next.push_back(std::move(moved));
             }
+          }
+          if (!trip.ok()) {
+            // The partial `next` population reached the deepest step.
+            current = std::move(next);
+            return truncate();
           }
           if (next.size() > max_traversers_) {
             return Status::ResourceExhausted(
@@ -276,6 +318,24 @@ Result<TraversalResult> GraphTraversal::Execute() const {
         break;
       }
     }
+  }
+
+  // The path budget counts final result traversers, charged in canonical
+  // order — a budget of k keeps exactly the first k.
+  if (exec_ != nullptr) {
+    size_t kept = 0;
+    for (; kept < current.size(); ++kept) {
+      if (!exec_->ChargePaths().ok()) {
+        trip = exec_->limit_status();
+        break;
+      }
+    }
+    if (!trip.ok()) {
+      current.resize(kept);
+      result.truncated = true;
+      result.limit = std::move(trip);
+    }
+    result.stats = exec_->Snapshot();
   }
   return result;
 }

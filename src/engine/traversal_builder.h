@@ -32,6 +32,7 @@
 #include "core/expr.h"
 #include "core/path_set.h"
 #include "graph/multi_graph.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace mrpa {
@@ -43,6 +44,15 @@ struct Traverser {
 
 struct TraversalResult {
   std::vector<Traverser> traversers;
+
+  // Execution-governance outcome (see WithExecContext): when a budget,
+  // deadline, or cancellation tripped mid-pipeline, `truncated` is true,
+  // `limit` carries the tripping Status, and `traversers` holds the
+  // partial population at the deepest step reached. Ungoverned or
+  // within-budget runs leave truncated == false and limit OK.
+  bool truncated = false;
+  Status limit;
+  ExecStats stats;
 
   // The histories as a set.
   PathSet ToPathSet() const;
@@ -110,8 +120,18 @@ class GraphTraversal {
   // single-expression image).
   Result<PathExprPtr> ToExpr() const;
 
-  // Abort evaluation once more than this many traversers are live.
+  // Abort evaluation once more than this many traversers are live (a hard
+  // error, predating the governance machinery below).
   GraphTraversal& WithMaxTraversers(size_t cap);
+
+  // Governs Execute()/ToPathSet()/Cursors()/Count() with the context's
+  // deadline, budgets, and cancellation. On a trip the terminals degrade
+  // gracefully: Execute() returns OK with TraversalResult::truncated set
+  // and the partial traverser population (the path budget counts final
+  // result traversers, charged in order, so a budget of k keeps the first
+  // k). `exec` is not owned and must outlive the terminal call; pass
+  // nullptr to restore ungoverned evaluation.
+  GraphTraversal& WithExecContext(ExecContext* exec);
 
  private:
   enum class StepKind {
@@ -140,6 +160,7 @@ class GraphTraversal {
   const MultiRelationalGraph* graph_;
   std::vector<Step> steps_;
   size_t max_traversers_ = 1'000'000;
+  ExecContext* exec_ = nullptr;  // Nullable; not owned.
 };
 
 }  // namespace mrpa

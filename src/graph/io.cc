@@ -4,16 +4,82 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace mrpa {
 
-Result<MultiRelationalGraph> ReadGraphText(std::istream& in) {
+namespace {
+
+// Reads one line without buffering past the cap: a hostile overlong line
+// is flagged after max_bytes + 1 characters, not after the whole line is
+// in memory. Returns false at EOF with nothing read.
+bool ReadBoundedLine(std::istream& in, std::string& line, size_t max_bytes,
+                     bool& overlong) {
+  line.clear();
+  overlong = false;
+  bool read_any = false;
+  char c;
+  while (in.get(c)) {
+    read_any = true;
+    if (c == '\n') return true;
+    if (line.size() >= max_bytes) {
+      overlong = true;
+      return true;
+    }
+    line.push_back(c);
+  }
+  return read_any;
+}
+
+// Validates '@NNN' numeric-id tokens (WriteGraphText's encoding for
+// unnamed vertices/labels): a non-digit tail or an id past the cap marks
+// the input corrupt instead of silently interning a fresh name.
+Status ValidateNumericToken(std::string_view token, uint32_t max_numeric_id,
+                            size_t line_number) {
+  if (token.size() < 2 || token.front() != '@') return Status::OK();
+  uint64_t value = 0;
+  for (char c : token.substr(1)) {
+    if (c < '0' || c > '9') {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": malformed numeric token '" +
+                                std::string(token) + "'");
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > max_numeric_id) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": numeric id out of range in '" +
+                                std::string(token) + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MultiRelationalGraph> ReadGraphText(std::istream& in,
+                                           const GraphReadLimits& limits) {
   MultiGraphBuilder builder;
   std::string line;
   size_t line_number = 0;
-  while (std::getline(in, line)) {
+  size_t edges = 0;
+  bool overlong = false;
+  while (ReadBoundedLine(in, line, limits.max_line_bytes, overlong)) {
     ++line_number;
+    MRPA_RETURN_IF_ERROR(FaultProbe(kFaultSiteIoRead));
+    if (limits.exec != nullptr) {
+      MRPA_RETURN_IF_ERROR(limits.exec->CheckStep());
+      MRPA_RETURN_IF_ERROR(limits.exec->ChargeBytes(line.size() + 1));
+    }
+    if (overlong) {
+      return Status::Corruption(
+          "line " + std::to_string(line_number) +
+          " exceeds max_line_bytes = " + std::to_string(limits.max_line_bytes));
+    }
+    if (limits.max_lines && line_number > *limits.max_lines) {
+      return Status::ResourceExhausted(
+          "input exceeds max_lines = " + std::to_string(*limits.max_lines));
+    }
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed.front() == '#') continue;
     std::vector<std::string_view> fields = SplitWhitespace(trimmed);
@@ -22,21 +88,43 @@ Result<MultiRelationalGraph> ReadGraphText(std::istream& in) {
                                 ": expected 3 fields, got " +
                                 std::to_string(fields.size()));
     }
+    for (std::string_view field : fields) {
+      MRPA_RETURN_IF_ERROR(
+          ValidateNumericToken(field, limits.max_numeric_id, line_number));
+    }
+    if (limits.max_edges && ++edges > *limits.max_edges) {
+      return Status::ResourceExhausted(
+          "input exceeds max_edges = " + std::to_string(*limits.max_edges));
+    }
     builder.AddEdge(fields[0], fields[1], fields[2]);
   }
   if (in.bad()) return Status::IOError("stream read failure");
   return builder.Build();
 }
 
-Result<MultiRelationalGraph> ReadGraphFromString(const std::string& text) {
+Result<MultiRelationalGraph> ReadGraphText(std::istream& in) {
+  return ReadGraphText(in, GraphReadLimits{});
+}
+
+Result<MultiRelationalGraph> ReadGraphFromString(const std::string& text,
+                                                 const GraphReadLimits& limits) {
   std::istringstream in(text);
-  return ReadGraphText(in);
+  return ReadGraphText(in, limits);
+}
+
+Result<MultiRelationalGraph> ReadGraphFromString(const std::string& text) {
+  return ReadGraphFromString(text, GraphReadLimits{});
+}
+
+Result<MultiRelationalGraph> ReadGraphFile(const std::string& path,
+                                           const GraphReadLimits& limits) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  return ReadGraphText(in, limits);
 }
 
 Result<MultiRelationalGraph> ReadGraphFile(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IOError("cannot open " + path);
-  return ReadGraphText(in);
+  return ReadGraphFile(path, GraphReadLimits{});
 }
 
 namespace {

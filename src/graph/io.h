@@ -12,18 +12,56 @@
 #ifndef MRPA_GRAPH_IO_H_
 #define MRPA_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "graph/multi_graph.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace mrpa {
 
-// Parses MRG-TSV from a stream / string / file.
+// Bounds for reading untrusted MRG-TSV input. The reader consumes the
+// stream one character at a time against these limits, so a hostile input
+// trips a clean error instead of ballooning memory or spinning unbounded:
+//
+//   * an overlong line is kCorruption after max_line_bytes + 1 characters,
+//     before the rest of the line is buffered;
+//   * line/edge caps trip kResourceExhausted;
+//   * '@NNN' numeric-id tokens (WriteGraphText's encoding for unnamed
+//     vertices/labels) must parse and stay ≤ max_numeric_id, otherwise
+//     kCorruption — a truncated or bit-flipped id is caught instead of
+//     being silently interned as a fresh name;
+//   * an attached ExecContext is charged one step per line and the line's
+//     bytes, so deadlines/cancellation interrupt large reads.
+//
+// Reads also pass a kFaultSiteIoRead probe per line, so tests can inject
+// deterministic I/O failures mid-file.
+struct GraphReadLimits {
+  // Longest accepted input line, in bytes (excluding the newline).
+  size_t max_line_bytes = 1 << 20;
+  // Caps on total input lines / accepted edges. nullopt = unlimited.
+  std::optional<size_t> max_lines;
+  std::optional<size_t> max_edges;
+  // Largest id accepted in '@NNN' tokens.
+  uint32_t max_numeric_id = 100'000'000;
+  // Optional execution guard. Not owned; may be null (unguarded).
+  ExecContext* exec = nullptr;
+};
+
+// Parses MRG-TSV from a stream / string / file. The unbounded overloads
+// use default GraphReadLimits — generous, but still hostile-input safe.
 Result<MultiRelationalGraph> ReadGraphText(std::istream& in);
+Result<MultiRelationalGraph> ReadGraphText(std::istream& in,
+                                           const GraphReadLimits& limits);
 Result<MultiRelationalGraph> ReadGraphFromString(const std::string& text);
+Result<MultiRelationalGraph> ReadGraphFromString(
+    const std::string& text, const GraphReadLimits& limits);
 Result<MultiRelationalGraph> ReadGraphFile(const std::string& path);
+Result<MultiRelationalGraph> ReadGraphFile(const std::string& path,
+                                           const GraphReadLimits& limits);
 
 // Writes MRG-TSV. Vertices or labels without names are written as numeric
 // ids prefixed with '@' (e.g. "@17"); ReadGraphText treats such tokens as

@@ -31,13 +31,22 @@ Frontier InitialFrontier(const Nfa& nfa) {
   return frontier;
 }
 
-// Collects accept-state stack tops into `out`; returns false once the
-// max_paths cap is exceeded.
+// Collects accept-state stack tops into `out`, charging newly accepted
+// paths against the guard; returns false once the max_paths cap is
+// exceeded or the guard tripped (the trip lands in `limit`).
 bool Collect(const Nfa& nfa, const Frontier& frontier, PathSet& out,
-             const GenerateOptions& options) {
+             const GenerateOptions& options, Status& limit) {
+  const size_t before = out.size();
   for (const auto& [pos, paths] : frontier) {
     if (pos.state != nfa.accept()) continue;
     out = Union(out, paths);
+  }
+  if (options.exec != nullptr && out.size() > before) {
+    if (Status trip = options.exec->ChargePaths(out.size() - before);
+        !trip.ok()) {
+      limit = std::move(trip);
+      return false;
+    }
   }
   return !(options.max_paths && out.size() > *options.max_paths);
 }
@@ -79,14 +88,19 @@ Result<GenerateResult> StackMachineGenerator::Generate(
 
   GenerateResult result;
   Frontier frontier = InitialFrontier(nfa_);
-  if (!Collect(nfa_, frontier, result.paths, options)) {
+  if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
     result.truncated = true;
     return result;
   }
 
   for (size_t round = 0; round < options.max_path_length; ++round) {
     Frontier next;
+    Status trip;
     for (const auto& [pos, working_set] : frontier) {
+      if (options.exec != nullptr &&
+          !(trip = options.exec->CheckStep(working_set.size() + 1)).ok()) {
+        break;
+      }
       for (const NfaTransition& t : nfa_.TransitionsFrom(pos.state)) {
         if (t.type != NfaTransition::Type::kConsume) continue;
         // Pop the working set, join it with the transition's edge set —
@@ -98,13 +112,25 @@ Result<GenerateResult> StackMachineGenerator::Generate(
                 : ConcatenativeJoin(working_set, pattern_sets[t.pattern_id]);
         if (!pushed.ok()) return pushed.status();
         if (pushed->empty()) continue;  // ∅ halts this branch.
+        if (options.exec != nullptr &&
+            !(trip = options.exec->ChargeBytes(ApproxBytes(*pushed))).ok()) {
+          break;
+        }
         Distribute(nfa_, {t.target, false}, pushed.value(), next);
       }
+      if (!trip.ok()) break;
+    }
+    if (!trip.ok()) {
+      // Graceful degradation: everything accepted through the last
+      // completed round stays in the result.
+      result.truncated = true;
+      result.limit = std::move(trip);
+      return result;
     }
     if (next.empty()) break;
     frontier = std::move(next);
     result.rounds = round + 1;
-    if (!Collect(nfa_, frontier, result.paths, options)) {
+    if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
       result.truncated = true;
       return result;
     }
@@ -132,14 +158,19 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
 
   GenerateResult result;
   Frontier frontier = InitialFrontier(nfa_);
-  if (!Collect(nfa_, frontier, result.paths, options)) {
+  if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
     result.truncated = true;
     return result;
   }
 
   for (size_t round = 0; round < options.max_path_length; ++round) {
     Frontier next;
+    Status trip;
     for (const auto& [pos, working_set] : frontier) {
+      if (options.exec != nullptr &&
+          !(trip = options.exec->CheckStep(working_set.size() + 1)).ok()) {
+        break;
+      }
       for (const NfaTransition& t : nfa_.TransitionsFrom(pos.state)) {
         if (t.type != NfaTransition::Type::kConsume) continue;
         const EdgePattern& pattern = nfa_.patterns()[t.pattern_id];
@@ -164,13 +195,23 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
         }
         PathSet pushed = builder.Build();
         if (pushed.empty()) continue;
+        if (options.exec != nullptr &&
+            !(trip = options.exec->ChargeBytes(ApproxBytes(pushed))).ok()) {
+          break;
+        }
         Distribute(nfa_, {t.target, false}, pushed, next);
       }
+      if (!trip.ok()) break;
+    }
+    if (!trip.ok()) {
+      result.truncated = true;
+      result.limit = std::move(trip);
+      return result;
     }
     if (next.empty()) break;
     frontier = std::move(next);
     result.rounds = round + 1;
-    if (!Collect(nfa_, frontier, result.paths, options)) {
+    if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
       result.truncated = true;
       return result;
     }

@@ -35,6 +35,7 @@
 #include "core/expr.h"
 #include "core/path_set.h"
 #include "regex/nfa.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace mrpa {
@@ -47,13 +48,23 @@ struct GenerateOptions {
   // generation stops at the end of the current round with truncated=true
   // (the returned set may slightly exceed the cap).
   std::optional<size_t> max_paths;
+  // Optional execution guard: the deadline, step budget, byte budget, and
+  // path budget are polled per frontier position and per materialized push.
+  // A trip degrades gracefully — the paths accepted so far come back with
+  // truncated=true and GenerateResult::limit carrying the trip Status.
+  // Not owned; may be null (ungoverned).
+  ExecContext* exec = nullptr;
 };
 
 struct GenerateResult {
   PathSet paths;
-  // True when the length bound stopped exploration while live branches
-  // remained (the language may extend past the bound).
+  // True when the length bound, the max_paths cap, or an execution-guard
+  // trip stopped exploration while live branches remained (the language
+  // may extend past what was enumerated).
   bool truncated = false;
+  // OK unless an execution guard tripped; then the tripping Status
+  // (kResourceExhausted / kDeadlineExceeded / kCancelled).
+  Status limit;
   // Number of frontier expansion rounds executed.
   size_t rounds = 0;
 };

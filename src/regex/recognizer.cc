@@ -11,12 +11,28 @@ Result<NfaRecognizer> NfaRecognizer::Compile(const PathExpr& expr) {
 }
 
 bool NfaRecognizer::Recognize(const Path& path) const {
+  // Ungoverned simulation never fails: the null-context impl only returns
+  // a non-OK Status when a guard is present.
+  return RecognizeImpl(path, nullptr).value();
+}
+
+Result<bool> NfaRecognizer::Recognize(const Path& path,
+                                      ExecContext& ctx) const {
+  return RecognizeImpl(path, &ctx);
+}
+
+Result<bool> NfaRecognizer::RecognizeImpl(const Path& path,
+                                          ExecContext* ctx) const {
   // Position 0 has no previous edge, so adjacency is vacuously satisfied:
   // start with the break armed.
   std::vector<NfaPosition> current = {{nfa_.start(), true}};
   EpsilonClose(nfa_, current);
 
   for (size_t n = 0; n < path.length(); ++n) {
+    if (ctx != nullptr) {
+      // The frontier width is the per-edge simulation cost.
+      MRPA_RETURN_IF_ERROR(ctx->CheckStep(current.size() + 1));
+    }
     const Edge& e = path.edge(n);
     const bool adjacent = n == 0 || path.edge(n - 1).head == e.tail;
     std::vector<NfaPosition> next;
@@ -59,6 +75,21 @@ Result<bool> DfaRecognizer::Recognize(const Path& path) {
   }
   uint32_t state = dfa_.start();
   for (const Edge& e : path) {
+    state = dfa_.Step(state, e);
+    if (state == LazyDfa::kDead) return false;
+  }
+  return dfa_.accepting(state);
+}
+
+Result<bool> DfaRecognizer::Recognize(const Path& path, ExecContext& ctx) {
+  if (!path.IsJoint()) {
+    return Status::InvalidArgument(
+        "DFA recognition requires a joint input path");
+  }
+  uint32_t state = dfa_.start();
+  for (const Edge& e : path) {
+    // One step per edge; lazy determinization may materialize a state here.
+    MRPA_RETURN_IF_ERROR(ctx.CheckStep());
     state = dfa_.Step(state, e);
     if (state == LazyDfa::kDead) return false;
   }

@@ -23,6 +23,7 @@
 #include "core/path.h"
 #include "regex/lazy_dfa.h"
 #include "regex/nfa.h"
+#include "util/exec_context.h"
 #include "util/status.h"
 
 namespace mrpa {
@@ -39,9 +40,17 @@ class NfaRecognizer {
   // start closure reaches the accept state.
   bool Recognize(const Path& path) const;
 
+  // Governed recognition: charges one step per live NFA position per input
+  // edge (the worst-case simulation cost), so adversarially wide frontiers
+  // trip the step budget or deadline instead of running unbounded. On a
+  // trip the verdict is unavailable — the guard's Status comes back.
+  Result<bool> Recognize(const Path& path, ExecContext& ctx) const;
+
   const Nfa& nfa() const { return nfa_; }
 
  private:
+  Result<bool> RecognizeImpl(const Path& path, ExecContext* ctx) const;
+
   Nfa nfa_;
 };
 
@@ -54,6 +63,10 @@ class DfaRecognizer {
   // Lazy recognition; non-const because new DFA states/transitions may be
   // materialized. Fails with InvalidArgument for disjoint input paths.
   Result<bool> Recognize(const Path& path);
+
+  // Governed recognition: one step charged per input edge (each may
+  // materialize a new DFA state). Trips surface as the guard's Status.
+  Result<bool> Recognize(const Path& path, ExecContext& ctx);
 
   // Introspection for tests and the E5 bench.
   size_t num_dfa_states() const { return dfa_.num_states(); }

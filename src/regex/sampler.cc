@@ -28,6 +28,18 @@ uint64_t PathSampler::Completions(uint32_t state, VertexId vertex,
       it != completion_counts_.end()) {
     return it->second;
   }
+  if (options_.exec != nullptr) {
+    if (guard_status_.ok()) {
+      Status trip = options_.exec->CheckStep();
+      if (trip.ok()) {
+        trip = options_.exec->ChargeBytes(sizeof(Key) + sizeof(uint64_t));
+      }
+      if (!trip.ok()) guard_status_ = std::move(trip);
+    }
+    // Once tripped, unwind without memoizing: the zeros are placeholders,
+    // not counts, and the caller surfaces guard_status_ instead.
+    if (!guard_status_.ok()) return 0;
+  }
   // "Stop here" is a completion iff the state accepts.
   uint64_t total = dfa_.accepting(state) ? 1 : 0;
   if (remaining > 0) {
@@ -48,6 +60,7 @@ Status PathSampler::Prepare(const EdgeUniverse& universe,
   options_ = options;
   completion_counts_.clear();
   overflowed_ = false;
+  guard_status_ = Status::OK();
   rng_.Seed(options.seed);
 
   epsilon_accepted_ = dfa_.accepting(dfa_.start());
@@ -61,6 +74,10 @@ Status PathSampler::Prepare(const EdgeUniverse& universe,
           Completions(next, e.head,
                       static_cast<uint32_t>(options.max_path_length) - 1));
     }
+  }
+  if (!guard_status_.ok()) {
+    prepared_ = false;
+    return guard_status_;
   }
   if (overflowed_ ||
       language_size_ == std::numeric_limits<uint64_t>::max()) {
@@ -96,9 +113,13 @@ Result<Path> PathSampler::Sample() {
 
   // First edge: drawn from the whole edge set.
   for (const Edge& e : universe_->AllEdges()) {
+    if (options_.exec != nullptr) {
+      MRPA_RETURN_IF_ERROR(options_.exec->CheckStep());
+    }
     uint32_t next = dfa_.Step(state, e);
     if (next == LazyDfa::kDead) continue;
     uint64_t below = Completions(next, e.head, remaining - 1);
+    if (!guard_status_.ok()) return guard_status_;
     if (rank < below) {
       path.Append(e);
       state = next;
@@ -123,9 +144,13 @@ Result<Path> PathSampler::Sample() {
     }
     bool stepped = false;
     for (const Edge& e : universe_->OutEdges(vertex)) {
+      if (options_.exec != nullptr) {
+        MRPA_RETURN_IF_ERROR(options_.exec->CheckStep());
+      }
       uint32_t next = dfa_.Step(state, e);
       if (next == LazyDfa::kDead) continue;
       uint64_t below = Completions(next, e.head, remaining - 1);
+      if (!guard_status_.ok()) return guard_status_;
       if (rank < below) {
         path.Append(e);
         state = next;

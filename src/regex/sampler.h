@@ -28,6 +28,7 @@
 #include "core/expr.h"
 #include "core/path.h"
 #include "regex/lazy_dfa.h"
+#include "util/exec_context.h"
 #include "util/random.h"
 #include "util/status.h"
 
@@ -38,6 +39,11 @@ struct SampleOptions {
   // (the ε path included when accepted).
   size_t max_path_length = 8;
   uint64_t seed = 1;
+  // Optional execution guard. The completion-count DP charges one step and
+  // one table entry's bytes per memoized cell; the guided walk charges one
+  // step per edge drawn. A trip aborts Prepare()/Sample() with the guard's
+  // Status — there is no partial sample to salvage. Not owned; may be null.
+  ExecContext* exec = nullptr;
 };
 
 class PathSampler {
@@ -83,6 +89,9 @@ class PathSampler {
   Rng rng_{1};
   bool prepared_ = false;
   bool overflowed_ = false;
+  // The DP recursion cannot propagate Status; a guard trip is recorded
+  // here and surfaced by Prepare()/Sample().
+  Status guard_status_;
 };
 
 }  // namespace mrpa

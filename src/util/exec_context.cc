@@ -1,0 +1,35 @@
+#include "util/exec_context.h"
+
+#include <string>
+
+namespace mrpa {
+
+const Status& ExecContext::TripStepBudget() {
+  return Trip(Status::ResourceExhausted("step budget exceeded (" +
+                                        std::to_string(max_steps_) +
+                                        " steps)"));
+}
+
+const Status& ExecContext::TripPathBudget() {
+  return Trip(Status::ResourceExhausted("path budget exceeded (" +
+                                        std::to_string(max_paths_) +
+                                        " paths)"));
+}
+
+const Status& ExecContext::TripByteBudget() {
+  return Trip(Status::ResourceExhausted("memory budget exceeded (" +
+                                        std::to_string(max_bytes_) +
+                                        " bytes)"));
+}
+
+const Status& ExecContext::Poll() {
+  if (token_.CancelRequested()) {
+    return Trip(Status::Cancelled("evaluation cancelled by caller"));
+  }
+  if (deadline_.has_value() && Clock::now() >= *deadline_) {
+    return Trip(Status::DeadlineExceeded("evaluation deadline exceeded"));
+  }
+  return limit_status_;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,48 @@
+#include "util/fault_injector.h"
+
+namespace mrpa {
+
+std::atomic<int> FaultInjector::armed_count_{0};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(std::string_view site, uint64_t nth, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) armed_count_.fetch_add(1, std::memory_order_relaxed);
+  armed_ = true;
+  site_ = std::string(site);
+  nth_ = nth;
+  status_ = std::move(status);
+  hits_.clear();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (armed_) armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  armed_ = false;
+  site_.clear();
+  nth_ = 0;
+  status_ = Status::OK();
+  hits_.clear();
+}
+
+Status FaultInjector::Probe(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return Status::OK();
+  auto it = hits_.find(site);
+  if (it == hits_.end()) it = hits_.emplace(std::string(site), 0).first;
+  ++it->second;
+  if (site == site_ && it->second == nth_) return status_;
+  return Status::OK();
+}
+
+uint64_t FaultInjector::Hits(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hits_.find(site);
+  return it == hits_.end() ? 0 : it->second;
+}
+
+}  // namespace mrpa

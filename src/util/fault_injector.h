@@ -1,0 +1,101 @@
+// Deterministic fault injection for exercising error paths.
+//
+// Error-handling code is only as honest as its tests, and most of the error
+// paths in this library (budget trips, allocation limits, I/O failures) are
+// hard to reach organically. The FaultInjector lets a test arm exactly one
+// failure — "fail the 3rd budget check with DeadlineExceeded" — and drive a
+// full evaluation through it deterministically.
+//
+// The injector is compiled in always and is a no-op unless armed: probe
+// sites guard on FaultInjector::AnyArmed(), a single relaxed atomic load,
+// before taking the locked slow path. Production code never arms it.
+//
+// Usage in tests (RAII, disarms on scope exit):
+//
+//   ScopedFault fault(kFaultSiteIoRead, /*nth=*/3, Status::IOError("boom"));
+//   auto graph = ReadGraphFromString(text);   // 3rd line read fails
+//   EXPECT_TRUE(graph.status().IsIOError());
+//
+// Probes are counted per site while armed, so tests can also assert how far
+// an evaluation got before the injected failure.
+
+#ifndef MRPA_UTIL_FAULT_INJECTOR_H_
+#define MRPA_UTIL_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace mrpa {
+
+// Canonical probe-site names. Sites are plain strings so subsystems can add
+// their own without touching this header.
+inline constexpr std::string_view kFaultSiteBudgetCheck = "exec.budget_check";
+inline constexpr std::string_view kFaultSiteAlloc = "exec.alloc_probe";
+inline constexpr std::string_view kFaultSiteIoRead = "io.read";
+
+class FaultInjector {
+ public:
+  // The process-wide injector used by all probe sites.
+  static FaultInjector& Global();
+
+  // True iff any injector is armed. The fast-path guard: relaxed atomic
+  // load, no lock.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) > 0;
+  }
+
+  // Arms the injector: the `nth` (1-based) probe of `site` after this call
+  // returns `status`; earlier and later probes return OK. Re-arming
+  // replaces the previous configuration and resets hit counters.
+  void Arm(std::string_view site, uint64_t nth, Status status);
+
+  // Disarms and resets hit counters.
+  void Disarm();
+
+  // Returns OK, or the armed status when this probe is the nth hit at the
+  // armed site. Called via the AnyArmed() guard; see MRPA_FAULT_PROBE.
+  Status Probe(std::string_view site);
+
+  // Probes observed at `site` since the injector was last armed.
+  uint64_t Hits(std::string_view site) const;
+
+ private:
+  FaultInjector() = default;
+
+  static std::atomic<int> armed_count_;
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  std::string site_;
+  uint64_t nth_ = 0;
+  Status status_;
+  std::map<std::string, uint64_t, std::less<>> hits_;
+};
+
+// The probe expression placed in guarded code: free unless armed.
+inline Status FaultProbe(std::string_view site) {
+  if (!FaultInjector::AnyArmed()) return Status::OK();
+  return FaultInjector::Global().Probe(site);
+}
+
+// Arms the global injector for the lifetime of the scope. Tests only.
+class ScopedFault {
+ public:
+  ScopedFault(std::string_view site, uint64_t nth, Status status) {
+    FaultInjector::Global().Arm(site, nth, std::move(status));
+  }
+  ~ScopedFault() { FaultInjector::Global().Disarm(); }
+
+  ScopedFault(const ScopedFault&) = delete;
+  ScopedFault& operator=(const ScopedFault&) = delete;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_FAULT_INJECTOR_H_

@@ -29,6 +29,8 @@ enum class StatusCode : int {
   kIOError = 7,           // Graph text I/O failure.
   kCorruption = 8,        // Malformed persistent or wire data.
   kInternal = 9,          // Invariant broken inside the library (a bug).
+  kDeadlineExceeded = 10, // A wall-clock deadline passed mid-evaluation.
+  kCancelled = 11,        // The caller cooperatively cancelled the work.
 };
 
 // Returns a stable human-readable name ("OK", "InvalidArgument", ...).
@@ -77,6 +79,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +103,10 @@ class Status {
   bool IsIOError() const { return code_ == StatusCode::kIOError; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   // "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,91 @@
+// Tests for the deterministic fault injector: arming, Nth-probe firing,
+// hit counting, RAII disarm, and interaction with the ExecContext probe
+// sites.
+
+#include "util/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/exec_context.h"
+
+namespace mrpa {
+namespace {
+
+TEST(FaultInjectorTest, DisarmedProbesAreFreeAndOk) {
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());
+  EXPECT_TRUE(FaultProbe("some.other.site").ok());
+}
+
+TEST(FaultInjectorTest, FiresOnExactlyTheNthProbe) {
+  ScopedFault fault(kFaultSiteIoRead, /*nth=*/3, Status::IOError("boom"));
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());
+  Status third = FaultProbe(kFaultSiteIoRead);
+  EXPECT_TRUE(third.IsIOError());
+  EXPECT_EQ(third.message(), "boom");
+  // Later probes are clean again (one-shot).
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());
+}
+
+TEST(FaultInjectorTest, OtherSitesAreUnaffected) {
+  ScopedFault fault(kFaultSiteIoRead, /*nth=*/1, Status::IOError("boom"));
+  EXPECT_TRUE(FaultProbe(kFaultSiteAlloc).ok());
+  EXPECT_TRUE(FaultProbe(kFaultSiteBudgetCheck).ok());
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).IsIOError());
+}
+
+TEST(FaultInjectorTest, CountsHitsPerSite) {
+  ScopedFault fault(kFaultSiteIoRead, /*nth=*/100, Status::IOError("never"));
+  for (int n = 0; n < 5; ++n) (void)FaultProbe(kFaultSiteIoRead);
+  for (int n = 0; n < 2; ++n) (void)FaultProbe(kFaultSiteAlloc);
+  EXPECT_EQ(FaultInjector::Global().Hits(kFaultSiteIoRead), 5u);
+  EXPECT_EQ(FaultInjector::Global().Hits(kFaultSiteAlloc), 2u);
+  EXPECT_EQ(FaultInjector::Global().Hits("never.probed"), 0u);
+}
+
+TEST(FaultInjectorTest, ScopedFaultDisarmsOnExit) {
+  {
+    ScopedFault fault(kFaultSiteIoRead, 1, Status::IOError("boom"));
+    EXPECT_TRUE(FaultInjector::AnyArmed());
+  }
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());
+}
+
+TEST(FaultInjectorTest, RearmingResetsHitCounters) {
+  FaultInjector::Global().Arm(kFaultSiteIoRead, 10, Status::IOError("a"));
+  (void)FaultProbe(kFaultSiteIoRead);
+  (void)FaultProbe(kFaultSiteIoRead);
+  FaultInjector::Global().Arm(kFaultSiteIoRead, 10, Status::IOError("b"));
+  EXPECT_EQ(FaultInjector::Global().Hits(kFaultSiteIoRead), 0u);
+  FaultInjector::Global().Disarm();
+}
+
+TEST(FaultInjectorTest, FailsNthBudgetCheckThroughExecContext) {
+  // An unlimited context trips only because the fault fires on its 4th
+  // budget check.
+  ScopedFault fault(kFaultSiteBudgetCheck, /*nth=*/4,
+                    Status::DeadlineExceeded("injected"));
+  ExecContext ctx;
+  EXPECT_TRUE(ctx.CheckStep().ok());
+  EXPECT_TRUE(ctx.CheckStep().ok());
+  EXPECT_TRUE(ctx.CheckStep().ok());
+  Status trip = ctx.CheckStep();
+  EXPECT_TRUE(trip.IsDeadlineExceeded()) << trip.ToString();
+  // Injected faults are sticky trips like any other limit.
+  EXPECT_TRUE(ctx.Exceeded());
+  EXPECT_TRUE(ctx.CheckStep().IsDeadlineExceeded());
+}
+
+TEST(FaultInjectorTest, FailsAllocationProbeThroughExecContext) {
+  ScopedFault fault(kFaultSiteAlloc, /*nth=*/1,
+                    Status::ResourceExhausted("injected oom"));
+  ExecContext ctx;
+  Status trip = ctx.ChargeBytes(8);
+  EXPECT_TRUE(trip.IsResourceExhausted());
+  EXPECT_EQ(trip.message(), "injected oom");
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -11,6 +11,7 @@
 #include "graph/io.h"
 #include "regex/generator.h"
 #include "regex/recognizer.h"
+#include "util/fault_injector.h"
 #include "util/random.h"
 
 namespace mrpa {
@@ -107,6 +108,74 @@ TEST_P(FuzzTest, GeneratorBoundsHoldOnDenseGraphs) {
   for (const Path& p : result->paths) {
     EXPECT_LE(p.length(), options.max_path_length);
     EXPECT_TRUE(p.IsJoint());
+  }
+}
+
+TEST_P(FuzzTest, GraphReaderRejectsCorruptNumericTokens) {
+  // '@NNN' is WriteGraphText's numeric-id encoding; a reader facing a
+  // bit-flipped or truncated id must report corruption, not intern noise.
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text = "a\tknows\tb\n";
+    switch (rng_.Below(3)) {
+      case 0:  // Garbage label: '@' with a non-digit tail.
+        text += "a\t@kn" + std::string(1, 'a' + rng_.Below(26)) + "ws\tb\n";
+        break;
+      case 1:  // Out-of-range vertex id (default cap is 100'000'000).
+        text += "@" +
+                std::to_string(100'000'001 + rng_.Below(1'000'000'000)) +
+                "\tknows\tb\n";
+        break;
+      default:  // Out-of-range head id.
+        text += "a\tknows\t@" + std::to_string(rng_.Below(10)) +
+                "9999999999\n";
+        break;
+    }
+    auto graph = ReadGraphFromString(text);
+    ASSERT_FALSE(graph.ok()) << text;
+    EXPECT_TRUE(graph.status().IsCorruption()) << graph.status().ToString();
+  }
+}
+
+TEST_P(FuzzTest, GraphReaderRejectsMidRecordEof) {
+  // Truncated uploads: the input ends mid-record (1 or 2 fields on the
+  // last line, no trailing newline). Must be corruption, never a crash or
+  // a silently half-read edge.
+  const std::string whole = "a\tknows\tb\nc\tlikes\td\ne\tknows\tf";
+  for (int trial = 0; trial < 50; ++trial) {
+    // Cut somewhere inside the final record.
+    size_t cut = whole.size() - 1 - rng_.Below(8);
+    auto graph = ReadGraphFromString(whole.substr(0, cut));
+    if (!graph.ok()) {
+      EXPECT_TRUE(graph.status().IsCorruption()) << cut;
+    } else {
+      // A cut that lands exactly on a record boundary parses fine but must
+      // not invent edges.
+      EXPECT_LE(graph->num_edges(), 3u);
+    }
+  }
+}
+
+TEST_P(FuzzTest, GraphReaderBoundsHostileLineLengths) {
+  // A single enormous line cannot make the bounded reader buffer it all.
+  GraphReadLimits limits;
+  limits.max_line_bytes = 64;
+  std::string text = "a\tknows\tb\n";
+  text += std::string(1'000 + rng_.Below(1'000), 'x');
+  auto graph = ReadGraphFromString(text, limits);
+  ASSERT_FALSE(graph.ok());
+  EXPECT_TRUE(graph.status().IsCorruption());
+}
+
+TEST_P(FuzzTest, GraphReaderSurvivesInjectedIoFailures) {
+  // Deterministic I/O faults at random line positions: always a clean
+  // kIOError, never a partial graph.
+  const std::string text = "a\tx\tb\nb\tx\tc\nc\tx\td\nd\tx\te\ne\tx\tf\n";
+  for (int trial = 0; trial < 20; ++trial) {
+    uint64_t nth = 1 + rng_.Below(5);
+    ScopedFault fault(kFaultSiteIoRead, nth, Status::IOError("lost sector"));
+    auto graph = ReadGraphFromString(text);
+    ASSERT_FALSE(graph.ok());
+    EXPECT_TRUE(graph.status().IsIOError());
   }
 }
 

@@ -89,6 +89,67 @@ TEST(WriteGraphTest, UnnamedIdsGetPlaceholders) {
   EXPECT_EQ(reread->num_edges(), 1u);
 }
 
+TEST(BoundedReaderTest, OverlongLineIsCorruption) {
+  GraphReadLimits limits;
+  limits.max_line_bytes = 16;
+  auto g = ReadGraphFromString(std::string(1'000, 'x') + "\ta\tb\n", limits);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsCorruption());
+  EXPECT_NE(g.status().message().find("max_line_bytes"), std::string::npos);
+}
+
+TEST(BoundedReaderTest, LineAtTheCapStillParses) {
+  GraphReadLimits limits;
+  limits.max_line_bytes = 5;  // "a r b" is exactly 5 bytes.
+  auto g = ReadGraphFromString("a r b\n", limits);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(BoundedReaderTest, MaxLinesTrips) {
+  GraphReadLimits limits;
+  limits.max_lines = 2;
+  auto g = ReadGraphFromString("a r b\nc r d\ne r f\n", limits);
+  ASSERT_FALSE(g.ok());
+  EXPECT_TRUE(g.status().IsResourceExhausted());
+}
+
+TEST(BoundedReaderTest, MaxEdgesTripsButCommentsAreFree) {
+  GraphReadLimits limits;
+  limits.max_edges = 2;
+  // Comments and blanks do not count against the edge cap.
+  auto ok = ReadGraphFromString("# c\n\na r b\nc r d\n", limits);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_edges(), 2u);
+  auto over = ReadGraphFromString("a r b\nc r d\ne r f\n", limits);
+  ASSERT_FALSE(over.ok());
+  EXPECT_TRUE(over.status().IsResourceExhausted());
+}
+
+TEST(BoundedReaderTest, NumericTokenValidation) {
+  // In-range numeric tokens parse as ordinary names (the write→read
+  // round-trip for unnamed ids)...
+  auto ok = ReadGraphFromString("@0 r @1\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->num_edges(), 1u);
+  // ...but a malformed tail or an out-of-range id is corruption.
+  auto garbage = ReadGraphFromString("@0x r @1\n");
+  EXPECT_TRUE(garbage.status().IsCorruption());
+  auto out_of_range = ReadGraphFromString("@999999999999 r @1\n");
+  EXPECT_TRUE(out_of_range.status().IsCorruption());
+  // A lone '@' stays an ordinary name.
+  auto bare = ReadGraphFromString("@ r b\n");
+  EXPECT_TRUE(bare.ok());
+}
+
+TEST(BoundedReaderTest, NumericIdCapIsConfigurable) {
+  GraphReadLimits tight;
+  tight.max_numeric_id = 10;
+  EXPECT_TRUE(
+      ReadGraphFromString("@11 r b\n", tight).status().IsCorruption());
+  EXPECT_TRUE(ReadGraphFromString("@10 r b\n", tight).ok());
+}
+
 TEST(ReadGraphFileTest, MissingFileIsIOError) {
   auto g = ReadGraphFile("/nonexistent/path/graph.tsv");
   EXPECT_TRUE(g.status().IsIOError());

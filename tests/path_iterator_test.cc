@@ -71,7 +71,9 @@ TEST(PathIteratorTest, YieldsInLexicographicOrder) {
   Path previous;
   bool first = true;
   for (; it.Valid(); it.Next()) {
-    if (!first) EXPECT_LT(previous, it.Current());
+    if (!first) {
+      EXPECT_LT(previous, it.Current());
+    }
     previous = it.Current();
     first = false;
   }
@@ -121,6 +123,86 @@ TEST(PathIteratorTest, YieldedCounter) {
     ++n;
     EXPECT_EQ(it.yielded(), n);
   }
+}
+
+// --- Execution governance (adversarial cases) -----------------------------
+
+MultiRelationalGraph DenseClique(uint32_t n) {
+  MultiGraphBuilder b;
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      if (i != j) b.AddEdge(i, 0, j);
+    }
+  }
+  return b.Build();
+}
+
+TEST(PathIteratorTest, EpsilonUnderZeroPathBudgetIsTruncatedNotValid) {
+  // The empty-step iterator denotes {ε}; even ε must respect the budget.
+  auto g = Chain();
+  ExecContext ctx = ExecContext::WithPathBudget(0);
+  StepPathIterator it(g, {}, &ctx);
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(it.truncated());
+  EXPECT_TRUE(it.status().IsResourceExhausted());
+  EXPECT_EQ(it.yielded(), 0u);
+}
+
+TEST(PathIteratorTest, DenseCliqueTripsPathBudgetMidAdvance) {
+  // K6, two any-steps: 30 · 5 = 150 full-length paths; the budget stops
+  // the DFS mid-enumeration with exactly the first 10 streamed out.
+  auto g = DenseClique(6);
+  ExecContext ctx = ExecContext::WithPathBudget(10);
+  StepPathIterator it(g, {EdgePattern::Any(), EdgePattern::Any()}, &ctx);
+  size_t streamed = 0;
+  for (; it.Valid(); it.Next()) ++streamed;
+  EXPECT_EQ(streamed, 10u);
+  EXPECT_TRUE(it.truncated());
+  EXPECT_TRUE(it.status().IsResourceExhausted());
+  EXPECT_EQ(ctx.Snapshot().paths_yielded, 10u);
+}
+
+TEST(PathIteratorTest, StepBudgetTripsDuringFrameFill) {
+  auto g = DenseClique(6);
+  ExecContext ctx = ExecContext::WithStepBudget(8);
+  StepPathIterator it(g, {EdgePattern::Any(), EdgePattern::Any()}, &ctx);
+  // The seed frame alone holds 30 candidates; the fill must trip before
+  // any path is yielded.
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(it.truncated());
+  EXPECT_TRUE(it.status().IsResourceExhausted());
+}
+
+TEST(PathIteratorTest, DrainMatchesTraverseGovernedAtSameBudget) {
+  // Both engines truncated at the same path budget must agree exactly:
+  // the budget keeps the first k paths of the canonical order in both.
+  auto g = DenseClique(5);
+  std::vector<EdgePattern> steps = {EdgePattern::Any(), EdgePattern::Any()};
+  for (size_t budget : {1u, 7u, 20u, 79u}) {
+    ExecContext iter_ctx = ExecContext::WithPathBudget(budget);
+    StepPathIterator it(g, steps, &iter_ctx);
+    PathSet lazy = DrainToPathSet(it);
+    EXPECT_TRUE(it.truncated()) << "budget=" << budget;
+
+    ExecContext fold_ctx = ExecContext::WithPathBudget(budget);
+    auto eager = TraverseGoverned(g, {steps, {}}, fold_ctx);
+    ASSERT_TRUE(eager.ok());
+    EXPECT_TRUE(eager->truncated) << "budget=" << budget;
+    EXPECT_EQ(lazy, eager->paths) << "budget=" << budget;
+    EXPECT_EQ(lazy.size(), budget);
+  }
+}
+
+TEST(PathIteratorTest, ReseekOnTrippedContextStaysTruncated) {
+  auto g = DenseClique(5);
+  ExecContext ctx = ExecContext::WithPathBudget(3);
+  StepPathIterator it(g, {EdgePattern::Any()}, &ctx);
+  while (it.Valid()) it.Next();
+  ASSERT_TRUE(it.truncated());
+  // The context is sticky, so a re-seek cannot yield more paths.
+  it.SeekToFirst();
+  EXPECT_FALSE(it.Valid());
+  EXPECT_TRUE(it.truncated());
 }
 
 }  // namespace

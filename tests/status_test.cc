@@ -23,6 +23,8 @@ TEST(StatusTest, FactoryCodesRoundTrip) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Corruption("x").IsCorruption());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
 }
 
 TEST(StatusTest, ErrorsAreNotOk) {
@@ -44,6 +46,9 @@ TEST(StatusTest, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
             "ResourceExhausted");
   EXPECT_EQ(StatusCodeToString(StatusCode::kCorruption), "Corruption");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "DeadlineExceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 TEST(StatusTest, StreamOperator) {
