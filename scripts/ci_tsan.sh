@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# ThreadSanitizer job for the parallel traversal engine.
+#
+# Builds the tree in a dedicated build directory with
+# -DMRPA_SANITIZE=thread (see the root CMakeLists.txt) and runs the
+# `parallel`-labeled ctest suites — thread_pool_test,
+# parallel_differential_test, recognizer_differential_test — under TSAN.
+# These are the suites that actually exercise cross-thread shard
+# expansion, the work-stealing pool, and the replay merge; the rest of the
+# test matrix is single-threaded and covered by the regular tier1 job.
+#
+# Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMRPA_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+# halt_on_error makes a single race fail the job instead of scrolling by;
+# second_deadlock_stack gives usable reports for lock-order findings.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+ctest --test-dir "${BUILD_DIR}" -L parallel --output-on-failure -j 2

@@ -1,6 +1,7 @@
 #include "core/path_set.h"
 
 #include <algorithm>
+#include <cassert>
 #include <iterator>
 #include <limits>
 #include <sstream>
@@ -36,6 +37,17 @@ PathSet PathSet::FromEdges(const std::vector<Edge>& edges) {
   paths.reserve(edges.size());
   for (const Edge& e : edges) paths.emplace_back(e);
   return PathSet(std::move(paths));
+}
+
+PathSet PathSet::FromSortedUnique(std::vector<Path> paths) {
+#ifndef NDEBUG
+  for (size_t i = 1; i < paths.size(); ++i) {
+    assert(paths[i - 1] < paths[i] && "FromSortedUnique: input not canonical");
+  }
+#endif
+  PathSet set;
+  set.paths_ = std::move(paths);
+  return set;
 }
 
 bool PathSet::Contains(const Path& p) const {

@@ -69,6 +69,13 @@ class PathSet {
   // Lifts a set of edges into P(E*) as length-1 paths (E ⊂ E*).
   static PathSet FromEdges(const std::vector<Edge>& edges);
 
+  // Adopts a vector the caller guarantees is already sorted ascending with
+  // no duplicates — O(1), no copy. The parallel traversal merge uses this:
+  // its shard concatenation is canonical by construction, and re-sorting
+  // would serialize the win. The invariant is assert-checked in debug
+  // builds and trusted in release.
+  static PathSet FromSortedUnique(std::vector<Path> paths);
+
   size_t size() const { return paths_.size(); }
   bool empty() const { return paths_.empty(); }
   bool Contains(const Path& p) const;

@@ -79,6 +79,51 @@ Result<GovernedPathSet> TraverseGoverned(const EdgeUniverse& universe,
                                          const TraversalSpec& spec,
                                          ExecContext& ctx);
 
+class ThreadPool;
+
+// Tuning knobs for the parallel fold. The defaults favor load balance: a
+// few shards per worker so the work-stealing pool can even out skewed
+// degree distributions (one hub vertex should not serialize a level).
+struct ParallelTraversalOptions {
+  // The pool to run on; nullptr falls back to the sequential fold.
+  ThreadPool* pool = nullptr;
+  // Seed shards per pool thread. More shards → better balance, more
+  // per-shard fixed cost.
+  size_t shards_per_thread = 4;
+  // Never cut shards smaller than this many seed paths; tiny inputs run on
+  // fewer shards (possibly one, i.e. effectively sequentially).
+  size_t min_shard_size = 16;
+  // When false (default) every shard speculates under the parent's FULL
+  // remaining budget, which is what guarantees byte-identical truncation:
+  // a shard can only trip at-or-after the point the sequential fold would,
+  // so the sequential-order accounting replay always trips first. When
+  // true, countable budgets are SplitAcross() the shards instead — bounded
+  // total speculation (worst case one budget's worth per shard becomes one
+  // budget total), at the cost that a shard's split share may trip before
+  // the sequential trip point; the result is then still a correct canonical
+  // prefix with accurate metadata, just possibly a shorter one.
+  bool split_budgets = false;
+};
+
+// The parallel §III fold. Seeds on the calling thread, shards the seed
+// paths into contiguous canonical-order slices, expands every shard
+// speculatively on the pool (quiet per-shard ExecContexts: shared cancel
+// token and absolute deadline, fault probes disabled), then replays the
+// shards' recorded accounting against `ctx` in exact sequential order.
+// Output — paths, canonical order, truncation flag, limit status, and
+// counters (elapsed time aside) — is byte-identical to TraverseGoverned for
+// step/path/byte budgets and injected faults; deadline and cancellation
+// trips depend on wall clock and may truncate at a different (still
+// canonical-prefix) point. See "Parallel traversal" in DESIGN.md.
+Result<GovernedPathSet> TraverseParallelGoverned(
+    const EdgeUniverse& universe, const TraversalSpec& spec, ExecContext& ctx,
+    const ParallelTraversalOptions& options);
+
+// Ungoverned parallel form: same contract as Traverse().
+Result<PathSet> TraverseParallel(const EdgeUniverse& universe,
+                                 const TraversalSpec& spec,
+                                 const ParallelTraversalOptions& options);
+
 }  // namespace mrpa
 
 #endif  // MRPA_CORE_TRAVERSAL_H_

@@ -1,0 +1,359 @@
+// The parallel §III fold: shard-speculate, then replay accounting.
+//
+// The algebra makes path enumeration embarrassingly parallel — the fold
+// distributes over union of seed-path slices — but PR 1's governance
+// contract is inherently sequential: "a path budget of k yields the first k
+// paths in canonical order", counters are exact, and the deterministic
+// FaultInjector trips on the nth probe. Naively splitting an ExecContext
+// across threads breaks all three (shards race for budget, probe order
+// scrambles). This file keeps byte-identical semantics with a two-phase
+// scheme:
+//
+//   1. SPECULATE. The seed level runs on the calling thread against the
+//      real context (exactly the sequential charge sequence). The seed
+//      paths — already in canonical order — are cut into contiguous
+//      shards, and each shard folds through the remaining levels on the
+//      pool under a *quiet* ExecContext (ExecContext::ShardContext: shared
+//      cancel token, shared absolute deadline, fault probes off) whose
+//      countable budgets bound speculation: the parent's full remaining
+//      budget by default, or a SplitAcross() share in thrifty mode. The
+//      shard records a ledger: per level, per source path, how many
+//      extensions it emitted and how the out-run ended.
+//
+//   2. REPLAY. The calling thread replays the ledgers against the real
+//      context in exactly the sequential fold's order — level-major, then
+//      shard-major (which is canonical source-path order, because shards
+//      are contiguous canonical slices and same-length extensions preserve
+//      prefix order). Each record replays the same guard calls with the
+//      same arguments the sequential fold would make (ChargePaths per
+//      final-level emission, batched CheckStep/ChargeBytes per source
+//      path, the hard max_paths check before every emission), so the trip
+//      point, sticky limit status, counters, and fault-probe sequence are
+//      identical. The merged output is the concatenation of shard results
+//      cut at the replayed emission count — canonical order by
+//      construction, adopted O(1) via PathSet::FromSortedUnique.
+//
+// Coverage argument (default, full-remaining budgets): a shard's local
+// charge for any prefix of its work equals the real context's charge for
+// that prefix MINUS earlier shards' contributions, so the shard trips
+// at-or-after the point the sequential fold would — replay always runs out
+// of real budget before it runs out of ledger. The exceptions are wall
+// clock (deadline/cancel trip whenever the clock says so; the replayed
+// prefix is still a correct canonical prefix with accurate metadata) and
+// thrifty split budgets (a shard's share can trip early; same guarantee).
+//
+// Thread-safety note: shards read the EdgeUniverse concurrently, so its
+// const accessors must be thread-safe. The immutable CSR snapshot
+// (MultiRelationalGraph) qualifies; DynamicMultiGraph's lazily rebuilt
+// indices do not — Freeze() first.
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/traversal.h"
+#include "util/thread_pool.h"
+
+namespace mrpa {
+
+namespace {
+
+// How one source path's out-run ended in the shard fold.
+enum class RunEnd : uint8_t {
+  // Fully enumerated; the post-run CheckStep/ChargeBytes passed locally.
+  kComplete,
+  // Final level only: the local ChargePaths tripped mid-run (there was at
+  // least one more matching edge).
+  kTripPaths,
+  // Fully enumerated, but the post-run CheckStep or ChargeBytes tripped.
+  kTripPost,
+  // A matching edge arrived with the shard's level-local emission count
+  // already at the hard max_paths cap. Since the global count is at least
+  // the local one, replay always converts this into the sequential hard
+  // error.
+  kTripHard,
+};
+
+struct SourceRecord {
+  uint32_t matches = 0;  // Extensions emitted for this source path.
+  RunEnd end = RunEnd::kComplete;
+};
+
+struct ShardLedger {
+  // levels[k-1] holds one record per level-k source path, in canonical
+  // order. A tripped shard stops recording, so its last record (trip kind)
+  // is the last entry of its last level; untripped shards record every
+  // level (possibly empty once their frontier dies out).
+  std::vector<std::vector<SourceRecord>> levels;
+  // Final-level emissions, canonical order by construction.
+  std::vector<Path> final_paths;
+  // The quiet context's trip status when the shard stopped early; OK for a
+  // completed shard. Only surfaced on under-coverage (split budgets or wall
+  // clock), where replay cannot reproduce the trip from the real context.
+  Status local_status;
+};
+
+// The shard fold: the same loop structure as the sequential FoldJoin,
+// charging a quiet speculation-bounding context and recording the ledger
+// instead of being the source of truth.
+void ExpandShard(const EdgeUniverse& universe,
+                 const std::vector<EdgePattern>& steps,
+                 const std::vector<Path>& seed, size_t begin, size_t end,
+                 size_t hard_limit, ExecContext&& quiet, ShardLedger& ledger) {
+  const size_t last_level = steps.size() - 1;
+  std::vector<Path> acc(seed.begin() + begin, seed.begin() + end);
+  ledger.levels.reserve(last_level);
+
+  for (size_t k = 1; k <= last_level; ++k) {
+    const EdgePattern& step = steps[k];
+    const bool final_level = k == last_level;
+    const size_t bytes_per_edge = sizeof(Path) + (k + 1) * sizeof(Edge);
+    std::vector<SourceRecord>& records = ledger.levels.emplace_back();
+    records.reserve(acc.size());
+    std::vector<Path> next;
+    size_t staged = 0;  // Level-local emissions, for the hard cap.
+    bool stopped = false;
+
+    for (const Path& p : acc) {
+      SourceRecord record;
+      bool stop = false;
+      ForEachMatchingOutEdge(universe, p.Head(), step, [&](const Edge& e) {
+        if (stop) return;
+        if (staged >= hard_limit) {
+          record.end = RunEnd::kTripHard;
+          stop = true;
+          return;
+        }
+        if (final_level && !quiet.ChargePaths().ok()) {
+          record.end = RunEnd::kTripPaths;
+          stop = true;
+          return;
+        }
+        ++record.matches;
+        ++staged;
+        Path extended = p;
+        extended.Append(e);
+        next.push_back(std::move(extended));
+      });
+      if (!stop &&
+          (!quiet.CheckStep(record.matches + 1).ok() ||
+           !quiet.ChargeBytes(record.matches * bytes_per_edge).ok())) {
+        record.end = RunEnd::kTripPost;
+        stop = true;
+      }
+      records.push_back(record);
+      if (stop) {
+        ledger.local_status = quiet.limit_status();
+        stopped = true;
+        break;
+      }
+    }
+    if (final_level) {
+      // Kept even when the shard stopped mid-level: the emissions made
+      // before the trip are a valid canonical prefix of the shard's
+      // output, and the replay merge cuts the concatenation at the
+      // replayed emission count.
+      ledger.final_paths = std::move(next);
+    } else if (!stopped) {
+      acc = std::move(next);
+    }
+    if (stopped) break;
+  }
+}
+
+Status HardOverflow(size_t hard_limit) {
+  return Status::ResourceExhausted("traversal exceeded max_paths = " +
+                                   std::to_string(hard_limit));
+}
+
+}  // namespace
+
+Result<GovernedPathSet> TraverseParallelGoverned(
+    const EdgeUniverse& universe, const TraversalSpec& spec, ExecContext& ctx,
+    const ParallelTraversalOptions& options) {
+  const std::vector<EdgePattern>& steps = spec.steps;
+  // Parallelism needs a pool and at least one expansion level beyond the
+  // seed; otherwise the sequential fold IS the semantics.
+  if (options.pool == nullptr || steps.size() < 2) {
+    return TraverseGoverned(universe, spec, ctx);
+  }
+
+  GovernedPathSet out;
+  const size_t hard_limit =
+      spec.limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+  const size_t last_level = steps.size() - 1;
+
+  // Seed level, on the calling thread against the real context —
+  // charge-for-charge the sequential seed loop (last_level > 0 here, so no
+  // ChargePaths).
+  std::vector<Path> seed;
+  Status trip;
+  for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
+    if (!ctx.CheckStep().ok() ||
+        !ctx.ChargeBytes(sizeof(Path) + sizeof(Edge)).ok()) {
+      trip = ctx.limit_status();
+      break;
+    }
+    seed.emplace_back(e);
+  }
+  if (!trip.ok()) {
+    out.truncated = true;
+    out.limit = std::move(trip);
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+  if (seed.empty()) {
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+
+  // Cut the seed into contiguous canonical slices.
+  const size_t min_shard = options.min_shard_size > 0 ? options.min_shard_size : 1;
+  size_t num_shards = options.pool->num_threads() *
+                      (options.shards_per_thread > 0 ? options.shards_per_thread : 1);
+  num_shards = std::min(num_shards, (seed.size() + min_shard - 1) / min_shard);
+  if (num_shards == 0) num_shards = 1;
+
+  std::vector<ExecLimits> shard_limits;
+  if (options.split_budgets) {
+    shard_limits = ctx.RemainingLimits().SplitAcross(num_shards);
+  } else {
+    shard_limits.assign(num_shards, ctx.RemainingLimits());
+  }
+
+  std::vector<ShardLedger> ledgers(num_shards);
+  const size_t base = seed.size() / num_shards;
+  const size_t extra = seed.size() % num_shards;
+  std::vector<std::pair<size_t, size_t>> ranges(num_shards);
+  {
+    size_t begin = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const size_t len = base + (s < extra ? 1 : 0);
+      ranges[s] = {begin, begin + len};
+      begin += len;
+    }
+  }
+
+  options.pool->ParallelFor(num_shards, [&](size_t s) {
+    ExpandShard(universe, steps, seed, ranges[s].first, ranges[s].second,
+                hard_limit, ExecContext::ShardContext(ctx, shard_limits[s]),
+                ledgers[s]);
+  });
+
+  // Replay: the sequential fold's exact guard-call sequence, fed from the
+  // ledgers in level-major, shard-major order.
+  size_t emitted = 0;  // Final-level emissions replayed so far.
+
+  // Assembles the governed result for a replay stop. `level` is the level
+  // being replayed when the stop happened; the sequential fold keeps the
+  // current level's partial output only when that level is final.
+  auto truncated = [&](size_t level, Status limit) {
+    out.truncated = true;
+    out.limit = std::move(limit);
+    if (level == last_level) {
+      std::vector<Path> merged;
+      merged.reserve(emitted);
+      for (const ShardLedger& ledger : ledgers) {
+        for (const Path& p : ledger.final_paths) {
+          if (merged.size() == emitted) break;
+          merged.push_back(p);
+        }
+        if (merged.size() == emitted) break;
+      }
+      out.paths = PathSet::FromSortedUnique(std::move(merged));
+    }
+    out.stats = ctx.Snapshot();
+    out.stats.truncated = true;  // Also set on under-coverage stops, where
+                                 // the real context never tripped.
+    return out;
+  };
+
+  for (size_t k = 1; k <= last_level; ++k) {
+    const bool final_level = k == last_level;
+    const size_t bytes_per_edge = sizeof(Path) + (k + 1) * sizeof(Edge);
+    size_t staged = 0;
+    for (size_t s = 0; s < num_shards; ++s) {
+      const ShardLedger& ledger = ledgers[s];
+      // A shard missing this level tripped earlier — but then replay of its
+      // trip record already returned. (Untripped shards record all levels.)
+      assert(k - 1 < ledger.levels.size());
+      for (const SourceRecord& r : ledger.levels[k - 1]) {
+        for (uint32_t j = 0; j < r.matches; ++j) {
+          if (staged >= hard_limit) return HardOverflow(hard_limit);
+          if (final_level) {
+            if (!ctx.ChargePaths().ok()) {
+              return truncated(k, ctx.limit_status());
+            }
+            ++emitted;
+          }
+          ++staged;
+        }
+        switch (r.end) {
+          case RunEnd::kComplete:
+            if (!ctx.CheckStep(r.matches + 1).ok() ||
+                !ctx.ChargeBytes(r.matches * bytes_per_edge).ok()) {
+              return truncated(k, ctx.limit_status());
+            }
+            break;
+          case RunEnd::kTripHard:
+            // Global staged >= shard-local staged >= hard_limit, and the
+            // shard saw one more matching edge — the sequential hard error.
+            if (staged >= hard_limit) return HardOverflow(hard_limit);
+            return truncated(k, ledger.local_status);  // Unreachable cover.
+          case RunEnd::kTripPaths: {
+            // The shard saw one more matching edge; sequentially it would
+            // face the hard cap, then ChargePaths. Probe the remaining
+            // budget instead of charging blindly: if the real budget is
+            // dry, charging reproduces the sequential trip; if not (split
+            // budgets / wall clock), this is under-coverage — stop with the
+            // shard's own status, without minting a phantom path charge.
+            if (staged >= hard_limit) return HardOverflow(hard_limit);
+            std::optional<size_t> left = ctx.RemainingLimits().max_paths;
+            if (left.has_value() && *left == 0) {
+              ctx.ChargePaths();  // Trips; records the sticky status.
+              return truncated(k, ctx.limit_status());
+            }
+            return truncated(k, ledger.local_status);
+          }
+          case RunEnd::kTripPost:
+            // Replay the batched charges; the counters advance either way
+            // (CheckStep/ChargeBytes keep their increments on trip, exactly
+            // like the sequential fold's accounting).
+            if (!ctx.CheckStep(r.matches + 1).ok() ||
+                !ctx.ChargeBytes(r.matches * bytes_per_edge).ok()) {
+              return truncated(k, ctx.limit_status());
+            }
+            return truncated(k, ledger.local_status);  // Under-coverage.
+        }
+      }
+    }
+  }
+
+  // No trip anywhere: merge every shard's speculative output wholesale.
+  std::vector<Path> merged;
+  merged.reserve(emitted);
+  for (ShardLedger& ledger : ledgers) {
+    for (Path& p : ledger.final_paths) merged.push_back(std::move(p));
+  }
+  out.paths = PathSet::FromSortedUnique(std::move(merged));
+  out.stats = ctx.Snapshot();
+  return out;
+}
+
+Result<PathSet> TraverseParallel(const EdgeUniverse& universe,
+                                 const TraversalSpec& spec,
+                                 const ParallelTraversalOptions& options) {
+  ExecContext unlimited;
+  Result<GovernedPathSet> result =
+      TraverseParallelGoverned(universe, spec, unlimited, options);
+  if (!result.ok()) return result.status();
+  if (result->truncated) return result->limit;
+  return std::move(result->paths);
+}
+
+}  // namespace mrpa

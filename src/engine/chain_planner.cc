@@ -245,4 +245,21 @@ Result<GovernedPathSet> EvaluatePlannedGoverned(const PathExpr& expr,
                                options.limits);
 }
 
+Result<GovernedPathSet> EvaluatePlannedParallelGoverned(
+    const PathExpr& expr, const EdgeUniverse& universe, ExecContext& ctx,
+    const ParallelTraversalOptions& parallel, const EvalOptions& options) {
+  PathExprPtr simplified = Simplify(expr.shared_from_this());
+  std::optional<std::vector<EdgePattern>> chain =
+      ExtractAtomChain(*simplified);
+  if (chain.has_value()) {
+    ChainPlan plan = PlanChain(universe, *chain);
+    if (plan.direction == ChainDirection::kForward) {
+      return TraverseParallelGoverned(
+          universe, TraversalSpec{*chain, options.limits}, ctx, parallel);
+    }
+  }
+  // Backward plans and non-chain expressions: the sequential machinery.
+  return EvaluatePlannedGoverned(*simplified, universe, ctx, options);
+}
+
 }  // namespace mrpa

@@ -30,6 +30,7 @@
 #include "core/edge_universe.h"
 #include "core/expr.h"
 #include "core/path_set.h"
+#include "core/traversal.h"
 #include "util/status.h"
 
 namespace mrpa {
@@ -91,6 +92,16 @@ Result<GovernedPathSet> EvaluatePlannedGoverned(const PathExpr& expr,
                                                 const EdgeUniverse& universe,
                                                 ExecContext& ctx,
                                                 const EvalOptions& options = {});
+
+// Governed one-call form with a parallel fold: forward-planned atom chains
+// run through TraverseParallelGoverned (byte-identical to the sequential
+// plan — see core/traversal.h); backward-planned chains and non-chain
+// expressions keep the sequential paths above (the in-index fold and the
+// bottom-up evaluator are not parallelized). A null parallel.pool makes
+// this exactly EvaluatePlannedGoverned.
+Result<GovernedPathSet> EvaluatePlannedParallelGoverned(
+    const PathExpr& expr, const EdgeUniverse& universe, ExecContext& ctx,
+    const ParallelTraversalOptions& parallel, const EvalOptions& options = {});
 
 }  // namespace mrpa
 

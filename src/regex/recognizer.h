@@ -19,14 +19,18 @@
 #define MRPA_REGEX_RECOGNIZER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "core/path.h"
+#include "core/path_set.h"
 #include "regex/lazy_dfa.h"
 #include "regex/nfa.h"
 #include "util/exec_context.h"
 #include "util/status.h"
 
 namespace mrpa {
+
+class ThreadPool;
 
 class NfaRecognizer {
  public:
@@ -46,10 +50,36 @@ class NfaRecognizer {
   // trip the verdict is unavailable — the guard's Status comes back.
   Result<bool> Recognize(const Path& path, ExecContext& ctx) const;
 
+  // Batch filtering: { p ∈ candidates | p ∈ L(R) }, the recognizer-guided
+  // step of §IV-A used to refine traversal output. With a pool, candidate
+  // slices are recognized concurrently (Recognize is const and
+  // thread-safe); the result is identical to the sequential loop.
+  PathSet AcceptedSubset(const PathSet& candidates,
+                         ThreadPool* pool = nullptr) const;
+
+  // Governed batch filtering. The sequential contract charges each path's
+  // simulation (one CheckStep(frontier+1) per input edge) in canonical
+  // candidate order; a trip stops the scan, and the result holds the
+  // accepted paths among the candidates fully recognized before the trip,
+  // with `truncated` set. With a pool, shards simulate speculatively under
+  // quiet sub-contexts (shared cancel/deadline, fault probes off) and the
+  // recorded frontier widths are replayed against `ctx` in sequential
+  // order, so output, truncation point, counters, and fault-probe sequence
+  // are byte-identical to the sequential run for countable budgets (wall
+  // clock may move the trip point; the result is then still a correct
+  // prefix of the scan).
+  Result<GovernedPathSet> AcceptedSubsetGoverned(const PathSet& candidates,
+                                                 ExecContext& ctx,
+                                                 ThreadPool* pool = nullptr) const;
+
   const Nfa& nfa() const { return nfa_; }
 
  private:
-  Result<bool> RecognizeImpl(const Path& path, ExecContext* ctx) const;
+  // When `widths` is non-null, the frontier width at each consumed edge is
+  // appended to it (the arguments of the CheckStep calls a governed run
+  // makes) — the recording hook of the parallel batch ledger.
+  Result<bool> RecognizeImpl(const Path& path, ExecContext* ctx,
+                             std::vector<uint32_t>* widths = nullptr) const;
 
   Nfa nfa_;
 };

@@ -39,6 +39,7 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "util/fault_injector.h"
 #include "util/status.h"
@@ -75,6 +76,16 @@ struct ExecLimits {
   std::optional<size_t> max_bytes;
 
   static ExecLimits Unlimited() { return {}; }
+
+  // Divides the countable budgets (paths/steps/bytes) across `n` shards:
+  // floor division, with the remainder spread one unit each over the first
+  // shards, so the shares always sum to EXACTLY the original budget — a
+  // budget of k split across n > k shards hands k shards one unit and the
+  // rest zero, never minting allowance. The timeout is NOT divided: wall
+  // clock elapses concurrently for every shard, so each share keeps the
+  // full remaining window (shard contexts inherit the parent's absolute
+  // deadline via ExecContext::ShardContext).
+  std::vector<ExecLimits> SplitAcross(size_t n) const;
 };
 
 // Counters describing how far an evaluation got. Returned by
@@ -148,7 +159,7 @@ class ExecContext {
   const Status& CheckStep(size_t n = 1) {
     if (!limit_status_.ok()) return limit_status_;
     stats_.steps_expanded += n;
-    if (FaultInjector::AnyArmed()) [[unlikely]] {
+    if (probe_faults_ && FaultInjector::AnyArmed()) [[unlikely]] {
       Status injected = FaultInjector::Global().Probe(kFaultSiteBudgetCheck);
       if (!injected.ok()) return Trip(std::move(injected));
     }
@@ -178,7 +189,7 @@ class ExecContext {
   const Status& ChargeBytes(size_t n) {
     if (!limit_status_.ok()) return limit_status_;
     stats_.bytes_charged += n;
-    if (FaultInjector::AnyArmed()) [[unlikely]] {
+    if (probe_faults_ && FaultInjector::AnyArmed()) [[unlikely]] {
       Status injected = FaultInjector::Global().Probe(kFaultSiteAlloc);
       if (!injected.ok()) return Trip(std::move(injected));
     }
@@ -201,6 +212,39 @@ class ExecContext {
   const Status& limit_status() const { return limit_status_; }
 
   const CancelToken& token() const { return token_; }
+
+  // The unspent portion of this context's countable budgets, as limits a
+  // shard evaluation could be constructed from. An unlimited dimension stays
+  // unlimited; a spent one clamps to zero. The timeout dimension is never
+  // populated — shard contexts share the parent's absolute deadline through
+  // ShardContext() instead, because a relative timeout would restart the
+  // clock.
+  ExecLimits RemainingLimits() const {
+    ExecLimits remaining;
+    auto left = [](size_t limit, size_t used) -> std::optional<size_t> {
+      if (limit == kNoLimit) return std::nullopt;
+      return limit > used ? limit - used : 0;
+    };
+    remaining.max_paths = left(max_paths_, stats_.paths_yielded);
+    remaining.max_steps = left(max_steps_, stats_.steps_expanded);
+    remaining.max_bytes = left(max_bytes_, stats_.bytes_charged);
+    return remaining;
+  }
+
+  // A context for speculative shard work under `parent`: same CancelToken,
+  // same absolute deadline, the given countable budgets — and fault probes
+  // DISABLED. Shards run concurrently, so letting them hit the global
+  // FaultInjector would scramble its deterministic nth-probe counting; the
+  // caller replays all accounting (and probing) against the parent in
+  // sequential order afterwards. See "Parallel traversal" in DESIGN.md.
+  static ExecContext ShardContext(const ExecContext& parent,
+                                  const ExecLimits& limits) {
+    ExecContext shard(limits, parent.token_);
+    shard.start_ = parent.start_;
+    shard.deadline_ = parent.deadline_;
+    shard.probe_faults_ = false;
+    return shard;
+  }
 
   // Counters so far, with elapsed time filled in.
   ExecStats Snapshot() const {
@@ -235,6 +279,9 @@ class ExecContext {
   size_t max_steps_;
   size_t max_bytes_;
   size_t steps_since_poll_ = 0;
+  // False only for ShardContext() children: speculative shard work must not
+  // consume the FaultInjector's deterministic probe sequence.
+  bool probe_faults_ = true;
   ExecStats stats_;
   Status limit_status_;  // Sticky: OK until the first trip.
 };

@@ -1,0 +1,132 @@
+#include "util/thread_pool.h"
+
+#include <chrono>
+#include <utility>
+
+namespace mrpa {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stopping_ = true;
+  }
+  idle_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  size_t target;
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(size_t home) {
+  const size_t n = queues_.size();
+  for (size_t offset = 0; offset < n; ++offset) {
+    const size_t victim = (home + offset) % n;
+    Task task;
+    {
+      std::lock_guard<std::mutex> lock(queues_[victim]->mu);
+      std::deque<Task>& q = queues_[victim]->tasks;
+      if (q.empty()) continue;
+      if (victim == home) {
+        task = std::move(q.front());
+        q.pop_front();
+      } else {
+        task = std::move(q.back());
+        q.pop_back();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(idle_mu_);
+      --pending_;
+    }
+    task();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(size_t index) {
+  for (;;) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] { return pending_ > 0 || stopping_; });
+    if (stopping_ && pending_ == 0) return;
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  // `done` is per-call state shared with the submitted closures; the caller
+  // outlives every task it waits on, so a stack-owned block would also work,
+  // but shared_ptr keeps the closures safe even if a caller is torn down by
+  // an exception from `fn` run inline below.
+  struct Join {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  auto join = std::make_shared<Join>();
+  join->remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    Submit([fn, i, join] {
+      fn(i);
+      {
+        std::lock_guard<std::mutex> lock(join->mu);
+        --join->remaining;
+      }
+      join->cv.notify_one();
+    });
+  }
+  // Help drain the pool while waiting; the caller may pick up tasks from
+  // sibling ParallelFor calls too, which is fine — they also need doing.
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(join->mu);
+      if (join->remaining == 0) return;
+    }
+    if (!RunOneTask(0)) {
+      std::unique_lock<std::mutex> lock(join->mu);
+      join->cv.wait_for(lock, std::chrono::milliseconds(1),
+                        [&] { return join->remaining == 0; });
+      if (join->remaining == 0) return;
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool* pool = new ThreadPool(0);
+  return *pool;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,97 @@
+// A small work-stealing thread pool for the parallel traversal layer.
+//
+// Each worker owns a deque: it pops tasks from its own front and, when
+// empty, steals from the back of a victim's deque (scanning from its right
+// neighbor), so an uneven shard — a hub vertex's whole out-universe, say —
+// ends up shared instead of serializing the level. Submission round-robins
+// across the deques to seed the initial spread.
+//
+// ParallelFor(n, fn) is the structured entry point the traversal engine
+// uses: it submits one task per index and blocks until all have run, with
+// the calling thread draining queued tasks while it waits, so a pool is
+// never idle just because its owner is. Tasks must not throw (this
+// codebase reports failure through Status values, and the shard ledgers of
+// traversal_parallel.cc carry per-shard trip information).
+//
+// Determinism note: the pool makes no ordering promises — parallel callers
+// get determinism from their merge discipline (canonical shard order plus
+// the accounting replay of DESIGN.md's "Parallel traversal" section), never
+// from scheduling. A pool of one worker still exercises the full
+// submit/steal machinery, which is what the thread-count-1 leg of the
+// differential harness relies on.
+
+#ifndef MRPA_UTIL_THREAD_POOL_H_
+#define MRPA_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mrpa {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Spawns `num_threads` workers; 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  // Enqueues one task (round-robin across worker deques). Fire-and-forget;
+  // use ParallelFor for structured fork/join.
+  void Submit(Task task);
+
+  // Invokes fn(i) for every i in [0, n), distributing across the workers
+  // with stealing, and returns once every invocation has finished. The
+  // calling thread participates in execution while it waits. Safe to call
+  // from multiple threads; must not be called from inside a pool task of
+  // this same pool (the nested wait could consume unrelated tasks but the
+  // worker count would be down one — it still completes, just slower).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // A process-wide pool sized to the hardware, for callers that do not
+  // manage their own. Created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<Task> tasks;
+  };
+
+  // Pops a task — own front first, then victims' backs — and runs it.
+  // `home` indexes the preferred deque. Returns false if every deque was
+  // empty at the time of the scan.
+  bool RunOneTask(size_t home);
+
+  void WorkerLoop(size_t index);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  // Sleep/wake machinery: `pending_` counts queued-but-unclaimed tasks and
+  // is guarded by `idle_mu_` (not atomic — every transition already takes
+  // the lock to publish the condition).
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  size_t pending_ = 0;
+  bool stopping_ = false;
+
+  size_t next_queue_ = 0;  // Guarded by idle_mu_; round-robin cursor.
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_UTIL_THREAD_POOL_H_

@@ -286,6 +286,148 @@ TEST_P(EquivalenceTest, SamplerLanguageSizeMatchesGenerator) {
   }
 }
 
+// --- §II algebra laws, property-tested with seeded shrinking ------------
+//
+// Each law is checked on random operand expressions; when an instance
+// fails, the operands are greedily shrunk — every subtree replaced by one
+// of its children or by ε, as long as the law still fails — so the
+// assertion reports a MINIMAL counterexample instead of a deep random
+// tree. Everything is derived from the test-parameter seed, so a failure
+// reproduces exactly.
+
+std::vector<PathExprPtr> ShrinkCandidates(const PathExprPtr& expr) {
+  std::vector<PathExprPtr> out;
+  for (const PathExprPtr& child : expr->children()) out.push_back(child);
+  if (expr->kind() != ExprKind::kEpsilon) out.push_back(PathExpr::Epsilon());
+  return out;
+}
+
+// Greedily minimizes a failing operand tuple: repeatedly replaces one
+// operand with a shrink candidate while `fails` keeps holding.
+template <typename FailsFn>
+std::vector<PathExprPtr> ShrinkCounterexample(std::vector<PathExprPtr> exprs,
+                                              const FailsFn& fails) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < exprs.size() && !progress; ++i) {
+      for (const PathExprPtr& candidate : ShrinkCandidates(exprs[i])) {
+        std::vector<PathExprPtr> trial = exprs;
+        trial[i] = candidate;
+        if (fails(trial)) {
+          exprs = std::move(trial);
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+  return exprs;
+}
+
+std::string Render(const std::vector<PathExprPtr>& exprs) {
+  std::string out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    out += (i == 0 ? "" : " , ") + exprs[i]->ToString();
+  }
+  return out;
+}
+
+// Evaluates both sides; an evaluation error (e.g. a star bound) counts as
+// "law not violated" — the law is about denoted sets, not budgets.
+bool SameDenotation(const EdgeUniverse& graph, const PathExprPtr& lhs,
+                    const PathExprPtr& rhs) {
+  auto left = lhs->Evaluate(graph);
+  auto right = rhs->Evaluate(graph);
+  if (!left.ok() || !right.ok()) return true;
+  return left.value() == right.value();
+}
+
+TEST_P(EquivalenceTest, JoinIsAssociative) {
+  // (A ⋈◦ B) ⋈◦ C = A ⋈◦ (B ⋈◦ C) — Proposition 1 territory: ⋈◦ is an
+  // associative (non-commutative) monoid operation with identity {ε}.
+  auto fails = [&](const std::vector<PathExprPtr>& t) {
+    return !SameDenotation(
+        graph_, PathExpr::MakeJoin(PathExpr::MakeJoin(t[0], t[1]), t[2]),
+        PathExpr::MakeJoin(t[0], PathExpr::MakeJoin(t[1], t[2])));
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PathExprPtr> ops = {RandomExpr(rng_, 6, 2, 2),
+                                    RandomExpr(rng_, 6, 2, 1),
+                                    RandomExpr(rng_, 6, 2, 2)};
+    if (fails(ops)) {
+      ops = ShrinkCounterexample(ops, fails);
+      FAIL() << "⋈◦ associativity violated; minimal counterexample: "
+             << Render(ops);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, JoinDistributesOverUnion) {
+  // A ⋈◦ (B ∪ C) = (A ⋈◦ B) ∪ (A ⋈◦ C), and the mirrored right law —
+  // the identity the parallel fold's shard decomposition rests on (each
+  // seed path's expansion is a union term).
+  auto fails_left = [&](const std::vector<PathExprPtr>& t) {
+    return !SameDenotation(
+        graph_, PathExpr::MakeJoin(t[0], PathExpr::MakeUnion(t[1], t[2])),
+        PathExpr::MakeUnion(PathExpr::MakeJoin(t[0], t[1]),
+                            PathExpr::MakeJoin(t[0], t[2])));
+  };
+  auto fails_right = [&](const std::vector<PathExprPtr>& t) {
+    return !SameDenotation(
+        graph_, PathExpr::MakeJoin(PathExpr::MakeUnion(t[0], t[1]), t[2]),
+        PathExpr::MakeUnion(PathExpr::MakeJoin(t[0], t[2]),
+                            PathExpr::MakeJoin(t[1], t[2])));
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PathExprPtr> ops = {RandomExpr(rng_, 6, 2, 1),
+                                    RandomExpr(rng_, 6, 2, 2),
+                                    RandomExpr(rng_, 6, 2, 1)};
+    if (fails_left(ops)) {
+      ops = ShrinkCounterexample(ops, fails_left);
+      FAIL() << "left distributivity of ⋈◦ over ∪ violated; minimal "
+                "counterexample: "
+             << Render(ops);
+    }
+    if (fails_right(ops)) {
+      ops = ShrinkCounterexample(ops, fails_right);
+      FAIL() << "right distributivity of ⋈◦ over ∪ violated; minimal "
+                "counterexample: "
+             << Render(ops);
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, PathSetFiltersAreIdempotent) {
+  // F(F(S)) = F(S) for every positional filter — filters are restrictions
+  // (set intersections with a fixed predicate extension), so applying one
+  // twice adds nothing.
+  auto filtered_twice_differs = [&](const std::vector<PathExprPtr>& t) {
+    auto evaluated = t[0]->Evaluate(graph_);
+    if (!evaluated.ok()) return false;
+    const PathSet& s = evaluated.value();
+    for (VertexId v = 0; v < 6; ++v) {
+      PathSet by_tail = s.FilterByTail(v);
+      if (!(by_tail.FilterByTail(v) == by_tail)) return true;
+      PathSet by_head = s.FilterByHead(v);
+      if (!(by_head.FilterByHead(v) == by_head)) return true;
+    }
+    for (size_t len = 0; len <= 3; ++len) {
+      PathSet by_length = s.FilterByLength(len);
+      if (!(by_length.FilterByLength(len) == by_length)) return true;
+    }
+    return false;
+  };
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<PathExprPtr> ops = {RandomExpr(rng_, 6, 2, 2)};
+    if (filtered_twice_differs(ops)) {
+      ops = ShrinkCounterexample(ops, filtered_twice_differs);
+      FAIL() << "filter idempotence violated; minimal counterexample: "
+             << Render(ops);
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, EquivalenceTest,
                          ::testing::Values(3, 7, 11, 19, 23, 31));
 

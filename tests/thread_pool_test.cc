@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace mrpa {
+namespace {
+
+TEST(ThreadPoolTest, ConstructAndDestroyIdle) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    // The destructor drains the queues before joining.
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForZeroAndOne) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL() << "no indices to visit"; });
+
+  std::atomic<int> count{0};
+  pool.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForIsABarrier) {
+  // Every write made inside the body must be visible after the call.
+  ThreadPool pool(4);
+  constexpr size_t kN = 256;
+  std::vector<size_t> squares(kN, 0);
+  pool.ParallelFor(kN, [&](size_t i) { squares[i] = i * i; });
+  for (size_t i = 0; i < kN; ++i) EXPECT_EQ(squares[i], i * i);
+}
+
+TEST(ThreadPoolTest, RepeatedParallelForCalls) {
+  ThreadPool pool(3);
+  std::atomic<size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(37, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50u * 37u);
+}
+
+TEST(ThreadPoolTest, UnevenWorkStillCompletes) {
+  // Skewed task sizes exercise the stealing path: one shard carries most
+  // of the work while the rest finish instantly.
+  ThreadPool pool(4);
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(64, [&](size_t i) {
+    uint64_t local = 0;
+    const uint64_t spins = (i == 0) ? 200000 : 10;
+    for (uint64_t k = 0; k < spins; ++k) local += k;
+    sum.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_GT(sum.load(), 0u);
+}
+
+TEST(ThreadPoolTest, CallerParticipatesWithSingleWorker) {
+  // With one worker thread, the caller's help in ParallelFor must not
+  // deadlock even when tasks outnumber workers.
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  pool.ParallelFor(100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitWithManualJoin) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  constexpr int kTasks = 20;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mu);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Shared();
+  ThreadPool& b = ThreadPool::Shared();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.num_threads(), 1u);
+}
+
+}  // namespace
+}  // namespace mrpa
