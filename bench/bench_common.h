@@ -8,12 +8,45 @@
 #ifndef MRPA_BENCH_BENCH_COMMON_H_
 #define MRPA_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "generators/generators.h"
 #include "graph/multi_graph.h"
 
 namespace mrpa::bench {
+
+// Entry point used by MRPA_BENCH_MAIN(). Identical to BENCHMARK_MAIN()
+// except that the CI shorthand `--json=FILE` is expanded into the library's
+// `--benchmark_out=FILE --benchmark_out_format=json` pair, so
+// scripts/ci_bench.sh can emit machine-readable BENCH_<n>.json files with
+// one uniform flag. All other arguments pass through untouched.
+inline int RunBenchmarks(int argc, char** argv) {
+  std::vector<std::string> expanded;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      expanded.push_back("--benchmark_out=" + arg.substr(7));
+      expanded.push_back("--benchmark_out_format=json");
+    } else {
+      expanded.push_back(arg);
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(expanded.size());
+  for (std::string& s : expanded) args.push_back(s.data());
+  int translated_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&translated_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(translated_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 // The default experiment substrate: a multi-relational Erdős–Rényi graph
 // with mean out-degree `mean_degree` and `num_labels` relation types.
@@ -52,5 +85,12 @@ inline MultiRelationalGraph MakeSocialGraph(uint32_t num_people,
 }
 
 }  // namespace mrpa::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() with --json support.
+#define MRPA_BENCH_MAIN()                           \
+  int main(int argc, char** argv) {                 \
+    return ::mrpa::bench::RunBenchmarks(argc, argv); \
+  }                                                 \
+  static_assert(true, "require a trailing semicolon")
 
 #endif  // MRPA_BENCH_BENCH_COMMON_H_

@@ -163,4 +163,4 @@ BENCHMARK(BM_CheckStepWithDeadline);
 }  // namespace
 }  // namespace mrpa
 
-BENCHMARK_MAIN();
+MRPA_BENCH_MAIN();

@@ -123,4 +123,4 @@ BENCHMARK(BM_ParallelGovernedFold)
 }  // namespace
 }  // namespace mrpa
 
-BENCHMARK_MAIN();
+MRPA_BENCH_MAIN();

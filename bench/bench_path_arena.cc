@@ -1,0 +1,238 @@
+// Experiment E17: the prefix-sharing PathArena vs the materialized fold.
+//
+// The arena fold (TraverseGoverned) extends a path with one 16-byte node
+// push; the materialized fold (TraverseGovernedMaterialized, the retained
+// pre-arena loop) copies the whole k-edge prefix to emit a (k+1)-edge path.
+// Both engines are byte-identical in output and governance (see
+// tests/arena_differential_test.cc), so this bench isolates the cost model:
+//
+//   * wall-clock at traversal depths 2–8 on the E16 substrates,
+//   * heap allocation count and peak live heap per run (global operator
+//     new/delete hooks + malloc_usable_size),
+//   * edge writes, modeled exactly from the level-size recurrence —
+//     materialized writes Σ_k n_k·k, the arena writes Σ_k n_k nodes plus
+//     n_d·d at final materialization.
+//
+// Run: build/bench/bench_path_arena --benchmark_min_time=1s [--json=FILE]
+// Results are recorded in EXPERIMENTS.md (E17). Acceptance: allocation
+// count and peak heap strictly lower at depth ≥ 4; wall-clock no worse at
+// depth 2.
+
+#include <malloc.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/edge_pattern.h"
+#include "core/path_arena.h"
+#include "core/traversal.h"
+#include "generators/generators.h"
+#include "graph/multi_graph.h"
+#include "util/exec_context.h"
+
+namespace {
+
+// Heap instrumentation. Tracking is off until a bench arms it, so graph
+// construction and benchmark bookkeeping stay out of the counts.
+std::atomic<bool> g_tracking{false};
+std::atomic<uint64_t> g_alloc_count{0};
+std::atomic<uint64_t> g_live_bytes{0};
+std::atomic<uint64_t> g_peak_bytes{0};
+
+void RecordAlloc(void* p) {
+  if (!g_tracking.load(std::memory_order_relaxed)) return;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t size = malloc_usable_size(p);
+  const uint64_t live =
+      g_live_bytes.fetch_add(size, std::memory_order_relaxed) + size;
+  uint64_t peak = g_peak_bytes.load(std::memory_order_relaxed);
+  while (live > peak && !g_peak_bytes.compare_exchange_weak(
+                            peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void RecordFree(void* p) {
+  if (p == nullptr || !g_tracking.load(std::memory_order_relaxed)) return;
+  g_live_bytes.fetch_sub(malloc_usable_size(p), std::memory_order_relaxed);
+}
+
+struct HeapSnapshot {
+  uint64_t allocs;
+  uint64_t peak_bytes;
+};
+
+void ArmHeapTracking() {
+  g_alloc_count.store(0, std::memory_order_relaxed);
+  g_live_bytes.store(0, std::memory_order_relaxed);
+  g_peak_bytes.store(0, std::memory_order_relaxed);
+  g_tracking.store(true, std::memory_order_relaxed);
+}
+
+HeapSnapshot DisarmHeapTracking() {
+  g_tracking.store(false, std::memory_order_relaxed);
+  return {g_alloc_count.load(std::memory_order_relaxed),
+          g_peak_bytes.load(std::memory_order_relaxed)};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  RecordAlloc(p);
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept {
+  RecordFree(p);
+  std::free(p);
+}
+
+void operator delete[](void* p) noexcept { ::operator delete(p); }
+
+void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); }
+
+void operator delete[](void* p, std::size_t) noexcept {
+  ::operator delete(p);
+}
+
+namespace mrpa {
+namespace {
+
+// The E16 substrates (≈ 100k edges each): heavy-tailed preferential
+// attachment and a uniform-degree ring lattice.
+const MultiRelationalGraph& HeavyTailGraph() {
+  static const MultiRelationalGraph* graph =
+      new MultiRelationalGraph(bench::MakeBaGraph(34'000, 4, 3, /*seed=*/42));
+  return *graph;
+}
+
+const MultiRelationalGraph& UniformGraph() {
+  static const MultiRelationalGraph* graph = [] {
+    auto g = GenerateWattsStrogatz({.num_vertices = 25'000,
+                                    .num_labels = 4,
+                                    .neighbors_each_side = 2,
+                                    .rewire_prob = 0.1,
+                                    .seed = 42});
+    return new MultiRelationalGraph(std::move(g).value());
+  }();
+  return *graph;
+}
+
+const MultiRelationalGraph& PickGraph(int64_t ws) {
+  return ws == 0 ? HeavyTailGraph() : UniformGraph();
+}
+
+// An alternating label chain: with 4 labels the per-step branching factor
+// is ≈ out-degree/4 ≈ 1, so the frontier neither explodes nor dies and the
+// sweep can reach depth 8 with a stable population.
+TraversalSpec ChainSpec(size_t depth) {
+  TraversalSpec spec;
+  for (size_t k = 0; k < depth; ++k) {
+    spec.steps.push_back(EdgePattern::Labeled(static_cast<LabelId>(k % 2)));
+  }
+  return spec;
+}
+
+// The exact edge-write model, from the level-size recurrence: n_1 = seed
+// matches, n_{k+1} = Σ_v paths_at[v] · |OutEdgesWithLabel(v, step_k)|.
+// Emitting a k-edge path costs the materialized fold k edge writes (copy
+// the prefix, append one); the arena fold one node write, plus d writes
+// per surviving path at the final materialization.
+struct EdgeWriteModel {
+  uint64_t materialized = 0;
+  uint64_t arena = 0;
+  uint64_t paths = 0;
+};
+
+EdgeWriteModel ModelEdgeWrites(const EdgeUniverse& g, size_t depth) {
+  const uint32_t V = g.num_vertices();
+  std::vector<uint64_t> at(V, 0);
+  uint64_t level_size = 0;
+  for (uint32_t v = 0; v < V; ++v) {
+    const size_t matches = g.OutEdgesWithLabel(v, 0).size();
+    for (const Edge& e : g.OutEdgesWithLabel(v, 0)) at[e.head] += 1;
+    level_size += matches;
+  }
+  EdgeWriteModel model;
+  model.materialized = level_size;  // Seed paths: one edge write each.
+  model.arena = level_size;         // Seed roots: one node each.
+  for (size_t k = 1; k < depth; ++k) {
+    const LabelId label = static_cast<LabelId>(k % 2);
+    std::vector<uint64_t> next(V, 0);
+    uint64_t emitted = 0;
+    for (uint32_t v = 0; v < V; ++v) {
+      if (at[v] == 0) continue;
+      const auto run = g.OutEdgesWithLabel(v, label);
+      if (run.empty()) continue;
+      emitted += at[v] * run.size();
+      for (const Edge& e : run) next[e.head] += at[v];
+    }
+    model.materialized += emitted * (k + 1);
+    model.arena += emitted;
+    at.swap(next);
+    level_size = emitted;
+  }
+  model.arena += level_size * depth;  // Final materialization.
+  model.paths = level_size;
+  return model;
+}
+
+template <typename Fold>
+void RunFoldBench(benchmark::State& state, Fold fold) {
+  const MultiRelationalGraph& graph = PickGraph(state.range(1));
+  const TraversalSpec spec = ChainSpec(static_cast<size_t>(state.range(0)));
+  uint64_t paths = 0;
+  HeapSnapshot heap{0, 0};
+  for (auto _ : state) {
+    ArmHeapTracking();
+    ExecContext ctx;
+    Result<GovernedPathSet> result = fold(graph, spec, ctx);
+    heap = DisarmHeapTracking();
+    paths = result.ok() ? result->paths.size() : 0;
+    benchmark::DoNotOptimize(result);
+  }
+  const EdgeWriteModel model =
+      ModelEdgeWrites(graph, static_cast<size_t>(state.range(0)));
+  state.counters["paths"] = static_cast<double>(paths);
+  state.counters["allocs"] = static_cast<double>(heap.allocs);
+  state.counters["peak_bytes"] = static_cast<double>(heap.peak_bytes);
+  state.counters["edge_writes_arena"] = static_cast<double>(model.arena);
+  state.counters["edge_writes_materialized"] =
+      static_cast<double>(model.materialized);
+}
+
+void BM_ArenaFold(benchmark::State& state) {
+  RunFoldBench(state, [](const EdgeUniverse& g, const TraversalSpec& s,
+                         ExecContext& ctx) { return TraverseGoverned(g, s, ctx); });
+}
+BENCHMARK(BM_ArenaFold)
+    ->ArgsProduct({{2, 3, 4, 5, 6, 7, 8}, {0, 1}})
+    ->ArgNames({"depth", "ws_graph"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_MaterializedFold(benchmark::State& state) {
+  RunFoldBench(state,
+               [](const EdgeUniverse& g, const TraversalSpec& s,
+                  ExecContext& ctx) {
+                 return TraverseGovernedMaterialized(g, s, ctx);
+               });
+}
+BENCHMARK(BM_MaterializedFold)
+    ->ArgsProduct({{2, 3, 4, 5, 6, 7, 8}, {0, 1}})
+    ->ArgNames({"depth", "ws_graph"})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace mrpa
+
+MRPA_BENCH_MAIN();

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Benchmark job for the recorded perf experiments.
+#
+# Builds Release and runs the experiments whose regressions we gate on —
+# E15 (governance guard overhead), E16 (parallel fold speedup), E17 (path
+# arena vs materialized fold) — writing one machine-readable BENCH_<n>.json
+# per experiment via the --json flag (see MRPA_BENCH_MAIN in
+# bench/bench_common.h). Numbers land in EXPERIMENTS.md by hand; the JSON
+# files are for trend dashboards and CI diffing, not a hard gate — bench
+# wall-clock on shared runners is too noisy to fail a build on.
+#
+# Usage: scripts/ci_bench.sh [build-dir] [out-dir]
+#        (defaults: build-bench, bench-results)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-bench}"
+OUT_DIR="${2:-bench-results}"
+MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5s}"
+
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "${BUILD_DIR}" -j "$(nproc)" \
+  --target bench_guard_overhead bench_parallel_traversal bench_path_arena
+
+mkdir -p "${OUT_DIR}"
+
+run_bench() {  # run_bench <experiment-number> <binary>
+  local n="$1" bin="$2"
+  echo "=== E${n}: ${bin} ==="
+  "${BUILD_DIR}/bench/${bin}" \
+    --benchmark_min_time="${MIN_TIME}" \
+    --json="${OUT_DIR}/BENCH_${n}.json"
+}
+
+run_bench 15 bench_guard_overhead
+run_bench 16 bench_parallel_traversal
+run_bench 17 bench_path_arena
+
+echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"

@@ -89,10 +89,18 @@ class Path {
   // generators to avoid quadratic copying.
   void Append(const Edge& e) { edges_.push_back(e); }
 
+  // Drops all edges, keeping the allocated capacity — the reuse hook for
+  // streaming engines that refill one Path per yielded result.
+  void Clear() { edges_.clear(); }
+
   // The edges as a flat sequence.
   const std::vector<Edge>& edges() const { return edges_; }
   const_iterator begin() const { return edges_.begin(); }
   const_iterator end() const { return edges_.end(); }
+
+  // Allocated (not used) edge slots; what the path actually holds on the
+  // heap. Feeds the ApproxBytes estimate in path_set.h.
+  size_t capacity() const { return edges_.capacity(); }
 
   // Lexicographic ordering over the edge sequence; gives PathSet its
   // canonical order.
@@ -102,6 +110,11 @@ class Path {
   std::string ToString() const;
 
  private:
+  // PathArena materializes chains directly into edges_ (resize + backward
+  // fill), reusing capacity — the one spot that bypasses the public
+  // append-only mutation surface.
+  friend class PathArena;
+
   std::vector<Edge> edges_;
 };
 

@@ -1,0 +1,104 @@
+#include "core/path_arena.h"
+
+#include <cassert>
+
+namespace mrpa {
+
+size_t PathArena::DepthOf(PathNodeId id) const {
+  size_t depth = 0;
+  for (PathNodeId cursor = id; cursor != kNullPathNode;
+       cursor = nodes_[cursor].parent) {
+    ++depth;
+  }
+  return depth;
+}
+
+void PathArena::MaterializePrefixInto(PathNodeId id, size_t length,
+                                      Path& out) const {
+  assert(length == DepthOf(id));
+  out.edges_.resize(length);
+  // The leaf→root walk visits edges last-first, so filling backward lands
+  // them in forward order in a single pass — no reversal.
+  PathNodeId cursor = id;
+  for (size_t i = length; i-- > 0;) {
+    const PathArenaNode& n = nodes_[cursor];
+    out.edges_[i] = n.edge;
+    cursor = n.parent;
+  }
+}
+
+Path PathArena::MaterializePrefix(PathNodeId id) const {
+  Path out;
+  MaterializePrefixInto(id, DepthOf(id), out);
+  return out;
+}
+
+void PathArena::MaterializeSuffixInto(PathNodeId id, size_t length,
+                                      Path& out) const {
+  assert(length == DepthOf(id));
+  out.edges_.resize(length);
+  // Suffix chains store the first edge at the leaf, so the walk IS forward
+  // order.
+  PathNodeId cursor = id;
+  for (size_t i = 0; i < length; ++i) {
+    const PathArenaNode& n = nodes_[cursor];
+    out.edges_[i] = n.edge;
+    cursor = n.parent;
+  }
+}
+
+Path PathArena::MaterializeSuffix(PathNodeId id) const {
+  Path out;
+  MaterializeSuffixInto(id, DepthOf(id), out);
+  return out;
+}
+
+std::strong_ordering PathArena::ComparePrefix(PathNodeId a,
+                                              PathNodeId b) const {
+  if (a == b) return std::strong_ordering::equal;
+  const PathArenaNode& na = nodes_[a];
+  const PathArenaNode& nb = nodes_[b];
+  assert((na.parent == kNullPathNode) == (nb.parent == kNullPathNode) &&
+         "ComparePrefix requires equal-length chains");
+  if (na.parent != kNullPathNode && nb.parent != kNullPathNode) {
+    // Earlier edges dominate: recurse to the roots first.
+    if (auto c = ComparePrefix(na.parent, nb.parent);
+        c != std::strong_ordering::equal) {
+      return c;
+    }
+  }
+  return na.edge <=> nb.edge;
+}
+
+std::strong_ordering PathArena::CompareSuffix(PathNodeId a,
+                                              PathNodeId b) const {
+  PathNodeId ca = a;
+  PathNodeId cb = b;
+  while (ca != kNullPathNode && cb != kNullPathNode) {
+    if (ca == cb) return std::strong_ordering::equal;  // Shared suffix.
+    const PathArenaNode& na = nodes_[ca];
+    const PathArenaNode& nb = nodes_[cb];
+    if (auto c = na.edge <=> nb.edge; c != std::strong_ordering::equal) {
+      return c;
+    }
+    ca = na.parent;
+    cb = nb.parent;
+  }
+  assert(ca == cb && "CompareSuffix requires equal-length chains");
+  return std::strong_ordering::equal;
+}
+
+#ifndef NDEBUG
+void PathArena::CheckCanonicalLevel(const std::vector<PathNodeId>& ids,
+                                    size_t length) const {
+  for (size_t i = 0; i < ids.size(); ++i) {
+    assert(DepthOf(ids[i]) == length);
+    if (i > 0) {
+      assert(ComparePrefix(ids[i - 1], ids[i]) == std::strong_ordering::less &&
+             "frontier violates the canonical-id invariant");
+    }
+  }
+}
+#endif
+
+}  // namespace mrpa

@@ -155,7 +155,22 @@ Result<PathSet> ConcatenativeJoin(const PathSet& a, const PathSet& b,
     }
   }
 
+  // Exact output precount (≤ |A|·|B|): one bucket lookup per left path is
+  // cheap next to the join itself, and lets the builder allocate once
+  // instead of doubling through O(log n) reallocations.
+  size_t expected = 0;
+  for (const Path& p : a) {
+    if (p.empty()) {
+      expected += b.size();
+      continue;
+    }
+    if (b_has_epsilon) ++expected;
+    auto it = by_tail.find(p.Head());
+    if (it != by_tail.end()) expected += it->second.size();
+  }
+
   PathSetBuilder builder;
+  builder.Reserve(std::min(expected, limit));
   for (const Path& p : a) {
     if (p.empty()) {
       // ε ◦ b = b for every b ∈ B (the a=ε disjunct admits all of B).
@@ -185,6 +200,12 @@ Result<PathSet> ConcatenativeProduct(const PathSet& a, const PathSet& b,
   const size_t limit = limits.max_paths.value_or(
       std::numeric_limits<size_t>::max());
   PathSetBuilder builder;
+  // The product output is exactly |A|·|B| paths (saturating: past the limit
+  // the loop errors out before staging more than `limit`).
+  const size_t bound = b.empty() || a.size() <= limit / b.size()
+                           ? a.size() * b.size()
+                           : limit;
+  builder.Reserve(std::min(bound, limit));
   for (const Path& p : a) {
     for (const Path& q : b) {
       if (builder.staged_size() >= limit) return ExceededLimit(limit);

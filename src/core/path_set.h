@@ -27,11 +27,21 @@
 
 namespace mrpa {
 
-// Estimated heap footprint of a materialized path / path set, the unit the
-// ExecContext memory budget is charged in. An estimate, not an accounting:
-// object headers and allocator slack are approximated by sizeof().
+// Estimated heap footprint of a materialized path / path set — the LEGACY
+// unit for ExecContext memory budgets, kept only for the call sites that
+// still materialize full paths per extension (the fluent traversal builder,
+// the bottom-up expression evaluator, the §IV-B stack machine). The
+// arena-native loops (Traverse/FoldJoin, the parallel shards, the backward
+// chain evaluator, the product-graph generator) charge the exact
+// PathArena::kNodeBytes per extension instead — see core/path_arena.h.
+//
+// The estimate counts the vector's allocated CAPACITY (growth slack is real
+// memory) plus the LabelId vector a PathLabel() materialization would
+// allocate — both were previously omitted, undercounting the footprint the
+// budget exists to bound.
 inline size_t ApproxBytes(const Path& p) {
-  return sizeof(Path) + p.length() * sizeof(Edge);
+  return sizeof(Path) + p.capacity() * sizeof(Edge) +
+         p.length() * sizeof(LabelId);
 }
 
 
@@ -171,7 +181,14 @@ class PathSetBuilder {
   void AddAll(const PathSet& set);
   size_t staged_size() const { return staged_.size(); }
 
-  // Sorts, dedups, and returns the set; the builder is left empty.
+  // Pre-sizes the staging vector for a known output bound (join/product
+  // output is ≤ |A|·|B|), avoiding the doubling reallocations — and the
+  // path copies they move — on the way up.
+  void Reserve(size_t n) { staged_.reserve(n); }
+
+  // Sorts (moving paths, never copying them — Path's move ctor is noexcept,
+  // so std::sort swaps vectors by pointer), dedups, and returns the set;
+  // the builder is left empty.
   PathSet Build();
 
  private:

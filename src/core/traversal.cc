@@ -3,15 +3,27 @@
 #include <limits>
 #include <utility>
 
+#include "core/path_arena.h"
+
 namespace mrpa {
 
 namespace {
 
 // Left-to-right fold of ⋈◦ over per-step edge sets, threaded through the
-// execution guard. The first step's edge set seeds the accumulator; every
-// later step extends paths whose head matches. Iterating with an
+// execution guard and run ARENA-NATIVE: the frontier is a vector of
+// PathNodeIds into a prefix-sharing PathArena (core/path_arena.h), so each
+// extension is one 16-byte node push instead of a full prefix copy, and the
+// result set is materialized once at the end. Iterating with an
 // adjacency-aware extension (rather than repeatedly calling the generic
-// join) keeps this O(paths · out-degree).
+// join) keeps this O(paths · out-degree) — and the arena makes the work per
+// extension O(1) instead of O(level).
+//
+// Frontier node ids are appended in canonical order: the previous level is
+// iterated in canonical order and ForEachMatchingOutEdge visits out-runs in
+// (label, head) order, so same-length extensions preserve prefix order.
+// Distinct parents and distinct edges also make every staged path unique.
+// The final materialization is therefore adopted via
+// PathSet::FromSortedUnique — no sort, no dedup.
 //
 // Two failure regimes coexist:
 //   * limits.max_paths (the pre-governance API) stays a hard error — the
@@ -20,7 +32,9 @@ namespace {
 //     full-length paths it already yielded, flagged `truncated`.
 // The path budget is charged only for full-length (final level) paths, so a
 // budget of k yields the k first full-length paths in canonical order —
-// the same prefix StepPathIterator yields under the same budget.
+// the same prefix StepPathIterator yields under the same budget. The byte
+// budget is charged the exact arena cost: PathArena::kNodeBytes per staged
+// extension (batched per source path, like the step charge).
 Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
                                  const std::vector<EdgePattern>& steps,
                                  const PathSetLimits& limits,
@@ -43,12 +57,128 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
   const size_t last_level = steps.size() - 1;
   Status trip;
 
-  // Seed level: lift the matching edges into length-1 paths.
+  PathArena arena;
+  std::vector<PathNodeId> frontier;
+  std::vector<PathNodeId> next;
+
+  // Materializes a frontier of `length`-edge chains into the canonical
+  // PathSet — the single API-boundary copy the arena representation defers
+  // everything to.
+  auto materialize = [&](const std::vector<PathNodeId>& ids, size_t length) {
+#ifndef NDEBUG
+    arena.CheckCanonicalLevel(ids, length);
+#endif
+    std::vector<Path> paths;
+    paths.reserve(ids.size());
+    for (PathNodeId id : ids) {
+      Path p;
+      arena.MaterializePrefixInto(id, length, p);
+      paths.push_back(std::move(p));
+    }
+    return PathSet::FromSortedUnique(std::move(paths));
+  };
+
+  // Seed level: lift the matching edges into length-1 chains.
+  for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
+    if (!ctx.CheckStep().ok() ||
+        (last_level == 0 && !ctx.ChargePaths().ok()) ||
+        !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
+      trip = ctx.limit_status();
+      break;
+    }
+    frontier.push_back(arena.AddRoot(e));
+  }
+  if (!trip.ok()) {
+    out.truncated = true;
+    out.limit = std::move(trip);
+    if (last_level == 0) out.paths = materialize(frontier, 1);
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+
+  for (size_t k = 1; k < steps.size() && !frontier.empty(); ++k) {
+    const EdgePattern& step = steps[k];
+    const bool final_level = k == last_level;
+    Status overflow;
+    next.clear();
+    for (PathNodeId source : frontier) {
+      // Extend the chain with matching out-edges of its head — an
+      // index-backed equijoin on γ+(p) = γ−(e), narrowed to the label
+      // sub-run when the step pins one label. The path budget is charged
+      // per emitted path (so a budget of k keeps exactly the first k), but
+      // steps and bytes are batched per source path to keep the guard off
+      // the innermost loop — those budgets have one-out-run granularity.
+      size_t expanded = 0;
+      ForEachMatchingOutEdge(
+          universe, arena.HeadOf(source), step, [&](const Edge& e) {
+            if (!overflow.ok() || !trip.ok()) return;
+            if (next.size() >= hard_limit) {
+              overflow = Status::ResourceExhausted(
+                  "traversal exceeded max_paths = " +
+                  std::to_string(hard_limit));
+              return;
+            }
+            if (final_level && !ctx.ChargePaths().ok()) {
+              trip = ctx.limit_status();
+              return;
+            }
+            ++expanded;
+            next.push_back(arena.Extend(source, e));
+          });
+      if (!overflow.ok()) return overflow;
+      if (trip.ok() && (!ctx.CheckStep(expanded + 1).ok() ||
+                        !ctx.ChargeBytes(expanded * PathArena::kNodeBytes)
+                             .ok())) {
+        trip = ctx.limit_status();
+      }
+      if (!trip.ok()) break;
+    }
+    if (!trip.ok()) {
+      out.truncated = true;
+      out.limit = std::move(trip);
+      if (final_level) out.paths = materialize(next, k + 1);
+      out.stats = ctx.Snapshot();
+      return out;
+    }
+    frontier.swap(next);
+  }
+  out.paths = materialize(frontier, steps.size());
+  out.stats = ctx.Snapshot();
+  return out;
+}
+
+// The pre-arena fold, retained verbatim as the differential oracle (the
+// arena ⇄ materialized identity suites) and the E17 baseline: every
+// extension copies its full prefix into a fresh Path and every level is
+// canonicalized through PathSetBuilder. Byte charges use the SAME
+// PathArena::kNodeBytes unit as the arena fold, so the two engines are
+// byte-identical under every governed regime — they differ only in how the
+// paths are stored while the fold runs.
+Result<GovernedPathSet> FoldJoinMaterialized(
+    const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
+    const PathSetLimits& limits, ExecContext& ctx) {
+  GovernedPathSet out;
+  if (steps.empty()) {
+    if (Status trip = ctx.ChargePaths(); !trip.ok()) {
+      out.truncated = true;
+      out.limit = std::move(trip);
+    } else {
+      out.paths = PathSet::EpsilonSet();
+    }
+    out.stats = ctx.Snapshot();
+    return out;
+  }
+
+  const size_t hard_limit =
+      limits.max_paths.value_or(std::numeric_limits<size_t>::max());
+  const size_t last_level = steps.size() - 1;
+  Status trip;
+
   PathSetBuilder builder;
   for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
     if (!ctx.CheckStep().ok() ||
         (last_level == 0 && !ctx.ChargePaths().ok()) ||
-        !ctx.ChargeBytes(sizeof(Path) + sizeof(Edge)).ok()) {
+        !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
       trip = ctx.limit_status();
       break;
     }
@@ -68,13 +198,6 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
     const bool final_level = k == last_level;
     Status overflow;
     for (const Path& p : acc) {
-      // Extend p with matching out-edges of its head — an index-backed
-      // equijoin on γ+(p) = γ−(e), narrowed to the label sub-run when the
-      // step pins one label. The path budget is charged per emitted path
-      // (so a budget of k keeps exactly the first k), but steps and bytes
-      // are batched per source path to keep the guard off the innermost
-      // loop — those budgets have one-out-run granularity.
-      const size_t bytes_per_edge = ApproxBytes(p) + sizeof(Edge);
       size_t expanded = 0;
       ForEachMatchingOutEdge(universe, p.Head(), step, [&](const Edge& e) {
         if (!overflow.ok() || !trip.ok()) return;
@@ -88,13 +211,14 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
           return;
         }
         ++expanded;
-        Path extended = p;
+        Path extended = p;  // The O(level) prefix copy the arena eliminates.
         extended.Append(e);
         builder.Add(std::move(extended));
       });
       if (!overflow.ok()) return overflow;
       if (trip.ok() && (!ctx.CheckStep(expanded + 1).ok() ||
-                        !ctx.ChargeBytes(expanded * bytes_per_edge).ok())) {
+                        !ctx.ChargeBytes(expanded * PathArena::kNodeBytes)
+                             .ok())) {
         trip = ctx.limit_status();
       }
       if (!trip.ok()) break;
@@ -196,6 +320,12 @@ Result<GovernedPathSet> TraverseGoverned(const EdgeUniverse& universe,
                                          const TraversalSpec& spec,
                                          ExecContext& ctx) {
   return FoldJoin(universe, spec.steps, spec.limits, ctx);
+}
+
+Result<GovernedPathSet> TraverseGovernedMaterialized(
+    const EdgeUniverse& universe, const TraversalSpec& spec,
+    ExecContext& ctx) {
+  return FoldJoinMaterialized(universe, spec.steps, spec.limits, ctx);
 }
 
 }  // namespace mrpa

@@ -79,6 +79,15 @@ Result<GovernedPathSet> TraverseGoverned(const EdgeUniverse& universe,
                                          const TraversalSpec& spec,
                                          ExecContext& ctx);
 
+// The pre-arena fold: every extension copies its full prefix into a fresh
+// Path, every level is canonicalized through PathSetBuilder. Same contract,
+// same guard-call sequence, same PathArena::kNodeBytes byte unit as
+// TraverseGoverned — output is byte-identical under every governed regime.
+// Retained as the differential oracle for the arena engine and as the E17
+// benchmark baseline; not for production use.
+Result<GovernedPathSet> TraverseGovernedMaterialized(
+    const EdgeUniverse& universe, const TraversalSpec& spec, ExecContext& ctx);
+
 class ThreadPool;
 
 // Tuning knobs for the parallel fold. The defaults favor load balance: a

@@ -11,7 +11,7 @@
 //
 //   1. SPECULATE. The seed level runs on the calling thread against the
 //      real context (exactly the sequential charge sequence). The seed
-//      paths — already in canonical order — are cut into contiguous
+//      edges — already in canonical order — are cut into contiguous
 //      shards, and each shard folds through the remaining levels on the
 //      pool under a *quiet* ExecContext (ExecContext::ShardContext: shared
 //      cancel token, shared absolute deadline, fault probes off) whose
@@ -19,6 +19,13 @@
 //      budget by default, or a SplitAcross() share in thrifty mode. The
 //      shard records a ledger: per level, per source path, how many
 //      extensions it emitted and how the out-run ended.
+//
+//      Each shard folds through its own prefix-sharing PathArena
+//      (core/path_arena.h): extensions are 16-byte node pushes, never
+//      prefix copies, and the arena is strictly shard-local — the
+//      single-writer contract the arena's threading section requires.
+//      Only node ids cross the phase boundary; paths materialize once,
+//      at the merge.
 //
 //   2. REPLAY. The calling thread replays the ledgers against the real
 //      context in exactly the sequential fold's order — level-major, then
@@ -56,6 +63,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/path_arena.h"
 #include "core/traversal.h"
 #include "util/thread_pool.h"
 
@@ -90,59 +98,67 @@ struct ShardLedger {
   // is the last entry of its last level; untripped shards record every
   // level (possibly empty once their frontier dies out).
   std::vector<std::vector<SourceRecord>> levels;
-  // Final-level emissions, canonical order by construction.
-  std::vector<Path> final_paths;
+  // The shard's private prefix store. Written only by the shard's worker
+  // during speculation, read only by the merge after the pool joins — no
+  // two threads ever touch it concurrently.
+  PathArena arena;
+  // Final-level node ids into `arena`, canonical order by construction.
+  std::vector<PathNodeId> final_ids;
   // The quiet context's trip status when the shard stopped early; OK for a
   // completed shard. Only surfaced on under-coverage (split budgets or wall
   // clock), where replay cannot reproduce the trip from the real context.
   Status local_status;
 };
 
-// The shard fold: the same loop structure as the sequential FoldJoin,
-// charging a quiet speculation-bounding context and recording the ledger
-// instead of being the source of truth.
+// The shard fold: the same loop structure as the sequential FoldJoin —
+// arena-native, one node push per extension — charging a quiet
+// speculation-bounding context and recording the ledger instead of being
+// the source of truth.
 void ExpandShard(const EdgeUniverse& universe,
                  const std::vector<EdgePattern>& steps,
-                 const std::vector<Path>& seed, size_t begin, size_t end,
+                 const std::vector<Edge>& seed, size_t begin, size_t end,
                  size_t hard_limit, ExecContext&& quiet, ShardLedger& ledger) {
   const size_t last_level = steps.size() - 1;
-  std::vector<Path> acc(seed.begin() + begin, seed.begin() + end);
+  PathArena& arena = ledger.arena;
+  std::vector<PathNodeId> frontier;
+  frontier.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) {
+    frontier.push_back(arena.AddRoot(seed[i]));
+  }
   ledger.levels.reserve(last_level);
 
   for (size_t k = 1; k <= last_level; ++k) {
     const EdgePattern& step = steps[k];
     const bool final_level = k == last_level;
-    const size_t bytes_per_edge = sizeof(Path) + (k + 1) * sizeof(Edge);
     std::vector<SourceRecord>& records = ledger.levels.emplace_back();
-    records.reserve(acc.size());
-    std::vector<Path> next;
+    records.reserve(frontier.size());
+    std::vector<PathNodeId> next;
     size_t staged = 0;  // Level-local emissions, for the hard cap.
     bool stopped = false;
 
-    for (const Path& p : acc) {
+    for (PathNodeId source : frontier) {
       SourceRecord record;
       bool stop = false;
-      ForEachMatchingOutEdge(universe, p.Head(), step, [&](const Edge& e) {
-        if (stop) return;
-        if (staged >= hard_limit) {
-          record.end = RunEnd::kTripHard;
-          stop = true;
-          return;
-        }
-        if (final_level && !quiet.ChargePaths().ok()) {
-          record.end = RunEnd::kTripPaths;
-          stop = true;
-          return;
-        }
-        ++record.matches;
-        ++staged;
-        Path extended = p;
-        extended.Append(e);
-        next.push_back(std::move(extended));
-      });
+      ForEachMatchingOutEdge(
+          universe, arena.HeadOf(source), step, [&](const Edge& e) {
+            if (stop) return;
+            if (staged >= hard_limit) {
+              record.end = RunEnd::kTripHard;
+              stop = true;
+              return;
+            }
+            if (final_level && !quiet.ChargePaths().ok()) {
+              record.end = RunEnd::kTripPaths;
+              stop = true;
+              return;
+            }
+            ++record.matches;
+            ++staged;
+            next.push_back(arena.Extend(source, e));
+          });
       if (!stop &&
           (!quiet.CheckStep(record.matches + 1).ok() ||
-           !quiet.ChargeBytes(record.matches * bytes_per_edge).ok())) {
+           !quiet.ChargeBytes(record.matches * PathArena::kNodeBytes).ok())) {
         record.end = RunEnd::kTripPost;
         stop = true;
       }
@@ -158,9 +174,9 @@ void ExpandShard(const EdgeUniverse& universe,
       // before the trip are a valid canonical prefix of the shard's
       // output, and the replay merge cuts the concatenation at the
       // replayed emission count.
-      ledger.final_paths = std::move(next);
+      ledger.final_ids = std::move(next);
     } else if (!stopped) {
-      acc = std::move(next);
+      frontier = std::move(next);
     }
     if (stopped) break;
   }
@@ -187,20 +203,23 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   const size_t hard_limit =
       spec.limits.max_paths.value_or(std::numeric_limits<size_t>::max());
   const size_t last_level = steps.size() - 1;
+  const size_t path_length = steps.size();
 
   // Seed level, on the calling thread against the real context —
   // charge-for-charge the sequential seed loop (last_level > 0 here, so no
-  // ChargePaths).
-  std::vector<Path> seed;
+  // ChargePaths). Seeds stay plain edges; each shard lifts its slice into
+  // its own arena as roots.
+  std::vector<Edge> seed = CollectMatchingEdges(universe, steps.front());
   Status trip;
-  for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
+  size_t seeded = 0;
+  for (; seeded < seed.size(); ++seeded) {
     if (!ctx.CheckStep().ok() ||
-        !ctx.ChargeBytes(sizeof(Path) + sizeof(Edge)).ok()) {
+        !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
       trip = ctx.limit_status();
       break;
     }
-    seed.emplace_back(e);
   }
+  seed.resize(seeded);
   if (!trip.ok()) {
     out.truncated = true;
     out.limit = std::move(trip);
@@ -249,24 +268,31 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   // ledgers in level-major, shard-major order.
   size_t emitted = 0;  // Final-level emissions replayed so far.
 
+  // Materializes the first `count` final-level chains across the shard
+  // arenas (shard-major = canonical order) — the one place paths exist as
+  // contiguous edge vectors.
+  auto merge_first = [&](size_t count) {
+    std::vector<Path> merged;
+    merged.reserve(count);
+    for (ShardLedger& ledger : ledgers) {
+      for (PathNodeId id : ledger.final_ids) {
+        if (merged.size() == count) break;
+        Path p;
+        ledger.arena.MaterializePrefixInto(id, path_length, p);
+        merged.push_back(std::move(p));
+      }
+      if (merged.size() == count) break;
+    }
+    return PathSet::FromSortedUnique(std::move(merged));
+  };
+
   // Assembles the governed result for a replay stop. `level` is the level
   // being replayed when the stop happened; the sequential fold keeps the
   // current level's partial output only when that level is final.
   auto truncated = [&](size_t level, Status limit) {
     out.truncated = true;
     out.limit = std::move(limit);
-    if (level == last_level) {
-      std::vector<Path> merged;
-      merged.reserve(emitted);
-      for (const ShardLedger& ledger : ledgers) {
-        for (const Path& p : ledger.final_paths) {
-          if (merged.size() == emitted) break;
-          merged.push_back(p);
-        }
-        if (merged.size() == emitted) break;
-      }
-      out.paths = PathSet::FromSortedUnique(std::move(merged));
-    }
+    if (level == last_level) out.paths = merge_first(emitted);
     out.stats = ctx.Snapshot();
     out.stats.truncated = true;  // Also set on under-coverage stops, where
                                  // the real context never tripped.
@@ -275,7 +301,6 @@ Result<GovernedPathSet> TraverseParallelGoverned(
 
   for (size_t k = 1; k <= last_level; ++k) {
     const bool final_level = k == last_level;
-    const size_t bytes_per_edge = sizeof(Path) + (k + 1) * sizeof(Edge);
     size_t staged = 0;
     for (size_t s = 0; s < num_shards; ++s) {
       const ShardLedger& ledger = ledgers[s];
@@ -296,7 +321,7 @@ Result<GovernedPathSet> TraverseParallelGoverned(
         switch (r.end) {
           case RunEnd::kComplete:
             if (!ctx.CheckStep(r.matches + 1).ok() ||
-                !ctx.ChargeBytes(r.matches * bytes_per_edge).ok()) {
+                !ctx.ChargeBytes(r.matches * PathArena::kNodeBytes).ok()) {
               return truncated(k, ctx.limit_status());
             }
             break;
@@ -325,7 +350,7 @@ Result<GovernedPathSet> TraverseParallelGoverned(
             // (CheckStep/ChargeBytes keep their increments on trip, exactly
             // like the sequential fold's accounting).
             if (!ctx.CheckStep(r.matches + 1).ok() ||
-                !ctx.ChargeBytes(r.matches * bytes_per_edge).ok()) {
+                !ctx.ChargeBytes(r.matches * PathArena::kNodeBytes).ok()) {
               return truncated(k, ctx.limit_status());
             }
             return truncated(k, ledger.local_status);  // Under-coverage.
@@ -335,12 +360,9 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   }
 
   // No trip anywhere: merge every shard's speculative output wholesale.
-  std::vector<Path> merged;
-  merged.reserve(emitted);
-  for (ShardLedger& ledger : ledgers) {
-    for (Path& p : ledger.final_paths) merged.push_back(std::move(p));
-  }
-  out.paths = PathSet::FromSortedUnique(std::move(merged));
+  size_t total = 0;
+  for (const ShardLedger& ledger : ledgers) total += ledger.final_ids.size();
+  out.paths = merge_first(total);
   out.stats = ctx.Snapshot();
   return out;
 }
@@ -357,3 +379,4 @@ Result<PathSet> TraverseParallel(const EdgeUniverse& universe,
 }
 
 }  // namespace mrpa
+

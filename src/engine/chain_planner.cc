@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "core/path_arena.h"
 #include "core/simplify.h"
 #include "core/traversal.h"
 
@@ -101,6 +102,16 @@ namespace {
 // this one seeds with the last step and extends paths at their tail via
 // the in-index. The path budget is charged for full-length (final level,
 // k == 0) paths only, mirroring the forward accounting.
+//
+// Arena-native, with SUFFIX chains: a frontier node's edge is the FIRST
+// edge of the suffix it chains, so extending at the tail is one node push
+// and γ−(p) is the O(1) TailOf projection. Unlike the forward fold, tail
+// extensions do not preserve canonical order (the new edge varies at the
+// FRONT of the path) — the old code re-canonicalized through
+// PathSetBuilder::Build() every level, which this version mirrors by
+// sorting the frontier's node ids with CompareSuffix (front-first, without
+// materializing). Suffixes are distinct by construction — distinct
+// (edge, suffix) pairs prepend to distinct paths — so no dedup pass.
 Result<GovernedPathSet> EvaluateBackwardGoverned(
     const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
     const PathSetLimits& limits, ExecContext& ctx) {
@@ -109,35 +120,55 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
       limits.max_paths.value_or(std::numeric_limits<size_t>::max());
   Status trip;
 
-  PathSetBuilder builder;
+  PathArena arena;
+  std::vector<PathNodeId> frontier;
+  std::vector<PathNodeId> next;
+
+  auto sort_level = [&](std::vector<PathNodeId>& ids) {
+    std::sort(ids.begin(), ids.end(), [&](PathNodeId a, PathNodeId b) {
+      return arena.CompareSuffix(a, b) < 0;
+    });
+  };
+  auto materialize = [&](const std::vector<PathNodeId>& ids, size_t length) {
+    std::vector<Path> paths;
+    paths.reserve(ids.size());
+    for (PathNodeId id : ids) {
+      Path p;
+      arena.MaterializeSuffixInto(id, length, p);
+      paths.push_back(std::move(p));
+    }
+    return PathSet::FromSortedUnique(std::move(paths));
+  };
+
+  // Seed with the LAST step's matching edges: length-1 suffixes, already in
+  // canonical order (CollectMatchingEdges is sorted).
   for (const Edge& e : CollectMatchingEdges(universe, steps.back())) {
     if (trip = ctx.CheckStep(); !trip.ok()) break;
     if (steps.size() == 1) {
       if (trip = ctx.ChargePaths(); !trip.ok()) break;
     }
-    if (trip = ctx.ChargeBytes(sizeof(Path) + sizeof(Edge)); !trip.ok()) {
-      break;
-    }
-    builder.Add(Path(e));
+    if (trip = ctx.ChargeBytes(PathArena::kNodeBytes); !trip.ok()) break;
+    frontier.push_back(arena.AddRoot(e));
   }
   if (!trip.ok()) {
     out.truncated = true;
     out.limit = std::move(trip);
-    if (steps.size() == 1) out.paths = builder.Build();
+    if (steps.size() == 1) out.paths = materialize(frontier, 1);
     out.stats = ctx.Snapshot();
     return out;
   }
-  PathSet acc = builder.Build();
 
-  for (size_t k = steps.size() - 1; k-- > 0 && !acc.empty();) {
+  size_t length = 1;  // Suffix length of the current frontier.
+  for (size_t k = steps.size() - 1; k-- > 0 && !frontier.empty();) {
     const bool final_level = k == 0;
-    for (const Path& p : acc) {
+    next.clear();
+    for (PathNodeId source : frontier) {
       // Extend at the tail: edges whose head is γ−(p), via the in-index.
-      for (EdgeIndex idx : universe.InEdgeIndices(p.Tail())) {
+      for (EdgeIndex idx : universe.InEdgeIndices(arena.TailOf(source))) {
         const Edge& e = universe.EdgeAt(idx);
         if (trip = ctx.CheckStep(); !trip.ok()) break;
         if (!steps[k].Matches(e)) continue;
-        if (builder.staged_size() >= hard_limit) {
+        if (next.size() >= hard_limit) {
           return Status::ResourceExhausted(
               "chain evaluation exceeded max_paths = " +
               std::to_string(hard_limit));
@@ -145,24 +176,26 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
         if (final_level) {
           if (trip = ctx.ChargePaths(); !trip.ok()) break;
         }
-        if (trip = ctx.ChargeBytes(ApproxBytes(p) + sizeof(Edge));
-            !trip.ok()) {
-          break;
-        }
-        builder.Add(Path(e).Concat(p));
+        if (trip = ctx.ChargeBytes(PathArena::kNodeBytes); !trip.ok()) break;
+        next.push_back(arena.Extend(source, e));
       }
       if (!trip.ok()) break;
     }
+    ++length;
     if (!trip.ok()) {
       out.truncated = true;
       out.limit = std::move(trip);
-      if (final_level) out.paths = builder.Build();
+      if (final_level) {
+        sort_level(next);
+        out.paths = materialize(next, length);
+      }
       out.stats = ctx.Snapshot();
       return out;
     }
-    acc = builder.Build();
+    sort_level(next);
+    frontier.swap(next);
   }
-  out.paths = std::move(acc);
+  out.paths = materialize(frontier, length);
   out.stats = ctx.Snapshot();
   return out;
 }

@@ -29,12 +29,17 @@ void StepPathIterator::MarkTruncated(Status status) {
   truncated_ = true;
   status_ = std::move(status);
   valid_ = false;
-  stack_.clear();
+  depth_ = 0;
+  arena_.Clear();
 }
 
 void StepPathIterator::SeekToFirst() {
-  stack_.clear();
-  current_ = Path();
+  // resize() keeps existing frames — and their candidate-vector capacity —
+  // so a re-seek (and every step after warmup) runs allocation-free.
+  frames_.resize(steps_.size());
+  depth_ = 0;
+  arena_.Clear();
+  current_.Clear();
   yielded_ = 0;
   exhausted_epsilon_ = false;
   // A sticky ExecContext keeps a re-seek truncated too; the flags are only
@@ -53,9 +58,8 @@ void StepPathIterator::SeekToFirst() {
     return;
   }
 
-  Frame root;
-  if (!FillFrame(0, kInvalidVertex, root)) return;
-  stack_.push_back(std::move(root));
+  if (!FillFrame(0, kInvalidVertex, frames_[0])) return;
+  depth_ = 1;
   valid_ = true;  // Tentative; Advance() clears it if nothing exists.
   Advance();
 }
@@ -69,7 +73,7 @@ void StepPathIterator::Next() {
     return;
   }
   // Consume the deepest frame's current edge and move on.
-  ++stack_.back().cursor;
+  ++frames_[depth_ - 1].cursor;
   Advance();
 }
 
@@ -98,42 +102,56 @@ bool StepPathIterator::FillFrame(size_t depth, VertexId prefix_head,
 }
 
 void StepPathIterator::Advance() {
-  while (!stack_.empty()) {
-    Frame& top = stack_.back();
+  // Invariant on entry to each loop turn: the arena holds exactly the
+  // chosen-edge chain of frames_[0..depth_-2] (node ids 0..depth_-3 feed
+  // depth_-2); the deepest frame's cursor edge is not yet in the arena.
+  while (depth_ > 0) {
+    Frame& top = frames_[depth_ - 1];
     if (top.cursor >= top.candidates.size()) {
-      // This frame is exhausted; backtrack.
-      stack_.pop_back();
-      if (!stack_.empty()) ++stack_.back().cursor;
+      // This frame is exhausted; backtrack. Drop the spine node for the
+      // edge we are abandoning — ids stay dense, capacity stays.
+      --depth_;
+      arena_.TruncateTo(depth_ == 0 ? 0 : depth_ - 1);
+      if (depth_ > 0) ++frames_[depth_ - 1].cursor;
       continue;
     }
-    if (stack_.size() == steps_.size()) {
-      // A complete path: charge it, then assemble it from the stack spine.
+    if (depth_ == steps_.size()) {
+      // A complete path: charge it, then materialize the spine plus the
+      // deepest frame's edge into current_'s retained buffer.
       if (exec_ != nullptr && !exec_->ChargePaths().ok()) {
         MarkTruncated(exec_->limit_status());
         return;
       }
-      std::vector<Edge> edges;
-      edges.reserve(stack_.size());
-      for (const Frame& frame : stack_) {
-        edges.push_back(frame.candidates[frame.cursor]);
+      if (depth_ == 1) {
+        current_.Clear();
+      } else {
+        arena_.MaterializePrefixInto(static_cast<PathNodeId>(depth_ - 2),
+                                     depth_ - 1, current_);
       }
-      current_ = Path(std::move(edges));
+      current_.Append(top.candidates[top.cursor]);
       ++yielded_;
       return;
     }
-    // Descend.
+    // Descend: commit this frame's cursor edge to the spine, then fill the
+    // next frame from its head.
     const Edge& chosen = top.candidates[top.cursor];
-    Frame next;
-    if (!FillFrame(stack_.size(), chosen.head, next)) return;
-    stack_.push_back(std::move(next));
+    if (depth_ == 1) {
+      arena_.AddRoot(chosen);
+    } else {
+      arena_.Extend(static_cast<PathNodeId>(depth_ - 2), chosen);
+    }
+    if (!FillFrame(depth_, chosen.head, frames_[depth_])) return;
+    ++depth_;
   }
   valid_ = false;
 }
 
 PathSet DrainToPathSet(StepPathIterator& it) {
-  PathSetBuilder builder;
-  for (; it.Valid(); it.Next()) builder.Add(it.Current());
-  return builder.Build();
+  // DFS order is the canonical (lexicographic) order and every yielded path
+  // is distinct, so the drain adopts without re-sorting.
+  std::vector<Path> paths;
+  for (; it.Valid(); it.Next()) paths.push_back(it.Current());
+  return PathSet::FromSortedUnique(std::move(paths));
 }
 
 PathSet ParallelDrainToPathSet(const EdgeUniverse& universe,

@@ -36,6 +36,7 @@
 #include "core/edge_pattern.h"
 #include "core/edge_universe.h"
 #include "core/path.h"
+#include "core/path_arena.h"
 #include "core/path_set.h"
 #include "util/exec_context.h"
 
@@ -87,6 +88,8 @@ class StepPathIterator {
   struct Frame {
     // The candidate edges for this step (the matching out-run of the
     // previous head, or the step-0 seed edges) and the cursor within them.
+    // Frames are persistent — candidates.clear() keeps the allocation, so
+    // a warm iterator refills frames without touching the heap.
     std::vector<Edge> candidates;
     size_t cursor = 0;
   };
@@ -95,8 +98,8 @@ class StepPathIterator {
   // (ignored at depth 0). Returns false when the step budget tripped.
   bool FillFrame(size_t depth, VertexId prefix_head, Frame& frame);
 
-  // Descends from the current stack until a full-length path is assembled
-  // or the stack empties.
+  // Descends from the current spine until a full-length path is assembled
+  // or the spine empties.
   void Advance();
 
   // Records a governance trip and invalidates the iterator.
@@ -108,7 +111,17 @@ class StepPathIterator {
   // CollectMatchingEdges — the sharded-enumeration constructor.
   std::optional<std::vector<Edge>> seed_override_;
   ExecContext* exec_;  // Nullable; not owned.
-  std::vector<Frame> stack_;
+  // One frame per step, allocated once; depth_ counts the active prefix
+  // (the DFS stack is frames_[0..depth_-1]).
+  std::vector<Frame> frames_;
+  size_t depth_ = 0;
+  // The chosen-edge spine above the deepest frame, as a prefix-sharing
+  // chain: the edge chosen at depth d lives at node id d (ids are
+  // sequential because TruncateTo on backtrack keeps them dense), so a
+  // complete path materializes from node steps-2 plus the deepest frame's
+  // cursor edge — into current_'s retained capacity, allocation-free once
+  // warm.
+  PathArena arena_;
   Path current_;
   bool valid_ = false;
   bool exhausted_epsilon_ = false;  // For the empty-steps case.

@@ -1,7 +1,11 @@
 #include "regex/generator.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
+#include <utility>
+
+#include "core/path_arena.h"
 
 namespace mrpa {
 
@@ -51,7 +55,8 @@ bool Collect(const Nfa& nfa, const Frontier& frontier, PathSet& out,
   return !(options.max_paths && out.size() > *options.max_paths);
 }
 
-bool HasConsumeTransition(const Nfa& nfa, const Frontier& frontier) {
+template <typename FrontierMap>
+bool HasConsumeTransition(const Nfa& nfa, const FrontierMap& frontier) {
   for (const auto& [pos, paths] : frontier) {
     (void)paths;
     for (const NfaTransition& t : nfa.TransitionsFrom(pos.state)) {
@@ -59,6 +64,103 @@ bool HasConsumeTransition(const Nfa& nfa, const Frontier& frontier) {
     }
   }
   return false;
+}
+
+// ---------------------------------------------------------------------------
+// Arena frontier (ProductGraphGenerator).
+//
+// The product-graph engine extends every working path by exactly one edge
+// per round, so a frontier's paths all have the same length (= the round
+// number) and ε appears only in the initial frontier. That uniformity lets
+// working sets live as sorted PathNodeId vectors into one prefix-sharing
+// arena: a push is one node, Distribute's union is a set_union over ids
+// (ComparePrefix, no materialization), and full paths exist only where the
+// API hands them out — at Collect. The stack machine above keeps the
+// materialized Frontier: it is the paper-literal §IV-B reference, one of
+// the legacy ApproxBytes call sites.
+
+// A working path set in arena form. Invariant: `ids` chain equal-length
+// paths, sorted by ComparePrefix (strictly — no duplicates).
+struct ArenaSet {
+  bool has_epsilon = false;
+  std::vector<PathNodeId> ids;
+
+  size_t size() const { return ids.size() + (has_epsilon ? 1 : 0); }
+  bool empty() const { return !has_epsilon && ids.empty(); }
+};
+
+using ArenaFrontier = std::map<NfaPosition, ArenaSet>;
+
+// Distributes `set` to `position` and its ε/break closure, unioning into
+// the frontier. Union of id vectors is a linear set_union; equal-comparing
+// chains (the same path reached through different transitions, as distinct
+// nodes) collapse to the first occurrence, mirroring PathSet's set
+// semantics.
+void DistributeArena(const Nfa& nfa, NfaPosition position,
+                     const ArenaSet& set, const PathArena& arena,
+                     ArenaFrontier& frontier) {
+  std::vector<NfaPosition> closure = {position};
+  EpsilonClose(nfa, closure);
+  for (const NfaPosition& pos : closure) {
+    auto [it, inserted] = frontier.try_emplace(pos, set);
+    if (inserted) continue;
+    ArenaSet& dst = it->second;
+    dst.has_epsilon = dst.has_epsilon || set.has_epsilon;
+    std::vector<PathNodeId> merged;
+    merged.reserve(dst.ids.size() + set.ids.size());
+    std::set_union(dst.ids.begin(), dst.ids.end(), set.ids.begin(),
+                   set.ids.end(), std::back_inserter(merged),
+                   [&](PathNodeId a, PathNodeId b) {
+                     return arena.ComparePrefix(a, b) < 0;
+                   });
+    dst.ids = std::move(merged);
+  }
+}
+
+ArenaFrontier InitialArenaFrontier(const Nfa& nfa) {
+  ArenaFrontier frontier;
+  ArenaSet epsilon;
+  epsilon.has_epsilon = true;
+  // The stack starts holding {ε}; position 0 has no previous edge, so the
+  // first consumption is adjacency-free (break armed). No arena nodes exist
+  // yet, so the (unused) arena argument is a throwaway.
+  DistributeArena(nfa, {nfa.start(), true}, epsilon, PathArena(), frontier);
+  return frontier;
+}
+
+// The API boundary: materializes an arena working set of `length`-edge
+// chains into a canonical PathSet. ε (only ever present at length 0) sorts
+// first; ids are already in canonical order, so the vector adopts unsorted.
+PathSet MaterializeArenaSet(const PathArena& arena, const ArenaSet& set,
+                            size_t length) {
+  std::vector<Path> paths;
+  paths.reserve(set.size());
+  if (set.has_epsilon) paths.emplace_back();
+  for (PathNodeId id : set.ids) {
+    Path p;
+    arena.MaterializePrefixInto(id, length, p);
+    paths.push_back(std::move(p));
+  }
+  return PathSet::FromSortedUnique(std::move(paths));
+}
+
+// Collects accept-state stack tops into `out`; same contract as Collect.
+bool CollectArena(const Nfa& nfa, const ArenaFrontier& frontier,
+                  const PathArena& arena, size_t length, PathSet& out,
+                  const GenerateOptions& options, Status& limit) {
+  const size_t before = out.size();
+  for (const auto& [pos, set] : frontier) {
+    if (pos.state != nfa.accept()) continue;
+    out = Union(out, MaterializeArenaSet(arena, set, length));
+  }
+  if (options.exec != nullptr && out.size() > before) {
+    if (Status trip = options.exec->ChargePaths(out.size() - before);
+        !trip.ok()) {
+      limit = std::move(trip);
+      return false;
+    }
+  }
+  return !(options.max_paths && out.size() > *options.max_paths);
 }
 
 std::vector<PathSet> MaterializePatternSets(const Nfa& nfa,
@@ -156,15 +258,22 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
   const std::vector<PathSet> pattern_sets =
       MaterializePatternSets(nfa_, universe);
 
+  // One arena for the whole generation: every round's frontiers chain into
+  // it, so a path reached through r rounds costs r nodes total instead of
+  // r materialized copies of growing length. Byte budgets are charged the
+  // exact kNodeBytes per pushed extension.
+  PathArena arena;
+
   GenerateResult result;
-  Frontier frontier = InitialFrontier(nfa_);
-  if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
+  ArenaFrontier frontier = InitialArenaFrontier(nfa_);
+  if (!CollectArena(nfa_, frontier, arena, 0, result.paths, options,
+                    result.limit)) {
     result.truncated = true;
     return result;
   }
 
   for (size_t round = 0; round < options.max_path_length; ++round) {
-    Frontier next;
+    ArenaFrontier next;
     Status trip;
     for (const auto& [pos, working_set] : frontier) {
       if (options.exec != nullptr &&
@@ -174,32 +283,42 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
       for (const NfaTransition& t : nfa_.TransitionsFrom(pos.state)) {
         if (t.type != NfaTransition::Type::kConsume) continue;
         const EdgePattern& pattern = nfa_.patterns()[t.pattern_id];
-        PathSetBuilder builder;
-        for (const Path& path : working_set) {
-          if (pos.break_armed || path.empty()) {
-            // Adjacency-free step: any matching edge extends the path.
+        // Pushed ids come out sorted with no duplicates: sources are
+        // iterated in canonical order (ε first, then sorted ids), each
+        // source's extension edges arrive in edge order (pattern sets are
+        // canonical; out-runs are (label, head)-sorted), and equal-length
+        // extensions of distinct sources stay distinct.
+        ArenaSet pushed;
+        if (working_set.has_epsilon) {
+          // Adjacency-free by definition: ε has no head to join on.
+          for (const Path& edge_path : pattern_sets[t.pattern_id]) {
+            pushed.ids.push_back(arena.AddRoot(edge_path.edge(0)));
+          }
+        }
+        for (PathNodeId source : working_set.ids) {
+          if (pos.break_armed) {
+            // Break seam: any matching edge extends the path (×◦).
             for (const Path& edge_path : pattern_sets[t.pattern_id]) {
-              builder.Add(path.Concat(edge_path));
+              pushed.ids.push_back(arena.Extend(source, edge_path.edge(0)));
             }
           } else {
             // Joint step: only out-edges of the head can extend — the
             // index lookup that makes this engine cheap (narrowed further
             // to the label sub-run for single-label patterns).
             ForEachMatchingOutEdge(
-                universe, path.Head(), pattern, [&](const Edge& e) {
-                  Path extended = path;
-                  extended.Append(e);
-                  builder.Add(std::move(extended));
+                universe, arena.HeadOf(source), pattern, [&](const Edge& e) {
+                  pushed.ids.push_back(arena.Extend(source, e));
                 });
           }
         }
-        PathSet pushed = builder.Build();
-        if (pushed.empty()) continue;
+        if (pushed.empty()) continue;  // ∅ halts this branch.
         if (options.exec != nullptr &&
-            !(trip = options.exec->ChargeBytes(ApproxBytes(pushed))).ok()) {
+            !(trip = options.exec->ChargeBytes(pushed.ids.size() *
+                                               PathArena::kNodeBytes))
+                 .ok()) {
           break;
         }
-        Distribute(nfa_, {t.target, false}, pushed, next);
+        DistributeArena(nfa_, {t.target, false}, pushed, arena, next);
       }
       if (!trip.ok()) break;
     }
@@ -211,7 +330,8 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
     if (next.empty()) break;
     frontier = std::move(next);
     result.rounds = round + 1;
-    if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
+    if (!CollectArena(nfa_, frontier, arena, round + 1, result.paths, options,
+                      result.limit)) {
       result.truncated = true;
       return result;
     }

@@ -16,22 +16,32 @@ Result<NfaRecognizer> NfaRecognizer::Compile(const PathExpr& expr) {
 bool NfaRecognizer::Recognize(const Path& path) const {
   // Ungoverned simulation never fails: the null-context impl only returns
   // a non-OK Status when a guard is present.
-  return RecognizeImpl(path, nullptr).value();
+  return RecognizeImpl(path.edges(), nullptr).value();
 }
 
 Result<bool> NfaRecognizer::Recognize(const Path& path,
                                       ExecContext& ctx) const {
-  return RecognizeImpl(path, &ctx);
+  return RecognizeImpl(path.edges(), &ctx);
 }
 
-Result<bool> NfaRecognizer::RecognizeImpl(const Path& path, ExecContext* ctx,
+bool NfaRecognizer::Recognize(std::span<const Edge> edges) const {
+  return RecognizeImpl(edges, nullptr).value();
+}
+
+Result<bool> NfaRecognizer::Recognize(std::span<const Edge> edges,
+                                      ExecContext& ctx) const {
+  return RecognizeImpl(edges, &ctx);
+}
+
+Result<bool> NfaRecognizer::RecognizeImpl(std::span<const Edge> edges,
+                                          ExecContext* ctx,
                                           std::vector<uint32_t>* widths) const {
   // Position 0 has no previous edge, so adjacency is vacuously satisfied:
   // start with the break armed.
   std::vector<NfaPosition> current = {{nfa_.start(), true}};
   EpsilonClose(nfa_, current);
 
-  for (size_t n = 0; n < path.length(); ++n) {
+  for (size_t n = 0; n < edges.size(); ++n) {
     if (widths != nullptr) {
       widths->push_back(static_cast<uint32_t>(current.size()));
     }
@@ -39,8 +49,8 @@ Result<bool> NfaRecognizer::RecognizeImpl(const Path& path, ExecContext* ctx,
       // The frontier width is the per-edge simulation cost.
       MRPA_RETURN_IF_ERROR(ctx->CheckStep(current.size() + 1));
     }
-    const Edge& e = path.edge(n);
-    const bool adjacent = n == 0 || path.edge(n - 1).head == e.tail;
+    const Edge& e = edges[n];
+    const bool adjacent = n == 0 || edges[n - 1].head == e.tail;
     std::vector<NfaPosition> next;
     for (const NfaPosition& pos : current) {
       if (!pos.break_armed && !adjacent) continue;
@@ -97,7 +107,7 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
     // trip ends the scan with the accepted prefix.
     std::vector<Path> kept;
     for (const Path& p : paths) {
-      Result<bool> verdict = RecognizeImpl(p, &ctx);
+      Result<bool> verdict = RecognizeImpl(p.edges(), &ctx);
       if (!verdict.ok()) {
         out.truncated = true;
         out.limit = verdict.status();
@@ -135,7 +145,7 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
     shard.records.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
       PathRecord& record = shard.records.emplace_back();
-      Result<bool> verdict = RecognizeImpl(paths[i], &quiet, &record.widths);
+      Result<bool> verdict = RecognizeImpl(paths[i].edges(), &quiet, &record.widths);
       if (!verdict.ok()) {
         record.tripped = true;
         shard.local_status = quiet.limit_status();

@@ -19,6 +19,7 @@
 #define MRPA_REGEX_RECOGNIZER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/path.h"
@@ -50,6 +51,13 @@ class NfaRecognizer {
   // trip the verdict is unavailable — the guard's Status comes back.
   Result<bool> Recognize(const Path& path, ExecContext& ctx) const;
 
+  // Span forms: recognition over any contiguous edge sequence, without
+  // constructing a Path. Streaming engines (arena frontiers, reused
+  // scratch buffers) judge candidates here copy-free; the Path overloads
+  // are thin wrappers over these.
+  bool Recognize(std::span<const Edge> edges) const;
+  Result<bool> Recognize(std::span<const Edge> edges, ExecContext& ctx) const;
+
   // Batch filtering: { p ∈ candidates | p ∈ L(R) }, the recognizer-guided
   // step of §IV-A used to refine traversal output. With a pool, candidate
   // slices are recognized concurrently (Recognize is const and
@@ -78,7 +86,7 @@ class NfaRecognizer {
   // When `widths` is non-null, the frontier width at each consumed edge is
   // appended to it (the arguments of the CheckStep calls a governed run
   // makes) — the recording hook of the parallel batch ledger.
-  Result<bool> RecognizeImpl(const Path& path, ExecContext* ctx,
+  Result<bool> RecognizeImpl(std::span<const Edge> edges, ExecContext* ctx,
                              std::vector<uint32_t>* widths = nullptr) const;
 
   Nfa nfa_;

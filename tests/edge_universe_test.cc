@@ -1,0 +1,102 @@
+// Boundary tests for the EdgeUniverse default implementations:
+// OutEdgesWithLabel's binary search over the (label, head)-sorted out-run,
+// and HasEdge's search over the canonical edge array — including the empty
+// universe and out-of-range inputs the hot loops must shrug off.
+
+#include "core/edge_universe.h"
+
+#include <vector>
+
+#include "core/edge.h"
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+
+namespace mrpa {
+namespace {
+
+Edge E(uint32_t tail, uint32_t label, uint32_t head) {
+  return Edge{tail, label, head};
+}
+
+// Vertex 0 carries out-runs under labels 1 and 3 (label 2 deliberately
+// absent in the middle), vertex 1 a single-label run, vertex 2 nothing.
+MultiRelationalGraph MakeGraph() {
+  MultiGraphBuilder builder;
+  builder.AddEdge(E(0, 1, 4));
+  builder.AddEdge(E(0, 1, 5));
+  builder.AddEdge(E(0, 3, 2));
+  builder.AddEdge(E(0, 3, 6));
+  builder.AddEdge(E(0, 3, 7));
+  builder.AddEdge(E(1, 2, 0));
+  builder.ReserveVertices(8);
+  builder.ReserveLabels(5);
+  return builder.Build();
+}
+
+TEST(OutEdgesWithLabelTest, FirstLabelInRun) {
+  MultiRelationalGraph g = MakeGraph();
+  auto run = g.OutEdgesWithLabel(0, 1);
+  ASSERT_EQ(run.size(), 2u);
+  EXPECT_EQ(run[0], E(0, 1, 4));
+  EXPECT_EQ(run[1], E(0, 1, 5));
+}
+
+TEST(OutEdgesWithLabelTest, LastLabelInRun) {
+  MultiRelationalGraph g = MakeGraph();
+  auto run = g.OutEdgesWithLabel(0, 3);
+  ASSERT_EQ(run.size(), 3u);
+  EXPECT_EQ(run[0], E(0, 3, 2));
+  EXPECT_EQ(run[2], E(0, 3, 7));
+}
+
+TEST(OutEdgesWithLabelTest, LabelAbsentInsideTheRun) {
+  // Label 2 sorts between the present labels 1 and 3: both binary-search
+  // bounds land on the same spot and the sub-run is empty.
+  MultiRelationalGraph g = MakeGraph();
+  EXPECT_TRUE(g.OutEdgesWithLabel(0, 2).empty());
+}
+
+TEST(OutEdgesWithLabelTest, LabelPastEveryPresentLabel) {
+  MultiRelationalGraph g = MakeGraph();
+  EXPECT_TRUE(g.OutEdgesWithLabel(0, 4).empty());
+  EXPECT_TRUE(g.OutEdgesWithLabel(1, 0).empty());  // Before the only label.
+}
+
+TEST(OutEdgesWithLabelTest, SingleLabelRunIsTheWholeRun) {
+  MultiRelationalGraph g = MakeGraph();
+  auto run = g.OutEdgesWithLabel(1, 2);
+  ASSERT_EQ(run.size(), 1u);
+  EXPECT_EQ(run[0], E(1, 2, 0));
+}
+
+TEST(OutEdgesWithLabelTest, VertexWithNoOutEdges) {
+  MultiRelationalGraph g = MakeGraph();
+  EXPECT_TRUE(g.OutEdgesWithLabel(2, 1).empty());
+}
+
+TEST(OutEdgesWithLabelTest, OutOfRangeVertex) {
+  MultiRelationalGraph g = MakeGraph();
+  EXPECT_TRUE(g.OutEdgesWithLabel(7, 1).empty());    // In range, sink only.
+  EXPECT_TRUE(g.OutEdgesWithLabel(8, 1).empty());    // First out of range.
+  EXPECT_TRUE(g.OutEdgesWithLabel(1000, 0).empty());
+}
+
+TEST(HasEdgeTest, PresentAndAbsentEdges) {
+  MultiRelationalGraph g = MakeGraph();
+  EXPECT_TRUE(g.HasEdge(E(0, 3, 6)));
+  EXPECT_TRUE(g.HasEdge(E(1, 2, 0)));
+  EXPECT_FALSE(g.HasEdge(E(0, 2, 4)));   // Label absent.
+  EXPECT_FALSE(g.HasEdge(E(0, 3, 8)));   // Head never reached.
+  EXPECT_FALSE(g.HasEdge(E(6, 3, 0)));   // Reversed direction.
+}
+
+TEST(HasEdgeTest, EmptyUniverse) {
+  MultiRelationalGraph empty;
+  EXPECT_EQ(empty.num_edges(), 0u);
+  EXPECT_FALSE(empty.HasEdge(E(0, 0, 0)));
+  EXPECT_FALSE(empty.HasEdge(E(3, 1, 2)));
+  EXPECT_TRUE(empty.OutEdgesWithLabel(0, 0).empty());
+}
+
+}  // namespace
+}  // namespace mrpa

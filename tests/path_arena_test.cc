@@ -1,0 +1,178 @@
+// Unit tests for the prefix-sharing PathArena (core/path_arena.h): node
+// layout, both chaining conventions, materialization into reused buffers,
+// comparison without materialization, truncation, and the PathView
+// streaming surface.
+
+#include "core/path_arena.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/edge.h"
+#include "core/path.h"
+#include "gtest/gtest.h"
+
+namespace mrpa {
+namespace {
+
+Edge E(uint32_t tail, uint32_t label, uint32_t head) {
+  return Edge{tail, label, head};
+}
+
+TEST(PathArenaTest, NodeLayoutIsPacked) {
+  // The governed byte accounting charges exactly this per extension.
+  EXPECT_EQ(PathArena::kNodeBytes, 16u);
+  EXPECT_EQ(sizeof(PathArenaNode), 16u);
+}
+
+TEST(PathArenaTest, RootsAndExtensionsAssignSequentialIds) {
+  PathArena arena;
+  EXPECT_TRUE(arena.empty());
+  PathNodeId a = arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.Extend(a, E(1, 0, 2));
+  PathNodeId c = arena.Extend(b, E(2, 1, 3));
+  PathNodeId d = arena.Extend(a, E(1, 1, 5));  // Shares a's prefix.
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_EQ(d, 3u);
+  EXPECT_EQ(arena.size(), 4u);
+  EXPECT_EQ(arena.node(a).parent, kNullPathNode);
+  EXPECT_EQ(arena.node(d).parent, a);
+}
+
+TEST(PathArenaTest, EndpointProjectionsAreConventionSpecific) {
+  PathArena arena;
+  PathNodeId root = arena.AddRoot(E(0, 0, 1));
+  PathNodeId leaf = arena.Extend(root, E(1, 0, 2));
+  // Prefix chain: node.edge is the LAST edge → γ+ is one load.
+  EXPECT_EQ(arena.HeadOf(leaf), 2u);
+  // Suffix chain: node.edge is the FIRST edge → γ− is one load.
+  EXPECT_EQ(arena.TailOf(leaf), 1u);
+  EXPECT_EQ(arena.DepthOf(leaf), 2u);
+  EXPECT_EQ(arena.DepthOf(root), 1u);
+}
+
+TEST(PathArenaTest, MaterializePrefixChainIsRootFirst) {
+  PathArena arena;
+  PathNodeId a = arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.Extend(a, E(1, 0, 2));
+  PathNodeId c = arena.Extend(b, E(2, 1, 3));
+  Path p = arena.MaterializePrefix(c);
+  EXPECT_EQ(p, Path({E(0, 0, 1), E(1, 0, 2), E(2, 1, 3)}));
+  EXPECT_TRUE(p.IsJoint());
+}
+
+TEST(PathArenaTest, MaterializeSuffixChainIsLeafFirst) {
+  // Suffix chains grow at the FRONT: each node's edge precedes its
+  // parent's path. Built backward, materialized forward.
+  PathArena arena;
+  PathNodeId last = arena.AddRoot(E(2, 1, 3));
+  PathNodeId mid = arena.Extend(last, E(1, 0, 2));
+  PathNodeId first = arena.Extend(mid, E(0, 0, 1));
+  Path p = arena.MaterializeSuffix(first);
+  EXPECT_EQ(p, Path({E(0, 0, 1), E(1, 0, 2), E(2, 1, 3)}));
+}
+
+TEST(PathArenaTest, MaterializeIntoReusesTheBuffer) {
+  PathArena arena;
+  PathNodeId a = arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.Extend(a, E(1, 0, 2));
+  PathNodeId c = arena.Extend(b, E(2, 0, 3));
+
+  Path scratch;
+  arena.MaterializePrefixInto(c, 3, scratch);
+  EXPECT_EQ(scratch.length(), 3u);
+  const size_t cap = scratch.capacity();
+  ASSERT_GE(cap, 3u);
+
+  // Refilling a shorter chain must not reallocate.
+  arena.MaterializePrefixInto(b, 2, scratch);
+  EXPECT_EQ(scratch, Path({E(0, 0, 1), E(1, 0, 2)}));
+  EXPECT_EQ(scratch.capacity(), cap);
+
+  arena.MaterializeSuffixInto(a, 1, scratch);
+  EXPECT_EQ(scratch, Path(E(0, 0, 1)));
+  EXPECT_EQ(scratch.capacity(), cap);
+}
+
+TEST(PathArenaTest, ComparePrefixIsFrontFirstLexicographic) {
+  PathArena arena;
+  PathNodeId a = arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.AddRoot(E(0, 1, 1));
+  PathNodeId aa = arena.Extend(a, E(1, 0, 2));
+  PathNodeId ab = arena.Extend(a, E(1, 0, 3));
+  PathNodeId ba = arena.Extend(b, E(0, 0, 0));  // Later prefix wins.
+
+  EXPECT_EQ(arena.ComparePrefix(a, b), std::strong_ordering::less);
+  EXPECT_EQ(arena.ComparePrefix(aa, ab), std::strong_ordering::less);
+  EXPECT_EQ(arena.ComparePrefix(ab, ba), std::strong_ordering::less);
+  EXPECT_EQ(arena.ComparePrefix(aa, aa), std::strong_ordering::equal);
+  // Mirrors Path's canonical operator<=>.
+  EXPECT_TRUE(arena.MaterializePrefix(ab) < arena.MaterializePrefix(ba));
+}
+
+TEST(PathArenaTest, CompareSuffixIsFrontFirstLexicographic) {
+  PathArena arena;
+  // Suffix chains: the LEAF edge is the path's first edge.
+  PathNodeId x = arena.AddRoot(E(5, 0, 6));
+  PathNodeId y = arena.AddRoot(E(7, 0, 8));
+  PathNodeId px = arena.Extend(x, E(1, 0, 5));  // (1,0,5)(5,0,6)
+  PathNodeId py = arena.Extend(y, E(1, 0, 5));  // (1,0,5)(7,0,8)
+  PathNodeId pz = arena.Extend(x, E(2, 0, 5));  // (2,0,5)(5,0,6)
+
+  EXPECT_EQ(arena.CompareSuffix(px, py), std::strong_ordering::less);
+  EXPECT_EQ(arena.CompareSuffix(py, pz), std::strong_ordering::less);
+  EXPECT_EQ(arena.CompareSuffix(px, px), std::strong_ordering::equal);
+  EXPECT_TRUE(arena.MaterializeSuffix(px) < arena.MaterializeSuffix(py));
+  EXPECT_TRUE(arena.MaterializeSuffix(py) < arena.MaterializeSuffix(pz));
+}
+
+TEST(PathArenaTest, TruncateToDropsTailNodes) {
+  PathArena arena;
+  arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.Extend(0, E(1, 0, 2));
+  arena.Extend(b, E(2, 0, 3));
+  arena.TruncateTo(2);
+  EXPECT_EQ(arena.size(), 2u);
+  // Re-extending reuses the freed id — the DFS-spine backtrack pattern.
+  PathNodeId again = arena.Extend(b, E(2, 0, 9));
+  EXPECT_EQ(again, 2u);
+  EXPECT_EQ(arena.MaterializePrefix(again),
+            Path({E(0, 0, 1), E(1, 0, 2), E(2, 0, 9)}));
+  arena.Clear();
+  EXPECT_TRUE(arena.empty());
+}
+
+TEST(PathArenaTest, PathViewStreamsWithoutMaterializing) {
+  PathArena arena;
+  PathNodeId a = arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.Extend(a, E(1, 1, 2));
+  PathView view(arena, b, 2);
+
+  EXPECT_EQ(view.length(), 2u);
+  EXPECT_EQ(view.Head(), 2u);
+
+  std::vector<Edge> reversed;
+  view.ForEachEdgeReverse([&](const Edge& e) { reversed.push_back(e); });
+  ASSERT_EQ(reversed.size(), 2u);
+  EXPECT_EQ(reversed[0], E(1, 1, 2));  // Leaf→root = reverse path order.
+  EXPECT_EQ(reversed[1], E(0, 0, 1));
+
+  Path out;
+  view.MaterializeInto(out);
+  EXPECT_EQ(out, Path({E(0, 0, 1), E(1, 1, 2)}));
+  EXPECT_EQ(view.Materialize(), out);
+}
+
+TEST(PathArenaTest, MoveTransfersNodes) {
+  PathArena arena;
+  PathNodeId a = arena.AddRoot(E(0, 0, 1));
+  PathNodeId b = arena.Extend(a, E(1, 0, 2));
+  PathArena moved = std::move(arena);
+  EXPECT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved.MaterializePrefix(b), Path({E(0, 0, 1), E(1, 0, 2)}));
+}
+
+}  // namespace
+}  // namespace mrpa
