@@ -11,30 +11,53 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "generators/generators.h"
 #include "graph/multi_graph.h"
+#include "obs/json_writer.h"
+#include "obs/obs.h"
 
 namespace mrpa::bench {
 
+// The registry behind `--trace=FILE`. Null unless the flag was passed —
+// governed benchmarks attach it unconditionally (AttachObs(nullptr) is the
+// no-op default), so a plain run measures the disabled-mode cost and a
+// --trace run emits the span/counter breakdown.
+inline obs::ObsRegistry*& TraceRegistrySlot() {
+  static obs::ObsRegistry* slot = nullptr;
+  return slot;
+}
+inline obs::ObsRegistry* TraceRegistry() { return TraceRegistrySlot(); }
+
 // Entry point used by MRPA_BENCH_MAIN(). Identical to BENCHMARK_MAIN()
-// except that the CI shorthand `--json=FILE` is expanded into the library's
-// `--benchmark_out=FILE --benchmark_out_format=json` pair, so
-// scripts/ci_bench.sh can emit machine-readable BENCH_<n>.json files with
-// one uniform flag. All other arguments pass through untouched.
+// except for two CI shorthands:
+//   * `--json=FILE` expands into the library's `--benchmark_out=FILE
+//     --benchmark_out_format=json` pair, so scripts/ci_bench.sh can emit
+//     machine-readable BENCH_<n>.json files with one uniform flag;
+//   * `--trace=FILE` attaches a process-wide ObsRegistry (see
+//     TraceRegistry()) and writes its ToJson() to FILE after the run, so
+//     E15–E17 can emit span breakdowns next to their timing JSON.
+// All other arguments pass through untouched. FILE paths are escaped with
+// the obs JSON writer when embedded in output, never spliced raw.
 inline int RunBenchmarks(int argc, char** argv) {
+  std::string trace_path;
   std::vector<std::string> expanded;
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       expanded.push_back("--benchmark_out=" + arg.substr(7));
       expanded.push_back("--benchmark_out_format=json");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
     } else {
       expanded.push_back(arg);
     }
   }
+  static obs::ObsRegistry trace_registry;
+  if (!trace_path.empty()) TraceRegistrySlot() = &trace_registry;
   std::vector<char*> args;
   args.reserve(expanded.size());
   for (std::string& s : expanded) args.push_back(s.data());
@@ -45,6 +68,16 @@ inline int RunBenchmarks(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) return 1;
+    // Wrap the registry dump with the emitting binary's name so a directory
+    // of trace files stays self-describing. argv[0] is user-controlled
+    // text: quote it through the shared escaper.
+    out << "{\"binary\":" << obs::JsonQuote(argc > 0 ? argv[0] : "")
+        << ",\"obs\":" << trace_registry.ToJson() << "}\n";
+    if (!out.good()) return 1;
+  }
   return 0;
 }
 

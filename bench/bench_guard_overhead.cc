@@ -17,6 +17,7 @@
 #include "bench/bench_common.h"
 #include "core/traversal.h"
 #include "engine/path_iterator.h"
+#include "obs/obs.h"
 #include "util/exec_context.h"
 #include "util/fault_injector.h"
 
@@ -82,6 +83,7 @@ void BM_FoldGovernedUnlimited(benchmark::State& state) {
   size_t paths = 0;
   for (auto _ : state) {
     ExecContext ctx;
+    ctx.AttachObs(bench::TraceRegistry());
     auto result = TraverseGoverned(g, {steps, {}}, ctx);
     paths = result->paths.size();
     benchmark::DoNotOptimize(result);
@@ -89,6 +91,26 @@ void BM_FoldGovernedUnlimited(benchmark::State& state) {
   state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
 }
 BENCHMARK(BM_FoldGovernedUnlimited);
+
+// The enabled-mode cost: same fold with an ObsRegistry always attached.
+// The gap to BM_FoldGovernedUnlimited is what a traversal pays for live
+// counters and spans; the gap between BM_FoldGovernedUnlimited and
+// BM_FoldUngoverned is the disabled-mode (≤2%) claim E18 records.
+void BM_FoldGovernedObserved(benchmark::State& state) {
+  auto g = MakeErGraph(2000, 4, 2.0);
+  auto steps = AnySteps();
+  obs::ObsRegistry registry;
+  size_t paths = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.AttachObs(&registry);
+    auto result = TraverseGoverned(g, {steps, {}}, ctx);
+    paths = result->paths.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_FoldGovernedObserved);
 
 void BM_IteratorUngoverned(benchmark::State& state) {
   auto g = MakeErGraph(2000, 4, 2.0);
@@ -110,6 +132,7 @@ void BM_IteratorGovernedUnlimited(benchmark::State& state) {
   size_t paths = 0;
   for (auto _ : state) {
     ExecContext ctx;
+    ctx.AttachObs(bench::TraceRegistry());
     StepPathIterator it(g, steps, &ctx);
     paths = 0;
     for (; it.Valid(); it.Next()) ++paths;

@@ -106,6 +106,7 @@ void BM_ParallelGovernedFold(benchmark::State& state) {
   options.pool = &pool;
   for (auto _ : state) {
     ExecContext ctx;
+    ctx.AttachObs(bench::TraceRegistry());
     Result<GovernedPathSet> result =
         TraverseParallelGoverned(graph, spec, ctx, options);
     benchmark::DoNotOptimize(result);

@@ -194,6 +194,9 @@ void RunFoldBench(benchmark::State& state, Fold fold) {
   for (auto _ : state) {
     ArmHeapTracking();
     ExecContext ctx;
+    // Null unless --trace=FILE was passed, so the heap counts below stay
+    // span-free on ordinary runs.
+    ctx.AttachObs(bench::TraceRegistry());
     Result<GovernedPathSet> result = fold(graph, spec, ctx);
     heap = DisarmHeapTracking();
     paths = result.ok() ? result->paths.size() : 0;

@@ -5,9 +5,11 @@
 # E15 (governance guard overhead), E16 (parallel fold speedup), E17 (path
 # arena vs materialized fold) — writing one machine-readable BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
-# bench/bench_common.h). Numbers land in EXPERIMENTS.md by hand; the JSON
-# files are for trend dashboards and CI diffing, not a hard gate — bench
-# wall-clock on shared runners is too noisy to fail a build on.
+# bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
+# --trace (the ObsRegistry export; schema locked by tests/obs_json_test.cc).
+# Numbers land in EXPERIMENTS.md by hand; the JSON files are for trend
+# dashboards and CI diffing, not a hard gate — bench wall-clock on shared
+# runners is too noisy to fail a build on.
 #
 # Usage: scripts/ci_bench.sh [build-dir] [out-dir]
 #        (defaults: build-bench, bench-results)
@@ -18,7 +20,9 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-bench}"
 OUT_DIR="${2:-bench-results}"
-MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5s}"
+# Plain seconds, no unit suffix: the google-benchmark builds we run against
+# parse --benchmark_min_time as a bare double and reject "0.5s".
+MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
@@ -29,9 +33,15 @@ mkdir -p "${OUT_DIR}"
 run_bench() {  # run_bench <experiment-number> <binary>
   local n="$1" bin="$2"
   echo "=== E${n}: ${bin} ==="
+  # Timing pass first, registry detached — BENCH_<n>.json numbers are the
+  # disabled-mode figures the E18 overhead claim gates on.
   "${BUILD_DIR}/bench/${bin}" \
     --benchmark_min_time="${MIN_TIME}" \
     --json="${OUT_DIR}/BENCH_${n}.json"
+  # Then a short instrumented pass for the span/counter breakdown.
+  "${BUILD_DIR}/bench/${bin}" \
+    --benchmark_min_time=0.1 \
+    --trace="${OUT_DIR}/TRACE_${n}.json" >/dev/null
 }
 
 run_bench 15 bench_guard_overhead

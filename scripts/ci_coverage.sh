@@ -1,0 +1,116 @@
+#!/usr/bin/env bash
+# Line-coverage job (gcov, zero extra dependencies).
+#
+# Builds the tree with -DMRPA_COVERAGE=ON (gcc --coverage, -O0), runs the
+# full ctest matrix, then reduces the per-object gcov JSON into a line
+# coverage report over src/. The one hard gate: src/obs/ must stay at or
+# above the checked-in threshold (80% of executable lines), because the
+# observability layer is the instrument everything else is measured with —
+# an unexercised hook is indistinguishable from a broken one.
+#
+# Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
+# Env:   MRPA_COVERAGE_THRESHOLD_OBS — override the src/obs gate (default 80).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-coverage}"
+THRESHOLD="${MRPA_COVERAGE_THRESHOLD_OBS:-80}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DMRPA_COVERAGE=ON \
+  -DMRPA_BUILD_BENCHMARKS=OFF \
+  -DMRPA_BUILD_EXAMPLES=OFF
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+# Every .gcda under the build tree is one instrumented object with runtime
+# counts; gcov -jt emits its line table as JSON on stdout. The reducer
+# takes the max execution count per (source line) across objects (a header
+# inlined into many TUs is covered if any TU ran it).
+find "${BUILD_DIR}" -name '*.gcda' | sort > "${BUILD_DIR}/gcda_files.txt"
+if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
+  echo "error: no .gcda files under ${BUILD_DIR} — did the tests run?" >&2
+  exit 1
+fi
+
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" <<'PY'
+import collections
+import json
+import os
+import subprocess
+import sys
+
+gcda_list, threshold = sys.argv[1], float(sys.argv[2])
+repo = os.getcwd()
+src_root = os.path.join(repo, "src")
+
+# (file -> line -> max count) over all objects.
+lines = collections.defaultdict(dict)
+with open(gcda_list) as f:
+    gcda_files = [os.path.abspath(line.strip()) for line in f if line.strip()]
+for gcda in gcda_files:
+    # gcov resolves the companion .gcno relative to its cwd, so run it in
+    # the object directory and hand it the bare filename.
+    out = subprocess.run(
+        ["gcov", "-jt", os.path.basename(gcda)],
+        capture_output=True, text=True, cwd=os.path.dirname(gcda))
+    if out.returncode != 0:
+        continue  # Stale counter files are skippable, missing gcov is not.
+    for doc in out.stdout.splitlines():
+        doc = doc.strip()
+        if not doc:
+            continue
+        data = json.loads(doc)
+        for entry in data.get("files", []):
+            path = os.path.normpath(
+                os.path.join(os.path.dirname(gcda), entry["file"])
+                if not os.path.isabs(entry["file"]) else entry["file"])
+            if not path.startswith(src_root + os.sep):
+                continue
+            table = lines[os.path.relpath(path, repo)]
+            for ln in entry.get("lines", []):
+                n = ln["line_number"]
+                table[n] = max(table.get(n, 0), ln["count"])
+
+if not lines:
+    sys.exit("error: gcov produced no line data for src/")
+
+def pct(table):
+    total = len(table)
+    covered = sum(1 for c in table.values() if c > 0)
+    return covered, total, (100.0 * covered / total if total else 100.0)
+
+by_dir = collections.defaultdict(lambda: [0, 0])
+print(f"{'file':57} {'covered':>8} {'lines':>6} {'pct':>7}")
+for path in sorted(lines):
+    covered, total, p = pct(lines[path])
+    print(f"{path:57} {covered:8d} {total:6d} {p:6.1f}%")
+    d = os.path.dirname(path)
+    by_dir[d][0] += covered
+    by_dir[d][1] += total
+
+print()
+obs_covered = obs_total = 0
+all_covered = all_total = 0
+for d in sorted(by_dir):
+    covered, total = by_dir[d]
+    all_covered += covered
+    all_total += total
+    if d.startswith(os.path.join("src", "obs")):
+        obs_covered += covered
+        obs_total += total
+    print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
+print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
+      f"{100.0 * all_covered / all_total:6.1f}%")
+
+if obs_total == 0:
+    sys.exit("error: no coverage data for src/obs/")
+obs_pct = 100.0 * obs_covered / obs_total
+print(f"\nsrc/obs line coverage: {obs_pct:.1f}% (gate: {threshold:.0f}%)")
+if obs_pct < threshold:
+    sys.exit(f"FAIL: src/obs coverage {obs_pct:.1f}% < {threshold:.0f}%")
+print("PASS")
+PY

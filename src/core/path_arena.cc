@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/obs.h"
+
 namespace mrpa {
 
 size_t PathArena::DepthOf(PathNodeId id) const {
@@ -16,6 +18,7 @@ size_t PathArena::DepthOf(PathNodeId id) const {
 void PathArena::MaterializePrefixInto(PathNodeId id, size_t length,
                                       Path& out) const {
   assert(length == DepthOf(id));
+  ++telemetry_.materializations;
   out.edges_.resize(length);
   // The leaf→root walk visits edges last-first, so filling backward lands
   // them in forward order in a single pass — no reversal.
@@ -36,6 +39,7 @@ Path PathArena::MaterializePrefix(PathNodeId id) const {
 void PathArena::MaterializeSuffixInto(PathNodeId id, size_t length,
                                       Path& out) const {
   assert(length == DepthOf(id));
+  ++telemetry_.materializations;
   out.edges_.resize(length);
   // Suffix chains store the first edge at the leaf, so the walk IS forward
   // order.
@@ -86,6 +90,17 @@ std::strong_ordering PathArena::CompareSuffix(PathNodeId a,
   }
   assert(ca == cb && "CompareSuffix requires equal-length chains");
   return std::strong_ordering::equal;
+}
+
+void FlushArenaStats(const PathArena& arena, obs::ObsRegistry* registry,
+                     size_t shard) {
+  if (registry == nullptr) return;
+  const PathArena::Telemetry& t = arena.telemetry();
+  registry->Add(obs::Metric::kArenaNodesAllocated, t.nodes_allocated, shard);
+  registry->Add(obs::Metric::kArenaMaterializations, t.materializations,
+                shard);
+  registry->Add(obs::Metric::kArenaTruncatedNodes, t.truncated_nodes, shard);
+  registry->Record(obs::Hist::kArenaPeakNodes, t.peak_nodes, shard);
 }
 
 #ifndef NDEBUG

@@ -55,6 +55,10 @@
 #include "core/ids.h"
 #include "core/path.h"
 
+namespace mrpa::obs {
+class ObsRegistry;
+}  // namespace mrpa::obs
+
 namespace mrpa {
 
 // Index of a node within one PathArena. 32 bits bounds one arena at ~4.29G
@@ -79,6 +83,25 @@ class PathArena {
   // ChargeBytes with.
   static constexpr size_t kNodeBytes = sizeof(PathArenaNode);
 
+  // Lifetime churn counters, maintained unconditionally (four integer
+  // bumps on paths that already push into a vector — not measurable, see
+  // EXPERIMENTS.md E18) and exported to an ObsRegistry by FlushArenaStats.
+  // nodes_allocated only grows, so for a governed arena-native loop
+  //     bytes_charged == nodes_allocated * kNodeBytes
+  // is the conservation law tests/obs_invariants_test.cc asserts.
+  struct Telemetry {
+    // Total nodes ever pushed (survives TruncateTo/Clear).
+    uint64_t nodes_allocated = 0;
+    // High-water mark of size().
+    uint64_t peak_nodes = 0;
+    // Nodes discarded by TruncateTo/Clear — DFS backtracking churn.
+    uint64_t truncated_nodes = 0;
+    // Boundary path copies (Materialize*Into). Mutable state: counting a
+    // const read-out is telemetry, not mutation of the store.
+    mutable uint64_t materializations = 0;
+  };
+  const Telemetry& telemetry() const { return telemetry_; }
+
   PathArena() = default;
 
   // Arenas are bulky evaluation-local state; move, don't copy.
@@ -100,13 +123,17 @@ class PathArena {
   size_t size() const { return nodes_.size(); }
   bool empty() const { return nodes_.empty(); }
   void Reserve(size_t n) { nodes_.reserve(n); }
-  void Clear() { nodes_.clear(); }
+  void Clear() {
+    telemetry_.truncated_nodes += nodes_.size();
+    nodes_.clear();
+  }
 
   // Drops every node with id >= n. DFS engines (StepPathIterator) use this
   // to keep the arena exactly as deep as the live spine: ids are appended
   // in descent order, so backtracking is a truncation.
   void TruncateTo(size_t n) {
     assert(n <= nodes_.size());
+    telemetry_.truncated_nodes += nodes_.size() - n;
     nodes_.resize(n);
   }
 
@@ -161,11 +188,27 @@ class PathArena {
   PathNodeId Push(PathNodeId parent, const Edge& e) {
     const PathNodeId id = static_cast<PathNodeId>(nodes_.size());
     nodes_.push_back(PathArenaNode{parent, e});
+    ++telemetry_.nodes_allocated;
+    if (nodes_.size() > telemetry_.peak_nodes) {
+      telemetry_.peak_nodes = nodes_.size();
+    }
     return id;
   }
 
   std::vector<PathArenaNode> nodes_;
+  Telemetry telemetry_;
 };
+
+// Adds the arena's telemetry into `registry` (arena.* counters plus the
+// arena.peak_nodes histogram), attributed to `shard`'s slot. Engines call
+// this once per evaluation (the parallel fold: once per shard arena) at
+// operator exit; null registry no-ops. NOTE: arena.nodes_allocated from the
+// sequential engines comes through here, but the parallel fold counts its
+// replayed node total instead — shard arenas over-allocate speculatively,
+// and the replay total is what matches the sequential engine and the byte
+// accounting.
+void FlushArenaStats(const PathArena& arena, obs::ObsRegistry* registry,
+                     size_t shard = 0);
 
 // A zero-copy view of one arena path: the streaming alternative to
 // materialization at the API boundary. The arena must outlive the view and

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/path_arena.h"
+#include "obs/obs.h"
 
 namespace mrpa {
 
@@ -40,6 +41,13 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
                                  const PathSetLimits& limits,
                                  ExecContext& ctx) {
   GovernedPathSet out;
+  // Observability is boundary-only: snapshot the guard on entry, flush the
+  // deltas (and the run's breakdown) once on every graceful exit. With no
+  // registry attached, the fold below runs its PR 3 hot loops unchanged.
+  obs::ObsRegistry* const reg = ctx.observer();
+  ExecStats obs_before;
+  if (reg != nullptr) obs_before = ctx.Snapshot();
+
   if (steps.empty()) {
     // The 0-step traversal denotes {ε}; ε still counts against the budget.
     if (Status trip = ctx.ChargePaths(); !trip.ok()) {
@@ -47,6 +55,11 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
       out.limit = std::move(trip);
     } else {
       out.paths = PathSet::EpsilonSet();
+    }
+    if (reg != nullptr) {
+      reg->Add(obs::Metric::kTraversalRuns, 1);
+      reg->Add(obs::Metric::kTraversalPathsEmitted, out.paths.size());
+      AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
     }
     out.stats = ctx.Snapshot();
     return out;
@@ -60,6 +73,22 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
   PathArena arena;
   std::vector<PathNodeId> frontier;
   std::vector<PathNodeId> next;
+
+  ExecSpan run_span(ctx, "traverse");
+  size_t seed_edges = 0;
+  size_t levels_run = 0;
+  // The one-per-run flush. Every graceful return passes through here; the
+  // hard max_paths overflow (a legacy error, not a governed result) does
+  // not — it reports nothing, matching its no-partial-result contract.
+  auto flush_obs = [&]() {
+    if (reg == nullptr) return;
+    reg->Add(obs::Metric::kTraversalRuns, 1);
+    reg->Add(obs::Metric::kTraversalSeedEdges, seed_edges);
+    reg->Add(obs::Metric::kTraversalLevels, levels_run);
+    reg->Add(obs::Metric::kTraversalPathsEmitted, out.paths.size());
+    AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
+    FlushArenaStats(arena, reg);
+  };
 
   // Materializes a frontier of `length`-edge chains into the canonical
   // PathSet — the single API-boundary copy the arena representation defers
@@ -79,24 +108,34 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
   };
 
   // Seed level: lift the matching edges into length-1 chains.
-  for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
-    if (!ctx.CheckStep().ok() ||
-        (last_level == 0 && !ctx.ChargePaths().ok()) ||
-        !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
-      trip = ctx.limit_status();
-      break;
+  {
+    ExecSpan seed_span(ctx, "traverse.level", /*level=*/0);
+    for (const Edge& e : CollectMatchingEdges(universe, steps.front())) {
+      if (!ctx.CheckStep().ok() ||
+          (last_level == 0 && !ctx.ChargePaths().ok()) ||
+          !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
+        trip = ctx.limit_status();
+        break;
+      }
+      frontier.push_back(arena.AddRoot(e));
     }
-    frontier.push_back(arena.AddRoot(e));
   }
+  seed_edges = frontier.size();
   if (!trip.ok()) {
     out.truncated = true;
     out.limit = std::move(trip);
     if (last_level == 0) out.paths = materialize(frontier, 1);
+    flush_obs();
     out.stats = ctx.Snapshot();
     return out;
   }
 
   for (size_t k = 1; k < steps.size() && !frontier.empty(); ++k) {
+    ++levels_run;
+    if (reg != nullptr) {
+      reg->Record(obs::Hist::kTraversalLevelWidth, frontier.size());
+    }
+    ExecSpan level_span(ctx, "traverse.level", static_cast<int64_t>(k));
     const EdgePattern& step = steps[k];
     const bool final_level = k == last_level;
     Status overflow;
@@ -137,12 +176,14 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
       out.truncated = true;
       out.limit = std::move(trip);
       if (final_level) out.paths = materialize(next, k + 1);
+      flush_obs();
       out.stats = ctx.Snapshot();
       return out;
     }
     frontier.swap(next);
   }
   out.paths = materialize(frontier, steps.size());
+  flush_obs();
   out.stats = ctx.Snapshot();
   return out;
 }

@@ -65,6 +65,7 @@
 
 #include "core/path_arena.h"
 #include "core/traversal.h"
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace mrpa {
@@ -114,10 +115,21 @@ struct ShardLedger {
 // arena-native, one node push per extension — charging a quiet
 // speculation-bounding context and recording the ledger instead of being
 // the source of truth.
+// Observability from inside the worker is deliberately thin: the quiet
+// context carries NO registry (equality-relevant counters all come from the
+// replay on the calling thread, so sequential and parallel runs agree
+// number-for-number), and the shard reports only its own span plus its
+// speculative allocation total — per-shard, concurrently, which is exactly
+// the contention the registry's padded slabs exist for (and what the TSAN
+// `obs` suite exercises at pool width 8).
 void ExpandShard(const EdgeUniverse& universe,
                  const std::vector<EdgePattern>& steps,
                  const std::vector<Edge>& seed, size_t begin, size_t end,
-                 size_t hard_limit, ExecContext&& quiet, ShardLedger& ledger) {
+                 size_t hard_limit, ExecContext&& quiet, ShardLedger& ledger,
+                 obs::ObsRegistry* reg, obs::SpanId parent_span,
+                 size_t shard_index) {
+  obs::TraceSpan shard_span(reg, "traverse.shard", parent_span, /*level=*/-1,
+                            static_cast<int64_t>(shard_index));
   const size_t last_level = steps.size() - 1;
   PathArena& arena = ledger.arena;
   std::vector<PathNodeId> frontier;
@@ -180,6 +192,10 @@ void ExpandShard(const EdgeUniverse& universe,
     }
     if (stopped) break;
   }
+  if (reg != nullptr) {
+    reg->Add(obs::Metric::kParallelSpeculativeNodes,
+             ledger.arena.telemetry().nodes_allocated, shard_index);
+  }
 }
 
 Status HardOverflow(size_t hard_limit) {
@@ -205,6 +221,17 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   const size_t last_level = steps.size() - 1;
   const size_t path_length = steps.size();
 
+  // Boundary-only observability, mirroring the sequential fold: snapshot on
+  // entry, flush on graceful exit. Every equality-relevant counter is
+  // computed from the REPLAY (the phase that already reproduces sequential
+  // accounting bit-for-bit), never from shard workers, so an instrumented
+  // parallel run reports the same traversal.*/arena.*/exec.* numbers as the
+  // sequential fold — the identity tests/obs_invariants_test.cc locks down.
+  obs::ObsRegistry* const reg = ctx.observer();
+  ExecStats obs_before;
+  if (reg != nullptr) obs_before = ctx.Snapshot();
+  ExecSpan run_span(ctx, "traverse.parallel");
+
   // Seed level, on the calling thread against the real context —
   // charge-for-charge the sequential seed loop (last_level > 0 here, so no
   // ChargePaths). Seeds stay plain edges; each shard lifts its slice into
@@ -212,21 +239,38 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   std::vector<Edge> seed = CollectMatchingEdges(universe, steps.front());
   Status trip;
   size_t seeded = 0;
-  for (; seeded < seed.size(); ++seeded) {
-    if (!ctx.CheckStep().ok() ||
-        !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
-      trip = ctx.limit_status();
-      break;
+  {
+    ExecSpan seed_span(ctx, "traverse.level", /*level=*/0);
+    for (; seeded < seed.size(); ++seeded) {
+      if (!ctx.CheckStep().ok() ||
+          !ctx.ChargeBytes(PathArena::kNodeBytes).ok()) {
+        trip = ctx.limit_status();
+        break;
+      }
     }
   }
   seed.resize(seeded);
+  // Flush for the two exits that never build ledgers. Matches what the
+  // sequential fold reports for the same run: `seeded` is both the seed
+  // count and the node count (one root per surviving seed) as well as the
+  // arena's peak.
+  auto flush_obs_seed_only = [&]() {
+    if (reg == nullptr) return;
+    reg->Add(obs::Metric::kTraversalRuns, 1);
+    reg->Add(obs::Metric::kTraversalSeedEdges, seeded);
+    reg->Add(obs::Metric::kArenaNodesAllocated, seeded);
+    reg->Record(obs::Hist::kArenaPeakNodes, seeded);
+    AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
+  };
   if (!trip.ok()) {
     out.truncated = true;
     out.limit = std::move(trip);
+    flush_obs_seed_only();
     out.stats = ctx.Snapshot();
     return out;
   }
   if (seed.empty()) {
+    flush_obs_seed_only();
     out.stats = ctx.Snapshot();
     return out;
   }
@@ -261,12 +305,20 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   options.pool->ParallelFor(num_shards, [&](size_t s) {
     ExpandShard(universe, steps, seed, ranges[s].first, ranges[s].second,
                 hard_limit, ExecContext::ShardContext(ctx, shard_limits[s]),
-                ledgers[s]);
+                ledgers[s], reg, run_span.id(), s);
   });
 
   // Replay: the sequential fold's exact guard-call sequence, fed from the
   // ledgers in level-major, shard-major order.
   size_t emitted = 0;  // Final-level emissions replayed so far.
+  size_t levels_run = 0;
+  // Nodes the SEQUENTIAL arena would have allocated for the replayed
+  // prefix: one root per seed, one per non-final extension replayed, one
+  // per final-level extension whose ChargePaths succeeded. This — not the
+  // shard arenas' speculative total — is what arena.nodes_allocated must
+  // report for the sequential counter identity (and for the
+  // bytes == nodes × kNodeBytes conservation law on untruncated runs).
+  size_t replayed_nodes = seeded;
 
   // Materializes the first `count` final-level chains across the shard
   // arenas (shard-major = canonical order) — the one place paths exist as
@@ -274,16 +326,47 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   auto merge_first = [&](size_t count) {
     std::vector<Path> merged;
     merged.reserve(count);
-    for (ShardLedger& ledger : ledgers) {
+    for (size_t s = 0; s < ledgers.size(); ++s) {
+      ShardLedger& ledger = ledgers[s];
+      size_t taken = 0;
       for (PathNodeId id : ledger.final_ids) {
         if (merged.size() == count) break;
         Path p;
         ledger.arena.MaterializePrefixInto(id, path_length, p);
         merged.push_back(std::move(p));
+        ++taken;
+      }
+      // Per-shard slot attribution: the conservation test asserts
+      // Value(paths_emitted) == Σ slots == |result|.
+      if (reg != nullptr && taken > 0) {
+        reg->Add(obs::Metric::kTraversalPathsEmitted, taken, s);
       }
       if (merged.size() == count) break;
     }
     return PathSet::FromSortedUnique(std::move(merged));
+  };
+
+  // The one-per-run flush for every graceful exit past the shard phase
+  // (the hard max_paths overflow reports nothing, like the sequential
+  // fold). paths_emitted is added by merge_first, per shard.
+  auto flush_obs = [&]() {
+    if (reg == nullptr) return;
+    reg->Add(obs::Metric::kTraversalRuns, 1);
+    reg->Add(obs::Metric::kTraversalSeedEdges, seeded);
+    reg->Add(obs::Metric::kTraversalLevels, levels_run);
+    reg->Add(obs::Metric::kParallelShards, num_shards);
+    reg->Add(obs::Metric::kArenaNodesAllocated, replayed_nodes);
+    uint64_t materializations = 0;
+    uint64_t truncated_nodes = 0;
+    for (size_t s = 0; s < ledgers.size(); ++s) {
+      const PathArena::Telemetry& t = ledgers[s].arena.telemetry();
+      materializations += t.materializations;
+      truncated_nodes += t.truncated_nodes;
+      reg->Record(obs::Hist::kArenaPeakNodes, t.peak_nodes, s);
+    }
+    reg->Add(obs::Metric::kArenaMaterializations, materializations);
+    reg->Add(obs::Metric::kArenaTruncatedNodes, truncated_nodes);
+    AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
   };
 
   // Assembles the governed result for a replay stop. `level` is the level
@@ -293,6 +376,7 @@ Result<GovernedPathSet> TraverseParallelGoverned(
     out.truncated = true;
     out.limit = std::move(limit);
     if (level == last_level) out.paths = merge_first(emitted);
+    flush_obs();
     out.stats = ctx.Snapshot();
     out.stats.truncated = true;  // Also set on under-coverage stops, where
                                  // the real context never tripped.
@@ -301,6 +385,25 @@ Result<GovernedPathSet> TraverseParallelGoverned(
 
   for (size_t k = 1; k <= last_level; ++k) {
     const bool final_level = k == last_level;
+    if (reg != nullptr) {
+      // Level accounting, sequential-equivalent: ledger records at index
+      // k-1 are level-k source paths, so their total is the level's input
+      // frontier width; the sequential loop runs (and counts) a level iff
+      // that width is non-zero. (The bounds guard covers shards that
+      // tripped before this level — replay would already have returned on
+      // their trip record, but stay defensive.)
+      size_t level_width = 0;
+      for (const ShardLedger& ledger : ledgers) {
+        if (k - 1 < ledger.levels.size()) {
+          level_width += ledger.levels[k - 1].size();
+        }
+      }
+      if (level_width > 0) {
+        ++levels_run;
+        reg->Record(obs::Hist::kTraversalLevelWidth, level_width);
+      }
+    }
+    ExecSpan level_span(ctx, "traverse.level", static_cast<int64_t>(k));
     size_t staged = 0;
     for (size_t s = 0; s < num_shards; ++s) {
       const ShardLedger& ledger = ledgers[s];
@@ -308,6 +411,12 @@ Result<GovernedPathSet> TraverseParallelGoverned(
       // trip record already returned. (Untripped shards record all levels.)
       assert(k - 1 < ledger.levels.size());
       for (const SourceRecord& r : ledger.levels[k - 1]) {
+        // Non-final extensions were pushed unconditionally by the
+        // sequential fold (its per-emission guards are final-level only),
+        // so the replayed node count charges them up front — even when the
+        // batched CheckStep/ChargeBytes below trips afterwards, the
+        // sequential arena had already pushed these nodes.
+        if (!final_level) replayed_nodes += r.matches;
         for (uint32_t j = 0; j < r.matches; ++j) {
           if (staged >= hard_limit) return HardOverflow(hard_limit);
           if (final_level) {
@@ -315,6 +424,7 @@ Result<GovernedPathSet> TraverseParallelGoverned(
               return truncated(k, ctx.limit_status());
             }
             ++emitted;
+            ++replayed_nodes;  // Sequentially pushed only after the charge.
           }
           ++staged;
         }
@@ -363,6 +473,7 @@ Result<GovernedPathSet> TraverseParallelGoverned(
   size_t total = 0;
   for (const ShardLedger& ledger : ledgers) total += ledger.final_ids.size();
   out.paths = merge_first(total);
+  flush_obs();
   out.stats = ctx.Snapshot();
   return out;
 }

@@ -7,6 +7,7 @@
 #include "core/path_arena.h"
 #include "core/simplify.h"
 #include "core/traversal.h"
+#include "obs/obs.h"
 
 namespace mrpa {
 
@@ -124,6 +125,25 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
   std::vector<PathNodeId> frontier;
   std::vector<PathNodeId> next;
 
+  // Boundary-only observability, same shape as the forward fold's: the
+  // backward evaluator is a traversal too, so it reports into the same
+  // traversal.* counters (levels here count backward extension levels).
+  obs::ObsRegistry* const reg = ctx.observer();
+  ExecStats obs_before;
+  if (reg != nullptr) obs_before = ctx.Snapshot();
+  ExecSpan run_span(ctx, "chain.backward");
+  size_t seed_edges = 0;
+  size_t levels_run = 0;
+  auto flush_obs = [&]() {
+    if (reg == nullptr) return;
+    reg->Add(obs::Metric::kTraversalRuns, 1);
+    reg->Add(obs::Metric::kTraversalSeedEdges, seed_edges);
+    reg->Add(obs::Metric::kTraversalLevels, levels_run);
+    reg->Add(obs::Metric::kTraversalPathsEmitted, out.paths.size());
+    AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
+    FlushArenaStats(arena, reg);
+  };
+
   auto sort_level = [&](std::vector<PathNodeId>& ids) {
     std::sort(ids.begin(), ids.end(), [&](PathNodeId a, PathNodeId b) {
       return arena.CompareSuffix(a, b) < 0;
@@ -142,18 +162,23 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
 
   // Seed with the LAST step's matching edges: length-1 suffixes, already in
   // canonical order (CollectMatchingEdges is sorted).
-  for (const Edge& e : CollectMatchingEdges(universe, steps.back())) {
-    if (trip = ctx.CheckStep(); !trip.ok()) break;
-    if (steps.size() == 1) {
-      if (trip = ctx.ChargePaths(); !trip.ok()) break;
+  {
+    ExecSpan seed_span(ctx, "traverse.level", /*level=*/0);
+    for (const Edge& e : CollectMatchingEdges(universe, steps.back())) {
+      if (trip = ctx.CheckStep(); !trip.ok()) break;
+      if (steps.size() == 1) {
+        if (trip = ctx.ChargePaths(); !trip.ok()) break;
+      }
+      if (trip = ctx.ChargeBytes(PathArena::kNodeBytes); !trip.ok()) break;
+      frontier.push_back(arena.AddRoot(e));
     }
-    if (trip = ctx.ChargeBytes(PathArena::kNodeBytes); !trip.ok()) break;
-    frontier.push_back(arena.AddRoot(e));
   }
+  seed_edges = frontier.size();
   if (!trip.ok()) {
     out.truncated = true;
     out.limit = std::move(trip);
     if (steps.size() == 1) out.paths = materialize(frontier, 1);
+    flush_obs();
     out.stats = ctx.Snapshot();
     return out;
   }
@@ -161,6 +186,15 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
   size_t length = 1;  // Suffix length of the current frontier.
   for (size_t k = steps.size() - 1; k-- > 0 && !frontier.empty();) {
     const bool final_level = k == 0;
+    ++levels_run;
+    if (reg != nullptr) {
+      reg->Record(obs::Hist::kTraversalLevelWidth, frontier.size());
+    }
+    // Level ids count from the seed outward, like the forward fold — for a
+    // backward evaluation they name suffix-extension rounds, not step
+    // indices.
+    ExecSpan level_span(ctx, "traverse.level",
+                        static_cast<int64_t>(levels_run));
     next.clear();
     for (PathNodeId source : frontier) {
       // Extend at the tail: edges whose head is γ−(p), via the in-index.
@@ -189,6 +223,7 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
         sort_level(next);
         out.paths = materialize(next, length);
       }
+      flush_obs();
       out.stats = ctx.Snapshot();
       return out;
     }
@@ -196,6 +231,7 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
     frontier.swap(next);
   }
   out.paths = materialize(frontier, length);
+  flush_obs();
   out.stats = ctx.Snapshot();
   return out;
 }
@@ -252,12 +288,15 @@ Result<GovernedPathSet> EvaluatePlannedGoverned(const PathExpr& expr,
                                                 const EdgeUniverse& universe,
                                                 ExecContext& ctx,
                                                 const EvalOptions& options) {
+  obs::ObsRegistry* const reg = ctx.observer();
+  ExecSpan plan_span(ctx, "planner.evaluate");
   PathExprPtr simplified = Simplify(expr.shared_from_this());
   std::optional<std::vector<EdgePattern>> chain =
       ExtractAtomChain(*simplified);
   if (!chain.has_value()) {
     // Non-chain fallback: the bottom-up evaluator has no salvageable
     // prefix, so a trip degrades to an empty truncated result.
+    if (reg != nullptr) reg->Add(obs::Metric::kPlannerFallbacks, 1);
     EvalOptions governed = options;
     governed.exec = &ctx;
     Result<PathSet> evaluated = simplified->Evaluate(universe, governed);
@@ -274,6 +313,12 @@ Result<GovernedPathSet> EvaluatePlannedGoverned(const PathExpr& expr,
     return out;
   }
   ChainPlan plan = PlanChain(universe, *chain);
+  if (reg != nullptr) {
+    reg->Add(plan.direction == ChainDirection::kForward
+                 ? obs::Metric::kPlannerPlansForward
+                 : obs::Metric::kPlannerPlansBackward,
+             1);
+  }
   return EvaluateChainGoverned(universe, *chain, plan.direction, ctx,
                                options.limits);
 }
@@ -287,6 +332,11 @@ Result<GovernedPathSet> EvaluatePlannedParallelGoverned(
   if (chain.has_value()) {
     ChainPlan plan = PlanChain(universe, *chain);
     if (plan.direction == ChainDirection::kForward) {
+      // Count the forward decision here; the backward/fallback cases fall
+      // through to EvaluatePlannedGoverned, which does its own counting.
+      if (obs::ObsRegistry* reg = ctx.observer(); reg != nullptr) {
+        reg->Add(obs::Metric::kPlannerPlansForward, 1);
+      }
       return TraverseParallelGoverned(
           universe, TraversalSpec{*chain, options.limits}, ctx, parallel);
     }

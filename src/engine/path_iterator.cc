@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace mrpa {
@@ -31,6 +32,16 @@ void StepPathIterator::MarkTruncated(Status status) {
   valid_ = false;
   depth_ = 0;
   arena_.Clear();
+  FlushObs();
+}
+
+void StepPathIterator::FlushObs() {
+  if (obs_flushed_ || exec_ == nullptr) return;
+  obs::ObsRegistry* reg = exec_->observer();
+  if (reg == nullptr) return;
+  obs_flushed_ = true;
+  reg->Add(obs::Metric::kIteratorPathsYielded, yielded_);
+  reg->Add(obs::Metric::kIteratorFramesFilled, frames_filled_);
 }
 
 void StepPathIterator::SeekToFirst() {
@@ -41,6 +52,8 @@ void StepPathIterator::SeekToFirst() {
   arena_.Clear();
   current_.Clear();
   yielded_ = 0;
+  frames_filled_ = 0;
+  obs_flushed_ = false;
   exhausted_epsilon_ = false;
   // A sticky ExecContext keeps a re-seek truncated too; the flags are only
   // reset so status() reflects this seek's outcome.
@@ -70,6 +83,7 @@ void StepPathIterator::Next() {
     // ε was the only element.
     valid_ = false;
     exhausted_epsilon_ = true;
+    FlushObs();
     return;
   }
   // Consume the deepest frame's current edge and move on.
@@ -79,6 +93,7 @@ void StepPathIterator::Next() {
 
 bool StepPathIterator::FillFrame(size_t depth, VertexId prefix_head,
                                  Frame& frame) {
+  ++frames_filled_;
   frame.candidates.clear();
   frame.cursor = 0;
   const EdgePattern& step = steps_[depth];
@@ -144,6 +159,7 @@ void StepPathIterator::Advance() {
     ++depth_;
   }
   valid_ = false;
+  FlushObs();
 }
 
 PathSet DrainToPathSet(StepPathIterator& it) {

@@ -105,6 +105,14 @@ class StepPathIterator {
   // Records a governance trip and invalidates the iterator.
   void MarkTruncated(Status status);
 
+  // Adds this enumeration's iterator.* counters into the registry attached
+  // to exec_ (if any), once per seek. The iterator streams — there is no
+  // single exit like the fold's — so the flush fires at whichever terminal
+  // transition happens first: a governance trip, the spine exhausting, or
+  // the ε-iterator's single element being consumed. Abandoned-mid-stream
+  // iterators never flush; counters describe completed enumerations.
+  void FlushObs();
+
   const EdgeUniverse& universe_;
   std::vector<EdgePattern> steps_;
   // When set, step 0 draws candidates from this slice instead of
@@ -126,6 +134,8 @@ class StepPathIterator {
   bool valid_ = false;
   bool exhausted_epsilon_ = false;  // For the empty-steps case.
   size_t yielded_ = 0;
+  size_t frames_filled_ = 0;  // FillFrame calls this seek (obs only).
+  bool obs_flushed_ = false;  // One FlushObs per seek.
   bool truncated_ = false;
   Status status_;
 };

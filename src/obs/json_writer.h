@@ -1,0 +1,33 @@
+// Minimal JSON emission helpers for the observability subsystem.
+//
+// The registry export (ObsRegistry::ToJson) and the bench trace files
+// (bench/bench_common.h, --trace) hand-roll their JSON — the repo takes no
+// serialization dependency — so every string that reaches an output file
+// MUST pass through JsonEscape: span names and notes are arbitrary text
+// (tests deliberately inject quotes, backslashes, and control characters),
+// and benchmark labels contain user-controlled argument strings. The
+// golden-schema test (tests/obs_json_test.cc) parses the emitted documents
+// with a strict reader, so unescaped output fails CI rather than a
+// downstream dashboard.
+
+#ifndef MRPA_OBS_JSON_WRITER_H_
+#define MRPA_OBS_JSON_WRITER_H_
+
+#include <string>
+#include <string_view>
+
+namespace mrpa::obs {
+
+// Appends the JSON escaping of `s` (without surrounding quotes) to `out`.
+// Escapes the two mandatory characters (`"` and `\`), the common control
+// short forms (\b \f \n \r \t), and every other byte < 0x20 as \u00XX.
+// Bytes >= 0x80 pass through untouched: the writer treats input as UTF-8
+// and JSON permits raw UTF-8 in strings.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+// `s` as a complete JSON string token, quotes included.
+std::string JsonQuote(std::string_view s);
+
+}  // namespace mrpa::obs
+
+#endif  // MRPA_OBS_JSON_WRITER_H_

@@ -1,0 +1,290 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json_writer.h"
+
+namespace mrpa::obs {
+
+namespace {
+
+constexpr std::string_view kMetricNames[] = {
+    "exec.steps_expanded",
+    "exec.paths_yielded",
+    "exec.bytes_charged",
+    "exec.trips.step_budget",
+    "exec.trips.path_budget",
+    "exec.trips.byte_budget",
+    "exec.trips.deadline",
+    "exec.trips.cancelled",
+    "exec.trips.fault",
+    "traversal.runs",
+    "traversal.seed_edges",
+    "traversal.levels",
+    "traversal.paths_emitted",
+    "parallel.shards",
+    "parallel.speculative_nodes",
+    "arena.nodes_allocated",
+    "arena.materializations",
+    "arena.truncated_nodes",
+    "iterator.paths_yielded",
+    "iterator.frames_filled",
+    "planner.plans_forward",
+    "planner.plans_backward",
+    "planner.fallbacks",
+    "recognizer.batch_candidates",
+    "recognizer.batch_accepted",
+    "generator.rounds",
+    "generator.paths_emitted",
+};
+static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
+              "kMetricNames must cover every Metric");
+
+constexpr std::string_view kHistNames[] = {
+    "traversal.level_width",
+    "arena.peak_nodes",
+    "recognizer.path_length",
+    "generator.round_width",
+};
+static_assert(std::size(kHistNames) == static_cast<size_t>(Hist::kCount),
+              "kHistNames must cover every Hist");
+
+void AppendUint(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+void AppendInt(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out += buf;
+}
+
+// Atomic max/min via CAS; relaxed is enough — readers quiesce writers.
+void AtomicMax(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<uint64_t>& slot, uint64_t v) {
+  uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string_view MetricName(Metric m) {
+  return kMetricNames[static_cast<size_t>(m)];
+}
+
+std::string_view HistName(Hist h) {
+  return kHistNames[static_cast<size_t>(h)];
+}
+
+ObsRegistry::ObsRegistry() : epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t ObsRegistry::Value(Metric m) const {
+  uint64_t total = 0;
+  for (const CounterSlab& slab : counters_) {
+    total += slab.v[static_cast<size_t>(m)].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t ObsRegistry::ValueForSlot(Metric m, size_t slot) const {
+  return counters_[slot % kShardSlots]
+      .v[static_cast<size_t>(m)]
+      .load(std::memory_order_relaxed);
+}
+
+void ObsRegistry::Record(Hist h, uint64_t value, size_t shard) {
+  HistCell& cell = hists_[shard % kShardSlots].h[static_cast<size_t>(h)];
+  cell.count.fetch_add(1, std::memory_order_relaxed);
+  cell.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(cell.min, value);
+  AtomicMax(cell.max, value);
+  cell.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot ObsRegistry::SnapshotHistogram(Hist h) const {
+  HistogramSnapshot snap;
+  uint64_t min = std::numeric_limits<uint64_t>::max();
+  for (const HistSlab& slab : hists_) {
+    const HistCell& cell = slab.h[static_cast<size_t>(h)];
+    snap.count += cell.count.load(std::memory_order_relaxed);
+    snap.sum += cell.sum.load(std::memory_order_relaxed);
+    min = std::min(min, cell.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, cell.max.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      snap.buckets[i] += cell.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  snap.min = snap.count == 0 ? 0 : min;
+  return snap;
+}
+
+SpanId ObsRegistry::BeginSpan(std::string_view name, SpanId parent,
+                              int64_t level, int64_t shard) {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+  std::lock_guard<std::mutex> lock(span_mu_);
+  if (spans_.size() >= kMaxSpans) {
+    spans_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return kNoSpan;
+  }
+  SpanRecord rec;
+  rec.id = static_cast<SpanId>(spans_.size());
+  rec.parent = parent;
+  rec.name.assign(name);
+  rec.level = level;
+  rec.shard = shard;
+  rec.start_ns = now;
+  spans_.push_back(std::move(rec));
+  return spans_.back().id;
+}
+
+void ObsRegistry::EndSpan(SpanId id) {
+  const int64_t now = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(span_mu_);
+  if (id < spans_.size() && spans_[id].end_ns < 0) {
+    spans_[id].end_ns = std::max(now, spans_[id].start_ns);
+  }
+}
+
+void ObsRegistry::AnnotateSpan(SpanId id, std::string_view note) {
+  if (id == kNoSpan) return;
+  std::lock_guard<std::mutex> lock(span_mu_);
+  if (id < spans_.size()) {
+    SpanRecord& rec = spans_[id];
+    if (!rec.note.empty()) rec.note += "; ";
+    rec.note.append(note);
+  }
+}
+
+std::vector<SpanRecord> ObsRegistry::Spans() const {
+  std::lock_guard<std::mutex> lock(span_mu_);
+  return spans_;
+}
+
+std::string ObsRegistry::ToJson() const {
+  // Name-sorted index orders so the export is stable across enum reorders.
+  std::array<size_t, kNumMetrics> metric_order;
+  for (size_t i = 0; i < kNumMetrics; ++i) metric_order[i] = i;
+  std::sort(metric_order.begin(), metric_order.end(),
+            [](size_t a, size_t b) { return kMetricNames[a] < kMetricNames[b]; });
+  std::array<size_t, kNumHists> hist_order;
+  for (size_t i = 0; i < kNumHists; ++i) hist_order[i] = i;
+  std::sort(hist_order.begin(), hist_order.end(),
+            [](size_t a, size_t b) { return kHistNames[a] < kHistNames[b]; });
+
+  std::string out;
+  out.reserve(4096);
+  out += "{\n  \"counters\": [\n";
+  for (size_t n = 0; n < kNumMetrics; ++n) {
+    const Metric m = static_cast<Metric>(metric_order[n]);
+    out += "    {\"name\": ";
+    out += JsonQuote(MetricName(m));
+    out += ", \"total\": ";
+    AppendUint(out, Value(m));
+    out += ", \"shards\": [";
+    for (size_t s = 0; s < kShardSlots; ++s) {
+      if (s != 0) out += ", ";
+      AppendUint(out, ValueForSlot(m, s));
+    }
+    out += "]}";
+    if (n + 1 < kNumMetrics) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n  \"histograms\": [\n";
+  for (size_t n = 0; n < kNumHists; ++n) {
+    const Hist h = static_cast<Hist>(hist_order[n]);
+    const HistogramSnapshot snap = SnapshotHistogram(h);
+    out += "    {\"name\": ";
+    out += JsonQuote(HistName(h));
+    out += ", \"count\": ";
+    AppendUint(out, snap.count);
+    out += ", \"sum\": ";
+    AppendUint(out, snap.sum);
+    out += ", \"min\": ";
+    AppendUint(out, snap.min);
+    out += ", \"max\": ";
+    AppendUint(out, snap.max);
+    out += ", \"buckets\": [";
+    bool first = true;
+    for (size_t i = 0; i < kNumBuckets; ++i) {
+      if (snap.buckets[i] == 0) continue;
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"le\": ";
+      AppendUint(out, BucketUpperBound(i));
+      out += ", \"count\": ";
+      AppendUint(out, snap.buckets[i]);
+      out += '}';
+    }
+    out += "]}";
+    if (n + 1 < kNumHists) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n  \"spans\": [\n";
+  const std::vector<SpanRecord> spans = Spans();
+  for (size_t n = 0; n < spans.size(); ++n) {
+    const SpanRecord& rec = spans[n];
+    out += "    {\"id\": ";
+    AppendUint(out, rec.id);
+    out += ", \"parent\": ";
+    // kNoSpan exports as -1: JSON has no uint32 sentinel convention.
+    AppendInt(out, rec.parent == kNoSpan ? -1
+                                         : static_cast<int64_t>(rec.parent));
+    out += ", \"name\": ";
+    out += JsonQuote(rec.name);
+    out += ", \"level\": ";
+    AppendInt(out, rec.level);
+    out += ", \"shard\": ";
+    AppendInt(out, rec.shard);
+    out += ", \"start_ns\": ";
+    AppendInt(out, rec.start_ns);
+    out += ", \"end_ns\": ";
+    AppendInt(out, rec.end_ns);
+    out += ", \"note\": ";
+    out += JsonQuote(rec.note);
+    out += '}';
+    if (n + 1 < spans.size()) out += ',';
+    out += '\n';
+  }
+  out += "  ],\n  \"spans_dropped\": ";
+  AppendUint(out, spans_dropped());
+  out += "\n}\n";
+  return out;
+}
+
+void ObsRegistry::Reset() {
+  for (CounterSlab& slab : counters_) {
+    for (auto& v : slab.v) v.store(0, std::memory_order_relaxed);
+  }
+  for (HistSlab& slab : hists_) {
+    for (HistCell& cell : slab.h) {
+      cell.count.store(0, std::memory_order_relaxed);
+      cell.sum.store(0, std::memory_order_relaxed);
+      cell.min.store(std::numeric_limits<uint64_t>::max(),
+                     std::memory_order_relaxed);
+      cell.max.store(0, std::memory_order_relaxed);
+      for (auto& b : cell.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+  std::lock_guard<std::mutex> lock(span_mu_);
+  spans_.clear();
+  spans_dropped_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mrpa::obs

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <iterator>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "core/path_arena.h"
+#include "obs/obs.h"
 
 namespace mrpa {
 
@@ -163,6 +165,37 @@ bool CollectArena(const Nfa& nfa, const ArenaFrontier& frontier,
   return !(options.max_paths && out.size() > *options.max_paths);
 }
 
+// Boundary observability shared by both generator engines: the registry
+// rides on GenerateOptions.exec (no context, no observation), spans wrap
+// the generation and each round, and the generator.* counters flush once
+// per graceful return. Histogram: paths newly accepted per round.
+struct GeneratorObs {
+  obs::ObsRegistry* reg = nullptr;
+  ExecStats before;
+  std::optional<ExecSpan> span;
+
+  explicit GeneratorObs(const GenerateOptions& options) {
+    if (options.exec == nullptr) return;
+    reg = options.exec->observer();
+    if (reg == nullptr) return;
+    before = options.exec->Snapshot();
+    span.emplace(*options.exec, "generator.generate");
+  }
+
+  void RecordRound(size_t accepted) {
+    if (reg != nullptr) {
+      reg->Record(obs::Hist::kGeneratorRoundWidth, accepted);
+    }
+  }
+
+  void Flush(const GenerateResult& result, const GenerateOptions& options) {
+    if (reg == nullptr) return;
+    reg->Add(obs::Metric::kGeneratorRounds, result.rounds);
+    reg->Add(obs::Metric::kGeneratorPathsEmitted, result.paths.size());
+    AddExecStatsDelta(*reg, before, options.exec->Snapshot());
+  }
+};
+
 std::vector<PathSet> MaterializePatternSets(const Nfa& nfa,
                                             const EdgeUniverse& universe) {
   std::vector<PathSet> sets;
@@ -189,13 +222,20 @@ Result<GenerateResult> StackMachineGenerator::Generate(
       MaterializePatternSets(nfa_, universe);
 
   GenerateResult result;
+  GeneratorObs gobs(options);
   Frontier frontier = InitialFrontier(nfa_);
   if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
     result.truncated = true;
+    gobs.Flush(result, options);
     return result;
   }
 
   for (size_t round = 0; round < options.max_path_length; ++round) {
+    std::optional<ExecSpan> round_span;
+    if (options.exec != nullptr) {
+      round_span.emplace(*options.exec, "generator.round",
+                         static_cast<int64_t>(round));
+    }
     Frontier next;
     Status trip;
     for (const auto& [pos, working_set] : frontier) {
@@ -227,20 +267,25 @@ Result<GenerateResult> StackMachineGenerator::Generate(
       // completed round stays in the result.
       result.truncated = true;
       result.limit = std::move(trip);
+      gobs.Flush(result, options);
       return result;
     }
     if (next.empty()) break;
     frontier = std::move(next);
     result.rounds = round + 1;
+    const size_t accepted_before = result.paths.size();
     if (!Collect(nfa_, frontier, result.paths, options, result.limit)) {
       result.truncated = true;
+      gobs.Flush(result, options);
       return result;
     }
+    gobs.RecordRound(result.paths.size() - accepted_before);
     if (round + 1 == options.max_path_length &&
         HasConsumeTransition(nfa_, frontier)) {
       result.truncated = true;
     }
   }
+  gobs.Flush(result, options);
   return result;
 }
 
@@ -265,14 +310,22 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
   PathArena arena;
 
   GenerateResult result;
+  GeneratorObs gobs(options);
   ArenaFrontier frontier = InitialArenaFrontier(nfa_);
   if (!CollectArena(nfa_, frontier, arena, 0, result.paths, options,
                     result.limit)) {
     result.truncated = true;
+    FlushArenaStats(arena, gobs.reg);
+    gobs.Flush(result, options);
     return result;
   }
 
   for (size_t round = 0; round < options.max_path_length; ++round) {
+    std::optional<ExecSpan> round_span;
+    if (options.exec != nullptr) {
+      round_span.emplace(*options.exec, "generator.round",
+                         static_cast<int64_t>(round));
+    }
     ArenaFrontier next;
     Status trip;
     for (const auto& [pos, working_set] : frontier) {
@@ -325,21 +378,29 @@ Result<GenerateResult> ProductGraphGenerator::Generate(
     if (!trip.ok()) {
       result.truncated = true;
       result.limit = std::move(trip);
+      FlushArenaStats(arena, gobs.reg);
+      gobs.Flush(result, options);
       return result;
     }
     if (next.empty()) break;
     frontier = std::move(next);
     result.rounds = round + 1;
+    const size_t accepted_before = result.paths.size();
     if (!CollectArena(nfa_, frontier, arena, round + 1, result.paths, options,
                       result.limit)) {
       result.truncated = true;
+      FlushArenaStats(arena, gobs.reg);
+      gobs.Flush(result, options);
       return result;
     }
+    gobs.RecordRound(result.paths.size() - accepted_before);
     if (round + 1 == options.max_path_length &&
         HasConsumeTransition(nfa_, frontier)) {
       result.truncated = true;
     }
   }
+  FlushArenaStats(arena, gobs.reg);
+  gobs.Flush(result, options);
   return result;
 }
 

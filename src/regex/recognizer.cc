@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/thread_pool.h"
 
 namespace mrpa {
@@ -102,6 +103,22 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
   const std::vector<Path>& paths = candidates.paths();
   GovernedPathSet out;
 
+  // Boundary observability: candidates counts paths judged to completion
+  // (a mid-simulation trip leaves the path uncounted), accepted the kept
+  // subset. The parallel branch counts from the REPLAY, never the shard
+  // workers, so sequential and pooled batches report identical numbers.
+  obs::ObsRegistry* const reg = ctx.observer();
+  ExecStats obs_before;
+  if (reg != nullptr) obs_before = ctx.Snapshot();
+  ExecSpan batch_span(ctx, "recognizer.batch");
+  size_t judged = 0;
+  auto flush_obs = [&]() {
+    if (reg == nullptr) return;
+    reg->Add(obs::Metric::kRecognizerBatchCandidates, judged);
+    reg->Add(obs::Metric::kRecognizerBatchAccepted, out.paths.size());
+    AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
+  };
+
   if (pool == nullptr || paths.size() < 2) {
     // The sequential reference: recognize in canonical order; the first
     // trip ends the scan with the accepted prefix.
@@ -113,9 +130,14 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
         out.limit = verdict.status();
         break;
       }
+      ++judged;
+      if (reg != nullptr) {
+        reg->Record(obs::Hist::kRecognizerPathLength, p.length());
+      }
       if (*verdict) kept.push_back(p);
     }
     out.paths = PathSet::FromSortedUnique(std::move(kept));
+    flush_obs();
     out.stats = ctx.Snapshot();
     return out;
   }
@@ -165,6 +187,7 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
           out.truncated = true;
           out.limit = ctx.limit_status();
           out.paths = PathSet::FromSortedUnique(std::move(kept));
+          flush_obs();
           out.stats = ctx.Snapshot();
           return out;
         }
@@ -175,9 +198,14 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
         out.truncated = true;
         out.limit = shard.local_status;
         out.paths = PathSet::FromSortedUnique(std::move(kept));
+        flush_obs();
         out.stats = ctx.Snapshot();
         out.stats.truncated = true;
         return out;
+      }
+      ++judged;
+      if (reg != nullptr) {
+        reg->Record(obs::Hist::kRecognizerPathLength, p.length());
       }
       if (record.accepted) kept.push_back(p);
     }
@@ -186,6 +214,7 @@ Result<GovernedPathSet> NfaRecognizer::AcceptedSubsetGoverned(
     // means the shard never reached those paths — neither did the scan.
   }
   out.paths = PathSet::FromSortedUnique(std::move(kept));
+  flush_obs();
   out.stats = ctx.Snapshot();
   return out;
 }

@@ -39,10 +39,15 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "util/fault_injector.h"
 #include "util/status.h"
+
+namespace mrpa::obs {
+class ObsRegistry;
+}  // namespace mrpa::obs
 
 namespace mrpa {
 
@@ -161,7 +166,7 @@ class ExecContext {
     stats_.steps_expanded += n;
     if (probe_faults_ && FaultInjector::AnyArmed()) [[unlikely]] {
       Status injected = FaultInjector::Global().Probe(kFaultSiteBudgetCheck);
-      if (!injected.ok()) return Trip(std::move(injected));
+      if (!injected.ok()) return TripFault(std::move(injected));
     }
     if (stats_.steps_expanded > max_steps_) [[unlikely]] {
       return TripStepBudget();
@@ -191,7 +196,7 @@ class ExecContext {
     stats_.bytes_charged += n;
     if (probe_faults_ && FaultInjector::AnyArmed()) [[unlikely]] {
       Status injected = FaultInjector::Global().Probe(kFaultSiteAlloc);
-      if (!injected.ok()) return Trip(std::move(injected));
+      if (!injected.ok()) return TripFault(std::move(injected));
     }
     if (stats_.bytes_charged > max_bytes_) [[unlikely]] {
       return TripByteBudget();
@@ -246,6 +251,25 @@ class ExecContext {
     return shard;
   }
 
+  // --- Observability (src/obs/) ---
+  //
+  // An attached ObsRegistry receives governance-trip counters from the cold
+  // paths and operator/level/shard breakdowns from the engines (which read
+  // observer() at their boundaries). Null — the default — means every hook
+  // is skipped: the hot-path checks above are untouched either way, because
+  // the only instrumented ExecContext code is the out-of-line trip/poll
+  // slow paths. The registry must outlive the context; ShardContext
+  // children never inherit it (speculative shard work is replayed against
+  // the parent, so observing shards directly would double-count).
+  void AttachObs(obs::ObsRegistry* registry) { obs_ = registry; }
+  obs::ObsRegistry* observer() const { return obs_; }
+
+  // The innermost open trace span, maintained by ExecSpan below. Trips
+  // annotate this span so a trace shows exactly where a budget burned out.
+  static constexpr uint32_t kNoObsSpan = 0xffffffffu;  // == obs::kNoSpan
+  uint32_t obs_span() const { return obs_span_; }
+  void set_obs_span(uint32_t id) { obs_span_ = id; }
+
   // Counters so far, with elapsed time filled in.
   ExecStats Snapshot() const {
     ExecStats snapshot = stats_;
@@ -265,12 +289,28 @@ class ExecContext {
     return limit_status_;
   }
 
-  // Cold paths, out of line (exec_context.cc): message formatting and the
-  // clock read stay off the hot loop.
+  // Which governance limit a trip charged, for obs attribution.
+  enum class TripKind {
+    kStepBudget,
+    kPathBudget,
+    kByteBudget,
+    kDeadline,
+    kCancelled,
+    kFault,
+  };
+
+  // Cold paths, out of line (exec_context.cc): message formatting, the
+  // clock read, and the obs trip hooks stay off the hot loop.
   const Status& TripStepBudget();
   const Status& TripPathBudget();
   const Status& TripByteBudget();
+  const Status& TripFault(Status injected);
   const Status& Poll();
+
+  // Counts the (sticky, hence unique) trip into the attached registry and
+  // annotates the innermost open span with the tripping Status. No-op when
+  // no registry is attached.
+  void RecordTripObs(TripKind kind);
 
   CancelToken token_;
   Clock::time_point start_;
@@ -284,7 +324,41 @@ class ExecContext {
   bool probe_faults_ = true;
   ExecStats stats_;
   Status limit_status_;  // Sticky: OK until the first trip.
+  obs::ObsRegistry* obs_ = nullptr;
+  uint32_t obs_span_ = kNoObsSpan;
 };
+
+// RAII trace-span scope bound to an ExecContext: opens a span (child of the
+// context's current span) in the attached registry and makes it current, so
+// nested ExecSpans form the span tree and trips annotate the innermost
+// frame. Inert — no code beyond a null test — when no registry is attached.
+// Scoped strictly (not movable): destruction restores the previous span.
+class ExecSpan {
+ public:
+  ExecSpan() = default;
+  ExecSpan(ExecContext& ctx, std::string_view name, int64_t level = -1,
+           int64_t shard = -1);
+  ~ExecSpan();
+
+  ExecSpan(const ExecSpan&) = delete;
+  ExecSpan& operator=(const ExecSpan&) = delete;
+
+  // The opened span's id (kNoObsSpan when inert), for parenting spans that
+  // outlive this scope's stack frame (e.g. parallel shard spans).
+  uint32_t id() const { return id_; }
+
+ private:
+  ExecContext* ctx_ = nullptr;
+  uint32_t prev_ = ExecContext::kNoObsSpan;
+  uint32_t id_ = ExecContext::kNoObsSpan;
+};
+
+// Adds the per-run growth of the ExecContext accounting (steps, paths,
+// bytes) between two snapshots into the registry's exec.* counters. Engines
+// call this once at operator exit with the snapshot taken at entry, so one
+// context serving many evaluations still attributes each run exactly once.
+void AddExecStatsDelta(obs::ObsRegistry& registry, const ExecStats& before,
+                       const ExecStats& after);
 
 }  // namespace mrpa
 

@@ -25,6 +25,7 @@
 #include "generators/generators.h"
 #include "graph/multi_graph.h"
 #include "gtest/gtest.h"
+#include "obs/obs.h"
 #include "util/exec_context.h"
 #include "util/fault_injector.h"
 #include "util/random.h"
@@ -130,8 +131,9 @@ Outcome FromResult(Result<GovernedPathSet> result) {
 }
 
 Outcome RunArena(const EdgeUniverse& universe, const TraversalSpec& spec,
-                 const ExecLimits& limits) {
+                 const ExecLimits& limits, obs::ObsRegistry* reg = nullptr) {
   ExecContext ctx(limits);
+  ctx.AttachObs(reg);
   return FromResult(TraverseGoverned(universe, spec, ctx));
 }
 
@@ -229,6 +231,15 @@ TEST_P(ArenaDifferentialTest, ArenaMatchesMaterializedOracle) {
       for (ThreadPool* pool : Pools()) {
         SCOPED_TRACE("threads " + std::to_string(pool->num_threads()));
         ExpectIdentical(oracle, RunParallel(graph, spec, regimes[r], *pool));
+      }
+      // Once more against the same oracle with an ObsRegistry attached:
+      // live instrumentation must not move a single byte of the governed
+      // outcome — the oracle itself stays un-instrumented, so this also
+      // checks arena-vs-materialized identity across the obs boundary.
+      {
+        SCOPED_TRACE("arena with ObsRegistry");
+        obs::ObsRegistry reg;
+        ExpectIdentical(oracle, RunArena(graph, spec, regimes[r], &reg));
       }
     }
 

@@ -1,0 +1,380 @@
+// Golden-schema lockdown for ObsRegistry::ToJson and the shared JSON
+// string escaper. scripts/ci_bench.sh consumers parse these files, so the
+// key set, value types, and ordering are contractual: this suite parses
+// the export with a minimal strict JSON reader and asserts the schema
+// documented in obs/obs.h, plus round-trip escaping of hostile strings.
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/json_writer.h"
+#include "obs/obs.h"
+
+namespace mrpa::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A deliberately small strict-JSON reader: objects, arrays, strings with the
+// escapes our writer emits, and non-negative/negative integers. Anything
+// else (floats, bools, null, trailing garbage) fails the test — the export
+// never produces them.
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kInt } kind = Kind::kInt;
+  // Object keys keep insertion order so ordering assertions are possible.
+  std::vector<std::pair<std::string, std::unique_ptr<JsonValue>>> members;
+  std::vector<std::unique_ptr<JsonValue>> elements;
+  std::string str;
+  int64_t num = 0;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return v.get();
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<JsonValue> Parse() {
+    std::unique_ptr<JsonValue> v = ParseValue();
+    SkipWs();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON value";
+    return v;
+  }
+
+  bool failed() const { return failed_; }
+
+ private:
+  void Fail(const std::string& why) {
+    if (!failed_) ADD_FAILURE() << "JSON parse error at byte " << pos_ << ": "
+                                << why;
+    failed_ = true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() && std::isspace(
+                                      static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) {
+      Fail("unexpected end of input");
+      return '\0';
+    }
+    return text_[pos_];
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    Fail(std::string("expected '") + c + "'");
+    return false;
+  }
+
+  std::unique_ptr<JsonValue> ParseValue() {
+    auto v = std::make_unique<JsonValue>();
+    if (failed_) return v;
+    SkipWs();
+    const char c = Peek();
+    if (c == '{') {
+      v->kind = JsonValue::Kind::kObject;
+      Consume('{');
+      SkipWs();
+      if (Peek() == '}') {
+        Consume('}');
+        return v;
+      }
+      while (!failed_) {
+        SkipWs();
+        std::string key = ParseString();
+        Consume(':');
+        v->members.emplace_back(std::move(key), ParseValue());
+        SkipWs();
+        if (Peek() == ',') {
+          Consume(',');
+          continue;
+        }
+        Consume('}');
+        break;
+      }
+    } else if (c == '[') {
+      v->kind = JsonValue::Kind::kArray;
+      Consume('[');
+      SkipWs();
+      if (Peek() == ']') {
+        Consume(']');
+        return v;
+      }
+      while (!failed_) {
+        v->elements.push_back(ParseValue());
+        SkipWs();
+        if (Peek() == ',') {
+          Consume(',');
+          continue;
+        }
+        Consume(']');
+        break;
+      }
+    } else if (c == '"') {
+      v->kind = JsonValue::Kind::kString;
+      v->str = ParseString();
+    } else if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      v->kind = JsonValue::Kind::kInt;
+      v->num = ParseInt();
+    } else {
+      Fail("unexpected character");
+    }
+    return v;
+  }
+
+  std::string ParseString() {
+    std::string out;
+    if (!Consume('"')) return out;
+    while (!failed_) {
+      if (pos_ >= text_.size()) {
+        Fail("unterminated string");
+        break;
+      }
+      char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("raw control character inside string");
+        break;
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        Fail("dangling escape");
+        break;
+      }
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            Fail("truncated \\u escape");
+            break;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else Fail("bad \\u hex digit");
+          }
+          // The writer only emits \u00XX for control bytes.
+          EXPECT_LT(code, 0x20u);
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default:
+          Fail("unknown escape");
+      }
+    }
+    return out;
+  }
+
+  int64_t ParseInt() {
+    SkipWs();
+    bool negative = false;
+    if (Peek() == '-') {
+      negative = true;
+      ++pos_;
+    }
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Fail("expected digit");
+      return 0;
+    }
+    uint64_t magnitude = 0;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      magnitude = magnitude * 10 + static_cast<uint64_t>(text_[pos_] - '0');
+      ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                text_[pos_] == 'E')) {
+      Fail("export must not contain floats");
+    }
+    return negative ? -static_cast<int64_t>(magnitude)
+                    : static_cast<int64_t>(magnitude);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+std::unique_ptr<JsonValue> ParseOrDie(const std::string& text) {
+  JsonParser parser(text);
+  std::unique_ptr<JsonValue> v = parser.Parse();
+  EXPECT_FALSE(parser.failed()) << text.substr(0, 400);
+  return v;
+}
+
+void ExpectKeys(const JsonValue& obj, const std::vector<std::string>& keys) {
+  ASSERT_EQ(obj.kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(obj.members.size(), keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(obj.members[i].first, keys[i]) << "key " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(JsonWriterTest, EscapesHostileStrings) {
+  EXPECT_EQ(JsonQuote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonQuote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(JsonQuote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonQuote("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  // Split literal: "\x01b" would otherwise parse as one hex escape (0x1b).
+  EXPECT_EQ(JsonQuote(std::string("nul\x01" "byte")), "\"nul\\u0001byte\"");
+  // Non-ASCII passes through as raw UTF-8.
+  EXPECT_EQ(JsonQuote("π"), "\"π\"");
+}
+
+TEST(JsonWriterTest, EscapedStringsRoundTripThroughTheParser) {
+  const std::string hostile =
+      "quote:\" backslash:\\ newline:\n cr:\r tab:\t bell:\x07 utf8:Ω";
+  std::unique_ptr<JsonValue> v = ParseOrDie(JsonQuote(hostile));
+  ASSERT_EQ(v->kind, JsonValue::Kind::kString);
+  EXPECT_EQ(v->str, hostile);
+}
+
+TEST(ObsJsonTest, EmptyRegistrySchema) {
+  ObsRegistry reg;
+  std::unique_ptr<JsonValue> root = ParseOrDie(reg.ToJson());
+  ExpectKeys(*root, {"counters", "histograms", "spans", "spans_dropped"});
+
+  const JsonValue* counters = root->Find("counters");
+  ASSERT_EQ(counters->kind, JsonValue::Kind::kArray);
+  // Every metric appears, zeros included, name-sorted.
+  ASSERT_EQ(counters->elements.size(), static_cast<size_t>(Metric::kCount));
+  std::string previous;
+  for (const auto& entry : counters->elements) {
+    ExpectKeys(*entry, {"name", "total", "shards"});
+    const JsonValue* name = entry->Find("name");
+    ASSERT_EQ(name->kind, JsonValue::Kind::kString);
+    EXPECT_LT(previous, name->str) << "counters must be name-sorted";
+    previous = name->str;
+    EXPECT_EQ(entry->Find("total")->num, 0);
+    const JsonValue* shards = entry->Find("shards");
+    ASSERT_EQ(shards->kind, JsonValue::Kind::kArray);
+    ASSERT_EQ(shards->elements.size(), ObsRegistry::kShardSlots);
+    for (const auto& s : shards->elements) EXPECT_EQ(s->num, 0);
+  }
+
+  const JsonValue* hists = root->Find("histograms");
+  ASSERT_EQ(hists->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(hists->elements.size(), static_cast<size_t>(Hist::kCount));
+  previous.clear();
+  for (const auto& entry : hists->elements) {
+    ExpectKeys(*entry, {"name", "count", "sum", "min", "max", "buckets"});
+    EXPECT_LT(previous, entry->Find("name")->str);
+    previous = entry->Find("name")->str;
+    EXPECT_EQ(entry->Find("count")->num, 0);
+    EXPECT_TRUE(entry->Find("buckets")->elements.empty());
+  }
+
+  EXPECT_TRUE(root->Find("spans")->elements.empty());
+  EXPECT_EQ(root->Find("spans_dropped")->num, 0);
+}
+
+TEST(ObsJsonTest, PopulatedRegistryRoundTrips) {
+  ObsRegistry reg;
+  reg.Add(Metric::kTraversalPathsEmitted, 11, /*shard=*/3);
+  reg.Add(Metric::kTraversalPathsEmitted, 4, /*shard=*/5);
+  reg.Record(Hist::kTraversalLevelWidth, 6);
+  reg.Record(Hist::kTraversalLevelWidth, 600);
+  const SpanId root_span = reg.BeginSpan("traverse");
+  const SpanId child = reg.BeginSpan("traverse.level", root_span, /*level=*/1,
+                                     /*shard=*/2);
+  reg.AnnotateSpan(child, "note with \"quotes\" and \\slashes\\");
+  reg.EndSpan(child);
+  reg.EndSpan(root_span);
+
+  std::unique_ptr<JsonValue> root = ParseOrDie(reg.ToJson());
+
+  const JsonValue* counters = root->Find("counters");
+  bool found_counter = false;
+  for (const auto& entry : counters->elements) {
+    if (entry->Find("name")->str != "traversal.paths_emitted") continue;
+    found_counter = true;
+    EXPECT_EQ(entry->Find("total")->num, 15);
+    EXPECT_EQ(entry->Find("shards")->elements[3]->num, 11);
+    EXPECT_EQ(entry->Find("shards")->elements[5]->num, 4);
+  }
+  EXPECT_TRUE(found_counter);
+
+  const JsonValue* hists = root->Find("histograms");
+  bool found_hist = false;
+  for (const auto& entry : hists->elements) {
+    if (entry->Find("name")->str != "traversal.level_width") continue;
+    found_hist = true;
+    EXPECT_EQ(entry->Find("count")->num, 2);
+    EXPECT_EQ(entry->Find("sum")->num, 606);
+    EXPECT_EQ(entry->Find("min")->num, 6);
+    EXPECT_EQ(entry->Find("max")->num, 600);
+    // Only the two non-empty buckets are listed; `le` is the inclusive
+    // upper bound of each.
+    const JsonValue* buckets = entry->Find("buckets");
+    ASSERT_EQ(buckets->elements.size(), 2u);
+    for (const auto& b : buckets->elements) {
+      ExpectKeys(*b, {"le", "count"});
+      EXPECT_EQ(b->Find("count")->num, 1);
+      EXPECT_GE(b->Find("le")->num, 6);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+
+  const JsonValue* spans = root->Find("spans");
+  ASSERT_EQ(spans->elements.size(), 2u);
+  const JsonValue& s0 = *spans->elements[0];
+  const JsonValue& s1 = *spans->elements[1];
+  ExpectKeys(s0, {"id", "parent", "name", "level", "shard", "start_ns",
+                  "end_ns", "note"});
+  EXPECT_EQ(s0.Find("name")->str, "traverse");
+  EXPECT_EQ(s0.Find("parent")->num, -1);  // kNoSpan exports as -1.
+  EXPECT_EQ(s1.Find("parent")->num, s0.Find("id")->num);
+  EXPECT_EQ(s1.Find("level")->num, 1);
+  EXPECT_EQ(s1.Find("shard")->num, 2);
+  EXPECT_EQ(s1.Find("note")->str, "note with \"quotes\" and \\slashes\\");
+  EXPECT_GE(s1.Find("end_ns")->num, s1.Find("start_ns")->num);
+}
+
+TEST(ObsJsonTest, HostileSpanNamesStayParseable) {
+  ObsRegistry reg;
+  reg.EndSpan(reg.BeginSpan("name\nwith\t\"specials\"\\and\x02ctrl"));
+  std::unique_ptr<JsonValue> root = ParseOrDie(reg.ToJson());
+  const JsonValue* spans = root->Find("spans");
+  ASSERT_EQ(spans->elements.size(), 1u);
+  EXPECT_EQ(spans->elements[0]->Find("name")->str,
+            "name\nwith\t\"specials\"\\and\x02ctrl");
+}
+
+}  // namespace
+}  // namespace mrpa::obs

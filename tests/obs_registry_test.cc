@@ -1,0 +1,214 @@
+// Unit tests for the ObsRegistry primitives: per-shard counter slabs,
+// log2-bucketed histograms, the bounded span log, and the RAII TraceSpan.
+// The engine-level conservation laws live in obs_invariants_test.cc; this
+// suite pins the registry's own semantics.
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+
+namespace mrpa::obs {
+namespace {
+
+TEST(MetricNameTest, EveryMetricHasAUniqueDottedName) {
+  std::vector<std::string> seen;
+  for (uint32_t m = 0; m < static_cast<uint32_t>(Metric::kCount); ++m) {
+    const std::string name(MetricName(static_cast<Metric>(m)));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    for (const std::string& other : seen) EXPECT_NE(name, other);
+    seen.push_back(name);
+  }
+}
+
+TEST(MetricNameTest, EveryHistHasAUniqueDottedName) {
+  std::vector<std::string> seen;
+  for (uint32_t h = 0; h < static_cast<uint32_t>(Hist::kCount); ++h) {
+    const std::string name(HistName(static_cast<Hist>(h)));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name.find('.'), std::string::npos) << name;
+    for (const std::string& other : seen) EXPECT_NE(name, other);
+    seen.push_back(name);
+  }
+}
+
+TEST(ObsRegistryTest, CounterValueIsSumOverShardSlots) {
+  ObsRegistry reg;
+  // Shards hash into slots with shard % kShardSlots; slot 1 receives both
+  // shard 1 and shard 1 + kShardSlots.
+  reg.Add(Metric::kTraversalRuns, 3, /*shard=*/1);
+  reg.Add(Metric::kTraversalRuns, 5, /*shard=*/1 + ObsRegistry::kShardSlots);
+  reg.Add(Metric::kTraversalRuns, 7, /*shard=*/2);
+  EXPECT_EQ(reg.Value(Metric::kTraversalRuns), 15u);
+  EXPECT_EQ(reg.ValueForSlot(Metric::kTraversalRuns, 0), 0u);
+  EXPECT_EQ(reg.ValueForSlot(Metric::kTraversalRuns, 1), 8u);
+  EXPECT_EQ(reg.ValueForSlot(Metric::kTraversalRuns, 2), 7u);
+  // Other metrics stay untouched.
+  EXPECT_EQ(reg.Value(Metric::kTraversalPathsEmitted), 0u);
+}
+
+TEST(ObsRegistryTest, ConcurrentAddsNeverLoseIncrements) {
+  ObsRegistry reg;
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kPerThread = 20'000;
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        reg.Add(Metric::kExecStepsExpanded, 1, /*shard=*/t);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.Value(Metric::kExecStepsExpanded), kThreads * kPerThread);
+  uint64_t slot_sum = 0;
+  for (size_t s = 0; s < ObsRegistry::kShardSlots; ++s) {
+    slot_sum += reg.ValueForSlot(Metric::kExecStepsExpanded, s);
+  }
+  EXPECT_EQ(slot_sum, kThreads * kPerThread);
+}
+
+TEST(ObsRegistryTest, BucketIndexBoundaries) {
+  EXPECT_EQ(ObsRegistry::BucketIndex(0), 0u);
+  EXPECT_EQ(ObsRegistry::BucketIndex(1), 1u);
+  EXPECT_EQ(ObsRegistry::BucketIndex(2), 2u);
+  EXPECT_EQ(ObsRegistry::BucketIndex(3), 2u);
+  EXPECT_EQ(ObsRegistry::BucketIndex(4), 3u);
+  EXPECT_EQ(ObsRegistry::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            ObsRegistry::kNumBuckets - 1);
+  // Every value is <= the inclusive upper bound of its bucket, and > the
+  // previous bucket's bound.
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{7}, uint64_t{8},
+                     uint64_t{1023}, uint64_t{1024}}) {
+    const size_t i = ObsRegistry::BucketIndex(v);
+    EXPECT_LE(v, ObsRegistry::BucketUpperBound(i)) << v;
+    if (i > 0) EXPECT_GT(v, ObsRegistry::BucketUpperBound(i - 1)) << v;
+  }
+}
+
+TEST(ObsRegistryTest, HistogramSnapshotAggregates) {
+  ObsRegistry reg;
+  reg.Record(Hist::kTraversalLevelWidth, 0);
+  reg.Record(Hist::kTraversalLevelWidth, 3, /*shard=*/1);
+  reg.Record(Hist::kTraversalLevelWidth, 3, /*shard=*/2);
+  reg.Record(Hist::kTraversalLevelWidth, 100, /*shard=*/7);
+  const HistogramSnapshot snap =
+      reg.SnapshotHistogram(Hist::kTraversalLevelWidth);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 106u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_EQ(snap.buckets[ObsRegistry::BucketIndex(0)], 1u);
+  EXPECT_EQ(snap.buckets[ObsRegistry::BucketIndex(3)], 2u);
+  EXPECT_EQ(snap.buckets[ObsRegistry::BucketIndex(100)], 1u);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, snap.count);
+  // An untouched histogram snapshots as empty with min pinned to 0.
+  const HistogramSnapshot empty = reg.SnapshotHistogram(Hist::kArenaPeakNodes);
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_EQ(empty.min, 0u);
+  EXPECT_EQ(empty.max, 0u);
+}
+
+TEST(ObsRegistryTest, SpanTreeRecordsParentageAndTimes) {
+  ObsRegistry reg;
+  const SpanId root = reg.BeginSpan("traverse");
+  const SpanId child = reg.BeginSpan("traverse.level", root, /*level=*/2);
+  reg.AnnotateSpan(child, "step budget exhausted");
+  reg.EndSpan(child);
+  reg.EndSpan(root);
+
+  const std::vector<SpanRecord> spans = reg.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  const SpanRecord& r = spans[0];
+  const SpanRecord& c = spans[1];
+  EXPECT_EQ(r.id, root);
+  EXPECT_EQ(r.parent, kNoSpan);
+  EXPECT_EQ(r.name, "traverse");
+  EXPECT_EQ(c.parent, root);
+  EXPECT_EQ(c.level, 2);
+  EXPECT_EQ(c.shard, -1);
+  EXPECT_EQ(c.note, "step budget exhausted");
+  // Closed, and nested: the child's window lies inside the root's.
+  ASSERT_GE(r.end_ns, 0);
+  ASSERT_GE(c.end_ns, 0);
+  EXPECT_LE(r.start_ns, c.start_ns);
+  EXPECT_LE(c.end_ns, r.end_ns);
+  EXPECT_LE(c.start_ns, c.end_ns);
+}
+
+TEST(ObsRegistryTest, SpanOperationsIgnoreNoSpan) {
+  ObsRegistry reg;
+  reg.EndSpan(kNoSpan);
+  reg.AnnotateSpan(kNoSpan, "ignored");
+  EXPECT_TRUE(reg.Spans().empty());
+}
+
+TEST(ObsRegistryTest, SpanBudgetOverflowDropsAndCounts) {
+  ObsRegistry reg;
+  for (size_t i = 0; i < ObsRegistry::kMaxSpans; ++i) {
+    ASSERT_NE(reg.BeginSpan("s"), kNoSpan) << i;
+  }
+  EXPECT_EQ(reg.spans_dropped(), 0u);
+  EXPECT_EQ(reg.BeginSpan("overflow"), kNoSpan);
+  EXPECT_EQ(reg.BeginSpan("overflow"), kNoSpan);
+  EXPECT_EQ(reg.spans_dropped(), 2u);
+  EXPECT_EQ(reg.Spans().size(), ObsRegistry::kMaxSpans);
+}
+
+TEST(ObsRegistryTest, ResetClearsEverything) {
+  ObsRegistry reg;
+  reg.Add(Metric::kTraversalRuns, 4, /*shard=*/3);
+  reg.Record(Hist::kArenaPeakNodes, 17);
+  reg.EndSpan(reg.BeginSpan("traverse"));
+  reg.Reset();
+  EXPECT_EQ(reg.Value(Metric::kTraversalRuns), 0u);
+  EXPECT_EQ(reg.SnapshotHistogram(Hist::kArenaPeakNodes).count, 0u);
+  EXPECT_TRUE(reg.Spans().empty());
+  EXPECT_EQ(reg.spans_dropped(), 0u);
+  // The registry is reusable after Reset.
+  reg.Add(Metric::kTraversalRuns, 1);
+  EXPECT_EQ(reg.Value(Metric::kTraversalRuns), 1u);
+}
+
+TEST(TraceSpanTest, RaiiEndsOnDestruction) {
+  ObsRegistry reg;
+  {
+    TraceSpan span(&reg, "traverse");
+    EXPECT_TRUE(span);
+    EXPECT_NE(span.id(), kNoSpan);
+    ASSERT_EQ(reg.Spans().size(), 1u);
+    EXPECT_EQ(reg.Spans()[0].end_ns, -1);  // Still open.
+  }
+  ASSERT_EQ(reg.Spans().size(), 1u);
+  EXPECT_GE(reg.Spans()[0].end_ns, 0);  // Closed by the destructor.
+}
+
+TEST(TraceSpanTest, NullRegistryIsInert) {
+  TraceSpan span(nullptr, "traverse");
+  EXPECT_FALSE(span);
+  EXPECT_EQ(span.id(), kNoSpan);
+}
+
+TEST(TraceSpanTest, MoveTransfersOwnership) {
+  ObsRegistry reg;
+  TraceSpan a(&reg, "traverse");
+  TraceSpan b = std::move(a);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move): moved-from is empty.
+  EXPECT_TRUE(b);
+  b.End();
+  ASSERT_EQ(reg.Spans().size(), 1u);
+  EXPECT_GE(reg.Spans()[0].end_ns, 0);
+  b.End();  // Idempotent.
+  EXPECT_EQ(reg.Spans().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mrpa::obs

@@ -29,6 +29,7 @@
 #include "generators/generators.h"
 #include "graph/multi_graph.h"
 #include "gtest/gtest.h"
+#include "obs/obs.h"
 #include "util/exec_context.h"
 #include "util/fault_injector.h"
 #include "util/random.h"
@@ -138,15 +139,19 @@ Outcome FromResult(Result<GovernedPathSet> result) {
 }
 
 Outcome RunSequential(const EdgeUniverse& universe, const TraversalSpec& spec,
-                      const ExecLimits& limits) {
+                      const ExecLimits& limits,
+                      obs::ObsRegistry* reg = nullptr) {
   ExecContext ctx(limits);
+  ctx.AttachObs(reg);
   return FromResult(TraverseGoverned(universe, spec, ctx));
 }
 
 Outcome RunParallel(const EdgeUniverse& universe, const TraversalSpec& spec,
                     const ExecLimits& limits, ThreadPool& pool,
-                    bool split_budgets = false) {
+                    bool split_budgets = false,
+                    obs::ObsRegistry* reg = nullptr) {
   ExecContext ctx(limits);
+  ctx.AttachObs(reg);
   ParallelTraversalOptions options;
   options.pool = &pool;
   options.shards_per_thread = 4;
@@ -244,6 +249,21 @@ TEST_P(ParallelDifferentialTest, GovernedByteIdentity) {
         SCOPED_TRACE("threads " + std::to_string(pool->num_threads()));
         ExpectIdentical(seq, RunParallel(graph, spec, regimes[r], *pool));
       }
+      // Once more with live instrumentation: an attached ObsRegistry must
+      // leave the governed outcome byte-identical on both engines.
+      obs::ObsRegistry seq_reg;
+      Outcome seq_obs = RunSequential(graph, spec, regimes[r], &seq_reg);
+      {
+        SCOPED_TRACE("sequential with ObsRegistry");
+        ExpectIdentical(seq, seq_obs);
+      }
+      for (ThreadPool* pool : Pools()) {
+        SCOPED_TRACE("obs-attached, threads " +
+                     std::to_string(pool->num_threads()));
+        obs::ObsRegistry par_reg;
+        ExpectIdentical(seq, RunParallel(graph, spec, regimes[r], *pool,
+                                         /*split_budgets=*/false, &par_reg));
+      }
     }
 
     // Injected faults: both runs arm the identical nth-probe fault; the
@@ -263,6 +283,19 @@ TEST_P(ParallelDifferentialTest, GovernedByteIdentity) {
         ScopedFault fault(kFaultSiteBudgetCheck, nth, injected);
         ExpectIdentical(
             seq, RunParallel(graph, spec, ExecLimits::Unlimited(), *pool));
+      }
+      {
+        // Instrumented fault path: the registry observes the trip without
+        // perturbing it.
+        SCOPED_TRACE("budget fault with ObsRegistry");
+        obs::ObsRegistry reg;
+        ScopedFault fault(kFaultSiteBudgetCheck, nth, injected);
+        ExpectIdentical(seq, RunSequential(graph, spec,
+                                           ExecLimits::Unlimited(), &reg));
+        // nth may overshoot the probe count (CheckStep batches), so the
+        // fault fires iff the uninstrumented run tripped.
+        EXPECT_EQ(reg.Value(obs::Metric::kExecTripsFault),
+                  seq.truncated ? 1u : 0u);
       }
     }
     {
