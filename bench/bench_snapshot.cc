@@ -1,0 +1,259 @@
+// Experiment E19: the snapshot storage engine (src/storage/).
+//
+// Four questions, all on the deterministic E16-style substrates:
+//
+//   * build cost  — SnapshotWriter::Serialize vs WriteGraphText (what does
+//     the checksummed binary image cost to produce relative to MRG-TSV?);
+//   * cold load   — SnapshotReader::ReadFile (owned) and MapFile
+//     (zero-copy mmap) vs ReadGraphFile's TSV parse, same graph, same
+//     file-system state. Acceptance: snapshot cold load ≥ 5x faster than
+//     the TSV parse;
+//   * traversal   — governed traversal throughput over the loaded
+//     SnapshotUniverse vs the in-memory MultiRelationalGraph. Acceptance:
+//     within 10% (the snapshot serves the identical CSR through the same
+//     EdgeUniverse virtual surface — see tests/snapshot_differential_test.cc
+//     for the byte-identity proof);
+//   * validation  — the integrity tax in isolation: FromBuffer over an
+//     already-resident image (CRC32C + structural + semantic checks, no
+//     I/O).
+//
+// Run: build/bench/bench_snapshot --benchmark_min_time=1s [--json=FILE]
+// Results are recorded in EXPERIMENTS.md (E19).
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/bench_common.h"
+#include "core/edge_pattern.h"
+#include "core/traversal.h"
+#include "graph/io.h"
+#include "graph/multi_graph.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace mrpa {
+namespace {
+
+// The benchmark substrate, scaled by the |V| argument: heavy-tailed with 4
+// relation types, mean degree ~8.
+const MultiRelationalGraph& SubstrateGraph(uint32_t num_vertices) {
+  static std::vector<std::pair<uint32_t, MultiRelationalGraph>> cache;
+  for (auto& [v, g] : cache) {
+    if (v == num_vertices) return g;
+  }
+  cache.emplace_back(num_vertices,
+                     bench::MakeBaGraph(num_vertices, 4, 8, /*seed=*/19));
+  return cache.back().second;
+}
+
+std::string TempPath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("mrpa_bench_snapshot_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+// Shared on-disk artifacts per graph size, built once.
+struct Artifacts {
+  std::string snapshot_path;
+  std::string tsv_path;
+  std::vector<uint8_t> image;
+
+  Artifacts() = default;
+  // Moved-from paths become empty, so only the cached copy removes files.
+  Artifacts(Artifacts&&) = default;
+  Artifacts& operator=(Artifacts&&) = default;
+  ~Artifacts() {
+    if (!snapshot_path.empty()) std::remove(snapshot_path.c_str());
+    if (!tsv_path.empty()) std::remove(tsv_path.c_str());
+  }
+};
+
+const Artifacts& ArtifactsFor(uint32_t num_vertices) {
+  static std::vector<std::pair<uint32_t, Artifacts>> cache;
+  for (auto& [v, a] : cache) {
+    if (v == num_vertices) return a;
+  }
+  const MultiRelationalGraph& g = SubstrateGraph(num_vertices);
+  Artifacts a;
+  a.snapshot_path = TempPath(std::to_string(num_vertices) + ".mrgs");
+  a.tsv_path = TempPath(std::to_string(num_vertices) + ".tsv");
+  storage::SnapshotWriter writer;
+  a.image = writer.Serialize(g).value();
+  if (!writer.WriteFile(g, a.snapshot_path).ok() ||
+      !WriteGraphFile(g, a.tsv_path).ok()) {
+    std::fprintf(stderr, "bench_snapshot: artifact setup failed\n");
+    std::abort();
+  }
+  cache.emplace_back(num_vertices, std::move(a));
+  return cache.back().second;
+}
+
+// A governed 3-step labeled chain — the E16 traversal shape.
+TraversalSpec ChainSpec() {
+  TraversalSpec spec;
+  spec.steps = {EdgePattern::Labeled(0), EdgePattern::Labeled(1),
+                EdgePattern::Any()};
+  return spec;
+}
+
+// --- Build: serialize vs TSV write -----------------------------------------
+
+void BM_SnapshotSerialize(benchmark::State& state) {
+  const MultiRelationalGraph& g =
+      SubstrateGraph(static_cast<uint32_t>(state.range(0)));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto image = storage::SnapshotWriter().Serialize(g);
+    bytes = image->size();
+    benchmark::DoNotOptimize(image);
+  }
+  state.counters["snapshot_bytes"] = static_cast<double>(bytes);
+  state.counters["edges"] = static_cast<double>(g.num_edges());
+}
+BENCHMARK(BM_SnapshotSerialize)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TsvWrite(benchmark::State& state) {
+  const MultiRelationalGraph& g =
+      SubstrateGraph(static_cast<uint32_t>(state.range(0)));
+  const std::string path = TempPath("write_probe.tsv");
+  for (auto _ : state) {
+    Status status = WriteGraphFile(g, path);
+    benchmark::DoNotOptimize(status);
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_TsvWrite)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+// --- Cold load: snapshot (owned / mmap) vs TSV parse ------------------------
+//
+// "Cold" here means process-cold (fresh read + validate per iteration);
+// the OS page cache stays warm for every contender equally, so the
+// comparison isolates parse/validate cost, not disk latency.
+
+void BM_ColdLoadSnapshotOwned(benchmark::State& state) {
+  const Artifacts& a = ArtifactsFor(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto u = storage::SnapshotReader().ReadFile(a.snapshot_path);
+    if (!u.ok()) state.SkipWithError("load failed");
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_ColdLoadSnapshotOwned)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ColdLoadSnapshotMapped(benchmark::State& state) {
+  const Artifacts& a = ArtifactsFor(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto u = storage::SnapshotReader().MapFile(a.snapshot_path);
+    if (!u.ok()) state.SkipWithError("map failed");
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_ColdLoadSnapshotMapped)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ColdLoadTsvParse(benchmark::State& state) {
+  const Artifacts& a = ArtifactsFor(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto g = ReadGraphFile(a.tsv_path);
+    if (!g.ok()) state.SkipWithError("parse failed");
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_ColdLoadTsvParse)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+// Validation tax in isolation: the image is already resident; each
+// iteration pays CRC32C + structural + semantic validation only.
+void BM_ValidateResidentImage(benchmark::State& state) {
+  const Artifacts& a = ArtifactsFor(static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<uint8_t> copy = a.image;
+    auto u = storage::SnapshotReader().FromBuffer(std::move(copy));
+    if (!u.ok()) state.SkipWithError("validate failed");
+    benchmark::DoNotOptimize(u);
+  }
+  state.counters["bytes"] = static_cast<double>(a.image.size());
+}
+BENCHMARK(BM_ValidateResidentImage)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+// --- Traversal throughput: snapshot vs in-memory ----------------------------
+
+void BM_TraverseInMemory(benchmark::State& state) {
+  const MultiRelationalGraph& g =
+      SubstrateGraph(static_cast<uint32_t>(state.range(0)));
+  const TraversalSpec spec = ChainSpec();
+  size_t paths = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.AttachObs(bench::TraceRegistry());
+    auto result = TraverseGoverned(g, spec, ctx);
+    paths = result->stats.paths_yielded;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_TraverseInMemory)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TraverseSnapshotMapped(benchmark::State& state) {
+  const Artifacts& a = ArtifactsFor(static_cast<uint32_t>(state.range(0)));
+  auto u = storage::SnapshotReader().MapFile(a.snapshot_path);
+  if (!u.ok()) {
+    state.SkipWithError("map failed");
+    return;
+  }
+  const TraversalSpec spec = ChainSpec();
+  size_t paths = 0;
+  for (auto _ : state) {
+    ExecContext ctx;
+    ctx.AttachObs(bench::TraceRegistry());
+    auto result = TraverseGoverned(*u, spec, ctx);
+    paths = result->stats.paths_yielded;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["paths"] = static_cast<double>(paths);
+}
+BENCHMARK(BM_TraverseSnapshotMapped)
+    ->Arg(10'000)
+    ->Arg(50'000)
+    ->ArgNames({"V"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mrpa
+
+MRPA_BENCH_MAIN();

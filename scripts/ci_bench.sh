@@ -3,7 +3,9 @@
 #
 # Builds Release and runs the experiments whose regressions we gate on —
 # E15 (governance guard overhead), E16 (parallel fold speedup), E17 (path
-# arena vs materialized fold) — writing one machine-readable BENCH_<n>.json
+# arena vs materialized fold), E19 (snapshot storage: cold load vs TSV
+# parse, traversal over mmap vs in-memory) — writing one machine-readable
+# BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
 # bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
 # --trace (the ObsRegistry export; schema locked by tests/obs_json_test.cc).
@@ -26,7 +28,8 @@ MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5}"
 
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
-  --target bench_guard_overhead bench_parallel_traversal bench_path_arena
+  --target bench_guard_overhead bench_parallel_traversal bench_path_arena \
+           bench_snapshot
 
 mkdir -p "${OUT_DIR}"
 
@@ -47,5 +50,6 @@ run_bench() {  # run_bench <experiment-number> <binary>
 run_bench 15 bench_guard_overhead
 run_bench 16 bench_parallel_traversal
 run_bench 17 bench_path_arena
+run_bench 19 bench_snapshot
 
 echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"

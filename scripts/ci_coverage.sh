@@ -3,13 +3,16 @@
 #
 # Builds the tree with -DMRPA_COVERAGE=ON (gcc --coverage, -O0), runs the
 # full ctest matrix, then reduces the per-object gcov JSON into a line
-# coverage report over src/. The one hard gate: src/obs/ must stay at or
-# above the checked-in threshold (80% of executable lines), because the
-# observability layer is the instrument everything else is measured with —
-# an unexercised hook is indistinguishable from a broken one.
+# coverage report over src/. Two hard gates, both at 80% of executable
+# lines by default: src/obs/ (the observability layer is the instrument
+# everything else is measured with — an unexercised hook is
+# indistinguishable from a broken one) and src/storage/ (the snapshot
+# validators are the untrusted-input surface — an unexercised check is a
+# hole in the fail-closed story).
 #
 # Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
-# Env:   MRPA_COVERAGE_THRESHOLD_OBS — override the src/obs gate (default 80).
+# Env:   MRPA_COVERAGE_THRESHOLD_OBS     — override the src/obs gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_STORAGE — override the src/storage gate (default 80).
 
 set -euo pipefail
 
@@ -17,6 +20,7 @@ cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build-coverage}"
 THRESHOLD="${MRPA_COVERAGE_THRESHOLD_OBS:-80}"
+THRESHOLD_STORAGE="${MRPA_COVERAGE_THRESHOLD_STORAGE:-80}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -36,7 +40,7 @@ if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
   exit 1
 fi
 
-python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" <<'PY'
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" <<'PY'
 import collections
 import json
 import os
@@ -44,6 +48,7 @@ import subprocess
 import sys
 
 gcda_list, threshold = sys.argv[1], float(sys.argv[2])
+threshold_storage = float(sys.argv[3])
 repo = os.getcwd()
 src_root = os.path.join(repo, "src")
 
@@ -94,6 +99,7 @@ for path in sorted(lines):
 
 print()
 obs_covered = obs_total = 0
+storage_covered = storage_total = 0
 all_covered = all_total = 0
 for d in sorted(by_dir):
     covered, total = by_dir[d]
@@ -102,15 +108,31 @@ for d in sorted(by_dir):
     if d.startswith(os.path.join("src", "obs")):
         obs_covered += covered
         obs_total += total
+    if d.startswith(os.path.join("src", "storage")):
+        storage_covered += covered
+        storage_total += total
     print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
 print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
       f"{100.0 * all_covered / all_total:6.1f}%")
 
+failures = []
 if obs_total == 0:
     sys.exit("error: no coverage data for src/obs/")
 obs_pct = 100.0 * obs_covered / obs_total
 print(f"\nsrc/obs line coverage: {obs_pct:.1f}% (gate: {threshold:.0f}%)")
 if obs_pct < threshold:
-    sys.exit(f"FAIL: src/obs coverage {obs_pct:.1f}% < {threshold:.0f}%")
+    failures.append(f"src/obs coverage {obs_pct:.1f}% < {threshold:.0f}%")
+
+if storage_total == 0:
+    sys.exit("error: no coverage data for src/storage/")
+storage_pct = 100.0 * storage_covered / storage_total
+print(f"src/storage line coverage: {storage_pct:.1f}% "
+      f"(gate: {threshold_storage:.0f}%)")
+if storage_pct < threshold_storage:
+    failures.append(
+        f"src/storage coverage {storage_pct:.1f}% < {threshold_storage:.0f}%")
+
+if failures:
+    sys.exit("FAIL: " + "; ".join(failures))
 print("PASS")
 PY

@@ -3,14 +3,16 @@
 #
 # Builds the tree in a dedicated build directory with
 # -DMRPA_SANITIZE=thread (see the root CMakeLists.txt) and runs the
-# `parallel`-, `arena`-, and `obs`-labeled ctest suites — thread_pool_test,
-# parallel_differential_test, recognizer_differential_test,
-# arena_differential_test, and the obs_* suites — under TSAN. These are the
-# suites that actually exercise cross-thread shard expansion (including the
-# per-shard PathArenas), the work-stealing pool, the replay merge, and the
-# per-shard observability slabs (worker threads write speculation counters
-# into ObsRegistry at pool width 8); the rest of the test matrix is
-# single-threaded and covered by the regular tier1 job.
+# `parallel`-, `arena`-, `obs`-, and `storage`-labeled ctest suites —
+# thread_pool_test, parallel_differential_test,
+# recognizer_differential_test, arena_differential_test, the obs_* suites,
+# and the snapshot_* suites — under TSAN. These are the suites that
+# actually exercise cross-thread shard expansion (including the per-shard
+# PathArenas), the work-stealing pool, the replay merge, the per-shard
+# observability slabs (worker threads write speculation counters into
+# ObsRegistry at pool width 8), and parallel traversal over mmap'ed
+# SnapshotUniverse backings at pool width 8; the rest of the test matrix
+# is single-threaded and covered by the regular tier1 job.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -29,4 +31,4 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # second_deadlock_stack gives usable reports for lock-order findings.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs" --output-on-failure -j 2
+ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage" --output-on-failure -j 2

@@ -1,6 +1,7 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <array>
 #include <fstream>
 #include <sstream>
 
@@ -55,6 +56,39 @@ Status ValidateNumericToken(std::string_view token, uint32_t max_numeric_id,
   return Status::OK();
 }
 
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+// Percent-decodes a token in place of `out`. Tokens without '%' are the
+// common case and copy through untouched; a '%' not followed by two hex
+// digits is corruption, never silently passed along.
+Status DecodeToken(std::string_view raw, std::string& out,
+                   size_t line_number) {
+  out.assign(raw);
+  if (raw.find('%') == std::string_view::npos) return Status::OK();
+  out.clear();
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '%') {
+      out.push_back(raw[i]);
+      continue;
+    }
+    const int hi = i + 1 < raw.size() ? HexValue(raw[i + 1]) : -1;
+    const int lo = i + 2 < raw.size() ? HexValue(raw[i + 2]) : -1;
+    if (hi < 0 || lo < 0) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": malformed percent escape in '" +
+                                std::string(raw) + "'");
+    }
+    out.push_back(static_cast<char>(hi * 16 + lo));
+    i += 2;
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<MultiRelationalGraph> ReadGraphText(std::istream& in,
@@ -88,15 +122,19 @@ Result<MultiRelationalGraph> ReadGraphText(std::istream& in,
                                 ": expected 3 fields, got " +
                                 std::to_string(fields.size()));
     }
-    for (std::string_view field : fields) {
+    std::array<std::string, 3> decoded;
+    for (size_t i = 0; i < 3; ++i) {
+      // Numeric-token validation sees the raw token: escaped names can
+      // never start with '@', so a raw leading '@' always means an id.
       MRPA_RETURN_IF_ERROR(
-          ValidateNumericToken(field, limits.max_numeric_id, line_number));
+          ValidateNumericToken(fields[i], limits.max_numeric_id, line_number));
+      MRPA_RETURN_IF_ERROR(DecodeToken(fields[i], decoded[i], line_number));
     }
     if (limits.max_edges && ++edges > *limits.max_edges) {
       return Status::ResourceExhausted(
           "input exceeds max_edges = " + std::to_string(*limits.max_edges));
     }
-    builder.AddEdge(fields[0], fields[1], fields[2]);
+    builder.AddEdge(decoded[0], decoded[1], decoded[2]);
   }
   if (in.bad()) return Status::IOError("stream read failure");
   return builder.Build();
@@ -133,6 +171,34 @@ std::string TokenFor(const std::string& name, uint32_t id) {
   return name.empty() ? "@" + std::to_string(id) : name;
 }
 
+bool NeedsEscape(unsigned char c) {
+  return c <= 0x20 || c == 0x7F || c == '%' || c == '#';
+}
+
+// Escapes a name so it survives tokenization: whitespace/controls, '%',
+// '#', and a leading '@' become %XX. Everything else (including non-ASCII
+// bytes) passes through raw.
+std::string EscapeToken(const std::string& name) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(name.size());
+  for (size_t i = 0; i < name.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(name[i]);
+    if (NeedsEscape(c) || (i == 0 && c == '@')) {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xF]);
+    } else {
+      out.push_back(name[i]);
+    }
+  }
+  return out;
+}
+
+std::string EscapedTokenFor(const std::string& name, uint32_t id) {
+  return name.empty() ? "@" + std::to_string(id) : EscapeToken(name);
+}
+
 }  // namespace
 
 Status WriteGraphText(const MultiRelationalGraph& graph, std::ostream& out) {
@@ -140,9 +206,9 @@ Status WriteGraphText(const MultiRelationalGraph& graph, std::ostream& out) {
       << " vertices, " << graph.num_labels() << " labels, "
       << graph.num_edges() << " edges\n";
   for (const Edge& e : graph.AllEdges()) {
-    out << TokenFor(graph.VertexName(e.tail), e.tail) << '\t'
-        << TokenFor(graph.LabelName(e.label), e.label) << '\t'
-        << TokenFor(graph.VertexName(e.head), e.head) << '\n';
+    out << EscapedTokenFor(graph.VertexName(e.tail), e.tail) << '\t'
+        << EscapedTokenFor(graph.LabelName(e.label), e.label) << '\t'
+        << EscapedTokenFor(graph.VertexName(e.head), e.head) << '\n';
   }
   if (!out) return Status::IOError("stream write failure");
   return Status::OK();

@@ -8,6 +8,16 @@
 //   marko   knows     peter
 //   marko   created   mrpa
 //   peter   created   mrpa
+//
+// Names are arbitrary byte strings, so tokens carry a minimal percent
+// escape: WriteGraphText encodes as %XX (uppercase hex) every byte that
+// would break tokenization or collide with syntax — bytes <= 0x20
+// (whitespace, controls), 0x7F, '%' itself, '#', and a *leading* '@' (so a
+// real name can never be mistaken for a '@NNN' numeric-id token).
+// ReadGraphText first applies the numeric-token check to the raw token,
+// then percent-decodes it; a '%' not followed by two hex digits is
+// kCorruption. Tokens without '%' pass through unchanged, so hand-written
+// files are unaffected unless they contain literal '%'.
 
 #ifndef MRPA_GRAPH_IO_H_
 #define MRPA_GRAPH_IO_H_
@@ -66,6 +76,10 @@ Result<MultiRelationalGraph> ReadGraphFile(const std::string& path,
 // Writes MRG-TSV. Vertices or labels without names are written as numeric
 // ids prefixed with '@' (e.g. "@17"); ReadGraphText treats such tokens as
 // ordinary names, so write→read round-trips are stable but not id-preserving.
+// Names are percent-escaped (see the format note above), so write→read
+// preserves the exact name bytes — including tabs, newlines, '#', and
+// leading '@' — for every edge (proved by the round-trip fuzz in
+// tests/io_test.cc).
 Status WriteGraphText(const MultiRelationalGraph& graph, std::ostream& out);
 Status WriteGraphFile(const MultiRelationalGraph& graph,
                       const std::string& path);

@@ -37,6 +37,11 @@ constexpr std::string_view kMetricNames[] = {
     "recognizer.batch_accepted",
     "generator.rounds",
     "generator.paths_emitted",
+    "storage.snapshots_loaded",
+    "storage.bytes_mapped",
+    "storage.sections_validated",
+    "storage.checksum_failures",
+    "storage.load_nanos",
 };
 static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
               "kMetricNames must cover every Metric");

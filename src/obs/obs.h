@@ -101,6 +101,15 @@ enum class Metric : uint32_t {
   // Regular path generation.
   kGeneratorRounds,
   kGeneratorPathsEmitted,
+  // Snapshot storage (src/storage/): loads that completed validation,
+  // bytes made addressable (owned buffer or mmap), sections whose checksum
+  // passed, checksum mismatches caught (counted even when the load fails),
+  // and total validation wall time.
+  kStorageSnapshotsLoaded,
+  kStorageBytesMapped,
+  kStorageSectionsValidated,
+  kStorageChecksumFailures,
+  kStorageLoadNanos,
   kCount
 };
 

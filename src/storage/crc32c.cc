@@ -1,0 +1,67 @@
+#include "storage/crc32c.h"
+
+#include <array>
+#include <cstring>
+
+namespace mrpa::storage {
+
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 8> t{};
+};
+
+constexpr Tables MakeTables() {
+  Tables tb{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1u) != 0 ? kPoly ^ (crc >> 1) : crc >> 1;
+    }
+    tb.t[0][i] = crc;
+  }
+  for (size_t j = 1; j < 8; ++j) {
+    for (uint32_t i = 0; i < 256; ++i) {
+      tb.t[j][i] = tb.t[0][tb.t[j - 1][i] & 0xffu] ^ (tb.t[j - 1][i] >> 8);
+    }
+  }
+  return tb;
+}
+
+constexpr Tables kTables = MakeTables();
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  // Slicing-by-8: fold two 32-bit halves through the eight tables per
+  // iteration. Alignment-agnostic (memcpy), endian-correct on little-endian
+  // hosts — which the snapshot format requires anyway (snapshot_format.h).
+  while (n >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    std::memcpy(&lo, p, 4);
+    std::memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kTables.t[7][lo & 0xffu] ^ kTables.t[6][(lo >> 8) & 0xffu] ^
+          kTables.t[5][(lo >> 16) & 0xffu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xffu] ^ kTables.t[2][(hi >> 8) & 0xffu] ^
+          kTables.t[1][(hi >> 16) & 0xffu] ^ kTables.t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = kTables.t[0][(crc ^ *p++) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace mrpa::storage

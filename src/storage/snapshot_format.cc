@@ -1,0 +1,35 @@
+#include "storage/snapshot_format.h"
+
+namespace mrpa::storage {
+
+std::string_view SectionTypeName(SectionType type) {
+  switch (type) {
+    case SectionType::kEdges:
+      return "edges";
+    case SectionType::kOutOffsets:
+      return "out_offsets";
+    case SectionType::kInOffsets:
+      return "in_offsets";
+    case SectionType::kInIndex:
+      return "in_index";
+    case SectionType::kLabelOffsets:
+      return "label_offsets";
+    case SectionType::kLabelIndex:
+      return "label_index";
+    case SectionType::kVertexNameOffsets:
+      return "vertex_name_offsets";
+    case SectionType::kVertexNameBytes:
+      return "vertex_name_bytes";
+    case SectionType::kLabelNameOffsets:
+      return "label_name_offsets";
+    case SectionType::kLabelNameBytes:
+      return "label_name_bytes";
+    case SectionType::kVertexNameSorted:
+      return "vertex_name_sorted";
+    case SectionType::kLabelNameSorted:
+      return "label_name_sorted";
+  }
+  return "unknown";
+}
+
+}  // namespace mrpa::storage

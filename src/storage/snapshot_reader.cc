@@ -1,0 +1,445 @@
+#include "storage/snapshot_reader.h"
+
+#include <bit>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "obs/obs.h"
+#include "storage/crc32c.h"
+#include "storage/snapshot_format.h"
+#include "util/fault_injector.h"
+
+namespace mrpa::storage {
+
+// Friend of SnapshotUniverse: runs the validation pipeline and populates
+// the universe's private views.
+class SnapshotLoader {
+ public:
+  struct Tally {
+    uint64_t sections_validated = 0;
+    uint64_t checksum_failures = 0;
+  };
+  static Status ValidateAndIndex(SnapshotUniverse& u,
+                                 const SnapshotLoadOptions& opts,
+                                 Tally& tally);
+};
+
+namespace {
+
+using ObsTally = SnapshotLoader::Tally;
+
+Status Corrupt(std::string msg) { return Status::Corruption(std::move(msg)); }
+
+Status SectionCorrupt(SectionType type, const std::string& what) {
+  return Corrupt("section " + std::string(SectionTypeName(type)) + ": " +
+                 what);
+}
+
+// Budget hooks: one step per unit batch, bytes for section payloads. The
+// checks return references into the context; copy on failure only.
+Status ChargeSteps(ExecContext* exec, size_t n) {
+  if (exec == nullptr || n == 0) return Status::OK();
+  return exec->CheckStep(n);
+}
+
+Status ChargeBytes(ExecContext* exec, size_t n) {
+  if (exec == nullptr || n == 0) return Status::OK();
+  return exec->ChargeBytes(n);
+}
+
+// offsets[0] == 0, monotone non-decreasing, offsets[count] == total.
+Status CheckOffsetArray(SectionType type, const uint64_t* offsets,
+                        uint64_t count, uint64_t total, ExecContext* exec) {
+  MRPA_RETURN_IF_ERROR(ChargeSteps(exec, static_cast<size_t>(count) + 1));
+  if (offsets[0] != 0) return SectionCorrupt(type, "first offset not 0");
+  for (uint64_t i = 0; i < count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return SectionCorrupt(type,
+                            "offsets not monotone at " + std::to_string(i));
+    }
+  }
+  if (offsets[count] != total) {
+    return SectionCorrupt(
+        type, "final offset " + std::to_string(offsets[count]) +
+                  " != expected total " + std::to_string(total));
+  }
+  return Status::OK();
+}
+
+// `sorted` must enumerate [0, count) in strictly increasing (name, id)
+// order — strict order over `count` in-range entries is already a
+// permutation proof, no scratch bitmap needed.
+Status CheckNamePermutation(SectionType type, const uint32_t* sorted,
+                            uint32_t count, const uint64_t* name_offsets,
+                            const char* name_bytes, ExecContext* exec) {
+  MRPA_RETURN_IF_ERROR(ChargeSteps(exec, count));
+  auto name_at = [&](uint32_t id) {
+    return std::string_view(name_bytes + name_offsets[id],
+                            static_cast<size_t>(name_offsets[id + 1] -
+                                                name_offsets[id]));
+  };
+  for (uint32_t i = 0; i < count; ++i) {
+    if (sorted[i] >= count) {
+      return SectionCorrupt(type, "id out of range at " + std::to_string(i));
+    }
+    if (i > 0) {
+      const uint32_t a = sorted[i - 1];
+      const uint32_t b = sorted[i];
+      std::string_view na = name_at(a);
+      std::string_view nb = name_at(b);
+      if (na > nb || (na == nb && a >= b)) {
+        return SectionCorrupt(type, "not (name, id)-sorted at position " +
+                                        std::to_string(i));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// The full structural + semantic validation pipeline over u.bytes_,
+// populating the universe's views on success.
+Status SnapshotLoader::ValidateAndIndex(SnapshotUniverse& u,
+                                        const SnapshotLoadOptions& opts,
+                                        Tally& tally) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        "MRGS snapshots are little-endian; big-endian hosts are unsupported");
+  }
+  const std::span<const uint8_t> bytes = u.bytes_;
+  const uint8_t* base = bytes.data();
+  if (bytes.size() > opts.max_file_bytes) {
+    return Status::ResourceExhausted(
+        "snapshot of " + std::to_string(bytes.size()) +
+        " bytes exceeds max_file_bytes = " +
+        std::to_string(opts.max_file_bytes));
+  }
+  // Phase boundary: force a deadline/cancel poll up front — a small
+  // snapshot charges too few steps to reach the strided poll.
+  if (opts.exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(opts.exec->CheckDeadline());
+  }
+
+  // --- Header -------------------------------------------------------------
+  if (bytes.size() < kHeaderBytes) {
+    return Corrupt("truncated snapshot: " + std::to_string(bytes.size()) +
+                   " bytes is smaller than the header");
+  }
+  if (GetU32(base + SnapshotHeader::kMagicOff) != kSnapshotMagic) {
+    return Corrupt("bad magic: not an MRGS snapshot");
+  }
+  if (GetU32(base + SnapshotHeader::kHeaderCrcOff) !=
+      Crc32c(base, SnapshotHeader::kHeaderCrcOff)) {
+    ++tally.checksum_failures;
+    return Corrupt("header checksum mismatch");
+  }
+  const uint32_t version = GetU32(base + SnapshotHeader::kVersionOff);
+  if (version != kSnapshotVersion) {
+    return Corrupt("unsupported snapshot version " + std::to_string(version));
+  }
+  if (GetU32(base + SnapshotHeader::kSectionCountOff) != kSectionCount) {
+    return Corrupt("unexpected section count");
+  }
+  const uint32_t num_vertices = GetU32(base + SnapshotHeader::kNumVerticesOff);
+  const uint32_t num_labels = GetU32(base + SnapshotHeader::kNumLabelsOff);
+  const uint64_t num_edges = GetU64(base + SnapshotHeader::kNumEdgesOff);
+  const uint64_t file_bytes = GetU64(base + SnapshotHeader::kFileBytesOff);
+  if (file_bytes != bytes.size()) {
+    return Corrupt("file_bytes " + std::to_string(file_bytes) +
+                   " != actual size " + std::to_string(bytes.size()) +
+                   " (truncated or padded snapshot)");
+  }
+  if (GetU64(base + SnapshotHeader::kDirectoryOffsetOff) != kHeaderBytes) {
+    return Corrupt("unexpected directory offset");
+  }
+  if (bytes.size() < kPayloadStart) {
+    return Corrupt("truncated snapshot: directory does not fit");
+  }
+  // EdgeIndex is 32-bit: a count the index sections cannot address is
+  // corrupt by construction, and it also bounds the multiplications below.
+  if (num_edges > std::numeric_limits<EdgeIndex>::max() ||
+      num_edges * sizeof(Edge) > file_bytes) {
+    return Corrupt("num_edges " + std::to_string(num_edges) +
+                   " impossible for a " + std::to_string(file_bytes) +
+                   "-byte snapshot");
+  }
+
+  // --- Directory ----------------------------------------------------------
+  if (GetU32(base + SnapshotHeader::kDirectoryCrcOff) !=
+      Crc32c(base + kHeaderBytes, kSectionCount * kDirEntryBytes)) {
+    ++tally.checksum_failures;
+    return Corrupt("directory checksum mismatch");
+  }
+  SectionEntry sections[kSectionCount];
+  uint64_t prev_end = kPayloadStart;
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const uint8_t* e = base + kHeaderBytes + i * kDirEntryBytes;
+    SectionEntry& s = sections[i];
+    s.type = GetU32(e + SectionEntry::kTypeOff);
+    s.crc = GetU32(e + SectionEntry::kCrcOff);
+    s.offset = GetU64(e + SectionEntry::kOffsetOff);
+    s.length = GetU64(e + SectionEntry::kLengthOff);
+    if (s.type != i + 1) {
+      return Corrupt("directory entry " + std::to_string(i) +
+                     ": unexpected section type " + std::to_string(s.type));
+    }
+    const SectionType type = static_cast<SectionType>(s.type);
+    if (s.offset % kSectionAlign != 0) {
+      return SectionCorrupt(type, "misaligned offset");
+    }
+    if (s.offset < prev_end) {
+      return SectionCorrupt(type, "overlaps the previous section");
+    }
+    if (s.length > file_bytes || s.offset > file_bytes - s.length) {
+      return SectionCorrupt(type, "extends past end of file");
+    }
+    prev_end = s.offset + s.length;
+  }
+
+  // --- Section payloads: expected length, fault probe, checksum -----------
+  const uint64_t kNoFixedLength = std::numeric_limits<uint64_t>::max();
+  const uint64_t expected_lengths[kSectionCount] = {
+      num_edges * sizeof(Edge),
+      (static_cast<uint64_t>(num_vertices) + 1) * sizeof(uint64_t),
+      (static_cast<uint64_t>(num_vertices) + 1) * sizeof(uint64_t),
+      num_edges * sizeof(EdgeIndex),
+      (static_cast<uint64_t>(num_labels) + 1) * sizeof(uint64_t),
+      num_edges * sizeof(EdgeIndex),
+      (static_cast<uint64_t>(num_vertices) + 1) * sizeof(uint64_t),
+      kNoFixedLength,  // vertex_name_bytes: tied to its offsets below.
+      (static_cast<uint64_t>(num_labels) + 1) * sizeof(uint64_t),
+      kNoFixedLength,  // label_name_bytes.
+      static_cast<uint64_t>(num_vertices) * sizeof(uint32_t),
+      static_cast<uint64_t>(num_labels) * sizeof(uint32_t),
+  };
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const SectionEntry& s = sections[i];
+    const SectionType type = static_cast<SectionType>(s.type);
+    MRPA_RETURN_IF_ERROR(FaultProbe(kFaultSiteSnapshotSection));
+    MRPA_RETURN_IF_ERROR(ChargeSteps(opts.exec, 1));
+    MRPA_RETURN_IF_ERROR(
+        ChargeBytes(opts.exec, static_cast<size_t>(s.length)));
+    if (expected_lengths[i] != kNoFixedLength &&
+        s.length != expected_lengths[i]) {
+      return SectionCorrupt(
+          type, "length " + std::to_string(s.length) + " != expected " +
+                    std::to_string(expected_lengths[i]));
+    }
+    if (Crc32c(base + s.offset, static_cast<size_t>(s.length)) != s.crc) {
+      ++tally.checksum_failures;
+      return SectionCorrupt(type, "checksum mismatch");
+    }
+    ++tally.sections_validated;
+  }
+
+  // --- Views --------------------------------------------------------------
+  auto at = [&](SectionType type) {
+    return base + sections[static_cast<uint32_t>(type) - 1].offset;
+  };
+  auto length_of = [&](SectionType type) {
+    return sections[static_cast<uint32_t>(type) - 1].length;
+  };
+  u.num_vertices_ = num_vertices;
+  u.num_labels_ = num_labels;
+  u.num_edges_ = static_cast<size_t>(num_edges);
+  u.edges_ = reinterpret_cast<const Edge*>(at(SectionType::kEdges));
+  u.out_offsets_ =
+      reinterpret_cast<const uint64_t*>(at(SectionType::kOutOffsets));
+  u.in_offsets_ =
+      reinterpret_cast<const uint64_t*>(at(SectionType::kInOffsets));
+  u.in_index_ = reinterpret_cast<const EdgeIndex*>(at(SectionType::kInIndex));
+  u.label_offsets_ =
+      reinterpret_cast<const uint64_t*>(at(SectionType::kLabelOffsets));
+  u.label_index_ =
+      reinterpret_cast<const EdgeIndex*>(at(SectionType::kLabelIndex));
+  u.vertex_name_offsets_ =
+      reinterpret_cast<const uint64_t*>(at(SectionType::kVertexNameOffsets));
+  u.vertex_name_bytes_ =
+      reinterpret_cast<const char*>(at(SectionType::kVertexNameBytes));
+  u.label_name_offsets_ =
+      reinterpret_cast<const uint64_t*>(at(SectionType::kLabelNameOffsets));
+  u.label_name_bytes_ =
+      reinterpret_cast<const char*>(at(SectionType::kLabelNameBytes));
+  u.vertex_name_sorted_ =
+      reinterpret_cast<const uint32_t*>(at(SectionType::kVertexNameSorted));
+  u.label_name_sorted_ =
+      reinterpret_cast<const uint32_t*>(at(SectionType::kLabelNameSorted));
+
+  // --- Semantic checks (checksums passed; now prove the arrays form a
+  // coherent CSR image so traversal indexing is in-bounds by construction).
+  MRPA_RETURN_IF_ERROR(CheckOffsetArray(SectionType::kOutOffsets,
+                                        u.out_offsets_, num_vertices,
+                                        num_edges, opts.exec));
+  MRPA_RETURN_IF_ERROR(CheckOffsetArray(SectionType::kInOffsets,
+                                        u.in_offsets_, num_vertices,
+                                        num_edges, opts.exec));
+  MRPA_RETURN_IF_ERROR(CheckOffsetArray(SectionType::kLabelOffsets,
+                                        u.label_offsets_, num_labels,
+                                        num_edges, opts.exec));
+  MRPA_RETURN_IF_ERROR(CheckOffsetArray(
+      SectionType::kVertexNameOffsets, u.vertex_name_offsets_, num_vertices,
+      length_of(SectionType::kVertexNameBytes), opts.exec));
+  MRPA_RETURN_IF_ERROR(CheckOffsetArray(
+      SectionType::kLabelNameOffsets, u.label_name_offsets_, num_labels,
+      length_of(SectionType::kLabelNameBytes), opts.exec));
+
+  // Edges: strictly (tail, label, head)-sorted, ids in range, and the CSR
+  // out-offsets bucket exactly the tails they claim.
+  MRPA_RETURN_IF_ERROR(
+      ChargeSteps(opts.exec, static_cast<size_t>(num_edges)));
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    for (uint64_t i = u.out_offsets_[v]; i < u.out_offsets_[v + 1]; ++i) {
+      const Edge& e = u.edges_[i];
+      if (e.tail != v) {
+        return SectionCorrupt(SectionType::kOutOffsets,
+                              "edge " + std::to_string(i) +
+                                  " not in its tail's bucket");
+      }
+      if (e.head >= num_vertices || e.label >= num_labels) {
+        return SectionCorrupt(SectionType::kEdges,
+                              "edge " + std::to_string(i) +
+                                  " references out-of-range ids");
+      }
+      if (i > 0 && !(u.edges_[i - 1] < u.edges_[i])) {
+        return SectionCorrupt(SectionType::kEdges,
+                              "edges not strictly sorted at " +
+                                  std::to_string(i));
+      }
+    }
+  }
+
+  // In-index: per-head runs of sorted, in-range edge indices whose edges
+  // really end at that head.
+  MRPA_RETURN_IF_ERROR(
+      ChargeSteps(opts.exec, static_cast<size_t>(num_edges)));
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    for (uint64_t i = u.in_offsets_[v]; i < u.in_offsets_[v + 1]; ++i) {
+      const EdgeIndex idx = u.in_index_[i];
+      if (idx >= num_edges) {
+        return SectionCorrupt(SectionType::kInIndex,
+                              "edge index out of range at " +
+                                  std::to_string(i));
+      }
+      if (u.edges_[idx].head != v) {
+        return SectionCorrupt(SectionType::kInIndex,
+                              "entry " + std::to_string(i) +
+                                  " does not point at its head's edge");
+      }
+      if (i > u.in_offsets_[v] && u.in_index_[i - 1] >= idx) {
+        return SectionCorrupt(SectionType::kInIndex,
+                              "run not sorted at " + std::to_string(i));
+      }
+    }
+  }
+
+  // Label index: same shape per label.
+  MRPA_RETURN_IF_ERROR(
+      ChargeSteps(opts.exec, static_cast<size_t>(num_edges)));
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    for (uint64_t i = u.label_offsets_[l]; i < u.label_offsets_[l + 1]; ++i) {
+      const EdgeIndex idx = u.label_index_[i];
+      if (idx >= num_edges) {
+        return SectionCorrupt(SectionType::kLabelIndex,
+                              "edge index out of range at " +
+                                  std::to_string(i));
+      }
+      if (u.edges_[idx].label != l) {
+        return SectionCorrupt(SectionType::kLabelIndex,
+                              "entry " + std::to_string(i) +
+                                  " does not point at its label's edge");
+      }
+      if (i > u.label_offsets_[l] && u.label_index_[i - 1] >= idx) {
+        return SectionCorrupt(SectionType::kLabelIndex,
+                              "run not sorted at " + std::to_string(i));
+      }
+    }
+  }
+
+  MRPA_RETURN_IF_ERROR(CheckNamePermutation(
+      SectionType::kVertexNameSorted, u.vertex_name_sorted_, num_vertices,
+      u.vertex_name_offsets_, u.vertex_name_bytes_, opts.exec));
+  MRPA_RETURN_IF_ERROR(CheckNamePermutation(
+      SectionType::kLabelNameSorted, u.label_name_sorted_, num_labels,
+      u.label_name_offsets_, u.label_name_bytes_, opts.exec));
+
+  return Status::OK();
+}
+
+namespace {
+
+// Validates the universe's adopted bytes, records metrics, and returns the
+// finished universe (or the validation failure).
+Result<SnapshotUniverse> FinishLoad(SnapshotUniverse u,
+                                    const SnapshotLoadOptions& opts) {
+  const auto start = std::chrono::steady_clock::now();
+  ObsTally tally;
+  Status status = SnapshotLoader::ValidateAndIndex(u, opts, tally);
+  obs::ObsRegistry* reg =
+      opts.obs != nullptr
+          ? opts.obs
+          : (opts.exec != nullptr ? opts.exec->observer() : nullptr);
+  if (reg != nullptr) {
+    reg->Add(obs::Metric::kStorageSectionsValidated, tally.sections_validated);
+    reg->Add(obs::Metric::kStorageChecksumFailures, tally.checksum_failures);
+    if (status.ok()) {
+      const auto elapsed = std::chrono::steady_clock::now() - start;
+      reg->Add(obs::Metric::kStorageSnapshotsLoaded, 1);
+      reg->Add(obs::Metric::kStorageBytesMapped, u.snapshot_bytes());
+      reg->Add(obs::Metric::kStorageLoadNanos,
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       elapsed)
+                       .count()));
+    }
+  }
+  if (!status.ok()) return status;
+  return u;
+}
+
+}  // namespace
+
+Result<SnapshotUniverse> SnapshotReader::FromBuffer(
+    std::vector<uint8_t> bytes) const {
+  SnapshotUniverse u;
+  u.owned_ = std::move(bytes);
+  u.bytes_ = u.owned_;
+  return FinishLoad(std::move(u), options_);
+}
+
+Result<SnapshotUniverse> SnapshotReader::ReadFile(
+    const std::string& path) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::IOError("cannot size " + path);
+  if (static_cast<uint64_t>(size) > options_.max_file_bytes) {
+    return Status::ResourceExhausted(
+        "snapshot of " + std::to_string(size) +
+        " bytes exceeds max_file_bytes = " +
+        std::to_string(options_.max_file_bytes));
+  }
+  in.seekg(0, std::ios::beg);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in.good()) return Status::IOError("read failure on " + path);
+  }
+  return FromBuffer(std::move(bytes));
+}
+
+Result<SnapshotUniverse> SnapshotReader::MapFile(
+    const std::string& path) const {
+  Result<MappedFile> mapped = MappedFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  SnapshotUniverse u;
+  u.mapped_ = std::move(mapped).value();
+  u.bytes_ = u.mapped_.bytes();
+  return FinishLoad(std::move(u), options_);
+}
+
+}  // namespace mrpa::storage

@@ -1,0 +1,90 @@
+// SnapshotReader: validated loading of MRGS snapshots.
+//
+// Two load paths, one validation pipeline:
+//   * FromBuffer / ReadFile — the snapshot bytes are owned by the returned
+//     universe (the whole file is read into memory);
+//   * MapFile — zero-copy: the file is mmap'ed read-only and the universe
+//     serves traversals straight from the page cache. Cold load cost is
+//     validation only (experiment E19 measures it against MRG-TSV parse).
+//
+// Untrusted-input contract: a snapshot is hostile bytes until every check
+// in snapshot_format.h's invariant list has passed. Structural damage —
+// bad magic, wrong version, truncation, a flipped bit anywhere in the
+// header, directory, or any section, overlapping or oversized sections,
+// inconsistent offset/index arrays — fails closed with kCorruption and a
+// section-named message, never with UB (tests/snapshot_corruption_test.cc
+// sweeps all of these under ASan). Oversized inputs trip
+// kResourceExhausted against SnapshotLoadOptions::max_file_bytes before
+// any section work happens.
+//
+// Governance: validation is budgeted through an attached ExecContext —
+// each section charges one step plus its byte length, and each semantic
+// scan charges one step per element batch — so snapshot loads obey the
+// same deadlines/budgets/cancellation as every other evaluation
+// (kDeadlineExceeded/kResourceExhausted/kCancelled surface unchanged).
+// Each section also passes a kFaultSiteSnapshotSection probe, so tests
+// inject deterministic mid-load failures.
+//
+// Observability: with a registry attached (options.obs, or the exec
+// context's observer), loads record storage.snapshots_loaded,
+// storage.bytes_mapped, storage.sections_validated,
+// storage.checksum_failures, and storage.load_nanos.
+
+#ifndef MRPA_STORAGE_SNAPSHOT_READER_H_
+#define MRPA_STORAGE_SNAPSHOT_READER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/snapshot_universe.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace mrpa::obs {
+class ObsRegistry;
+}  // namespace mrpa::obs
+
+namespace mrpa::storage {
+
+// Deterministic fault-injection site: probed once per section validated.
+inline constexpr std::string_view kFaultSiteSnapshotSection =
+    "storage.section";
+
+struct SnapshotLoadOptions {
+  // Hard cap on accepted snapshot size; larger inputs are
+  // kResourceExhausted before validation starts. The default admits any
+  // realistic snapshot while still bounding a hostile length field.
+  size_t max_file_bytes = size_t{1} << 40;
+  // Optional execution guard for the validation pass. Not owned; may be
+  // null (unguarded).
+  ExecContext* exec = nullptr;
+  // Optional metrics sink. When null, the exec context's attached registry
+  // (if any) is used instead.
+  obs::ObsRegistry* obs = nullptr;
+};
+
+class SnapshotReader {
+ public:
+  SnapshotReader() = default;
+  explicit SnapshotReader(SnapshotLoadOptions options)
+      : options_(options) {}
+
+  // Validates `bytes` and adopts them as the universe's backing store.
+  Result<SnapshotUniverse> FromBuffer(std::vector<uint8_t> bytes) const;
+
+  // Reads the whole file into an owned buffer, then validates.
+  Result<SnapshotUniverse> ReadFile(const std::string& path) const;
+
+  // Zero-copy: mmaps the file read-only, then validates over the mapping.
+  Result<SnapshotUniverse> MapFile(const std::string& path) const;
+
+ private:
+  SnapshotLoadOptions options_;
+};
+
+}  // namespace mrpa::storage
+
+#endif  // MRPA_STORAGE_SNAPSHOT_READER_H_

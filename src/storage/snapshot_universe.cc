@@ -1,0 +1,80 @@
+#include "storage/snapshot_universe.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+namespace mrpa::storage {
+
+void MappedFile::Reset() {
+  if (addr_ != nullptr) {
+    ::munmap(addr_, size_);
+    addr_ = nullptr;
+    size_ = 0;
+  }
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::IOError("cannot stat " + path + ": " + std::strerror(err));
+  }
+  MappedFile file;
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      int err = errno;
+      ::close(fd);
+      return Status::IOError("cannot mmap " + path + ": " +
+                             std::strerror(err));
+    }
+    file.addr_ = addr;
+    file.size_ = size;
+  }
+  // The mapping keeps its own reference to the file; the descriptor is no
+  // longer needed.
+  ::close(fd);
+  return file;
+}
+
+std::optional<uint32_t> SnapshotUniverse::FindByName(
+    const uint64_t* offsets, const char* blob, const uint32_t* sorted,
+    uint32_t count, std::string_view name) const {
+  if (name.empty() || count == 0) return std::nullopt;
+  const uint32_t* end = sorted + count;
+  const uint32_t* it = std::lower_bound(
+      sorted, end, name, [&](uint32_t id, std::string_view target) {
+        return NameAt(offsets, blob, id, count) < target;
+      });
+  if (it == end || NameAt(offsets, blob, *it, count) != name) {
+    return std::nullopt;
+  }
+  return *it;
+}
+
+std::optional<VertexId> SnapshotUniverse::FindVertex(
+    std::string_view name) const {
+  return FindByName(vertex_name_offsets_, vertex_name_bytes_,
+                    vertex_name_sorted_, num_vertices_, name);
+}
+
+std::optional<LabelId> SnapshotUniverse::FindLabel(
+    std::string_view name) const {
+  return FindByName(label_name_offsets_, label_name_bytes_,
+                    label_name_sorted_, num_labels_, name);
+}
+
+}  // namespace mrpa::storage

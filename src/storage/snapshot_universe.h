@@ -1,0 +1,172 @@
+// SnapshotUniverse: the traversal-native view over a validated MRGS
+// snapshot.
+//
+// A loaded snapshot IS an EdgeUniverse: every accessor (AllEdges, OutEdges,
+// OutEdgesWithLabel, InEdgeIndices, LabelEdgeIndices, HasEdge) is a span
+// into the snapshot bytes — owned buffer or zero-copy mmap — so Traverse,
+// the chain planner, and the recognizers run against a snapshot with no
+// materialization step, and their governed output is byte-identical to the
+// in-memory MultiRelationalGraph built from the same edges (proved by
+// tests/snapshot_differential_test.cc).
+//
+// Construction goes through SnapshotReader (snapshot_reader.h), which
+// validates every section before handing out a universe; an invalid or
+// corrupt snapshot never becomes a SnapshotUniverse. The universe owns its
+// backing bytes (vector or mapping) and the usual span-lifetime rule
+// applies: spans are valid while the universe is alive and unmoved-from.
+
+#ifndef MRPA_STORAGE_SNAPSHOT_UNIVERSE_H_
+#define MRPA_STORAGE_SNAPSHOT_UNIVERSE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/edge.h"
+#include "core/edge_universe.h"
+#include "core/ids.h"
+#include "util/status.h"
+
+namespace mrpa::storage {
+
+// RAII read-only file mapping. Empty files map to an empty span.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept
+      : addr_(other.addr_), size_(other.size_) {
+    other.addr_ = nullptr;
+    other.size_ = 0;
+  }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      addr_ = other.addr_;
+      size_ = other.size_;
+      other.addr_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  // Maps `path` read-only. kIOError when the file cannot be opened,
+  // stat'ed, or mapped.
+  static Result<MappedFile> Open(const std::string& path);
+
+  std::span<const uint8_t> bytes() const {
+    return {static_cast<const uint8_t*>(addr_), size_};
+  }
+  bool mapped() const { return addr_ != nullptr; }
+
+ private:
+  void Reset();
+
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+};
+
+class SnapshotUniverse final : public EdgeUniverse {
+ public:
+  // An empty universe (no backing snapshot, zero vertices/labels/edges).
+  SnapshotUniverse() = default;
+
+  // Moving transfers the backing bytes; the raw views stay valid because
+  // both vector and mapping moves preserve the underlying addresses.
+  SnapshotUniverse(SnapshotUniverse&&) noexcept = default;
+  SnapshotUniverse& operator=(SnapshotUniverse&&) noexcept = default;
+  SnapshotUniverse(const SnapshotUniverse&) = delete;
+  SnapshotUniverse& operator=(const SnapshotUniverse&) = delete;
+
+  // --- EdgeUniverse -------------------------------------------------------
+  uint32_t num_vertices() const override { return num_vertices_; }
+  uint32_t num_labels() const override { return num_labels_; }
+  size_t num_edges() const override { return num_edges_; }
+  std::span<const Edge> AllEdges() const override {
+    return {edges_, num_edges_};
+  }
+  std::span<const Edge> OutEdges(VertexId v) const override {
+    if (v >= num_vertices_) return {};
+    return {edges_ + out_offsets_[v],
+            static_cast<size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+  std::span<const EdgeIndex> InEdgeIndices(VertexId v) const override {
+    if (v >= num_vertices_) return {};
+    return {in_index_ + in_offsets_[v],
+            static_cast<size_t>(in_offsets_[v + 1] - in_offsets_[v])};
+  }
+  std::span<const EdgeIndex> LabelEdgeIndices(LabelId l) const override {
+    if (l >= num_labels_) return {};
+    return {label_index_ + label_offsets_[l],
+            static_cast<size_t>(label_offsets_[l + 1] - label_offsets_[l])};
+  }
+
+  // --- Names (zero-copy views into the snapshot) --------------------------
+  // Empty view for unnamed or out-of-range ids, mirroring
+  // MultiRelationalGraph::VertexName/LabelName.
+  std::string_view VertexName(VertexId v) const {
+    return NameAt(vertex_name_offsets_, vertex_name_bytes_, v, num_vertices_);
+  }
+  std::string_view LabelName(LabelId l) const {
+    return NameAt(label_name_offsets_, label_name_bytes_, l, num_labels_);
+  }
+  // Binary search over the snapshot's (name, id)-sorted permutations.
+  // The empty string never matches (unnamed ids store empty names).
+  std::optional<VertexId> FindVertex(std::string_view name) const;
+  std::optional<LabelId> FindLabel(std::string_view name) const;
+
+  // --- Provenance ---------------------------------------------------------
+  // Total snapshot bytes backing this universe.
+  size_t snapshot_bytes() const { return bytes_.size(); }
+  // True when backed by a zero-copy file mapping rather than an owned
+  // buffer.
+  bool zero_copy() const { return mapped_.mapped(); }
+
+ private:
+  friend class SnapshotReader;
+  friend class SnapshotLoader;  // The validation pipeline (snapshot_reader.cc).
+
+  static std::string_view NameAt(const uint64_t* offsets, const char* blob,
+                                 uint32_t id, uint32_t count) {
+    if (id >= count) return {};
+    return {blob + offsets[id],
+            static_cast<size_t>(offsets[id + 1] - offsets[id])};
+  }
+
+  std::optional<uint32_t> FindByName(const uint64_t* offsets,
+                                     const char* blob, const uint32_t* sorted,
+                                     uint32_t count,
+                                     std::string_view name) const;
+
+  // Exactly one backing is non-empty on a loaded universe.
+  std::vector<uint8_t> owned_;
+  MappedFile mapped_;
+  std::span<const uint8_t> bytes_;
+
+  uint32_t num_vertices_ = 0;
+  uint32_t num_labels_ = 0;
+  size_t num_edges_ = 0;
+  const Edge* edges_ = nullptr;
+  const uint64_t* out_offsets_ = nullptr;
+  const uint64_t* in_offsets_ = nullptr;
+  const EdgeIndex* in_index_ = nullptr;
+  const uint64_t* label_offsets_ = nullptr;
+  const EdgeIndex* label_index_ = nullptr;
+  const uint64_t* vertex_name_offsets_ = nullptr;
+  const char* vertex_name_bytes_ = nullptr;
+  const uint64_t* label_name_offsets_ = nullptr;
+  const char* label_name_bytes_ = nullptr;
+  const uint32_t* vertex_name_sorted_ = nullptr;
+  const uint32_t* label_name_sorted_ = nullptr;
+};
+
+}  // namespace mrpa::storage
+
+#endif  // MRPA_STORAGE_SNAPSHOT_UNIVERSE_H_

@@ -1,0 +1,224 @@
+#include "storage/snapshot_writer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <numeric>
+
+#include "storage/crc32c.h"
+#include "storage/snapshot_format.h"
+
+namespace mrpa::storage {
+
+namespace {
+
+using NameFn = std::function<std::string_view(uint32_t)>;
+
+// One section staged for emission: its payload bytes live either in a
+// snapshot-local scratch vector or borrow directly from the universe (the
+// edge array is memcpy'd straight from AllEdges()).
+struct StagedSection {
+  SectionType type;
+  const uint8_t* data = nullptr;
+  uint64_t length = 0;
+};
+
+template <typename T>
+const uint8_t* BytesOf(const std::vector<T>& v) {
+  return reinterpret_cast<const uint8_t*>(v.data());
+}
+
+// Builds the name-table triplet (offsets, blob, (name, id)-sorted
+// permutation) for `count` ids.
+void BuildNameTables(uint32_t count, const NameFn& name_of,
+                     std::vector<uint64_t>& offsets, std::vector<char>& blob,
+                     std::vector<uint32_t>& sorted) {
+  offsets.assign(count + 1, 0);
+  blob.clear();
+  for (uint32_t id = 0; id < count; ++id) {
+    std::string_view name = name_of(id);
+    blob.insert(blob.end(), name.begin(), name.end());
+    offsets[id + 1] = blob.size();
+  }
+  sorted.resize(count);
+  std::iota(sorted.begin(), sorted.end(), 0u);
+  std::sort(sorted.begin(), sorted.end(), [&](uint32_t a, uint32_t b) {
+    std::string_view na = name_of(a);
+    std::string_view nb = name_of(b);
+    return na != nb ? na < nb : a < b;
+  });
+}
+
+Result<std::vector<uint8_t>> SerializeImpl(const EdgeUniverse& universe,
+                                           const NameFn& vertex_name,
+                                           const NameFn& label_name) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return Status::Unimplemented(
+        "MRGS snapshots are little-endian; big-endian hosts are unsupported");
+  }
+  const uint32_t num_vertices = universe.num_vertices();
+  const uint32_t num_labels = universe.num_labels();
+  const size_t num_edges = universe.num_edges();
+  const std::span<const Edge> edges = universe.AllEdges();
+  if (edges.size() != num_edges) {
+    return Status::Internal("AllEdges() size disagrees with num_edges()");
+  }
+
+  // CSR out-offsets from the contract that OutEdges(v) tiles AllEdges().
+  std::vector<uint64_t> out_offsets(num_vertices + 1, 0);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    out_offsets[v + 1] = out_offsets[v] + universe.OutEdges(v).size();
+  }
+  if (out_offsets[num_vertices] != num_edges) {
+    return Status::Internal("OutEdges spans do not tile AllEdges");
+  }
+
+  // Per-head and per-label index lists, concatenated in id order.
+  std::vector<uint64_t> in_offsets(num_vertices + 1, 0);
+  std::vector<EdgeIndex> in_index;
+  in_index.reserve(num_edges);
+  for (uint32_t v = 0; v < num_vertices; ++v) {
+    std::span<const EdgeIndex> in = universe.InEdgeIndices(v);
+    in_index.insert(in_index.end(), in.begin(), in.end());
+    in_offsets[v + 1] = in_index.size();
+  }
+  if (in_index.size() != num_edges) {
+    return Status::Internal("InEdgeIndices spans do not cover AllEdges");
+  }
+  std::vector<uint64_t> label_offsets(num_labels + 1, 0);
+  std::vector<EdgeIndex> label_index;
+  label_index.reserve(num_edges);
+  for (uint32_t l = 0; l < num_labels; ++l) {
+    std::span<const EdgeIndex> le = universe.LabelEdgeIndices(l);
+    label_index.insert(label_index.end(), le.begin(), le.end());
+    label_offsets[l + 1] = label_index.size();
+  }
+  if (label_index.size() != num_edges) {
+    return Status::Internal("LabelEdgeIndices spans do not cover AllEdges");
+  }
+
+  std::vector<uint64_t> vertex_name_offsets;
+  std::vector<char> vertex_name_bytes;
+  std::vector<uint32_t> vertex_name_sorted;
+  BuildNameTables(num_vertices, vertex_name, vertex_name_offsets,
+                  vertex_name_bytes, vertex_name_sorted);
+  std::vector<uint64_t> label_name_offsets;
+  std::vector<char> label_name_bytes;
+  std::vector<uint32_t> label_name_sorted;
+  BuildNameTables(num_labels, label_name, label_name_offsets,
+                  label_name_bytes, label_name_sorted);
+
+  const StagedSection sections[kSectionCount] = {
+      {SectionType::kEdges, reinterpret_cast<const uint8_t*>(edges.data()),
+       num_edges * sizeof(Edge)},
+      {SectionType::kOutOffsets, BytesOf(out_offsets),
+       out_offsets.size() * sizeof(uint64_t)},
+      {SectionType::kInOffsets, BytesOf(in_offsets),
+       in_offsets.size() * sizeof(uint64_t)},
+      {SectionType::kInIndex, BytesOf(in_index),
+       in_index.size() * sizeof(EdgeIndex)},
+      {SectionType::kLabelOffsets, BytesOf(label_offsets),
+       label_offsets.size() * sizeof(uint64_t)},
+      {SectionType::kLabelIndex, BytesOf(label_index),
+       label_index.size() * sizeof(EdgeIndex)},
+      {SectionType::kVertexNameOffsets, BytesOf(vertex_name_offsets),
+       vertex_name_offsets.size() * sizeof(uint64_t)},
+      {SectionType::kVertexNameBytes,
+       reinterpret_cast<const uint8_t*>(vertex_name_bytes.data()),
+       vertex_name_bytes.size()},
+      {SectionType::kLabelNameOffsets, BytesOf(label_name_offsets),
+       label_name_offsets.size() * sizeof(uint64_t)},
+      {SectionType::kLabelNameBytes,
+       reinterpret_cast<const uint8_t*>(label_name_bytes.data()),
+       label_name_bytes.size()},
+      {SectionType::kVertexNameSorted, BytesOf(vertex_name_sorted),
+       vertex_name_sorted.size() * sizeof(uint32_t)},
+      {SectionType::kLabelNameSorted, BytesOf(label_name_sorted),
+       label_name_sorted.size() * sizeof(uint32_t)},
+  };
+
+  // Lay out payloads: fixed order, 8-byte aligned starts, zeroed padding.
+  uint64_t cursor = kPayloadStart;
+  uint64_t offsets[kSectionCount];
+  for (size_t i = 0; i < kSectionCount; ++i) {
+    offsets[i] = cursor;
+    cursor = AlignUp(cursor + sections[i].length);
+  }
+  const uint64_t file_bytes = cursor;
+
+  std::vector<uint8_t> out(file_bytes, 0);
+
+  // Payloads + directory.
+  for (size_t i = 0; i < kSectionCount; ++i) {
+    const StagedSection& s = sections[i];
+    if (s.length > 0) {
+      std::memcpy(out.data() + offsets[i], s.data, s.length);
+    }
+    uint8_t* entry = out.data() + kHeaderBytes + i * kDirEntryBytes;
+    PutU32(entry + SectionEntry::kTypeOff, static_cast<uint32_t>(s.type));
+    PutU32(entry + SectionEntry::kCrcOff,
+           Crc32c(out.data() + offsets[i], s.length));
+    PutU64(entry + SectionEntry::kOffsetOff, offsets[i]);
+    PutU64(entry + SectionEntry::kLengthOff, s.length);
+  }
+
+  // Header, CRC last.
+  uint8_t* h = out.data();
+  PutU32(h + SnapshotHeader::kMagicOff, kSnapshotMagic);
+  PutU32(h + SnapshotHeader::kVersionOff, kSnapshotVersion);
+  PutU32(h + SnapshotHeader::kSectionCountOff, kSectionCount);
+  PutU32(h + SnapshotHeader::kNumVerticesOff, num_vertices);
+  PutU32(h + SnapshotHeader::kNumLabelsOff, num_labels);
+  PutU64(h + SnapshotHeader::kNumEdgesOff, num_edges);
+  PutU64(h + SnapshotHeader::kFileBytesOff, file_bytes);
+  PutU64(h + SnapshotHeader::kDirectoryOffsetOff, kHeaderBytes);
+  PutU32(h + SnapshotHeader::kDirectoryCrcOff,
+         Crc32c(out.data() + kHeaderBytes, kSectionCount * kDirEntryBytes));
+  PutU32(h + SnapshotHeader::kHeaderCrcOff,
+         Crc32c(h, SnapshotHeader::kHeaderCrcOff));
+
+  return out;
+}
+
+Status WriteBytes(const std::vector<uint8_t>& bytes, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) return Status::IOError("cannot open " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out.good()) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> SnapshotWriter::Serialize(
+    const MultiRelationalGraph& graph) const {
+  return SerializeImpl(
+      graph,
+      [&graph](uint32_t v) { return std::string_view(graph.VertexName(v)); },
+      [&graph](uint32_t l) { return std::string_view(graph.LabelName(l)); });
+}
+
+Result<std::vector<uint8_t>> SnapshotWriter::Serialize(
+    const EdgeUniverse& universe) const {
+  NameFn unnamed = [](uint32_t) { return std::string_view(); };
+  return SerializeImpl(universe, unnamed, unnamed);
+}
+
+Status SnapshotWriter::WriteFile(const MultiRelationalGraph& graph,
+                                 const std::string& path) const {
+  Result<std::vector<uint8_t>> bytes = Serialize(graph);
+  if (!bytes.ok()) return bytes.status();
+  return WriteBytes(*bytes, path);
+}
+
+Status SnapshotWriter::WriteFile(const EdgeUniverse& universe,
+                                 const std::string& path) const {
+  Result<std::vector<uint8_t>> bytes = Serialize(universe);
+  if (!bytes.ok()) return bytes.status();
+  return WriteBytes(*bytes, path);
+}
+
+}  // namespace mrpa::storage

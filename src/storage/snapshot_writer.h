@@ -1,0 +1,50 @@
+// SnapshotWriter: serializes a graph into the MRGS snapshot format.
+//
+// Output is deterministic — identical graphs (same edges, same names)
+// produce byte-for-byte identical snapshots: sections are emitted in fixed
+// type order, padding is zeroed, and nothing environmental (timestamps,
+// pointers, hash order) reaches the bytes. tests/snapshot_test.cc locks
+// this with a double-serialize comparison.
+//
+// Two sources:
+//   * a MultiRelationalGraph — names travel into the snapshot's name
+//     tables, so FindVertex/VertexName work on the loaded universe;
+//   * any EdgeUniverse — the structural sections are built from the
+//     abstract access surface (AllEdges/OutEdges/InEdgeIndices/
+//     LabelEdgeIndices); names are empty.
+
+#ifndef MRPA_STORAGE_SNAPSHOT_WRITER_H_
+#define MRPA_STORAGE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "graph/multi_graph.h"
+#include "util/status.h"
+
+namespace mrpa::storage {
+
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+
+  // The full snapshot image. kUnimplemented on big-endian hosts (the format
+  // is little-endian and the reader is zero-copy); kInternal if the
+  // universe violates the EdgeUniverse contract (e.g. out-adjacency spans
+  // that do not tile AllEdges).
+  Result<std::vector<uint8_t>> Serialize(
+      const MultiRelationalGraph& graph) const;
+  Result<std::vector<uint8_t>> Serialize(const EdgeUniverse& universe) const;
+
+  // Serialize + write to `path` (created or truncated). kIOError on write
+  // failure.
+  Status WriteFile(const MultiRelationalGraph& graph,
+                   const std::string& path) const;
+  Status WriteFile(const EdgeUniverse& universe, const std::string& path) const;
+};
+
+}  // namespace mrpa::storage
+
+#endif  // MRPA_STORAGE_SNAPSHOT_WRITER_H_

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <random>
+#include <set>
 #include <sstream>
+#include <string>
 
 namespace mrpa {
 namespace {
@@ -168,6 +172,103 @@ TEST(FileRoundTripTest, WriteThenRead) {
   EXPECT_TRUE(reread->FindLabel("s").has_value());
 }
 
+
+// --- Hostile-name round trips (percent escaping) ---------------------------
+
+// The multiset of (tail, label, head) name triples — the id-free content of
+// a graph, which a write→read round trip must preserve exactly.
+std::multiset<std::array<std::string, 3>> NameTriples(
+    const MultiRelationalGraph& g) {
+  std::multiset<std::array<std::string, 3>> triples;
+  for (const Edge& e : g.AllEdges()) {
+    triples.insert({g.VertexName(e.tail), g.LabelName(e.label),
+                    g.VertexName(e.head)});
+  }
+  return triples;
+}
+
+TEST(EscapedRoundTripTest, HostileNamesSurvive) {
+  MultiGraphBuilder b;
+  b.AddEdge("has\ttab", "label with spaces", "plain");
+  b.AddEdge("#leading_hash", "r", "trailing_space ");
+  b.AddEdge("@not_an_id", "r", "inner@at");  // only the LEADING '@' escapes
+  b.AddEdge("new\nline", "per%cent", "%41 literal");
+  b.AddEdge("ctrl\x01\x02", "del\x7f", "utf8 π Ω");
+  MultiRelationalGraph g = b.Build();
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(g, out).ok());
+  auto reread = ReadGraphFromString(out.str());
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  EXPECT_EQ(NameTriples(*reread), NameTriples(g));
+  // Escaping must not perturb id-space sizes.
+  EXPECT_EQ(reread->num_vertices(), g.num_vertices());
+  EXPECT_EQ(reread->num_labels(), g.num_labels());
+}
+
+TEST(EscapedRoundTripTest, LeadingAtNamesEscapeInsteadOfBeingRejected) {
+  // Without escaping, writing the NAME "@abc" would emit a token the
+  // reader rejects as a malformed numeric id. Escaped, it round-trips.
+  MultiGraphBuilder b;
+  b.AddEdge("@abc", "r", "@7");
+  MultiRelationalGraph g = b.Build();
+  std::ostringstream out;
+  ASSERT_TRUE(WriteGraphText(g, out).ok());
+  // Both names escape their leading '@' on the wire; neither raw token
+  // starts with '@', so numeric-token validation never sees them.
+  EXPECT_NE(out.str().find("%40abc"), std::string::npos);
+  EXPECT_NE(out.str().find("%407"), std::string::npos);
+  auto reread = ReadGraphFromString(out.str());
+  ASSERT_TRUE(reread.ok()) << reread.status();
+  EXPECT_EQ(NameTriples(*reread), NameTriples(g));
+
+  // The raw (unescaped) forms keep their historical meaning: "@abc" is a
+  // malformed numeric token, "@7" interns as an ordinary name.
+  EXPECT_TRUE(ReadGraphFromString("@abc r x\n").status().IsCorruption());
+  auto raw = ReadGraphFromString("@7 r x\n");
+  ASSERT_TRUE(raw.ok());
+  EXPECT_TRUE(raw->FindVertex("@7").has_value());
+}
+
+TEST(EscapedRoundTripTest, MalformedEscapesAreCorruption) {
+  EXPECT_TRUE(ReadGraphFromString("a%G1 r b\n").status().IsCorruption());
+  EXPECT_TRUE(ReadGraphFromString("a% r b\n").status().IsCorruption());
+  EXPECT_TRUE(ReadGraphFromString("a%4 r b\n").status().IsCorruption());
+  EXPECT_TRUE(ReadGraphFromString("trail r b%\n").status().IsCorruption());
+  // Well-formed escapes decode anywhere in the token.
+  auto ok = ReadGraphFromString("%41 %42 %43\n");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->FindVertex("A").has_value());
+  EXPECT_TRUE(ok->FindLabel("B").has_value());
+  EXPECT_TRUE(ok->FindVertex("C").has_value());
+}
+
+TEST(EscapedRoundTripTest, RandomizedNameFuzz) {
+  // Names drawn from a hostile alphabet: whitespace, '#', '@', '%', hex
+  // digits (to tempt accidental decodes), controls, DEL, and UTF-8.
+  const std::string alphabet = "a4F\t #@%\x01\x7f\n\r\\\"zπ";
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int round = 0; round < 50; ++round) {
+    MultiGraphBuilder b;
+    const int edges = 1 + static_cast<int>(rng() % 8);
+    for (int e = 0; e < edges; ++e) {
+      std::array<std::string, 3> t;
+      for (auto& field : t) {
+        const size_t len = 1 + rng() % 6;
+        for (size_t i = 0; i < len; ++i) {
+          field.push_back(alphabet[rng() % alphabet.size()]);
+        }
+      }
+      b.AddEdge(t[0], t[1], t[2]);
+    }
+    MultiRelationalGraph g = b.Build();
+    std::ostringstream out;
+    ASSERT_TRUE(WriteGraphText(g, out).ok());
+    auto reread = ReadGraphFromString(out.str());
+    ASSERT_TRUE(reread.ok()) << "round " << round << ": " << reread.status();
+    EXPECT_EQ(NameTriples(*reread), NameTriples(g)) << "round " << round;
+  }
+}
 
 TEST(WriteDotTest, EmitsQuotedLabels) {
   MultiGraphBuilder b;

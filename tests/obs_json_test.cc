@@ -366,6 +366,34 @@ TEST(ObsJsonTest, PopulatedRegistryRoundTrips) {
   EXPECT_GE(s1.Find("end_ns")->num, s1.Find("start_ns")->num);
 }
 
+// The storage counters (PR 5) are part of the export contract:
+// scripts/ci_bench.sh's E19 consumers key on these exact names.
+TEST(ObsJsonTest, StorageCountersAreExported) {
+  ObsRegistry reg;
+  reg.Add(Metric::kStorageSnapshotsLoaded, 2);
+  reg.Add(Metric::kStorageBytesMapped, 4096);
+  reg.Add(Metric::kStorageSectionsValidated, 24);
+  reg.Add(Metric::kStorageChecksumFailures, 1);
+  reg.Add(Metric::kStorageLoadNanos, 12345);
+
+  std::unique_ptr<JsonValue> root = ParseOrDie(reg.ToJson());
+  const JsonValue* counters = root->Find("counters");
+  std::map<std::string, int64_t> by_name;
+  for (const auto& entry : counters->elements) {
+    by_name[entry->Find("name")->str] = entry->Find("total")->num;
+  }
+  ASSERT_TRUE(by_name.contains("storage.snapshots_loaded"));
+  EXPECT_EQ(by_name["storage.snapshots_loaded"], 2);
+  ASSERT_TRUE(by_name.contains("storage.bytes_mapped"));
+  EXPECT_EQ(by_name["storage.bytes_mapped"], 4096);
+  ASSERT_TRUE(by_name.contains("storage.sections_validated"));
+  EXPECT_EQ(by_name["storage.sections_validated"], 24);
+  ASSERT_TRUE(by_name.contains("storage.checksum_failures"));
+  EXPECT_EQ(by_name["storage.checksum_failures"], 1);
+  ASSERT_TRUE(by_name.contains("storage.load_nanos"));
+  EXPECT_EQ(by_name["storage.load_nanos"], 12345);
+}
+
 TEST(ObsJsonTest, HostileSpanNamesStayParseable) {
   ObsRegistry reg;
   reg.EndSpan(reg.BeginSpan("name\nwith\t\"specials\"\\and\x02ctrl"));

@@ -1,0 +1,391 @@
+// Corrupt-snapshot suite: every structural and semantic invariant of the
+// MRGS format must fail CLOSED — a typed Status (kCorruption for damage,
+// kResourceExhausted for oversize), never UB. The whole suite runs under
+// -DMRPA_SANITIZE=address in CI (label `storage`), so an out-of-bounds
+// read during validation is a test failure, not a silent pass.
+//
+// Sweeps:
+//   * single-bit flips at EVERY byte of a snapshot — a flip either fails
+//     with a typed error or (only when it lands in dead padding no CRC
+//     covers and no semantic check reads) loads a universe identical to
+//     the original;
+//   * truncation at EVERY prefix length;
+//   * targeted header/directory damage (magic, version, section count,
+//     counts, lengths, offsets, types) with CRCs recomputed, so the deep
+//     bounds/overlap/alignment checks are exercised, not just the CRC;
+//   * targeted semantic damage (edge order, id ranges, offset monotonicity,
+//     index agreement, name permutations) with section CRCs recomputed.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+#include "storage/crc32c.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/status.h"
+
+namespace mrpa::storage {
+namespace {
+
+MultiRelationalGraph SmallGraph() {
+  MultiGraphBuilder b;
+  b.AddEdge("marko", "knows", "peter");
+  b.AddEdge("marko", "created", "mrpa");
+  b.AddEdge("peter", "created", "mrpa");
+  b.AddEdge("zoe", "knows", "marko");
+  b.AddEdge("zoe", "likes", "mrpa");
+  return b.Build();
+}
+
+std::vector<uint8_t> Snapshot(const MultiRelationalGraph& g) {
+  auto bytes = SnapshotWriter().Serialize(g);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  return *std::move(bytes);
+}
+
+// After editing header or directory bytes, re-seal the CRC chain so the
+// edit reaches the deeper check it targets instead of tripping the CRC.
+void ResealCrcs(std::vector<uint8_t>& bytes) {
+  const uint32_t dir_crc =
+      Crc32c(bytes.data() + kHeaderBytes, kSectionCount * kDirEntryBytes);
+  PutU32(bytes.data() + SnapshotHeader::kDirectoryCrcOff, dir_crc);
+  const uint32_t header_crc = Crc32c(bytes.data(), SnapshotHeader::kHeaderCrcOff);
+  PutU32(bytes.data() + SnapshotHeader::kHeaderCrcOff, header_crc);
+}
+
+// Re-seals one section's payload CRC (after editing payload bytes), then
+// the directory and header CRCs above it.
+void ResealSection(std::vector<uint8_t>& bytes, uint32_t section_index) {
+  uint8_t* entry =
+      bytes.data() + kHeaderBytes + section_index * kDirEntryBytes;
+  const uint64_t offset = GetU64(entry + SectionEntry::kOffsetOff);
+  const uint64_t length = GetU64(entry + SectionEntry::kLengthOff);
+  PutU32(entry + SectionEntry::kCrcOff, Crc32c(bytes.data() + offset, length));
+  ResealCrcs(bytes);
+}
+
+uint64_t SectionOffset(const std::vector<uint8_t>& bytes, uint32_t index) {
+  return GetU64(bytes.data() + kHeaderBytes + index * kDirEntryBytes +
+                SectionEntry::kOffsetOff);
+}
+uint64_t SectionLength(const std::vector<uint8_t>& bytes, uint32_t index) {
+  return GetU64(bytes.data() + kHeaderBytes + index * kDirEntryBytes +
+                SectionEntry::kLengthOff);
+}
+
+Status LoadStatus(std::vector<uint8_t> bytes) {
+  auto u = SnapshotReader().FromBuffer(std::move(bytes));
+  return u.ok() ? Status::OK() : u.status();
+}
+
+void ExpectLoadedIdentical(const MultiRelationalGraph& g,
+                           std::vector<uint8_t> bytes) {
+  auto u = SnapshotReader().FromBuffer(std::move(bytes));
+  ASSERT_TRUE(u.ok());
+  ASSERT_EQ(u->num_edges(), g.num_edges());
+  EXPECT_TRUE(std::ranges::equal(u->AllEdges(), g.AllEdges()));
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(u->VertexName(v), g.VertexName(v));
+  }
+  for (LabelId l = 0; l < g.num_labels(); ++l) {
+    EXPECT_EQ(u->LabelName(l), g.LabelName(l));
+  }
+}
+
+// Flip one bit at every byte position. Each flip must either be caught
+// with a typed error or be provably harmless (dead padding): the loaded
+// universe must match the pristine graph exactly.
+TEST(SnapshotCorruptionTest, BitFlipSweepFailsClosedEverywhere) {
+  MultiRelationalGraph g = SmallGraph();
+  const std::vector<uint8_t> pristine = Snapshot(g);
+  size_t caught = 0;
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::vector<uint8_t> bytes = pristine;
+    bytes[i] ^= static_cast<uint8_t>(1u << (i % 8));
+    Status status = LoadStatus(bytes);
+    if (status.ok()) {
+      // Only a flip in CRC-free padding may load; it must change nothing.
+      ExpectLoadedIdentical(g, std::move(bytes));
+    } else {
+      ++caught;
+      EXPECT_TRUE(status.code() == StatusCode::kCorruption ||
+                  status.code() == StatusCode::kResourceExhausted)
+          << "byte " << i << ": " << status;
+    }
+  }
+  // The overwhelming majority of the image is CRC-covered.
+  EXPECT_GT(caught, pristine.size() * 9 / 10);
+}
+
+// Truncation at every prefix length, including zero.
+TEST(SnapshotCorruptionTest, TruncationAtEveryLengthIsCorruption) {
+  const std::vector<uint8_t> pristine = Snapshot(SmallGraph());
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    std::vector<uint8_t> bytes(pristine.begin(), pristine.begin() + len);
+    Status status = LoadStatus(std::move(bytes));
+    ASSERT_FALSE(status.ok()) << "prefix " << len;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "prefix " << len;
+  }
+  // Trailing garbage (file longer than file_bytes) is also corruption.
+  std::vector<uint8_t> longer = pristine;
+  longer.push_back(0xAB);
+  EXPECT_EQ(LoadStatus(std::move(longer)).code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotCorruptionTest, BadMagicVersionAndSectionCount) {
+  const std::vector<uint8_t> pristine = Snapshot(SmallGraph());
+  {
+    std::vector<uint8_t> bytes = pristine;
+    PutU32(bytes.data() + SnapshotHeader::kMagicOff, 0xDEADBEEF);
+    ResealCrcs(bytes);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    std::vector<uint8_t> bytes = pristine;
+    PutU32(bytes.data() + SnapshotHeader::kVersionOff, kSnapshotVersion + 1);
+    ResealCrcs(bytes);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    std::vector<uint8_t> bytes = pristine;
+    PutU32(bytes.data() + SnapshotHeader::kSectionCountOff, kSectionCount + 1);
+    ResealCrcs(bytes);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SnapshotCorruptionTest, HeaderCountLies) {
+  const std::vector<uint8_t> pristine = Snapshot(SmallGraph());
+  // Each count field inflated / deflated: expected-length checks trip.
+  for (size_t off : {SnapshotHeader::kNumVerticesOff,
+                     SnapshotHeader::kNumLabelsOff}) {
+    for (uint32_t delta : {1u, 1000u}) {
+      std::vector<uint8_t> bytes = pristine;
+      PutU32(bytes.data() + off, GetU32(bytes.data() + off) + delta);
+      ResealCrcs(bytes);
+      EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+          << "off " << off << " delta " << delta;
+    }
+  }
+  {
+    std::vector<uint8_t> bytes = pristine;
+    PutU64(bytes.data() + SnapshotHeader::kNumEdgesOff,
+           GetU64(bytes.data() + SnapshotHeader::kNumEdgesOff) + 1);
+    ResealCrcs(bytes);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // A num_edges chosen to overflow naive length math must still fail
+    // cleanly.
+    std::vector<uint8_t> bytes = pristine;
+    PutU64(bytes.data() + SnapshotHeader::kNumEdgesOff, ~uint64_t{0} / 2);
+    ResealCrcs(bytes);
+    Status status = LoadStatus(std::move(bytes));
+    EXPECT_TRUE(status.code() == StatusCode::kCorruption ||
+                status.code() == StatusCode::kResourceExhausted)
+        << status;
+  }
+  {
+    std::vector<uint8_t> bytes = pristine;
+    PutU64(bytes.data() + SnapshotHeader::kFileBytesOff, bytes.size() + 8);
+    ResealCrcs(bytes);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    std::vector<uint8_t> bytes = pristine;
+    PutU64(bytes.data() + SnapshotHeader::kDirectoryOffsetOff, 72);
+    ResealCrcs(bytes);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+}
+
+TEST(SnapshotCorruptionTest, DirectoryDamage) {
+  const std::vector<uint8_t> pristine = Snapshot(SmallGraph());
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const size_t entry = kHeaderBytes + i * kDirEntryBytes;
+    {
+      // Wrong type (breaks the fixed order).
+      std::vector<uint8_t> bytes = pristine;
+      PutU32(bytes.data() + entry + SectionEntry::kTypeOff, i + 2);
+      ResealCrcs(bytes);
+      EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+          << "section " << i;
+    }
+    {
+      // Oversized length: bounds check, not a wild read.
+      std::vector<uint8_t> bytes = pristine;
+      PutU64(bytes.data() + entry + SectionEntry::kLengthOff,
+             bytes.size() * 2 + 64);
+      ResealCrcs(bytes);
+      EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+          << "section " << i;
+    }
+    {
+      // Absurd length: offset + length overflows u64.
+      std::vector<uint8_t> bytes = pristine;
+      PutU64(bytes.data() + entry + SectionEntry::kLengthOff, ~uint64_t{0} - 4);
+      ResealCrcs(bytes);
+      EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+          << "section " << i;
+    }
+    {
+      // Misaligned offset.
+      std::vector<uint8_t> bytes = pristine;
+      const uint64_t off = GetU64(bytes.data() + entry + SectionEntry::kOffsetOff);
+      PutU64(bytes.data() + entry + SectionEntry::kOffsetOff, off + 4);
+      ResealCrcs(bytes);
+      EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+          << "section " << i;
+    }
+    {
+      // Offset pointing into the header: overlap / ordering violation.
+      std::vector<uint8_t> bytes = pristine;
+      PutU64(bytes.data() + entry + SectionEntry::kOffsetOff, 0);
+      ResealCrcs(bytes);
+      EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+          << "section " << i;
+    }
+  }
+}
+
+// Flip one payload bit in every section, CRCs left stale: the per-section
+// checksum catches each one.
+TEST(SnapshotCorruptionTest, PayloadBitFlipPerSectionTripsSectionCrc) {
+  const std::vector<uint8_t> pristine = Snapshot(SmallGraph());
+  for (uint32_t i = 0; i < kSectionCount; ++i) {
+    const uint64_t length = SectionLength(pristine, i);
+    if (length == 0) continue;
+    std::vector<uint8_t> bytes = pristine;
+    bytes[SectionOffset(bytes, i) + length / 2] ^= 0x10;
+    Status status = LoadStatus(std::move(bytes));
+    ASSERT_FALSE(status.ok()) << "section " << i;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "section " << i;
+  }
+}
+
+// Semantic damage with the CRC chain re-sealed: the deep validators are
+// the last line of defense.
+TEST(SnapshotCorruptionTest, SemanticDamageWithValidCrcs) {
+  MultiRelationalGraph g = SmallGraph();
+  const std::vector<uint8_t> pristine = Snapshot(g);
+  constexpr uint32_t kEdgesIdx = 0;          // SectionType::kEdges
+  constexpr uint32_t kOutOffsetsIdx = 1;     // SectionType::kOutOffsets
+  constexpr uint32_t kInIndexIdx = 3;        // SectionType::kInIndex
+  constexpr uint32_t kVertexSortedIdx = 10;  // SectionType::kVertexNameSorted
+
+  {
+    // Swap the first two edges: breaks strict (tail, label, head) order.
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* edges = bytes.data() + SectionOffset(bytes, kEdgesIdx);
+    std::swap_ranges(edges, edges + sizeof(Edge), edges + sizeof(Edge));
+    ResealSection(bytes, kEdgesIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // Out-of-range head id.
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* edge0 = bytes.data() + SectionOffset(bytes, kEdgesIdx);
+    PutU32(edge0 + 8, g.num_vertices());  // head field of Edge{tail,label,head}
+    ResealSection(bytes, kEdgesIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // Non-monotone out_offsets.
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* offs = bytes.data() + SectionOffset(bytes, kOutOffsetsIdx);
+    PutU64(offs + 8, GetU64(offs + 8) + 1);
+    ResealSection(bytes, kOutOffsetsIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // out_offsets not ending at num_edges (bump the final total).
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* offs = bytes.data() + SectionOffset(bytes, kOutOffsetsIdx);
+    const uint64_t len = SectionLength(bytes, kOutOffsetsIdx);
+    PutU64(offs + len - 8, GetU64(offs + len - 8) + 1);
+    ResealSection(bytes, kOutOffsetsIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // in_index entry pointing at an edge with the wrong head.
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* idx = bytes.data() + SectionOffset(bytes, kInIndexIdx);
+    PutU32(idx, GetU32(idx) + 1);
+    ResealSection(bytes, kInIndexIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // in_index entry out of range entirely.
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* idx = bytes.data() + SectionOffset(bytes, kInIndexIdx);
+    PutU32(idx, static_cast<uint32_t>(g.num_edges()));
+    ResealSection(bytes, kInIndexIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // Name permutation with a duplicated id (no longer a permutation).
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* perm = bytes.data() + SectionOffset(bytes, kVertexSortedIdx);
+    PutU32(perm, GetU32(perm + 4));
+    ResealSection(bytes, kVertexSortedIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+  {
+    // Name permutation out of (name, id) order.
+    std::vector<uint8_t> bytes = pristine;
+    uint8_t* perm = bytes.data() + SectionOffset(bytes, kVertexSortedIdx);
+    const uint32_t a = GetU32(perm);
+    PutU32(perm, GetU32(perm + 4));
+    PutU32(perm + 4, a);
+    ResealSection(bytes, kVertexSortedIdx);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption);
+  }
+}
+
+// The mmap path runs the same validation: corrupt files fail identically
+// through MapFile, and the mapping is released (no leak under ASan).
+TEST(SnapshotCorruptionTest, MappedLoadFailsClosedToo) {
+  std::vector<uint8_t> bytes = Snapshot(SmallGraph());
+  bytes[kPayloadStart + 1] ^= 0x40;
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("mrpa_corrupt_mapped_" + std::to_string(::getpid()) + ".mrgs"))
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_EQ(SnapshotReader().MapFile(path).status().code(),
+            StatusCode::kCorruption);
+  EXPECT_EQ(SnapshotReader().ReadFile(path).status().code(),
+            StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+// An empty file and tiny files below the header size.
+TEST(SnapshotCorruptionTest, TinyInputs) {
+  EXPECT_EQ(LoadStatus({}).code(), StatusCode::kCorruption);
+  for (size_t n : {1u, 4u, 63u}) {
+    std::vector<uint8_t> bytes(n, 0);
+    EXPECT_EQ(LoadStatus(std::move(bytes)).code(), StatusCode::kCorruption)
+        << n;
+  }
+  // 64 zero bytes: a full-size header that is all wrong.
+  std::vector<uint8_t> zeros(kHeaderBytes, 0);
+  EXPECT_EQ(LoadStatus(std::move(zeros)).code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace mrpa::storage

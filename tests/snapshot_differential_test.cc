@@ -1,0 +1,328 @@
+// Differential harness for the snapshot storage backend — the correctness
+// proof that a loaded SnapshotUniverse is a drop-in EdgeUniverse. Contract
+// under test: governed traversal over a snapshot (owned buffer AND
+// zero-copy mmap) is BYTE-IDENTICAL to the same traversal over the
+// in-memory MultiRelationalGraph the snapshot was written from — same
+// paths in the same canonical order, same truncation flag, same limit
+// Status, same governance counters (elapsed time aside) — for every
+// budget regime and armed fault, sequentially and at pool widths 1/2/8.
+//
+// The chain evaluator and the NFA recognizer are cross-checked over both
+// backends too, so every engine that consumes the EdgeUniverse surface is
+// covered, not just the traversal fold.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "core/edge_pattern.h"
+#include "core/path_set.h"
+#include "core/traversal.h"
+#include "engine/chain_planner.h"
+#include "generators/generators.h"
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mrpa {
+namespace {
+
+using storage::SnapshotReader;
+using storage::SnapshotUniverse;
+using storage::SnapshotWriter;
+
+EdgePattern RandomPattern(Rng& rng, uint32_t num_vertices, uint32_t num_labels,
+                          bool seed_step) {
+  switch (seed_step ? rng.Below(3) : rng.Below(6)) {
+    case 0:
+      return EdgePattern::Any();
+    case 1:
+      return EdgePattern::Labeled(static_cast<LabelId>(rng.Below(num_labels)));
+    case 2: {
+      std::vector<VertexId> ids;
+      const size_t n = 1 + rng.Below(3);
+      for (size_t i = 0; i < n; ++i) {
+        ids.push_back(static_cast<VertexId>(rng.Below(num_vertices)));
+      }
+      return EdgePattern::IntoAnyOf(std::move(ids), /*negated=*/true);
+    }
+    case 3:
+      return EdgePattern::From(static_cast<VertexId>(rng.Below(num_vertices)));
+    case 4:
+      return EdgePattern::Into(static_cast<VertexId>(rng.Below(num_vertices)));
+    default: {
+      std::vector<VertexId> ids;
+      const size_t n = 1 + rng.Below(3);
+      for (size_t i = 0; i < n; ++i) {
+        ids.push_back(static_cast<VertexId>(rng.Below(num_vertices)));
+      }
+      return EdgePattern::FromAnyOf(std::move(ids), rng.Chance(0.5));
+    }
+  }
+}
+
+std::vector<EdgePattern> RandomSteps(Rng& rng, uint32_t num_vertices,
+                                     uint32_t num_labels) {
+  size_t length = 2 + rng.Below(3);
+  if (rng.Chance(0.1)) length = 1;
+  std::vector<EdgePattern> steps;
+  for (size_t k = 0; k < length; ++k) {
+    steps.push_back(RandomPattern(rng, num_vertices, num_labels, k == 0));
+  }
+  return steps;
+}
+
+MultiRelationalGraph RandomGraph(Rng& rng, uint64_t seed) {
+  switch (rng.Below(3)) {
+    case 0: {
+      ErdosRenyiParams params;
+      params.num_vertices = 24;
+      params.num_labels = 3;
+      params.num_edges = 110;
+      params.seed = seed;
+      return GenerateErdosRenyi(params).value();
+    }
+    case 1: {
+      BarabasiAlbertParams params;
+      params.num_vertices = 30;
+      params.num_labels = 3;
+      params.edges_per_vertex = 2;
+      params.seed = seed;
+      return GenerateBarabasiAlbert(params).value();
+    }
+    default: {
+      WattsStrogatzParams params;
+      params.num_vertices = 28;
+      params.num_labels = 2;
+      params.neighbors_each_side = 2;
+      params.rewire_prob = 0.2;
+      params.seed = seed;
+      return GenerateWattsStrogatz(params).value();
+    }
+  }
+}
+
+struct Outcome {
+  Status hard;
+  PathSet paths;
+  bool truncated = false;
+  Status limit;
+  ExecStats stats;
+};
+
+Outcome FromResult(Result<GovernedPathSet> result) {
+  Outcome out;
+  if (!result.ok()) {
+    out.hard = result.status();
+    return out;
+  }
+  out.paths = std::move(result->paths);
+  out.truncated = result->truncated;
+  out.limit = result->limit;
+  out.stats = result->stats;
+  return out;
+}
+
+Outcome RunSequential(const EdgeUniverse& universe, const TraversalSpec& spec,
+                      const ExecLimits& limits) {
+  ExecContext ctx(limits);
+  return FromResult(TraverseGoverned(universe, spec, ctx));
+}
+
+Outcome RunParallel(const EdgeUniverse& universe, const TraversalSpec& spec,
+                    const ExecLimits& limits, ThreadPool& pool) {
+  ExecContext ctx(limits);
+  ParallelTraversalOptions options;
+  options.pool = &pool;
+  options.shards_per_thread = 4;
+  options.min_shard_size = 1;
+  return FromResult(TraverseParallelGoverned(universe, spec, ctx, options));
+}
+
+void ExpectIdentical(const Outcome& oracle, const Outcome& subject) {
+  ASSERT_EQ(oracle.hard.ok(), subject.hard.ok())
+      << "oracle: " << oracle.hard << " subject: " << subject.hard;
+  if (!oracle.hard.ok()) {
+    EXPECT_EQ(oracle.hard, subject.hard);
+    return;
+  }
+  EXPECT_EQ(oracle.truncated, subject.truncated);
+  EXPECT_EQ(oracle.limit, subject.limit)
+      << "oracle: " << oracle.limit << " subject: " << subject.limit;
+  ASSERT_EQ(oracle.paths.size(), subject.paths.size());
+  EXPECT_EQ(oracle.paths, subject.paths);
+  EXPECT_EQ(oracle.stats.paths_yielded, subject.stats.paths_yielded);
+  EXPECT_EQ(oracle.stats.steps_expanded, subject.stats.steps_expanded);
+  EXPECT_EQ(oracle.stats.bytes_charged, subject.stats.bytes_charged);
+  EXPECT_EQ(oracle.stats.truncated, subject.stats.truncated);
+}
+
+// Both load paths for one graph: an owned-buffer universe and (via a temp
+// file) a zero-copy mapped universe.
+struct LoadedBackends {
+  SnapshotUniverse owned;
+  SnapshotUniverse mapped;
+  std::string path;
+
+  LoadedBackends() = default;
+  LoadedBackends(LoadedBackends&&) = default;
+  LoadedBackends& operator=(LoadedBackends&&) = default;
+  ~LoadedBackends() {
+    if (!path.empty()) std::remove(path.c_str());
+  }
+};
+
+LoadedBackends LoadBoth(const MultiRelationalGraph& g, int tag) {
+  LoadedBackends out;
+  auto bytes = SnapshotWriter().Serialize(g);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  out.path = (std::filesystem::temp_directory_path() /
+              ("mrpa_diff_" + std::to_string(::getpid()) + "_" +
+               std::to_string(tag) + ".mrgs"))
+                 .string();
+  EXPECT_TRUE(SnapshotWriter().WriteFile(g, out.path).ok());
+  auto owned = SnapshotReader().FromBuffer(*std::move(bytes));
+  EXPECT_TRUE(owned.ok()) << owned.status();
+  out.owned = std::move(*owned);
+  auto mapped = SnapshotReader().MapFile(out.path);
+  EXPECT_TRUE(mapped.ok()) << mapped.status();
+  EXPECT_TRUE(mapped->zero_copy());
+  out.mapped = std::move(*mapped);
+  return out;
+}
+
+class SnapshotDifferentialTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SnapshotDifferentialTest() : pool1_(1), pool2_(2), pool8_(8) {}
+
+  std::vector<ThreadPool*> Pools() { return {&pool1_, &pool2_, &pool8_}; }
+
+  ThreadPool pool1_;
+  ThreadPool pool2_;
+  ThreadPool pool8_;
+};
+
+// The headline identity: governed traversal over the in-memory graph vs
+// the same traversal over the snapshot (owned and mapped), across budget
+// regimes calibrated from the unlimited probe, sequential and parallel.
+TEST_P(SnapshotDifferentialTest, SnapshotMatchesInMemoryOracle) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 131);
+  for (int c = 0; c < 4; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    MultiRelationalGraph graph = RandomGraph(rng, GetParam() * 311 + c + 1);
+    LoadedBackends backends = LoadBoth(graph, static_cast<int>(GetParam()) * 16 + c);
+    TraversalSpec spec;
+    spec.steps = RandomSteps(rng, graph.num_vertices(), graph.num_labels());
+
+    Outcome probe = RunSequential(graph, spec, ExecLimits::Unlimited());
+    ASSERT_TRUE(probe.hard.ok());
+    const size_t steps = probe.stats.steps_expanded;
+    const size_t paths = probe.stats.paths_yielded;
+    const size_t bytes = probe.stats.bytes_charged;
+
+    std::vector<ExecLimits> regimes;
+    regimes.push_back(ExecLimits::Unlimited());
+    if (steps > 0) {
+      ExecLimits limits;
+      limits.max_steps = static_cast<size_t>(rng.Between(1, steps));
+      regimes.push_back(limits);
+    }
+    if (paths > 0) {
+      ExecLimits limits;
+      limits.max_paths = static_cast<size_t>(rng.Between(1, paths));
+      regimes.push_back(limits);
+    }
+    if (bytes > 0) {
+      ExecLimits limits;
+      limits.max_bytes = static_cast<size_t>(rng.Between(1, bytes));
+      regimes.push_back(limits);
+    }
+
+    for (size_t r = 0; r < regimes.size(); ++r) {
+      SCOPED_TRACE("regime " + std::to_string(r));
+      Outcome oracle = RunSequential(graph, spec, regimes[r]);
+      {
+        SCOPED_TRACE("owned");
+        ExpectIdentical(oracle, RunSequential(backends.owned, spec, regimes[r]));
+      }
+      {
+        SCOPED_TRACE("mapped");
+        ExpectIdentical(oracle,
+                        RunSequential(backends.mapped, spec, regimes[r]));
+      }
+      for (ThreadPool* pool : Pools()) {
+        SCOPED_TRACE("threads " + std::to_string(pool->num_threads()));
+        ExpectIdentical(oracle,
+                        RunParallel(backends.owned, spec, regimes[r], *pool));
+        ExpectIdentical(oracle,
+                        RunParallel(backends.mapped, spec, regimes[r], *pool));
+      }
+    }
+
+    // Armed faults fire at the same guard call over either backend.
+    if (steps > 0) {
+      const uint64_t nth = rng.Between(1, steps);
+      const Status injected = Status::Cancelled("injected budget fault");
+      Outcome oracle;
+      {
+        ScopedFault fault(kFaultSiteBudgetCheck, nth, injected);
+        oracle = RunSequential(graph, spec, ExecLimits::Unlimited());
+      }
+      {
+        SCOPED_TRACE("budget fault over snapshot");
+        ScopedFault fault(kFaultSiteBudgetCheck, nth, injected);
+        ExpectIdentical(
+            oracle, RunSequential(backends.mapped, spec, ExecLimits::Unlimited()));
+      }
+    }
+  }
+}
+
+// The chain evaluator consumes the universe through the same surface; its
+// governed output must match across backends in both directions.
+TEST_P(SnapshotDifferentialTest, ChainEvaluationMatchesAcrossBackends) {
+  Rng rng(GetParam() * 0x2545f4914f6cdd1dULL + 137);
+  for (int c = 0; c < 3; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    MultiRelationalGraph graph = RandomGraph(rng, GetParam() * 331 + c + 1);
+    LoadedBackends backends =
+        LoadBoth(graph, 1000 + static_cast<int>(GetParam()) * 16 + c);
+    std::vector<EdgePattern> steps =
+        RandomSteps(rng, graph.num_vertices(), graph.num_labels());
+
+    for (ChainDirection dir :
+         {ChainDirection::kForward, ChainDirection::kBackward}) {
+      SCOPED_TRACE(dir == ChainDirection::kForward ? "forward" : "backward");
+      ExecContext oracle_ctx;
+      Outcome oracle =
+          FromResult(EvaluateChainGoverned(graph, steps, dir, oracle_ctx));
+      for (const EdgeUniverse* u :
+           {static_cast<const EdgeUniverse*>(&backends.owned),
+            static_cast<const EdgeUniverse*>(&backends.mapped)}) {
+        ExecContext ctx;
+        ExpectIdentical(oracle,
+                        FromResult(EvaluateChainGoverned(*u, steps, dir, ctx)));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotDifferentialTest,
+                         ::testing::Values(5, 13, 29, 41));
+
+}  // namespace
+}  // namespace mrpa
