@@ -4,8 +4,9 @@
 # Builds Release and runs the experiments whose regressions we gate on —
 # E15 (governance guard overhead), E16 (parallel fold speedup), E17 (path
 # arena vs materialized fold), E19 (snapshot storage: cold load vs TSV
-# parse, traversal over mmap vs in-memory) — writing one machine-readable
-# BENCH_<n>.json
+# parse, traversal over mmap vs in-memory), E20 (serving substrate:
+# open-loop latency-vs-offered-QPS with and without admission control) —
+# writing one machine-readable BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
 # bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
 # --trace (the ObsRegistry export; schema locked by tests/obs_json_test.cc).
@@ -29,7 +30,7 @@ MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target bench_guard_overhead bench_parallel_traversal bench_path_arena \
-           bench_snapshot
+           bench_snapshot bench_service
 
 mkdir -p "${OUT_DIR}"
 
@@ -51,5 +52,6 @@ run_bench 15 bench_guard_overhead
 run_bench 16 bench_parallel_traversal
 run_bench 17 bench_path_arena
 run_bench 19 bench_snapshot
+run_bench 20 bench_service
 
 echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Chaos job for the serving substrate (src/service/).
+#
+# Builds the tree twice — -DMRPA_SANITIZE=address and
+# -DMRPA_SANITIZE=thread — and runs the `service`-labeled suites under
+# each, with the chaos soak (tests/service_chaos_test.cc) extended from
+# its 1.5s unit-test default to a 30s run via MRPA_CHAOS_SOAK_MS. The
+# soak's invariant is differential: every query the service admits must
+# return bytes identical to a direct governed evaluation against the
+# snapshot version it was admitted under, while a controller thread
+# hot-swaps snapshots, injects service.execute/exec.budget_check/
+# service.swap faults, cancels in-flight queries, and flips tenant quotas.
+# ASan proves the epoch reclamation never frees a pinned image (and the
+# retry/shed paths leak nothing); TSan proves the lock-free read path and
+# the admission queues are race-free under the same schedule pressure.
+#
+# Usage: scripts/ci_chaos.sh [asan-build-dir] [tsan-build-dir]
+#        (defaults: build-chaos-asan, build-chaos-tsan)
+# Env:   MRPA_CHAOS_SOAK_MS — soak duration per sanitizer (default 30000).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+ASAN_DIR="${1:-build-chaos-asan}"
+TSAN_DIR="${2:-build-chaos-tsan}"
+SOAK_MS="${MRPA_CHAOS_SOAK_MS:-30000}"
+
+run_service_suites() {  # run_service_suites <build-dir> <sanitizer>
+  local dir="$1" sanitizer="$2"
+  echo "=== chaos: ${sanitizer} ==="
+  cmake -B "${dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DMRPA_SANITIZE="${sanitizer}"
+  cmake --build "${dir}" -j "$(nproc)"
+  # The soak runs single-test-at-a-time (-j 1): it saturates the machine
+  # by itself, and sharing cores with sibling suites would starve the
+  # controller thread's swap/fault cadence.
+  MRPA_CHAOS_SOAK_MS="${SOAK_MS}" \
+    ctest --test-dir "${dir}" -L service --output-on-failure -j 1
+}
+
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
+run_service_suites "${ASAN_DIR}" address
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+run_service_suites "${TSAN_DIR}" thread
+
+echo "chaos: service suites clean under ASan and TSan (soak ${SOAK_MS}ms x2)"

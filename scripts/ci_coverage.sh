@@ -3,16 +3,20 @@
 #
 # Builds the tree with -DMRPA_COVERAGE=ON (gcc --coverage, -O0), runs the
 # full ctest matrix, then reduces the per-object gcov JSON into a line
-# coverage report over src/. Two hard gates, both at 80% of executable
+# coverage report over src/. Three hard gates, all at 80% of executable
 # lines by default: src/obs/ (the observability layer is the instrument
 # everything else is measured with — an unexercised hook is
-# indistinguishable from a broken one) and src/storage/ (the snapshot
+# indistinguishable from a broken one), src/storage/ (the snapshot
 # validators are the untrusted-input surface — an unexercised check is a
-# hole in the fail-closed story).
+# hole in the fail-closed story), and src/service/ (the serving substrate
+# is the resilience layer — an unexercised shed, retry, or reclamation
+# branch is exactly the code that will run for the first time during an
+# outage).
 #
 # Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
 # Env:   MRPA_COVERAGE_THRESHOLD_OBS     — override the src/obs gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_STORAGE — override the src/storage gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_SERVICE — override the src/service gate (default 80).
 
 set -euo pipefail
 
@@ -21,6 +25,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-coverage}"
 THRESHOLD="${MRPA_COVERAGE_THRESHOLD_OBS:-80}"
 THRESHOLD_STORAGE="${MRPA_COVERAGE_THRESHOLD_STORAGE:-80}"
+THRESHOLD_SERVICE="${MRPA_COVERAGE_THRESHOLD_SERVICE:-80}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -40,7 +45,7 @@ if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
   exit 1
 fi
 
-python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" <<'PY'
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" <<'PY'
 import collections
 import json
 import os
@@ -49,6 +54,7 @@ import sys
 
 gcda_list, threshold = sys.argv[1], float(sys.argv[2])
 threshold_storage = float(sys.argv[3])
+threshold_service = float(sys.argv[4])
 repo = os.getcwd()
 src_root = os.path.join(repo, "src")
 
@@ -100,6 +106,7 @@ for path in sorted(lines):
 print()
 obs_covered = obs_total = 0
 storage_covered = storage_total = 0
+service_covered = service_total = 0
 all_covered = all_total = 0
 for d in sorted(by_dir):
     covered, total = by_dir[d]
@@ -111,6 +118,9 @@ for d in sorted(by_dir):
     if d.startswith(os.path.join("src", "storage")):
         storage_covered += covered
         storage_total += total
+    if d.startswith(os.path.join("src", "service")):
+        service_covered += covered
+        service_total += total
     print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
 print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
       f"{100.0 * all_covered / all_total:6.1f}%")
@@ -131,6 +141,15 @@ print(f"src/storage line coverage: {storage_pct:.1f}% "
 if storage_pct < threshold_storage:
     failures.append(
         f"src/storage coverage {storage_pct:.1f}% < {threshold_storage:.0f}%")
+
+if service_total == 0:
+    sys.exit("error: no coverage data for src/service/")
+service_pct = 100.0 * service_covered / service_total
+print(f"src/service line coverage: {service_pct:.1f}% "
+      f"(gate: {threshold_service:.0f}%)")
+if service_pct < threshold_service:
+    failures.append(
+        f"src/service coverage {service_pct:.1f}% < {threshold_service:.0f}%")
 
 if failures:
     sys.exit("FAIL: " + "; ".join(failures))

@@ -3,16 +3,19 @@
 #
 # Builds the tree in a dedicated build directory with
 # -DMRPA_SANITIZE=thread (see the root CMakeLists.txt) and runs the
-# `parallel`-, `arena`-, `obs`-, and `storage`-labeled ctest suites —
-# thread_pool_test, parallel_differential_test,
+# `parallel`-, `arena`-, `obs`-, `storage`-, and `service`-labeled ctest
+# suites — thread_pool_test, parallel_differential_test,
 # recognizer_differential_test, arena_differential_test, the obs_* suites,
-# and the snapshot_* suites — under TSAN. These are the suites that
-# actually exercise cross-thread shard expansion (including the per-shard
-# PathArenas), the work-stealing pool, the replay merge, the per-shard
-# observability slabs (worker threads write speculation counters into
-# ObsRegistry at pool width 8), and parallel traversal over mmap'ed
-# SnapshotUniverse backings at pool width 8; the rest of the test matrix
-# is single-threaded and covered by the regular tier1 job.
+# the snapshot_* suites, and the service_* suites — under TSAN. These are
+# the suites that actually exercise cross-thread shard expansion
+# (including the per-shard PathArenas), the work-stealing pool, the replay
+# merge, the per-shard observability slabs (worker threads write
+# speculation counters into ObsRegistry at pool width 8), parallel
+# traversal over mmap'ed SnapshotUniverse backings at pool width 8, and
+# the serving substrate (epoch-reclaimed snapshot hot-swap, concurrent
+# admission, and the short default chaos soak; scripts/ci_chaos.sh runs
+# the long soak); the rest of the test matrix is single-threaded and
+# covered by the regular tier1 job.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 
@@ -31,4 +34,4 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # second_deadlock_stack gives usable reports for lock-order findings.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage" --output-on-failure -j 2
+ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service" --output-on-failure -j 2

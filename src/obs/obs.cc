@@ -42,6 +42,13 @@ constexpr std::string_view kMetricNames[] = {
     "storage.sections_validated",
     "storage.checksum_failures",
     "storage.load_nanos",
+    "service.admitted",
+    "service.rejected",
+    "service.shed",
+    "service.retries",
+    "service.hot_swaps",
+    "service.snapshots_reclaimed",
+    "service.queries_executed",
 };
 static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
               "kMetricNames must cover every Metric");
@@ -51,6 +58,10 @@ constexpr std::string_view kHistNames[] = {
     "arena.peak_nodes",
     "recognizer.path_length",
     "generator.round_width",
+    "service.exec_nanos",
+    "service.queue_depth",
+    "service.epoch_lag",
+    "service.admit_wait_nanos",
 };
 static_assert(std::size(kHistNames) == static_cast<size_t>(Hist::kCount),
               "kHistNames must cover every Hist");

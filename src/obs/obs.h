@@ -110,6 +110,20 @@ enum class Metric : uint32_t {
   kStorageSectionsValidated,
   kStorageChecksumFailures,
   kStorageLoadNanos,
+  // The serving substrate (src/service/): admission outcomes (admitted =
+  // granted a slot; rejected = terminal refusals — unknown tenant or a
+  // deadline that cannot fit the estimated cost; shed = overload refusals —
+  // token bucket, queue bounds, or priority eviction), retry attempts
+  // beyond each call's first try, snapshot hot-swaps published, retired
+  // images reclaimed at epoch quiescence, and queries that ran to a result
+  // (truncated included).
+  kServiceAdmitted,
+  kServiceRejected,
+  kServiceShed,
+  kServiceRetries,
+  kServiceHotSwaps,
+  kServiceSnapshotsReclaimed,
+  kServiceQueriesExecuted,
   kCount
 };
 
@@ -122,6 +136,15 @@ enum class Hist : uint32_t {
   kRecognizerPathLength,
   // Accepted-path count per generator round.
   kGeneratorRoundWidth,
+  // Serving substrate: end-to-end latency of each executed query (admission
+  // wait + evaluation, nanoseconds) — the admission controller reads this
+  // back as its cost estimate; tenant queue depth sampled at each enqueue;
+  // retired-but-unreclaimed image count sampled at each hot-swap (epoch
+  // lag); nanoseconds a request waited for an in-flight slot.
+  kServiceExecNanos,
+  kServiceQueueDepth,
+  kServiceEpochLag,
+  kServiceAdmitWaitNanos,
   kCount
 };
 

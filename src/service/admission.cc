@@ -1,0 +1,330 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/fault_injector.h"
+
+namespace mrpa::service {
+
+namespace {
+
+std::optional<size_t> MinLimit(const std::optional<size_t>& a,
+                               const std::optional<size_t>& b) {
+  if (!a.has_value()) return b;
+  if (!b.has_value()) return a;
+  return std::min(*a, *b);
+}
+
+double BucketCapacity(const TenantQuota& quota) {
+  if (quota.burst >= 1.0) return quota.burst;
+  return std::max(1.0, quota.qps);
+}
+
+}  // namespace
+
+ExecLimits IntersectLimits(const ExecLimits& a, const ExecLimits& b) {
+  ExecLimits out;
+  out.max_paths = MinLimit(a.max_paths, b.max_paths);
+  out.max_steps = MinLimit(a.max_steps, b.max_steps);
+  out.max_bytes = MinLimit(a.max_bytes, b.max_bytes);
+  if (!a.timeout.has_value()) {
+    out.timeout = b.timeout;
+  } else if (!b.timeout.has_value()) {
+    out.timeout = a.timeout;
+  } else {
+    out.timeout = std::min(*a.timeout, *b.timeout);
+  }
+  return out;
+}
+
+AdmissionController::AdmissionController(Options options)
+    : obs_(options.obs), clock_(std::move(options.clock)) {
+  global_max_in_flight_ = options.global_max_in_flight;
+  if (global_max_in_flight_ == 0) {
+    const size_t hw = std::thread::hardware_concurrency();
+    global_max_in_flight_ = std::max<size_t>(2, 2 * std::max<size_t>(1, hw));
+  }
+  global_max_queued_ = options.global_max_queued;
+  if (global_max_queued_ == 0) global_max_queued_ = 4 * global_max_in_flight_;
+  if (!clock_) clock_ = [] { return Clock::now(); };
+}
+
+Status AdmissionController::RegisterTenant(std::string_view name,
+                                           const TenantQuota& quota) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.find(name) != tenants_.end()) {
+    return Status::AlreadyExists("tenant '" + std::string(name) +
+                                 "' is already registered");
+  }
+  Tenant& tenant = tenants_[std::string(name)];
+  tenant.quota = quota;
+  tenant.tokens = BucketCapacity(quota);  // A fresh tenant starts full.
+  tenant.last_refill = clock_();
+  return Status::OK();
+}
+
+Status AdmissionController::UpdateQuota(std::string_view name,
+                                        const TenantQuota& quota) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(name);
+    if (it == tenants_.end()) {
+      return Status::NotFound("tenant '" + std::string(name) +
+                              "' is not registered");
+    }
+    Tenant& tenant = it->second;
+    RefillLocked(tenant, clock_());
+    tenant.quota = quota;
+    tenant.tokens = std::min(tenant.tokens, BucketCapacity(quota));
+    GrantLocked();  // A raised cap may free queued work.
+  }
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<TenantQuota> AdmissionController::GetQuota(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  if (it == tenants_.end()) {
+    return Status::NotFound("tenant '" + std::string(name) +
+                            "' is not registered");
+  }
+  return it->second.quota;
+}
+
+void AdmissionController::RefillLocked(Tenant& tenant, Clock::time_point now) {
+  if (tenant.quota.qps <= 0) return;
+  const auto elapsed = now - tenant.last_refill;
+  if (elapsed <= Clock::duration::zero()) return;
+  const double seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(elapsed)
+          .count();
+  tenant.tokens = std::min(tenant.tokens + seconds * tenant.quota.qps,
+                           BucketCapacity(tenant.quota));
+  tenant.last_refill = now;
+}
+
+void AdmissionController::GrantLocked() {
+  bool granted_any = false;
+  while (global_in_flight_ < global_max_in_flight_) {
+    // The oldest eligible waiter of the highest priority: FIFO within a
+    // tenant (only fronts are candidates), priority-then-age across
+    // tenants.
+    Tenant* best_tenant = nullptr;
+    Waiter* best = nullptr;
+    for (auto& [name, tenant] : tenants_) {
+      if (tenant.queue.empty()) continue;
+      if (tenant.in_flight >= tenant.quota.max_in_flight) continue;
+      Waiter* front = tenant.queue.front();
+      if (best == nullptr || front->priority > best->priority ||
+          (front->priority == best->priority && front->seq < best->seq)) {
+        best_tenant = &tenant;
+        best = front;
+      }
+    }
+    if (best == nullptr) break;
+    best_tenant->queue.pop_front();
+    --total_queued_;
+    best->state = Waiter::State::kGranted;
+    ++best_tenant->in_flight;
+    ++global_in_flight_;
+    granted_any = true;
+  }
+  if (granted_any) cv_.notify_all();
+}
+
+void AdmissionController::RemoveWaiterLocked(Tenant& tenant, Waiter* waiter) {
+  auto it = std::find(tenant.queue.begin(), tenant.queue.end(), waiter);
+  if (it != tenant.queue.end()) {
+    tenant.queue.erase(it);
+    --total_queued_;
+  }
+}
+
+void AdmissionController::CountShed() const {
+  if (obs_ != nullptr) obs_->Add(obs::Metric::kServiceShed, 1);
+}
+
+void AdmissionController::CountRejected() const {
+  if (obs_ != nullptr) obs_->Add(obs::Metric::kServiceRejected, 1);
+}
+
+uint64_t AdmissionController::EstimatedQueryCostNanos() const {
+  if (obs_ == nullptr) return 0;
+  const obs::HistogramSnapshot hist =
+      obs_->SnapshotHistogram(obs::Hist::kServiceExecNanos);
+  if (hist.count == 0) return 0;
+  return hist.sum / hist.count;
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return global_in_flight_;
+}
+
+size_t AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_queued_;
+}
+
+Result<AdmissionController::Ticket> AdmissionController::Admit(
+    const AdmitRequest& request) {
+  {
+    Status fault = FaultProbe(kFaultSiteServiceAdmit);
+    if (!fault.ok()) {
+      if (fault.IsResourceExhausted()) {
+        CountShed();
+      } else {
+        CountRejected();
+      }
+      return fault;
+    }
+  }
+
+  // The cost estimate reads the (thread-safe) registry; keep it outside the
+  // controller lock.
+  const uint64_t estimated_cost = EstimatedQueryCostNanos();
+  const auto wait_start = Clock::now();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = tenants_.find(request.tenant);
+  if (it == tenants_.end()) {
+    CountRejected();
+    return Status::NotFound("tenant '" + std::string(request.tenant) +
+                            "' is not registered");
+  }
+  Tenant& tenant = it->second;
+  const std::string tenant_name(request.tenant);
+  const auto now = clock_();
+
+  // Reject-fast when the deadline cannot fit the estimated cost: cheaper
+  // for everyone than admitting work that is doomed to trip mid-run.
+  if (request.deadline.has_value() && estimated_cost > 0) {
+    const auto remaining = *request.deadline - now;
+    if (remaining < std::chrono::nanoseconds(estimated_cost)) {
+      CountRejected();
+      return Status::DeadlineExceeded(
+          "admission rejected: remaining deadline is below the estimated "
+          "query cost of " +
+          std::to_string(estimated_cost) + "ns");
+    }
+  }
+
+  RefillLocked(tenant, now);
+  if (tenant.quota.qps > 0) {
+    if (tenant.tokens < 1.0) {
+      CountShed();
+      return Status::ResourceExhausted("shed: tenant '" + tenant_name +
+                                       "' exceeded its rate quota");
+    }
+    tenant.tokens -= 1.0;
+  }
+
+  // Fast path: a free slot and nobody queued ahead.
+  if (tenant.queue.empty() &&
+      tenant.in_flight < tenant.quota.max_in_flight &&
+      global_in_flight_ < global_max_in_flight_) {
+    ++tenant.in_flight;
+    ++global_in_flight_;
+    if (obs_ != nullptr) obs_->Add(obs::Metric::kServiceAdmitted, 1);
+    return Ticket(this, tenant_name);
+  }
+
+  // Queue behind the caps — bounded, or shed.
+  if (tenant.queue.size() >= tenant.quota.max_queued) {
+    CountShed();
+    return Status::ResourceExhausted("shed: tenant '" + tenant_name +
+                                     "' queue is full");
+  }
+  if (total_queued_ >= global_max_queued_) {
+    // Priority shedding: evict the youngest waiter of the strictly lowest
+    // priority below ours, else shed the newcomer.
+    Tenant* victim_tenant = nullptr;
+    Waiter* victim = nullptr;
+    for (auto& [name, t] : tenants_) {
+      for (Waiter* w : t.queue) {
+        if (victim == nullptr || w->priority < victim->priority ||
+            (w->priority == victim->priority && w->seq > victim->seq)) {
+          victim_tenant = &t;
+          victim = w;
+        }
+      }
+    }
+    if (victim == nullptr || victim->priority >= tenant.quota.priority) {
+      CountShed();
+      return Status::ResourceExhausted(
+          "shed: service queue is full and tenant '" + tenant_name +
+          "' has no priority over queued work");
+    }
+    RemoveWaiterLocked(*victim_tenant, victim);
+    victim->state = Waiter::State::kShed;
+    victim->shed_status = Status::ResourceExhausted(
+        "shed: evicted from the service queue by a higher-priority arrival");
+    CountShed();
+    cv_.notify_all();
+  }
+
+  Waiter waiter;
+  waiter.seq = next_seq_++;
+  waiter.priority = tenant.quota.priority;
+  waiter.deadline = request.deadline;
+  tenant.queue.push_back(&waiter);
+  ++total_queued_;
+  if (obs_ != nullptr) {
+    obs_->Record(obs::Hist::kServiceQueueDepth, tenant.queue.size());
+  }
+  GrantLocked();  // We may be immediately eligible (e.g. racing releases).
+
+  while (waiter.state == Waiter::State::kWaiting) {
+    if (waiter.deadline.has_value()) {
+      if (cv_.wait_until(lock, *waiter.deadline) ==
+          std::cv_status::timeout &&
+          waiter.state == Waiter::State::kWaiting) {
+        RemoveWaiterLocked(tenant, &waiter);
+        CountRejected();
+        return Status::DeadlineExceeded(
+            "admission rejected: deadline passed while queued for tenant '" +
+            tenant_name + "'");
+      }
+    } else {
+      cv_.wait(lock);
+    }
+  }
+
+  if (waiter.state == Waiter::State::kShed) {
+    return waiter.shed_status;
+  }
+  if (obs_ != nullptr) {
+    obs_->Add(obs::Metric::kServiceAdmitted, 1);
+    obs_->Record(
+        obs::Hist::kServiceAdmitWaitNanos,
+        static_cast<uint64_t>(std::chrono::duration_cast<
+                                  std::chrono::nanoseconds>(Clock::now() -
+                                                            wait_start)
+                                  .count()));
+  }
+  return Ticket(this, tenant_name);
+}
+
+void AdmissionController::Ticket::Release() {
+  if (controller_ == nullptr) return;
+  controller_->ReleaseSlot(tenant_);
+  controller_ = nullptr;
+}
+
+void AdmissionController::ReleaseSlot(const std::string& tenant_name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tenants_.find(tenant_name);
+    if (it != tenants_.end() && it->second.in_flight > 0) {
+      --it->second.in_flight;
+    }
+    if (global_in_flight_ > 0) --global_in_flight_;
+    GrantLocked();
+  }
+  cv_.notify_all();
+}
+
+}  // namespace mrpa::service

@@ -1,0 +1,214 @@
+// AdmissionController: the multi-tenant front door of the serving
+// substrate. Every query passes through Admit() before it may touch a
+// snapshot; the controller enforces, per named tenant:
+//
+//   * a token-bucket rate quota (sustained QPS plus a burst allowance) —
+//     an empty bucket sheds immediately (kResourceExhausted, retryable
+//     after backoff) rather than queueing the request;
+//   * an in-flight cap, with a bounded FIFO wait queue behind it — a full
+//     queue sheds; a request whose deadline passes while queued is rejected
+//     with kDeadlineExceeded (terminal: retrying cannot help);
+//   * deadline-aware fast rejection — when the remaining deadline is
+//     smaller than the estimated query cost (read back from the attached
+//     ObsRegistry's service.exec_nanos histogram), the request is rejected
+//     before it consumes a token or a queue slot;
+//   * per-query budget ceilings (TenantQuota::query_limits), intersected
+//     with each request's own ExecLimits by the query service.
+//
+// A global in-flight cap bounds total concurrency across tenants (sized to
+// the work-stealing pool the queries execute on). Under overload the
+// controller sheds by tenant priority: when the global queue bound is hit,
+// the lowest-priority queued request is evicted in favor of a
+// higher-priority newcomer — never the other way round.
+//
+// Waiters are granted strictly FIFO within a tenant; across tenants the
+// oldest eligible waiter of the highest priority goes first. Shedding
+// statuses are well-formed truncation contracts: the caller (QueryService)
+// converts them into empty truncated results, so clients always see the
+// same partial-result shape whether a budget tripped mid-run or the front
+// door refused the work.
+
+#ifndef MRPA_SERVICE_ADMISSION_H_
+#define MRPA_SERVICE_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace mrpa::service {
+
+// Deterministic fault-injection site: probed once per Admit() call, before
+// any quota state is touched, so tests and the chaos harness can fail
+// admissions without consuming tokens.
+inline constexpr std::string_view kFaultSiteServiceAdmit = "service.admit";
+
+// Per-tenant resource contract. All knobs are hot-swappable at runtime via
+// AdmissionController::UpdateQuota.
+struct TenantQuota {
+  // Sustained admissions per second; 0 disables rate metering. `burst` is
+  // the bucket capacity; values < 1 default to max(1, qps).
+  double qps = 0;
+  double burst = 0;
+  // Queries of this tenant executing at once.
+  size_t max_in_flight = 4;
+  // Requests allowed to wait for an in-flight slot; beyond this the tenant
+  // sheds. 0 means never queue (pure fail-fast).
+  size_t max_queued = 16;
+  // Higher priorities are shed later under global overload.
+  int priority = 0;
+  // Ceilings applied to every query of this tenant (intersected with the
+  // request's own limits — the tighter bound wins per dimension).
+  ExecLimits query_limits;
+};
+
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Options {
+    // Total in-flight queries across all tenants; 0 means
+    // 2 × hardware_concurrency (at least 2).
+    size_t global_max_in_flight = 0;
+    // Total queued requests across all tenants; beyond it the lowest-
+    // priority waiter is evicted (or the newcomer shed). 0 means
+    // 4 × global_max_in_flight.
+    size_t global_max_queued = 0;
+    // Metrics sink + cost-estimate source. May be null.
+    obs::ObsRegistry* obs = nullptr;
+    // Injectable time source for the token bucket and deadline feasibility
+    // (tests freeze it); queue waits always use the real clock.
+    std::function<Clock::time_point()> clock;
+  };
+
+  // RAII in-flight slot. Releasing wakes the longest-waiting eligible
+  // request.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept { *this = std::move(other); }
+    Ticket& operator=(Ticket&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        tenant_ = std::move(other.tenant_);
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+    ~Ticket() { Release(); }
+
+    explicit operator bool() const { return controller_ != nullptr; }
+    const std::string& tenant() const { return tenant_; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    Ticket(AdmissionController* controller, std::string tenant)
+        : controller_(controller), tenant_(std::move(tenant)) {}
+
+    AdmissionController* controller_ = nullptr;
+    std::string tenant_;
+  };
+
+  struct AdmitRequest {
+    std::string_view tenant;
+    // Absolute deadline; requests that cannot finish (or stop waiting) by
+    // then are rejected with kDeadlineExceeded.
+    std::optional<Clock::time_point> deadline;
+  };
+
+  explicit AdmissionController(Options options);
+
+  // kAlreadyExists when the tenant is registered.
+  Status RegisterTenant(std::string_view name, const TenantQuota& quota);
+  // Replaces the quota at runtime (the chaos harness flips quotas while
+  // queries are in flight). kNotFound for unknown tenants. Shrinking
+  // max_in_flight never cancels running queries — the new cap applies as
+  // slots free up.
+  Status UpdateQuota(std::string_view name, const TenantQuota& quota);
+  Result<TenantQuota> GetQuota(std::string_view name) const;
+
+  // Admits one query, blocking in the tenant's bounded FIFO queue when the
+  // in-flight caps are taken. Outcomes:
+  //   * OK Ticket             — an in-flight slot is held until release;
+  //   * kNotFound             — unknown tenant (terminal);
+  //   * kDeadlineExceeded     — the remaining deadline cannot fit the
+  //                             estimated cost, or it passed while queued
+  //                             (terminal);
+  //   * kResourceExhausted    — shed: empty token bucket, full queue, or
+  //                             priority eviction (retryable — capacity
+  //                             frees as other queries finish).
+  Result<Ticket> Admit(const AdmitRequest& request);
+
+  size_t in_flight() const;
+  size_t queued() const;
+
+  // Mean observed query latency in nanoseconds from the attached registry's
+  // service.exec_nanos histogram; 0 when unattached or empty. This is the
+  // cost estimate behind deadline-aware rejection.
+  uint64_t EstimatedQueryCostNanos() const;
+
+  size_t global_max_in_flight() const { return global_max_in_flight_; }
+
+ private:
+  struct Waiter {
+    uint64_t seq = 0;
+    int priority = 0;
+    std::optional<Clock::time_point> deadline;
+    // kWaiting until granted a slot, shed, or timed out.
+    enum class State { kWaiting, kGranted, kShed, kExpired } state =
+        State::kWaiting;
+    Status shed_status;
+  };
+
+  struct Tenant {
+    TenantQuota quota;
+    double tokens = 0;
+    Clock::time_point last_refill;
+    size_t in_flight = 0;
+    std::deque<Waiter*> queue;
+  };
+
+  // All require mu_ held.
+  void RefillLocked(Tenant& tenant, Clock::time_point now);
+  void GrantLocked();
+  void RemoveWaiterLocked(Tenant& tenant, Waiter* waiter);
+  void ReleaseSlot(const std::string& tenant_name);
+
+  void CountShed() const;
+  void CountRejected() const;
+
+  size_t global_max_in_flight_ = 0;
+  size_t global_max_queued_ = 0;
+  obs::ObsRegistry* obs_ = nullptr;
+  std::function<Clock::time_point()> clock_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Tenant, std::less<>> tenants_;
+  size_t global_in_flight_ = 0;
+  size_t total_queued_ = 0;
+  uint64_t next_seq_ = 1;
+};
+
+// The tighter bound per dimension: the quota's ceilings clamp the
+// request's own limits (an unlimited dimension defers to the other side).
+ExecLimits IntersectLimits(const ExecLimits& a, const ExecLimits& b);
+
+}  // namespace mrpa::service
+
+#endif  // MRPA_SERVICE_ADMISSION_H_

@@ -1,0 +1,31 @@
+#include "service/retry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mrpa::service {
+
+std::chrono::nanoseconds RetryPolicy::BackoffFor(size_t attempt,
+                                                 Rng& rng) const {
+  if (attempt == 0) attempt = 1;
+  double base = static_cast<double>(initial_backoff.count());
+  // Exponential growth, saturated early so huge attempt counts cannot
+  // overflow the double.
+  for (size_t i = 1; i < attempt; ++i) {
+    base *= multiplier;
+    if (base >= static_cast<double>(max_backoff.count())) {
+      base = static_cast<double>(max_backoff.count());
+      break;
+    }
+  }
+  double scaled = base;
+  if (jitter > 0) {
+    const double j = std::clamp(jitter, 0.0, 1.0);
+    // One Rng draw per backoff keeps the sequence reproducible.
+    scaled = base * (1.0 - j / 2.0 + j * rng.NextDouble());
+  }
+  scaled = std::clamp(scaled, 0.0, static_cast<double>(max_backoff.count()));
+  return std::chrono::nanoseconds(static_cast<int64_t>(std::llround(scaled)));
+}
+
+}  // namespace mrpa::service

@@ -1,0 +1,74 @@
+// RetryPolicy: deterministic exponential backoff with jitter for the
+// serving substrate.
+//
+// Retry taxonomy (the full table is in DESIGN.md):
+//
+//   retryable — failures that a later attempt can plausibly clear:
+//     * transient execution faults (kIOError — injected or genuine I/O
+//       hiccups); the attempt's partial output is discarded, the query is
+//       idempotent (pure reads over an immutable snapshot), so re-running
+//       is safe;
+//     * admission sheds (kResourceExhausted from Admit) — capacity frees
+//       as other queries drain, so waiting out a backoff and re-admitting
+//       is exactly the right response.
+//
+//   terminal — never retried:
+//     * budget trips (kResourceExhausted from a governed evaluation) — the
+//       budget is the caller's contract; the truncated partial result IS
+//       the answer (and is returned, not discarded);
+//     * kDeadlineExceeded / kCancelled — more attempts cannot help;
+//     * kInvalidArgument / kNotFound / kCorruption / kInternal — caller or
+//       data bugs a retry would only repeat.
+//
+// The two kResourceExhausted rows differ by *site*, not code, so the
+// classification is split: IsRetryableAdmission for Admit() statuses,
+// IsRetryableExecution for evaluation outcomes. QueryService never feeds a
+// budget trip to either — truncated results return to the caller directly.
+//
+// Backoff is exponential with multiplicative jitter drawn from the
+// library's deterministic Rng (util/random.h): a fixed seed reproduces the
+// exact backoff sequence, which the retry tests rely on.
+
+#ifndef MRPA_SERVICE_RETRY_H_
+#define MRPA_SERVICE_RETRY_H_
+
+#include <chrono>
+#include <cstddef>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mrpa::service {
+
+struct RetryPolicy {
+  // Total tries per call, the first included; 1 disables retries. This is
+  // the per-call retry budget: once spent, the last failure is returned
+  // (as a truncated-empty degradation for sheds, an error otherwise).
+  size_t max_attempts = 3;
+  std::chrono::nanoseconds initial_backoff = std::chrono::milliseconds(1);
+  double multiplier = 2.0;
+  std::chrono::nanoseconds max_backoff = std::chrono::milliseconds(50);
+  // Fraction of the backoff that is randomized: the delay is drawn
+  // uniformly from [base*(1-jitter/2), base*(1+jitter/2)], clamped to
+  // max_backoff. 0 disables jitter.
+  double jitter = 0.5;
+
+  // Transient execution failures (see the taxonomy above).
+  static bool IsRetryableExecution(const Status& status) {
+    return status.IsIOError();
+  }
+
+  // Admission rejections that clear as capacity frees. Terminal rejections
+  // (kDeadlineExceeded, kNotFound) are excluded.
+  static bool IsRetryableAdmission(const Status& status) {
+    return status.IsResourceExhausted();
+  }
+
+  // The jittered delay before attempt `attempt + 1`, given that `attempt`
+  // (1-based) just failed. Deterministic in (policy, rng state).
+  std::chrono::nanoseconds BackoffFor(size_t attempt, Rng& rng) const;
+};
+
+}  // namespace mrpa::service
+
+#endif  // MRPA_SERVICE_RETRY_H_

@@ -1,0 +1,112 @@
+#include "service/snapshot_registry.h"
+
+#include <thread>
+
+#include "util/fault_injector.h"
+
+namespace mrpa::service {
+
+SnapshotRegistry::~SnapshotRegistry() {
+  std::lock_guard<std::mutex> lock(mu_);
+  delete current_.exchange(nullptr, std::memory_order_seq_cst);
+  for (Image* image : retired_) delete image;
+  retired_.clear();
+  retired_count_.store(0, std::memory_order_relaxed);
+}
+
+Result<uint64_t> SnapshotRegistry::HotSwap(
+    storage::SnapshotUniverse universe) {
+  Status fault = FaultProbe(kFaultSiteServiceSwap);
+  if (!fault.ok()) return fault;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Image* fresh = new Image(std::move(universe), next_version_++);
+  Image* old = current_.exchange(fresh, std::memory_order_seq_cst);
+  current_version_.store(fresh->version, std::memory_order_relaxed);
+  // The pre-bump epoch: any reader that could still hold `old` announced an
+  // epoch <= this value (it read the counter before the exchange above).
+  const uint64_t retire_epoch =
+      epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (old != nullptr) {
+    old->retire_epoch = retire_epoch;
+    retired_.push_back(old);
+    retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  }
+  if (obs_ != nullptr) {
+    obs_->Add(obs::Metric::kServiceHotSwaps, 1);
+    obs_->Record(obs::Hist::kServiceEpochLag, retired_.size());
+  }
+  ReclaimLocked();
+  return fresh->version;
+}
+
+SnapshotRegistry::Guard SnapshotRegistry::Acquire() {
+  for (;;) {
+    for (size_t i = 0; i < kReaderSlots; ++i) {
+      std::atomic<uint64_t>& slot = slots_[i].epoch;
+      if (slot.load(std::memory_order_relaxed) != kIdleSlot) continue;
+      // Announce the epoch observed BEFORE the image pointer is read; the
+      // CAS is the announcement (claims the slot and publishes the epoch in
+      // one seq_cst step).
+      uint64_t announced = epoch_.load(std::memory_order_seq_cst);
+      uint64_t expected = kIdleSlot;
+      if (!slot.compare_exchange_strong(expected, announced,
+                                        std::memory_order_seq_cst)) {
+        continue;  // Lost the slot to another reader; keep scanning.
+      }
+      Image* image = current_.load(std::memory_order_seq_cst);
+      if (image == nullptr) {
+        slot.store(kIdleSlot, std::memory_order_seq_cst);
+        return Guard();
+      }
+      return Guard(this, image, i);
+    }
+    // Every slot claimed: more concurrent guards than kReaderSlots. Yield
+    // and rescan; guards are query-scoped, so slots free quickly.
+    std::this_thread::yield();
+  }
+}
+
+void SnapshotRegistry::Release(size_t slot) {
+  slots_[slot].epoch.store(kIdleSlot, std::memory_order_seq_cst);
+  // Opportunistic sweep: the last reader off an old image lets it reclaim.
+  // try_lock keeps the query path free of writer contention.
+  if (retired_count_.load(std::memory_order_relaxed) > 0 && mu_.try_lock()) {
+    ReclaimLocked();
+    mu_.unlock();
+  }
+}
+
+size_t SnapshotRegistry::ReclaimNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ReclaimLocked();
+}
+
+size_t SnapshotRegistry::ReclaimLocked() {
+  if (retired_.empty()) return 0;
+  // A retired image is reclaimable iff every active reader announces an
+  // epoch strictly greater than its retire epoch.
+  uint64_t min_active = kIdleSlot;
+  for (const Slot& slot : slots_) {
+    const uint64_t e = slot.epoch.load(std::memory_order_seq_cst);
+    if (e < min_active) min_active = e;
+  }
+  size_t reclaimed = 0;
+  auto keep = retired_.begin();
+  for (Image* image : retired_) {
+    if (image->retire_epoch < min_active) {
+      delete image;
+      ++reclaimed;
+    } else {
+      *keep++ = image;
+    }
+  }
+  retired_.erase(keep, retired_.end());
+  retired_count_.store(retired_.size(), std::memory_order_relaxed);
+  if (reclaimed > 0 && obs_ != nullptr) {
+    obs_->Add(obs::Metric::kServiceSnapshotsReclaimed, reclaimed);
+  }
+  return reclaimed;
+}
+
+}  // namespace mrpa::service

@@ -1,0 +1,175 @@
+// SnapshotRegistry: versioned snapshot images with RCU-style epoch
+// reclamation, so a serving process can hot-swap to a fresh snapshot while
+// in-flight queries finish on the image they were admitted under.
+//
+// The read side is lock-free: Acquire() claims one of a fixed array of
+// reader slots with a single CAS (publishing the reader's observed epoch),
+// loads the current image pointer, and hands back an RAII Guard. No mutex,
+// no shared refcount cache line per image — concurrent readers touch
+// disjoint slots. HotSwap() is the writer side: it publishes the new image
+// with one atomic exchange, bumps the global epoch, and moves the old image
+// to a retired list stamped with the pre-bump epoch.
+//
+// Reclamation invariant (the one the chaos soak proves under ASan): a
+// retired image is deleted only when every active reader slot announces an
+// epoch strictly greater than the image's retire epoch. A reader's
+// announced epoch is read from the global counter *before* it loads the
+// image pointer, and the writer stamps the retire epoch *after* swapping
+// the pointer, so any reader that could still hold the old image announces
+// an epoch <= the retire epoch and blocks its reclamation. (All four
+// operations on the announce/scan pair are seq_cst; the proof needs their
+// single total order. A stale announcement only delays reclamation — the
+// scheme is conservative, never unsafe.)
+//
+// The registry reports into an optional ObsRegistry: hot-swaps published,
+// images reclaimed, and the epoch lag (retired-but-unreclaimed images) at
+// each swap.
+
+#ifndef MRPA_SERVICE_SNAPSHOT_REGISTRY_H_
+#define MRPA_SERVICE_SNAPSHOT_REGISTRY_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+#include "storage/snapshot_universe.h"
+#include "util/status.h"
+
+namespace mrpa::service {
+
+// Deterministic fault-injection site: probed once per HotSwap attempt, so
+// tests drive the publish path through a failed swap (the registry must be
+// untouched afterwards).
+inline constexpr std::string_view kFaultSiteServiceSwap = "service.swap";
+
+class SnapshotRegistry {
+ private:
+  // One published image. `retire_epoch` is meaningful once the image is on
+  // the retired list (stamped under the writer mutex).
+  struct Image {
+    Image(storage::SnapshotUniverse u, uint64_t v)
+        : universe(std::move(u)), version(v) {}
+    storage::SnapshotUniverse universe;
+    uint64_t version = 0;
+    uint64_t retire_epoch = 0;
+  };
+
+ public:
+  // Concurrent guard capacity. Acquire spins (yielding) when every slot is
+  // claimed; sized generously past any realistic in-flight query count.
+  static constexpr size_t kReaderSlots = 64;
+  static constexpr uint64_t kIdleSlot = ~uint64_t{0};
+
+  explicit SnapshotRegistry(obs::ObsRegistry* obs = nullptr) : obs_(obs) {}
+
+  // Destroying the registry with guards still held is a caller bug (the
+  // guards would dangle); all images, current and retired, are freed.
+  ~SnapshotRegistry();
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  // Pins one image version for the guard's lifetime. The universe reference
+  // stays valid — never reclaimed out from under the guard — until the
+  // guard is destroyed. An empty guard (operator bool false) means no image
+  // has been published yet.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& other) noexcept { *this = std::move(other); }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        image_ = other.image_;
+        slot_ = other.slot_;
+        other.registry_ = nullptr;
+        other.image_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    explicit operator bool() const { return image_ != nullptr; }
+    const storage::SnapshotUniverse& universe() const {
+      return image_->universe;
+    }
+    uint64_t version() const { return image_ == nullptr ? 0 : image_->version; }
+
+   private:
+    friend class SnapshotRegistry;
+    Guard(SnapshotRegistry* registry, const Image* image, size_t slot)
+        : registry_(registry), image_(image), slot_(slot) {}
+    void Release() {
+      if (registry_ != nullptr) {
+        registry_->Release(slot_);
+        registry_ = nullptr;
+        image_ = nullptr;
+      }
+    }
+
+    SnapshotRegistry* registry_ = nullptr;
+    const Image* image_ = nullptr;
+    size_t slot_ = 0;
+  };
+
+  // Publishes `universe` as the new current image and returns its version
+  // (1-based, monotone). In-flight guards keep the previous image alive;
+  // it is reclaimed at epoch quiescence. On an injected service.swap fault
+  // the registry is left exactly as it was (the incoming universe is
+  // discarded — a failed publish must not half-install).
+  Result<uint64_t> HotSwap(storage::SnapshotUniverse universe);
+
+  // Claims a reader slot and pins the current image. Empty guard when no
+  // image has been published.
+  Guard Acquire();
+
+  // Version of the current image; 0 when none published.
+  uint64_t current_version() const {
+    return current_version_.load(std::memory_order_relaxed);
+  }
+
+  // Retired images not yet reclaimed (the epoch lag).
+  size_t retired_count() const {
+    return retired_count_.load(std::memory_order_relaxed);
+  }
+
+  // Sweeps the retired list now; returns how many images were reclaimed.
+  // HotSwap and guard release already sweep opportunistically — this is for
+  // tests and shutdown paths that want a definite answer.
+  size_t ReclaimNow();
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> epoch{kIdleSlot};
+  };
+
+  // Must be called with mu_ held. Returns images reclaimed.
+  size_t ReclaimLocked();
+
+  void Release(size_t slot);
+
+  std::atomic<Image*> current_{nullptr};
+  std::atomic<uint64_t> epoch_{1};
+  std::atomic<uint64_t> current_version_{0};
+  std::atomic<uint64_t> retired_count_{0};
+  std::array<Slot, kReaderSlots> slots_;
+
+  std::mutex mu_;  // Writer side: HotSwap serialization + retired list.
+  std::vector<Image*> retired_;
+  uint64_t next_version_ = 1;
+
+  obs::ObsRegistry* obs_ = nullptr;
+};
+
+}  // namespace mrpa::service
+
+#endif  // MRPA_SERVICE_SNAPSHOT_REGISTRY_H_

@@ -11,31 +11,56 @@ FaultInjector& FaultInjector::Global() {
 
 void FaultInjector::Arm(std::string_view site, uint64_t nth, Status status) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!armed_) armed_count_.fetch_add(1, std::memory_order_relaxed);
-  armed_ = true;
-  site_ = std::string(site);
-  nth_ = nth;
-  status_ = std::move(status);
-  hits_.clear();
+  auto it = armed_.find(site);
+  if (it == armed_.end()) {
+    armed_.emplace(std::string(site), ArmedSite{nth, std::move(status)});
+    armed_count_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    it->second = ArmedSite{nth, std::move(status)};
+  }
+  // Re-arming restarts the site's deterministic nth count; other sites keep
+  // counting from where they are.
+  auto hit = hits_.find(site);
+  if (hit != hits_.end()) hit->second = 0;
 }
 
 void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (armed_) armed_count_.fetch_sub(1, std::memory_order_relaxed);
-  armed_ = false;
-  site_.clear();
-  nth_ = 0;
-  status_ = Status::OK();
+  armed_count_.fetch_sub(static_cast<int>(armed_.size()),
+                         std::memory_order_relaxed);
+  armed_.clear();
   hits_.clear();
+}
+
+void FaultInjector::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = armed_.find(site);
+  if (it == armed_.end()) return;
+  armed_.erase(it);
+  armed_count_.fetch_sub(1, std::memory_order_relaxed);
+  auto hit = hits_.find(site);
+  if (hit != hits_.end()) hits_.erase(hit);
+  // Retiring the last site ends the experiment: reset the census so the
+  // next arming starts from a clean slate (probes while disarmed are never
+  // counted anyway).
+  if (armed_.empty()) hits_.clear();
+}
+
+size_t FaultInjector::ArmedSites() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_.size();
 }
 
 Status FaultInjector::Probe(std::string_view site) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!armed_) return Status::OK();
+  if (armed_.empty()) return Status::OK();
   auto it = hits_.find(site);
   if (it == hits_.end()) it = hits_.emplace(std::string(site), 0).first;
   ++it->second;
-  if (site == site_ && it->second == nth_) return status_;
+  auto armed = armed_.find(site);
+  if (armed != armed_.end() && it->second == armed->second.nth) {
+    return armed->second.status;
+  }
   return Status::OK();
 }
 

@@ -16,6 +16,12 @@
 //   auto graph = ReadGraphFromString(text);   // 3rd line read fails
 //   EXPECT_TRUE(graph.status().IsIOError());
 //
+// Several sites can be armed concurrently (one configuration per site, kept
+// in a map): the chaos harness arms `service.swap` alongside `io.read` and
+// both fire independently at their own nth probes. Arm(site) replaces only
+// that site's configuration; Disarm(site) retires one site, Disarm()
+// everything.
+//
 // Probes are counted per site while armed, so tests can also assert how far
 // an evaluation got before the injected failure.
 
@@ -50,13 +56,23 @@ class FaultInjector {
     return armed_count_.load(std::memory_order_relaxed) > 0;
   }
 
-  // Arms the injector: the `nth` (1-based) probe of `site` after this call
-  // returns `status`; earlier and later probes return OK. Re-arming
-  // replaces the previous configuration and resets hit counters.
+  // Arms `site`: the `nth` (1-based) probe of `site` after this call
+  // returns `status`; earlier and later probes return OK. Other sites keep
+  // their own configurations — arming a second site does not disturb the
+  // first. Re-arming a site replaces its configuration and resets its hit
+  // counter (other sites' counters are untouched).
   void Arm(std::string_view site, uint64_t nth, Status status);
 
-  // Disarms and resets hit counters.
+  // Disarms every site and resets all hit counters.
   void Disarm();
+
+  // Disarms just `site` (its hit counter included); other armed sites and
+  // their counters are untouched. Retiring the last armed site resets the
+  // whole census. No-op when `site` is not armed.
+  void Disarm(std::string_view site);
+
+  // Number of currently armed sites.
+  size_t ArmedSites() const;
 
   // Returns OK, or the armed status when this probe is the nth hit at the
   // armed site. Called via the AnyArmed() guard; see MRPA_FAULT_PROBE.
@@ -68,13 +84,18 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
+  // One armed configuration. `hits` counts probes at the site since it was
+  // (re-)armed; sites probed while armed but never armed themselves are
+  // counted in hits_ below, so the census covers both.
+  struct ArmedSite {
+    uint64_t nth = 0;
+    Status status;
+  };
+
   static std::atomic<int> armed_count_;
 
   mutable std::mutex mu_;
-  bool armed_ = false;
-  std::string site_;
-  uint64_t nth_ = 0;
-  Status status_;
+  std::map<std::string, ArmedSite, std::less<>> armed_;
   std::map<std::string, uint64_t, std::less<>> hits_;
 };
 
@@ -84,16 +105,22 @@ inline Status FaultProbe(std::string_view site) {
   return FaultInjector::Global().Probe(site);
 }
 
-// Arms the global injector for the lifetime of the scope. Tests only.
+// Arms one site on the global injector for the lifetime of the scope.
+// Scopes compose: each disarms only its own site, so two ScopedFaults arm
+// two sites concurrently. Tests only.
 class ScopedFault {
  public:
-  ScopedFault(std::string_view site, uint64_t nth, Status status) {
-    FaultInjector::Global().Arm(site, nth, std::move(status));
+  ScopedFault(std::string_view site, uint64_t nth, Status status)
+      : site_(site) {
+    FaultInjector::Global().Arm(site_, nth, std::move(status));
   }
-  ~ScopedFault() { FaultInjector::Global().Disarm(); }
+  ~ScopedFault() { FaultInjector::Global().Disarm(site_); }
 
   ScopedFault(const ScopedFault&) = delete;
   ScopedFault& operator=(const ScopedFault&) = delete;
+
+ private:
+  std::string site_;
 };
 
 }  // namespace mrpa

@@ -62,6 +62,92 @@ TEST(FaultInjectorTest, RearmingResetsHitCounters) {
   FaultInjector::Global().Disarm();
 }
 
+// --- Multi-site arming (PR 6) ------------------------------------------
+// The chaos harness arms several sites at once; each must fire at its own
+// nth probe with its own status, and disarming one must not disturb the
+// others.
+
+TEST(FaultInjectorMultiSiteTest, TwoSitesFireIndependentlyAtTheirOwnNth) {
+  ScopedFault io(kFaultSiteIoRead, /*nth=*/2, Status::IOError("io"));
+  ScopedFault alloc(kFaultSiteAlloc, /*nth=*/3,
+                    Status::ResourceExhausted("alloc"));
+  EXPECT_EQ(FaultInjector::Global().ArmedSites(), 2u);
+
+  // Interleave probes: each site keeps its own count.
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());    // io #1
+  EXPECT_TRUE(FaultProbe(kFaultSiteAlloc).ok());     // alloc #1
+  EXPECT_TRUE(FaultProbe(kFaultSiteAlloc).ok());     // alloc #2
+  Status io_hit = FaultProbe(kFaultSiteIoRead);      // io #2 -> fires
+  EXPECT_TRUE(io_hit.IsIOError());
+  EXPECT_EQ(io_hit.message(), "io");
+  Status alloc_hit = FaultProbe(kFaultSiteAlloc);    // alloc #3 -> fires
+  EXPECT_TRUE(alloc_hit.IsResourceExhausted());
+  EXPECT_EQ(alloc_hit.message(), "alloc");
+}
+
+TEST(FaultInjectorMultiSiteTest, SelectiveDisarmLeavesOtherSitesArmed) {
+  FaultInjector::Global().Arm(kFaultSiteIoRead, 1, Status::IOError("a"));
+  FaultInjector::Global().Arm(kFaultSiteAlloc, 1,
+                              Status::ResourceExhausted("b"));
+  EXPECT_EQ(FaultInjector::Global().ArmedSites(), 2u);
+
+  FaultInjector::Global().Disarm(kFaultSiteIoRead);
+  EXPECT_EQ(FaultInjector::Global().ArmedSites(), 1u);
+  EXPECT_TRUE(FaultInjector::AnyArmed());
+  EXPECT_TRUE(FaultProbe(kFaultSiteIoRead).ok());
+  EXPECT_TRUE(FaultProbe(kFaultSiteAlloc).IsResourceExhausted());
+
+  // Disarming a site that is not armed is a no-op.
+  FaultInjector::Global().Disarm("never.armed");
+  EXPECT_EQ(FaultInjector::Global().ArmedSites(), 1u);
+
+  FaultInjector::Global().Disarm();
+  EXPECT_EQ(FaultInjector::Global().ArmedSites(), 0u);
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+}
+
+TEST(FaultInjectorMultiSiteTest, RearmingOneSiteKeepsTheOthersCounters) {
+  FaultInjector::Global().Arm(kFaultSiteIoRead, 100, Status::IOError("a"));
+  FaultInjector::Global().Arm(kFaultSiteAlloc, 100,
+                              Status::ResourceExhausted("b"));
+  for (int n = 0; n < 4; ++n) (void)FaultProbe(kFaultSiteIoRead);
+  for (int n = 0; n < 3; ++n) (void)FaultProbe(kFaultSiteAlloc);
+
+  // Re-arm io.read only: its counter resets, alloc's census survives.
+  FaultInjector::Global().Arm(kFaultSiteIoRead, 100, Status::IOError("c"));
+  EXPECT_EQ(FaultInjector::Global().Hits(kFaultSiteIoRead), 0u);
+  EXPECT_EQ(FaultInjector::Global().Hits(kFaultSiteAlloc), 3u);
+  FaultInjector::Global().Disarm();
+}
+
+TEST(FaultInjectorMultiSiteTest, ScopedFaultsComposeAndUnwindInOrder) {
+  {
+    ScopedFault outer(kFaultSiteIoRead, 5, Status::IOError("outer"));
+    {
+      ScopedFault inner(kFaultSiteAlloc, 5,
+                        Status::ResourceExhausted("inner"));
+      EXPECT_EQ(FaultInjector::Global().ArmedSites(), 2u);
+    }
+    // Inner scope retired only its own site.
+    EXPECT_EQ(FaultInjector::Global().ArmedSites(), 1u);
+    EXPECT_TRUE(FaultInjector::AnyArmed());
+    EXPECT_TRUE(FaultProbe(kFaultSiteAlloc).ok());
+  }
+  EXPECT_EQ(FaultInjector::Global().ArmedSites(), 0u);
+  EXPECT_FALSE(FaultInjector::AnyArmed());
+}
+
+TEST(FaultInjectorMultiSiteTest, HitsCensusCoversUnarmedSitesWhileArmed) {
+  // Probes at sites that were never armed are still counted while the
+  // injector is armed at all — the census tells a test how far an
+  // evaluation got through every probe site, not just the armed one.
+  ScopedFault fault(kFaultSiteIoRead, 100, Status::IOError("never"));
+  (void)FaultProbe("service.execute");
+  (void)FaultProbe("service.execute");
+  EXPECT_EQ(FaultInjector::Global().Hits("service.execute"), 2u);
+  EXPECT_EQ(FaultInjector::Global().Hits(kFaultSiteIoRead), 0u);
+}
+
 TEST(FaultInjectorTest, FailsNthBudgetCheckThroughExecContext) {
   // An unlimited context trips only because the fault fires on its 4th
   // budget check.

@@ -1,0 +1,361 @@
+// AdmissionController unit tests: token-bucket rate quotas under a frozen
+// clock, FIFO grant order, priority eviction under a full global queue,
+// deadline-aware fast rejection, queue-wait deadline expiry, and runtime
+// quota flips. The blocking paths are exercised with real threads but
+// deterministic rendezvous (each waiter is observed in `queued()` before
+// the next moves), so grant order is never left to scheduler luck.
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+#include "service/admission.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+
+namespace mrpa::service {
+namespace {
+
+using Clock = AdmissionController::Clock;
+
+// A manually advanced time source for the token bucket and deadline
+// feasibility checks.
+struct FakeClock {
+  Clock::time_point now = Clock::time_point(std::chrono::seconds(1000));
+  Clock::time_point operator()() const { return now; }
+  void Advance(Clock::duration d) { now += d; }
+};
+
+AdmissionController::Options WithClock(FakeClock& clock) {
+  AdmissionController::Options options;
+  options.clock = [&clock] { return clock(); };
+  return options;
+}
+
+AdmissionController::AdmitRequest For(std::string_view tenant) {
+  AdmissionController::AdmitRequest request;
+  request.tenant = tenant;
+  return request;
+}
+
+AdmissionController::AdmitRequest For(std::string_view tenant,
+                                      Clock::time_point deadline) {
+  AdmissionController::AdmitRequest request;
+  request.tenant = tenant;
+  request.deadline = deadline;
+  return request;
+}
+
+TEST(IntersectLimitsTest, TighterBoundWinsPerDimension) {
+  ExecLimits a;
+  a.max_paths = 100;
+  a.max_steps = 50;
+  a.timeout = std::chrono::milliseconds(10);
+  ExecLimits b;
+  b.max_paths = 40;
+  b.max_bytes = 1000;
+  b.timeout = std::chrono::milliseconds(20);
+
+  ExecLimits out = IntersectLimits(a, b);
+  EXPECT_EQ(out.max_paths, 40u);         // min of both.
+  EXPECT_EQ(out.max_steps, 50u);         // only a bounds it.
+  EXPECT_EQ(out.max_bytes, 1000u);       // only b bounds it.
+  EXPECT_EQ(out.timeout, std::chrono::nanoseconds(
+                             std::chrono::milliseconds(10)));
+
+  ExecLimits unlimited = IntersectLimits(ExecLimits::Unlimited(),
+                                         ExecLimits::Unlimited());
+  EXPECT_FALSE(unlimited.max_paths.has_value());
+  EXPECT_FALSE(unlimited.timeout.has_value());
+}
+
+TEST(AdmissionTest, RegistrationContract) {
+  AdmissionController admission(AdmissionController::Options{});
+  EXPECT_TRUE(admission.RegisterTenant("a", TenantQuota{}).ok());
+  EXPECT_TRUE(admission.RegisterTenant("a", TenantQuota{}).IsAlreadyExists());
+  EXPECT_TRUE(
+      admission.UpdateQuota("missing", TenantQuota{}).IsNotFound());
+  EXPECT_TRUE(admission.GetQuota("missing").status().IsNotFound());
+
+  auto ticket = admission.Admit(For("missing"));
+  EXPECT_TRUE(ticket.status().IsNotFound());
+}
+
+TEST(AdmissionTest, TokenBucketShedsAndRefills) {
+  FakeClock clock;
+  AdmissionController admission(WithClock(clock));
+  TenantQuota quota;
+  quota.qps = 2.0;
+  quota.burst = 2.0;
+  quota.max_in_flight = 16;  // Rate, not concurrency, is the limiter here.
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  // The bucket starts full: exactly `burst` admissions.
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = admission.Admit(For("t"));
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    ticket->Release();
+  }
+  auto shed = admission.Admit(For("t"));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+
+  // Half a second at 2 qps refills one token.
+  clock.Advance(std::chrono::milliseconds(500));
+  auto refilled = admission.Admit(For("t"));
+  ASSERT_TRUE(refilled.ok()) << refilled.status();
+  refilled->Release();
+  EXPECT_TRUE(admission.Admit(For("t")).status()
+                  .IsResourceExhausted());
+
+  // A long idle stretch caps at the burst size, never beyond.
+  clock.Advance(std::chrono::seconds(60));
+  for (int i = 0; i < 2; ++i) {
+    auto ticket = admission.Admit(For("t"));
+    ASSERT_TRUE(ticket.ok()) << ticket.status();
+    ticket->Release();
+  }
+  EXPECT_TRUE(admission.Admit(For("t")).status()
+                  .IsResourceExhausted());
+}
+
+TEST(AdmissionTest, ZeroQueueQuotaFailsFast) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 1;
+  AdmissionController admission(options);
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  quota.max_queued = 0;
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  auto held = admission.Admit(For("t"));
+  ASSERT_TRUE(held.ok());
+  auto shed = admission.Admit(For("t"));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+
+  held->Release();
+  auto next = admission.Admit(For("t"));
+  EXPECT_TRUE(next.ok()) << next.status();
+}
+
+TEST(AdmissionTest, InjectedAdmitFaultShedsWithoutConsumingTokens) {
+  FakeClock clock;
+  AdmissionController admission(WithClock(clock));
+  TenantQuota quota;
+  quota.qps = 1.0;
+  quota.burst = 1.0;
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  {
+    ScopedFault fault(kFaultSiteServiceAdmit, /*nth=*/1,
+                      Status::ResourceExhausted("injected shed"));
+    auto shed = admission.Admit(For("t"));
+    ASSERT_FALSE(shed.ok());
+    EXPECT_TRUE(shed.status().IsResourceExhausted());
+  }
+  // The fault fired before any quota state was touched: the single token
+  // is still there.
+  auto ticket = admission.Admit(For("t"));
+  EXPECT_TRUE(ticket.ok()) << ticket.status();
+}
+
+TEST(AdmissionTest, DeadlineBelowEstimatedCostRejectsFast) {
+  obs::ObsRegistry obs;
+  // Seed the cost estimate: mean observed latency 100ms.
+  obs.Record(obs::Hist::kServiceExecNanos,
+             std::chrono::nanoseconds(std::chrono::milliseconds(100)).count());
+
+  FakeClock clock;
+  AdmissionController::Options options = WithClock(clock);
+  options.obs = &obs;
+  AdmissionController admission(options);
+  ASSERT_TRUE(admission.RegisterTenant("t", TenantQuota{}).ok());
+  EXPECT_EQ(
+      admission.EstimatedQueryCostNanos(),
+      static_cast<uint64_t>(
+          std::chrono::nanoseconds(std::chrono::milliseconds(100)).count()));
+
+  // 1ms of remaining deadline cannot fit a 100ms query.
+  auto doomed = admission.Admit(
+      For("t", clock.now + std::chrono::milliseconds(1)));
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_TRUE(doomed.status().IsDeadlineExceeded());
+  EXPECT_EQ(obs.Value(obs::Metric::kServiceRejected), 1u);
+
+  // A roomy deadline admits normally.
+  auto fine = admission.Admit(
+      For("t", clock.now + std::chrono::seconds(1)));
+  EXPECT_TRUE(fine.ok()) << fine.status();
+  EXPECT_EQ(obs.Value(obs::Metric::kServiceAdmitted), 1u);
+}
+
+TEST(AdmissionTest, DeadlinePassingWhileQueuedRejects) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 1;
+  AdmissionController admission(options);
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  auto held = admission.Admit(For("t"));
+  ASSERT_TRUE(held.ok());
+
+  const auto start = Clock::now();
+  auto timed_out = admission.Admit(
+      For("t", start + std::chrono::milliseconds(50)));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsDeadlineExceeded());
+  EXPECT_GE(Clock::now() - start, std::chrono::milliseconds(50));
+  EXPECT_EQ(admission.queued(), 0u);  // The expired waiter left the queue.
+}
+
+TEST(AdmissionTest, QueuedWaitersGrantInFifoOrder) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 1;
+  AdmissionController admission(options);
+  TenantQuota quota;
+  quota.max_in_flight = 8;
+  quota.max_queued = 8;
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  auto held = admission.Admit(For("t"));
+  ASSERT_TRUE(held.ok());
+
+  std::mutex order_mu;
+  std::vector<int> grant_order;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 4; ++i) {
+    waiters.emplace_back([&admission, &order_mu, &grant_order, i] {
+      auto ticket = admission.Admit(For("t"));
+      ASSERT_TRUE(ticket.ok()) << ticket.status();
+      {
+        std::lock_guard<std::mutex> lock(order_mu);
+        grant_order.push_back(i);
+      }
+      // Holding the single slot serializes the grants, so order is exact.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    });
+    // Rendezvous: waiter i is queued before waiter i+1 starts, pinning the
+    // FIFO arrival order.
+    while (admission.queued() < static_cast<size_t>(i + 1)) {
+      std::this_thread::yield();
+    }
+  }
+
+  held->Release();
+  for (std::thread& waiter : waiters) waiter.join();
+  EXPECT_EQ(grant_order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(AdmissionTest, GlobalQueueOverflowEvictsLowestPriority) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 1;
+  options.global_max_queued = 1;
+  AdmissionController admission(options);
+  TenantQuota low;
+  low.priority = 0;
+  TenantQuota high;
+  high.priority = 5;
+  ASSERT_TRUE(admission.RegisterTenant("low", low).ok());
+  ASSERT_TRUE(admission.RegisterTenant("high", high).ok());
+
+  auto held = admission.Admit(For("high"));
+  ASSERT_TRUE(held.ok());
+
+  // A low-priority waiter fills the (size-1) global queue...
+  Status low_status;
+  std::thread low_waiter([&admission, &low_status] {
+    auto ticket = admission.Admit(For("low"));
+    low_status = ticket.ok() ? Status::OK() : ticket.status();
+  });
+  while (admission.queued() < 1) std::this_thread::yield();
+
+  // ...and a high-priority arrival evicts it rather than shedding itself.
+  std::thread high_waiter([&admission] {
+    auto ticket = admission.Admit(For("high"));
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+  });
+  low_waiter.join();
+  EXPECT_TRUE(low_status.IsResourceExhausted()) << low_status;
+
+  held->Release();
+  high_waiter.join();
+
+  // The mirror case: with the queue full of equal-or-higher priority, a
+  // low-priority newcomer is the one shed.
+  auto held2 = admission.Admit(For("high"));
+  ASSERT_TRUE(held2.ok());
+  std::thread high_queued([&admission] {
+    auto ticket = admission.Admit(For("high"));
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+  });
+  while (admission.queued() < 1) std::this_thread::yield();
+  auto shed = admission.Admit(For("low"));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted());
+  held2->Release();
+  high_queued.join();
+}
+
+TEST(AdmissionTest, RaisingQuotaAtRuntimeFreesQueuedWork) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 8;
+  AdmissionController admission(options);
+  TenantQuota quota;
+  quota.max_in_flight = 1;
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  auto held = admission.Admit(For("t"));
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<bool> granted{false};
+  AdmissionController::Ticket parked;  // Keeps the waiter's slot held.
+  std::thread waiter([&admission, &granted, &parked] {
+    auto ticket = admission.Admit(For("t"));
+    EXPECT_TRUE(ticket.ok()) << ticket.status();
+    if (ticket.ok()) parked = std::move(*ticket);
+    granted.store(true);
+  });
+  while (admission.queued() < 1) std::this_thread::yield();
+  EXPECT_FALSE(granted.load());
+
+  // Doubling the in-flight cap grants the waiter without any release.
+  TenantQuota raised = quota;
+  raised.max_in_flight = 2;
+  ASSERT_TRUE(admission.UpdateQuota("t", raised).ok());
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+  EXPECT_EQ(admission.in_flight(), 2u);
+  parked.Release();
+  EXPECT_EQ(admission.in_flight(), 1u);
+}
+
+TEST(AdmissionTest, TicketReleaseFreesBothTenantAndGlobalSlots) {
+  AdmissionController::Options options;
+  options.global_max_in_flight = 2;
+  AdmissionController admission(options);
+  TenantQuota quota;
+  quota.max_in_flight = 2;
+  ASSERT_TRUE(admission.RegisterTenant("t", quota).ok());
+
+  {
+    auto a = admission.Admit(For("t"));
+    auto b = admission.Admit(For("t"));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(admission.in_flight(), 2u);
+    // Moved tickets release exactly once.
+    AdmissionController::Ticket moved = std::move(*a);
+  }
+  EXPECT_EQ(admission.in_flight(), 0u);
+}
+
+}  // namespace
+}  // namespace mrpa::service

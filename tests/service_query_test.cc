@@ -1,0 +1,303 @@
+// QueryService contract tests: the uniform degraded-response shape (sheds,
+// cancellation, budget trips all come back OK + truncated), quota ceilings
+// clamping request limits, retry of injected transient execution faults,
+// snapshot-version pinning across hot swaps, and the differential identity
+// — a served query's output is byte-identical to a direct governed run
+// with the same effective limits against the same image version.
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/path_set.h"
+#include "core/traversal.h"
+#include "engine/chain_planner.h"
+#include "generators/generators.h"
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+#include "service/query_service.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mrpa::service {
+namespace {
+
+using storage::SnapshotReader;
+using storage::SnapshotUniverse;
+using storage::SnapshotWriter;
+
+MultiRelationalGraph MakeGraph(size_t num_edges, uint64_t seed) {
+  ErdosRenyiParams params;
+  params.num_vertices = 20;
+  params.num_labels = 3;
+  params.num_edges = num_edges;
+  params.seed = seed;
+  return GenerateErdosRenyi(params).value();
+}
+
+// Serialization is byte-deterministic, so loading the same graph twice
+// yields two independent universes with identical governed output — one for
+// the service, one for the differential oracle.
+SnapshotUniverse Load(const MultiRelationalGraph& graph) {
+  auto bytes = SnapshotWriter().Serialize(graph);
+  EXPECT_TRUE(bytes.ok()) << bytes.status();
+  auto universe = SnapshotReader().FromBuffer(std::move(*bytes));
+  EXPECT_TRUE(universe.ok()) << universe.status();
+  return std::move(*universe);
+}
+
+std::vector<EdgePattern> TwoHops() {
+  return {EdgePattern::Any(), EdgePattern::Any()};
+}
+
+class QueryServiceTest : public ::testing::Test {
+ protected:
+  QueryServiceTest()
+      : graph_(MakeGraph(80, 11)),
+        oracle_(Load(graph_)),
+        service_(registry_, MakeOptions()) {}
+
+  QueryService::Options MakeOptions() {
+    QueryService::Options options;
+    options.obs = &obs_;
+    options.retry.initial_backoff = std::chrono::microseconds(100);
+    options.retry.max_backoff = std::chrono::milliseconds(1);
+    return options;
+  }
+
+  void Publish() { ASSERT_TRUE(registry_.HotSwap(Load(graph_)).ok()); }
+
+  GovernedPathSet DirectRun(const std::vector<EdgePattern>& steps,
+                            const ExecLimits& limits) {
+    ExecContext ctx(limits);
+    TraversalSpec spec;
+    spec.steps = steps;
+    auto run = TraverseGoverned(oracle_, spec, ctx);
+    EXPECT_TRUE(run.ok()) << run.status();
+    return std::move(*run);
+  }
+
+  obs::ObsRegistry obs_;
+  MultiRelationalGraph graph_;
+  SnapshotUniverse oracle_;
+  SnapshotRegistry registry_;
+  QueryService service_;
+};
+
+TEST_F(QueryServiceTest, NoPublishedSnapshotIsAnError) {
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+  QueryRequest request;
+  request.steps = TwoHops();
+  auto response = service_.Execute("t", request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsNotFound());
+}
+
+TEST_F(QueryServiceTest, UnknownTenantIsAnError) {
+  Publish();
+  QueryRequest request;
+  request.steps = TwoHops();
+  EXPECT_TRUE(service_.Execute("ghost", request).status().IsNotFound());
+}
+
+TEST_F(QueryServiceTest, CompleteQueryMatchesDirectGovernedRun) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+  QueryRequest request;
+  request.steps = TwoHops();
+
+  auto response = service_.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_FALSE(response->result.truncated);
+  EXPECT_TRUE(response->result.limit.ok());
+  EXPECT_EQ(response->snapshot_version, 1u);
+  EXPECT_EQ(response->attempts, 1u);
+
+  GovernedPathSet direct = DirectRun(request.steps, ExecLimits::Unlimited());
+  EXPECT_EQ(response->result.paths, direct.paths);
+  EXPECT_EQ(obs_.Value(obs::Metric::kServiceQueriesExecuted), 1u);
+  EXPECT_EQ(obs_.Value(obs::Metric::kServiceAdmitted), 1u);
+}
+
+TEST_F(QueryServiceTest, QuotaCeilingsClampRequestLimits) {
+  Publish();
+  TenantQuota quota;
+  quota.query_limits.max_paths = 3;
+  ASSERT_TRUE(service_.RegisterTenant("t", quota).ok());
+
+  QueryRequest request;
+  request.steps = TwoHops();
+  request.limits.max_paths = 1000;  // The quota's 3 wins.
+
+  auto effective = service_.EffectiveLimits("t", request);
+  ASSERT_TRUE(effective.ok());
+  EXPECT_EQ(effective->max_paths, 3u);
+
+  auto response = service_.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->result.truncated);
+  EXPECT_TRUE(response->result.limit.IsResourceExhausted());
+  EXPECT_EQ(response->result.paths.size(), 3u);
+  EXPECT_EQ(response->attempts, 1u);  // Budget trips never retry.
+
+  // Byte-identical to the direct governed run under the effective limits.
+  GovernedPathSet direct = DirectRun(request.steps, *effective);
+  EXPECT_EQ(response->result.paths, direct.paths);
+  EXPECT_EQ(response->result.limit, direct.limit);
+}
+
+TEST_F(QueryServiceTest, ParallelEvaluationMatchesSequentialOracle) {
+  ThreadPool pool(4);
+  QueryService::Options options = MakeOptions();
+  options.pool = &pool;
+  QueryService service(registry_, options);
+  Publish();
+  TenantQuota quota;
+  quota.query_limits.max_steps = 40;
+  ASSERT_TRUE(service.RegisterTenant("t", quota).ok());
+
+  QueryRequest request;
+  request.steps = TwoHops();
+  auto response = service.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+
+  GovernedPathSet direct =
+      DirectRun(request.steps, service.EffectiveLimits("t", request).value());
+  EXPECT_EQ(response->result.paths, direct.paths);
+  EXPECT_EQ(response->result.truncated, direct.truncated);
+  EXPECT_EQ(response->result.limit, direct.limit);
+}
+
+TEST_F(QueryServiceTest, ChainKindsAgreeWithTheTraversalFold) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+
+  QueryRequest request;
+  request.steps = {EdgePattern::Any(), EdgePattern::Into(3)};
+
+  request.kind = QueryKind::kTraversal;
+  auto traversal = service_.Execute("t", request);
+  ASSERT_TRUE(traversal.ok()) << traversal.status();
+
+  request.kind = QueryKind::kChainForward;
+  auto forward = service_.Execute("t", request);
+  ASSERT_TRUE(forward.ok()) << forward.status();
+
+  request.kind = QueryKind::kChainBackward;
+  auto backward = service_.Execute("t", request);
+  ASSERT_TRUE(backward.ok()) << backward.status();
+
+  // ⋈◦ associativity: both chain directions denote the same set.
+  EXPECT_EQ(forward->result.paths, traversal->result.paths);
+  EXPECT_EQ(backward->result.paths, traversal->result.paths);
+}
+
+TEST_F(QueryServiceTest, TransientExecuteFaultIsRetriedToSuccess) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+
+  ScopedFault fault(kFaultSiteServiceExecute, /*nth=*/1,
+                    Status::IOError("transient flake"));
+  QueryRequest request;
+  request.steps = TwoHops();
+  auto response = service_.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->attempts, 2u);
+  EXPECT_FALSE(response->result.truncated);
+  EXPECT_EQ(obs_.Value(obs::Metric::kServiceRetries), 1u);
+}
+
+TEST_F(QueryServiceTest, ExhaustedRetryBudgetSurfacesTheFault) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+
+  QueryService::Options options = MakeOptions();
+  options.retry.max_attempts = 1;  // No second chance.
+  QueryService service(registry_, options);
+  ASSERT_TRUE(service.RegisterTenant("u", TenantQuota{}).ok());
+
+  ScopedFault fault(kFaultSiteServiceExecute, /*nth=*/1,
+                    Status::IOError("still down"));
+  QueryRequest request;
+  request.steps = TwoHops();
+  auto response = service.Execute("u", request);
+  ASSERT_FALSE(response.ok());
+  EXPECT_TRUE(response.status().IsIOError());
+}
+
+TEST_F(QueryServiceTest, ShedDegradesIntoTruncatedEmptyResult) {
+  Publish();
+  TenantQuota starved;
+  starved.max_in_flight = 0;  // Never grants...
+  starved.max_queued = 0;     // ...and never queues: every admit sheds.
+  ASSERT_TRUE(service_.RegisterTenant("t", starved).ok());
+
+  QueryRequest request;
+  request.steps = TwoHops();
+  auto response = service_.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->result.truncated);
+  EXPECT_TRUE(response->result.limit.IsResourceExhausted());
+  EXPECT_EQ(response->result.paths.size(), 0u);
+  EXPECT_EQ(response->snapshot_version, 0u);  // Never reached a snapshot.
+  EXPECT_EQ(response->attempts, 3u);          // The full retry budget.
+  EXPECT_GE(obs_.Value(obs::Metric::kServiceShed), 3u);
+}
+
+TEST_F(QueryServiceTest, CancelledQueryDegradesWithItsPartialResult) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+
+  QueryRequest request;
+  request.steps = TwoHops();
+  request.token.RequestCancel();  // Cancelled before it starts.
+  auto response = service_.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->result.truncated);
+  EXPECT_TRUE(response->result.limit.IsCancelled());
+  EXPECT_EQ(response->attempts, 1u);  // Cancellation never retries.
+}
+
+TEST_F(QueryServiceTest, SnapshotVersionTracksHotSwaps) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+  QueryRequest request;
+  request.steps = TwoHops();
+
+  auto before = service_.Execute("t", request);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->snapshot_version, 1u);
+
+  ASSERT_TRUE(registry_.HotSwap(Load(MakeGraph(60, 12))).ok());
+  auto after = service_.Execute("t", request);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->snapshot_version, 2u);
+  EXPECT_EQ(registry_.retired_count(), 0u);  // v1 reclaimed at quiescence.
+}
+
+TEST_F(QueryServiceTest, InfeasibleDeadlineDegradesBeforeExecuting) {
+  Publish();
+  ASSERT_TRUE(service_.RegisterTenant("t", TenantQuota{}).ok());
+  // Seed the cost estimate high so admission's feasibility check trips.
+  obs_.Record(obs::Hist::kServiceExecNanos,
+              std::chrono::nanoseconds(std::chrono::seconds(10)).count());
+
+  QueryRequest request;
+  request.steps = TwoHops();
+  request.deadline = std::chrono::milliseconds(1);
+  auto response = service_.Execute("t", request);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->result.truncated);
+  EXPECT_TRUE(response->result.limit.IsDeadlineExceeded());
+  EXPECT_EQ(obs_.Value(obs::Metric::kServiceQueriesExecuted), 0u);
+}
+
+}  // namespace
+}  // namespace mrpa::service

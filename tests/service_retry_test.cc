@@ -1,0 +1,115 @@
+// RetryPolicy unit tests: the deterministic backoff sequence (same seed →
+// same delays), exponential growth and max_backoff clamping, the jitter
+// window, and the retryable/terminal status classification that keeps
+// budget trips out of the retry loop.
+
+#include <chrono>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "service/retry.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mrpa::service {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::nanoseconds;
+
+TEST(RetryPolicyTest, ClassificationSplitsBySite) {
+  // Execution: only transient I/O failures retry. A kResourceExhausted
+  // from an evaluation is a budget trip — the truncated result is the
+  // answer, never a retry.
+  EXPECT_TRUE(RetryPolicy::IsRetryableExecution(Status::IOError("flake")));
+  EXPECT_FALSE(RetryPolicy::IsRetryableExecution(
+      Status::ResourceExhausted("path budget")));
+  EXPECT_FALSE(RetryPolicy::IsRetryableExecution(
+      Status::DeadlineExceeded("too slow")));
+  EXPECT_FALSE(RetryPolicy::IsRetryableExecution(Status::Cancelled("stop")));
+  EXPECT_FALSE(
+      RetryPolicy::IsRetryableExecution(Status::InvalidArgument("bad")));
+  EXPECT_FALSE(RetryPolicy::IsRetryableExecution(Status::OK()));
+
+  // Admission: sheds clear as capacity frees; terminal rejections do not.
+  EXPECT_TRUE(RetryPolicy::IsRetryableAdmission(
+      Status::ResourceExhausted("shed: queue full")));
+  EXPECT_FALSE(RetryPolicy::IsRetryableAdmission(
+      Status::DeadlineExceeded("cannot fit")));
+  EXPECT_FALSE(RetryPolicy::IsRetryableAdmission(Status::NotFound("tenant")));
+}
+
+TEST(RetryPolicyTest, NoJitterGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(1);
+  policy.multiplier = 2.0;
+  policy.max_backoff = milliseconds(6);
+  policy.jitter = 0;
+
+  Rng rng(1);
+  EXPECT_EQ(policy.BackoffFor(1, rng), nanoseconds(milliseconds(1)));
+  EXPECT_EQ(policy.BackoffFor(2, rng), nanoseconds(milliseconds(2)));
+  EXPECT_EQ(policy.BackoffFor(3, rng), nanoseconds(milliseconds(4)));
+  EXPECT_EQ(policy.BackoffFor(4, rng), nanoseconds(milliseconds(6)));  // Clamp.
+  EXPECT_EQ(policy.BackoffFor(5, rng), nanoseconds(milliseconds(6)));
+  // Attempt counts far past saturation must not overflow.
+  EXPECT_EQ(policy.BackoffFor(1000, rng), nanoseconds(milliseconds(6)));
+  EXPECT_EQ(policy.BackoffFor(0, rng), nanoseconds(milliseconds(1)));
+}
+
+TEST(RetryPolicyTest, SameSeedSameSequence) {
+  RetryPolicy policy;  // Defaults include 0.5 jitter.
+  Rng a(42);
+  Rng b(42);
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    EXPECT_EQ(policy.BackoffFor(attempt, a), policy.BackoffFor(attempt, b))
+        << "attempt " << attempt;
+  }
+  // A different seed diverges somewhere in the window.
+  Rng c(43);
+  bool diverged = false;
+  Rng a2(42);
+  for (size_t attempt = 1; attempt <= 8; ++attempt) {
+    if (policy.BackoffFor(attempt, a2) != policy.BackoffFor(attempt, c)) {
+      diverged = true;
+    }
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(RetryPolicyTest, JitterStaysInsideItsWindow) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(10);
+  policy.multiplier = 1.0;  // Isolate the jitter term.
+  policy.max_backoff = milliseconds(100);
+  policy.jitter = 0.5;
+
+  Rng rng(7);
+  const auto base = nanoseconds(milliseconds(10));
+  for (int i = 0; i < 200; ++i) {
+    const nanoseconds delay = policy.BackoffFor(1, rng);
+    // jitter=0.5 → uniform in [0.75 * base, 1.25 * base).
+    EXPECT_GE(delay, nanoseconds(base.count() * 3 / 4));
+    EXPECT_LE(delay, nanoseconds(base.count() * 5 / 4));
+  }
+}
+
+TEST(RetryPolicyTest, JitterNeverEscapesMaxBackoff) {
+  RetryPolicy policy;
+  policy.initial_backoff = milliseconds(40);
+  policy.multiplier = 2.0;
+  policy.max_backoff = milliseconds(50);
+  policy.jitter = 1.0;  // Widest window: [0.5x, 1.5x).
+
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    for (size_t attempt = 1; attempt <= 4; ++attempt) {
+      const nanoseconds delay = policy.BackoffFor(attempt, rng);
+      EXPECT_GE(delay, nanoseconds(0));
+      EXPECT_LE(delay, nanoseconds(milliseconds(50)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mrpa::service

@@ -260,6 +260,62 @@ TEST(SnapshotTest, MissingFileIsIOError) {
             StatusCode::kIOError);
 }
 
+// --- mmap failure paths (PR 6) -----------------------------------------
+// The zero-copy load path must fail closed for every way the file itself
+// can be wrong: a path that cannot be mapped, a zero-length file, and a
+// file shrunk after it was written. Each returns a Status (kIOError for
+// the OS refusing us, kCorruption for a mapping that validates short) —
+// never a crash or a half-built universe. Run under ASan via the
+// `storage` label to prove fail-closed means no out-of-bounds reads.
+
+TEST(SnapshotTest, MappingADirectoryIsIOError) {
+  // open(2) accepts a directory read-only, so the failure surfaces at
+  // mmap(2) itself (ENODEV) — the error path after a successful open.
+  const std::string dir = std::filesystem::temp_directory_path().string();
+  auto mapped = SnapshotReader().MapFile(dir);
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kIOError);
+}
+
+TEST(SnapshotTest, ZeroLengthFileFailsClosed) {
+  TempFile file("empty");
+  { std::fclose(std::fopen(file.path().c_str(), "wb")); }
+
+  // mmap of an empty file yields an empty byte view (mapping zero bytes is
+  // not attempted); validation must reject it as smaller than the header.
+  auto mapped = SnapshotReader().MapFile(file.path());
+  ASSERT_FALSE(mapped.ok());
+  EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption);
+
+  auto owned = SnapshotReader().ReadFile(file.path());
+  ASSERT_FALSE(owned.ok());
+  EXPECT_EQ(owned.status().code(), StatusCode::kCorruption);
+}
+
+TEST(SnapshotTest, FileShrunkAfterWriteFailsClosed) {
+  MultiRelationalGraph g = RandomGraph(17);
+  TempFile file("shrunk");
+  ASSERT_TRUE(SnapshotWriter().WriteFile(g, file.path()).ok());
+  const auto full = std::filesystem::file_size(file.path());
+
+  // Shrink to several interesting lengths: mid-payload, just past the
+  // header, and a single byte. The mapped view is genuinely shorter than
+  // the directory claims, so validation's bounds checks are load-bearing.
+  for (const uintmax_t keep :
+       {full / 2, full / 4, uintmax_t{128}, uintmax_t{1}}) {
+    ASSERT_LT(keep, full);
+    std::filesystem::resize_file(file.path(), keep);
+    auto mapped = SnapshotReader().MapFile(file.path());
+    ASSERT_FALSE(mapped.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(mapped.status().code(), StatusCode::kCorruption)
+        << mapped.status() << " at " << keep << " bytes";
+    auto owned = SnapshotReader().ReadFile(file.path());
+    ASSERT_FALSE(owned.ok()) << "kept " << keep << " bytes";
+    EXPECT_EQ(owned.status().code(), StatusCode::kCorruption)
+        << owned.status() << " at " << keep << " bytes";
+  }
+}
+
 TEST(SnapshotTest, MaxFileBytesIsEnforced) {
   MultiRelationalGraph g = NamedGraph();
   auto bytes = SnapshotWriter().Serialize(g);

@@ -1,12 +1,16 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/exec_context.h"
 
 namespace mrpa {
 namespace {
@@ -115,6 +119,72 @@ TEST(ThreadPoolTest, SubmitWithManualJoin) {
   std::unique_lock<std::mutex> lock(mu);
   cv.wait(lock, [&] { return done == kTasks; });
   EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPoolTest, ShutdownEnteredWithADeepBacklogStillDrainsIt) {
+  // The destructor's contract is "drain every queued task, then join". Park
+  // both workers on gate tasks so a deep backlog piles up behind them, then
+  // start destruction while the gate is still closed: a releaser thread
+  // opens it mid-shutdown, and every one of the queued tasks must still run
+  // before the join completes.
+  std::atomic<bool> release{false};
+  std::atomic<int> count{0};
+  constexpr int kBacklog = 300;
+  std::thread releaser;
+  {
+    ThreadPool pool(2);
+    for (size_t t = 0; t < pool.num_threads(); ++t) {
+      pool.Submit([&] {
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    for (int i = 0; i < kBacklog; ++i) {
+      pool.Submit([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    }
+    releaser = std::thread([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      release.store(true, std::memory_order_release);
+    });
+    // ~ThreadPool runs here with the workers gated and the backlog queued.
+  }
+  releaser.join();
+  EXPECT_EQ(count.load(), kBacklog + 2);
+}
+
+TEST(ThreadPoolTest, CancellationWhileStealingNeverDropsAnIndex) {
+  // Governed bodies observe a CancelToken and bail early; the pool itself
+  // must keep invoking every index exactly once regardless — cancellation
+  // shortens bodies, it never unschedules tasks (the ParallelFor join
+  // would otherwise hang on its remaining-count).
+  ThreadPool pool(4);
+  constexpr size_t kN = 1024;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<size_t> ordinal{0};
+  std::atomic<size_t> after_cancel{0};
+  CancelToken token;
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+    const size_t ord = ordinal.fetch_add(1, std::memory_order_relaxed);
+    if (ord == kN / 2) token.RequestCancel();
+    if (ord > kN / 2) {
+      after_cancel.fetch_add(1, std::memory_order_relaxed);
+      if (token.CancelRequested()) return;  // the governed early-exit path
+    }
+    // Uneven bodies keep the stealing path busy while the cancel lands.
+    volatile uint64_t sink = 0;
+    for (uint64_t k = 0; k < (i % 7) * 100; ++k) sink += k;
+  });
+  EXPECT_TRUE(token.CancelRequested());
+  EXPECT_EQ(ordinal.load(), kN);
+  // Ordinals kN/2+1 .. kN-1 ran after the cancel was requested: the pool
+  // invoked them anyway, exactly once each.
+  EXPECT_EQ(after_cancel.load(), kN / 2 - 1);
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 TEST(ThreadPoolTest, SharedPoolIsASingleton) {
