@@ -1,0 +1,139 @@
+// Experiment E21: the query compiler. What does the pass pipeline cost at
+// compile time, and what does it buy at run time? Three workload shapes on
+// deterministic ER graphs:
+//
+//   * `redundant` — a union of chains sharing a common prefix plus a
+//     provably dead branch: simplify, dead-branch elimination, and
+//     common-prefix factoring all fire. Optimized evaluation skips the
+//     dead work and evaluates the shared prefix once.
+//   * `chain` — a pure label chain: the optimizer is a no-op on the tree,
+//     but emission picks the traversal direction (cost model or seed
+//     heuristic), so optimized-vs-not isolates the EMISSION win.
+//   * compile-time benchmarks on both, optimize on and off, to price the
+//     pipeline itself (it must stay trivially cheap next to evaluation).
+//
+// Expected shape: compile cost is microseconds and flat; run speedup on
+// `redundant` tracks the share of dead + duplicated work; `chain` shows
+// direction sensitivity on skewed graphs.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "compiler/compiler.h"
+
+namespace mrpa {
+namespace {
+
+using mrpa::bench::MakeErGraph;
+using mrpa::bench::TraceRegistry;
+
+// (A ⋈ X) ∪ (A ⋈ Y) ∪ (dead ⋈ anything): prefix-factorable, one dead arm.
+PathExprPtr RedundantWorkload(uint32_t num_vertices) {
+  const PathExprPtr shared = PathExpr::Labeled(0);
+  const PathExprPtr left = shared + PathExpr::Labeled(1);
+  const PathExprPtr right = shared + PathExpr::Labeled(2);
+  // A source vertex beyond the graph: the dead-branch pass proves this arm
+  // empty against the universe; without it the evaluator scans for it.
+  const PathExprPtr dead =
+      PathExpr::From(num_vertices + 1) + PathExpr::AnyEdge();
+  return (left | right) | dead;
+}
+
+PathExprPtr ChainWorkload() {
+  return PathExpr::Labeled(0) + PathExpr::Labeled(1) + PathExpr::Labeled(2);
+}
+
+void BM_Compile(benchmark::State& state) {
+  auto g = MakeErGraph(4000, 4, 2.0);
+  const bool optimize = state.range(0) != 0;
+  const PathExprPtr expr = RedundantWorkload(4000);
+  CompileOptions options;
+  options.optimize = optimize;
+  options.registry = TraceRegistry();
+  for (auto _ : state) {
+    auto query = CompileQuery(expr, g, options);
+    benchmark::DoNotOptimize(query);
+  }
+  state.SetLabel(optimize ? "optimized" : "unoptimized");
+}
+BENCHMARK(BM_Compile)->Arg(0)->Arg(1);
+
+void BM_CompileChain(benchmark::State& state) {
+  auto g = MakeErGraph(4000, 4, 2.0);
+  const bool optimize = state.range(0) != 0;
+  const PathExprPtr expr = ChainWorkload();
+  CompileOptions options;
+  options.optimize = optimize;
+  options.registry = TraceRegistry();
+  for (auto _ : state) {
+    auto query = CompileQuery(expr, g, options);
+    benchmark::DoNotOptimize(query);
+  }
+  state.SetLabel(optimize ? "optimized" : "unoptimized");
+}
+BENCHMARK(BM_CompileChain)->Arg(0)->Arg(1);
+
+void BM_RunRedundant(benchmark::State& state) {
+  const uint32_t num_vertices = static_cast<uint32_t>(state.range(0));
+  auto g = MakeErGraph(num_vertices, 4, 2.0);
+  const bool optimize = state.range(1) != 0;
+  CompileOptions options;
+  options.optimize = optimize;
+  options.registry = TraceRegistry();
+  auto query = CompileQuery(RedundantWorkload(num_vertices), g, options);
+  size_t paths = 0;
+  for (auto _ : state) {
+    ExecContext ctx(ExecLimits::Unlimited());
+    auto result = query->Run(ctx);
+    paths = result->paths.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(optimize ? "optimized" : "unoptimized");
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_RunRedundant)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
+
+void BM_RunChain(benchmark::State& state) {
+  const uint32_t num_vertices = static_cast<uint32_t>(state.range(0));
+  auto g = MakeErGraph(num_vertices, 4, 2.0);
+  const bool optimize = state.range(1) != 0;
+  CompileOptions options;
+  options.optimize = optimize;
+  options.registry = TraceRegistry();
+  auto query = CompileQuery(ChainWorkload(), g, options);
+  size_t paths = 0;
+  for (auto _ : state) {
+    ExecContext ctx(ExecLimits::Unlimited());
+    auto result = query->Run(ctx);
+    paths = result->paths.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetLabel(optimize ? "optimized" : "unoptimized");
+  state.counters["paths"] = benchmark::Counter(static_cast<double>(paths));
+}
+BENCHMARK(BM_RunChain)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({4000, 0})
+    ->Args({4000, 1});
+
+// ExplainPlan rendering: documentation claims it is cheap enough to log on
+// every admission-controlled request.
+void BM_ExplainPlan(benchmark::State& state) {
+  auto g = MakeErGraph(4000, 4, 2.0);
+  auto query = CompileQuery(RedundantWorkload(4000), g, {});
+  for (auto _ : state) {
+    std::string plan = query->ExplainPlan();
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_ExplainPlan);
+
+}  // namespace
+}  // namespace mrpa
+
+MRPA_BENCH_MAIN();

@@ -5,7 +5,9 @@
 # E15 (governance guard overhead), E16 (parallel fold speedup), E17 (path
 # arena vs materialized fold), E19 (snapshot storage: cold load vs TSV
 # parse, traversal over mmap vs in-memory), E20 (serving substrate:
-# open-loop latency-vs-offered-QPS with and without admission control) —
+# open-loop latency-vs-offered-QPS with and without admission control),
+# E21 (query compiler: pass-pipeline compile cost and optimized-vs-not
+# run time on redundant and chain workloads) —
 # writing one machine-readable BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
 # bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
@@ -30,7 +32,7 @@ MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target bench_guard_overhead bench_parallel_traversal bench_path_arena \
-           bench_snapshot bench_service
+           bench_snapshot bench_service bench_compiler
 
 mkdir -p "${OUT_DIR}"
 
@@ -53,5 +55,6 @@ run_bench 16 bench_parallel_traversal
 run_bench 17 bench_path_arena
 run_bench 19 bench_snapshot
 run_bench 20 bench_service
+run_bench 21 bench_compiler
 
 echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"

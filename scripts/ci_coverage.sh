@@ -3,20 +3,22 @@
 #
 # Builds the tree with -DMRPA_COVERAGE=ON (gcc --coverage, -O0), runs the
 # full ctest matrix, then reduces the per-object gcov JSON into a line
-# coverage report over src/. Three hard gates, all at 80% of executable
+# coverage report over src/. Four hard gates, all at 80% of executable
 # lines by default: src/obs/ (the observability layer is the instrument
 # everything else is measured with — an unexercised hook is
 # indistinguishable from a broken one), src/storage/ (the snapshot
 # validators are the untrusted-input surface — an unexercised check is a
-# hole in the fail-closed story), and src/service/ (the serving substrate
+# hole in the fail-closed story), src/service/ (the serving substrate
 # is the resilience layer — an unexercised shed, retry, or reclamation
 # branch is exactly the code that will run for the first time during an
-# outage).
+# outage), and src/compiler/ (every optimizer pass claims semantic
+# equivalence — an unexercised rewrite branch is an unproven one).
 #
 # Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
-# Env:   MRPA_COVERAGE_THRESHOLD_OBS     — override the src/obs gate (default 80).
-#        MRPA_COVERAGE_THRESHOLD_STORAGE — override the src/storage gate (default 80).
-#        MRPA_COVERAGE_THRESHOLD_SERVICE — override the src/service gate (default 80).
+# Env:   MRPA_COVERAGE_THRESHOLD_OBS      — override the src/obs gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_STORAGE  — override the src/storage gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_SERVICE  — override the src/service gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_COMPILER — override the src/compiler gate (default 80).
 
 set -euo pipefail
 
@@ -26,6 +28,7 @@ BUILD_DIR="${1:-build-coverage}"
 THRESHOLD="${MRPA_COVERAGE_THRESHOLD_OBS:-80}"
 THRESHOLD_STORAGE="${MRPA_COVERAGE_THRESHOLD_STORAGE:-80}"
 THRESHOLD_SERVICE="${MRPA_COVERAGE_THRESHOLD_SERVICE:-80}"
+THRESHOLD_COMPILER="${MRPA_COVERAGE_THRESHOLD_COMPILER:-80}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -45,7 +48,7 @@ if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
   exit 1
 fi
 
-python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" <<'PY'
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" <<'PY'
 import collections
 import json
 import os
@@ -55,6 +58,7 @@ import sys
 gcda_list, threshold = sys.argv[1], float(sys.argv[2])
 threshold_storage = float(sys.argv[3])
 threshold_service = float(sys.argv[4])
+threshold_compiler = float(sys.argv[5])
 repo = os.getcwd()
 src_root = os.path.join(repo, "src")
 
@@ -107,6 +111,7 @@ print()
 obs_covered = obs_total = 0
 storage_covered = storage_total = 0
 service_covered = service_total = 0
+compiler_covered = compiler_total = 0
 all_covered = all_total = 0
 for d in sorted(by_dir):
     covered, total = by_dir[d]
@@ -121,6 +126,9 @@ for d in sorted(by_dir):
     if d.startswith(os.path.join("src", "service")):
         service_covered += covered
         service_total += total
+    if d.startswith(os.path.join("src", "compiler")):
+        compiler_covered += covered
+        compiler_total += total
     print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
 print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
       f"{100.0 * all_covered / all_total:6.1f}%")
@@ -150,6 +158,16 @@ print(f"src/service line coverage: {service_pct:.1f}% "
 if service_pct < threshold_service:
     failures.append(
         f"src/service coverage {service_pct:.1f}% < {threshold_service:.0f}%")
+
+if compiler_total == 0:
+    sys.exit("error: no coverage data for src/compiler/")
+compiler_pct = 100.0 * compiler_covered / compiler_total
+print(f"src/compiler line coverage: {compiler_pct:.1f}% "
+      f"(gate: {threshold_compiler:.0f}%)")
+if compiler_pct < threshold_compiler:
+    failures.append(
+        f"src/compiler coverage {compiler_pct:.1f}% < "
+        f"{threshold_compiler:.0f}%")
 
 if failures:
     sys.exit("FAIL: " + "; ".join(failures))

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Nightly fuzz job for the query compiler's differential harness.
+#
+# tests/compiler_pipeline_test.cc runs every optimizer pass — in isolation
+# and in randomized pipeline orders — against the unoptimized evaluator on
+# random graphs under every budget/fault regime, and demands byte-identical
+# governed output. In the tier1 matrix the harness runs MRPA_FUZZ_ITERS=10
+# trials per (seed, regime, subject) so it finishes in milliseconds; this
+# job turns the same binary into a fuzzer by raising the iteration count
+# under an ASan build. Any counterexample is auto-shrunk by the harness
+# before it is reported, so a nightly failure arrives minimized.
+#
+# Usage: scripts/ci_fuzz.sh [build-dir]   (default: build-fuzz)
+# Env:   MRPA_FUZZ_ITERS — trials per (seed, regime, subject); default 200
+#        here (~20x the unit-test depth).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-fuzz}"
+ITERS="${MRPA_FUZZ_ITERS:-200}"
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DMRPA_SANITIZE=address
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+
+echo "=== compiler differential fuzz: MRPA_FUZZ_ITERS=${ITERS} ==="
+MRPA_FUZZ_ITERS="${ITERS}" \
+  ctest --test-dir "${BUILD_DIR}" -L compiler --output-on-failure -j 2

@@ -14,10 +14,16 @@
 # traversal over mmap'ed SnapshotUniverse backings at pool width 8, and
 # the serving substrate (epoch-reclaimed snapshot hot-swap, concurrent
 # admission, and the short default chaos soak; scripts/ci_chaos.sh runs
-# the long soak); the rest of the test matrix is single-threaded and
-# covered by the regular tier1 job.
+# the long soak), plus the `compiler`-labeled suites — the pass-pipeline
+# differential harness runs the speculate+replay executor against the
+# shared deadline/cancel machinery, which is the compiler's only
+# thread-visible surface; the rest of the test matrix is single-threaded
+# and covered by the regular tier1 job.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
+# Env:   MRPA_FUZZ_ITERS — differential trials per (seed, regime, subject)
+#        in the compiler pipeline harness (default 10; nightly jobs pass
+#        more via scripts/ci_fuzz.sh). Inherited by ctest from here.
 
 set -euo pipefail
 
@@ -34,4 +40,4 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # second_deadlock_stack gives usable reports for lock-order findings.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service" --output-on-failure -j 2
+ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler" --output-on-failure -j 2

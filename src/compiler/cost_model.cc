@@ -1,0 +1,71 @@
+#include "compiler/cost_model.h"
+
+#include <algorithm>
+
+namespace mrpa {
+
+CostModel::CostModel(const EdgeUniverse& universe,
+                     const obs::ObsRegistry* registry)
+    : universe_(universe) {
+  const double num_vertices =
+      std::max<double>(1.0, static_cast<double>(universe.num_vertices()));
+  fanout_ = static_cast<double>(universe.num_edges()) / num_vertices;
+
+  if (registry == nullptr) return;
+  const obs::HistogramSnapshot widths =
+      registry->SnapshotHistogram(obs::Hist::kTraversalLevelWidth);
+  if (widths.count == 0) return;  // No history: stay structural.
+  const double mean_width =
+      static_cast<double>(widths.sum) / static_cast<double>(widths.count);
+  // Staleness check: a mean frontier wider than the edge set cannot have
+  // been observed on THIS universe (each level holds at most |E| distinct
+  // extensions of a path). Such stats come from another (or a since-mutated)
+  // graph; trusting them would steer the planner with noise.
+  if (widths.max > universe.num_edges() ||
+      mean_width > static_cast<double>(universe.num_edges())) {
+    return;
+  }
+  // Observed mean level width is frontier · fanout · selectivity averaged
+  // over history; use it to damp the structural fanout toward what this
+  // workload actually sees (geometric blend keeps both scales in play).
+  calibrated_ = true;
+  if (mean_width > 0.0 && fanout_ > 0.0) {
+    fanout_ = std::min(fanout_, mean_width);
+  }
+}
+
+double CostModel::EstimateChainCost(const std::vector<EdgePattern>& steps,
+                                    ChainDirection direction) const {
+  if (steps.empty()) return 0.0;
+  const double num_edges =
+      std::max<double>(1.0, static_cast<double>(universe_.num_edges()));
+
+  auto card = [&](const EdgePattern& p) {
+    return static_cast<double>(EstimatePatternCardinality(universe_, p));
+  };
+
+  double frontier = direction == ChainDirection::kForward
+                        ? card(steps.front())
+                        : card(steps.back());
+  double cost = frontier;
+  for (size_t k = 1; k < steps.size(); ++k) {
+    const EdgePattern& step = direction == ChainDirection::kForward
+                                  ? steps[k]
+                                  : steps[steps.size() - 1 - k];
+    const double selectivity = std::min(1.0, card(step) / num_edges);
+    frontier *= fanout_ * selectivity;
+    cost += frontier;
+  }
+  return cost;
+}
+
+PlannerCostHints CostModel::Hints(const std::vector<EdgePattern>& steps) const {
+  PlannerCostHints hints;
+  if (!calibrated_ || steps.empty()) return hints;
+  hints.valid = true;
+  hints.forward_cost = EstimateChainCost(steps, ChainDirection::kForward);
+  hints.backward_cost = EstimateChainCost(steps, ChainDirection::kBackward);
+  return hints;
+}
+
+}  // namespace mrpa

@@ -1,0 +1,69 @@
+// The optimizer's cost model: whole-chain frontier estimates, calibrated by
+// ObsRegistry traversal statistics.
+//
+// The chain planner's seed heuristic (engine/chain_planner.h) compares only
+// the two END patterns of a join chain. That is usually right, but a chain
+// can be cheap to seed yet explosive in the middle — [v,_,_] ⋈ E ⋈ [_,α,w]
+// seeds forward with deg(v) but then fans out through ALL of E. This model
+// propagates the whole chain:
+//
+//   frontier_0 = card(step_0)                        (index estimate)
+//   frontier_k = frontier_{k-1} · fanout · sel(step_k)
+//   cost       = Σ frontier_k
+//
+// where sel(p) = card(p) / |E| is the probability a uniformly random edge
+// matches p, and `fanout` is the expected number of candidate edges each
+// frontier path offers — |E| / |V| structurally, REPLACED by the observed
+// mean level width ratio when the attached ObsRegistry has recorded
+// traversal history (the kTraversalLevelWidth histogram). Backward cost is
+// the mirror image over the reversed chain.
+//
+// Degradation contract (differentially tested): Hints() emits valid=false —
+// and the hinted PlanChain overload then behaves exactly like the seed
+// heuristic — whenever the registry is absent, has no recorded levels, or
+// its statistics are STALE for this universe (a mean level width exceeding
+// the edge count cannot have come from the graph being planned).
+
+#ifndef MRPA_COMPILER_COST_MODEL_H_
+#define MRPA_COMPILER_COST_MODEL_H_
+
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/edge_universe.h"
+#include "engine/chain_planner.h"
+#include "obs/obs.h"
+
+namespace mrpa {
+
+class CostModel {
+ public:
+  // `registry` supplies calibration and may be null (uncalibrated).
+  explicit CostModel(const EdgeUniverse& universe,
+                     const obs::ObsRegistry* registry = nullptr);
+
+  // True when the registry offered usable, non-stale traversal statistics.
+  bool calibrated() const { return calibrated_; }
+
+  // The per-step fanout factor in use (structural or observed).
+  double fanout() const { return fanout_; }
+
+  // Abstract whole-chain frontier work for one direction. Comparable only
+  // against the other direction of the same chain.
+  double EstimateChainCost(const std::vector<EdgePattern>& steps,
+                           ChainDirection direction) const;
+
+  // Both directions, packaged for the hinted PlanChain overload. valid iff
+  // calibrated() — an uncalibrated model yields hints that degrade the
+  // planner to its seed heuristic.
+  PlannerCostHints Hints(const std::vector<EdgePattern>& steps) const;
+
+ private:
+  const EdgeUniverse& universe_;
+  bool calibrated_ = false;
+  double fanout_ = 0.0;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_COMPILER_COST_MODEL_H_

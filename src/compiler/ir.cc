@@ -1,0 +1,203 @@
+#include "compiler/ir.h"
+
+#include <cassert>
+
+#include "util/hash.h"
+
+namespace mrpa {
+
+std::string_view IrKindName(IrKind kind) {
+  switch (kind) {
+    case IrKind::kEmpty:
+      return "empty";
+    case IrKind::kEpsilon:
+      return "epsilon";
+    case IrKind::kAtom:
+      return "atom";
+    case IrKind::kLiteral:
+      return "literal";
+    case IrKind::kUnion:
+      return "union";
+    case IrKind::kJoin:
+      return "join";
+    case IrKind::kProduct:
+      return "product";
+    case IrKind::kStar:
+      return "star";
+    case IrKind::kPlus:
+      return "plus";
+    case IrKind::kOptional:
+      return "optional";
+    case IrKind::kPower:
+      return "power";
+  }
+  return "?";
+}
+
+IrId IrModule::Intern(IrKind kind, IrId lhs, IrId rhs, uint32_t payload) {
+  uint64_t key = HashCombine(static_cast<uint64_t>(kind), lhs);
+  key = HashCombine(key, rhs);
+  key = HashCombine(key, payload);
+  std::vector<IrId>& bucket = node_index_[key];
+  for (IrId id : bucket) {
+    const IrNode& n = nodes_[id];
+    if (n.kind == kind && n.lhs == lhs && n.rhs == rhs &&
+        n.payload == payload) {
+      return id;
+    }
+  }
+
+  IrNode node;
+  node.kind = kind;
+  node.lhs = lhs;
+  node.rhs = rhs;
+  node.payload = payload;
+  const IrNode* l = lhs != kNoIr ? &nodes_[lhs] : nullptr;
+  const IrNode* r = rhs != kNoIr ? &nodes_[rhs] : nullptr;
+  switch (kind) {
+    case IrKind::kEmpty:
+    case IrKind::kAtom:
+      node.nullable = false;
+      break;
+    case IrKind::kEpsilon:
+      node.nullable = true;
+      break;
+    case IrKind::kLiteral:
+      node.nullable = literals_[payload].ContainsEpsilon();
+      break;
+    case IrKind::kUnion:
+      node.nullable = l->nullable || r->nullable;
+      break;
+    case IrKind::kJoin:
+    case IrKind::kProduct:
+      node.nullable = l->nullable && r->nullable;
+      break;
+    case IrKind::kStar:
+    case IrKind::kOptional:
+      node.nullable = true;
+      break;
+    case IrKind::kPlus:
+      node.nullable = l->nullable;
+      break;
+    case IrKind::kPower:
+      node.nullable = payload == 0 || l->nullable;
+      break;
+  }
+  node.product_free = kind != IrKind::kProduct &&
+                      (l == nullptr || l->product_free) &&
+                      (r == nullptr || r->product_free);
+  node.star_free = kind != IrKind::kStar && kind != IrKind::kPlus &&
+                   (l == nullptr || l->star_free) &&
+                   (r == nullptr || r->star_free);
+  node.literal_free = kind != IrKind::kLiteral &&
+                      (l == nullptr || l->literal_free) &&
+                      (r == nullptr || r->literal_free);
+  node.size = 1 + (l != nullptr ? l->size : 0) + (r != nullptr ? r->size : 0);
+
+  const IrId id = static_cast<IrId>(nodes_.size());
+  nodes_.push_back(node);
+  bucket.push_back(id);
+  return id;
+}
+
+IrId IrModule::Empty() { return Intern(IrKind::kEmpty, kNoIr, kNoIr, 0); }
+IrId IrModule::Epsilon() { return Intern(IrKind::kEpsilon, kNoIr, kNoIr, 0); }
+
+IrId IrModule::Atom(const EdgePattern& pattern) {
+  const std::string key = pattern.ToString();
+  auto [it, inserted] =
+      atom_index_.try_emplace(key, static_cast<uint32_t>(atoms_.size()));
+  if (inserted) atoms_.push_back(pattern);
+  return Intern(IrKind::kAtom, kNoIr, kNoIr, it->second);
+}
+
+IrId IrModule::Literal(const PathSet& paths) {
+  const std::string key = paths.ToString();
+  auto [it, inserted] =
+      literal_index_.try_emplace(key, static_cast<uint32_t>(literals_.size()));
+  if (inserted) literals_.push_back(paths);
+  return Intern(IrKind::kLiteral, kNoIr, kNoIr, it->second);
+}
+
+IrId IrModule::Union(IrId lhs, IrId rhs) {
+  return Intern(IrKind::kUnion, lhs, rhs, 0);
+}
+IrId IrModule::Join(IrId lhs, IrId rhs) {
+  return Intern(IrKind::kJoin, lhs, rhs, 0);
+}
+IrId IrModule::Product(IrId lhs, IrId rhs) {
+  return Intern(IrKind::kProduct, lhs, rhs, 0);
+}
+IrId IrModule::Star(IrId inner) {
+  return Intern(IrKind::kStar, inner, kNoIr, 0);
+}
+IrId IrModule::Plus(IrId inner) {
+  return Intern(IrKind::kPlus, inner, kNoIr, 0);
+}
+IrId IrModule::Optional(IrId inner) {
+  return Intern(IrKind::kOptional, inner, kNoIr, 0);
+}
+IrId IrModule::Power(IrId inner, uint32_t n) {
+  return Intern(IrKind::kPower, inner, kNoIr, n);
+}
+
+IrId IrModule::Lower(const PathExpr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kEmpty:
+      return Empty();
+    case ExprKind::kEpsilon:
+      return Epsilon();
+    case ExprKind::kAtom:
+      return Atom(expr.pattern());
+    case ExprKind::kLiteral:
+      return Literal(expr.literal());
+    case ExprKind::kUnion:
+      return Union(Lower(*expr.children()[0]), Lower(*expr.children()[1]));
+    case ExprKind::kJoin:
+      return Join(Lower(*expr.children()[0]), Lower(*expr.children()[1]));
+    case ExprKind::kProduct:
+      return Product(Lower(*expr.children()[0]), Lower(*expr.children()[1]));
+    case ExprKind::kStar:
+      return Star(Lower(*expr.children()[0]));
+    case ExprKind::kPlus:
+      return Plus(Lower(*expr.children()[0]));
+    case ExprKind::kOptional:
+      return Optional(Lower(*expr.children()[0]));
+    case ExprKind::kPower:
+      return Power(Lower(*expr.children()[0]),
+                   static_cast<uint32_t>(expr.power()));
+  }
+  return Empty();
+}
+
+PathExprPtr IrModule::ToExpr(IrId id) const {
+  assert(id < nodes_.size());
+  const IrNode& n = nodes_[id];
+  switch (n.kind) {
+    case IrKind::kEmpty:
+      return PathExpr::Empty();
+    case IrKind::kEpsilon:
+      return PathExpr::Epsilon();
+    case IrKind::kAtom:
+      return PathExpr::Atom(atoms_[n.payload]);
+    case IrKind::kLiteral:
+      return PathExpr::Literal(literals_[n.payload]);
+    case IrKind::kUnion:
+      return PathExpr::MakeUnion(ToExpr(n.lhs), ToExpr(n.rhs));
+    case IrKind::kJoin:
+      return PathExpr::MakeJoin(ToExpr(n.lhs), ToExpr(n.rhs));
+    case IrKind::kProduct:
+      return PathExpr::MakeProduct(ToExpr(n.lhs), ToExpr(n.rhs));
+    case IrKind::kStar:
+      return PathExpr::MakeStar(ToExpr(n.lhs));
+    case IrKind::kPlus:
+      return PathExpr::MakePlus(ToExpr(n.lhs));
+    case IrKind::kOptional:
+      return PathExpr::MakeOptional(ToExpr(n.lhs));
+    case IrKind::kPower:
+      return PathExpr::MakePower(ToExpr(n.lhs), n.payload);
+  }
+  return PathExpr::Empty();
+}
+
+}  // namespace mrpa

@@ -1,0 +1,130 @@
+// The compiler's algebra IR: hash-consed path-expression nodes.
+//
+// PathExpr (core/expr.h) is the right surface syntax — immutable,
+// shareable, one tree per query — but the wrong substrate for an optimizer:
+// structural equality is a recursive walk, repeated subtrees are distinct
+// allocations, and rewrite passes would re-discover the same facts at every
+// node visit. IrModule interns every node once (hash-consing), so
+//
+//   * structural equality IS id equality — the prefix-factoring pass finds
+//     common join factors by comparing two uint32s;
+//   * per-node analyses (nullability, product-/star-freeness, size) are
+//     computed once at intern time and read back as fields;
+//   * passes are pure functions IrId -> IrId over a growing arena; the
+//     original query stays valid alongside every rewritten version, which
+//     is what lets the pipeline harness diff any pass against the oracle.
+//
+// Lower() maps a PathExpr tree in (deduplicating as it goes); ToExpr() maps
+// any interned id back out. Both directions preserve structure exactly —
+// StructurallyEqual(e, ToExpr(Lower(e))) holds for every expression — so
+// the IR adds no semantics of its own: a pass is correct iff the PathExpr
+// trees on either side denote the same governed result.
+
+#ifndef MRPA_COMPILER_IR_H_
+#define MRPA_COMPILER_IR_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/expr.h"
+#include "core/path_set.h"
+
+namespace mrpa {
+
+using IrId = uint32_t;
+inline constexpr IrId kNoIr = 0xffffffffu;
+
+// Same constructor set as ExprKind; kept separate so the IR can evolve
+// (annotations, fused operators) without touching the core algebra.
+enum class IrKind : uint8_t {
+  kEmpty,
+  kEpsilon,
+  kAtom,
+  kLiteral,
+  kUnion,
+  kJoin,
+  kProduct,
+  kStar,
+  kPlus,
+  kOptional,
+  kPower,
+};
+
+std::string_view IrKindName(IrKind kind);
+
+struct IrNode {
+  IrKind kind = IrKind::kEmpty;
+  IrId lhs = kNoIr;  // First child, kNoIr for leaves.
+  IrId rhs = kNoIr;  // Second child (binary kinds only).
+  // kAtom: index into IrModule atoms(); kLiteral: index into literals();
+  // kPower: the exponent n.
+  uint32_t payload = 0;
+
+  // Analyses, fixed at intern time (children are always interned first):
+  bool nullable = false;      // ε ∈ L(node) (unbounded semantics).
+  bool product_free = true;   // No ×◦ anywhere below.
+  bool star_free = true;      // No * / + anywhere below.
+  bool literal_free = true;   // No explicit path-set literal below (literals
+                              // may hold edges outside any bound universe).
+  uint32_t size = 1;          // Expression-TREE node count (not DAG).
+};
+
+class IrModule {
+ public:
+  IrModule() = default;
+
+  // Not copyable (ids are arena-relative); movable for factory returns.
+  IrModule(const IrModule&) = delete;
+  IrModule& operator=(const IrModule&) = delete;
+  IrModule(IrModule&&) noexcept = default;
+  IrModule& operator=(IrModule&&) noexcept = default;
+
+  // --- Interning constructors -------------------------------------------
+  // Each returns the id of the unique node with that shape: interning the
+  // same (kind, children, payload) twice returns the same id.
+  IrId Empty();
+  IrId Epsilon();
+  IrId Atom(const EdgePattern& pattern);
+  IrId Literal(const PathSet& paths);
+  IrId Union(IrId lhs, IrId rhs);
+  IrId Join(IrId lhs, IrId rhs);
+  IrId Product(IrId lhs, IrId rhs);
+  IrId Star(IrId inner);
+  IrId Plus(IrId inner);
+  IrId Optional(IrId inner);
+  IrId Power(IrId inner, uint32_t n);
+
+  // --- Conversion --------------------------------------------------------
+  IrId Lower(const PathExpr& expr);
+  PathExprPtr ToExpr(IrId id) const;
+
+  // --- Access ------------------------------------------------------------
+  const IrNode& node(IrId id) const { return nodes_[id]; }
+  const EdgePattern& atom(uint32_t index) const { return atoms_[index]; }
+  const PathSet& literal(uint32_t index) const { return literals_[index]; }
+  const EdgePattern& atom_of(IrId id) const {
+    return atoms_[nodes_[id].payload];
+  }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  IrId Intern(IrKind kind, IrId lhs, IrId rhs, uint32_t payload);
+
+  std::vector<IrNode> nodes_;
+  std::vector<EdgePattern> atoms_;
+  std::vector<PathSet> literals_;
+  // Structural keys: (kind, lhs, rhs, payload) packed into a string for the
+  // node table; canonical renderings for atom / literal payload dedup (both
+  // representations are canonical — sorted id sets, sorted path vectors —
+  // so the rendering is injective).
+  std::unordered_map<uint64_t, std::vector<IrId>> node_index_;
+  std::unordered_map<std::string, uint32_t> atom_index_;
+  std::unordered_map<std::string, uint32_t> literal_index_;
+};
+
+}  // namespace mrpa
+
+#endif  // MRPA_COMPILER_IR_H_

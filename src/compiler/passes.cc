@@ -1,0 +1,657 @@
+#include "compiler/passes.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/chain_planner.h"
+#include "regex/dfa_minimizer.h"
+
+namespace mrpa {
+namespace {
+
+bool Is(const IrModule& m, IrId id, IrKind kind) {
+  return m.node(id).kind == kind;
+}
+
+// --- Bounded-safe rebuild helpers ----------------------------------------
+// Every constructor below applies only identities that hold PATHWISE under
+// bounded star expansion (see the table in passes.h). Passes funnel all
+// node construction through these, so ∅/ε introduced anywhere propagates
+// structurally for free. Each applied collapse counts as one rewrite.
+
+IrId RebuildUnion(IrModule& m, IrId l, IrId r, PassStats& stats) {
+  if (Is(m, l, IrKind::kEmpty)) {
+    ++stats.rewrites;
+    return r;
+  }
+  if (Is(m, r, IrKind::kEmpty)) {
+    ++stats.rewrites;
+    return l;
+  }
+  if (l == r) {  // Hash-consing: id equality IS structural equality.
+    ++stats.rewrites;
+    return l;
+  }
+  return m.Union(l, r);
+}
+
+IrId RebuildJoin(IrModule& m, IrId l, IrId r, PassStats& stats) {
+  if (Is(m, l, IrKind::kEmpty) || Is(m, r, IrKind::kEmpty)) {
+    ++stats.rewrites;
+    return m.Empty();
+  }
+  if (Is(m, l, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return r;
+  }
+  if (Is(m, r, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return l;
+  }
+  return m.Join(l, r);
+}
+
+IrId RebuildProduct(IrModule& m, IrId l, IrId r, PassStats& stats) {
+  if (Is(m, l, IrKind::kEmpty) || Is(m, r, IrKind::kEmpty)) {
+    ++stats.rewrites;
+    return m.Empty();
+  }
+  if (Is(m, l, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return r;
+  }
+  if (Is(m, r, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return l;
+  }
+  return m.Product(l, r);
+}
+
+IrId RebuildStar(IrModule& m, IrId inner, PassStats& stats) {
+  if (Is(m, inner, IrKind::kEmpty) || Is(m, inner, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return m.Epsilon();
+  }
+  return m.Star(inner);
+}
+
+IrId RebuildPlus(IrModule& m, IrId inner, PassStats& stats) {
+  if (Is(m, inner, IrKind::kEmpty)) {
+    ++stats.rewrites;
+    return m.Empty();
+  }
+  if (Is(m, inner, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return m.Epsilon();
+  }
+  return m.Plus(inner);
+}
+
+IrId RebuildOptional(IrModule& m, IrId inner, PassStats& stats) {
+  if (Is(m, inner, IrKind::kEmpty) || Is(m, inner, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return m.Epsilon();
+  }
+  return m.Optional(inner);
+}
+
+IrId RebuildPower(IrModule& m, IrId inner, uint32_t n, PassStats& stats) {
+  if (n == 0) {
+    ++stats.rewrites;
+    return m.Epsilon();
+  }
+  if (Is(m, inner, IrKind::kEmpty)) {
+    ++stats.rewrites;
+    return m.Empty();
+  }
+  if (Is(m, inner, IrKind::kEpsilon)) {
+    ++stats.rewrites;
+    return m.Epsilon();
+  }
+  if (n == 1) {
+    ++stats.rewrites;
+    return inner;
+  }
+  return m.Power(inner, n);
+}
+
+// Rebuilds `id`'s operator over (possibly rewritten) children through the
+// collapse helpers above. `n` must be a COPY of the node — interning during
+// recursion can reallocate the node table.
+IrId Reconstruct(IrModule& m, const IrNode& n, IrId l, IrId r,
+                 PassStats& stats) {
+  switch (n.kind) {
+    case IrKind::kUnion:
+      return RebuildUnion(m, l, r, stats);
+    case IrKind::kJoin:
+      return RebuildJoin(m, l, r, stats);
+    case IrKind::kProduct:
+      return RebuildProduct(m, l, r, stats);
+    case IrKind::kStar:
+      return RebuildStar(m, l, stats);
+    case IrKind::kPlus:
+      return RebuildPlus(m, l, stats);
+    case IrKind::kOptional:
+      return RebuildOptional(m, l, stats);
+    case IrKind::kPower:
+      return RebuildPower(m, l, n.payload, stats);
+    default:
+      return kNoIr;  // Leaves never reach here.
+  }
+}
+
+// Post-order rewriter skeleton shared by every pass: memoized over the
+// hash-consed ids (shared subtrees rewrite once), leaves handled by
+// `leaf(id)`, interior nodes by recursing then `finish(node, l, r)` — which
+// defaults to Reconstruct when a pass only acts at specific sites.
+template <typename LeafFn, typename FinishFn>
+class Rewriter {
+ public:
+  Rewriter(IrModule& m, PassStats& stats, LeafFn leaf, FinishFn finish)
+      : m_(m), stats_(stats), leaf_(std::move(leaf)),
+        finish_(std::move(finish)) {}
+
+  IrId Rewrite(IrId id) {
+    if (auto it = memo_.find(id); it != memo_.end()) return it->second;
+    const IrNode n = m_.node(id);  // Copy: interning may reallocate.
+    IrId out;
+    switch (n.kind) {
+      case IrKind::kEmpty:
+      case IrKind::kEpsilon:
+      case IrKind::kAtom:
+      case IrKind::kLiteral:
+        out = leaf_(id, n);
+        break;
+      default: {
+        const IrId l = Rewrite(n.lhs);
+        const IrId r = n.rhs != kNoIr ? Rewrite(n.rhs) : kNoIr;
+        out = finish_(id, n, l, r);
+        break;
+      }
+    }
+    memo_.emplace(id, out);
+    return out;
+  }
+
+ private:
+  IrModule& m_;
+  PassStats& stats_;
+  LeafFn leaf_;
+  FinishFn finish_;
+  std::unordered_map<IrId, IrId> memo_;
+};
+
+template <typename LeafFn, typename FinishFn>
+IrId RewriteBottomUp(IrModule& m, IrId root, PassStats& stats, LeafFn leaf,
+                     FinishFn finish) {
+  Rewriter<LeafFn, FinishFn> rw(m, stats, std::move(leaf), std::move(finish));
+  return rw.Rewrite(root);
+}
+
+// --- simplify -------------------------------------------------------------
+
+class SimplifyPass final : public Pass {
+ public:
+  std::string_view name() const override { return "simplify"; }
+
+  IrId Run(IrModule& m, IrId root, const PassContext&,
+           PassStats& stats) const override {
+    return RewriteBottomUp(
+        m, root, stats,
+        [&](IrId id, const IrNode& n) {
+          if (n.kind != IrKind::kLiteral) return id;
+          const PathSet& paths = m.literal(n.payload);
+          if (paths.empty()) {
+            ++stats.rewrites;
+            return m.Empty();
+          }
+          if (paths.size() == 1 && paths.ContainsEpsilon()) {
+            ++stats.rewrites;
+            return m.Epsilon();
+          }
+          return id;
+        },
+        [&](IrId, const IrNode& n, IrId l, IrId r) {
+          return Reconstruct(m, n, l, r, stats);
+        });
+  }
+};
+
+// --- dead-branch ----------------------------------------------------------
+
+class DeadBranchPass final : public Pass {
+ public:
+  std::string_view name() const override { return "dead-branch"; }
+
+  IrId Run(IrModule& m, IrId root, const PassContext& ctx,
+           PassStats& stats) const override {
+    if (ctx.universe == nullptr) return root;  // Precondition missing.
+    const EdgeUniverse& universe = *ctx.universe;
+    return RewriteBottomUp(
+        m, root, stats,
+        [&](IrId id, const IrNode& n) {
+          // A zero UPPER bound is an exact answer: no edge of E matches, so
+          // the atom denotes ∅ (EstimatePatternCardinality only returns 0
+          // when an index proves it).
+          if (n.kind == IrKind::kAtom &&
+              EstimatePatternCardinality(universe, m.atom(n.payload)) == 0) {
+            ++stats.rewrites;
+            ++stats.dead_branches;
+            return m.Empty();
+          }
+          return id;
+        },
+        [&](IrId, const IrNode& n, IrId l, IrId r) {
+          return Reconstruct(m, n, l, r, stats);
+        });
+  }
+};
+
+// --- filter-pushdown ------------------------------------------------------
+
+// a ∩ b over the id-set algebra, exact in every quadrant:
+//   pos ∩ pos = pos(S1 ∩ S2)      pos ∩ neg = pos(S1 \ S2)
+//   neg ∩ pos = pos(S2 \ S1)      neg ∩ neg = neg(S1 ∪ S2)
+IdConstraint IntersectConstraints(const IdConstraint& a,
+                                  const IdConstraint& b) {
+  if (a.IsUnconstrained()) return b;
+  if (b.IsUnconstrained()) return a;
+  const std::vector<uint32_t>& sa = *a.ids();  // Sorted by invariant.
+  const std::vector<uint32_t>& sb = *b.ids();
+  std::vector<uint32_t> out;
+  if (!a.negated() && !b.negated()) {
+    std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                          std::back_inserter(out));
+    return IdConstraint(std::move(out), false);
+  }
+  if (!a.negated() && b.negated()) {
+    std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(out));
+    return IdConstraint(std::move(out), false);
+  }
+  if (a.negated() && !b.negated()) {
+    std::set_difference(sb.begin(), sb.end(), sa.begin(), sa.end(),
+                        std::back_inserter(out));
+    return IdConstraint(std::move(out), false);
+  }
+  std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                 std::back_inserter(out));
+  return IdConstraint(std::move(out), true);
+}
+
+// Matches no id at all: a non-negated empty set.
+bool MatchesNothing(const IdConstraint& c) {
+  return !c.IsUnconstrained() && !c.negated() && c.ids()->empty();
+}
+
+// The atom every path of `id` ENDS with, when one is structurally
+// guaranteed: an atom is its own last site; a join's last site is its right
+// side's, but only when the right side is ε-free (a nullable right side
+// lets paths end inside the left). Unions, closures, powers, and literals
+// guarantee nothing.
+std::optional<IrId> LastAtomSite(const IrModule& m, IrId id) {
+  const IrNode& n = m.node(id);
+  if (n.kind == IrKind::kAtom) return id;
+  if (n.kind == IrKind::kJoin && !m.node(n.rhs).nullable) {
+    return LastAtomSite(m, n.rhs);
+  }
+  return std::nullopt;
+}
+
+// Mirror: the atom every path STARTS with.
+std::optional<IrId> FirstAtomSite(const IrModule& m, IrId id) {
+  const IrNode& n = m.node(id);
+  if (n.kind == IrKind::kAtom) return id;
+  if (n.kind == IrKind::kJoin && !m.node(n.lhs).nullable) {
+    return FirstAtomSite(m, n.lhs);
+  }
+  return std::nullopt;
+}
+
+// Swaps the last-site atom of `id` for `pattern`, following exactly the
+// spine LastAtomSite walked.
+IrId ReplaceLastAtom(IrModule& m, IrId id, const EdgePattern& pattern,
+                     PassStats& stats) {
+  const IrNode n = m.node(id);
+  if (n.kind == IrKind::kAtom) return m.Atom(pattern);
+  return RebuildJoin(m, n.lhs, ReplaceLastAtom(m, n.rhs, pattern, stats),
+                     stats);
+}
+
+IrId ReplaceFirstAtom(IrModule& m, IrId id, const EdgePattern& pattern,
+                      PassStats& stats) {
+  const IrNode n = m.node(id);
+  if (n.kind == IrKind::kAtom) return m.Atom(pattern);
+  return RebuildJoin(m, ReplaceFirstAtom(m, n.lhs, pattern, stats), n.rhs,
+                     stats);
+}
+
+class FilterPushdownPass final : public Pass {
+ public:
+  std::string_view name() const override { return "filter-pushdown"; }
+
+  IrId Run(IrModule& m, IrId root, const PassContext&,
+           PassStats& stats) const override {
+    return RewriteBottomUp(
+        m, root, stats, [&](IrId id, const IrNode&) { return id; },
+        [&](IrId, const IrNode& n, IrId l, IrId r) {
+          if (n.kind != IrKind::kJoin) return Reconstruct(m, n, l, r, stats);
+          return PushAtSeam(m, l, r, stats);
+        });
+  }
+
+ private:
+  // At l ⋈◦ r: every joint path's seam vertex is simultaneously the head of
+  // l's guaranteed last atom and the tail of r's guaranteed first atom, so
+  // both constraints narrow to their intersection — the σ-filter lands in
+  // each atom's CSR scan. Soundness needs BOTH sides ε-free: if either side
+  // admits ε, ε ⋈◦ p = p bypasses the seam entirely.
+  static IrId PushAtSeam(IrModule& m, IrId l, IrId r, PassStats& stats) {
+    if (Is(m, l, IrKind::kEmpty) || Is(m, r, IrKind::kEmpty) ||
+        Is(m, l, IrKind::kEpsilon) || Is(m, r, IrKind::kEpsilon)) {
+      return RebuildJoin(m, l, r, stats);
+    }
+    if (m.node(l).nullable || m.node(r).nullable) {
+      return RebuildJoin(m, l, r, stats);
+    }
+    const std::optional<IrId> last = LastAtomSite(m, l);
+    const std::optional<IrId> first = FirstAtomSite(m, r);
+    if (!last.has_value() || !first.has_value()) {
+      return RebuildJoin(m, l, r, stats);
+    }
+    // Copies, not references: interning the narrowed atoms below can
+    // reallocate the module's atom table.
+    const EdgePattern lp = m.atom_of(*last);
+    const EdgePattern fp = m.atom_of(*first);
+    const IdConstraint seam = IntersectConstraints(lp.head(), fp.tail());
+    if (MatchesNothing(seam)) {
+      // No vertex can sit at the seam: the join denotes ∅ outright.
+      ++stats.rewrites;
+      ++stats.dead_branches;
+      return m.Empty();
+    }
+    IrId new_l = l;
+    IrId new_r = r;
+    if (seam != lp.head()) {
+      new_l = ReplaceLastAtom(m, l, EdgePattern(lp.tail(), lp.label(), seam),
+                              stats);
+      ++stats.filters_pushed;
+    }
+    if (seam != fp.tail()) {
+      new_r = ReplaceFirstAtom(m, r, EdgePattern(seam, fp.label(), fp.head()),
+                               stats);
+      ++stats.filters_pushed;
+    }
+    return RebuildJoin(m, new_l, new_r, stats);
+  }
+};
+
+// --- prefix-factor --------------------------------------------------------
+
+void FlattenUnion(const IrModule& m, IrId id, std::vector<IrId>& out) {
+  const IrNode& n = m.node(id);
+  if (n.kind == IrKind::kUnion) {
+    FlattenUnion(m, n.lhs, out);
+    FlattenUnion(m, n.rhs, out);
+    return;
+  }
+  out.push_back(id);
+}
+
+void FlattenJoin(const IrModule& m, IrId id, std::vector<IrId>& out) {
+  const IrNode& n = m.node(id);
+  if (n.kind == IrKind::kJoin) {
+    FlattenJoin(m, n.lhs, out);
+    FlattenJoin(m, n.rhs, out);
+    return;
+  }
+  out.push_back(id);
+}
+
+IrId FoldJoinLeftDeep(IrModule& m, const std::vector<IrId>& factors,
+                      PassStats& stats) {
+  IrId acc = factors.front();
+  for (size_t i = 1; i < factors.size(); ++i) {
+    acc = RebuildJoin(m, acc, factors[i], stats);
+  }
+  return acc;
+}
+
+class PrefixFactorPass final : public Pass {
+ public:
+  std::string_view name() const override { return "prefix-factor"; }
+
+  IrId Run(IrModule& m, IrId root, const PassContext&,
+           PassStats& stats) const override {
+    return RewriteBottomUp(
+        m, root, stats, [&](IrId id, const IrNode&) { return id; },
+        [&](IrId, const IrNode& n, IrId l, IrId r) {
+          if (n.kind != IrKind::kUnion) return Reconstruct(m, n, l, r, stats);
+          // Children are already rewritten, so their union spines are fully
+          // factored; flatten this spine and factor across ALL operands.
+          std::vector<IrId> operands;
+          FlattenUnion(m, RebuildUnion(m, l, r, stats), operands);
+          return FactorOperands(m, operands, stats);
+        });
+  }
+
+ private:
+  // Groups the union's operands by their LEADING join factor (leftmost
+  // non-join node of the join spine) and rewrites each group of two or more
+  // as factor ⋈◦ (tails ∪ …) — left-distributivity, exact because ⋈◦
+  // distributes over ∪ and PathSet is canonical (order-insensitive).
+  // Recursing on the grouped tails factors shared SECOND factors too, so
+  // A⋈B⋈X ∪ A⋈B⋈Y becomes A⋈(B⋈(X ∪ Y)). Hash-consing makes "same
+  // factor" a uint32 compare. Non-join operands and singleton groups pass
+  // through untouched (no re-association churn).
+  static IrId FactorOperands(IrModule& m, const std::vector<IrId>& operands,
+                             PassStats& stats) {
+    if (operands.size() == 1) return operands.front();
+
+    struct Group {
+      IrId leader = kNoIr;          // kNoIr: not a join, never merged.
+      IrId original = kNoIr;        // The untouched operand.
+      std::vector<IrId> tails;      // Join remainders under `leader`.
+    };
+    std::vector<Group> groups;  // First-occurrence order.
+    for (IrId op : operands) {
+      const IrNode& n = m.node(op);
+      if (n.kind != IrKind::kJoin) {
+        groups.push_back(Group{kNoIr, op, {}});
+        continue;
+      }
+      std::vector<IrId> factors;
+      FlattenJoin(m, op, factors);
+      const IrId leader = factors.front();
+      const std::vector<IrId> rest(factors.begin() + 1, factors.end());
+      const IrId tail = FoldJoinLeftDeep(m, rest, stats);
+      bool merged = false;
+      for (Group& g : groups) {
+        if (g.leader == leader) {
+          g.tails.push_back(tail);
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) groups.push_back(Group{leader, op, {tail}});
+    }
+
+    IrId result = kNoIr;
+    for (const Group& g : groups) {
+      IrId term;
+      if (g.leader == kNoIr || g.tails.size() == 1) {
+        term = g.original;  // Nothing shared: keep the operand as written.
+      } else {
+        stats.prefixes_factored += g.tails.size() - 1;
+        ++stats.rewrites;
+        term = RebuildJoin(m, g.leader, FactorOperands(m, g.tails, stats),
+                           stats);
+      }
+      result = result == kNoIr ? term : RebuildUnion(m, result, term, stats);
+    }
+    return result;
+  }
+};
+
+// --- join-reorder ---------------------------------------------------------
+
+class JoinReorderPass final : public Pass {
+ public:
+  std::string_view name() const override { return "join-reorder"; }
+
+  IrId Run(IrModule& m, IrId root, const PassContext&,
+           PassStats& stats) const override {
+    return RewriteBottomUp(
+        m, root, stats, [&](IrId id, const IrNode&) { return id; },
+        [&](IrId id, const IrNode& n, IrId l, IrId r) {
+          if (n.kind != IrKind::kJoin) return Reconstruct(m, n, l, r, stats);
+          // Canonical left-deep re-association (⋈◦ is associative, so this
+          // is exact pathwise). The canonical shape is what ExtractAtomChain
+          // flattens and the cost model + chain planner give a DIRECTION at
+          // emit time — the reorder itself never permutes operands.
+          const IrId joined = RebuildJoin(m, l, r, stats);
+          if (!Is(m, joined, IrKind::kJoin)) return joined;
+          std::vector<IrId> factors;
+          FlattenJoin(m, joined, factors);
+          const IrId left_deep = FoldJoinLeftDeep(m, factors, stats);
+          if (left_deep != id) {
+            ++stats.joins_reordered;
+            ++stats.rewrites;
+          }
+          return left_deep;
+        });
+  }
+};
+
+// --- dfa-minimize ---------------------------------------------------------
+
+// Subtrees larger than this skip the subset construction (it is exponential
+// in the worst case; the expressions the suites and benches compile sit far
+// below the cap).
+constexpr uint32_t kDfaNodeCap = 32;
+
+bool NoReachableAcceptingState(const MinimizedDfa& dfa) {
+  std::vector<bool> seen(dfa.num_states(), false);
+  std::vector<uint32_t> stack = {dfa.start()};
+  seen[dfa.start()] = true;
+  while (!stack.empty()) {
+    const uint32_t s = stack.back();
+    stack.pop_back();
+    if (dfa.accepting(s)) return false;
+    for (uint32_t c = 0; c < dfa.num_classes(); ++c) {
+      const uint32_t t = dfa.Step(s, c);
+      if (!seen[t]) {
+        seen[t] = true;
+        stack.push_back(t);
+      }
+    }
+  }
+  return true;
+}
+
+class DfaMinimizePass final : public Pass {
+ public:
+  std::string_view name() const override { return "dfa-minimize"; }
+
+  IrId Run(IrModule& m, IrId root, const PassContext& ctx,
+           PassStats& stats) const override {
+    if (ctx.universe == nullptr) return root;  // Precondition missing.
+    const EdgeUniverse& universe = *ctx.universe;
+    return RewriteBottomUp(
+        m, root, stats, [&](IrId id, const IrNode&) { return id; },
+        [&](IrId, const IrNode& n, IrId l, IrId r) {
+          const IrId rebuilt = Reconstruct(m, n, l, r, stats);
+          return TryProveEmpty(m, rebuilt, universe, stats);
+        });
+  }
+
+ private:
+  // Minimizes the subtree's DFA over the universe's edge classes; if no
+  // accepting state is reachable, L(subtree) ∩ E* = ∅ — and since bounded
+  // evaluation only ever yields paths in the unbounded language whose
+  // edges all come from E, the governed result is empty too, exactly.
+  // Guards: product seams are outside the DFA construction's domain;
+  // literals may hold edges outside E (the DFA argument says nothing about
+  // those); nullable subtrees are trivially non-empty; ∅ is already done.
+  // Single constrained atoms ARE eligible: [i, α, {j}] can be empty even
+  // when the cardinality index (which only sees one position at a time)
+  // reports a positive upper bound — this pass is what catches those.
+  static IrId TryProveEmpty(IrModule& m, IrId id, const EdgeUniverse& universe,
+                            PassStats& stats) {
+    const IrNode& n = m.node(id);
+    if (n.kind == IrKind::kEmpty || n.size > kDfaNodeCap) return id;
+    if (!n.product_free || !n.literal_free) return id;
+    if (n.nullable) return id;  // ε in the language: trivially non-empty.
+    const PathExprPtr expr = m.ToExpr(id);
+    const Result<MinimizedDfa> dfa = BuildMinimizedDfa(*expr, universe);
+    if (!dfa.ok()) return id;
+    if (!NoReachableAcceptingState(*dfa)) return id;
+    ++stats.rewrites;
+    ++stats.dead_branches;
+    return m.Empty();
+  }
+};
+
+const SimplifyPass kSimplifyPass;
+const DeadBranchPass kDeadBranchPass;
+const FilterPushdownPass kFilterPushdownPass;
+const PrefixFactorPass kPrefixFactorPass;
+const JoinReorderPass kJoinReorderPass;
+const DfaMinimizePass kDfaMinimizePass;
+
+}  // namespace
+
+const std::vector<const Pass*>& DefaultPassPipeline() {
+  static const std::vector<const Pass*> pipeline = {
+      &kSimplifyPass,     &kDeadBranchPass,  &kFilterPushdownPass,
+      &kPrefixFactorPass, &kJoinReorderPass, &kDfaMinimizePass,
+  };
+  return pipeline;
+}
+
+const Pass* FindPass(std::string_view name) {
+  for (const Pass* pass : DefaultPassPipeline()) {
+    if (pass->name() == name) return pass;
+  }
+  return nullptr;
+}
+
+IrId RunPipeline(IrModule& module, IrId root,
+                 const std::vector<const Pass*>& passes,
+                 const PassContext& ctx, std::vector<PassTraceEntry>* trace,
+                 obs::ObsRegistry* registry) {
+  for (const Pass* pass : passes) {
+    PassStats stats;
+    const size_t size_before = module.node(root).size;
+    const auto start = std::chrono::steady_clock::now();
+    const IrId next = pass->Run(module, root, ctx, stats);
+    const auto end = std::chrono::steady_clock::now();
+    const size_t size_after = module.node(next).size;
+    if (trace != nullptr) {
+      trace->push_back(PassTraceEntry{std::string(pass->name()), size_before,
+                                      size_after, stats});
+    }
+    if (registry != nullptr) {
+      registry->Add(obs::Metric::kCompilerPassRuns, 1);
+      registry->Add(obs::Metric::kCompilerRewrites, stats.rewrites);
+      registry->Add(obs::Metric::kCompilerDeadBranches, stats.dead_branches);
+      registry->Add(obs::Metric::kCompilerFiltersPushed, stats.filters_pushed);
+      registry->Add(obs::Metric::kCompilerPrefixesFactored,
+                    stats.prefixes_factored);
+      registry->Add(obs::Metric::kCompilerJoinsReordered,
+                    stats.joins_reordered);
+      registry->Record(
+          obs::Hist::kCompilerPassNanos,
+          static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+                  .count()));
+    }
+    root = next;
+  }
+  return root;
+}
+
+}  // namespace mrpa

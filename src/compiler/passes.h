@@ -1,0 +1,124 @@
+// The optimizer pass pipeline over the algebra IR.
+//
+// A pass is a pure function IrId → IrId that must preserve the governed
+// denotation EXACTLY — same path set under the same bounded-evaluation
+// options — because the executor (compiler/compiler.h) replays governance
+// accounting off the result set, and the pipeline harness
+// (tests/compiler_pipeline_test.cc) diffs every pass, alone and in random
+// pipeline orders, against the unoptimized oracle byte for byte. The
+// rewrites each pass is allowed to use are therefore restricted to
+// identities that hold PATHWISE under bounded star expansion, with
+// explicit structural guards:
+//
+//   simplify        the bounded-star-SAFE subset of core/simplify.h's
+//                   identity table: ∅/ε units and annihilators, idempotent
+//                   ∪ (by hash-consed id equality), degenerate closures
+//                   (∅* = ε* = ∅? = ε, ∅+ = ∅), power unrolling (R^0 = ε,
+//                   R^1 = R, ∅^n = ∅, ε^n = ε), and literal normalization
+//                   ({} = ∅, {ε} = ε). The nested-closure collapses
+//                   ((R*)* = R*, (R?)* = R*, …) are deliberately absent:
+//                   they are language identities, but under bounded star
+//                   expansion (EvalOptions::max_star_expansion) the nested
+//                   form reaches more repetitions than the collapsed one,
+//                   so collapsing SHRINKS governed results on cyclic
+//                   graphs.
+//   dead-branch     atoms whose index cardinality upper bound is ZERO (an
+//                   exact answer: nothing matches) become ∅; ∅/ε then
+//                   propagate structurally. Needs a bound universe.
+//   filter-pushdown at a ⋈◦ seam between two ε-free sides, the head
+//                   constraint guaranteed by the left side's LAST atom and
+//                   the tail constraint guaranteed by the right side's
+//                   FIRST atom must agree on the seam vertex, so each atom
+//                   is narrowed by the other's constraint — a σ-filter
+//                   pushed into the per-label CSR scan. Never pushes into
+//                   star/plus/power bodies (the body serves every
+//                   repetition, the seam only the outermost one) and never
+//                   across a nullable side (ε joins with everything).
+//   prefix-factor   (A ⋈◦ B) ∪ (A ⋈◦ C) → A ⋈◦ (B ∪ C) across whole union
+//                   spines, detecting common leading factors by hash-consed
+//                   id equality — the left-distributivity law the property
+//                   suite pins. Factored prefixes evaluate once and share
+//                   their PathArena nodes at runtime.
+//   join-reorder    re-associates every ⋈◦ spine into canonical left-deep
+//                   form (associativity; the direction decision itself is
+//                   made at emit time by the cost model + chain planner).
+//   dfa-minimize    for product- and literal-free subtrees up to a size
+//                   cap over a bound universe: materialize the minimized
+//                   DFA (regex/dfa_minimizer.h); a machine with no
+//                   reachable accepting state proves L = ∅ over the
+//                   universe's edges, and the subtree collapses to ∅.
+//
+// Passes are stateless singletons; registry lookup is by name. RunPipeline
+// applies a sequence and records a per-pass trace (sizes, rewrite counts,
+// wall time) that feeds ExplainPlan and the compiler.* metrics.
+
+#ifndef MRPA_COMPILER_PASSES_H_
+#define MRPA_COMPILER_PASSES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "compiler/ir.h"
+#include "core/edge_universe.h"
+#include "obs/obs.h"
+#include "util/exec_context.h"
+
+namespace mrpa {
+
+// Shared, read-only inputs for a pass run. Everything is optional: a pass
+// whose precondition is missing (no universe for dead-branch, say) must
+// return its input unchanged.
+struct PassContext {
+  const EdgeUniverse* universe = nullptr;
+  // The budget regime the plan will run under; advisory (a pass may skip
+  // expensive analysis under tight budgets), never semantic.
+  const ExecLimits* limits = nullptr;
+};
+
+// What a pass did, accumulated across a pipeline.
+struct PassStats {
+  size_t rewrites = 0;           // Nodes whose shape changed, roughly.
+  size_t dead_branches = 0;      // Subtrees proven ∅ (cardinality or DFA).
+  size_t filters_pushed = 0;     // Atom constraints narrowed at join seams.
+  size_t prefixes_factored = 0;  // Union operands folded under a factor.
+  size_t joins_reordered = 0;    // Join spines re-associated.
+};
+
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  // Must return an id denoting the same governed path set as `root`.
+  virtual IrId Run(IrModule& module, IrId root, const PassContext& ctx,
+                   PassStats& stats) const = 0;
+};
+
+// The registered passes in default pipeline order: simplify, dead-branch,
+// filter-pushdown, prefix-factor, join-reorder, dfa-minimize. Simplify
+// first exposes structure; dfa-minimize last sees the narrowed atoms.
+const std::vector<const Pass*>& DefaultPassPipeline();
+
+// Lookup by name(); nullptr when unknown.
+const Pass* FindPass(std::string_view name);
+
+// One pipeline step's record, for ExplainPlan and tests.
+struct PassTraceEntry {
+  std::string pass;
+  size_t size_before = 0;  // Expression-tree node counts.
+  size_t size_after = 0;
+  PassStats stats;
+};
+
+// Applies `passes` in order. `trace` (optional) receives one entry per
+// pass; `registry` (optional) receives compiler.* counters and the
+// per-pass wall-time histogram.
+IrId RunPipeline(IrModule& module, IrId root,
+                 const std::vector<const Pass*>& passes,
+                 const PassContext& ctx,
+                 std::vector<PassTraceEntry>* trace = nullptr,
+                 obs::ObsRegistry* registry = nullptr);
+
+}  // namespace mrpa
+
+#endif  // MRPA_COMPILER_PASSES_H_

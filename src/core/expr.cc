@@ -226,4 +226,28 @@ std::string PathExpr::ToString() const {
   return "?";
 }
 
+bool StructurallyEqual(const PathExpr& a, const PathExpr& b) {
+  if (&a == &b) return true;
+  if (a.kind() != b.kind()) return false;
+  switch (a.kind()) {
+    case ExprKind::kEmpty:
+    case ExprKind::kEpsilon:
+      return true;
+    case ExprKind::kAtom:
+      return a.pattern() == b.pattern();
+    case ExprKind::kLiteral:
+      return a.literal() == b.literal();
+    case ExprKind::kPower:
+      if (a.power() != b.power()) return false;
+      break;
+    default:
+      break;
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (size_t i = 0; i < a.children().size(); ++i) {
+    if (!StructurallyEqual(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace mrpa

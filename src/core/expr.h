@@ -140,6 +140,12 @@ class PathExpr : public std::enable_shared_from_this<PathExpr> {
   std::vector<PathExprPtr> children_;
 };
 
+// Structural equality: same shape, same patterns, same literals, same
+// exponents. Conservative with respect to the language — two structurally
+// different trees may denote the same path set. Shared by Simplify's R ∪ R
+// rule, the compiler's hash-consed IR, and the parser round-trip tests.
+bool StructurallyEqual(const PathExpr& a, const PathExpr& b);
+
 // Operator sugar: `a | b` is ∪, `a + b` is ⋈◦ (adjacency-guarded
 // concatenation — the regex concatenation of §IV-A).
 inline PathExprPtr operator|(PathExprPtr lhs, PathExprPtr rhs) {

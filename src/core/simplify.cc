@@ -10,33 +10,6 @@ bool IsEpsilon(const PathExprPtr& e) {
   return e->kind() == ExprKind::kEpsilon;
 }
 
-// Structural equality (same shape, patterns, literals). Conservative: two
-// structurally different trees may still denote the same language, which
-// simply means the R ∪ R rule fires less often.
-bool StructurallyEqual(const PathExprPtr& a, const PathExprPtr& b) {
-  if (a.get() == b.get()) return true;
-  if (a->kind() != b->kind()) return false;
-  switch (a->kind()) {
-    case ExprKind::kEmpty:
-    case ExprKind::kEpsilon:
-      return true;
-    case ExprKind::kAtom:
-      return a->pattern() == b->pattern();
-    case ExprKind::kLiteral:
-      return a->literal() == b->literal();
-    case ExprKind::kPower:
-      if (a->power() != b->power()) return false;
-      break;
-    default:
-      break;
-  }
-  if (a->children().size() != b->children().size()) return false;
-  for (size_t i = 0; i < a->children().size(); ++i) {
-    if (!StructurallyEqual(a->children()[i], b->children()[i])) return false;
-  }
-  return true;
-}
-
 PathExprPtr SimplifyNode(const PathExprPtr& expr);
 
 PathExprPtr SimplifyChildrenThenNode(const PathExprPtr& expr) {
@@ -93,15 +66,17 @@ PathExprPtr SimplifyNode(const PathExprPtr& expr) {
     case ExprKind::kUnion: {
       if (IsEmpty(children[0])) return children[1];
       if (IsEmpty(children[1])) return children[0];
-      if (StructurallyEqual(children[0], children[1])) return children[0];
-      // ε ∪ R* = R*; ε ∪ R = R?.
+      if (StructurallyEqual(*children[0], *children[1])) return children[0];
+      // ε ∪ R* = R*; ε ∪ R = R?. The fresh Optional goes back through
+      // SimplifyNode: its operand is already simplified, but the new node
+      // itself can be a redex (e.g. ε ∪ R+ builds (R+)? which is R*).
       if (IsEpsilon(children[0])) {
         if (children[1]->kind() == ExprKind::kStar) return children[1];
-        return PathExpr::MakeOptional(children[1]);
+        return SimplifyNode(PathExpr::MakeOptional(children[1]));
       }
       if (IsEpsilon(children[1])) {
         if (children[0]->kind() == ExprKind::kStar) return children[0];
-        return PathExpr::MakeOptional(children[0]);
+        return SimplifyNode(PathExpr::MakeOptional(children[0]));
       }
       return expr;
     }
@@ -120,8 +95,8 @@ PathExprPtr SimplifyNode(const PathExprPtr& expr) {
       if (inner->kind() == ExprKind::kStar) return inner;
       if (inner->kind() == ExprKind::kOptional ||
           inner->kind() == ExprKind::kPlus) {
-        // (R?)* = (R+)* = R*.
-        return PathExpr::MakeStar(inner->children()[0]);
+        // (R?)* = (R+)* = R*. Re-normalize: R may itself be a closure.
+        return SimplifyNode(PathExpr::MakeStar(inner->children()[0]));
       }
       return expr;
     }
@@ -134,8 +109,8 @@ PathExprPtr SimplifyNode(const PathExprPtr& expr) {
         return inner;  // (R*)+ = R*, (R+)+ = R+.
       }
       if (inner->kind() == ExprKind::kOptional) {
-        // (R?)+ = R*.
-        return PathExpr::MakeStar(inner->children()[0]);
+        // (R?)+ = R*. Re-normalize: R may itself be a closure.
+        return SimplifyNode(PathExpr::MakeStar(inner->children()[0]));
       }
       return expr;
     }
@@ -147,8 +122,8 @@ PathExprPtr SimplifyNode(const PathExprPtr& expr) {
         return inner;  // (R*)? = R*, (R?)? = R?.
       }
       if (inner->kind() == ExprKind::kPlus) {
-        // (R+)? = R*.
-        return PathExpr::MakeStar(inner->children()[0]);
+        // (R+)? = R*. Re-normalize: R may itself be a closure.
+        return SimplifyNode(PathExpr::MakeStar(inner->children()[0]));
       }
       return expr;
     }

@@ -96,6 +96,17 @@ ChainPlan PlanChain(const EdgeUniverse& universe,
   return plan;
 }
 
+ChainPlan PlanChain(const EdgeUniverse& universe,
+                    const std::vector<EdgePattern>& steps,
+                    const PlannerCostHints& hints) {
+  ChainPlan plan = PlanChain(universe, steps);
+  if (!hints.valid || steps.empty()) return plan;  // Degrade to the heuristic.
+  plan.direction = hints.backward_cost < hints.forward_cost
+                       ? ChainDirection::kBackward
+                       : ChainDirection::kForward;
+  return plan;
+}
+
 namespace {
 
 // Backward evaluation, threaded through the execution guard. The forward

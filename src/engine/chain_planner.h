@@ -61,6 +61,26 @@ struct ChainPlan {
 ChainPlan PlanChain(const EdgeUniverse& universe,
                     const std::vector<EdgePattern>& steps);
 
+// Whole-chain cost estimates from a calibrated cost model (the compiler's
+// src/compiler/cost_model.h propagates per-step selectivities through the
+// frontier recurrence, scaled by observed ObsRegistry level widths). The
+// costs are abstract frontier work, comparable only against each other.
+// `valid = false` — the default, and what the cost model emits when its
+// registry statistics are absent or stale — makes the hinted overload
+// below degrade to the seed-comparison heuristic exactly.
+struct PlannerCostHints {
+  bool valid = false;
+  double forward_cost = 0.0;
+  double backward_cost = 0.0;
+};
+
+// PlanChain with a cost model: direction follows the cheaper whole-chain
+// estimate when `hints.valid`, and the heuristic above otherwise. The seed
+// estimates in the returned plan are the index counts either way.
+ChainPlan PlanChain(const EdgeUniverse& universe,
+                    const std::vector<EdgePattern>& steps,
+                    const PlannerCostHints& hints);
+
 // Evaluates the chain in the given direction; both directions produce the
 // identical path set (⋈◦ associativity).
 Result<PathSet> EvaluateChain(const EdgeUniverse& universe,

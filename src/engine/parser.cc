@@ -374,7 +374,128 @@ class Parser {
   size_t cursor_ = 0;
 };
 
+// --- Printing ------------------------------------------------------------
+//
+// Grammar levels, loosest to tightest; a child whose own level is looser
+// than the slot it appears in gets parenthesized. Binary operators are
+// left-associative in the grammar, so their RIGHT operand is printed one
+// level tighter — `a | (b | c)` keeps its right-leaning shape through a
+// re-parse, while `(a | b) | c` prints (and re-parses) without parens.
+enum : int { kLevelUnion = 0, kLevelSeq = 1, kLevelPostfix = 2 };
+
+int PrintLevel(const PathExpr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::kUnion:
+      return kLevelUnion;
+    case ExprKind::kJoin:
+    case ExprKind::kProduct:
+      return kLevelSeq;
+    case ExprKind::kStar:
+    case ExprKind::kPlus:
+    case ExprKind::kOptional:
+    case ExprKind::kPower:
+      return kLevelPostfix;
+    default:
+      return kLevelPostfix + 1;  // Atoms, ∅, ε: primary.
+  }
+}
+
+std::string PrintField(const IdConstraint& c) {
+  // `!_` parses to the empty (match-nothing) set, and `!` of that to its
+  // negated twin — the two shapes ConstraintToString (edge_pattern.cc) has
+  // no parseable spelling for.
+  if (c.IsUnconstrained()) return "_";
+  std::string out;
+  if (c.ids()->empty()) return c.negated() ? "!!_" : "!_";
+  if (c.negated()) out += '!';
+  if (c.ids()->size() == 1) {
+    out += std::to_string(c.ids()->front());
+    return out;
+  }
+  out += '{';
+  for (size_t i = 0; i < c.ids()->size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string((*c.ids())[i]);
+  }
+  out += '}';
+  return out;
+}
+
+Status PrintInto(const PathExpr& expr, int slot_level, std::string& out) {
+  const bool parens = PrintLevel(expr) < slot_level;
+  if (parens) out += '(';
+  switch (expr.kind()) {
+    case ExprKind::kEmpty:
+      out += "empty";
+      break;
+    case ExprKind::kEpsilon:
+      out += "eps";
+      break;
+    case ExprKind::kAtom:
+      out += '[';
+      out += PrintField(expr.pattern().tail());
+      out += ", ";
+      out += PrintField(expr.pattern().label());
+      out += ", ";
+      out += PrintField(expr.pattern().head());
+      out += ']';
+      break;
+    case ExprKind::kLiteral:
+      return Status::InvalidArgument(
+          "literal path sets have no text syntax and cannot be printed");
+    case ExprKind::kUnion:
+    case ExprKind::kJoin:
+    case ExprKind::kProduct: {
+      const int level = PrintLevel(expr);
+      if (Status s = PrintInto(*expr.children()[0], level, out); !s.ok()) {
+        return s;
+      }
+      out += expr.kind() == ExprKind::kUnion    ? " | "
+             : expr.kind() == ExprKind::kJoin ? " . "
+                                              : " >< ";
+      if (Status s = PrintInto(*expr.children()[1], level + 1, out);
+          !s.ok()) {
+        return s;
+      }
+      break;
+    }
+    case ExprKind::kStar:
+    case ExprKind::kPlus:
+    case ExprKind::kOptional:
+    case ExprKind::kPower: {
+      if (Status s = PrintInto(*expr.children()[0], kLevelPostfix, out);
+          !s.ok()) {
+        return s;
+      }
+      switch (expr.kind()) {
+        case ExprKind::kStar:
+          out += '*';
+          break;
+        case ExprKind::kPlus:
+          out += '+';
+          break;
+        case ExprKind::kOptional:
+          out += '?';
+          break;
+        default:
+          out += '^';
+          out += std::to_string(expr.power());
+          break;
+      }
+      break;
+    }
+  }
+  if (parens) out += ')';
+  return Status::OK();
+}
+
 }  // namespace
+
+Result<std::string> PrintPathExpr(const PathExpr& expr) {
+  std::string out;
+  if (Status s = PrintInto(expr, kLevelUnion, out); !s.ok()) return s;
+  return out;
+}
 
 Result<PathExprPtr> ParsePathExpr(std::string_view text,
                                   const MultiRelationalGraph* graph) {

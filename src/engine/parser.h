@@ -44,6 +44,14 @@ namespace mrpa {
 Result<PathExprPtr> ParsePathExpr(std::string_view text,
                                   const MultiRelationalGraph* graph = nullptr);
 
+// The inverse: renders `expr` in the ASCII grammar above (numeric ids,
+// minimal parentheses), such that
+//   Parse(Print(e)) is structurally identical to e
+// for every printable expression. kLiteral nodes have no text syntax and
+// fail with InvalidArgument; everything else round-trips — the parser
+// property tests and the compiler's fuzz corpus depend on it.
+Result<std::string> PrintPathExpr(const PathExpr& expr);
+
 }  // namespace mrpa
 
 #endif  // MRPA_ENGINE_PARSER_H_

@@ -49,6 +49,13 @@ constexpr std::string_view kMetricNames[] = {
     "service.hot_swaps",
     "service.snapshots_reclaimed",
     "service.queries_executed",
+    "compiler.queries_compiled",
+    "compiler.pass_runs",
+    "compiler.rewrites",
+    "compiler.dead_branches",
+    "compiler.filters_pushed",
+    "compiler.prefixes_factored",
+    "compiler.joins_reordered",
 };
 static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
               "kMetricNames must cover every Metric");
@@ -62,6 +69,7 @@ constexpr std::string_view kHistNames[] = {
     "service.queue_depth",
     "service.epoch_lag",
     "service.admit_wait_nanos",
+    "compiler.pass_nanos",
 };
 static_assert(std::size(kHistNames) == static_cast<size_t>(Hist::kCount),
               "kHistNames must cover every Hist");

@@ -124,6 +124,19 @@ enum class Metric : uint32_t {
   kServiceHotSwaps,
   kServiceSnapshotsReclaimed,
   kServiceQueriesExecuted,
+  // The query compiler (src/compiler/): queries compiled, optimizer pass
+  // executions, IR nodes rewritten by any pass, and the per-pass rewrite
+  // breakdown — union/join branches proven dead (zero-cardinality atoms or
+  // DFA-empty subtrees), σ-filters pushed into adjacent atom scans at join
+  // seams, common join prefixes factored out of unions, and join chains
+  // re-associated / direction-chosen by the cost model.
+  kCompilerQueriesCompiled,
+  kCompilerPassRuns,
+  kCompilerRewrites,
+  kCompilerDeadBranches,
+  kCompilerFiltersPushed,
+  kCompilerPrefixesFactored,
+  kCompilerJoinsReordered,
   kCount
 };
 
@@ -145,6 +158,8 @@ enum class Hist : uint32_t {
   kServiceQueueDepth,
   kServiceEpochLag,
   kServiceAdmitWaitNanos,
+  // Wall time of each optimizer pass execution (nanoseconds).
+  kCompilerPassNanos,
   kCount
 };
 

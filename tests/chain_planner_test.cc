@@ -5,8 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include "compiler/cost_model.h"
 #include "core/traversal.h"
 #include "generators/generators.h"
+#include "obs/obs.h"
+#include "util/random.h"
 
 namespace mrpa {
 namespace {
@@ -173,6 +176,151 @@ TEST(EvaluatePlannedTest, ChainsAndNonChains) {
   ASSERT_TRUE(planned_union.ok());
   ASSERT_TRUE(direct_union.ok());
   EXPECT_EQ(planned_union.value(), direct_union.value());
+}
+
+TEST(PlanTest, LabelSkewDrivesTheDirection) {
+  // The funnel's labels are skewed 20 (α) to 4 (β): whichever end carries
+  // the rare label seeds the traversal, and the direction choice never
+  // changes the answer.
+  auto g = Skewed();
+  const std::vector<EdgePattern> rare_last = {EdgePattern::Labeled(0),
+                                              EdgePattern::Labeled(1)};
+  const std::vector<EdgePattern> rare_first = {EdgePattern::Labeled(1),
+                                               EdgePattern::Labeled(0)};
+
+  ChainPlan plan = PlanChain(g, rare_last);
+  EXPECT_EQ(plan.direction, ChainDirection::kBackward);
+  EXPECT_EQ(plan.forward_seed_estimate, 20u);
+  EXPECT_EQ(plan.backward_seed_estimate, 4u);
+
+  plan = PlanChain(g, rare_first);
+  EXPECT_EQ(plan.direction, ChainDirection::kForward);
+  EXPECT_EQ(plan.forward_seed_estimate, 4u);
+  EXPECT_EQ(plan.backward_seed_estimate, 20u);
+
+  for (const auto& steps : {rare_last, rare_first}) {
+    auto fwd = EvaluateChain(g, steps, ChainDirection::kForward);
+    auto bwd = EvaluateChain(g, steps, ChainDirection::kBackward);
+    ASSERT_TRUE(fwd.ok());
+    ASSERT_TRUE(bwd.ok());
+    EXPECT_EQ(fwd.value(), bwd.value());
+  }
+}
+
+// --- Hinted PlanChain: cost-model integration and its degradation -------
+
+EdgePattern RandomPattern(Rng& rng, uint32_t num_vertices,
+                          uint32_t num_labels) {
+  switch (rng.Below(4)) {
+    case 0:
+      return EdgePattern::Any();
+    case 1:
+      return EdgePattern::Labeled(
+          static_cast<uint32_t>(rng.Below(num_labels)));
+    case 2:
+      return EdgePattern::From(
+          static_cast<uint32_t>(rng.Below(num_vertices)));
+    default:
+      return EdgePattern::Into(
+          static_cast<uint32_t>(rng.Below(num_vertices)));
+  }
+}
+
+TEST(HintedPlanTest, DegradesToTheHeuristicWithoutUsableStats) {
+  // The degradation contract, differentially verified: whenever the cost
+  // model cannot calibrate — no registry, a registry with no traversal
+  // history, or one whose history is stale for this universe — the hinted
+  // overload must reproduce the seed heuristic's plan EXACTLY, over random
+  // chains, not merely on a cherry-picked example.
+  auto graph = GenerateErdosRenyi(
+      {.num_vertices = 30, .num_labels = 4, .num_edges = 80, .seed = 41});
+  ASSERT_TRUE(graph.ok());
+
+  obs::ObsRegistry empty_registry;
+  obs::ObsRegistry stale_registry;
+  // Mean and max level width beyond |E|=80: impossible on this graph, so
+  // the stats must belong to some other universe and are rejected.
+  stale_registry.Record(obs::Hist::kTraversalLevelWidth, 10'000);
+
+  const CostModel no_registry(*graph, nullptr);
+  const CostModel no_history(*graph, &empty_registry);
+  const CostModel stale(*graph, &stale_registry);
+  EXPECT_FALSE(no_registry.calibrated());
+  EXPECT_FALSE(no_history.calibrated());
+  EXPECT_FALSE(stale.calibrated());
+
+  Rng rng(0xCAB1u);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<EdgePattern> chain;
+    const size_t length = 1 + rng.Below(4);
+    for (size_t i = 0; i < length; ++i) {
+      chain.push_back(RandomPattern(rng, 30, 4));
+    }
+    const ChainPlan heuristic = PlanChain(*graph, chain);
+    for (const CostModel* model : {&no_registry, &no_history, &stale}) {
+      const PlannerCostHints hints = model->Hints(chain);
+      EXPECT_FALSE(hints.valid);
+      const ChainPlan hinted = PlanChain(*graph, chain, hints);
+      EXPECT_EQ(hinted.direction, heuristic.direction);
+      EXPECT_EQ(hinted.forward_seed_estimate, heuristic.forward_seed_estimate);
+      EXPECT_EQ(hinted.backward_seed_estimate,
+                heuristic.backward_seed_estimate);
+    }
+  }
+}
+
+TEST(HintedPlanTest, CalibratedHintsFlipAnExplosiveMiddle) {
+  // The motivating case from the cost-model header: seeds compare only the
+  // chain ENDS, so a 5-edge head narrowly beats a 6-edge tail and the
+  // heuristic goes forward — straight into a 40-edge middle step. The
+  // whole-chain frontier model sees the blow-up and flips the direction.
+  // Either direction computes the same join, which is what makes the flip
+  // safe to take.
+  MultiGraphBuilder b;
+  for (uint32_t i = 0; i < 5; ++i) {
+    b.AddEdge(VertexId{i}, LabelId{0}, VertexId{i + 1});  // head: 5 edges
+  }
+  for (uint32_t i = 0; i < 10; ++i) {
+    for (uint32_t k = 1; k <= 4; ++k) {  // middle: 40 label-1 edges
+      b.AddEdge(VertexId{i}, LabelId{1}, VertexId{(i + k) % 10});
+    }
+  }
+  b.AddEdge(VertexId{6}, LabelId{2}, VertexId{7});  // narrow: 2 edges
+  b.AddEdge(VertexId{7}, LabelId{2}, VertexId{8});
+  for (uint32_t i = 0; i < 6; ++i) {
+    b.AddEdge(VertexId{i}, LabelId{3}, VertexId{i + 1});  // tail: 6 edges
+  }
+  const MultiRelationalGraph g = b.Build();
+  const std::vector<EdgePattern> chain = {
+      EdgePattern::Labeled(0), EdgePattern::Labeled(1),
+      EdgePattern::Labeled(2), EdgePattern::Labeled(3)};
+
+  const ChainPlan heuristic = PlanChain(g, chain);
+  EXPECT_EQ(heuristic.direction, ChainDirection::kForward);
+  EXPECT_EQ(heuristic.forward_seed_estimate, 5u);
+  EXPECT_EQ(heuristic.backward_seed_estimate, 6u);
+
+  obs::ObsRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    registry.Record(obs::Hist::kTraversalLevelWidth, 3);
+  }
+  const CostModel model(g, &registry);
+  ASSERT_TRUE(model.calibrated());
+  const PlannerCostHints hints = model.Hints(chain);
+  ASSERT_TRUE(hints.valid);
+  EXPECT_LT(hints.backward_cost, hints.forward_cost);
+
+  const ChainPlan hinted = PlanChain(g, chain, hints);
+  EXPECT_EQ(hinted.direction, ChainDirection::kBackward);
+  // Hints steer the direction only; the seed estimates stay the index's.
+  EXPECT_EQ(hinted.forward_seed_estimate, heuristic.forward_seed_estimate);
+  EXPECT_EQ(hinted.backward_seed_estimate, heuristic.backward_seed_estimate);
+
+  auto fwd = EvaluateChain(g, chain, ChainDirection::kForward);
+  auto bwd = EvaluateChain(g, chain, ChainDirection::kBackward);
+  ASSERT_TRUE(fwd.ok());
+  ASSERT_TRUE(bwd.ok());
+  EXPECT_EQ(fwd.value(), bwd.value());
 }
 
 TEST(EvaluatePlannedTest, DestinationSelectiveUsesBackward) {

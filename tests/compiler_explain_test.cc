@@ -1,0 +1,178 @@
+// ExplainPlan goldens. The rendering is documented deterministic — no
+// timing, no pointers, fixed 2-digit floats — so these tests pin the FULL
+// multi-line output, not substrings: any change to the plan printer, the
+// pass trace format, the chain planner's seed estimates, or the cost
+// model's arithmetic shows up as a readable golden diff.
+
+#include "compiler/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/expr.h"
+#include "graph/multi_graph.h"
+#include "obs/obs.h"
+#include "regex/figure1.h"
+
+namespace mrpa {
+namespace {
+
+// A no-op trace on an already-minimal chain: every pass runs, none rewrites.
+constexpr char kIdleTrace[] =
+    "passes:\n"
+    "  simplify: 3 -> 3 nodes\n"
+    "  dead-branch: 3 -> 3 nodes\n"
+    "  filter-pushdown: 3 -> 3 nodes\n"
+    "  prefix-factor: 3 -> 3 nodes\n"
+    "  join-reorder: 3 -> 3 nodes\n"
+    "  dfa-minimize: 3 -> 3 nodes\n";
+
+std::string Explain(const PathExprPtr& expr, const EdgeUniverse& graph,
+                    const CompileOptions& options = {}) {
+  const Result<CompiledQuery> query = CompileQuery(expr, graph, options);
+  EXPECT_TRUE(query.ok()) << query.status().ToString();
+  return query.ok() ? query->ExplainPlan() : std::string();
+}
+
+// Six label-0 edges chained 0→…→6, one label-1 edge (6,1,7): seeding the
+// chain [_,0,_]⋈[_,1,_] backward starts from 1 edge instead of 6.
+MultiRelationalGraph BackwardSkewGraph() {
+  MultiGraphBuilder b;
+  for (uint32_t v = 0; v < 6; ++v) {
+    b.AddEdge(VertexId{v}, LabelId{0}, VertexId{v + 1});
+  }
+  b.AddEdge(VertexId{6}, LabelId{1}, VertexId{7});
+  return b.Build();
+}
+
+TEST(ExplainPlanTest, ChainDirectionFollowsTheSkewBackward) {
+  const MultiRelationalGraph graph = BackwardSkewGraph();
+  const std::string plan =
+      Explain(PathExpr::Labeled(0) + PathExpr::Labeled(1), graph);
+  EXPECT_EQ(plan,
+            "query: ([_, 0, _] ⋈ [_, 1, _])\n"
+            "plan:  ([_, 0, _] ⋈ [_, 1, _])\n" +
+                std::string(kIdleTrace) +
+                "execution: chain steps=2 direction=backward seeds fwd=6 "
+                "bwd=1\n"
+                "cost: heuristic (uncalibrated)\n"
+                "dfa: minimized=4/4 states classes=2\n");
+}
+
+TEST(ExplainPlanTest, ChainDirectionFollowsTheSkewForward) {
+  // The mirror image: one label-0 edge, six label-1 edges.
+  MultiGraphBuilder b;
+  for (uint32_t v = 0; v < 6; ++v) {
+    b.AddEdge(VertexId{v}, LabelId{1}, VertexId{v + 1});
+  }
+  b.AddEdge(VertexId{6}, LabelId{0}, VertexId{7});
+  const MultiRelationalGraph graph = b.Build();
+  const std::string plan =
+      Explain(PathExpr::Labeled(0) + PathExpr::Labeled(1), graph);
+  EXPECT_EQ(plan,
+            "query: ([_, 0, _] ⋈ [_, 1, _])\n"
+            "plan:  ([_, 0, _] ⋈ [_, 1, _])\n" +
+                std::string(kIdleTrace) +
+                "execution: chain steps=2 direction=forward seeds fwd=1 "
+                "bwd=6\n"
+                "cost: heuristic (uncalibrated)\n"
+                "dfa: minimized=4/4 states classes=2\n");
+}
+
+TEST(ExplainPlanTest, OptimizationsShowInTheTraceWithStats) {
+  // ([7,_,_] ⋈ E) ∪ ([_,0,_] ⋈ ε): simplify strips the ε join (one
+  // rewrite), dead-branch kills the vertex-7 side and cascades through the
+  // join and union (three rewrites, one dead branch) — and the surviving
+  // single atom compiles to a one-step chain.
+  MultiGraphBuilder b;
+  b.AddEdge(VertexId{0}, LabelId{0}, VertexId{1});
+  b.AddEdge(VertexId{1}, LabelId{1}, VertexId{2});
+  b.AddEdge(VertexId{3}, LabelId{0}, VertexId{4});
+  const MultiRelationalGraph graph = b.Build();
+  const PathExprPtr expr = (PathExpr::From(7) + PathExpr::AnyEdge()) |
+                           (PathExpr::Labeled(0) + PathExpr::Epsilon());
+  EXPECT_EQ(Explain(expr, graph),
+            "query: (([7, _, _] ⋈ [_, _, _]) ∪ ([_, 0, _] ⋈ ε))\n"
+            "plan:  [_, 0, _]\n"
+            "passes:\n"
+            "  simplify: 7 -> 5 nodes (rewrites=1)\n"
+            "  dead-branch: 5 -> 1 nodes (rewrites=3, dead_branches=1)\n"
+            "  filter-pushdown: 1 -> 1 nodes\n"
+            "  prefix-factor: 1 -> 1 nodes\n"
+            "  join-reorder: 1 -> 1 nodes\n"
+            "  dfa-minimize: 1 -> 1 nodes\n"
+            "execution: chain steps=1 direction=forward seeds fwd=2 bwd=2\n"
+            "cost: heuristic (uncalibrated)\n"
+            "dfa: minimized=3/3 states classes=2\n");
+}
+
+TEST(ExplainPlanTest, Figure1CompilesToEvaluateWithoutDfaReport) {
+  // The paper's Figure 1 expression holds a path-set literal, so it is
+  // outside the DFA fragment (no "dfa:" line) and outside the chain
+  // fragment (closure + union ⇒ "execution: evaluate").
+  const MultiRelationalGraph graph = BuildFigure1Graph();
+  EXPECT_EQ(
+      Explain(BuildFigure1Expr(), graph),
+      "query: (([0, 0, _] ⋈ [_, 1, _]*) ⋈ (([_, 0, 1] ⋈ {(1,0,0)}) ∪ "
+      "[_, 0, 2]))\n"
+      "plan:  (([0, 0, _] ⋈ [_, 1, _]*) ⋈ (([_, 0, 1] ⋈ {(1,0,0)}) ∪ "
+      "[_, 0, 2]))\n"
+      "passes:\n"
+      "  simplify: 10 -> 10 nodes\n"
+      "  dead-branch: 10 -> 10 nodes\n"
+      "  filter-pushdown: 10 -> 10 nodes\n"
+      "  prefix-factor: 10 -> 10 nodes\n"
+      "  join-reorder: 10 -> 10 nodes\n"
+      "  dfa-minimize: 10 -> 10 nodes\n"
+      "execution: evaluate\n"
+      "cost: heuristic (uncalibrated)\n");
+}
+
+TEST(ExplainPlanTest, UnoptimizedCompilesPrintAnEmptyTrace) {
+  const MultiRelationalGraph graph = BuildFigure1Graph();
+  CompileOptions options;
+  options.optimize = false;
+  const std::string plan = Explain(BuildFigure1Expr(), graph, options);
+  EXPECT_NE(plan.find("passes:\n  (none)\n"), std::string::npos) << plan;
+  // Emission is independent of optimization: same execution strategy line.
+  EXPECT_NE(plan.find("execution: evaluate\n"), std::string::npos) << plan;
+}
+
+TEST(ExplainPlanTest, CalibratedCostModelPrintsTheFrontierEstimates) {
+  // Recorded traversal level widths (8 × width 2) calibrate the cost
+  // model: fanout becomes the observed mean level-width ratio and both
+  // whole-chain frontier costs print with two digits. The direction still
+  // agrees with the skew here, but it is now the MODEL's verdict.
+  const MultiRelationalGraph graph = BackwardSkewGraph();
+  obs::ObsRegistry registry;
+  for (int i = 0; i < 8; ++i) {
+    registry.Record(obs::Hist::kTraversalLevelWidth, 2);
+  }
+  CompileOptions options;
+  options.registry = &registry;
+  const std::string plan =
+      Explain(PathExpr::Labeled(0) + PathExpr::Labeled(1), graph, options);
+  EXPECT_EQ(plan,
+            "query: ([_, 0, _] ⋈ [_, 1, _])\n"
+            "plan:  ([_, 0, _] ⋈ [_, 1, _])\n" +
+                std::string(kIdleTrace) +
+                "execution: chain steps=2 direction=backward seeds fwd=6 "
+                "bwd=1\n"
+                "cost: model fanout=0.88 fwd=6.75 bwd=1.75\n"
+                "dfa: minimized=4/4 states classes=2\n");
+}
+
+TEST(ExplainPlanTest, RenderingIsDeterministic) {
+  const MultiRelationalGraph graph = BuildFigure1Graph();
+  const PathExprPtr expr = BuildFigure1Expr();
+  const Result<CompiledQuery> a = CompileQuery(expr, graph);
+  const Result<CompiledQuery> b = CompileQuery(expr, graph);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ExplainPlan(), b->ExplainPlan());
+  EXPECT_EQ(a->ExplainPlan(), a->ExplainPlan());
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,193 @@
+// The hash-consed algebra IR (src/compiler/ir.h): lowering round trip,
+// structural interning, and the per-node analyses the optimizer passes
+// consume.
+
+#include "compiler/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "core/expr.h"
+#include "util/random.h"
+
+namespace mrpa {
+namespace {
+
+PathExprPtr A() { return PathExpr::Labeled(0); }
+PathExprPtr B() { return PathExpr::Labeled(1); }
+
+PathSet OneEdgeSet() { return PathSet({Path(Edge(0, 0, 1))}); }
+
+// Random expression over every constructor (literals included — the IR
+// must carry what it cannot optimize).
+PathExprPtr RandomExpr(Rng& rng, int depth) {
+  auto atom = [&]() -> PathExprPtr {
+    switch (rng.Below(4)) {
+      case 0:
+        return PathExpr::Labeled(static_cast<LabelId>(rng.Below(3)));
+      case 1:
+        return PathExpr::From(static_cast<VertexId>(rng.Below(5)));
+      case 2:
+        return PathExpr::Into(static_cast<VertexId>(rng.Below(5)));
+      default:
+        return PathExpr::AnyEdge();
+    }
+  };
+  if (depth <= 0) {
+    switch (rng.Below(6)) {
+      case 0:
+        return PathExpr::Empty();
+      case 1:
+        return PathExpr::Epsilon();
+      case 2:
+        return PathExpr::Literal(OneEdgeSet());
+      default:
+        return atom();
+    }
+  }
+  switch (rng.Below(7)) {
+    case 0:
+      return PathExpr::MakeUnion(RandomExpr(rng, depth - 1),
+                                 RandomExpr(rng, depth - 1));
+    case 1:
+      return PathExpr::MakeJoin(RandomExpr(rng, depth - 1),
+                                RandomExpr(rng, depth - 1));
+    case 2:
+      return PathExpr::MakeProduct(RandomExpr(rng, depth - 1),
+                                   RandomExpr(rng, depth - 1));
+    case 3:
+      return PathExpr::MakeStar(RandomExpr(rng, depth - 1));
+    case 4:
+      return PathExpr::MakePlus(RandomExpr(rng, depth - 1));
+    case 5:
+      return PathExpr::MakeOptional(RandomExpr(rng, depth - 1));
+    default:
+      return PathExpr::MakePower(RandomExpr(rng, depth - 1), rng.Below(4));
+  }
+}
+
+TEST(IrModuleTest, LowerToExprRoundTripsStructurally) {
+  Rng rng(0x51u);
+  for (int trial = 0; trial < 200; ++trial) {
+    PathExprPtr expr = RandomExpr(rng, 3);
+    IrModule module;
+    const IrId id = module.Lower(*expr);
+    PathExprPtr back = module.ToExpr(id);
+    EXPECT_TRUE(StructurallyEqual(*expr, *back))
+        << expr->ToString() << " vs " << back->ToString();
+  }
+}
+
+TEST(IrModuleTest, InterningIsStructural) {
+  IrModule module;
+  // Same shape built twice → same id, node count unchanged.
+  const IrId a1 = module.Lower(*(A() + B()));
+  const size_t after_first = module.num_nodes();
+  const IrId a2 = module.Lower(*(A() + B()));
+  EXPECT_EQ(a1, a2);
+  EXPECT_EQ(module.num_nodes(), after_first);
+  // Different shape → different id.
+  const IrId b = module.Lower(*(B() + A()));
+  EXPECT_NE(a1, b);
+}
+
+TEST(IrModuleTest, IdEqualityMatchesStructuralEqualityOnRandomPairs) {
+  Rng rng(0x52u);
+  for (int trial = 0; trial < 200; ++trial) {
+    PathExprPtr x = RandomExpr(rng, 2);
+    PathExprPtr y = RandomExpr(rng, 2);
+    IrModule module;
+    const bool ids_equal = module.Lower(*x) == module.Lower(*y);
+    EXPECT_EQ(ids_equal, StructurallyEqual(*x, *y))
+        << x->ToString() << " vs " << y->ToString();
+  }
+}
+
+TEST(IrModuleTest, SharedSubtreesInternOnce) {
+  IrModule module;
+  // (A ⋈ B) ∪ (A ⋈ B) shares the join node.
+  const IrId join = module.Lower(*(A() + B()));
+  const IrId both = module.Lower(*((A() + B()) | (A() + B())));
+  EXPECT_EQ(module.node(both).lhs, join);
+  EXPECT_EQ(module.node(both).rhs, join);
+}
+
+TEST(IrModuleTest, AtomPayloadsDeduplicate) {
+  IrModule module;
+  const IrId a1 = module.Atom(EdgePattern::Labeled(3));
+  const IrId a2 = module.Atom(EdgePattern::Labeled(3));
+  const IrId a3 = module.Atom(EdgePattern::Labeled(4));
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, a3);
+  EXPECT_EQ(module.atom_of(a1), EdgePattern::Labeled(3));
+}
+
+TEST(IrModuleTest, NullabilityAnalysis) {
+  IrModule module;
+  EXPECT_FALSE(module.node(module.Lower(*A())).nullable);
+  EXPECT_TRUE(module.node(module.Epsilon()).nullable);
+  EXPECT_FALSE(module.node(module.Empty()).nullable);
+  EXPECT_TRUE(module.node(module.Lower(*PathExpr::MakeStar(A()))).nullable);
+  EXPECT_FALSE(module.node(module.Lower(*PathExpr::MakePlus(A()))).nullable);
+  EXPECT_TRUE(module.node(module.Lower(*PathExpr::MakeOptional(A()))).nullable);
+  EXPECT_TRUE(
+      module.node(module.Lower(*PathExpr::MakePower(A(), 0))).nullable);
+  EXPECT_FALSE(
+      module.node(module.Lower(*PathExpr::MakePower(A(), 2))).nullable);
+  // Union is nullable iff either side; join iff both.
+  EXPECT_TRUE(
+      module.node(module.Lower(*(A() | PathExpr::Epsilon()))).nullable);
+  EXPECT_FALSE(
+      module.node(module.Lower(*(A() + PathExpr::Epsilon()))).nullable);
+  EXPECT_TRUE(module
+                  .node(module.Lower(*PathExpr::MakeJoin(
+                      PathExpr::Epsilon(), PathExpr::Epsilon())))
+                  .nullable);
+  // Literals: nullable iff they contain ε.
+  EXPECT_TRUE(module.node(module.Literal(PathSet::EpsilonSet())).nullable);
+  EXPECT_FALSE(module.node(module.Literal(OneEdgeSet())).nullable);
+}
+
+TEST(IrModuleTest, StructuralFreenessAnalyses) {
+  IrModule module;
+  const IrId plain = module.Lower(*(A() + B()));
+  EXPECT_TRUE(module.node(plain).product_free);
+  EXPECT_TRUE(module.node(plain).star_free);
+  EXPECT_TRUE(module.node(plain).literal_free);
+
+  const IrId with_product =
+      module.Lower(*(PathExpr::MakeProduct(A(), B()) | A()));
+  EXPECT_FALSE(module.node(with_product).product_free);
+  EXPECT_TRUE(module.node(with_product).star_free);
+
+  const IrId with_star = module.Lower(*(PathExpr::MakeStar(A()) + B()));
+  EXPECT_FALSE(module.node(with_star).star_free);
+  EXPECT_TRUE(module.node(with_star).product_free);
+
+  const IrId with_literal =
+      module.Lower(*(PathExpr::Literal(OneEdgeSet()) | A()));
+  EXPECT_FALSE(module.node(with_literal).literal_free);
+  EXPECT_TRUE(module.node(with_literal).product_free);
+}
+
+TEST(IrModuleTest, SizeCountsExpressionTreeNodes) {
+  IrModule module;
+  EXPECT_EQ(module.node(module.Lower(*A())).size, 1u);
+  EXPECT_EQ(module.node(module.Lower(*(A() + B()))).size, 3u);
+  // Shared subtrees still count per OCCURRENCE (tree size, not DAG size):
+  // (A ⋈ B) ∪ (A ⋈ B) has 7 tree nodes in 4 interned nodes.
+  const IrId both = module.Lower(*((A() + B()) | (A() + B())));
+  EXPECT_EQ(module.node(both).size, 7u);
+}
+
+TEST(IrModuleTest, SizeMatchesNodeCountOnRandomExprs) {
+  Rng rng(0x53u);
+  for (int trial = 0; trial < 100; ++trial) {
+    PathExprPtr expr = RandomExpr(rng, 3);
+    IrModule module;
+    EXPECT_EQ(module.node(module.Lower(*expr)).size, expr->NodeCount())
+        << expr->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -1,0 +1,442 @@
+// Per-pass unit tests for the optimizer (src/compiler/passes.h): each pass
+// checked in isolation on hand-built shapes where the expected rewrite is
+// known exactly — the differential harness (compiler_pipeline_test.cc)
+// covers the semantic side on random inputs. Hash-consing turns every
+// "rewrote to X" assertion into an id comparison against the expected
+// shape interned into the same module.
+
+#include "compiler/passes.h"
+
+#include <gtest/gtest.h>
+
+#include "compiler/ir.h"
+#include "core/expr.h"
+#include "graph/multi_graph.h"
+#include "obs/obs.h"
+
+namespace mrpa {
+namespace {
+
+// 0 -a-> 1 -b-> 2, plus 3 -a-> 4 off to the side. Labels: a=0, b=1.
+MultiRelationalGraph ChainGraph() {
+  MultiGraphBuilder b;
+  b.AddEdge(VertexId{0}, LabelId{0}, VertexId{1});
+  b.AddEdge(VertexId{1}, LabelId{1}, VertexId{2});
+  b.AddEdge(VertexId{3}, LabelId{0}, VertexId{4});
+  return b.Build();
+}
+
+IrId RunOne(std::string_view pass_name, IrModule& m, IrId root,
+            const PassContext& ctx, PassStats* stats = nullptr) {
+  const Pass* pass = FindPass(pass_name);
+  EXPECT_NE(pass, nullptr) << pass_name;
+  if (pass == nullptr) return kNoIr;
+  PassStats local;
+  return pass->Run(m, root, ctx, stats != nullptr ? *stats : local);
+}
+
+TEST(PassRegistryTest, DefaultPipelineOrderAndLookup) {
+  const std::vector<const Pass*>& pipeline = DefaultPassPipeline();
+  ASSERT_EQ(pipeline.size(), 6u);
+  EXPECT_EQ(pipeline[0]->name(), "simplify");
+  EXPECT_EQ(pipeline[1]->name(), "dead-branch");
+  EXPECT_EQ(pipeline[2]->name(), "filter-pushdown");
+  EXPECT_EQ(pipeline[3]->name(), "prefix-factor");
+  EXPECT_EQ(pipeline[4]->name(), "join-reorder");
+  EXPECT_EQ(pipeline[5]->name(), "dfa-minimize");
+  for (const Pass* pass : pipeline) {
+    EXPECT_EQ(FindPass(pass->name()), pass);
+  }
+  EXPECT_EQ(FindPass("no-such-pass"), nullptr);
+}
+
+// --- simplify -------------------------------------------------------------
+
+class SimplifyPassTest : public ::testing::Test {
+ protected:
+  IrModule m_;
+  PassContext ctx_;  // simplify needs no universe.
+  PassStats stats_;
+
+  IrId Simplified(const PathExprPtr& expr) {
+    return RunOne("simplify", m_, m_.Lower(*expr), ctx_, &stats_);
+  }
+};
+
+TEST_F(SimplifyPassTest, UnitAndAnnihilatorIdentities) {
+  const PathExprPtr a = PathExpr::Labeled(0);
+  const IrId ia = m_.Lower(*a);
+  EXPECT_EQ(Simplified(a | PathExpr::Empty()), ia);
+  EXPECT_EQ(Simplified(PathExpr::Empty() | a), ia);
+  EXPECT_EQ(Simplified(a | a), ia);
+  EXPECT_EQ(Simplified(a + PathExpr::Epsilon()), ia);
+  EXPECT_EQ(Simplified(PathExpr::Epsilon() + a), ia);
+  EXPECT_EQ(Simplified(a + PathExpr::Empty()), m_.Empty());
+  EXPECT_EQ(Simplified(PathExpr::MakeProduct(a, PathExpr::Empty())),
+            m_.Empty());
+  EXPECT_EQ(Simplified(PathExpr::MakeProduct(PathExpr::Epsilon(), a)), ia);
+}
+
+TEST_F(SimplifyPassTest, BoundaryClosuresAndPowers) {
+  const PathExprPtr a = PathExpr::Labeled(0);
+  const IrId ia = m_.Lower(*a);
+  // R^0 = ε, R^1 = R, ∅^n = ∅ (n ≥ 1), ε^n = ε.
+  EXPECT_EQ(Simplified(PathExpr::MakePower(a, 0)), m_.Epsilon());
+  EXPECT_EQ(Simplified(PathExpr::MakePower(a, 1)), ia);
+  EXPECT_EQ(Simplified(PathExpr::MakePower(PathExpr::Empty(), 3)), m_.Empty());
+  EXPECT_EQ(Simplified(PathExpr::MakePower(PathExpr::Epsilon(), 3)),
+            m_.Epsilon());
+  // ∅* = ε* = ∅? = ε, ∅+ = ∅.
+  EXPECT_EQ(Simplified(PathExpr::MakeStar(PathExpr::Empty())), m_.Epsilon());
+  EXPECT_EQ(Simplified(PathExpr::MakeStar(PathExpr::Epsilon())), m_.Epsilon());
+  EXPECT_EQ(Simplified(PathExpr::MakeOptional(PathExpr::Empty())),
+            m_.Epsilon());
+  EXPECT_EQ(Simplified(PathExpr::MakePlus(PathExpr::Empty())), m_.Empty());
+}
+
+TEST_F(SimplifyPassTest, LiteralNormalization) {
+  EXPECT_EQ(Simplified(PathExpr::Literal(PathSet())), m_.Empty());
+  EXPECT_EQ(Simplified(PathExpr::Literal(PathSet::EpsilonSet())),
+            m_.Epsilon());
+  // A non-degenerate literal is preserved.
+  const PathExprPtr lit = PathExpr::Literal(PathSet({Path(Edge(0, 0, 1))}));
+  EXPECT_EQ(Simplified(lit), m_.Lower(*lit));
+}
+
+TEST_F(SimplifyPassTest, CollapsesCascadeBottomUp) {
+  // (A ⋈ ∅) ∪ (A ⋈ ε) → ∅ ∪ A → A.
+  const PathExprPtr a = PathExpr::Labeled(0);
+  const PathExprPtr expr = (a + PathExpr::Empty()) | (a + PathExpr::Epsilon());
+  EXPECT_EQ(Simplified(expr), m_.Lower(*a));
+  EXPECT_GT(stats_.rewrites, 0u);
+}
+
+TEST_F(SimplifyPassTest, NestedClosuresAreNotCollapsed) {
+  // The bounded-star-safety guard: under EvalOptions::max_star_expansion,
+  // (R*)* reaches up to k² repetitions where R* reaches k, so the
+  // language-level collapses of core/simplify.h would SHRINK governed
+  // results on cyclic graphs. The compiler's simplify must leave nested
+  // closures alone.
+  const PathExprPtr a = PathExpr::Labeled(0);
+  const std::vector<PathExprPtr> shapes = {
+      PathExpr::MakeStar(PathExpr::MakeStar(a)),
+      PathExpr::MakeStar(PathExpr::MakeOptional(a)),
+      PathExpr::MakeOptional(PathExpr::MakeStar(a)),
+      PathExpr::MakePlus(PathExpr::MakeStar(a)),
+      PathExpr::MakePlus(PathExpr::MakePlus(a)),
+  };
+  for (const PathExprPtr& expr : shapes) {
+    EXPECT_EQ(Simplified(expr), m_.Lower(*expr)) << expr->ToString();
+  }
+}
+
+// --- dead-branch ----------------------------------------------------------
+
+TEST(DeadBranchPassTest, ZeroCardinalityAtomsPropagateToEmpty) {
+  const MultiRelationalGraph graph = ChainGraph();
+  IrModule m;
+  PassContext ctx;
+  ctx.universe = &graph;
+  PassStats stats;
+
+  // Vertex 7 has no out-edges: [7,_,_] is dead, and ∅ propagates through
+  // the join; the union keeps its live side only.
+  const PathExprPtr live = PathExpr::Labeled(0);
+  const PathExprPtr expr = (PathExpr::From(7) + PathExpr::AnyEdge()) | live;
+  const IrId out = RunOne("dead-branch", m, m.Lower(*expr), ctx, &stats);
+  EXPECT_EQ(out, m.Lower(*live));
+  EXPECT_EQ(stats.dead_branches, 1u);
+}
+
+TEST(DeadBranchPassTest, RequiresUniverse) {
+  IrModule m;
+  PassContext ctx;  // No universe: the pass must be the identity.
+  PassStats stats;
+  const PathExprPtr expr = PathExpr::From(7) + PathExpr::AnyEdge();
+  const IrId root = m.Lower(*expr);
+  EXPECT_EQ(RunOne("dead-branch", m, root, ctx, &stats), root);
+  EXPECT_EQ(stats.dead_branches, 0u);
+}
+
+TEST(DeadBranchPassTest, LiveAtomsSurvive) {
+  const MultiRelationalGraph graph = ChainGraph();
+  IrModule m;
+  PassContext ctx;
+  ctx.universe = &graph;
+  PassStats stats;
+  const PathExprPtr expr = PathExpr::Labeled(0) + PathExpr::Labeled(1);
+  const IrId root = m.Lower(*expr);
+  EXPECT_EQ(RunOne("dead-branch", m, root, ctx, &stats), root);
+  EXPECT_EQ(stats.dead_branches, 0u);
+}
+
+// --- filter-pushdown ------------------------------------------------------
+
+TEST(FilterPushdownPassTest, SeamConstraintsNarrowTheLeftHead) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  // [_,a,_] ⋈ [{2,3},b,_]: the right tail set {2,3} constrains the seam
+  // vertex, so the left atom's head narrows to it; the right atom already
+  // carries the seam and is untouched.
+  const EdgePattern left = EdgePattern::Labeled(0);
+  const EdgePattern right(IdConstraint({2, 3}), IdConstraint::Exactly(1), {});
+  const IrId root = m.Join(m.Atom(left), m.Atom(right));
+  const IrId out = RunOne("filter-pushdown", m, root, ctx, &stats);
+
+  const EdgePattern narrowed_left({}, IdConstraint::Exactly(0),
+                                  IdConstraint({2, 3}));
+  EXPECT_EQ(out, m.Join(m.Atom(narrowed_left), m.Atom(right)));
+  EXPECT_EQ(stats.filters_pushed, 1u);
+}
+
+TEST(FilterPushdownPassTest, IntersectionAlgebraCoversNegation) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  // Left head {1,2,3} meets right tail !{2}: the seam narrows to {1,3} on
+  // BOTH atoms (two pushes).
+  const EdgePattern left({}, IdConstraint::Exactly(0), IdConstraint({1, 2, 3}));
+  const EdgePattern right(IdConstraint({2}, /*negated=*/true),
+                          IdConstraint::Exactly(1), {});
+  const IrId out = RunOne("filter-pushdown", m,
+                          m.Join(m.Atom(left), m.Atom(right)), ctx, &stats);
+
+  const IdConstraint seam({1, 3});
+  const EdgePattern want_left({}, IdConstraint::Exactly(0), seam);
+  const EdgePattern want_right(seam, IdConstraint::Exactly(1), {});
+  EXPECT_EQ(out, m.Join(m.Atom(want_left), m.Atom(want_right)));
+  EXPECT_EQ(stats.filters_pushed, 2u);
+}
+
+TEST(FilterPushdownPassTest, ContradictorySeamProvesJoinEmpty) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  // Left head {1} meets right tail {2}: no seam vertex exists.
+  const EdgePattern left({}, {}, IdConstraint::Exactly(1));
+  const EdgePattern right(IdConstraint::Exactly(2), {}, {});
+  const IrId out = RunOne("filter-pushdown", m,
+                          m.Join(m.Atom(left), m.Atom(right)), ctx, &stats);
+  EXPECT_EQ(out, m.Empty());
+  EXPECT_EQ(stats.dead_branches, 1u);
+}
+
+TEST(FilterPushdownPassTest, NeverPushesAcrossNullableSides) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  // A* is nullable: ε ⋈◦ p = p bypasses the seam, so narrowing the right
+  // atom's tail would drop real paths. The pass must not fire.
+  const IrId star = m.Star(m.Atom(EdgePattern::Labeled(0)));
+  const EdgePattern right(IdConstraint({2, 3}), IdConstraint::Exactly(1), {});
+  const IrId root = m.Join(star, m.Atom(right));
+  EXPECT_EQ(RunOne("filter-pushdown", m, root, ctx, &stats), root);
+  EXPECT_EQ(stats.filters_pushed, 0u);
+}
+
+TEST(FilterPushdownPassTest, NeverPushesIntoClosureBodies) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  // (A⁺) ⋈ [{2},b,_]: A⁺ is ε-free but its atom serves EVERY repetition,
+  // not just the final one — no last-atom site is guaranteed, so nothing
+  // narrows.
+  const IrId plus = m.Plus(m.Atom(EdgePattern::Labeled(0)));
+  const EdgePattern right(IdConstraint({2}), IdConstraint::Exactly(1), {});
+  const IrId root = m.Join(plus, m.Atom(right));
+  EXPECT_EQ(RunOne("filter-pushdown", m, root, ctx, &stats), root);
+  EXPECT_EQ(stats.filters_pushed, 0u);
+}
+
+TEST(FilterPushdownPassTest, WalksJoinSpinesToTheSeamAtoms) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  // ([_,a,_] ⋈ [_,b,_]) ⋈ [{5},c,_]: the seam is between the INNER b atom
+  // and the c atom.
+  const IrId a = m.Atom(EdgePattern::Labeled(0));
+  const IrId b = m.Atom(EdgePattern::Labeled(1));
+  const EdgePattern right(IdConstraint({5}), IdConstraint::Exactly(2), {});
+  const IrId root = m.Join(m.Join(a, b), m.Atom(right));
+  const IrId out = RunOne("filter-pushdown", m, root, ctx, &stats);
+
+  const EdgePattern narrowed_b({}, IdConstraint::Exactly(1), IdConstraint({5}));
+  EXPECT_EQ(out, m.Join(m.Join(a, m.Atom(narrowed_b)), m.Atom(right)));
+  EXPECT_EQ(stats.filters_pushed, 1u);
+}
+
+// --- prefix-factor --------------------------------------------------------
+
+TEST(PrefixFactorPassTest, FactorsCommonLeadingFactorAcrossUnion) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  const IrId a = m.Atom(EdgePattern::Labeled(0));
+  const IrId x = m.Atom(EdgePattern::Labeled(1));
+  const IrId y = m.Atom(EdgePattern::Labeled(2));
+  // (A⋈X) ∪ (A⋈Y) → A ⋈ (X ∪ Y).
+  const IrId root = m.Union(m.Join(a, x), m.Join(a, y));
+  const IrId out = RunOne("prefix-factor", m, root, ctx, &stats);
+  EXPECT_EQ(out, m.Join(a, m.Union(x, y)));
+  EXPECT_EQ(stats.prefixes_factored, 1u);
+}
+
+TEST(PrefixFactorPassTest, FactorsRecursivelyAcrossWholeSpines) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  const IrId a = m.Atom(EdgePattern::Labeled(0));
+  const IrId b = m.Atom(EdgePattern::Labeled(1));
+  const IrId x = m.Atom(EdgePattern::From(0));
+  const IrId y = m.Atom(EdgePattern::From(1));
+  const IrId z = m.Atom(EdgePattern::From(2));
+  // (A⋈B⋈X) ∪ (A⋈B⋈Y) ∪ Z → (A ⋈ (B ⋈ (X ∪ Y))) ∪ Z — the shared second
+  // factor folds too, and the unrelated operand rides along untouched.
+  const IrId root =
+      m.Union(m.Union(m.Join(m.Join(a, b), x), m.Join(m.Join(a, b), y)), z);
+  const IrId out = RunOne("prefix-factor", m, root, ctx, &stats);
+  EXPECT_EQ(out, m.Union(m.Join(a, m.Join(b, m.Union(x, y))), z));
+  EXPECT_EQ(stats.prefixes_factored, 2u);
+}
+
+TEST(PrefixFactorPassTest, DistinctPrefixesAreLeftAlone) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  const IrId a = m.Atom(EdgePattern::Labeled(0));
+  const IrId b = m.Atom(EdgePattern::Labeled(1));
+  const IrId x = m.Atom(EdgePattern::From(0));
+  const IrId root = m.Union(m.Join(a, x), m.Join(b, x));
+  EXPECT_EQ(RunOne("prefix-factor", m, root, ctx, &stats), root);
+  EXPECT_EQ(stats.prefixes_factored, 0u);
+}
+
+// --- join-reorder ---------------------------------------------------------
+
+TEST(JoinReorderPassTest, NormalizesSpinesLeftDeep) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  const IrId a = m.Atom(EdgePattern::Labeled(0));
+  const IrId b = m.Atom(EdgePattern::Labeled(1));
+  const IrId c = m.Atom(EdgePattern::Labeled(2));
+  // A ⋈ (B ⋈ C) → (A ⋈ B) ⋈ C; operand ORDER is untouched (only the
+  // direction decision at emit time uses cost).
+  const IrId root = m.Join(a, m.Join(b, c));
+  const IrId out = RunOne("join-reorder", m, root, ctx, &stats);
+  EXPECT_EQ(out, m.Join(m.Join(a, b), c));
+  EXPECT_EQ(stats.joins_reordered, 1u);
+
+  // Already left-deep: fixed point, no churn.
+  PassStats again;
+  EXPECT_EQ(RunOne("join-reorder", m, out, ctx, &again), out);
+  EXPECT_EQ(again.joins_reordered, 0u);
+}
+
+TEST(JoinReorderPassTest, ReordersInsideOtherOperators) {
+  IrModule m;
+  PassContext ctx;
+  PassStats stats;
+  const IrId a = m.Atom(EdgePattern::Labeled(0));
+  const IrId b = m.Atom(EdgePattern::Labeled(1));
+  const IrId c = m.Atom(EdgePattern::Labeled(2));
+  const IrId root = m.Star(m.Join(a, m.Join(b, c)));
+  const IrId out = RunOne("join-reorder", m, root, ctx, &stats);
+  EXPECT_EQ(out, m.Star(m.Join(m.Join(a, b), c)));
+}
+
+// --- dfa-minimize ---------------------------------------------------------
+
+TEST(DfaMinimizePassTest, ProvesUniverseRelativeEmptiness) {
+  const MultiRelationalGraph graph = ChainGraph();
+  IrModule m;
+  PassContext ctx;
+  ctx.universe = &graph;
+  PassStats stats;
+  // [0,a,{2}]: vertex 0 has an a-edge (so per-position cardinality cannot
+  // refute the pattern) but never into vertex 2 — only the DFA over the
+  // universe's edge classes sees that no edge matches the full pattern.
+  // The subtree collapses to ∅ and takes the join with it.
+  const EdgePattern impossible(IdConstraint::Exactly(0),
+                               IdConstraint::Exactly(0),
+                               IdConstraint::Exactly(2));
+  const IrId root = m.Join(m.Atom(impossible), m.Atom(EdgePattern::Any()));
+  const IrId out = RunOne("dfa-minimize", m, root, ctx, &stats);
+  EXPECT_EQ(out, m.Empty());
+  EXPECT_GE(stats.dead_branches, 1u);
+}
+
+TEST(DfaMinimizePassTest, RequiresUniverse) {
+  IrModule m;
+  PassContext ctx;  // No universe: emptiness is relative to E, so no-op.
+  PassStats stats;
+  const EdgePattern impossible(IdConstraint::Exactly(0),
+                               IdConstraint::Exactly(0),
+                               IdConstraint::Exactly(2));
+  const IrId root = m.Atom(impossible);
+  EXPECT_EQ(RunOne("dfa-minimize", m, root, ctx, &stats), root);
+  EXPECT_EQ(stats.dead_branches, 0u);
+}
+
+TEST(DfaMinimizePassTest, LeavesLiveAndGuardedSubtreesAlone) {
+  const MultiRelationalGraph graph = ChainGraph();
+  IrModule m;
+  PassContext ctx;
+  ctx.universe = &graph;
+  PassStats stats;
+
+  // Live: a ⋈ b is inhabited (0-a->1-b->2).
+  const IrId live =
+      m.Join(m.Atom(EdgePattern::Labeled(0)), m.Atom(EdgePattern::Labeled(1)));
+  EXPECT_EQ(RunOne("dfa-minimize", m, live, ctx, &stats), live);
+
+  // Guarded: literals may hold edges outside E, so even a structurally
+  // dead-looking shape with a literal below must survive.
+  const IrId with_literal = m.Join(m.Literal(PathSet({Path(Edge(7, 9, 8))})),
+                                   m.Atom(EdgePattern::Any()));
+  EXPECT_EQ(RunOne("dfa-minimize", m, with_literal, ctx, &stats),
+            with_literal);
+
+  // Guarded: ×◦ seams are outside the DFA construction's domain.
+  const IrId with_product = m.Product(m.Atom(EdgePattern::Labeled(0)),
+                                      m.Atom(EdgePattern::Labeled(0)));
+  EXPECT_EQ(RunOne("dfa-minimize", m, with_product, ctx, &stats),
+            with_product);
+  EXPECT_EQ(stats.dead_branches, 0u);
+}
+
+// --- RunPipeline ----------------------------------------------------------
+
+TEST(RunPipelineTest, TracesEveryPassAndCountsIntoRegistry) {
+  const MultiRelationalGraph graph = ChainGraph();
+  IrModule m;
+  PassContext ctx;
+  ctx.universe = &graph;
+  obs::ObsRegistry registry;
+  std::vector<PassTraceEntry> trace;
+
+  // ([7,_,_] ⋈ E) ∪ (A ⋈ ε) — simplify strips the ε, dead-branch kills
+  // the [7,_,_] side.
+  const PathExprPtr expr = (PathExpr::From(7) + PathExpr::AnyEdge()) |
+                           (PathExpr::Labeled(0) + PathExpr::Epsilon());
+  const IrId root = m.Lower(*expr);
+  const IrId out =
+      RunPipeline(m, root, DefaultPassPipeline(), ctx, &trace, &registry);
+  EXPECT_EQ(out, m.Atom(EdgePattern::Labeled(0)));
+
+  ASSERT_EQ(trace.size(), DefaultPassPipeline().size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(trace[i].pass, DefaultPassPipeline()[i]->name());
+    EXPECT_GE(trace[i].size_before, trace[i].size_after);
+  }
+  EXPECT_EQ(registry.Value(obs::Metric::kCompilerPassRuns), trace.size());
+  EXPECT_GT(registry.Value(obs::Metric::kCompilerRewrites), 0u);
+  EXPECT_GT(registry.Value(obs::Metric::kCompilerDeadBranches), 0u);
+  const obs::HistogramSnapshot nanos =
+      registry.SnapshotHistogram(obs::Hist::kCompilerPassNanos);
+  EXPECT_EQ(nanos.count, trace.size());
+}
+
+}  // namespace
+}  // namespace mrpa

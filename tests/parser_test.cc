@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include "core/expr.h"
 #include "regex/figure1.h"
+#include "util/random.h"
 
 namespace mrpa {
 namespace {
@@ -222,6 +224,107 @@ TEST(ParserTest, ToStringRoundTripsForNonLiteralExprs) {
     ASSERT_TRUE(b.ok());
     EXPECT_EQ(a.value(), b.value()) << source;
   }
+}
+
+// --- Printer round-trip property ------------------------------------------
+//
+// PrintPathExpr covers the whole grammar except literals (which have no
+// text syntax). The property is STRUCTURAL, not just semantic:
+// Parse(Print(e)) must rebuild exactly the tree e, so the printer's
+// parenthesization and the parser's precedence table are exact inverses.
+// Expressions are drawn grammar-directed over every printable constructor —
+// singleton ids, id sets, negated sets (the complement fields of §III-B),
+// full wildcards, ∅/ε keywords, all binary operators, and every postfix.
+
+uint32_t DrawId(Rng& rng) { return static_cast<uint32_t>(rng.Below(10)); }
+
+IdConstraint GrammarConstraint(Rng& rng) {
+  switch (rng.Below(5)) {
+    case 0:
+      return {};  // `_`
+    case 1:
+      return IdConstraint::Exactly(DrawId(rng));  // `7`
+    case 2:
+      return IdConstraint({DrawId(rng), DrawId(rng), DrawId(rng)});  // `{…}`
+    case 3:
+      return IdConstraint({DrawId(rng)}, /*negated=*/true);  // `!7`
+    default:
+      return IdConstraint({DrawId(rng), DrawId(rng)},
+                          /*negated=*/true);  // `!{…}`
+  }
+}
+
+PathExprPtr GrammarExpr(Rng& rng, int depth) {
+  if (depth <= 0) {
+    switch (rng.Below(6)) {
+      case 0:
+        return PathExpr::Empty();
+      case 1:
+        return PathExpr::Epsilon();
+      default:
+        return PathExpr::Atom(EdgePattern(GrammarConstraint(rng),
+                                          GrammarConstraint(rng),
+                                          GrammarConstraint(rng)));
+    }
+  }
+  switch (rng.Below(7)) {
+    case 0:
+      return PathExpr::MakeUnion(GrammarExpr(rng, depth - 1),
+                                 GrammarExpr(rng, depth - 1));
+    case 1:
+      return PathExpr::MakeJoin(GrammarExpr(rng, depth - 1),
+                                GrammarExpr(rng, depth - 1));
+    case 2:
+      return PathExpr::MakeProduct(GrammarExpr(rng, depth - 1),
+                                   GrammarExpr(rng, depth - 1));
+    case 3:
+      return PathExpr::MakeStar(GrammarExpr(rng, depth - 1));
+    case 4:
+      return PathExpr::MakePlus(GrammarExpr(rng, depth - 1));
+    case 5:
+      return PathExpr::MakeOptional(GrammarExpr(rng, depth - 1));
+    default:
+      return PathExpr::MakePower(GrammarExpr(rng, depth - 1), rng.Below(5));
+  }
+}
+
+TEST(PrinterRoundTripTest, ParseOfPrintIsStructurallyIdentical) {
+  Rng rng(0x9e77u);
+  for (int trial = 0; trial < 300; ++trial) {
+    const PathExprPtr expr = GrammarExpr(rng, 3);
+    const Result<std::string> text = PrintPathExpr(*expr);
+    ASSERT_TRUE(text.ok()) << expr->ToString();
+    const Result<PathExprPtr> back = ParsePathExpr(*text);
+    ASSERT_TRUE(back.ok()) << *text << " (from " << expr->ToString() << ")";
+    EXPECT_TRUE(StructurallyEqual(*expr, **back))
+        << "printed: " << *text << "\n  original: " << expr->ToString()
+        << "\n  reparsed: " << (*back)->ToString();
+  }
+}
+
+TEST(PrinterRoundTripTest, PrintIsIdempotentAcrossTheRoundTrip) {
+  // Print ∘ Parse ∘ Print = Print: the printer emits one canonical text
+  // per tree, so a second round trip changes nothing.
+  Rng rng(0xa113u);
+  for (int trial = 0; trial < 150; ++trial) {
+    const PathExprPtr expr = GrammarExpr(rng, 3);
+    const Result<std::string> once = PrintPathExpr(*expr);
+    ASSERT_TRUE(once.ok());
+    const Result<PathExprPtr> back = ParsePathExpr(*once);
+    ASSERT_TRUE(back.ok()) << *once;
+    const Result<std::string> twice = PrintPathExpr(**back);
+    ASSERT_TRUE(twice.ok());
+    EXPECT_EQ(*once, *twice);
+  }
+}
+
+TEST(PrinterRoundTripTest, LiteralsHaveNoTextSyntaxAndFailClosed) {
+  const PathExprPtr lit = PathExpr::Literal(PathSet({Path(Edge(0, 0, 1))}));
+  EXPECT_EQ(PrintPathExpr(*lit).status().code(), StatusCode::kInvalidArgument);
+  // Also when buried in a printable context.
+  const PathExprPtr nested = PathExpr::MakeUnion(PathExpr::AnyEdge(), lit);
+  EXPECT_EQ(PrintPathExpr(*nested).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 }  // namespace

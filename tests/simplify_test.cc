@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "generators/generators.h"
+#include "util/random.h"
 
 namespace mrpa {
 namespace {
@@ -156,6 +157,132 @@ TEST(SimplifyTest, IdempotentOnFixedPoints) {
     PathExprPtr once = Simplify(expr);
     PathExprPtr twice = Simplify(once);
     EXPECT_EQ(once->ToString(), twice->ToString());
+  }
+}
+
+// --- Hardening: random idempotence, termination bound, boundary shapes ----
+
+// Random expressions over every constructor, atoms drawn with negated
+// ("complement field", §III-B) constraints included so the identities are
+// exercised on `!{…}` atoms, not just simple labels.
+PathExprPtr HardeningAtom(Rng& rng) {
+  auto id = [&rng]() { return static_cast<uint32_t>(rng.Below(6)); };
+  switch (rng.Below(4)) {
+    case 0:
+      return PathExpr::Labeled(id());
+    case 1:
+      return PathExpr::Atom(
+          EdgePattern({}, IdConstraint({id(), id()}, /*negated=*/true), {}));
+    case 2:
+      return PathExpr::Atom(EdgePattern(IdConstraint({id()}, /*negated=*/true),
+                                        {}, IdConstraint({id(), id()})));
+    default:
+      return PathExpr::AnyEdge();
+  }
+}
+
+PathExprPtr HardeningExpr(Rng& rng, int depth) {
+  if (depth <= 0) {
+    switch (rng.Below(5)) {
+      case 0:
+        return PathExpr::Empty();
+      case 1:
+        return PathExpr::Epsilon();
+      default:
+        return HardeningAtom(rng);
+    }
+  }
+  switch (rng.Below(8)) {
+    case 0:
+      return PathExpr::MakeUnion(HardeningExpr(rng, depth - 1),
+                                 HardeningExpr(rng, depth - 1));
+    case 1:
+      return PathExpr::MakeJoin(HardeningExpr(rng, depth - 1),
+                                HardeningExpr(rng, depth - 1));
+    case 2:
+      return PathExpr::MakeProduct(HardeningExpr(rng, depth - 1),
+                                   HardeningExpr(rng, depth - 1));
+    case 3:
+      return PathExpr::MakeStar(HardeningExpr(rng, depth - 1));
+    case 4:
+      return PathExpr::MakePlus(HardeningExpr(rng, depth - 1));
+    case 5:
+      return PathExpr::MakeOptional(HardeningExpr(rng, depth - 1));
+    default:
+      return PathExpr::MakePower(HardeningExpr(rng, depth - 1), rng.Below(4));
+  }
+}
+
+TEST(SimplifyHardeningTest, IdempotentOnRandomExpressions) {
+  // Simplify reaches a fixed point in ONE call on arbitrary input: a second
+  // application must change nothing, or the "simplified" form still
+  // contains a redex the first pass missed.
+  Rng rng(0x5101u);
+  for (int trial = 0; trial < 300; ++trial) {
+    const PathExprPtr expr = HardeningExpr(rng, 4);
+    const PathExprPtr once = Simplify(expr);
+    const PathExprPtr twice = Simplify(once);
+    EXPECT_TRUE(StructurallyEqual(*once, *twice))
+        << "input:  " << expr->ToString() << "\n  once:  " << once->ToString()
+        << "\n  twice: " << twice->ToString();
+  }
+}
+
+TEST(SimplifyHardeningTest, NeverGrowsAndThereforeTerminates) {
+  // Every rewrite in the table removes or replaces a node, so NodeCount is
+  // non-increasing — the measure that bounds any repeated-simplification
+  // loop at NodeCount(input) iterations.
+  Rng rng(0x5102u);
+  for (int trial = 0; trial < 300; ++trial) {
+    const PathExprPtr expr = HardeningExpr(rng, 4);
+    const PathExprPtr simplified = Simplify(expr);
+    EXPECT_LE(simplified->NodeCount(), expr->NodeCount())
+        << expr->ToString() << " grew to " << simplified->ToString();
+  }
+}
+
+TEST(SimplifyHardeningTest, PowerBoundaries) {
+  const PathExprPtr r = PathExpr::Atom(
+      EdgePattern({}, IdConstraint({0, 2}, /*negated=*/true), {}));
+  // R^0 = ε regardless of R — even R = ∅.
+  EXPECT_EQ(Simplify(PathExpr::MakePower(r, 0))->kind(), ExprKind::kEpsilon);
+  EXPECT_EQ(Simplify(PathExpr::MakePower(PathExpr::Empty(), 0))->kind(),
+            ExprKind::kEpsilon);
+  // ∅^n = ∅ and ε^n = ε for every n ≥ 1.
+  for (const size_t n : {size_t{1}, size_t{2}, size_t{7}}) {
+    EXPECT_EQ(Simplify(PathExpr::MakePower(PathExpr::Empty(), n))->kind(),
+              ExprKind::kEmpty)
+        << n;
+    EXPECT_EQ(Simplify(PathExpr::MakePower(PathExpr::Epsilon(), n))->kind(),
+              ExprKind::kEpsilon)
+        << n;
+  }
+  // R^1 = R, preserving the complement-field atom exactly.
+  EXPECT_TRUE(StructurallyEqual(*Simplify(PathExpr::MakePower(r, 1)), *r));
+}
+
+TEST(SimplifyHardeningTest, NestedClosureBoundaries) {
+  // The unbounded-language collapses (R?)* = (R*)? = (R*)* = R*, applied to
+  // an atom with a complement field. These hold for Simplify's LANGUAGE
+  // semantics — the compiler's bounded-star pipeline deliberately excludes
+  // them (see compiler_pass_test.cc), which is why both rule sets exist.
+  const PathExprPtr r = PathExpr::Atom(
+      EdgePattern({}, IdConstraint({1}, /*negated=*/true), {}));
+  const PathExprPtr star = PathExpr::MakeStar(r);
+  const std::vector<PathExprPtr> shapes = {
+      PathExpr::MakeStar(PathExpr::MakeOptional(r)),
+      PathExpr::MakeOptional(PathExpr::MakeStar(r)),
+      PathExpr::MakeStar(PathExpr::MakeStar(r)),
+  };
+  for (const PathExprPtr& shape : shapes) {
+    EXPECT_TRUE(StructurallyEqual(*Simplify(shape), *star))
+        << shape->ToString() << " simplified to "
+        << Simplify(shape)->ToString();
+  }
+  // And the double application is stable: Simplify((R?)*)* etc. stay R*.
+  for (const PathExprPtr& shape : shapes) {
+    EXPECT_TRUE(
+        StructurallyEqual(*Simplify(PathExpr::MakeStar(shape)), *star));
   }
 }
 
