@@ -7,17 +7,29 @@
 # parse, traversal over mmap vs in-memory), E20 (serving substrate:
 # open-loop latency-vs-offered-QPS with and without admission control),
 # E21 (query compiler: pass-pipeline compile cost and optimized-vs-not
-# run time on redundant and chain workloads) —
-# writing one machine-readable BENCH_<n>.json
+# run time on redundant and chain workloads), E22 (dense-frontier fast
+# path: sparse/dense crossover, §IV-C projection throughput, kernel-tier
+# ratio) — writing one machine-readable BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
 # bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
 # --trace (the ObsRegistry export; schema locked by tests/obs_json_test.cc).
-# Numbers land in EXPERIMENTS.md by hand; the JSON files are for trend
-# dashboards and CI diffing, not a hard gate — bench wall-clock on shared
-# runners is too noisy to fail a build on.
+# Numbers land in EXPERIMENTS.md by hand.
+#
+# Regression gate: after the runs, every BENCH_<n>.json with a committed
+# baseline in bench/baselines/ is compared per-benchmark on real_time; a
+# regression beyond the tolerance fails the job. Baselines are opt-in
+# (experiments without one are trend-only — shared-runner wall clock is too
+# noisy to gate every experiment) and refreshed by re-running with
+# MRPA_BENCH_UPDATE_BASELINE=1 on the reference machine and committing the
+# result.
 #
 # Usage: scripts/ci_bench.sh [build-dir] [out-dir]
 #        (defaults: build-bench, bench-results)
+# Env:   MRPA_BENCH_MIN_TIME        — per-benchmark min time (default 0.5).
+#        MRPA_BENCH_TOLERANCE       — allowed real_time regression vs the
+#                                     baseline, percent (default 10).
+#        MRPA_BENCH_UPDATE_BASELINE — 1: copy this run's BENCH_<n>.json over
+#                                     bench/baselines/ instead of gating.
 
 set -euo pipefail
 
@@ -32,7 +44,7 @@ MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target bench_guard_overhead bench_parallel_traversal bench_path_arena \
-           bench_snapshot bench_service bench_compiler
+           bench_snapshot bench_service bench_compiler bench_frontier
 
 mkdir -p "${OUT_DIR}"
 
@@ -56,5 +68,65 @@ run_bench 17 bench_path_arena
 run_bench 19 bench_snapshot
 run_bench 20 bench_service
 run_bench 21 bench_compiler
+run_bench 22 bench_frontier
 
 echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"
+
+BASELINE_DIR="bench/baselines"
+if [[ "${MRPA_BENCH_UPDATE_BASELINE:-0}" == "1" ]]; then
+  mkdir -p "${BASELINE_DIR}"
+  cp "${OUT_DIR}"/BENCH_*.json "${BASELINE_DIR}/"
+  echo "Updated baselines in ${BASELINE_DIR}/ — review and commit."
+  exit 0
+fi
+
+python3 - "${BASELINE_DIR}" "${OUT_DIR}" "${MRPA_BENCH_TOLERANCE:-10}" <<'PY'
+import glob
+import json
+import os
+import sys
+
+baseline_dir, out_dir, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+def by_name(path):
+    """name -> real_time for one google-benchmark JSON export."""
+    with open(path) as f:
+        doc = json.load(f)
+    table = {}
+    for b in doc.get("benchmarks", []):
+        # Aggregate rows (mean/median/stddev of --benchmark_repetitions)
+        # would double-count; gate on the plain iteration rows only.
+        if b.get("run_type") == "aggregate":
+            continue
+        table[b["name"]] = float(b["real_time"])
+    return table
+
+failures = []
+compared = 0
+for baseline_path in sorted(glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))):
+    name = os.path.basename(baseline_path)
+    current_path = os.path.join(out_dir, name)
+    if not os.path.exists(current_path):
+        print(f"note: {name} has a baseline but no result this run; skipped")
+        continue
+    baseline, current = by_name(baseline_path), by_name(current_path)
+    for bench, base_time in sorted(baseline.items()):
+        if bench not in current or base_time <= 0:
+            continue
+        compared += 1
+        delta = 100.0 * (current[bench] - base_time) / base_time
+        marker = " <-- REGRESSION" if delta > tolerance else ""
+        print(f"{name} {bench}: {base_time:.3g} -> {current[bench]:.3g} "
+              f"({delta:+.1f}%){marker}")
+        if delta > tolerance:
+            failures.append(f"{name} {bench} regressed {delta:+.1f}% "
+                            f"(tolerance {tolerance:.0f}%)")
+
+if not compared:
+    print("No committed baselines to gate on "
+          "(re-run with MRPA_BENCH_UPDATE_BASELINE=1 to record some).")
+elif failures:
+    sys.exit("FAIL: " + "; ".join(failures))
+else:
+    print(f"PASS: {compared} benchmarks within {tolerance:.0f}% of baseline")
+PY

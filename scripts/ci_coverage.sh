@@ -11,14 +11,17 @@
 # hole in the fail-closed story), src/service/ (the serving substrate
 # is the resilience layer — an unexercised shed, retry, or reclamation
 # branch is exactly the code that will run for the first time during an
-# outage), and src/compiler/ (every optimizer pass claims semantic
-# equivalence — an unexercised rewrite branch is an unproven one).
+# outage), src/compiler/ (every optimizer pass claims semantic
+# equivalence — an unexercised rewrite branch is an unproven one), and
+# src/frontier/ (the SIMD kernels are dispatch-tiered — an unexercised
+# tier or boundary lane is silent wrong-answer territory on the next CPU).
 #
 # Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
 # Env:   MRPA_COVERAGE_THRESHOLD_OBS      — override the src/obs gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_STORAGE  — override the src/storage gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_SERVICE  — override the src/service gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_COMPILER — override the src/compiler gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_FRONTIER — override the src/frontier gate (default 80).
 
 set -euo pipefail
 
@@ -29,6 +32,7 @@ THRESHOLD="${MRPA_COVERAGE_THRESHOLD_OBS:-80}"
 THRESHOLD_STORAGE="${MRPA_COVERAGE_THRESHOLD_STORAGE:-80}"
 THRESHOLD_SERVICE="${MRPA_COVERAGE_THRESHOLD_SERVICE:-80}"
 THRESHOLD_COMPILER="${MRPA_COVERAGE_THRESHOLD_COMPILER:-80}"
+THRESHOLD_FRONTIER="${MRPA_COVERAGE_THRESHOLD_FRONTIER:-80}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -48,7 +52,7 @@ if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
   exit 1
 fi
 
-python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" <<'PY'
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" "${THRESHOLD_FRONTIER}" <<'PY'
 import collections
 import json
 import os
@@ -59,6 +63,7 @@ gcda_list, threshold = sys.argv[1], float(sys.argv[2])
 threshold_storage = float(sys.argv[3])
 threshold_service = float(sys.argv[4])
 threshold_compiler = float(sys.argv[5])
+threshold_frontier = float(sys.argv[6])
 repo = os.getcwd()
 src_root = os.path.join(repo, "src")
 
@@ -112,6 +117,7 @@ obs_covered = obs_total = 0
 storage_covered = storage_total = 0
 service_covered = service_total = 0
 compiler_covered = compiler_total = 0
+frontier_covered = frontier_total = 0
 all_covered = all_total = 0
 for d in sorted(by_dir):
     covered, total = by_dir[d]
@@ -129,6 +135,9 @@ for d in sorted(by_dir):
     if d.startswith(os.path.join("src", "compiler")):
         compiler_covered += covered
         compiler_total += total
+    if d.startswith(os.path.join("src", "frontier")):
+        frontier_covered += covered
+        frontier_total += total
     print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
 print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
       f"{100.0 * all_covered / all_total:6.1f}%")
@@ -168,6 +177,16 @@ if compiler_pct < threshold_compiler:
     failures.append(
         f"src/compiler coverage {compiler_pct:.1f}% < "
         f"{threshold_compiler:.0f}%")
+
+if frontier_total == 0:
+    sys.exit("error: no coverage data for src/frontier/")
+frontier_pct = 100.0 * frontier_covered / frontier_total
+print(f"src/frontier line coverage: {frontier_pct:.1f}% "
+      f"(gate: {threshold_frontier:.0f}%)")
+if frontier_pct < threshold_frontier:
+    failures.append(
+        f"src/frontier coverage {frontier_pct:.1f}% < "
+        f"{threshold_frontier:.0f}%")
 
 if failures:
     sys.exit("FAIL: " + "; ".join(failures))

@@ -17,8 +17,17 @@
 # the long soak), plus the `compiler`-labeled suites — the pass-pipeline
 # differential harness runs the speculate+replay executor against the
 # shared deadline/cancel machinery, which is the compiler's only
-# thread-visible surface; the rest of the test matrix is single-threaded
-# and covered by the regular tier1 job.
+# thread-visible surface, plus the `frontier`-labeled suites — the
+# dense-frontier differential harness drives the per-shard density decision
+# (each shard builds its own level caches and writes the frontier.* strategy
+# counters into its ObsRegistry slot) at pool widths 1/2/8; the rest of the
+# test matrix is single-threaded and covered by the regular tier1 job.
+#
+# The race-sensitive labels then run a SECOND leg with MRPA_FORCE_SCALAR=1:
+# the env override pins the frontier kernel dispatch to the scalar fallback
+# (see src/frontier/kernels.h), proving the parallel suites race-free on
+# hardware without the SIMD tiers — dispatch itself is process-wide state,
+# so the forced path needs its own TSAN pass, not just a unit test.
 #
 # Usage: scripts/ci_tsan.sh [build-dir]   (default: build-tsan)
 # Env:   MRPA_FUZZ_ITERS — differential trials per (seed, regime, subject)
@@ -40,4 +49,8 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # second_deadlock_stack gives usable reports for lock-order findings.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler" --output-on-failure -j 2
+ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler|frontier" --output-on-failure -j 2
+
+echo "=== forced-scalar leg (MRPA_FORCE_SCALAR=1) ==="
+MRPA_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" \
+  -L "parallel|arena|frontier" --output-on-failure -j 2

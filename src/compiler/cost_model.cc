@@ -6,7 +6,7 @@ namespace mrpa {
 
 CostModel::CostModel(const EdgeUniverse& universe,
                      const obs::ObsRegistry* registry)
-    : universe_(universe) {
+    : universe_(universe), registry_(registry) {
   const double num_vertices =
       std::max<double>(1.0, static_cast<double>(universe.num_vertices()));
   fanout_ = static_cast<double>(universe.num_edges()) / num_vertices;
@@ -66,6 +66,14 @@ PlannerCostHints CostModel::Hints(const std::vector<EdgePattern>& steps) const {
   hints.forward_cost = EstimateChainCost(steps, ChainDirection::kForward);
   hints.backward_cost = EstimateChainCost(steps, ChainDirection::kBackward);
   return hints;
+}
+
+frontier::DensityPolicy CostModel::FrontierPolicy() const {
+  frontier::DensityPolicy policy;
+  if (!calibrated_) return policy;  // Structural defaults, like invalid hints.
+  return frontier::CalibrateDensityPolicy(policy, registry_,
+                                          universe_.num_vertices(),
+                                          universe_.num_edges());
 }
 
 }  // namespace mrpa

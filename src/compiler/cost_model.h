@@ -58,8 +58,18 @@ class CostModel {
   // planner to its seed heuristic.
   PlannerCostHints Hints(const std::vector<EdgePattern>& steps) const;
 
+  // The sparse/dense execution policy for this universe, thresholds
+  // re-anchored on the SAME level-width history that calibrates the fanout
+  // (frontier::CalibrateDensityPolicy, including its staleness guard).
+  // Uncalibrated models return the structural defaults — the policy analogue
+  // of valid=false hints. Attach to TraversalSpec::density /
+  // EvaluateChainGoverned to close the PR 7 feedback loop at plan time
+  // rather than per run.
+  frontier::DensityPolicy FrontierPolicy() const;
+
  private:
   const EdgeUniverse& universe_;
+  const obs::ObsRegistry* registry_ = nullptr;
   bool calibrated_ = false;
   double fanout_ = 0.0;
 };

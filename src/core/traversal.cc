@@ -1,9 +1,13 @@
 #include "core/traversal.h"
 
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <utility>
 
+#include "core/dense_level.h"
 #include "core/path_arena.h"
+#include "frontier/bitmap.h"
 #include "obs/obs.h"
 
 namespace mrpa {
@@ -36,9 +40,17 @@ namespace {
 // the same prefix StepPathIterator yields under the same budget. The byte
 // budget is charged the exact arena cost: PathArena::kNodeBytes per staged
 // extension (batched per source path, like the step charge).
+// Each level additionally picks an execution strategy — the PR 3 sparse
+// walk or the dense bitmap-memoized replay (core/dense_level.h) — via the
+// DensityPolicy. The choice cannot affect governed output: the dense path
+// feeds the exact edge sequence ForEachMatchingOutEdge would yield through
+// the same guard lambda, so every guard call (count, order, arguments) is
+// preserved, and the differential suite proves byte-identity across
+// forced-sparse / forced-dense / auto on every dispatch tier.
 Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
                                  const std::vector<EdgePattern>& steps,
                                  const PathSetLimits& limits,
+                                 const frontier::DensityPolicy& base_policy,
                                  ExecContext& ctx) {
   GovernedPathSet out;
   // Observability is boundary-only: snapshot the guard on entry, flush the
@@ -74,6 +86,20 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
   std::vector<PathNodeId> frontier;
   std::vector<PathNodeId> next;
 
+  // Adaptive strategy state. With traversal history in the registry, the
+  // auto thresholds are re-anchored on the observed level widths (the PR 7
+  // calibration loop); the head-frontier bitmap is reused level-to-level so
+  // the decision probe allocates once per run.
+  frontier::DensityPolicy policy = base_policy;
+  if (reg != nullptr && policy.mode == frontier::DensityMode::kAuto) {
+    policy = frontier::CalibrateDensityPolicy(
+        policy, reg, universe.num_vertices(), universe.num_edges());
+  }
+  frontier::BitmapFrontier head_seen;
+  size_t dense_levels = 0;
+  size_t sparse_levels = 0;
+  uint64_t frontier_words = 0;
+
   ExecSpan run_span(ctx, "traverse");
   size_t seed_edges = 0;
   size_t levels_run = 0;
@@ -86,6 +112,9 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
     reg->Add(obs::Metric::kTraversalSeedEdges, seed_edges);
     reg->Add(obs::Metric::kTraversalLevels, levels_run);
     reg->Add(obs::Metric::kTraversalPathsEmitted, out.paths.size());
+    reg->Add(obs::Metric::kFrontierDenseLevels, dense_levels);
+    reg->Add(obs::Metric::kFrontierSparseLevels, sparse_levels);
+    reg->Add(obs::Metric::kFrontierWordsScanned, frontier_words);
     AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
     FlushArenaStats(arena, reg);
   };
@@ -138,6 +167,42 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
     ExecSpan level_span(ctx, "traverse.level", static_cast<int64_t>(k));
     const EdgePattern& step = steps[k];
     const bool final_level = k == last_level;
+
+    // Pick this level's execution strategy. The decision probe (head
+    // bitmap + popcount) only runs once the frontier is wide enough for
+    // dense to be in play, so narrow levels pay nothing beyond the two
+    // branch tests.
+    std::optional<ForwardLevelCache> cache;
+    if (policy.mode != frontier::DensityMode::kForceSparse) {
+      const bool benefits = StepBenefitsFromDense(step);
+      if (policy.mode == frontier::DensityMode::kForceDense ||
+          (benefits && frontier.size() >= policy.min_frontier_paths)) {
+        std::chrono::steady_clock::time_point t0;
+        if (reg != nullptr) t0 = std::chrono::steady_clock::now();
+        head_seen.Reset(universe.num_vertices());
+        for (PathNodeId source : frontier) head_seen.Set(arena.HeadOf(source));
+        const uint64_t distinct = head_seen.Count();
+        frontier_words += head_seen.num_words();
+        if (frontier::ShouldGoDense(policy, frontier.size(), distinct,
+                                    universe.num_vertices(), benefits)) {
+          cache.emplace(universe, step);
+          frontier_words += cache->build_words();
+        }
+        if (reg != nullptr) {
+          reg->Record(obs::Hist::kFrontierKernelNanos,
+                      static_cast<uint64_t>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count()));
+        }
+      }
+    }
+    if (cache.has_value()) {
+      ++dense_levels;
+    } else {
+      ++sparse_levels;
+    }
+
     Status overflow;
     next.clear();
     for (PathNodeId source : frontier) {
@@ -148,22 +213,30 @@ Result<GovernedPathSet> FoldJoin(const EdgeUniverse& universe,
       // steps and bytes are batched per source path to keep the guard off
       // the innermost loop — those budgets have one-out-run granularity.
       size_t expanded = 0;
-      ForEachMatchingOutEdge(
-          universe, arena.HeadOf(source), step, [&](const Edge& e) {
-            if (!overflow.ok() || !trip.ok()) return;
-            if (next.size() >= hard_limit) {
-              overflow = Status::ResourceExhausted(
-                  "traversal exceeded max_paths = " +
-                  std::to_string(hard_limit));
-              return;
-            }
-            if (final_level && !ctx.ChargePaths().ok()) {
-              trip = ctx.limit_status();
-              return;
-            }
-            ++expanded;
-            next.push_back(arena.Extend(source, e));
-          });
+      auto extend = [&](const Edge& e) {
+        if (!overflow.ok() || !trip.ok()) return;
+        if (next.size() >= hard_limit) {
+          overflow = Status::ResourceExhausted(
+              "traversal exceeded max_paths = " + std::to_string(hard_limit));
+          return;
+        }
+        if (final_level && !ctx.ChargePaths().ok()) {
+          trip = ctx.limit_status();
+          return;
+        }
+        ++expanded;
+        next.push_back(arena.Extend(source, e));
+      };
+      if (cache.has_value()) {
+        // Dense: the memoized run IS the sequence ForEachMatchingOutEdge
+        // yields (same order, same elements), fed through the same guard
+        // lambda — strategy cannot perturb governed accounting.
+        for (const Edge& e : cache->MatchedRun(arena.HeadOf(source))) {
+          extend(e);
+        }
+      } else {
+        ForEachMatchingOutEdge(universe, arena.HeadOf(source), step, extend);
+      }
       if (!overflow.ok()) return overflow;
       if (trip.ok() && (!ctx.CheckStep(expanded + 1).ok() ||
                         !ctx.ChargeBytes(expanded * PathArena::kNodeBytes)
@@ -283,10 +356,11 @@ Result<GovernedPathSet> FoldJoinMaterialized(
 // error the injector prescribed.
 Result<PathSet> FoldJoinStrict(const EdgeUniverse& universe,
                                const std::vector<EdgePattern>& steps,
-                               const PathSetLimits& limits) {
+                               const PathSetLimits& limits,
+                               const frontier::DensityPolicy& policy = {}) {
   ExecContext unlimited;
   Result<GovernedPathSet> result =
-      FoldJoin(universe, steps, limits, unlimited);
+      FoldJoin(universe, steps, limits, policy, unlimited);
   if (!result.ok()) return result.status();
   if (result->truncated) return result->limit;
   return std::move(result->paths);
@@ -354,13 +428,13 @@ Result<PathSet> LabeledTraversal(
 
 Result<PathSet> Traverse(const EdgeUniverse& universe,
                          const TraversalSpec& spec) {
-  return FoldJoinStrict(universe, spec.steps, spec.limits);
+  return FoldJoinStrict(universe, spec.steps, spec.limits, spec.density);
 }
 
 Result<GovernedPathSet> TraverseGoverned(const EdgeUniverse& universe,
                                          const TraversalSpec& spec,
                                          ExecContext& ctx) {
-  return FoldJoin(universe, spec.steps, spec.limits, ctx);
+  return FoldJoin(universe, spec.steps, spec.limits, spec.density, ctx);
 }
 
 Result<GovernedPathSet> TraverseGovernedMaterialized(

@@ -19,6 +19,7 @@
 #include "core/edge_pattern.h"
 #include "core/edge_universe.h"
 #include "core/path_set.h"
+#include "frontier/policy.h"
 #include "util/status.h"
 
 namespace mrpa {
@@ -62,6 +63,12 @@ Result<PathSet> LabeledTraversal(
 struct TraversalSpec {
   std::vector<EdgePattern> steps;
   PathSetLimits limits;
+  // The sparse/dense execution switch (DESIGN.md "Dense-frontier
+  // execution"). Pure strategy: any mode produces byte-identical governed
+  // output; kAuto decides per level from frontier shape, refined by the
+  // attached ObsRegistry's level-width history when one is present. The
+  // forced modes exist for the differential suites and the E22 baselines.
+  frontier::DensityPolicy density;
 };
 
 Result<PathSet> Traverse(const EdgeUniverse& universe,

@@ -63,8 +63,10 @@
 #include <utility>
 #include <vector>
 
+#include "core/dense_level.h"
 #include "core/path_arena.h"
 #include "core/traversal.h"
+#include "frontier/bitmap.h"
 #include "obs/obs.h"
 #include "util/thread_pool.h"
 
@@ -122,10 +124,19 @@ struct ShardLedger {
 // speculative allocation total — per-shard, concurrently, which is exactly
 // the contention the registry's padded slabs exist for (and what the TSAN
 // `obs` suite exercises at pool width 8).
+// Each shard also runs the adaptive sparse/dense switch over ITS slice of
+// the frontier (core/dense_level.h): the ledger records only match counts
+// and run endings, and the dense replay yields the identical matched-edge
+// sequence, so the strategy a shard picks is invisible to the accounting
+// replay — a dense shard and a sparse shard produce the same ledger.
+// Per-shard frontier.* counters go to the shard's registry slot; they are
+// strategy telemetry, excluded (like parallel.*) from the sequential
+// counter-identity set.
 void ExpandShard(const EdgeUniverse& universe,
                  const std::vector<EdgePattern>& steps,
                  const std::vector<Edge>& seed, size_t begin, size_t end,
-                 size_t hard_limit, ExecContext&& quiet, ShardLedger& ledger,
+                 size_t hard_limit, const frontier::DensityPolicy& policy,
+                 ExecContext&& quiet, ShardLedger& ledger,
                  obs::ObsRegistry* reg, obs::SpanId parent_span,
                  size_t shard_index) {
   obs::TraceSpan shard_span(reg, "traverse.shard", parent_span, /*level=*/-1,
@@ -139,6 +150,11 @@ void ExpandShard(const EdgeUniverse& universe,
   }
   ledger.levels.reserve(last_level);
 
+  frontier::BitmapFrontier head_seen;
+  size_t dense_levels = 0;
+  size_t sparse_levels = 0;
+  uint64_t frontier_words = 0;
+
   for (size_t k = 1; k <= last_level; ++k) {
     const EdgePattern& step = steps[k];
     const bool final_level = k == last_level;
@@ -148,26 +164,57 @@ void ExpandShard(const EdgeUniverse& universe,
     size_t staged = 0;  // Level-local emissions, for the hard cap.
     bool stopped = false;
 
+    // Per-shard strategy choice, same probe as the sequential fold but over
+    // this shard's frontier slice — skew-friendly: a hub-heavy shard can go
+    // dense while its siblings stay sparse.
+    std::optional<ForwardLevelCache> cache;
+    if (policy.mode != frontier::DensityMode::kForceSparse) {
+      const bool benefits = StepBenefitsFromDense(step);
+      if (policy.mode == frontier::DensityMode::kForceDense ||
+          (benefits && frontier.size() >= policy.min_frontier_paths)) {
+        head_seen.Reset(universe.num_vertices());
+        for (PathNodeId source : frontier) head_seen.Set(arena.HeadOf(source));
+        const uint64_t distinct = head_seen.Count();
+        frontier_words += head_seen.num_words();
+        if (frontier::ShouldGoDense(policy, frontier.size(), distinct,
+                                    universe.num_vertices(), benefits)) {
+          cache.emplace(universe, step);
+          frontier_words += cache->build_words();
+        }
+      }
+    }
+    if (cache.has_value()) {
+      ++dense_levels;
+    } else {
+      ++sparse_levels;
+    }
+
     for (PathNodeId source : frontier) {
       SourceRecord record;
       bool stop = false;
-      ForEachMatchingOutEdge(
-          universe, arena.HeadOf(source), step, [&](const Edge& e) {
-            if (stop) return;
-            if (staged >= hard_limit) {
-              record.end = RunEnd::kTripHard;
-              stop = true;
-              return;
-            }
-            if (final_level && !quiet.ChargePaths().ok()) {
-              record.end = RunEnd::kTripPaths;
-              stop = true;
-              return;
-            }
-            ++record.matches;
-            ++staged;
-            next.push_back(arena.Extend(source, e));
-          });
+      auto extend = [&](const Edge& e) {
+        if (stop) return;
+        if (staged >= hard_limit) {
+          record.end = RunEnd::kTripHard;
+          stop = true;
+          return;
+        }
+        if (final_level && !quiet.ChargePaths().ok()) {
+          record.end = RunEnd::kTripPaths;
+          stop = true;
+          return;
+        }
+        ++record.matches;
+        ++staged;
+        next.push_back(arena.Extend(source, e));
+      };
+      if (cache.has_value()) {
+        for (const Edge& e : cache->MatchedRun(arena.HeadOf(source))) {
+          extend(e);
+        }
+      } else {
+        ForEachMatchingOutEdge(universe, arena.HeadOf(source), step, extend);
+      }
       if (!stop &&
           (!quiet.CheckStep(record.matches + 1).ok() ||
            !quiet.ChargeBytes(record.matches * PathArena::kNodeBytes).ok())) {
@@ -195,6 +242,9 @@ void ExpandShard(const EdgeUniverse& universe,
   if (reg != nullptr) {
     reg->Add(obs::Metric::kParallelSpeculativeNodes,
              ledger.arena.telemetry().nodes_allocated, shard_index);
+    reg->Add(obs::Metric::kFrontierDenseLevels, dense_levels, shard_index);
+    reg->Add(obs::Metric::kFrontierSparseLevels, sparse_levels, shard_index);
+    reg->Add(obs::Metric::kFrontierWordsScanned, frontier_words, shard_index);
   }
 }
 
@@ -302,10 +352,19 @@ Result<GovernedPathSet> TraverseParallelGoverned(
     }
   }
 
+  // One calibrated policy, shared read-only by every shard (calibration
+  // snapshots the registry once, on the calling thread).
+  frontier::DensityPolicy policy = spec.density;
+  if (reg != nullptr && policy.mode == frontier::DensityMode::kAuto) {
+    policy = frontier::CalibrateDensityPolicy(
+        policy, reg, universe.num_vertices(), universe.num_edges());
+  }
+
   options.pool->ParallelFor(num_shards, [&](size_t s) {
     ExpandShard(universe, steps, seed, ranges[s].first, ranges[s].second,
-                hard_limit, ExecContext::ShardContext(ctx, shard_limits[s]),
-                ledgers[s], reg, run_span.id(), s);
+                hard_limit, policy,
+                ExecContext::ShardContext(ctx, shard_limits[s]), ledgers[s],
+                reg, run_span.id(), s);
   });
 
   // Replay: the sequential fold's exact guard-call sequence, fed from the

@@ -1,12 +1,16 @@
 #include "engine/chain_planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <utility>
 
+#include "core/dense_level.h"
 #include "core/path_arena.h"
 #include "core/simplify.h"
 #include "core/traversal.h"
+#include "frontier/bitmap.h"
 #include "obs/obs.h"
 
 namespace mrpa {
@@ -124,9 +128,19 @@ namespace {
 // sorting the frontier's node ids with CompareSuffix (front-first, without
 // materializing). Suffixes are distinct by construction — distinct
 // (edge, suffix) pairs prepend to distinct paths — so no dedup pass.
+// Each extension level picks a strategy, like the forward fold: the sparse
+// per-candidate Matches walk, or a dense replay against a
+// BackwardLevelCache (core/dense_level.h) that pre-filters the whole edge
+// table into a match bitmap and memoizes each tail vertex's matched
+// in-index subsequence. The backward guard contract is stricter than the
+// forward one — CheckStep fires per CANDIDATE, matching or not — so the
+// dense replay still walks the full candidate run and merely replaces the
+// per-edge Matches call with a two-pointer scan of the memoized
+// subsequence; guard count, order, and arguments are preserved exactly.
 Result<GovernedPathSet> EvaluateBackwardGoverned(
     const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
-    const PathSetLimits& limits, ExecContext& ctx) {
+    const PathSetLimits& limits, const frontier::DensityPolicy& base_policy,
+    ExecContext& ctx) {
   GovernedPathSet out;
   const size_t hard_limit =
       limits.max_paths.value_or(std::numeric_limits<size_t>::max());
@@ -145,12 +159,27 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
   ExecSpan run_span(ctx, "chain.backward");
   size_t seed_edges = 0;
   size_t levels_run = 0;
+
+  // Adaptive strategy state, mirroring the forward fold's.
+  frontier::DensityPolicy policy = base_policy;
+  if (reg != nullptr && policy.mode == frontier::DensityMode::kAuto) {
+    policy = frontier::CalibrateDensityPolicy(
+        policy, reg, universe.num_vertices(), universe.num_edges());
+  }
+  frontier::BitmapFrontier tail_seen;
+  size_t dense_levels = 0;
+  size_t sparse_levels = 0;
+  uint64_t frontier_words = 0;
+
   auto flush_obs = [&]() {
     if (reg == nullptr) return;
     reg->Add(obs::Metric::kTraversalRuns, 1);
     reg->Add(obs::Metric::kTraversalSeedEdges, seed_edges);
     reg->Add(obs::Metric::kTraversalLevels, levels_run);
     reg->Add(obs::Metric::kTraversalPathsEmitted, out.paths.size());
+    reg->Add(obs::Metric::kFrontierDenseLevels, dense_levels);
+    reg->Add(obs::Metric::kFrontierSparseLevels, sparse_levels);
+    reg->Add(obs::Metric::kFrontierWordsScanned, frontier_words);
     AddExecStatsDelta(*reg, obs_before, ctx.Snapshot());
     FlushArenaStats(arena, reg);
   };
@@ -206,13 +235,61 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
     // indices.
     ExecSpan level_span(ctx, "traverse.level",
                         static_cast<int64_t>(levels_run));
+
+    // Strategy choice for this extension level, over the frontier's tail
+    // vertices (the backward analogue of the forward fold's head probe).
+    std::optional<BackwardLevelCache> cache;
+    if (policy.mode != frontier::DensityMode::kForceSparse) {
+      const bool benefits = StepBenefitsFromDense(steps[k]);
+      if (policy.mode == frontier::DensityMode::kForceDense ||
+          (benefits && frontier.size() >= policy.min_frontier_paths)) {
+        std::chrono::steady_clock::time_point t0;
+        if (reg != nullptr) t0 = std::chrono::steady_clock::now();
+        tail_seen.Reset(universe.num_vertices());
+        for (PathNodeId source : frontier) tail_seen.Set(arena.TailOf(source));
+        const uint64_t distinct = tail_seen.Count();
+        frontier_words += tail_seen.num_words();
+        if (frontier::ShouldGoDense(policy, frontier.size(), distinct,
+                                    universe.num_vertices(), benefits)) {
+          cache.emplace(universe, steps[k]);
+          frontier_words += cache->build_words();
+        }
+        if (reg != nullptr) {
+          reg->Record(obs::Hist::kFrontierKernelNanos,
+                      static_cast<uint64_t>(
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count()));
+        }
+      }
+    }
+    if (cache.has_value()) {
+      ++dense_levels;
+    } else {
+      ++sparse_levels;
+    }
+
     next.clear();
     for (PathNodeId source : frontier) {
       // Extend at the tail: edges whose head is γ−(p), via the in-index.
-      for (EdgeIndex idx : universe.InEdgeIndices(arena.TailOf(source))) {
-        const Edge& e = universe.EdgeAt(idx);
+      // CheckStep fires once per CANDIDATE in-edge, before the match test —
+      // the dense replay below preserves that by walking the full candidate
+      // run and consulting the memoized matched subsequence with a
+      // two-pointer scan in place of the per-edge Matches call.
+      const VertexId tail = arena.TailOf(source);
+      const std::span<const EdgeIndex> candidates =
+          universe.InEdgeIndices(tail);
+      std::span<const EdgeIndex> matched;
+      size_t m = 0;
+      if (cache.has_value()) matched = cache->MatchedInEdges(tail);
+      for (EdgeIndex idx : candidates) {
         if (trip = ctx.CheckStep(); !trip.ok()) break;
-        if (!steps[k].Matches(e)) continue;
+        if (cache.has_value()) {
+          if (m >= matched.size() || matched[m] != idx) continue;
+          ++m;
+        } else if (!steps[k].Matches(universe.EdgeAt(idx))) {
+          continue;
+        }
         if (next.size() >= hard_limit) {
           return Status::ResourceExhausted(
               "chain evaluation exceeded max_paths = " +
@@ -222,7 +299,7 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
           if (trip = ctx.ChargePaths(); !trip.ok()) break;
         }
         if (trip = ctx.ChargeBytes(PathArena::kNodeBytes); !trip.ok()) break;
-        next.push_back(arena.Extend(source, e));
+        next.push_back(arena.Extend(source, universe.EdgeAt(idx)));
       }
       if (!trip.ok()) break;
     }
@@ -251,7 +328,8 @@ Result<GovernedPathSet> EvaluateBackwardGoverned(
 
 Result<GovernedPathSet> EvaluateChainGoverned(
     const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
-    ChainDirection direction, ExecContext& ctx, const PathSetLimits& limits) {
+    ChainDirection direction, ExecContext& ctx, const PathSetLimits& limits,
+    const frontier::DensityPolicy& density) {
   if (steps.empty()) {
     GovernedPathSet out;
     if (Status trip = ctx.ChargePaths(); !trip.ok()) {
@@ -264,9 +342,10 @@ Result<GovernedPathSet> EvaluateChainGoverned(
     return out;
   }
   if (direction == ChainDirection::kForward) {
-    return TraverseGoverned(universe, TraversalSpec{steps, limits}, ctx);
+    return TraverseGoverned(universe, TraversalSpec{steps, limits, density},
+                            ctx);
   }
-  return EvaluateBackwardGoverned(universe, steps, limits, ctx);
+  return EvaluateBackwardGoverned(universe, steps, limits, density, ctx);
 }
 
 Result<PathSet> EvaluateChain(const EdgeUniverse& universe,

@@ -92,10 +92,15 @@ Result<PathSet> EvaluateChain(const EdgeUniverse& universe,
 // TraverseGoverned): a budget/deadline/cancellation trip returns the
 // full-length paths yielded so far with `truncated = true` instead of
 // discarding them. limits.max_paths keeps its hard-error semantics.
+// `density` is the sparse/dense execution switch (DESIGN.md "Dense-frontier
+// execution") — pure strategy, applied by both directions (the backward
+// evaluator has its own dense replay over the in-index), with byte-identical
+// governed output in every mode.
 Result<GovernedPathSet> EvaluateChainGoverned(
     const EdgeUniverse& universe, const std::vector<EdgePattern>& steps,
     ChainDirection direction, ExecContext& ctx,
-    const PathSetLimits& limits = {});
+    const PathSetLimits& limits = {},
+    const frontier::DensityPolicy& density = {});
 
 // One-call form: extract, plan, evaluate; falls back to PathExpr::Evaluate
 // for non-chain expressions.

@@ -1,0 +1,24 @@
+#include "frontier/bitmap.h"
+
+namespace mrpa::frontier {
+
+uint64_t BitmapFrontier::Count() const {
+  return Active().bitmap_popcount(words_.data(), words_.size());
+}
+
+void BitmapFrontier::OrWith(const BitmapFrontier& other) {
+  assert(size_ == other.size_);
+  Active().bitmap_or(words_.data(), other.words_.data(), words_.size());
+}
+
+void BitmapFrontier::AndWith(const BitmapFrontier& other) {
+  assert(size_ == other.size_);
+  Active().bitmap_and(words_.data(), other.words_.data(), words_.size());
+}
+
+void BitmapFrontier::AndNotWith(const BitmapFrontier& other) {
+  assert(size_ == other.size_);
+  Active().bitmap_and_not(words_.data(), other.words_.data(), words_.size());
+}
+
+}  // namespace mrpa::frontier

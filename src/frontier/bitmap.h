@@ -1,0 +1,108 @@
+// BitmapFrontier: a dense vertex-set (or edge-index-set) representation for
+// the dense-frontier execution strategy — one bit per id, packed into
+// uint64 words, with the set algebra (OR / AND / ANDNOT / popcount) routed
+// through the runtime-dispatched SIMD kernels (frontier/kernels.h).
+//
+// This is the frontier representation of the boolean matrix-vector view of
+// traversal ("Single-Source Regular Path Querying in Terms of Linear
+// Algebra", PAPERS.md): when a level's frontier covers a meaningful
+// fraction of V, stepping the whole bitmap through a relation beats
+// walking the sparse per-path arena — see DESIGN.md "Dense-frontier
+// execution" for the switch heuristic.
+//
+// Not thread-safe; one frontier per evaluation (or per shard), like the
+// PathArena it complements. Ids must be < size().
+
+#ifndef MRPA_FRONTIER_BITMAP_H_
+#define MRPA_FRONTIER_BITMAP_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "frontier/kernels.h"
+
+namespace mrpa::frontier {
+
+class BitmapFrontier {
+ public:
+  BitmapFrontier() = default;
+  explicit BitmapFrontier(uint32_t size) { Reset(size); }
+
+  // Resizes to cover ids [0, size) and clears every bit. Word storage is
+  // retained across shrinking resets, so a frontier reused level-to-level
+  // allocates once.
+  void Reset(uint32_t size) {
+    size_ = size;
+    words_.assign(NumWords(size), 0);
+  }
+
+  // Clears all bits, keeping the size.
+  void ClearAll() { words_.assign(words_.size(), 0); }
+
+  // Sets every bit in [0, size); bits past size stay zero so Count() and
+  // word-level consumers never see phantom ids.
+  void SetAll() {
+    words_.assign(words_.size(), ~uint64_t{0});
+    const uint32_t tail = size_ & 63u;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() = (uint64_t{1} << tail) - 1;
+    }
+    if (size_ == 0 && !words_.empty()) words_.back() = 0;
+  }
+
+  void Set(uint32_t id) {
+    assert(id < size_);
+    words_[id >> 6] |= uint64_t{1} << (id & 63u);
+  }
+
+  void Clear(uint32_t id) {
+    assert(id < size_);
+    words_[id >> 6] &= ~(uint64_t{1} << (id & 63u));
+  }
+
+  bool Test(uint32_t id) const {
+    assert(id < size_);
+    return (words_[id >> 6] >> (id & 63u)) & 1u;
+  }
+
+  uint32_t size() const { return size_; }
+  size_t num_words() const { return words_.size(); }
+  uint64_t* words() { return words_.data(); }
+  const uint64_t* words() const { return words_.data(); }
+  bool empty_universe() const { return size_ == 0; }
+
+  // Set cardinality, via the dispatched popcount kernel.
+  uint64_t Count() const;
+
+  // this |= other, this &= other, this &= ~other. Sizes must match.
+  void OrWith(const BitmapFrontier& other);
+  void AndWith(const BitmapFrontier& other);
+  void AndNotWith(const BitmapFrontier& other);
+
+  // Visits set ids in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const uint32_t bit = static_cast<uint32_t>(__builtin_ctzll(word));
+        fn(static_cast<uint32_t>(w * 64 + bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  static size_t NumWords(uint32_t size) {
+    return (static_cast<size_t>(size) + 63) / 64;
+  }
+
+ private:
+  uint32_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace mrpa::frontier
+
+#endif  // MRPA_FRONTIER_BITMAP_H_

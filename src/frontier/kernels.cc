@@ -1,0 +1,466 @@
+#include "frontier/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+// The SIMD tiers are compiled only when the MRPA_SIMD CMake option is ON
+// (the default) AND the target is x86-64 — each tier's functions carry a
+// per-function target attribute, so no global -mavx2 flag leaks into the
+// rest of the build and the runtime dispatcher stays the only caller.
+#if defined(MRPA_SIMD_ENABLED) && (defined(__x86_64__) || defined(__i386__))
+#define MRPA_FRONTIER_X86_TIERS 1
+#include <immintrin.h>
+#else
+#define MRPA_FRONTIER_X86_TIERS 0
+#endif
+
+namespace mrpa::frontier {
+
+namespace {
+
+constexpr uint32_t kWordShift = 6;   // uint64 words.
+constexpr uint32_t kWordMask = 63;
+
+inline bool TestBit(const uint64_t* bits, uint32_t id) {
+  return (bits[id >> kWordShift] >> (id & kWordMask)) & 1u;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar tier. The reference implementation every other tier must match
+// bit-for-bit (tests/frontier_kernels_test.cc).
+
+void ScalarOr(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t i = 0; i < words; ++i) dst[i] |= src[i];
+}
+
+void ScalarAnd(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t i = 0; i < words; ++i) dst[i] &= src[i];
+}
+
+void ScalarAndNot(uint64_t* dst, const uint64_t* src, size_t words) {
+  for (size_t i = 0; i < words; ++i) dst[i] &= ~src[i];
+}
+
+uint64_t ScalarPopcount(const uint64_t* words, size_t n) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+  }
+  return total;
+}
+
+size_t ScalarFilterEdges(const Edge* run, size_t n, const uint64_t* tail_bits,
+                         const uint64_t* label_bits,
+                         const uint64_t* head_bits, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Edge& e = run[i];
+    if (tail_bits != nullptr && !TestBit(tail_bits, e.tail)) continue;
+    if (label_bits != nullptr && !TestBit(label_bits, e.label)) continue;
+    if (head_bits != nullptr && !TestBit(head_bits, e.head)) continue;
+    out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+size_t ScalarIntersectBitmap(const uint32_t* sorted, size_t n,
+                             const uint64_t* bits, uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (TestBit(bits, sorted[i])) out[count++] = sorted[i];
+  }
+  return count;
+}
+
+constexpr Kernels kScalarKernels = {
+    SimdTier::kScalar, ScalarOr,          ScalarAnd,
+    ScalarAndNot,      ScalarPopcount,    ScalarFilterEdges,
+    ScalarIntersectBitmap,
+};
+
+#if MRPA_FRONTIER_X86_TIERS
+
+// ---------------------------------------------------------------------------
+// SSE4.2 tier: 128-bit word algebra and hardware popcount. The probe
+// kernels stay scalar — without gathers the bitmap lookups dominate and the
+// shuffle choreography buys nothing — so this tier's win is the algebra
+// (and the popcnt instruction, which -msse4.2 enables).
+
+__attribute__((target("sse4.2"))) void Sse42Or(uint64_t* dst,
+                                               const uint64_t* src,
+                                               size_t words) {
+  size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_or_si128(a, b));
+  }
+  for (; i < words; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("sse4.2"))) void Sse42And(uint64_t* dst,
+                                                const uint64_t* src,
+                                                size_t words) {
+  size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_and_si128(a, b));
+  }
+  for (; i < words; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("sse4.2"))) void Sse42AndNot(uint64_t* dst,
+                                                   const uint64_t* src,
+                                                   size_t words) {
+  size_t i = 0;
+  for (; i + 2 <= words; i += 2) {
+    __m128i a = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    __m128i b = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    // _mm_andnot_si128(b, a) = ~b & a.
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_andnot_si128(b, a));
+  }
+  for (; i < words; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("sse4.2"))) uint64_t Sse42Popcount(const uint64_t* words,
+                                                         size_t n) {
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    total += static_cast<uint64_t>(__builtin_popcountll(words[i])) +
+             static_cast<uint64_t>(__builtin_popcountll(words[i + 1])) +
+             static_cast<uint64_t>(__builtin_popcountll(words[i + 2])) +
+             static_cast<uint64_t>(__builtin_popcountll(words[i + 3]));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+  }
+  return total;
+}
+
+constexpr Kernels kSse42Kernels = {
+    SimdTier::kSse42,  Sse42Or,           Sse42And,
+    Sse42AndNot,       Sse42Popcount,     ScalarFilterEdges,
+    ScalarIntersectBitmap,
+};
+
+// ---------------------------------------------------------------------------
+// AVX2 tier: 256-bit word algebra plus gather-based bitmap probes. The
+// probe kernels view the uint64 bitmap as 32-bit words (little-endian, so
+// bit id maps to word id>>5, bit id&31) because vpgatherdd fetches eight
+// 32-bit words per issue where the 64-bit form manages four.
+
+__attribute__((target("avx2"))) void Avx2Or(uint64_t* dst,
+                                            const uint64_t* src,
+                                            size_t words) {
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_or_si256(a, b));
+  }
+  for (; i < words; ++i) dst[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) void Avx2And(uint64_t* dst,
+                                             const uint64_t* src,
+                                             size_t words) {
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_and_si256(a, b));
+  }
+  for (; i < words; ++i) dst[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void Avx2AndNot(uint64_t* dst,
+                                                const uint64_t* src,
+                                                size_t words) {
+  size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    __m256i b = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_andnot_si256(b, a));
+  }
+  for (; i < words; ++i) dst[i] &= ~src[i];
+}
+
+__attribute__((target("avx2,popcnt"))) uint64_t Avx2Popcount(
+    const uint64_t* words, size_t n) {
+  // Scalar popcnt at 4x unroll saturates the port on every AVX2-era core;
+  // the Harley-Seal vector ladder only pays past ~4 KiB of bitmap, which
+  // the frontier sizes here do not reach.
+  uint64_t total = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    total += static_cast<uint64_t>(__builtin_popcountll(words[i])) +
+             static_cast<uint64_t>(__builtin_popcountll(words[i + 1])) +
+             static_cast<uint64_t>(__builtin_popcountll(words[i + 2])) +
+             static_cast<uint64_t>(__builtin_popcountll(words[i + 3]));
+  }
+  for (; i < n; ++i) {
+    total += static_cast<uint64_t>(__builtin_popcountll(words[i]));
+  }
+  return total;
+}
+
+// Gathers the 32-bit bitmap words addressed by ids>>5 and tests bit
+// ids&31 of each: returns a vector of 0/-1 lanes (match masks).
+__attribute__((target("avx2"))) inline __m256i GatherTestBits(
+    const uint64_t* bits, __m256i ids) {
+  const int* base = reinterpret_cast<const int*>(bits);
+  __m256i word_idx = _mm256_srli_epi32(ids, 5);
+  __m256i bit_idx = _mm256_and_si256(ids, _mm256_set1_epi32(31));
+  __m256i words = _mm256_i32gather_epi32(base, word_idx, 4);
+  __m256i bit = _mm256_and_si256(_mm256_srlv_epi32(words, bit_idx),
+                                 _mm256_set1_epi32(1));
+  return _mm256_cmpeq_epi32(bit, _mm256_set1_epi32(1));
+}
+
+__attribute__((target("avx2"))) size_t Avx2FilterEdges(
+    const Edge* run, size_t n, const uint64_t* tail_bits,
+    const uint64_t* label_bits, const uint64_t* head_bits, uint32_t* out) {
+  // Edge is three packed uint32 fields, so field f of edge i lives at
+  // 32-bit offset 3i + f from the run base: one gather per constrained
+  // position fetches eight edges' ids at once.
+  static_assert(sizeof(Edge) == 12, "gather stride assumes packed Edge");
+  const int* base = reinterpret_cast<const int*>(run);
+  const __m256i stride =
+      _mm256_setr_epi32(0, 3, 6, 9, 12, 15, 18, 21);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i lane0 =
+        _mm256_add_epi32(stride, _mm256_set1_epi32(static_cast<int>(3 * i)));
+    __m256i match = _mm256_set1_epi32(-1);
+    if (tail_bits != nullptr) {
+      __m256i tails = _mm256_i32gather_epi32(base, lane0, 4);
+      match = _mm256_and_si256(match, GatherTestBits(tail_bits, tails));
+    }
+    if (label_bits != nullptr) {
+      __m256i labels = _mm256_i32gather_epi32(
+          base, _mm256_add_epi32(lane0, _mm256_set1_epi32(1)), 4);
+      match = _mm256_and_si256(match, GatherTestBits(label_bits, labels));
+    }
+    if (head_bits != nullptr) {
+      __m256i heads = _mm256_i32gather_epi32(
+          base, _mm256_add_epi32(lane0, _mm256_set1_epi32(2)), 4);
+      match = _mm256_and_si256(match, GatherTestBits(head_bits, heads));
+    }
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(match)));
+    while (mask != 0) {
+      unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      out[count++] = static_cast<uint32_t>(i + lane);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    const Edge& e = run[i];
+    if (tail_bits != nullptr && !TestBit(tail_bits, e.tail)) continue;
+    if (label_bits != nullptr && !TestBit(label_bits, e.label)) continue;
+    if (head_bits != nullptr && !TestBit(head_bits, e.head)) continue;
+    out[count++] = static_cast<uint32_t>(i);
+  }
+  return count;
+}
+
+__attribute__((target("avx2"))) size_t Avx2IntersectBitmap(
+    const uint32_t* sorted, size_t n, const uint64_t* bits, uint32_t* out) {
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i ids = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(sorted + i));
+    __m256i match = GatherTestBits(bits, ids);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(match)));
+    while (mask != 0) {
+      unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      out[count++] = sorted[i + lane];
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (TestBit(bits, sorted[i])) out[count++] = sorted[i];
+  }
+  return count;
+}
+
+constexpr Kernels kAvx2Kernels = {
+    SimdTier::kAvx2,   Avx2Or,            Avx2And,
+    Avx2AndNot,        Avx2Popcount,      Avx2FilterEdges,
+    Avx2IntersectBitmap,
+};
+
+#endif  // MRPA_FRONTIER_X86_TIERS
+
+// ---------------------------------------------------------------------------
+// Dispatch.
+
+bool CpuSupports(SimdTier tier) {
+#if MRPA_FRONTIER_X86_TIERS
+  switch (tier) {
+    case SimdTier::kScalar:
+      return true;
+    case SimdTier::kSse42:
+      return __builtin_cpu_supports("sse4.2") != 0 &&
+             __builtin_cpu_supports("popcnt") != 0;
+    case SimdTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0 &&
+             __builtin_cpu_supports("popcnt") != 0;
+  }
+  return false;
+#else
+  return tier == SimdTier::kScalar;
+#endif
+}
+
+const Kernels& TableFor(SimdTier tier) {
+#if MRPA_FRONTIER_X86_TIERS
+  switch (tier) {
+    case SimdTier::kAvx2:
+      return kAvx2Kernels;
+    case SimdTier::kSse42:
+      return kSse42Kernels;
+    case SimdTier::kScalar:
+      return kScalarKernels;
+  }
+#else
+  (void)tier;
+#endif
+  return kScalarKernels;
+}
+
+// The testing override. Guarded by a mutex with the cached dispatch below;
+// reads of the cached pointer are relaxed-atomic so Active() stays a load
+// on the hot path.
+std::mutex g_dispatch_mu;
+std::optional<SimdTier> g_forced_tier;
+std::atomic<const Kernels*> g_active{nullptr};
+
+SimdTier ResolveTier() {
+  if (g_forced_tier.has_value()) {
+    // Demote an unsupported request instead of risking SIGILL.
+    SimdTier want = *g_forced_tier;
+    while (want != SimdTier::kScalar && !TierSupported(want)) {
+      want = static_cast<SimdTier>(static_cast<uint8_t>(want) - 1);
+    }
+    return want;
+  }
+  if (ForceScalarFromEnv()) return SimdTier::kScalar;
+  for (SimdTier tier : {SimdTier::kAvx2, SimdTier::kSse42}) {
+    if (TierSupported(tier)) return tier;
+  }
+  return SimdTier::kScalar;
+}
+
+}  // namespace
+
+std::string_view TierName(SimdTier tier) {
+  switch (tier) {
+    case SimdTier::kScalar:
+      return "scalar";
+    case SimdTier::kSse42:
+      return "sse4.2";
+    case SimdTier::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool ForceScalarFromEnv() {
+  const char* v = std::getenv("MRPA_FORCE_SCALAR");
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+SimdTier HighestCompiledTier() {
+#if MRPA_FRONTIER_X86_TIERS
+  return SimdTier::kAvx2;
+#else
+  return SimdTier::kScalar;
+#endif
+}
+
+bool TierSupported(SimdTier tier) {
+  return static_cast<uint8_t>(tier) <=
+             static_cast<uint8_t>(HighestCompiledTier()) &&
+         CpuSupports(tier);
+}
+
+const Kernels& KernelsForTier(SimdTier tier) {
+  return TableFor(TierSupported(tier) ? tier : SimdTier::kScalar);
+}
+
+const Kernels& Active() {
+  const Kernels* cached = g_active.load(std::memory_order_acquire);
+  if (cached != nullptr) return *cached;
+  std::lock_guard<std::mutex> lock(g_dispatch_mu);
+  cached = g_active.load(std::memory_order_relaxed);
+  if (cached == nullptr) {
+    cached = &TableFor(ResolveTier());
+    g_active.store(cached, std::memory_order_release);
+  }
+  return *cached;
+}
+
+SimdTier ActiveTier() { return Active().tier; }
+
+void ForceTierForTesting(std::optional<SimdTier> tier) {
+  std::lock_guard<std::mutex> lock(g_dispatch_mu);
+  g_forced_tier = tier;
+  g_active.store(nullptr, std::memory_order_release);
+}
+
+size_t IntersectSortedGalloping(const uint32_t* a, size_t na,
+                                const uint32_t* b, size_t nb, uint32_t* out) {
+  // Keep `a` the smaller side; for each of its values, gallop through `b`
+  // (doubling probes from the last match position, then a binary search in
+  // the bracketed window). O(na · log(nb/na)) — the right shape when one
+  // side is a short allow-list and the other a long CSR run.
+  if (na > nb) return IntersectSortedGalloping(b, nb, a, na, out);
+  size_t count = 0;
+  size_t lo = 0;
+  for (size_t i = 0; i < na && lo < nb; ++i) {
+    const uint32_t needle = a[i];
+    // Gallop: find an upper bound for needle starting at lo.
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < nb && b[hi] < needle) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > nb) hi = nb;
+    // Binary search within (lo-1, hi].
+    size_t left = lo > 0 ? lo - 1 : 0;
+    size_t right = hi;
+    while (left < right) {
+      size_t mid = left + (right - left) / 2;
+      if (b[mid] < needle) {
+        left = mid + 1;
+      } else {
+        right = mid;
+      }
+    }
+    if (left < nb && b[left] == needle) {
+      out[count++] = needle;
+      lo = left + 1;
+    } else {
+      lo = left;
+    }
+  }
+  return count;
+}
+
+}  // namespace mrpa::frontier

@@ -1,0 +1,118 @@
+// SIMD kernel dispatch for the dense-frontier execution strategy.
+//
+// The dense strategy (DESIGN.md "Dense-frontier execution") represents
+// frontiers and allow-sets as uint64-word bitmaps and runs three kernel
+// families over them:
+//
+//   (a) intersection of sorted CSR runs (out-run heads, in-index edge
+//       indices) against bitmaps — the boolean matrix-vector inner step;
+//   (b) filtered scans of contiguous Edge runs against per-position
+//       (tail / label / head) allow-bitmaps — the vectorized form of
+//       EdgePattern::Matches over a run;
+//   (c) word algebra — OR / AND / ANDNOT / popcount — the frontier set
+//       operations themselves.
+//
+// Three implementations exist: a portable scalar tier, an SSE4.2 tier
+// (128-bit word algebra + hardware popcount), and an AVX2 tier (256-bit
+// word algebra, gather-based bitmap probes for the scan/intersection
+// kernels). One is selected at runtime:
+//
+//   * the `MRPA_SIMD` CMake option gates which tiers are COMPILED (OFF
+//     builds carry only the scalar tier — every kernel is also plain
+//     standard C++, so non-x86 hosts build unchanged);
+//   * `__builtin_cpu_supports` picks the highest compiled tier the CPU
+//     offers, once, at first use;
+//   * the `MRPA_FORCE_SCALAR=1` environment variable forces the scalar
+//     tier regardless (the CI escape hatch: scripts/ci_tsan.sh runs a
+//     forced-scalar leg so both code paths sanitize on any host);
+//   * ForceTierForTesting overrides everything, so the property suites can
+//     drive every supported tier through one process.
+//
+// Every tier computes bit-for-bit identical results — the kernels are pure
+// functions of their inputs, and tests/frontier_kernels_test.cc proves each
+// tier against a std::set_intersection oracle on random and adversarial
+// boundary inputs. Tier choice is therefore a pure throughput decision and
+// never observable in governed output.
+
+#ifndef MRPA_FRONTIER_KERNELS_H_
+#define MRPA_FRONTIER_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "core/edge.h"
+
+namespace mrpa::frontier {
+
+enum class SimdTier : uint8_t { kScalar = 0, kSse42 = 1, kAvx2 = 2 };
+
+std::string_view TierName(SimdTier tier);
+
+// The dispatch table. All pointers are non-null for every tier.
+struct Kernels {
+  SimdTier tier = SimdTier::kScalar;
+
+  // (c) Word algebra over `words`-long uint64 arrays: dst op= src.
+  void (*bitmap_or)(uint64_t* dst, const uint64_t* src, size_t words);
+  void (*bitmap_and)(uint64_t* dst, const uint64_t* src, size_t words);
+  void (*bitmap_and_not)(uint64_t* dst, const uint64_t* src, size_t words);
+  uint64_t (*bitmap_popcount)(const uint64_t* words, size_t n);
+
+  // (b) Filtered scan of a contiguous Edge run. Writes the POSITIONS (run
+  // indices, ascending) of edges whose tail/label/head ids all test set in
+  // the corresponding allow-bitmap; a null bitmap means that position is
+  // unconstrained. `out` must have room for `n` entries. Returns the match
+  // count. Ids must be < the bit length of their bitmap.
+  size_t (*filter_edges)(const Edge* run, size_t n, const uint64_t* tail_bits,
+                         const uint64_t* label_bits, const uint64_t* head_bits,
+                         uint32_t* out);
+
+  // (a) Sorted-run ∩ bitmap: writes the VALUES of `sorted[0..n)` whose bit
+  // tests set in `bits`, preserving order. `out` must have room for `n`.
+  size_t (*intersect_bitmap)(const uint32_t* sorted, size_t n,
+                             const uint64_t* bits, uint32_t* out);
+};
+
+// The active table: highest compiled tier the CPU supports, demoted to
+// scalar by MRPA_FORCE_SCALAR=1 or a ForceTierForTesting override.
+// Resolved once and cached; thread-safe.
+const Kernels& Active();
+SimdTier ActiveTier();
+
+// The highest tier this binary was COMPILED with (MRPA_SIMD=OFF or a
+// non-x86 target caps this at kScalar).
+SimdTier HighestCompiledTier();
+
+// True when `tier` is both compiled in and supported by this CPU. The
+// scalar tier is always supported.
+bool TierSupported(SimdTier tier);
+
+// The table for an explicit tier. Callers must check TierSupported first —
+// requesting an unsupported tier returns the scalar table rather than
+// risking SIGILL.
+const Kernels& KernelsForTier(SimdTier tier);
+
+// Test hook: pin dispatch to `tier` (demoted to the highest supported tier
+// at or below it), or reset to the environment/CPU default with nullopt.
+// Takes effect on the next Active() call. Not for concurrent use with
+// in-flight kernel work.
+void ForceTierForTesting(std::optional<SimdTier> tier);
+
+// True when the MRPA_FORCE_SCALAR environment variable demands the scalar
+// tier (set to anything but "" or "0").
+bool ForceScalarFromEnv();
+
+// Galloping intersection of two sorted uint32 runs (classic SVS: binary
+// double-then-search from the smaller side). Scalar on every tier — the
+// branchy search does not vectorize — but part of the kernel surface so the
+// expansion caches can pick it over intersect_bitmap when one side is tiny
+// relative to the other. Writes common values, ascending; `out` must have
+// room for min(na, nb). Inputs must be sorted ascending and duplicate-free.
+size_t IntersectSortedGalloping(const uint32_t* a, size_t na,
+                                const uint32_t* b, size_t nb, uint32_t* out);
+
+}  // namespace mrpa::frontier
+
+#endif  // MRPA_FRONTIER_KERNELS_H_

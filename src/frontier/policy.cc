@@ -1,0 +1,56 @@
+#include "frontier/policy.h"
+
+#include <algorithm>
+
+#include "obs/obs.h"
+
+namespace mrpa::frontier {
+
+bool ShouldGoDense(const DensityPolicy& policy, size_t frontier_paths,
+                   uint64_t distinct_heads, uint32_t num_vertices,
+                   bool benefits_from_filter) {
+  switch (policy.mode) {
+    case DensityMode::kForceSparse:
+      return false;
+    case DensityMode::kForceDense:
+      return true;
+    case DensityMode::kAuto:
+      break;
+  }
+  if (!benefits_from_filter) return false;
+  if (num_vertices == 0 || distinct_heads == 0) return false;
+  if (frontier_paths < policy.min_frontier_paths) return false;
+  const double reuse = static_cast<double>(frontier_paths) /
+                       static_cast<double>(distinct_heads);
+  if (reuse >= policy.min_reuse) return true;
+  const double fill = static_cast<double>(distinct_heads) /
+                      static_cast<double>(num_vertices);
+  return fill >= policy.min_fill;
+}
+
+DensityPolicy CalibrateDensityPolicy(const DensityPolicy& base,
+                                     const obs::ObsRegistry* registry,
+                                     uint32_t num_vertices,
+                                     size_t num_edges) {
+  if (registry == nullptr) return base;
+  const obs::HistogramSnapshot widths =
+      registry->SnapshotHistogram(obs::Hist::kTraversalLevelWidth);
+  if (widths.count == 0) return base;
+  const double mean =
+      static_cast<double>(widths.sum) / static_cast<double>(widths.count);
+  // Staleness guard (mirrors the cost model's): a mean level width larger
+  // than the edge count cannot describe this universe.
+  if (num_edges > 0 && mean > static_cast<double>(num_edges)) return base;
+  (void)num_vertices;
+  DensityPolicy calibrated = base;
+  // Anchor the width threshold at a quarter of the observed mean: when
+  // history says levels run wide, engage the dense machinery earlier; when
+  // history says levels run narrow, demand more evidence before paying the
+  // per-level build. Clamped so a pathological history cannot disable the
+  // switch entirely in either direction.
+  calibrated.min_frontier_paths = static_cast<size_t>(
+      std::clamp(mean / 4.0, 16.0, 1024.0));
+  return calibrated;
+}
+
+}  // namespace mrpa::frontier

@@ -1,0 +1,91 @@
+// DensityPolicy: the per-level sparse/dense switch for the adaptive
+// traversal engines.
+//
+// Every expansion level of the governed folds (core/traversal.cc, the
+// parallel shard fold, the backward chain evaluator) chooses between two
+// strategies with identical governed output:
+//
+//   * SPARSE — the PR 3 arena walk: per frontier path, enumerate the
+//     matching out-run with ForEachMatchingOutEdge. Optimal when frontiers
+//     are narrow or paths rarely share a head vertex.
+//   * DENSE  — bitmap-assisted: build per-level allow-bitmaps for the step
+//     pattern once, memoize each distinct head vertex's matched run once
+//     (SIMD-filtered), and replay the frontier against the memo. Optimal
+//     when many paths share head vertices (high-fan-out levels) or the
+//     pattern's Matches test is set-valued (per-edge binary searches
+//     become one bitmap probe).
+//
+// The decision inputs are the frontier width, the distinct-head count (one
+// bitmap popcount), and |V|. Thresholds come from this policy; when an
+// ObsRegistry with traversal history is attached, CalibrateDensityPolicy
+// refines the width threshold from the observed kTraversalLevelWidth
+// histogram — the PR 7 cost-model feedback loop (compiler/cost_model.h
+// exposes the same calibration as CostModel::FrontierPolicy). The policy
+// NEVER affects governed output, only throughput; the `frontier` ctest
+// label proves byte-identity across forced-sparse / forced-dense / auto.
+
+#ifndef MRPA_FRONTIER_POLICY_H_
+#define MRPA_FRONTIER_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mrpa::obs {
+class ObsRegistry;
+}  // namespace mrpa::obs
+
+namespace mrpa::frontier {
+
+enum class DensityMode : uint8_t {
+  // Decide per level from the thresholds below (the production setting).
+  kAuto = 0,
+  // Never take the dense path (the PR 3 behavior; the differential oracle
+  // side and the E22 sparse baseline).
+  kForceSparse,
+  // Always take the dense path, even for tiny frontiers (the differential
+  // subject side — forcing guarantees the dense code runs under every
+  // budget/fault regime the suite generates).
+  kForceDense,
+};
+
+struct DensityPolicy {
+  DensityMode mode = DensityMode::kAuto;
+
+  // Below this frontier width a level is always sparse: the per-level
+  // bitmap clear + filter build cannot amortize. Calibration scales this.
+  size_t min_frontier_paths = 64;
+
+  // Dense needs reuse: frontier_paths / distinct_heads at or above this
+  // means each memoized run is replayed enough times to beat recomputing.
+  double min_reuse = 1.5;
+
+  // ... or fill: distinct_heads / |V| at or above this means the frontier
+  // is dense in the matrix-vector sense and the per-level build cost is
+  // small relative to the level's total run length.
+  double min_fill = 1.0 / 64.0;
+};
+
+// The per-level switch. `benefits_from_filter` says whether the step
+// pattern does nontrivial per-edge match work the dense memo would
+// amortize (a pinned or set-valued label, or any tail/head constraint) —
+// an unconstrained step has nothing to memoize, so auto mode stays sparse
+// regardless of width. Forced modes short-circuit everything.
+bool ShouldGoDense(const DensityPolicy& policy, size_t frontier_paths,
+                   uint64_t distinct_heads, uint32_t num_vertices,
+                   bool benefits_from_filter);
+
+// Refines `base` from the registry's kTraversalLevelWidth history: the
+// observed mean level width anchors min_frontier_paths, clamped to
+// [16, 1024]. Degrades to `base` unchanged — same contract shape as the
+// cost model's — when the registry is null, has no recorded levels, or its
+// statistics are stale for this universe (a mean width exceeding the edge
+// count cannot have come from the graph at hand). Boundary-cost only: one
+// histogram snapshot per call; engines call it once per run, gated on an
+// attached registry.
+DensityPolicy CalibrateDensityPolicy(const DensityPolicy& base,
+                                     const obs::ObsRegistry* registry,
+                                     uint32_t num_vertices, size_t num_edges);
+
+}  // namespace mrpa::frontier
+
+#endif  // MRPA_FRONTIER_POLICY_H_

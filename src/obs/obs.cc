@@ -56,6 +56,9 @@ constexpr std::string_view kMetricNames[] = {
     "compiler.filters_pushed",
     "compiler.prefixes_factored",
     "compiler.joins_reordered",
+    "frontier.dense_levels",
+    "frontier.sparse_levels",
+    "frontier.words_scanned",
 };
 static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
               "kMetricNames must cover every Metric");
@@ -70,6 +73,7 @@ constexpr std::string_view kHistNames[] = {
     "service.epoch_lag",
     "service.admit_wait_nanos",
     "compiler.pass_nanos",
+    "frontier.kernel_nanos",
 };
 static_assert(std::size(kHistNames) == static_cast<size_t>(Hist::kCount),
               "kHistNames must cover every Hist");

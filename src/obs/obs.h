@@ -137,6 +137,15 @@ enum class Metric : uint32_t {
   kCompilerFiltersPushed,
   kCompilerPrefixesFactored,
   kCompilerJoinsReordered,
+  // Dense-frontier strategy telemetry (DESIGN.md "Dense-frontier
+  // execution"): expansion levels run dense vs. sparse, and uint64 bitmap
+  // words the dense machinery built or scanned. Strategy-dependent — a
+  // parallel run's per-shard decisions legitimately differ from the
+  // sequential run's — so these sit outside the sequential counter-identity
+  // set, like parallel.*.
+  kFrontierDenseLevels,
+  kFrontierSparseLevels,
+  kFrontierWordsScanned,
   kCount
 };
 
@@ -160,6 +169,11 @@ enum class Hist : uint32_t {
   kServiceAdmitWaitNanos,
   // Wall time of each optimizer pass execution (nanoseconds).
   kCompilerPassNanos,
+  // Wall time of each dense-level decision probe + allow-set build
+  // (nanoseconds): the bitmap/popcount/filter kernel work that sits OFF the
+  // guarded expansion loop. Sequential fold only — shard workers keep their
+  // observability thin.
+  kFrontierKernelNanos,
   kCount
 };
 

@@ -1,0 +1,413 @@
+// Property suite for the dense-frontier SIMD kernels (frontier/kernels.h)
+// and the BitmapFrontier built on them.
+//
+// The contract under test: every compiled-and-supported dispatch tier —
+// scalar, SSE4.2, AVX2 — computes bit-for-bit identical results, proven
+// against straightforward standard-C++ oracles (std::set_intersection and
+// hand-rolled bit loops) on randomized inputs plus the adversarial boundary
+// shapes where SIMD code breaks: empty inputs, exact word multiples (64,
+// 128), one-off-word sizes (63, 65), vector-width remainders (the AVX2
+// kernels process 8 edges / 4 words at a time, so tails of 1..7 matter),
+// all-set and all-clear bitmaps, and runs shorter than one vector.
+//
+// The dispatch machinery itself is covered too: ForceTierForTesting drives
+// every supported tier through one process, and MRPA_FORCE_SCALAR=1 (the
+// ci_tsan.sh forced-scalar leg's switch) demotes the active tier.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/edge.h"
+#include "frontier/bitmap.h"
+#include "frontier/kernels.h"
+#include "frontier/policy.h"
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+#include "util/random.h"
+
+namespace mrpa::frontier {
+namespace {
+
+std::vector<SimdTier> SupportedTiers() {
+  std::vector<SimdTier> tiers = {SimdTier::kScalar};
+  if (TierSupported(SimdTier::kSse42)) tiers.push_back(SimdTier::kSse42);
+  if (TierSupported(SimdTier::kAvx2)) tiers.push_back(SimdTier::kAvx2);
+  return tiers;
+}
+
+// Bitmap storage sized for ids in [0, bits), with a trailing guard word the
+// kernels must never read (gathers are per-id, so a correct kernel touches
+// only words its ids map to — poisoning the guard catches overreads that
+// happen to land in-range).
+std::vector<uint64_t> MakeBits(uint32_t bits, const std::vector<uint32_t>& set) {
+  std::vector<uint64_t> words(BitmapFrontier::NumWords(bits) + 1, 0);
+  words.back() = 0xdeadbeefdeadbeefULL;
+  for (uint32_t id : set) words[id >> 6] |= uint64_t{1} << (id & 63u);
+  return words;
+}
+
+bool TestBit(const std::vector<uint64_t>& words, uint32_t id) {
+  return (words[id >> 6] >> (id & 63u)) & 1u;
+}
+
+// The boundary sizes every kernel sweep runs over, in elements (edges, ids,
+// or words depending on the kernel).
+const size_t kBoundarySizes[] = {0,  1,  2,  3,   4,   5,   7,   8,  9,
+                                 15, 16, 17, 31,  32,  33,  63,  64, 65,
+                                 96, 100, 127, 128, 129, 200, 256, 300};
+
+TEST(KernelDispatchTest, ScalarAlwaysSupported) {
+  EXPECT_TRUE(TierSupported(SimdTier::kScalar));
+  const Kernels& k = KernelsForTier(SimdTier::kScalar);
+  EXPECT_EQ(k.tier, SimdTier::kScalar);
+}
+
+TEST(KernelDispatchTest, HighestCompiledTierBoundsSupport) {
+  for (SimdTier tier :
+       {SimdTier::kScalar, SimdTier::kSse42, SimdTier::kAvx2}) {
+    if (TierSupported(tier)) {
+      EXPECT_LE(static_cast<int>(tier),
+                static_cast<int>(HighestCompiledTier()));
+      EXPECT_EQ(KernelsForTier(tier).tier, tier);
+    } else {
+      // Unsupported requests demote to scalar instead of risking SIGILL.
+      EXPECT_EQ(KernelsForTier(tier).tier, SimdTier::kScalar);
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ForceTierForTestingPinsActive) {
+  for (SimdTier tier : SupportedTiers()) {
+    ForceTierForTesting(tier);
+    EXPECT_EQ(ActiveTier(), tier) << TierName(tier);
+    EXPECT_EQ(Active().tier, tier);
+  }
+  ForceTierForTesting(std::nullopt);
+  EXPECT_EQ(ActiveTier(), ForceScalarFromEnv() ? SimdTier::kScalar
+                                               : HighestCompiledTier());
+}
+
+TEST(KernelDispatchTest, ForceScalarEnvVarDemotesDispatch) {
+  // The ci_tsan.sh forced-scalar leg sets MRPA_FORCE_SCALAR=1 before any
+  // kernel work; here the cached dispatch is reset around the env change to
+  // observe it mid-process. The pre-existing value is restored afterwards
+  // so an externally forced-scalar run stays forced for later tests.
+  const char* prior = getenv("MRPA_FORCE_SCALAR");
+  const std::optional<std::string> saved =
+      prior != nullptr ? std::optional<std::string>(prior) : std::nullopt;
+
+  ASSERT_EQ(setenv("MRPA_FORCE_SCALAR", "1", /*overwrite=*/1), 0);
+  EXPECT_TRUE(ForceScalarFromEnv());
+  ForceTierForTesting(std::nullopt);  // Drop the cache; re-resolve from env.
+  EXPECT_EQ(ActiveTier(), SimdTier::kScalar);
+
+  // "0" and empty mean off.
+  ASSERT_EQ(setenv("MRPA_FORCE_SCALAR", "0", 1), 0);
+  EXPECT_FALSE(ForceScalarFromEnv());
+  ASSERT_EQ(unsetenv("MRPA_FORCE_SCALAR"), 0);
+  EXPECT_FALSE(ForceScalarFromEnv());
+  ForceTierForTesting(std::nullopt);
+  EXPECT_EQ(ActiveTier(), HighestCompiledTier());
+
+  if (saved.has_value()) {
+    ASSERT_EQ(setenv("MRPA_FORCE_SCALAR", saved->c_str(), 1), 0);
+  }
+  ForceTierForTesting(std::nullopt);
+}
+
+class KernelPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KernelPropertyTest, WordAlgebraMatchesScalarOracle) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 11);
+  for (size_t words : kBoundarySizes) {
+    SCOPED_TRACE("words " + std::to_string(words));
+    std::vector<uint64_t> a(words), b(words);
+    for (auto& w : a) w = rng.Next();
+    for (auto& w : b) w = rng.Next();
+    // Adversarial fills alongside the random ones.
+    if (words > 0 && rng.Chance(0.3)) a.front() = ~uint64_t{0};
+    if (words > 0 && rng.Chance(0.3)) b.back() = 0;
+
+    uint64_t expect_pop = 0;
+    std::vector<uint64_t> expect_or(words), expect_and(words),
+        expect_andnot(words);
+    for (size_t i = 0; i < words; ++i) {
+      expect_or[i] = a[i] | b[i];
+      expect_and[i] = a[i] & b[i];
+      expect_andnot[i] = a[i] & ~b[i];
+      expect_pop += static_cast<uint64_t>(__builtin_popcountll(a[i]));
+    }
+
+    for (SimdTier tier : SupportedTiers()) {
+      SCOPED_TRACE(std::string(TierName(tier)));
+      const Kernels& k = KernelsForTier(tier);
+      EXPECT_EQ(k.bitmap_popcount(a.data(), words), expect_pop);
+      std::vector<uint64_t> dst = a;
+      k.bitmap_or(dst.data(), b.data(), words);
+      EXPECT_EQ(dst, expect_or);
+      dst = a;
+      k.bitmap_and(dst.data(), b.data(), words);
+      EXPECT_EQ(dst, expect_and);
+      dst = a;
+      k.bitmap_and_not(dst.data(), b.data(), words);
+      EXPECT_EQ(dst, expect_andnot);
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, FilterEdgesMatchesPredicateOracle) {
+  Rng rng(GetParam() * 0x2545f4914f6cdd1dULL + 13);
+  const uint32_t kVertices = 97;  // Deliberately not a word multiple.
+  const uint32_t kLabels = 5;
+  for (size_t n : kBoundarySizes) {
+    SCOPED_TRACE("edges " + std::to_string(n));
+    std::vector<Edge> run;
+    run.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      run.push_back(Edge{static_cast<VertexId>(rng.Below(kVertices)),
+                         static_cast<LabelId>(rng.Below(kLabels)),
+                         static_cast<VertexId>(rng.Below(kVertices))});
+    }
+    // Each constraint position independently: absent (null), sparse,
+    // dense, or total — the nulls exercise the unconstrained short-circuit.
+    auto random_set = [&](uint32_t bound) {
+      std::vector<uint32_t> ids;
+      const uint64_t mode = rng.Below(4);
+      if (mode == 1) {
+        for (uint32_t id = 0; id < bound; ++id) {
+          if (rng.Chance(0.2)) ids.push_back(id);
+        }
+      } else if (mode == 2) {
+        for (uint32_t id = 0; id < bound; ++id) {
+          if (rng.Chance(0.8)) ids.push_back(id);
+        }
+      } else if (mode == 3) {
+        for (uint32_t id = 0; id < bound; ++id) ids.push_back(id);
+      }
+      return ids;  // mode 0: empty set (matches nothing).
+    };
+
+    for (int combo = 0; combo < 8; ++combo) {
+      SCOPED_TRACE("combo " + std::to_string(combo));
+      const bool use_tail = combo & 1, use_label = combo & 2,
+                 use_head = combo & 4;
+      std::vector<uint64_t> tail_bits =
+          MakeBits(kVertices, random_set(kVertices));
+      std::vector<uint64_t> label_bits =
+          MakeBits(kLabels, random_set(kLabels));
+      std::vector<uint64_t> head_bits =
+          MakeBits(kVertices, random_set(kVertices));
+
+      std::vector<uint32_t> expect;
+      for (size_t i = 0; i < n; ++i) {
+        const Edge& e = run[i];
+        if (use_tail && !TestBit(tail_bits, e.tail)) continue;
+        if (use_label && !TestBit(label_bits, e.label)) continue;
+        if (use_head && !TestBit(head_bits, e.head)) continue;
+        expect.push_back(static_cast<uint32_t>(i));
+      }
+
+      for (SimdTier tier : SupportedTiers()) {
+        SCOPED_TRACE(std::string(TierName(tier)));
+        const Kernels& k = KernelsForTier(tier);
+        std::vector<uint32_t> out(n + 1, 0xabababab);
+        const size_t matched = k.filter_edges(
+            run.data(), n, use_tail ? tail_bits.data() : nullptr,
+            use_label ? label_bits.data() : nullptr,
+            use_head ? head_bits.data() : nullptr, out.data());
+        ASSERT_EQ(matched, expect.size());
+        EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out.begin()));
+        EXPECT_EQ(out[n], 0xababababu) << "kernel wrote past its match count";
+      }
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, IntersectBitmapMatchesSetIntersectionOracle) {
+  Rng rng(GetParam() * 0xda942042e4dd58b5ULL + 17);
+  const uint32_t kUniverse = 321;  // 5 words + 1 bit.
+  for (size_t n : kBoundarySizes) {
+    SCOPED_TRACE("run " + std::to_string(n));
+    // A sorted duplicate-free run of ids, random or adversarially packed at
+    // word boundaries.
+    std::set<uint32_t> ids;
+    if (rng.Chance(0.25)) {
+      for (uint32_t id = 60; id < 70 && ids.size() < n; ++id) ids.insert(id);
+      for (uint32_t id = 124; id < 134 && ids.size() < n; ++id) ids.insert(id);
+    }
+    while (ids.size() < n) {
+      ids.insert(static_cast<uint32_t>(rng.Below(kUniverse)));
+    }
+    std::vector<uint32_t> sorted(ids.begin(), ids.end());
+
+    std::vector<uint32_t> allowed;
+    for (uint32_t id = 0; id < kUniverse; ++id) {
+      if (rng.Chance(0.4)) allowed.push_back(id);
+    }
+    std::vector<uint64_t> bits = MakeBits(kUniverse, allowed);
+
+    std::vector<uint32_t> expect;
+    std::set_intersection(sorted.begin(), sorted.end(), allowed.begin(),
+                          allowed.end(), std::back_inserter(expect));
+
+    for (SimdTier tier : SupportedTiers()) {
+      SCOPED_TRACE(std::string(TierName(tier)));
+      const Kernels& k = KernelsForTier(tier);
+      std::vector<uint32_t> out(sorted.size() + 1, 0xcdcdcdcd);
+      const size_t matched =
+          k.intersect_bitmap(sorted.data(), sorted.size(), bits.data(),
+                             out.data());
+      ASSERT_EQ(matched, expect.size());
+      EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out.begin()));
+    }
+  }
+}
+
+TEST_P(KernelPropertyTest, GallopingIntersectionMatchesSetIntersection) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 19);
+  const uint32_t kUniverse = 2048;
+  for (int c = 0; c < 40; ++c) {
+    SCOPED_TRACE("case " + std::to_string(c));
+    // Skewed sizes on purpose: galloping exists for |a| ≪ |b|.
+    const size_t na = static_cast<size_t>(rng.Below(40));
+    const size_t nb = static_cast<size_t>(rng.Below(800));
+    std::set<uint32_t> sa, sb;
+    while (sa.size() < na) {
+      sa.insert(static_cast<uint32_t>(rng.Below(kUniverse)));
+    }
+    while (sb.size() < nb) {
+      // Half the time, bias b to overlap a heavily.
+      if (!sa.empty() && rng.Chance(0.5)) {
+        sb.insert(*std::next(sa.begin(),
+                             static_cast<long>(rng.Below(sa.size()))));
+      } else {
+        sb.insert(static_cast<uint32_t>(rng.Below(kUniverse)));
+      }
+    }
+    std::vector<uint32_t> a(sa.begin(), sa.end()), b(sb.begin(), sb.end());
+    std::vector<uint32_t> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+
+    std::vector<uint32_t> out(std::min(a.size(), b.size()) + 1, 0xefefefef);
+    const size_t matched = IntersectSortedGalloping(a.data(), a.size(),
+                                                    b.data(), b.size(),
+                                                    out.data());
+    ASSERT_EQ(matched, expect.size());
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out.begin()));
+
+    // Symmetric: the kernel swaps internally, so both argument orders agree.
+    std::vector<uint32_t> out2(out.size(), 0);
+    EXPECT_EQ(IntersectSortedGalloping(b.data(), b.size(), a.data(), a.size(),
+                                       out2.data()),
+              matched);
+    EXPECT_TRUE(std::equal(expect.begin(), expect.end(), out2.begin()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPropertyTest,
+                         ::testing::Values(3, 7, 11, 19, 23, 31));
+
+TEST(BitmapFrontierTest, SetAllMasksTailBits) {
+  for (uint32_t size : {0u, 1u, 63u, 64u, 65u, 128u, 129u, 321u}) {
+    SCOPED_TRACE("size " + std::to_string(size));
+    BitmapFrontier f(size);
+    f.SetAll();
+    EXPECT_EQ(f.Count(), size);
+    if (size > 0) {
+      EXPECT_TRUE(f.Test(size - 1));
+      f.Clear(size - 1);
+      EXPECT_EQ(f.Count(), size - 1);
+    }
+  }
+}
+
+TEST(BitmapFrontierTest, AlgebraAndOrderedVisit) {
+  BitmapFrontier a(200), b(200);
+  for (uint32_t id : {0u, 63u, 64u, 65u, 127u, 128u, 199u}) a.Set(id);
+  for (uint32_t id : {63u, 65u, 128u, 150u}) b.Set(id);
+
+  BitmapFrontier u = a;
+  u.OrWith(b);
+  EXPECT_EQ(u.Count(), 8u);
+
+  BitmapFrontier i = a;
+  i.AndWith(b);
+  std::vector<uint32_t> visited;
+  i.ForEachSet([&](uint32_t id) { visited.push_back(id); });
+  EXPECT_EQ(visited, (std::vector<uint32_t>{63, 65, 128}));
+
+  BitmapFrontier d = a;
+  d.AndNotWith(b);
+  visited.clear();
+  d.ForEachSet([&](uint32_t id) { visited.push_back(id); });
+  EXPECT_EQ(visited, (std::vector<uint32_t>{0, 64, 127, 199}));
+
+  // Reset keeps capacity semantics honest: shrinking then growing re-zeros.
+  d.Reset(10);
+  EXPECT_EQ(d.Count(), 0u);
+  d.Reset(200);
+  EXPECT_EQ(d.Count(), 0u);
+}
+
+TEST(DensityPolicyTest, ForcedModesShortCircuit) {
+  DensityPolicy sparse;
+  sparse.mode = DensityMode::kForceSparse;
+  EXPECT_FALSE(ShouldGoDense(sparse, 100000, 100000, 100, true));
+  DensityPolicy dense;
+  dense.mode = DensityMode::kForceDense;
+  EXPECT_TRUE(ShouldGoDense(dense, 0, 0, 0, false));
+}
+
+TEST(DensityPolicyTest, AutoRequiresWidthAndReuseOrFill) {
+  DensityPolicy p;  // Defaults: width 64, reuse 1.5, fill 1/64.
+  // Unconstrained steps never go dense.
+  EXPECT_FALSE(ShouldGoDense(p, 100000, 1000, 10000, false));
+  // Below the width floor: sparse.
+  EXPECT_FALSE(ShouldGoDense(p, 63, 10, 10000, true));
+  // Wide with reuse: dense.
+  EXPECT_TRUE(ShouldGoDense(p, 300, 100, 1000000, true));
+  // Wide, no reuse, but the frontier fills the vertex set: dense.
+  EXPECT_TRUE(ShouldGoDense(p, 300, 300, 1000, true));
+  // Wide, no reuse, negligible fill: sparse.
+  EXPECT_FALSE(ShouldGoDense(p, 300, 300, 1000000, true));
+}
+
+TEST(DensityPolicyTest, CalibrationFollowsLevelWidthHistory) {
+  DensityPolicy base;
+  // Null registry: unchanged.
+  DensityPolicy p = CalibrateDensityPolicy(base, nullptr, 1000, 5000);
+  EXPECT_EQ(p.min_frontier_paths, base.min_frontier_paths);
+
+  // Empty history: unchanged.
+  obs::ObsRegistry reg;
+  p = CalibrateDensityPolicy(base, &reg, 1000, 5000);
+  EXPECT_EQ(p.min_frontier_paths, base.min_frontier_paths);
+
+  // Wide observed levels pull the threshold up (mean/4, clamped to 1024).
+  for (int i = 0; i < 10; ++i) {
+    reg.Record(obs::Hist::kTraversalLevelWidth, 2000);
+  }
+  p = CalibrateDensityPolicy(base, &reg, 1000, 5000);
+  EXPECT_EQ(p.min_frontier_paths, 500u);
+
+  // Stale history (mean width exceeds |E|): unchanged.
+  p = CalibrateDensityPolicy(base, &reg, 1000, 100);
+  EXPECT_EQ(p.min_frontier_paths, base.min_frontier_paths);
+
+  // Narrow history clamps at the floor of 16.
+  obs::ObsRegistry narrow;
+  for (int i = 0; i < 10; ++i) {
+    narrow.Record(obs::Hist::kTraversalLevelWidth, 4);
+  }
+  p = CalibrateDensityPolicy(base, &narrow, 1000, 5000);
+  EXPECT_EQ(p.min_frontier_paths, 16u);
+}
+
+}  // namespace
+}  // namespace mrpa::frontier

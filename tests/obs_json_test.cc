@@ -394,6 +394,40 @@ TEST(ObsJsonTest, StorageCountersAreExported) {
   EXPECT_EQ(by_name["storage.load_nanos"], 12345);
 }
 
+// The frontier counters and kernel histogram (PR 8) joined the export
+// contract: scripts/ci_bench.sh's E22 consumers and the dense/sparse
+// dashboards key on these exact names.
+TEST(ObsJsonTest, FrontierCountersAreExported) {
+  ObsRegistry reg;
+  reg.Add(Metric::kFrontierDenseLevels, 3);
+  reg.Add(Metric::kFrontierSparseLevels, 5);
+  reg.Add(Metric::kFrontierWordsScanned, 4096);
+  reg.Record(Hist::kFrontierKernelNanos, 777);
+
+  std::unique_ptr<JsonValue> root = ParseOrDie(reg.ToJson());
+  const JsonValue* counters = root->Find("counters");
+  std::map<std::string, int64_t> by_name;
+  for (const auto& entry : counters->elements) {
+    by_name[entry->Find("name")->str] = entry->Find("total")->num;
+  }
+  ASSERT_TRUE(by_name.contains("frontier.dense_levels"));
+  EXPECT_EQ(by_name["frontier.dense_levels"], 3);
+  ASSERT_TRUE(by_name.contains("frontier.sparse_levels"));
+  EXPECT_EQ(by_name["frontier.sparse_levels"], 5);
+  ASSERT_TRUE(by_name.contains("frontier.words_scanned"));
+  EXPECT_EQ(by_name["frontier.words_scanned"], 4096);
+
+  const JsonValue* hists = root->Find("histograms");
+  bool found_hist = false;
+  for (const auto& entry : hists->elements) {
+    if (entry->Find("name")->str != "frontier.kernel_nanos") continue;
+    found_hist = true;
+    EXPECT_EQ(entry->Find("count")->num, 1);
+    EXPECT_EQ(entry->Find("sum")->num, 777);
+  }
+  EXPECT_TRUE(found_hist);
+}
+
 TEST(ObsJsonTest, HostileSpanNamesStayParseable) {
   ObsRegistry reg;
   reg.EndSpan(reg.BeginSpan("name\nwith\t\"specials\"\\and\x02ctrl"));
