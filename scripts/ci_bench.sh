@@ -9,7 +9,9 @@
 # E21 (query compiler: pass-pipeline compile cost and optimized-vs-not
 # run time on redundant and chain workloads), E22 (dense-frontier fast
 # path: sparse/dense crossover, §IV-C projection throughput, kernel-tier
-# ratio) — writing one machine-readable BENCH_<n>.json
+# ratio), E23 (live-graph delta pipeline: overlay read overhead at
+# 0/1/10% delta fill, view build + compaction throughput, hot-swap
+# latency) — writing one machine-readable BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
 # bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
 # --trace (the ObsRegistry export; schema locked by tests/obs_json_test.cc).
@@ -44,7 +46,8 @@ MIN_TIME="${MRPA_BENCH_MIN_TIME:-0.5}"
 cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target bench_guard_overhead bench_parallel_traversal bench_path_arena \
-           bench_snapshot bench_service bench_compiler bench_frontier
+           bench_snapshot bench_service bench_compiler bench_frontier \
+           bench_delta
 
 mkdir -p "${OUT_DIR}"
 
@@ -69,6 +72,7 @@ run_bench 19 bench_snapshot
 run_bench 20 bench_service
 run_bench 21 bench_compiler
 run_bench 22 bench_frontier
+run_bench 23 bench_delta
 
 echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"
 

@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Chaos job for the serving substrate (src/service/).
+# Chaos job for the serving substrate (src/service/) and the live-graph
+# delta pipeline (src/delta/).
 #
 # Builds the tree twice — -DMRPA_SANITIZE=address and
-# -DMRPA_SANITIZE=thread — and runs the `service`-labeled suites under
-# each, with the chaos soak (tests/service_chaos_test.cc) extended from
-# its 1.5s unit-test default to a 30s run via MRPA_CHAOS_SOAK_MS. The
-# soak's invariant is differential: every query the service admits must
-# return bytes identical to a direct governed evaluation against the
-# snapshot version it was admitted under, while a controller thread
-# hot-swaps snapshots, injects service.execute/exec.budget_check/
-# service.swap faults, cancels in-flight queries, and flips tenant quotas.
-# ASan proves the epoch reclamation never frees a pinned image (and the
-# retry/shed paths leak nothing); TSan proves the lock-free read path and
-# the admission queues are race-free under the same schedule pressure.
+# -DMRPA_SANITIZE=thread — and runs the `service`- and `delta`-labeled
+# suites under each, with the chaos soaks (tests/service_chaos_test.cc)
+# extended from their 1.5s unit-test default to a 30s run via
+# MRPA_CHAOS_SOAK_MS. The soaks' invariant is differential: every query
+# the service admits must return bytes identical to a direct governed
+# evaluation against the snapshot version it was admitted under — in the
+# first soak while a controller thread hot-swaps static snapshots, injects
+# service.execute/exec.budget_check/service.swap faults, cancels in-flight
+# queries, and flips tenant quotas; in the second while a mutator thread
+# churns a DeltaOverlay and periodically compacts it into fresh images
+# hot-swapped into the same registry (through injected delta.compact/
+# delta.swap failures). The delta label adds the step-wise mutation-trace
+# differential harness at full soak length. ASan proves the epoch
+# reclamation never frees a pinned image (and the retry/shed paths leak
+# nothing); TSan proves the lock-free read path, the admission queues, and
+# the sealed-generation publication are race-free under the same schedule
+# pressure.
 #
 # Usage: scripts/ci_chaos.sh [asan-build-dir] [tsan-build-dir]
 #        (defaults: build-chaos-asan, build-chaos-tsan)
@@ -37,7 +44,7 @@ run_service_suites() {  # run_service_suites <build-dir> <sanitizer>
   # by itself, and sharing cores with sibling suites would starve the
   # controller thread's swap/fault cadence.
   MRPA_CHAOS_SOAK_MS="${SOAK_MS}" \
-    ctest --test-dir "${dir}" -L service --output-on-failure -j 1
+    ctest --test-dir "${dir}" -L "service|delta" --output-on-failure -j 1
 }
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
@@ -46,4 +53,4 @@ run_service_suites "${ASAN_DIR}" address
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 run_service_suites "${TSAN_DIR}" thread
 
-echo "chaos: service suites clean under ASan and TSan (soak ${SOAK_MS}ms x2)"
+echo "chaos: service+delta suites clean under ASan and TSan (soak ${SOAK_MS}ms x2)"

@@ -12,9 +12,12 @@
 # is the resilience layer — an unexercised shed, retry, or reclamation
 # branch is exactly the code that will run for the first time during an
 # outage), src/compiler/ (every optimizer pass claims semantic
-# equivalence — an unexercised rewrite branch is an unproven one), and
+# equivalence — an unexercised rewrite branch is an unproven one),
 # src/frontier/ (the SIMD kernels are dispatch-tiered — an unexercised
-# tier or boundary lane is silent wrong-answer territory on the next CPU).
+# tier or boundary lane is silent wrong-answer territory on the next CPU),
+# and src/delta/ (the live-graph merge view and compactor are the mutable
+# path — an unexercised tombstone or fail-closed branch is a data-loss bug
+# waiting for production traffic).
 #
 # Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
 # Env:   MRPA_COVERAGE_THRESHOLD_OBS      — override the src/obs gate (default 80).
@@ -22,6 +25,7 @@
 #        MRPA_COVERAGE_THRESHOLD_SERVICE  — override the src/service gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_COMPILER — override the src/compiler gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_FRONTIER — override the src/frontier gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_DELTA    — override the src/delta gate (default 80).
 
 set -euo pipefail
 
@@ -33,6 +37,7 @@ THRESHOLD_STORAGE="${MRPA_COVERAGE_THRESHOLD_STORAGE:-80}"
 THRESHOLD_SERVICE="${MRPA_COVERAGE_THRESHOLD_SERVICE:-80}"
 THRESHOLD_COMPILER="${MRPA_COVERAGE_THRESHOLD_COMPILER:-80}"
 THRESHOLD_FRONTIER="${MRPA_COVERAGE_THRESHOLD_FRONTIER:-80}"
+THRESHOLD_DELTA="${MRPA_COVERAGE_THRESHOLD_DELTA:-80}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -52,7 +57,7 @@ if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
   exit 1
 fi
 
-python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" "${THRESHOLD_FRONTIER}" <<'PY'
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" "${THRESHOLD_FRONTIER}" "${THRESHOLD_DELTA}" <<'PY'
 import collections
 import json
 import os
@@ -64,6 +69,7 @@ threshold_storage = float(sys.argv[3])
 threshold_service = float(sys.argv[4])
 threshold_compiler = float(sys.argv[5])
 threshold_frontier = float(sys.argv[6])
+threshold_delta = float(sys.argv[7])
 repo = os.getcwd()
 src_root = os.path.join(repo, "src")
 
@@ -118,6 +124,7 @@ storage_covered = storage_total = 0
 service_covered = service_total = 0
 compiler_covered = compiler_total = 0
 frontier_covered = frontier_total = 0
+delta_covered = delta_total = 0
 all_covered = all_total = 0
 for d in sorted(by_dir):
     covered, total = by_dir[d]
@@ -138,6 +145,9 @@ for d in sorted(by_dir):
     if d.startswith(os.path.join("src", "frontier")):
         frontier_covered += covered
         frontier_total += total
+    if d.startswith(os.path.join("src", "delta")):
+        delta_covered += covered
+        delta_total += total
     print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
 print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
       f"{100.0 * all_covered / all_total:6.1f}%")
@@ -187,6 +197,15 @@ if frontier_pct < threshold_frontier:
     failures.append(
         f"src/frontier coverage {frontier_pct:.1f}% < "
         f"{threshold_frontier:.0f}%")
+
+if delta_total == 0:
+    sys.exit("error: no coverage data for src/delta/")
+delta_pct = 100.0 * delta_covered / delta_total
+print(f"src/delta line coverage: {delta_pct:.1f}% "
+      f"(gate: {threshold_delta:.0f}%)")
+if delta_pct < threshold_delta:
+    failures.append(
+        f"src/delta coverage {delta_pct:.1f}% < {threshold_delta:.0f}%")
 
 if failures:
     sys.exit("FAIL: " + "; ".join(failures))

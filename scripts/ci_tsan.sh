@@ -20,7 +20,11 @@
 # thread-visible surface, plus the `frontier`-labeled suites — the
 # dense-frontier differential harness drives the per-shard density decision
 # (each shard builds its own level caches and writes the frontier.* strategy
-# counters into its ObsRegistry slot) at pool widths 1/2/8; the rest of the
+# counters into its ObsRegistry slot) at pool widths 1/2/8, plus the
+# `delta`-labeled suites — the live-graph step-wise differential harness
+# runs overlay merge views through the parallel engine at pool widths
+# 1/2/8, and dynamic_graph_test's concurrent-const-reads regression (the
+# lazy-cache rebuild race) only means something under TSAN; the rest of the
 # test matrix is single-threaded and covered by the regular tier1 job.
 #
 # The race-sensitive labels then run a SECOND leg with MRPA_FORCE_SCALAR=1:
@@ -49,7 +53,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # second_deadlock_stack gives usable reports for lock-order findings.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler|frontier" --output-on-failure -j 2
+ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler|frontier|delta" --output-on-failure -j 2
 
 echo "=== forced-scalar leg (MRPA_FORCE_SCALAR=1) ==="
 MRPA_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" \

@@ -1,0 +1,99 @@
+#include "delta/compactor.h"
+
+#include <chrono>
+#include <fstream>
+#include <utility>
+
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/fault_injector.h"
+
+namespace mrpa::delta {
+
+Result<CompactionResult> Compactor::Compact(const EdgeUniverse& base,
+                                            DeltaOverlay& delta,
+                                            ExecContext* exec) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Seal first so the fold covers everything applied so far. Sealing is the
+  // one overlay effect that survives a failed compaction; it changes
+  // visibility (readers now see the verdicts), never content.
+  delta.Seal();
+  const size_t generations = delta.sealed_generations();
+
+  if (Status injected = FaultProbe(kFaultSiteDeltaCompact); !injected.ok()) {
+    return injected;
+  }
+
+  Result<OverlayUniverse> view = delta.View(base, exec);
+  if (!view.ok()) return view.status();
+
+  storage::SnapshotWriter writer;
+  Result<std::vector<uint8_t>> bytes = writer.Serialize(*view);
+  if (!bytes.ok()) return bytes.status();
+  if (exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(exec->ChargeBytes(bytes->size()));
+    MRPA_RETURN_IF_ERROR(exec->CheckDeadline());
+  }
+
+  CompactionResult result;
+  result.edges = view->num_edges();
+  result.generations_folded = generations;
+  result.image_bytes = bytes->size();
+
+  // Compacted bytes are untrusted until the fail-closed pipeline passes —
+  // the same rule as any snapshot arriving from disk.
+  storage::SnapshotLoadOptions load_options;
+  load_options.exec = exec;
+  load_options.obs = options_.obs;
+  storage::SnapshotReader reader(load_options);
+  Result<storage::SnapshotUniverse> universe = Status::Internal("unreached");
+  if (!options_.path.empty()) {
+    {
+      std::ofstream out(options_.path, std::ios::binary | std::ios::trunc);
+      if (!out.is_open()) {
+        return Status::IOError("compactor: cannot open " + options_.path);
+      }
+      out.write(reinterpret_cast<const char*>(bytes->data()),
+                static_cast<std::streamsize>(bytes->size()));
+      if (!out.good()) {
+        return Status::IOError("compactor: short write to " + options_.path);
+      }
+    }
+    universe = reader.MapFile(options_.path);
+  } else if (options_.keep_image) {
+    universe = reader.FromBuffer(*bytes);  // Validate a copy; keep the bytes.
+  } else {
+    universe = reader.FromBuffer(std::move(*bytes));
+  }
+  if (!universe.ok()) return universe.status();
+
+  if (Status injected = FaultProbe(kFaultSiteDeltaSwap); !injected.ok()) {
+    return injected;
+  }
+  if (registry_ != nullptr) {
+    Result<uint64_t> version =
+        registry_->HotSwap(std::move(universe).value());
+    if (!version.ok()) return version.status();
+    result.version = *version;
+  }
+
+  // The image is live (or validated, in registry-less mode): the folded
+  // generations are now redundant with the new base.
+  delta.DropGenerations(generations);
+
+  if (options_.keep_image) result.image = std::move(*bytes);
+  if (options_.obs != nullptr) {
+    options_.obs->Add(obs::Metric::kDeltaCompactions, 1);
+    options_.obs->Record(
+        obs::Hist::kDeltaCompactNanos,
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count()));
+  }
+  return result;
+}
+
+}  // namespace mrpa::delta

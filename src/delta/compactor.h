@@ -1,0 +1,104 @@
+// Compactor: folds a DeltaOverlay into a fresh MRGS snapshot image and
+// (optionally) hot-swaps it into a serving SnapshotRegistry.
+//
+// The delta layer trades write latency for read-side merge work; left
+// alone, generations pile up and every View() pays a wider collapse.
+// Compaction is the background half of the bargain: seal whatever is
+// pending, materialize the merged view, serialize it through the PR 5
+// SnapshotWriter (deterministic bytes), run the result through the PR 5
+// fail-closed validation pipeline — compacted images are untrusted bytes
+// like any other snapshot — and publish it through the PR 6
+// SnapshotRegistry's epoch-safe HotSwap, so in-flight queries finish on the
+// image they were admitted under while new queries see the compacted one.
+// Only after the new image is live are the folded generations dropped from
+// the overlay; a failure at ANY phase (injected `delta.compact`/`delta.swap`
+// fault, serialization error, validation error, a failed HotSwap) leaves
+// the overlay's generations AND the registry exactly as they were.
+//
+// Names do not survive compaction: SnapshotWriter's EdgeUniverse overload
+// writes empty name tables (the abstract surface has no names), so a
+// compacted image serves ids only. Callers that need names keep them at a
+// layer above the edge relation.
+//
+// Single-writer discipline: Compact mutates the overlay (Seal +
+// DropGenerations), so it runs on — or synchronized with — the overlay's
+// writer thread. Readers are unaffected throughout: they hold shared_ptr
+// generations and registry guards.
+
+#ifndef MRPA_DELTA_COMPACTOR_H_
+#define MRPA_DELTA_COMPACTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/edge_universe.h"
+#include "delta/delta_overlay.h"
+#include "obs/obs.h"
+#include "service/snapshot_registry.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+namespace mrpa::delta {
+
+struct CompactorOptions {
+  // Non-empty: the image is written to this path and served zero-copy
+  // (MapFile). Empty: the image is validated and served from an owned
+  // buffer (FromBuffer).
+  std::string path;
+  // Keep a copy of the serialized image in CompactionResult::image — the
+  // differential harnesses rebuild reference universes from it.
+  bool keep_image = false;
+  // Metrics sink for delta.compactions / delta.compact_nanos; also handed
+  // to the validating reader. Must outlive the compactor.
+  obs::ObsRegistry* obs = nullptr;
+};
+
+struct CompactionResult {
+  // Registry version the compacted image was published under; 0 when the
+  // compactor has no registry (validate-only mode).
+  uint64_t version = 0;
+  // Edges in the compacted image.
+  size_t edges = 0;
+  // Sealed generations folded in and dropped from the overlay.
+  size_t generations_folded = 0;
+  // Serialized image size.
+  size_t image_bytes = 0;
+  // The image bytes themselves; empty unless CompactorOptions::keep_image.
+  std::vector<uint8_t> image;
+};
+
+class Compactor {
+ public:
+  // `registry` may be null: Compact then validates the image and returns it
+  // without publishing (the corruption sweep runs this mode). Not owned;
+  // must outlive the compactor.
+  explicit Compactor(service::SnapshotRegistry* registry,
+                     CompactorOptions options = {})
+      : registry_(registry), options_(std::move(options)) {}
+
+  Compactor(const Compactor&) = delete;
+  Compactor& operator=(const Compactor&) = delete;
+
+  // Seals the overlay's pending verdicts, rewrites base+delta into a fresh
+  // validated MRGS image, hot-swaps it (when a registry is attached), and
+  // drops the folded generations. On ANY failure the overlay keeps its
+  // sealed generations and the registry its current image — the only
+  // observable effect is that pending verdicts may now be sealed (a
+  // visibility change for readers, never a content change: sealing alters
+  // no verdict).
+  //
+  // The serialized image and validation pass are charged to `exec`.
+  Result<CompactionResult> Compact(const EdgeUniverse& base,
+                                   DeltaOverlay& delta,
+                                   ExecContext* exec = nullptr);
+
+ private:
+  service::SnapshotRegistry* registry_;
+  CompactorOptions options_;
+};
+
+}  // namespace mrpa::delta
+
+#endif  // MRPA_DELTA_COMPACTOR_H_

@@ -1,0 +1,296 @@
+#include "delta/delta_overlay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "util/fault_injector.h"
+
+namespace mrpa::delta {
+
+namespace {
+
+// The verdict for `e` in one sealed generation: nullptr when the generation
+// says nothing about e. Binary search — entries are in canonical order.
+const DeltaEntry* FindEntry(const DeltaGeneration& gen, const Edge& e) {
+  auto it = std::lower_bound(
+      gen.entries.begin(), gen.entries.end(), e,
+      [](const DeltaEntry& entry, const Edge& edge) { return entry.edge < edge; });
+  if (it == gen.entries.end() || it->edge != e) return nullptr;
+  return &*it;
+}
+
+int64_t ElapsedNanos(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// --- OverlayUniverse ---------------------------------------------------------
+
+std::span<const Edge> OverlayUniverse::OutEdges(VertexId v) const {
+  if (base_ != nullptr) return base_->OutEdges(v);
+  if (v >= num_vertices_) return {};
+  return std::span<const Edge>(edges_).subspan(
+      out_offsets_[v], out_offsets_[v + 1] - out_offsets_[v]);
+}
+
+std::span<const EdgeIndex> OverlayUniverse::InEdgeIndices(VertexId v) const {
+  if (base_ != nullptr) return base_->InEdgeIndices(v);
+  if (v >= num_vertices_) return {};
+  return std::span<const EdgeIndex>(in_index_).subspan(
+      in_offsets_[v], in_offsets_[v + 1] - in_offsets_[v]);
+}
+
+std::span<const EdgeIndex> OverlayUniverse::LabelEdgeIndices(LabelId l) const {
+  if (base_ != nullptr) return base_->LabelEdgeIndices(l);
+  if (l >= num_labels_) return {};
+  return std::span<const EdgeIndex>(label_index_).subspan(
+      label_offsets_[l], label_offsets_[l + 1] - label_offsets_[l]);
+}
+
+bool OverlayUniverse::HasEdge(const Edge& e) const {
+  if (base_ != nullptr) return base_->HasEdge(e);
+  return std::binary_search(edges_.begin(), edges_.end(), e);
+}
+
+// --- DeltaOverlay: writer side ----------------------------------------------
+
+Status DeltaOverlay::Apply(const EdgeUniverse& base, const Edge& e,
+                           bool tombstone, ExecContext* exec) {
+  if (Status injected = FaultProbe(kFaultSiteDeltaApply); !injected.ok()) {
+    return injected;
+  }
+  const bool present = HasEdgeOver(base, e);
+  if (!tombstone && present) {
+    return Status::AlreadyExists("edge " + e.ToString() + " already in E");
+  }
+  if (tombstone && !present) {
+    return Status::NotFound("edge " + e.ToString() + " not in E");
+  }
+  if (exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(exec->ChargeBytes(sizeof(DeltaEntry)));
+  }
+  active_[e] = tombstone;
+  if (!tombstone) {
+    pending_grown_vertices_ = std::max(
+        pending_grown_vertices_, std::max(e.tail, e.head) + 1);
+    pending_grown_labels_ = std::max(pending_grown_labels_, e.label + 1);
+  }
+  if (obs_ != nullptr) {
+    obs_->Add(tombstone ? obs::Metric::kDeltaTombstones
+                        : obs::Metric::kDeltaInserts,
+              1);
+  }
+  return Status::OK();
+}
+
+Status DeltaOverlay::AddEdge(const EdgeUniverse& base, const Edge& e,
+                             ExecContext* exec) {
+  return Apply(base, e, /*tombstone=*/false, exec);
+}
+
+Status DeltaOverlay::RemoveEdge(const EdgeUniverse& base, const Edge& e,
+                                ExecContext* exec) {
+  return Apply(base, e, /*tombstone=*/true, exec);
+}
+
+size_t DeltaOverlay::Seal() {
+  if (active_.empty()) return 0;
+  auto gen = std::make_shared<DeltaGeneration>();
+  gen->entries.reserve(active_.size());
+  // std::map iterates in key order, which IS canonical edge order.
+  for (const auto& [edge, tombstone] : active_) {
+    gen->entries.push_back({edge, tombstone});
+  }
+  gen->grown_vertices = pending_grown_vertices_;
+  gen->grown_labels = pending_grown_labels_;
+  const size_t sealed = gen->entries.size();
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    generations_.push_back(std::move(gen));
+  }
+  active_.clear();
+  if (obs_ != nullptr) obs_->Add(obs::Metric::kDeltaGenerationsSealed, 1);
+  return sealed;
+}
+
+bool DeltaOverlay::HasEdgeOver(const EdgeUniverse& base, const Edge& e) const {
+  if (auto it = active_.find(e); it != active_.end()) return !it->second;
+  std::vector<std::shared_ptr<const DeltaGeneration>> gens;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gens = generations_;
+  }
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    if (const DeltaEntry* entry = FindEntry(**it, e); entry != nullptr) {
+      return !entry->tombstone;
+    }
+  }
+  return base.HasEdge(e);
+}
+
+size_t DeltaOverlay::sealed_generations() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return generations_.size();
+}
+
+size_t DeltaOverlay::sealed_ops() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  size_t total = 0;
+  for (const auto& gen : generations_) total += gen->entries.size();
+  return total;
+}
+
+void DeltaOverlay::DropGenerations(size_t count) {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  count = std::min(count, generations_.size());
+  generations_.erase(generations_.begin(),
+                     generations_.begin() + static_cast<ptrdiff_t>(count));
+  if (generations_.empty() && active_.empty()) {
+    // Fully compacted: the new base image covers every applied insertion, so
+    // future views grow from ITS spaces, not stale high-water marks.
+    pending_grown_vertices_ = 0;
+    pending_grown_labels_ = 0;
+  }
+}
+
+// --- DeltaOverlay: reader side ----------------------------------------------
+
+Result<OverlayUniverse> DeltaOverlay::View(const EdgeUniverse& base,
+                                           ExecContext* exec) const {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::shared_ptr<const DeltaGeneration>> gens;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gens = generations_;
+  }
+
+  OverlayUniverse view;
+  if (gens.empty()) {
+    view.base_ = &base;
+    if (obs_ != nullptr) obs_->Add(obs::Metric::kDeltaViewsBuilt, 1);
+    return view;
+  }
+
+  // Phase 1: collapse the generations oldest → newest; the newest verdict
+  // for an edge wins. Linear merges — every input is in canonical order.
+  std::vector<DeltaEntry> combined(gens.front()->entries);
+  for (size_t g = 1; g < gens.size(); ++g) {
+    const std::vector<DeltaEntry>& next = gens[g]->entries;
+    std::vector<DeltaEntry> merged;
+    merged.reserve(combined.size() + next.size());
+    size_t i = 0;
+    size_t j = 0;
+    while (i < combined.size() && j < next.size()) {
+      if (combined[i].edge < next[j].edge) {
+        merged.push_back(combined[i++]);
+      } else if (next[j].edge < combined[i].edge) {
+        merged.push_back(next[j++]);
+      } else {
+        merged.push_back(next[j++]);
+        ++i;
+      }
+    }
+    merged.insert(merged.end(), combined.begin() + static_cast<ptrdiff_t>(i),
+                  combined.end());
+    merged.insert(merged.end(), next.begin() + static_cast<ptrdiff_t>(j),
+                  next.end());
+    combined = std::move(merged);
+  }
+  if (exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(
+        exec->ChargeBytes(combined.size() * sizeof(DeltaEntry)));
+  }
+
+  // Phase 2: merge the collapsed delta over the base edge array. An edge in
+  // both streams survives iff the delta verdict is an insertion (re-insert
+  // of a tombstoned-then-restored base edge lands here); an edge only in the
+  // delta survives iff it is an insertion.
+  const std::span<const Edge> base_edges = base.AllEdges();
+  size_t insert_verdicts = 0;
+  for (const DeltaEntry& entry : combined) {
+    insert_verdicts += entry.tombstone ? 0 : 1;
+  }
+  view.edges_.reserve(base_edges.size() + insert_verdicts);
+  {
+    size_t i = 0;
+    size_t j = 0;
+    while (i < base_edges.size() && j < combined.size()) {
+      if (base_edges[i] < combined[j].edge) {
+        view.edges_.push_back(base_edges[i++]);
+      } else if (combined[j].edge < base_edges[i]) {
+        if (!combined[j].tombstone) {
+          view.edges_.push_back(combined[j].edge);
+          ++view.inserts_applied_;
+        }
+        ++j;
+      } else {
+        if (combined[j].tombstone) {
+          ++view.tombstones_applied_;
+        } else {
+          view.edges_.push_back(base_edges[i]);
+        }
+        ++i;
+        ++j;
+      }
+    }
+    for (; i < base_edges.size(); ++i) view.edges_.push_back(base_edges[i]);
+    for (; j < combined.size(); ++j) {
+      if (!combined[j].tombstone) {
+        view.edges_.push_back(combined[j].edge);
+        ++view.inserts_applied_;
+      }
+    }
+  }
+
+  // Phase 3: the derived indices, by counting sort (same shape as the CSR
+  // substrate). Growth marks are monotone across generations, so the last
+  // generation carries the high water.
+  view.num_vertices_ =
+      std::max(base.num_vertices(), gens.back()->grown_vertices);
+  view.num_labels_ = std::max(base.num_labels(), gens.back()->grown_labels);
+  if (exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(exec->ChargeBytes(
+        view.edges_.size() * (sizeof(Edge) + 2 * sizeof(EdgeIndex))));
+    MRPA_RETURN_IF_ERROR(exec->CheckDeadline());
+  }
+  view.out_offsets_.assign(view.num_vertices_ + 1, 0);
+  view.in_offsets_.assign(view.num_vertices_ + 1, 0);
+  view.label_offsets_.assign(view.num_labels_ + 1, 0);
+  for (const Edge& e : view.edges_) {
+    ++view.out_offsets_[e.tail + 1];
+    ++view.in_offsets_[e.head + 1];
+    ++view.label_offsets_[e.label + 1];
+  }
+  for (size_t v = 1; v < view.out_offsets_.size(); ++v) {
+    view.out_offsets_[v] += view.out_offsets_[v - 1];
+    view.in_offsets_[v] += view.in_offsets_[v - 1];
+  }
+  for (size_t l = 1; l < view.label_offsets_.size(); ++l) {
+    view.label_offsets_[l] += view.label_offsets_[l - 1];
+  }
+  view.in_index_.resize(view.edges_.size());
+  view.label_index_.resize(view.edges_.size());
+  std::vector<size_t> in_cursor(view.in_offsets_.begin(),
+                                view.in_offsets_.end() - 1);
+  std::vector<size_t> label_cursor(view.label_offsets_.begin(),
+                                   view.label_offsets_.end() - 1);
+  for (size_t idx = 0; idx < view.edges_.size(); ++idx) {
+    const Edge& e = view.edges_[idx];
+    view.in_index_[in_cursor[e.head]++] = static_cast<EdgeIndex>(idx);
+    view.label_index_[label_cursor[e.label]++] = static_cast<EdgeIndex>(idx);
+  }
+
+  if (obs_ != nullptr) {
+    obs_->Add(obs::Metric::kDeltaViewsBuilt, 1);
+    obs_->Add(obs::Metric::kDeltaEdgesMerged, view.edges_.size());
+    obs_->Record(obs::Hist::kDeltaViewBuildNanos,
+                 static_cast<uint64_t>(ElapsedNanos(start)));
+  }
+  return view;
+}
+
+}  // namespace mrpa::delta

@@ -50,7 +50,7 @@ Status DynamicMultiGraph::AddEdge(const Edge& e) {
   }
   run.insert(it, e);
   ++num_edges_;
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -65,7 +65,7 @@ Status DynamicMultiGraph::RemoveEdge(const Edge& e) {
   }
   run.erase(it);
   --num_edges_;
-  dirty_ = true;
+  dirty_.store(true, std::memory_order_release);
   return Status::OK();
 }
 
@@ -81,6 +81,13 @@ bool DynamicMultiGraph::HasEdge(const Edge& e) const {
   return it != run.end() && *it == e;
 }
 
+void DynamicMultiGraph::EnsureCaches() const {
+  if (!dirty_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  if (dirty_.load(std::memory_order_relaxed)) RebuildCaches();
+}
+
+// Must be called with cache_mu_ held (EnsureCaches).
 void DynamicMultiGraph::RebuildCaches() const {
   all_edges_.clear();
   all_edges_.reserve(num_edges_);
@@ -117,18 +124,18 @@ void DynamicMultiGraph::RebuildCaches() const {
           static_cast<EdgeIndex>(i);
     }
   }
-  dirty_ = false;
+  dirty_.store(false, std::memory_order_release);
 }
 
 std::span<const Edge> DynamicMultiGraph::AllEdges() const {
-  if (dirty_) RebuildCaches();
+  EnsureCaches();
   return all_edges_;
 }
 
 std::span<const EdgeIndex> DynamicMultiGraph::InEdgeIndices(
     VertexId v) const {
   if (v >= num_vertices_) return {};
-  if (dirty_) RebuildCaches();
+  EnsureCaches();
   return std::span<const EdgeIndex>(in_index_.data() + in_offsets_[v],
                                     in_offsets_[v + 1] - in_offsets_[v]);
 }
@@ -136,7 +143,7 @@ std::span<const EdgeIndex> DynamicMultiGraph::InEdgeIndices(
 std::span<const EdgeIndex> DynamicMultiGraph::LabelEdgeIndices(
     LabelId l) const {
   if (l >= num_labels_) return {};
-  if (dirty_) RebuildCaches();
+  EnsureCaches();
   return std::span<const EdgeIndex>(
       label_index_.data() + label_offsets_[l],
       label_offsets_[l + 1] - label_offsets_[l]);

@@ -16,13 +16,19 @@
 // the current state into an immutable MultiRelationalGraph (names carried
 // over when constructed from one).
 //
-// Thread-compatibility: const query methods may rebuild the lazy caches,
-// so the class is single-writer/single-reader; freeze to a snapshot for
-// shared read access.
+// Thread-compatibility: like a standard container — concurrent const
+// queries are safe (the lazy cache rebuild is internally synchronized with
+// a mutex + atomic dirty flag, so many readers may race to the first
+// AllEdges()/InEdgeIndices()/LabelEdgeIndices() after a mutation burst),
+// but a mutation requires exclusive access: no concurrent reads or writes.
+// Freeze to a Snapshot() for shared access concurrent with further
+// mutation.
 
 #ifndef MRPA_GRAPH_DYNAMIC_GRAPH_H_
 #define MRPA_GRAPH_DYNAMIC_GRAPH_H_
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
 #include "core/edge_universe.h"
@@ -62,11 +68,17 @@ class DynamicMultiGraph final : public EdgeUniverse {
   MultiRelationalGraph Snapshot() const;
 
   // True when the next AllEdges()/In/Label query will pay a rebuild.
-  bool IndexesDirty() const { return dirty_; }
+  bool IndexesDirty() const {
+    return dirty_.load(std::memory_order_acquire);
+  }
 
  private:
   void EnsureVertex(VertexId v);
   void EnsureLabel(LabelId l);
+  // Rebuilds if dirty, double-checked under cache_mu_: the unlocked acquire
+  // load keeps clean-cache queries mutex-free; losing racers re-test under
+  // the lock and find the rebuild already done.
+  void EnsureCaches() const;
   void RebuildCaches() const;
 
   uint32_t num_vertices_ = 0;
@@ -75,8 +87,12 @@ class DynamicMultiGraph final : public EdgeUniverse {
   // out_[v]: sorted by (label, head) — the same order a snapshot's run has.
   std::vector<std::vector<Edge>> out_;
 
-  // Lazy caches mirroring MultiRelationalGraph's derived indices.
-  mutable bool dirty_ = true;
+  // Lazy caches mirroring MultiRelationalGraph's derived indices. dirty_'s
+  // release store at rebuild end pairs with the acquire load in
+  // EnsureCaches()/IndexesDirty(), publishing the cache vectors to readers
+  // that skip the mutex.
+  mutable std::mutex cache_mu_;
+  mutable std::atomic<bool> dirty_{true};
   mutable std::vector<Edge> all_edges_;
   mutable std::vector<EdgeIndex> in_index_;
   mutable std::vector<size_t> in_offsets_;

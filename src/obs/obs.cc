@@ -59,6 +59,12 @@ constexpr std::string_view kMetricNames[] = {
     "frontier.dense_levels",
     "frontier.sparse_levels",
     "frontier.words_scanned",
+    "delta.inserts",
+    "delta.tombstones",
+    "delta.generations_sealed",
+    "delta.views_built",
+    "delta.edges_merged",
+    "delta.compactions",
 };
 static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
               "kMetricNames must cover every Metric");
@@ -74,6 +80,8 @@ constexpr std::string_view kHistNames[] = {
     "service.admit_wait_nanos",
     "compiler.pass_nanos",
     "frontier.kernel_nanos",
+    "delta.view_build_nanos",
+    "delta.compact_nanos",
 };
 static_assert(std::size(kHistNames) == static_cast<size_t>(Hist::kCount),
               "kHistNames must cover every Hist");

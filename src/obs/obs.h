@@ -146,6 +146,17 @@ enum class Metric : uint32_t {
   kFrontierDenseLevels,
   kFrontierSparseLevels,
   kFrontierWordsScanned,
+  // The live-graph delta layer (src/delta/): insertion and tombstone
+  // verdicts applied to the overlay, active runs sealed into immutable
+  // generations, merge views materialized (passthrough views included),
+  // edges emitted by view merges, and base+delta compactions that published
+  // (or, registry-less, validated) a fresh image.
+  kDeltaInserts,
+  kDeltaTombstones,
+  kDeltaGenerationsSealed,
+  kDeltaViewsBuilt,
+  kDeltaEdgesMerged,
+  kDeltaCompactions,
   kCount
 };
 
@@ -174,6 +185,10 @@ enum class Hist : uint32_t {
   // guarded expansion loop. Sequential fold only — shard workers keep their
   // observability thin.
   kFrontierKernelNanos,
+  // Wall time of each delta merge-view materialization and of each full
+  // compaction (seal + merge + serialize + validate + swap), nanoseconds.
+  kDeltaViewBuildNanos,
+  kDeltaCompactNanos,
   kCount
 };
 

@@ -1,0 +1,522 @@
+// Unit and edge-case coverage for the live-graph delta layer: DeltaOverlay
+// verdict semantics, OverlayUniverse's EdgeUniverse contract (passthrough
+// and materialized), the generation cases the LSM design makes subtle —
+// tombstone of a base edge re-inserted in a LATER generation,
+// delete-then-insert of the same edge within ONE generation, an overlay
+// over an empty base, and an overlay over a zero-copy mapped
+// SnapshotUniverse — plus the Compactor's publish/fail-closed behavior.
+// The step-wise randomized proof lives in delta_differential_test.cc.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "core/traversal.h"
+#include "delta/compactor.h"
+#include "delta/delta_overlay.h"
+#include "generators/generators.h"
+#include "graph/dynamic_graph.h"
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+#include "obs/obs.h"
+#include "service/snapshot_registry.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/exec_context.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+
+namespace mrpa {
+namespace {
+
+using delta::Compactor;
+using delta::CompactorOptions;
+using delta::DeltaOverlay;
+using delta::OverlayUniverse;
+
+MultiRelationalGraph SmallBase() {
+  MultiGraphBuilder builder;
+  builder.ReserveVertices(4);
+  builder.ReserveLabels(2);
+  builder.AddEdge(Edge(0, 0, 1));
+  builder.AddEdge(Edge(0, 1, 2));
+  builder.AddEdge(Edge(1, 0, 2));
+  builder.AddEdge(Edge(2, 1, 3));
+  return builder.Build();
+}
+
+std::vector<Edge> EdgesOf(const EdgeUniverse& u) {
+  auto span = u.AllEdges();
+  return {span.begin(), span.end()};
+}
+
+// Structural contract check: AllEdges canonical and tiled by OutEdges, the
+// index arrays sorted and consistent, HasEdge agreeing with membership.
+void ExpectContractHolds(const EdgeUniverse& u) {
+  auto all = u.AllEdges();
+  ASSERT_EQ(all.size(), u.num_edges());
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1], all[i]) << "canonical order violated at " << i;
+  }
+  size_t tiled = 0;
+  for (VertexId v = 0; v < u.num_vertices(); ++v) {
+    auto run = u.OutEdges(v);
+    if (!run.empty()) {
+      EXPECT_EQ(run.data(), all.data() + tiled)
+          << "OutEdges(" << v << ") does not tile AllEdges";
+    }
+    for (const Edge& e : run) EXPECT_EQ(e.tail, v);
+    tiled += run.size();
+    for (LabelId l = 0; l < u.num_labels(); ++l) {
+      auto sub = u.OutEdgesWithLabel(v, l);
+      size_t expect = 0;
+      for (const Edge& e : run) expect += (e.label == l) ? 1 : 0;
+      EXPECT_EQ(sub.size(), expect);
+      for (const Edge& e : sub) EXPECT_EQ(e.label, l);
+    }
+  }
+  EXPECT_EQ(tiled, all.size());
+  size_t in_total = 0;
+  for (VertexId v = 0; v < u.num_vertices(); ++v) {
+    auto in = u.InEdgeIndices(v);
+    in_total += in.size();
+    for (size_t i = 0; i < in.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(in[i - 1], in[i]);
+      }
+      EXPECT_EQ(u.EdgeAt(in[i]).head, v);
+    }
+  }
+  EXPECT_EQ(in_total, all.size());
+  size_t label_total = 0;
+  for (LabelId l = 0; l < u.num_labels(); ++l) {
+    auto idx = u.LabelEdgeIndices(l);
+    label_total += idx.size();
+    for (size_t i = 0; i < idx.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(idx[i - 1], idx[i]);
+      }
+      EXPECT_EQ(u.EdgeAt(idx[i]).label, l);
+    }
+  }
+  EXPECT_EQ(label_total, all.size());
+  for (const Edge& e : all) EXPECT_TRUE(u.HasEdge(e));
+  EXPECT_FALSE(u.HasEdge(Edge(u.num_vertices(), 0, 0)));
+}
+
+TEST(DeltaOverlayTest, EmptyOverlayViewIsPassthrough) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  auto view = overlay.View(base);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_TRUE(view->passthrough());
+  // Spans are the base's own storage, not copies.
+  EXPECT_EQ(view->AllEdges().data(), base.AllEdges().data());
+  EXPECT_EQ(view->num_vertices(), base.num_vertices());
+  EXPECT_EQ(view->num_edges(), base.num_edges());
+  EXPECT_TRUE(view->HasEdge(Edge(0, 0, 1)));
+  ExpectContractHolds(*view);
+}
+
+TEST(DeltaOverlayTest, PendingVerdictsInvisibleUntilSeal) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  EXPECT_EQ(overlay.pending_ops(), 1u);
+  // Unsealed: readers still see the bare base.
+  auto before = overlay.View(base);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->passthrough());
+  EXPECT_FALSE(before->HasEdge(Edge(3, 0, 0)));
+  // The writer's own linearized view does see it.
+  EXPECT_TRUE(overlay.HasEdgeOver(base, Edge(3, 0, 0)));
+
+  EXPECT_EQ(overlay.Seal(), 1u);
+  EXPECT_EQ(overlay.pending_ops(), 0u);
+  EXPECT_EQ(overlay.sealed_generations(), 1u);
+  auto after = overlay.View(base);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after->passthrough());
+  EXPECT_TRUE(after->HasEdge(Edge(3, 0, 0)));
+  EXPECT_EQ(after->num_edges(), base.num_edges() + 1);
+  EXPECT_EQ(after->inserts_applied(), 1u);
+  ExpectContractHolds(*after);
+}
+
+TEST(DeltaOverlayTest, SetSemanticsMatchDynamicGraph) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  // Insert of a base edge: AlreadyExists.
+  EXPECT_TRUE(overlay.AddEdge(base, Edge(0, 0, 1)).IsAlreadyExists());
+  // Remove of an absent edge: NotFound.
+  EXPECT_TRUE(overlay.RemoveEdge(base, Edge(3, 1, 0)).IsNotFound());
+  // Insert, then insert again while still pending: AlreadyExists.
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 1, 0)).ok());
+  EXPECT_TRUE(overlay.AddEdge(base, Edge(3, 1, 0)).IsAlreadyExists());
+  // Remove of a base edge, then remove again: NotFound the second time.
+  ASSERT_TRUE(overlay.RemoveEdge(base, Edge(0, 0, 1)).ok());
+  EXPECT_TRUE(overlay.RemoveEdge(base, Edge(0, 0, 1)).IsNotFound());
+  // Sealed verdicts keep governing the writer's view.
+  overlay.Seal();
+  EXPECT_TRUE(overlay.AddEdge(base, Edge(3, 1, 0)).IsAlreadyExists());
+  EXPECT_TRUE(overlay.RemoveEdge(base, Edge(0, 0, 1)).IsNotFound());
+}
+
+// Satellite case: a base edge tombstoned in one generation and re-inserted
+// in a LATER generation must be present in the merged view (the newest
+// verdict wins), and the view must be byte-identical to the untouched base.
+TEST(DeltaOverlayTest, TombstoneThenReinsertAcrossGenerations) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  const Edge victim(1, 0, 2);
+  ASSERT_TRUE(overlay.RemoveEdge(base, victim).ok());
+  ASSERT_EQ(overlay.Seal(), 1u);
+  {
+    auto removed = overlay.View(base);
+    ASSERT_TRUE(removed.ok());
+    EXPECT_FALSE(removed->HasEdge(victim));
+    EXPECT_EQ(removed->num_edges(), base.num_edges() - 1);
+    EXPECT_EQ(removed->tombstones_applied(), 1u);
+  }
+  ASSERT_TRUE(overlay.AddEdge(base, victim).ok());
+  ASSERT_EQ(overlay.Seal(), 1u);
+  ASSERT_EQ(overlay.sealed_generations(), 2u);
+  auto restored = overlay.View(base);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->HasEdge(victim));
+  EXPECT_EQ(EdgesOf(*restored), EdgesOf(base));
+  // The restore collapses to a no-op verdict: a base edge with an insert
+  // verdict counts toward neither fold statistic.
+  EXPECT_EQ(restored->inserts_applied(), 0u);
+  EXPECT_EQ(restored->tombstones_applied(), 0u);
+  ExpectContractHolds(*restored);
+}
+
+// Satellite case: delete-then-insert of the same base edge within ONE
+// generation. The active run is latest-wins, so the sealed generation holds
+// a single insert verdict and the view equals the base.
+TEST(DeltaOverlayTest, DeleteThenInsertWithinOneGeneration) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  const Edge victim(2, 1, 3);
+  ASSERT_TRUE(overlay.RemoveEdge(base, victim).ok());
+  ASSERT_TRUE(overlay.AddEdge(base, victim).ok());
+  ASSERT_EQ(overlay.Seal(), 1u);  // One verdict, not two.
+  auto view = overlay.View(base);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->HasEdge(victim));
+  EXPECT_EQ(EdgesOf(*view), EdgesOf(base));
+  ExpectContractHolds(*view);
+
+  // And the mirror image: insert-then-delete of a NEW edge collapses to a
+  // tombstone verdict for an edge the base never had — also a no-op.
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 3)).ok());
+  ASSERT_TRUE(overlay.RemoveEdge(base, Edge(3, 0, 3)).ok());
+  ASSERT_EQ(overlay.Seal(), 1u);
+  auto view2 = overlay.View(base);
+  ASSERT_TRUE(view2.ok());
+  EXPECT_EQ(EdgesOf(*view2), EdgesOf(base));
+  ExpectContractHolds(*view2);
+}
+
+// Satellite case: an overlay over an EMPTY base — the delta is the whole
+// graph, and the vertex/label spaces come entirely from grown marks.
+TEST(DeltaOverlayTest, OverlayOverEmptyBase) {
+  MultiRelationalGraph base = MultiGraphBuilder().Build();
+  ASSERT_EQ(base.num_edges(), 0u);
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(2, 1, 0)).ok());
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(0, 0, 2)).ok());
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(0, 3, 1)).ok());
+  overlay.Seal();
+  auto view = overlay.View(base);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_vertices(), 3u);
+  EXPECT_EQ(view->num_labels(), 4u);
+  EXPECT_EQ(view->num_edges(), 3u);
+  EXPECT_EQ(EdgesOf(*view),
+            (std::vector<Edge>{Edge(0, 0, 2), Edge(0, 3, 1), Edge(2, 1, 0)}));
+  ExpectContractHolds(*view);
+}
+
+// Satellite case: an overlay composed over a zero-copy MAPPED
+// SnapshotUniverse — the live layer over exactly what a serving process
+// holds. Governed traversal over the overlay view must be byte-identical to
+// the same traversal over a from-scratch graph with the same edits.
+TEST(DeltaOverlayTest, OverlayOverMappedSnapshotUniverse) {
+  ErdosRenyiParams params;
+  params.num_vertices = 16;
+  params.num_labels = 3;
+  params.num_edges = 60;
+  params.seed = 7;
+  MultiRelationalGraph graph = GenerateErdosRenyi(params).value();
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("mrpa_delta_mapped_" + std::to_string(::getpid()) + ".mrgs"))
+          .string();
+  ASSERT_TRUE(storage::SnapshotWriter().WriteFile(graph, path).ok());
+  auto mapped = storage::SnapshotReader().MapFile(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+  ASSERT_TRUE(mapped->zero_copy());
+
+  DeltaOverlay overlay;
+  DynamicMultiGraph reference(graph);
+  const Edge removed = graph.AllEdges()[3];
+  const Edge added(15, 2, 0);
+  ASSERT_TRUE(overlay.RemoveEdge(*mapped, removed).ok());
+  ASSERT_TRUE(reference.RemoveEdge(removed).ok());
+  Status add_over = overlay.AddEdge(*mapped, added);
+  Status add_ref = reference.AddEdge(added);
+  ASSERT_EQ(add_over.code(), add_ref.code());
+  overlay.Seal();
+
+  auto view = overlay.View(*mapped);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(EdgesOf(*view), EdgesOf(reference));
+  ExpectContractHolds(*view);
+
+  TraversalSpec spec;
+  spec.steps = {EdgePattern::Any(), EdgePattern::Any()};
+  ExecContext view_ctx;
+  ExecContext ref_ctx;
+  auto via_view = TraverseGoverned(*view, spec, view_ctx);
+  auto via_ref = TraverseGoverned(reference, spec, ref_ctx);
+  ASSERT_TRUE(via_view.ok());
+  ASSERT_TRUE(via_ref.ok());
+  EXPECT_EQ(via_view->paths, via_ref->paths);
+
+  std::remove(path.c_str());
+}
+
+TEST(DeltaOverlayTest, ApplyFaultLeavesOverlayUntouched) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  {
+    ScopedFault fault(delta::kFaultSiteDeltaApply, 1,
+                      Status::Cancelled("injected apply fault"));
+    EXPECT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).IsCancelled());
+  }
+  EXPECT_EQ(overlay.pending_ops(), 0u);
+  EXPECT_TRUE(overlay.empty());
+  // Disarmed: the same verdict goes through.
+  EXPECT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+}
+
+TEST(DeltaOverlayTest, ViewChargesBytesAndFailsClosed) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  overlay.Seal();
+  ExecContext tight(ExecContext::WithByteBudget(1));
+  auto view = overlay.View(base, &tight);
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsResourceExhausted());
+  // An unconstrained context charges and succeeds.
+  ExecContext roomy;
+  auto ok_view = overlay.View(base, &roomy);
+  ASSERT_TRUE(ok_view.ok());
+  EXPECT_GT(roomy.Snapshot().bytes_charged, 0u);
+}
+
+TEST(DeltaOverlayTest, ObsMetricsCountVerdictsAndViews) {
+  obs::ObsRegistry registry;
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay(&registry);
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  ASSERT_TRUE(overlay.RemoveEdge(base, Edge(0, 0, 1)).ok());
+  overlay.Seal();
+  ASSERT_TRUE(overlay.View(base).ok());
+  EXPECT_EQ(registry.Value(obs::Metric::kDeltaInserts), 1u);
+  EXPECT_EQ(registry.Value(obs::Metric::kDeltaTombstones), 1u);
+  EXPECT_EQ(registry.Value(obs::Metric::kDeltaGenerationsSealed), 1u);
+  EXPECT_EQ(registry.Value(obs::Metric::kDeltaViewsBuilt), 1u);
+  EXPECT_EQ(registry.Value(obs::Metric::kDeltaEdgesMerged), base.num_edges());
+  EXPECT_EQ(registry.SnapshotHistogram(obs::Hist::kDeltaViewBuildNanos).count,
+            1u);
+}
+
+// --- Compactor ---------------------------------------------------------------
+
+TEST(CompactorTest, PublishesCompactedImageAndResetsOverlay) {
+  obs::ObsRegistry obs;
+  MultiRelationalGraph base = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  ASSERT_TRUE(overlay.RemoveEdge(base, Edge(0, 1, 2)).ok());
+  overlay.Seal();
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 1, 1)).ok());  // Left pending.
+
+  auto pre_view = overlay.View(base);
+  ASSERT_TRUE(pre_view.ok());
+  // Compact seals the pending verdict first, so the pre-compaction content
+  // to compare against is the view over BOTH generations.
+  overlay.Seal();
+  auto full_view = overlay.View(base);
+  ASSERT_TRUE(full_view.ok());
+  const std::vector<Edge> expect_edges = EdgesOf(*full_view);
+
+  CompactorOptions options;
+  options.obs = &obs;
+  Compactor compactor(&registry, options);
+  auto result = compactor.Compact(base, overlay);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->version, 1u);
+  EXPECT_EQ(result->generations_folded, 2u);
+  EXPECT_EQ(result->edges, expect_edges.size());
+  EXPECT_GT(result->image_bytes, 0u);
+  EXPECT_TRUE(result->image.empty());  // keep_image not requested.
+
+  // The published image serves the same edges, through the registry.
+  auto guard = registry.Acquire();
+  ASSERT_TRUE(static_cast<bool>(guard));
+  EXPECT_EQ(guard.version(), 1u);
+  EXPECT_EQ(EdgesOf(guard.universe()), expect_edges);
+  ExpectContractHolds(guard.universe());
+
+  // The overlay is empty; a view over the NEW image is passthrough.
+  EXPECT_TRUE(overlay.empty());
+  auto post = overlay.View(guard.universe());
+  ASSERT_TRUE(post.ok());
+  EXPECT_TRUE(post->passthrough());
+  EXPECT_EQ(obs.Value(obs::Metric::kDeltaCompactions), 1u);
+  EXPECT_EQ(obs.SnapshotHistogram(obs::Hist::kDeltaCompactNanos).count, 1u);
+}
+
+TEST(CompactorTest, ServesTraversalsByteIdenticalToPreCompactionView) {
+  ErdosRenyiParams params;
+  params.num_vertices = 20;
+  params.num_labels = 3;
+  params.num_edges = 80;
+  params.seed = 23;
+  MultiRelationalGraph base = GenerateErdosRenyi(params).value();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.RemoveEdge(base, base.AllEdges()[10]).ok());
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(19, 2, 0)).ok());
+  overlay.Seal();
+  auto pre = overlay.View(base);
+  ASSERT_TRUE(pre.ok());
+
+  TraversalSpec spec;
+  spec.steps = {EdgePattern::Any(), EdgePattern::Any(), EdgePattern::Any()};
+  ExecContext pre_ctx;
+  auto pre_run = TraverseGoverned(*pre, spec, pre_ctx);
+  ASSERT_TRUE(pre_run.ok());
+
+  Compactor compactor(&registry);
+  auto result = compactor.Compact(base, overlay);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto guard = registry.Acquire();
+  ASSERT_TRUE(static_cast<bool>(guard));
+  ExecContext post_ctx;
+  auto post_run = TraverseGoverned(guard.universe(), spec, post_ctx);
+  ASSERT_TRUE(post_run.ok());
+  EXPECT_EQ(pre_run->paths, post_run->paths);
+  EXPECT_EQ(pre_run->truncated, post_run->truncated);
+  EXPECT_EQ(pre_run->stats.steps_expanded, post_run->stats.steps_expanded);
+}
+
+TEST(CompactorTest, FailedCompactionLeavesOverlayAndRegistryIntact) {
+  MultiRelationalGraph base = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  Compactor compactor(&registry);
+
+  for (std::string_view site :
+       {delta::kFaultSiteDeltaCompact, delta::kFaultSiteDeltaSwap,
+        service::kFaultSiteServiceSwap}) {
+    SCOPED_TRACE(std::string(site));
+    ScopedFault fault(site, 1, Status::IOError("injected compact fault"));
+    auto result = compactor.Compact(base, overlay);
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsIOError());
+    // Fail-closed: generations survive (the seal itself is not a loss),
+    // nothing was published.
+    EXPECT_EQ(overlay.sealed_generations(), 1u);
+    EXPECT_EQ(registry.current_version(), 0u);
+    EXPECT_TRUE(overlay.HasEdgeOver(base, Edge(3, 0, 0)));
+  }
+
+  // Disarmed, the same compaction goes through and empties the overlay.
+  auto result = compactor.Compact(base, overlay);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(registry.current_version(), 1u);
+  EXPECT_TRUE(overlay.empty());
+}
+
+TEST(CompactorTest, ValidateOnlyModeReturnsImageWithoutPublishing) {
+  MultiRelationalGraph base = SmallBase();
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  CompactorOptions options;
+  options.keep_image = true;
+  Compactor compactor(/*registry=*/nullptr, options);
+  auto result = compactor.Compact(base, overlay);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->version, 0u);
+  EXPECT_FALSE(result->image.empty());
+  EXPECT_EQ(result->image.size(), result->image_bytes);
+  // The kept bytes load through the validating reader.
+  auto loaded = storage::SnapshotReader().FromBuffer(result->image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_edges(), base.num_edges() + 1);
+  EXPECT_TRUE(overlay.empty());
+}
+
+TEST(CompactorTest, WritesZeroCopyImageWhenPathGiven) {
+  MultiRelationalGraph base = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  CompactorOptions options;
+  options.path = (std::filesystem::temp_directory_path() /
+                  ("mrpa_compact_" + std::to_string(::getpid()) + ".mrgs"))
+                     .string();
+  Compactor compactor(&registry, options);
+  auto result = compactor.Compact(base, overlay);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto guard = registry.Acquire();
+  ASSERT_TRUE(static_cast<bool>(guard));
+  EXPECT_TRUE(guard.universe().zero_copy());
+  EXPECT_EQ(guard.universe().num_edges(), base.num_edges() + 1);
+  guard = {};
+  std::remove(options.path.c_str());
+}
+
+TEST(CompactorTest, GrownSpacesResetAfterFullCompaction) {
+  MultiRelationalGraph base = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(9, 7, 9)).ok());
+  overlay.Seal();
+  {
+    auto view = overlay.View(base);
+    ASSERT_TRUE(view.ok());
+    EXPECT_EQ(view->num_vertices(), 10u);
+    EXPECT_EQ(view->num_labels(), 8u);
+  }
+  Compactor compactor(&registry);
+  ASSERT_TRUE(compactor.Compact(base, overlay).ok());
+  auto guard = registry.Acquire();
+  EXPECT_EQ(guard.universe().num_vertices(), 10u);
+  // Tombstone the grown edge over the new base: the view's spaces must come
+  // from the new base, not a stale high-water mark from before compaction.
+  ASSERT_TRUE(overlay.RemoveEdge(guard.universe(), Edge(9, 7, 9)).ok());
+  overlay.Seal();
+  auto view = overlay.View(guard.universe());
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_vertices(), guard.universe().num_vertices());
+  EXPECT_EQ(view->num_edges(), base.num_edges());
+}
+
+}  // namespace
+}  // namespace mrpa

@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 #include "core/traversal.h"
 #include "generators/generators.h"
@@ -174,6 +176,62 @@ TEST(DynamicGraphTest, GrowsSpacesOnDemand) {
   ASSERT_TRUE(g.AddEdge(Edge(7, 4, 3)).ok());
   EXPECT_EQ(g.num_vertices(), 8u);
   EXPECT_EQ(g.num_labels(), 5u);
+}
+
+// Regression for the documented thread-compatibility contract: const query
+// methods rebuild the lazy caches, so many reader threads racing to the
+// FIRST AllEdges()/InEdgeIndices()/LabelEdgeIndices() after a mutation
+// burst must be safe (the rebuild is mutex-serialized and published with an
+// atomic dirty flag). Run under TSan via the `delta` ctest label, this is
+// the test that used to report a data race on the cache vectors.
+TEST(DynamicGraphTest, ConcurrentConstReadsAfterMutationBurstAreSafe) {
+  constexpr int kRounds = 8;
+  constexpr int kReaders = 8;
+  Rng rng(20260808);
+  DynamicMultiGraph g;
+  for (int round = 0; round < kRounds; ++round) {
+    // Mutation burst, single-threaded: the caches go dirty.
+    for (int i = 0; i < 64; ++i) {
+      Edge e(rng.Below(24), rng.Below(3), rng.Below(24));
+      if (rng.Chance(0.75)) {
+        (void)g.AddEdge(e);
+      } else {
+        (void)g.RemoveEdge(e);
+      }
+    }
+    ASSERT_TRUE(g.IndexesDirty());
+
+    // Reader stampede: every thread hits the rebuild path at once, and all
+    // must agree on the rebuilt state.
+    const size_t expect_edges = g.num_edges();
+    std::vector<std::thread> readers;
+    std::vector<size_t> seen_all(kReaders, 0);
+    std::vector<size_t> seen_in(kReaders, 0);
+    std::vector<size_t> seen_label(kReaders, 0);
+    readers.reserve(kReaders);
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        seen_all[t] = g.AllEdges().size();
+        size_t in_total = 0;
+        for (VertexId v = 0; v < g.num_vertices(); ++v) {
+          in_total += g.InEdgeIndices(v).size();
+        }
+        seen_in[t] = in_total;
+        size_t label_total = 0;
+        for (LabelId l = 0; l < g.num_labels(); ++l) {
+          label_total += g.LabelEdgeIndices(l).size();
+        }
+        seen_label[t] = label_total;
+      });
+    }
+    for (std::thread& reader : readers) reader.join();
+    EXPECT_FALSE(g.IndexesDirty());
+    for (int t = 0; t < kReaders; ++t) {
+      EXPECT_EQ(seen_all[t], expect_edges);
+      EXPECT_EQ(seen_in[t], expect_edges);
+      EXPECT_EQ(seen_label[t], expect_edges);
+    }
+  }
 }
 
 }  // namespace

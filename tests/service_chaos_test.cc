@@ -19,6 +19,17 @@
 // can never masquerade as answers: the retry loop either clears them or
 // surfaces kIOError, so every returned result is fault-free output.
 //
+// A second soak (LiveCompactionSoak…) swaps the static three-content
+// rotation for a LIVE pipeline: a single mutator thread churns a
+// DeltaOverlay against the currently-served base, seals generations, and
+// periodically compacts — rewriting base+delta through the Compactor into
+// a fresh image hot-swapped into the same registry the tenants are served
+// from (occasionally through injected delta.compact/delta.swap failures,
+// which must leave the registry untouched). The differential invariant is
+// unchanged: every deterministic response is byte-identical to a direct
+// governed run against a reference universe loaded from the exact bytes
+// its admitted version was compacted to.
+//
 // Run time defaults to ~1.5s; MRPA_CHAOS_SOAK_MS overrides (ci_chaos.sh
 // runs a 30s soak under ASan and TSan).
 
@@ -26,6 +37,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -36,6 +48,8 @@
 #include "core/edge_pattern.h"
 #include "core/path_set.h"
 #include "core/traversal.h"
+#include "delta/compactor.h"
+#include "delta/delta_overlay.h"
 #include "engine/chain_planner.h"
 #include "generators/generators.h"
 #include "graph/multi_graph.h"
@@ -390,6 +404,238 @@ TEST(ServiceChaosTest, SoakHoldsTheDifferentialInvariant) {
   RecordProperty("wallclock", static_cast<int>(counters.wallclock.load()));
   RecordProperty("io_errors", static_cast<int>(counters.io_errors.load()));
   RecordProperty("checked", static_cast<int>(counters.checked.load()));
+}
+
+// The live-graph soak: the same serving substrate and differential
+// invariant, but the image rotation is driven by REAL compactions of a
+// churning delta overlay instead of a static content carousel.
+TEST(ServiceChaosTest, LiveCompactionSoakHoldsTheDifferentialInvariant) {
+  obs::ObsRegistry obs;
+  ThreadPool pool(4);
+  SnapshotRegistry registry(&obs);
+  QueryService::Options options;
+  options.obs = &obs;
+  options.pool = &pool;
+  options.retry.max_attempts = 4;
+  options.retry.initial_backoff = std::chrono::microseconds(50);
+  options.retry.max_backoff = std::chrono::microseconds(500);
+  QueryService service(registry, options);
+
+  TenantQuota gold;
+  gold.priority = 2;
+  gold.max_in_flight = 4;
+  gold.query_limits.max_steps = 400;
+  TenantQuota bronze;
+  bronze.priority = 0;
+  bronze.max_in_flight = 2;
+  bronze.max_queued = 4;
+  bronze.query_limits.max_paths = 40;
+  ASSERT_TRUE(service.RegisterTenant("gold", gold).ok());
+  ASSERT_TRUE(service.RegisterTenant("bronze", bronze).ok());
+  const std::vector<std::pair<std::string, TenantQuota>> tenants = {
+      {"gold", gold}, {"bronze", bronze}};
+
+  // The reference rack: version -> an immutable oracle universe loaded
+  // from the EXACT bytes that version was compacted (or seeded) from.
+  // Entries are published right after each successful swap and never
+  // removed, so Lookup can hand out stable references.
+  std::mutex rack_mu;
+  std::map<uint64_t, std::unique_ptr<SnapshotUniverse>> rack;
+  auto publish = [&](uint64_t version, const std::vector<uint8_t>& bytes) {
+    auto universe = SnapshotReader().FromBuffer(bytes);
+    ASSERT_TRUE(universe.ok()) << universe.status();
+    std::lock_guard<std::mutex> lock(rack_mu);
+    rack[version] =
+        std::make_unique<SnapshotUniverse>(std::move(*universe));
+  };
+  auto lookup = [&](uint64_t version) -> const SnapshotUniverse& {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(rack_mu);
+        auto it = rack.find(version);
+        if (it != rack.end()) return *it->second;
+      }
+      std::this_thread::yield();
+    }
+  };
+
+  // Genesis image: the base content every later version descends from.
+  MultiRelationalGraph genesis = MakeContent(0);
+  auto genesis_bytes = SnapshotWriter().Serialize(genesis);
+  ASSERT_TRUE(genesis_bytes.ok()) << genesis_bytes.status();
+  auto v1 = registry.HotSwap(Load(*genesis_bytes));
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  publish(*v1, *genesis_bytes);
+
+  const auto specs = WorkloadSteps();
+  const auto deadline = std::chrono::steady_clock::now() + SoakDuration();
+  std::atomic<bool> stop{false};
+  SoakCounters counters;
+
+  std::mutex token_mu;
+  std::vector<CancelToken> tokens(kWorkers);
+
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&, w] {
+      Rng rng(0xf00d + w * 6151);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto& [tenant, quota] = tenants[rng.Below(tenants.size())];
+        QueryRequest request;
+        request.kind = static_cast<QueryKind>(rng.Below(3));
+        request.steps = specs[rng.Below(specs.size())];
+        switch (rng.Below(4)) {
+          case 0:
+            request.limits.max_paths = 1 + rng.Below(30);
+            break;
+          case 1:
+            request.limits.max_steps = 1 + rng.Below(120);
+            break;
+          case 2:
+            request.limits.max_bytes = 64 + rng.Below(4096);
+            break;
+          default:
+            break;
+        }
+        if (rng.Chance(0.1)) {
+          request.deadline = std::chrono::milliseconds(rng.Between(1, 20));
+        }
+        {
+          std::lock_guard<std::mutex> lock(token_mu);
+          request.token = CancelToken();
+          tokens[w] = request.token;
+        }
+
+        auto response = service.Execute(tenant, request);
+        if (!response.ok()) {
+          ASSERT_TRUE(response.status().IsIOError()) << response.status();
+          counters.io_errors.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const GovernedPathSet& got = response->result;
+        if (got.limit.IsDeadlineExceeded() || got.limit.IsCancelled()) {
+          EXPECT_TRUE(got.truncated);
+          counters.wallclock.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (response->snapshot_version == 0) {
+          EXPECT_TRUE(got.truncated);
+          EXPECT_TRUE(got.limit.IsResourceExhausted()) << got.limit;
+          EXPECT_EQ(got.paths.size(), 0u);
+          counters.shed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+
+        // The invariant: byte-identical to a direct governed run against
+        // the reference for the admitted (compacted) version.
+        ASSERT_TRUE(got.limit.ok() || got.limit.IsResourceExhausted())
+            << got.limit;
+        const SnapshotUniverse& reference =
+            lookup(response->snapshot_version);
+        const ExecLimits effective =
+            IntersectLimits(request.limits, quota.query_limits);
+        const GovernedPathSet want = Oracle(reference, request, effective);
+        ASSERT_EQ(got.paths, want.paths)
+            << "tenant " << tenant << " version "
+            << response->snapshot_version;
+        ASSERT_EQ(got.truncated, want.truncated);
+        ASSERT_EQ(got.limit, want.limit)
+            << "got " << got.limit << " want " << want.limit;
+        counters.checked.fetch_add(1, std::memory_order_relaxed);
+        if (got.truncated) {
+          counters.truncated.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          counters.complete.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  // The mutator: single-writer churn on a delta overlay over whatever
+  // image is currently served, with periodic seal + compact + hot-swap —
+  // sometimes through an injected compaction failure, which must leave
+  // the registry (and the overlay's sealed generations) untouched.
+  std::thread mutator([&] {
+    Rng rng(0x5eed);
+    delta::DeltaOverlay overlay(&obs);
+    SnapshotRegistry::Guard guard;  // Pins the base after first compact.
+    auto base = [&]() -> const EdgeUniverse& {
+      if (guard) return guard.universe();
+      return genesis;
+    };
+    uint64_t compactions = 0;
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (int i = 0; i < 8; ++i) {
+        Edge e(static_cast<VertexId>(rng.Below(24)),
+               static_cast<LabelId>(rng.Below(3)),
+               static_cast<VertexId>(rng.Below(24)));
+        if (rng.Chance(0.6)) {
+          (void)overlay.AddEdge(base(), e);
+        } else {
+          (void)overlay.RemoveEdge(base(), e);
+        }
+      }
+      if (rng.Chance(0.25)) overlay.Seal();
+      if (rng.Chance(0.12)) {
+        delta::CompactorOptions copts;
+        copts.keep_image = true;
+        copts.obs = &obs;
+        delta::Compactor compactor(&registry, copts);
+        std::optional<ScopedFault> fault;
+        if (rng.Chance(0.15)) {
+          fault.emplace(rng.Chance(0.5) ? delta::kFaultSiteDeltaCompact
+                                        : delta::kFaultSiteDeltaSwap,
+                        1, Status::IOError("torn compaction"));
+        }
+        const uint64_t before = registry.current_version();
+        auto result = compactor.Compact(base(), overlay);
+        fault.reset();
+        if (result.ok()) {
+          publish(result->version, result->image);
+          guard = registry.Acquire();
+          EXPECT_EQ(guard.version(), result->version);
+          ++compactions;
+        } else {
+          EXPECT_TRUE(result.status().IsIOError()) << result.status();
+          EXPECT_EQ(registry.current_version(), before);
+        }
+      }
+      // Light chaos alongside the churn: transient execute faults and
+      // random in-flight cancellations.
+      if (rng.Chance(0.08)) {
+        FaultInjector::Global().Arm(kFaultSiteServiceExecute,
+                                    1 + rng.Below(4),
+                                    Status::IOError("execute flake"));
+      }
+      if (rng.Chance(0.16)) {
+        FaultInjector::Global().Disarm(kFaultSiteServiceExecute);
+      }
+      if (rng.Chance(0.08)) {
+        std::lock_guard<std::mutex> lock(token_mu);
+        tokens[rng.Below(kWorkers)].RequestCancel();
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    EXPECT_GT(compactions, 0u);
+  });
+
+  mutator.join();
+  for (std::thread& worker : workers) worker.join();
+  FaultInjector::Global().Disarm();
+
+  registry.ReclaimNow();
+  EXPECT_EQ(registry.retired_count(), 0u);
+
+  EXPECT_GT(counters.checked.load(), 0u);
+  RecordProperty("complete", static_cast<int>(counters.complete.load()));
+  RecordProperty("truncated", static_cast<int>(counters.truncated.load()));
+  RecordProperty("shed", static_cast<int>(counters.shed.load()));
+  RecordProperty("wallclock", static_cast<int>(counters.wallclock.load()));
+  RecordProperty("io_errors", static_cast<int>(counters.io_errors.load()));
+  RecordProperty("checked", static_cast<int>(counters.checked.load()));
+  RecordProperty("versions",
+                 static_cast<int>(registry.current_version()));
 }
 
 }  // namespace

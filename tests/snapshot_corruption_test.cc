@@ -26,6 +26,8 @@
 
 #include <unistd.h>
 
+#include "delta/compactor.h"
+#include "delta/delta_overlay.h"
 #include "graph/multi_graph.h"
 #include "gtest/gtest.h"
 #include "storage/crc32c.h"
@@ -372,6 +374,74 @@ TEST(SnapshotCorruptionTest, MappedLoadFailsClosedToo) {
   EXPECT_EQ(SnapshotReader().ReadFile(path).status().code(),
             StatusCode::kCorruption);
   std::remove(path.c_str());
+}
+
+// PR 9: a Compactor-produced image is just another MRGS file and must
+// clear the same fail-closed bar as writer output. Compact a live
+// base+delta overlay in validate-only mode (no registry), then sweep
+// single-bit flips at every byte and truncation at every prefix length.
+// Compacted images carry EMPTY name tables, so the base is built nameless
+// to keep the identical-load oracle exact.
+TEST(SnapshotCorruptionTest, CompactorImageSweepFailsClosedEverywhere) {
+  MultiGraphBuilder base_builder;
+  base_builder.ReserveVertices(8);
+  base_builder.ReserveLabels(2);
+  for (const Edge& e : {Edge(0, 0, 1), Edge(0, 1, 2), Edge(1, 0, 2),
+                        Edge(2, 1, 3), Edge(3, 0, 4), Edge(4, 1, 5)}) {
+    base_builder.AddEdge(e);
+  }
+  const MultiRelationalGraph base = base_builder.Build();
+
+  mrpa::delta::DeltaOverlay overlay;
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(5, 0, 6)).ok());
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(6, 1, 7)).ok());
+  ASSERT_TRUE(overlay.RemoveEdge(base, Edge(0, 1, 2)).ok());
+  overlay.Seal();
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(7, 0, 0)).ok());
+  overlay.Seal();
+
+  // The identical-load oracle: the merged content, rebuilt nameless.
+  auto view = overlay.View(base);
+  ASSERT_TRUE(view.ok()) << view.status();
+  MultiGraphBuilder merged_builder;
+  merged_builder.ReserveVertices(view->num_vertices());
+  merged_builder.ReserveLabels(view->num_labels());
+  for (const Edge& e : view->AllEdges()) merged_builder.AddEdge(e);
+  const MultiRelationalGraph merged = merged_builder.Build();
+
+  mrpa::delta::CompactorOptions options;
+  options.keep_image = true;
+  mrpa::delta::Compactor compactor(/*registry=*/nullptr, options);
+  auto compacted = compactor.Compact(base, overlay);
+  ASSERT_TRUE(compacted.ok()) << compacted.status();
+  const std::vector<uint8_t>& pristine = compacted->image;
+  ASSERT_FALSE(pristine.empty());
+
+  // The pristine compacted image loads and matches the merged content.
+  ExpectLoadedIdentical(merged, pristine);
+
+  size_t caught = 0;
+  for (size_t i = 0; i < pristine.size(); ++i) {
+    std::vector<uint8_t> bytes = pristine;
+    bytes[i] ^= static_cast<uint8_t>(1u << (i % 8));
+    Status status = LoadStatus(bytes);
+    if (status.ok()) {
+      ExpectLoadedIdentical(merged, std::move(bytes));
+    } else {
+      ++caught;
+      EXPECT_TRUE(status.code() == StatusCode::kCorruption ||
+                  status.code() == StatusCode::kResourceExhausted)
+          << "byte " << i << ": " << status;
+    }
+  }
+  EXPECT_GT(caught, pristine.size() * 9 / 10);
+
+  for (size_t len = 0; len < pristine.size(); ++len) {
+    std::vector<uint8_t> bytes(pristine.begin(), pristine.begin() + len);
+    Status status = LoadStatus(std::move(bytes));
+    ASSERT_FALSE(status.ok()) << "prefix " << len;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "prefix " << len;
+  }
 }
 
 // An empty file and tiny files below the header size.
