@@ -1,6 +1,7 @@
 #include "delta/compactor.h"
 
 #include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <utility>
 
@@ -16,11 +17,17 @@ Result<CompactionResult> Compactor::Compact(const EdgeUniverse& base,
                                             ExecContext* exec) {
   const auto start = std::chrono::steady_clock::now();
 
+  // A drop deferred by the previous compaction may be completable by now;
+  // if not, the still-present generations are simply folded again below
+  // (idempotent over the new base).
+  ReclaimDrops(delta);
+
   // Seal first so the fold covers everything applied so far. Sealing is the
   // one overlay effect that survives a failed compaction; it changes
   // visibility (readers now see the verdicts), never content.
   delta.Seal();
   const size_t generations = delta.sealed_generations();
+  const uint64_t folded_through = delta.sealed_through();
 
   if (Status injected = FaultProbe(kFaultSiteDeltaCompact); !injected.ok()) {
     return injected;
@@ -49,19 +56,35 @@ Result<CompactionResult> Compactor::Compact(const EdgeUniverse& base,
   load_options.obs = options_.obs;
   storage::SnapshotReader reader(load_options);
   Result<storage::SnapshotUniverse> universe = Status::Internal("unreached");
+  std::string image_path;
   if (!options_.path.empty()) {
+    // Never touch the file backing a live mapping: each compaction gets a
+    // fresh versioned file, staged through a temp name and renamed into
+    // place so no reader can ever observe a partial image.
+    image_path = options_.path + "." + std::to_string(++image_seq_);
+    const std::string tmp_path = image_path + ".tmp";
     {
-      std::ofstream out(options_.path, std::ios::binary | std::ios::trunc);
+      std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
       if (!out.is_open()) {
-        return Status::IOError("compactor: cannot open " + options_.path);
+        return Status::IOError("compactor: cannot open " + tmp_path);
       }
       out.write(reinterpret_cast<const char*>(bytes->data()),
                 static_cast<std::streamsize>(bytes->size()));
       if (!out.good()) {
-        return Status::IOError("compactor: short write to " + options_.path);
+        out.close();
+        std::remove(tmp_path.c_str());
+        return Status::IOError("compactor: short write to " + tmp_path);
       }
     }
-    universe = reader.MapFile(options_.path);
+    if (std::rename(tmp_path.c_str(), image_path.c_str()) != 0) {
+      std::remove(tmp_path.c_str());
+      return Status::IOError("compactor: cannot rename " + tmp_path);
+    }
+    universe = reader.MapFile(image_path);
+    if (!universe.ok()) {
+      std::remove(image_path.c_str());
+      return universe.status();
+    }
   } else if (options_.keep_image) {
     universe = reader.FromBuffer(*bytes);  // Validate a copy; keep the bytes.
   } else {
@@ -70,18 +93,43 @@ Result<CompactionResult> Compactor::Compact(const EdgeUniverse& base,
   if (!universe.ok()) return universe.status();
 
   if (Status injected = FaultProbe(kFaultSiteDeltaSwap); !injected.ok()) {
+    // Unlink removes the name only; the mapping held by `universe` stays
+    // valid until it goes out of scope.
+    if (!image_path.empty()) std::remove(image_path.c_str());
     return injected;
   }
   if (registry_ != nullptr) {
     Result<uint64_t> version =
         registry_->HotSwap(std::move(universe).value());
-    if (!version.ok()) return version.status();
+    if (!version.ok()) {
+      if (!image_path.empty()) std::remove(image_path.c_str());
+      return version.status();
+    }
     result.version = *version;
   }
 
-  // The image is live (or validated, in registry-less mode): the folded
-  // generations are now redundant with the new base.
-  delta.DropGenerations(generations);
+  if (!image_path.empty()) {
+    // The new image is live (or validated, in registry-less mode): the file
+    // backing the previous compaction is superseded. Readers still mapped
+    // onto it are unaffected — the unlink drops the name, the registry's
+    // reclamation drops the pages.
+    if (!live_image_path_.empty()) std::remove(live_image_path_.c_str());
+    live_image_path_ = image_path;
+    result.image_path = image_path;
+  }
+
+  // The folded generations are redundant with the new base, but dropping
+  // them is only safe once no reader can build a view over a PRE-swap base
+  // — otherwise the folded mutations would vanish from that view. Gate the
+  // drop on registry drain; until then the generations stay (views over
+  // either base remain correct).
+  if (registry_ == nullptr) {
+    delta.DropGenerationsThrough(folded_through);
+  } else {
+    pending_drop_version_ = result.version;
+    pending_drop_through_ = folded_through;
+    result.generations_dropped = ReclaimDrops(delta);
+  }
 
   if (options_.keep_image) result.image = std::move(*bytes);
   if (options_.obs != nullptr) {
@@ -94,6 +142,18 @@ Result<CompactionResult> Compactor::Compact(const EdgeUniverse& base,
                 .count()));
   }
   return result;
+}
+
+bool Compactor::ReclaimDrops(DeltaOverlay& delta) {
+  if (pending_drop_through_ == 0) return true;
+  if (registry_ != nullptr) {
+    registry_->ReclaimNow();
+    if (registry_->OldestLiveVersion() < pending_drop_version_) return false;
+  }
+  delta.DropGenerationsThrough(pending_drop_through_);
+  pending_drop_through_ = 0;
+  pending_drop_version_ = 0;
+  return true;
 }
 
 }  // namespace mrpa::delta

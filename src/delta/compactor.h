@@ -10,20 +10,38 @@
 // like any other snapshot — and publish it through the PR 6
 // SnapshotRegistry's epoch-safe HotSwap, so in-flight queries finish on the
 // image they were admitted under while new queries see the compacted one.
-// Only after the new image is live are the folded generations dropped from
-// the overlay; a failure at ANY phase (injected `delta.compact`/`delta.swap`
-// fault, serialization error, validation error, a failed HotSwap) leaves
-// the overlay's generations AND the registry exactly as they were.
+//
+// Path mode never rewrites a live file: compaction N writes a fresh
+// versioned file `<path>.<N>` (temp file + atomic rename), and the file
+// backing the PREVIOUS compaction is unlinked only after the new image is
+// published — an unlink removes the name only, so a prior image still
+// mmap'ed by in-flight readers keeps serving until the registry reclaims
+// it. A failure at ANY phase (injected `delta.compact`/`delta.swap` fault,
+// serialization error, validation error, a failed HotSwap) removes the
+// partial file it was writing and leaves the overlay's generations, the
+// registry, AND the previously published on-disk image exactly as they
+// were.
+//
+// The folded generations are dropped from the overlay only once no reader
+// can build a view over a pre-swap base: the drop is gated on the
+// registry's epoch reclamation (OldestLiveVersion() reaching the published
+// version). While a pre-swap guard is still live the drop is DEFERRED —
+// the generations stay in the overlay, so a straggler reader building a
+// view over the old base still sees every folded mutation (no
+// non-monotonic read); re-folding them over the new base is idempotent. A
+// deferred drop completes on the next Compact, or explicitly via
+// ReclaimDrops once readers have re-pinned the published version.
 //
 // Names do not survive compaction: SnapshotWriter's EdgeUniverse overload
 // writes empty name tables (the abstract surface has no names), so a
 // compacted image serves ids only. Callers that need names keep them at a
 // layer above the edge relation.
 //
-// Single-writer discipline: Compact mutates the overlay (Seal +
-// DropGenerations), so it runs on — or synchronized with — the overlay's
-// writer thread. Readers are unaffected throughout: they hold shared_ptr
-// generations and registry guards.
+// Threading: the overlay's writer-side entry points carry their own writer
+// mutex, so Compact may run on a background thread concurrently with the
+// application's writer. The Compactor OBJECT is not itself thread-safe
+// (one compaction at a time); readers are unaffected throughout — they
+// hold shared_ptr generations and registry guards.
 
 #ifndef MRPA_DELTA_COMPACTOR_H_
 #define MRPA_DELTA_COMPACTOR_H_
@@ -43,9 +61,10 @@
 namespace mrpa::delta {
 
 struct CompactorOptions {
-  // Non-empty: the image is written to this path and served zero-copy
-  // (MapFile). Empty: the image is validated and served from an owned
-  // buffer (FromBuffer).
+  // Non-empty: the image is served zero-copy (MapFile) from a fresh
+  // versioned file `<path>.<N>` per compaction (see the header comment for
+  // the write/rename/unlink protocol). Empty: the image is validated and
+  // served from an owned buffer (FromBuffer).
   std::string path;
   // Keep a copy of the serialized image in CompactionResult::image — the
   // differential harnesses rebuild reference universes from it.
@@ -61,12 +80,21 @@ struct CompactionResult {
   uint64_t version = 0;
   // Edges in the compacted image.
   size_t edges = 0;
-  // Sealed generations folded in and dropped from the overlay.
+  // Sealed generations folded into the image.
   size_t generations_folded = 0;
   // Serialized image size.
   size_t image_bytes = 0;
   // The image bytes themselves; empty unless CompactorOptions::keep_image.
   std::vector<uint8_t> image;
+  // Path mode only: the versioned file backing the published image. The
+  // compactor unlinks it when a LATER compaction supersedes it; the LAST
+  // image's file is the caller's to remove.
+  std::string image_path;
+  // False when the folded generations could not be dropped yet because a
+  // pre-swap registry guard was still live. They remain in the overlay
+  // (views stay correct over either base) until a later Compact — or an
+  // explicit ReclaimDrops — completes the drop.
+  bool generations_dropped = true;
 };
 
 class Compactor {
@@ -83,20 +111,38 @@ class Compactor {
 
   // Seals the overlay's pending verdicts, rewrites base+delta into a fresh
   // validated MRGS image, hot-swaps it (when a registry is attached), and
-  // drops the folded generations. On ANY failure the overlay keeps its
-  // sealed generations and the registry its current image — the only
-  // observable effect is that pending verdicts may now be sealed (a
-  // visibility change for readers, never a content change: sealing alters
-  // no verdict).
+  // drops the folded generations as soon as the registry confirms no
+  // pre-swap reader remains (see the header comment). On ANY failure the
+  // overlay keeps its sealed generations, the registry its current image,
+  // and the filesystem its previously published file — the only observable
+  // effect is that pending verdicts may now be sealed (a visibility change
+  // for readers, never a content change: sealing alters no verdict).
   //
   // The serialized image and validation pass are charged to `exec`.
   Result<CompactionResult> Compact(const EdgeUniverse& base,
                                    DeltaOverlay& delta,
                                    ExecContext* exec = nullptr);
 
+  // Completes a drop deferred by an earlier Compact: once every registry
+  // image older than that compaction's published version has been
+  // reclaimed, the folded generations are dropped from `delta`. Returns
+  // true when no drop remains pending (also called opportunistically at
+  // the start of every Compact).
+  bool ReclaimDrops(DeltaOverlay& delta);
+
  private:
   service::SnapshotRegistry* registry_;
   CompactorOptions options_;
+  // Monotone suffix for path-mode image files.
+  uint64_t image_seq_ = 0;
+  // Path-mode file backing the currently published image; unlinked when a
+  // later compaction supersedes it.
+  std::string live_image_path_;
+  // Deferred-drop bookkeeping: generations with seal seq <= through are
+  // dropped once the registry drains below `version`. through == 0 means
+  // nothing pending.
+  uint64_t pending_drop_version_ = 0;
+  uint64_t pending_drop_through_ = 0;
 };
 
 }  // namespace mrpa::delta

@@ -63,7 +63,8 @@ Status DeltaOverlay::Apply(const EdgeUniverse& base, const Edge& e,
   if (Status injected = FaultProbe(kFaultSiteDeltaApply); !injected.ok()) {
     return injected;
   }
-  const bool present = HasEdgeOver(base, e);
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  const bool present = HasEdgeOverLocked(base, e);
   if (!tombstone && present) {
     return Status::AlreadyExists("edge " + e.ToString() + " already in E");
   }
@@ -98,6 +99,7 @@ Status DeltaOverlay::RemoveEdge(const EdgeUniverse& base, const Edge& e,
 }
 
 size_t DeltaOverlay::Seal() {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
   if (active_.empty()) return 0;
   auto gen = std::make_shared<DeltaGeneration>();
   gen->entries.reserve(active_.size());
@@ -107,6 +109,7 @@ size_t DeltaOverlay::Seal() {
   }
   gen->grown_vertices = pending_grown_vertices_;
   gen->grown_labels = pending_grown_labels_;
+  gen->seq = ++last_seal_seq_;
   const size_t sealed = gen->entries.size();
   {
     std::lock_guard<std::mutex> lock(gen_mu_);
@@ -118,6 +121,12 @@ size_t DeltaOverlay::Seal() {
 }
 
 bool DeltaOverlay::HasEdgeOver(const EdgeUniverse& base, const Edge& e) const {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return HasEdgeOverLocked(base, e);
+}
+
+bool DeltaOverlay::HasEdgeOverLocked(const EdgeUniverse& base,
+                                     const Edge& e) const {
   if (auto it = active_.find(e); it != active_.end()) return !it->second;
   std::vector<std::shared_ptr<const DeltaGeneration>> gens;
   {
@@ -132,6 +141,11 @@ bool DeltaOverlay::HasEdgeOver(const EdgeUniverse& base, const Edge& e) const {
   return base.HasEdge(e);
 }
 
+size_t DeltaOverlay::pending_ops() const {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  return active_.size();
+}
+
 size_t DeltaOverlay::sealed_generations() const {
   std::lock_guard<std::mutex> lock(gen_mu_);
   return generations_.size();
@@ -144,11 +158,26 @@ size_t DeltaOverlay::sealed_ops() const {
   return total;
 }
 
-void DeltaOverlay::DropGenerations(size_t count) {
+uint64_t DeltaOverlay::sealed_through() const {
   std::lock_guard<std::mutex> lock(gen_mu_);
-  count = std::min(count, generations_.size());
-  generations_.erase(generations_.begin(),
-                     generations_.begin() + static_cast<ptrdiff_t>(count));
+  return generations_.empty() ? 0 : generations_.back()->seq;
+}
+
+bool DeltaOverlay::empty() const {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return active_.empty() && generations_.empty();
+}
+
+void DeltaOverlay::DropGenerationsThrough(uint64_t through) {
+  std::lock_guard<std::mutex> writer_lock(writer_mu_);
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  // Generations are sealed in seq order, so the prefix with seq <= through
+  // is exactly the fold the compactor committed. Already-dropped seqs make
+  // this a no-op — overlapping deferred drops stay idempotent.
+  auto keep = generations_.begin();
+  while (keep != generations_.end() && (*keep)->seq <= through) ++keep;
+  generations_.erase(generations_.begin(), keep);
   if (generations_.empty() && active_.empty()) {
     // Fully compacted: the new base image covers every applied insertion, so
     // future views grow from ITS spaces, not stale high-water marks.
@@ -177,6 +206,14 @@ Result<OverlayUniverse> DeltaOverlay::View(const EdgeUniverse& base,
 
   // Phase 1: collapse the generations oldest → newest; the newest verdict
   // for an edge wins. Linear merges — every input is in canonical order.
+  // The charge is an upper bound (dedup only shrinks the collapse) taken
+  // BEFORE the allocation, so a byte budget bounds the build rather than
+  // auditing it after the memory is already consumed.
+  size_t total_entries = 0;
+  for (const auto& gen : gens) total_entries += gen->entries.size();
+  if (exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(exec->ChargeBytes(total_entries * sizeof(DeltaEntry)));
+  }
   std::vector<DeltaEntry> combined(gens.front()->entries);
   for (size_t g = 1; g < gens.size(); ++g) {
     const std::vector<DeltaEntry>& next = gens[g]->entries;
@@ -200,19 +237,23 @@ Result<OverlayUniverse> DeltaOverlay::View(const EdgeUniverse& base,
                   next.end());
     combined = std::move(merged);
   }
-  if (exec != nullptr) {
-    MRPA_RETURN_IF_ERROR(
-        exec->ChargeBytes(combined.size() * sizeof(DeltaEntry)));
-  }
 
   // Phase 2: merge the collapsed delta over the base edge array. An edge in
   // both streams survives iff the delta verdict is an insertion (re-insert
   // of a tombstoned-then-restored base edge lands here); an edge only in the
-  // delta survives iff it is an insertion.
+  // delta survives iff it is an insertion. The merged edge array and the
+  // phase-3 index arrays it implies are again charged as an upper bound
+  // (tombstones only shrink the merge) before the reserve.
   const std::span<const Edge> base_edges = base.AllEdges();
   size_t insert_verdicts = 0;
   for (const DeltaEntry& entry : combined) {
     insert_verdicts += entry.tombstone ? 0 : 1;
+  }
+  if (exec != nullptr) {
+    MRPA_RETURN_IF_ERROR(exec->ChargeBytes(
+        (base_edges.size() + insert_verdicts) *
+        (sizeof(Edge) + 2 * sizeof(EdgeIndex))));
+    MRPA_RETURN_IF_ERROR(exec->CheckDeadline());
   }
   view.edges_.reserve(base_edges.size() + insert_verdicts);
   {
@@ -252,11 +293,6 @@ Result<OverlayUniverse> DeltaOverlay::View(const EdgeUniverse& base,
   view.num_vertices_ =
       std::max(base.num_vertices(), gens.back()->grown_vertices);
   view.num_labels_ = std::max(base.num_labels(), gens.back()->grown_labels);
-  if (exec != nullptr) {
-    MRPA_RETURN_IF_ERROR(exec->ChargeBytes(
-        view.edges_.size() * (sizeof(Edge) + 2 * sizeof(EdgeIndex))));
-    MRPA_RETURN_IF_ERROR(exec->CheckDeadline());
-  }
   view.out_offsets_.assign(view.num_vertices_ + 1, 0);
   view.in_offsets_.assign(view.num_vertices_ + 1, 0);
   view.label_offsets_.assign(view.num_labels_ + 1, 0);

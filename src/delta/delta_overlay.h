@@ -15,7 +15,10 @@
 //     so the overlay is single-writer/multi-reader by construction: the
 //     writer owns the active run exclusively, the sealed generation list is
 //     swapped under a short mutex, and a sealed generation is never
-//     modified again.
+//     modified again. Writer-side entry points (Apply/Seal/HasEdgeOver/
+//     DropGenerationsThrough) additionally serialize on an internal writer
+//     mutex, so a background compactor thread may Seal and drop generations
+//     concurrently with the application's writer without external locking.
 //
 //   * OverlayUniverse — the read side. View(base) composes the sealed
 //     generations over any base EdgeUniverse (an in-memory graph, a mapped
@@ -39,9 +42,10 @@
 //
 // Governance: mutations probe the deterministic fault site `delta.apply`
 // (an injected failure leaves the overlay untouched) and charge the entry
-// bytes to an optional ExecContext; View charges the merged materialization
-// bytes and polls the deadline at phase boundaries, so a byte budget or
-// deadline governs view builds exactly like any other evaluation.
+// bytes to an optional ExecContext; View charges a conservative upper bound
+// of each phase's materialization BEFORE allocating it and polls the
+// deadline at phase boundaries, so a byte budget actually bounds view-build
+// allocation (a tripped budget fails before the memory is consumed).
 //
 // Lifetime: a view borrows nothing from the overlay (sealed generations are
 // shared_ptr-held) but a PASSTHROUGH view serves the base's spans — the
@@ -92,11 +96,16 @@ struct DeltaEntry {
 // A sealed, immutable run generation: entries in canonical (tail, label,
 // head) order — i.e. per-(vertex, label) sorted runs laid end to end — with
 // at most one entry per edge (the active run is latest-wins). The grown_*
-// fields publish the vertex/label high-water marks as of this seal.
+// fields publish the vertex/label high-water marks as of this seal. `seq`
+// is a monotone per-overlay seal number (1-based): drops are expressed as
+// "through seq S", which stays idempotent when a deferred drop from an
+// older compaction completes after a newer one already folded the same
+// generations.
 struct DeltaGeneration {
   std::vector<DeltaEntry> entries;
   uint32_t grown_vertices = 0;
   uint32_t grown_labels = 0;
+  uint64_t seq = 0;
 };
 
 // The merged read view. Materialized at construction (or passthrough when
@@ -169,7 +178,11 @@ class DeltaOverlay {
   DeltaOverlay(const DeltaOverlay&) = delete;
   DeltaOverlay& operator=(const DeltaOverlay&) = delete;
 
-  // --- Writer side (one thread at a time) ---------------------------------
+  // --- Writer side (serialized on an internal writer mutex) ---------------
+  // One LOGICAL writer: concurrent callers are safe (each call is atomic
+  // under the writer mutex) but the interleaving of concurrent mutations is
+  // unspecified. A background compactor thread composes safely with the
+  // application's writer thread.
   // Records the insertion of `e` over `base`; grows the vertex/label spaces
   // to cover its ids. kAlreadyExists when e is present in the writer's
   // linearized view. An injected delta.apply fault (or a tripped `exec`
@@ -198,32 +211,45 @@ class DeltaOverlay {
                                ExecContext* exec = nullptr) const;
 
   // --- Introspection ------------------------------------------------------
-  size_t pending_ops() const { return active_.size(); }
+  size_t pending_ops() const;
   size_t sealed_generations() const;
   // Total entries across sealed generations.
   size_t sealed_ops() const;
+  // Seal number of the NEWEST sealed generation; 0 when none is sealed.
+  uint64_t sealed_through() const;
   // No sealed generations AND no pending verdicts.
-  bool empty() const { return active_.empty() && sealed_generations() == 0; }
+  bool empty() const;
 
-  // Drops the OLDEST `count` sealed generations — the compactor's commit
-  // step after their content is folded into a new base image. When the drop
+  // Drops every sealed generation with seal number <= `through` — the
+  // compactor's commit step after their content is folded into a new base
+  // image. Callers must not drop generations while any reader could still
+  // build a view over a base that predates the fold (the compactor gates
+  // this on the registry's epoch reclamation); idempotent, so overlapping
+  // deferred drops from successive compactions are safe. When the drop
   // empties the overlay entirely, the grown vertex/label marks reset (the
   // new base covers them).
-  void DropGenerations(size_t count);
+  void DropGenerationsThrough(uint64_t through);
 
  private:
   Status Apply(const EdgeUniverse& base, const Edge& e, bool tombstone,
                ExecContext* exec);
+  // Requires writer_mu_ held.
+  bool HasEdgeOverLocked(const EdgeUniverse& base, const Edge& e) const;
 
   // Sealed generations, oldest first. Guarded by gen_mu_; the generation
-  // objects themselves are immutable once published.
+  // objects themselves are immutable once published. Lock order:
+  // writer_mu_ before gen_mu_, never the reverse.
   mutable std::mutex gen_mu_;
   std::vector<std::shared_ptr<const DeltaGeneration>> generations_;
 
-  // Writer-only state: the active run and its space high-water marks.
+  // Writer-side state: the active run, its space high-water marks, and the
+  // seal counter. Guarded by writer_mu_ so a background compactor (Seal +
+  // DropGenerationsThrough) composes with the application's writer thread.
+  mutable std::mutex writer_mu_;
   std::map<Edge, bool> active_;  // edge -> tombstone, latest verdict wins.
   uint32_t pending_grown_vertices_ = 0;
   uint32_t pending_grown_labels_ = 0;
+  uint64_t last_seal_seq_ = 0;
 
   obs::ObsRegistry* obs_ = nullptr;
 };

@@ -82,6 +82,17 @@ size_t SnapshotRegistry::ReclaimNow() {
   return ReclaimLocked();
 }
 
+uint64_t SnapshotRegistry::OldestLiveVersion() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retired versions are always older than the current one, so any
+  // unreclaimed retiree is the oldest live image.
+  uint64_t oldest = current_version_.load(std::memory_order_relaxed);
+  for (const Image* image : retired_) {
+    if (image->version < oldest) oldest = image->version;
+  }
+  return oldest;
+}
+
 size_t SnapshotRegistry::ReclaimLocked() {
   if (retired_.empty()) return 0;
   // A retired image is reclaimable iff every active reader announces an

@@ -142,6 +142,13 @@ class SnapshotRegistry {
     return retired_count_.load(std::memory_order_relaxed);
   }
 
+  // Smallest image version still alive — the current image or any retired
+  // image a guard may still pin; 0 when nothing has been published. The
+  // delta compactor gates its generation drops on this: once it equals the
+  // compaction's published version, no reader can build a view over a
+  // pre-swap base.
+  uint64_t OldestLiveVersion();
+
   // Sweeps the retired list now; returns how many images were reclaimed.
   // HotSwap and guard release already sweep opportunistically — this is for
   // tests and shutdown paths that want a definite answer.

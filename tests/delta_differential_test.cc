@@ -483,6 +483,10 @@ std::optional<std::string> RunTrace(const std::vector<TraceOp>& ops,
   service::SnapshotRegistry registry;
   service::SnapshotRegistry::Guard guard;
   DeltaOverlay overlay;
+  // One compactor for the whole trace: it carries the deferred-drop state
+  // across compactions (the drop completes only after this harness re-pins
+  // off the pre-swap image).
+  Compactor compactor(&registry);
   auto base = [&]() -> const EdgeUniverse& {
     if (guard) return guard.universe();
     return initial;
@@ -519,7 +523,6 @@ std::optional<std::string> RunTrace(const std::vector<TraceOp>& ops,
         ref.Commit();
         break;
       case OpKind::kCompact: {
-        Compactor compactor(&registry);
         std::optional<ScopedFault> fault;
         if (op.fault == OpFault::kCompact) {
           fault.emplace(delta::kFaultSiteDeltaCompact, 1,
@@ -552,12 +555,18 @@ std::optional<std::string> RunTrace(const std::vector<TraceOp>& ops,
             return RenderOp(op) + ": compact failed: " +
                    result.status().ToString();
           }
-          if (!overlay.empty()) {
-            return RenderOp(op) + ": overlay not empty after compaction";
-          }
+          // Re-pin FIRST: the drop of the folded generations is deferred
+          // while this harness still guards the pre-swap image. Once the
+          // old guard is released, ReclaimDrops must complete it.
           guard = registry.Acquire();
           if (!guard || guard.version() != result->version) {
             return RenderOp(op) + ": registry did not serve the new version";
+          }
+          if (!compactor.ReclaimDrops(overlay)) {
+            return RenderOp(op) + ": drop still deferred after re-pin";
+          }
+          if (!overlay.empty()) {
+            return RenderOp(op) + ": overlay not empty after compaction";
           }
         }
         break;

@@ -9,9 +9,13 @@
 
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -484,12 +488,163 @@ TEST(CompactorTest, WritesZeroCopyImageWhenPathGiven) {
   Compactor compactor(&registry, options);
   auto result = compactor.Compact(base, overlay);
   ASSERT_TRUE(result.ok()) << result.status();
+  // The image lives in a fresh versioned file, reported back to the caller.
+  EXPECT_EQ(result->image_path, options.path + ".1");
+  EXPECT_TRUE(std::filesystem::exists(result->image_path));
   auto guard = registry.Acquire();
   ASSERT_TRUE(static_cast<bool>(guard));
   EXPECT_TRUE(guard.universe().zero_copy());
   EXPECT_EQ(guard.universe().num_edges(), base.num_edges() + 1);
   guard = {};
-  std::remove(options.path.c_str());
+  std::remove(result->image_path.c_str());
+}
+
+// Regression: a second path-mode compaction must never rewrite the file
+// that backs the still-served mapping of the first — the old guard's pages
+// stay intact (pre-fix this truncated the live mapping in place), and a
+// straggler reader on the pre-swap image can still build a view that sees
+// every folded mutation, because the generation drop defers until that
+// reader drains.
+TEST(CompactorTest, RepeatedPathCompactionsKeepPriorMappingServable) {
+  MultiRelationalGraph base = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  CompactorOptions options;
+  options.path = (std::filesystem::temp_directory_path() /
+                  ("mrpa_recompact_" + std::to_string(::getpid()) + ".mrgs"))
+                     .string();
+  Compactor compactor(&registry, options);
+
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  auto first = compactor.Compact(base, overlay);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_TRUE(first->generations_dropped);  // No pre-swap reader existed.
+  auto old_guard = registry.Acquire();
+  ASSERT_TRUE(static_cast<bool>(old_guard));
+  const std::vector<Edge> served = EdgesOf(old_guard.universe());
+
+  ASSERT_TRUE(overlay.AddEdge(old_guard.universe(), Edge(3, 1, 1)).ok());
+  auto second = compactor.Compact(old_guard.universe(), overlay);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_NE(second->image_path, first->image_path);
+
+  // The pre-swap mapping still serves, byte for byte.
+  EXPECT_EQ(EdgesOf(old_guard.universe()), served);
+  ExpectContractHolds(old_guard.universe());
+
+  // The drop deferred while the pre-swap guard was live, so a view built
+  // over the OLD base still includes the folded mutation.
+  EXPECT_FALSE(second->generations_dropped);
+  EXPECT_EQ(overlay.sealed_generations(), 1u);
+  auto old_view = overlay.View(old_guard.universe());
+  ASSERT_TRUE(old_view.ok());
+  EXPECT_TRUE(old_view->HasEdge(Edge(3, 1, 1)));
+
+  // Re-pin to the published version: the deferred drop completes.
+  old_guard = registry.Acquire();
+  EXPECT_EQ(old_guard.version(), second->version);
+  EXPECT_TRUE(compactor.ReclaimDrops(overlay));
+  EXPECT_TRUE(overlay.empty());
+
+  old_guard = {};
+  std::remove(second->image_path.c_str());
+}
+
+// Regression: a FAILED path-mode compaction must leave the previously
+// published on-disk image untouched and remove its own partial files
+// (pre-fix the failed attempt had already truncated and rewritten the good
+// image in place).
+TEST(CompactorTest, FailedPathCompactionLeavesPublishedFileIntact) {
+  MultiRelationalGraph base = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  CompactorOptions options;
+  options.path = (std::filesystem::temp_directory_path() /
+                  ("mrpa_failcompact_" + std::to_string(::getpid()) + ".mrgs"))
+                     .string();
+  Compactor compactor(&registry, options);
+
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(3, 0, 0)).ok());
+  auto first = compactor.Compact(base, overlay);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  auto guard = registry.Acquire();
+  ASSERT_TRUE(overlay.AddEdge(guard.universe(), Edge(3, 1, 1)).ok());
+  {
+    ScopedFault fault(delta::kFaultSiteDeltaSwap, 1,
+                      Status::IOError("injected swap fault"));
+    auto failed = compactor.Compact(guard.universe(), overlay);
+    ASSERT_FALSE(failed.ok());
+    EXPECT_TRUE(failed.status().IsIOError());
+  }
+
+  // The published file survives, still validates, and still serves v1.
+  EXPECT_TRUE(std::filesystem::exists(first->image_path));
+  auto remapped = storage::SnapshotReader().MapFile(first->image_path);
+  ASSERT_TRUE(remapped.ok()) << remapped.status();
+  EXPECT_EQ(remapped->num_edges(), base.num_edges() + 1);
+  EXPECT_EQ(registry.current_version(), first->version);
+  // The failed attempt left no partial files behind.
+  EXPECT_FALSE(std::filesystem::exists(options.path + ".2"));
+  EXPECT_FALSE(std::filesystem::exists(options.path + ".2.tmp"));
+  // And its generations survive for the retry.
+  EXPECT_EQ(overlay.sealed_generations(), 1u);
+
+  guard = {};
+  std::remove(first->image_path.c_str());
+}
+
+// Regression (TSan): background compaction really is safe beside the
+// application's writer — the overlay's internal writer mutex serializes
+// AddEdge/Seal against the compactor's Seal + deferred generation drops.
+TEST(CompactorTest, BackgroundCompactionIsSafeBesideTheWriter) {
+  MultiRelationalGraph genesis = SmallBase();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  Compactor compactor(&registry);
+  auto base_of = [&](const service::SnapshotRegistry::Guard& g)
+      -> const EdgeUniverse& {
+    if (g) return g.universe();
+    return genesis;
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread background([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto guard = registry.Acquire();
+      auto result = compactor.Compact(base_of(guard), overlay);
+      EXPECT_TRUE(result.ok()) << result.status();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  // Distinct self-loops outside the base: every add must succeed exactly
+  // once, regardless of how compactions interleave.
+  std::vector<Edge> added;
+  for (uint32_t i = 0; i < 64; ++i) {
+    Edge e(static_cast<VertexId>(10 + i), 0, static_cast<VertexId>(10 + i));
+    auto guard = registry.Acquire();
+    ASSERT_TRUE(overlay.AddEdge(base_of(guard), e).ok());
+    added.push_back(e);
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  background.join();
+
+  {
+    auto guard = registry.Acquire();
+    auto result = compactor.Compact(base_of(guard), overlay);
+    ASSERT_TRUE(result.ok()) << result.status();
+  }
+  EXPECT_TRUE(compactor.ReclaimDrops(overlay));
+  EXPECT_TRUE(overlay.empty());
+
+  auto guard = registry.Acquire();
+  ASSERT_TRUE(static_cast<bool>(guard));
+  std::set<Edge> expect(genesis.AllEdges().begin(), genesis.AllEdges().end());
+  expect.insert(added.begin(), added.end());
+  EXPECT_EQ(EdgesOf(guard.universe()),
+            std::vector<Edge>(expect.begin(), expect.end()));
 }
 
 TEST(CompactorTest, GrownSpacesResetAfterFullCompaction) {

@@ -563,6 +563,13 @@ TEST(ServiceChaosTest, LiveCompactionSoakHoldsTheDifferentialInvariant) {
       if (guard) return guard.universe();
       return genesis;
     };
+    // One compactor for the soak: it carries the deferred-drop state, so
+    // generations folded while tenants still pin older images get dropped
+    // on a later compaction once those readers drain.
+    delta::CompactorOptions copts;
+    copts.keep_image = true;
+    copts.obs = &obs;
+    delta::Compactor compactor(&registry, copts);
     uint64_t compactions = 0;
     while (std::chrono::steady_clock::now() < deadline) {
       for (int i = 0; i < 8; ++i) {
@@ -577,10 +584,6 @@ TEST(ServiceChaosTest, LiveCompactionSoakHoldsTheDifferentialInvariant) {
       }
       if (rng.Chance(0.25)) overlay.Seal();
       if (rng.Chance(0.12)) {
-        delta::CompactorOptions copts;
-        copts.keep_image = true;
-        copts.obs = &obs;
-        delta::Compactor compactor(&registry, copts);
         std::optional<ScopedFault> fault;
         if (rng.Chance(0.15)) {
           fault.emplace(rng.Chance(0.5) ? delta::kFaultSiteDeltaCompact
