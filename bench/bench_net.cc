@@ -1,0 +1,308 @@
+// Experiment E24: the network front door under open-loop load (src/net/).
+//
+// The E20 open-loop harness, moved across real sockets: issuer threads —
+// each owning one QueryClient connection to a loopback QueryServer — offer
+// queries at a fixed arrival rate (scheduled on a clock, independent of
+// completions, so overload cannot throttle itself), and admitted-query
+// latency is measured from the scheduled arrival, queueing delay and the
+// whole wire round trip included. Two configurations face the same
+// offered load:
+//
+//   * admission=1 — fail-fast tenant quota (in-flight cap, no queue):
+//     overload is shed at the service's front door and ships back over the
+//     wire as the truncated-empty degradation (snapshot_version == 0); the
+//     p99 of admitted queries should hold near the uncontended p99;
+//   * admission=0 — every cap beyond the batch size: the backlog piles
+//     into the dispatch queue and every query's latency grows with it.
+//
+// The load axis is load_x10, tenths of the measured uncontended capacity
+// of the full socket path (5 = half load, 10 = saturation, 20 = 2x).
+// Acceptance (EXPERIMENTS.md E24): at load_x10=20 with admission on,
+// p99_us within 3x of uncontended_p99_us and every shed a well-formed
+// degradation — while admission=0 shows the collapse. BM_WireRoundTrip
+// isolates the codec cost so the open-loop numbers can be read as
+// serving overhead, not serialization overhead.
+//
+// Run: build/bench/bench_net --benchmark_min_time=0.5 [--json=FILE]
+// Results are recorded in EXPERIMENTS.md (E24).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/edge_pattern.h"
+#include "graph/multi_graph.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "service/admission.h"
+#include "service/query_service.h"
+#include "service/snapshot_registry.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/thread_pool.h"
+
+namespace mrpa {
+namespace {
+
+using service::QueryService;
+using service::SnapshotRegistry;
+using service::TenantQuota;
+
+inline size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+const size_t kPoolThreads = HardwareThreads();
+const size_t kInFlightCap = std::max<size_t>(1, kPoolThreads / 2);
+// Each issuer is one connection; they spend their lives asleep or blocked
+// on a socket, so a handful per hardware thread keeps the schedule honest.
+const size_t kIssuers = std::max<size_t>(8, 2 * kPoolThreads);
+constexpr size_t kBatch = 500;
+
+storage::SnapshotUniverse LoadSnapshot(const MultiRelationalGraph& graph) {
+  auto bytes = storage::SnapshotWriter().Serialize(graph);
+  auto universe = storage::SnapshotReader().FromBuffer(std::move(*bytes));
+  return std::move(*universe);
+}
+
+net::WireRequest MakeRequest() {
+  net::WireRequest request;
+  request.tenant = "load";
+  request.mode = net::AnswerMode::kPaths;
+  request.steps = {EdgePattern::Any(), EdgePattern::Any()};
+  request.limits.max_steps = 4000;
+  request.limits.max_paths = 512;
+  return request;
+}
+
+struct LoadOutcome {
+  std::vector<double> admitted_us;
+  size_t shed = 0;
+  size_t errors = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(std::min<double>(
+      values.size() - 1, std::ceil(p * values.size()) - 1));
+  return values[idx];
+}
+
+LoadOutcome RunOpenLoop(uint16_t port, double offered_qps, size_t n) {
+  using Clock = std::chrono::steady_clock;
+  const auto interval = std::chrono::duration<double>(1.0 / offered_qps);
+  const net::WireRequest prototype = MakeRequest();
+
+  std::atomic<size_t> next{0};
+  std::vector<double> latency_us(n, 0);
+  std::vector<uint8_t> kind(n, 0);  // 0 = admitted, 1 = shed, 2 = error
+  const Clock::time_point start = Clock::now() + std::chrono::milliseconds(2);
+
+  auto issuer = [&] {
+    // One connection per issuer, reused across its whole slice of the
+    // schedule — the client reconnects by itself if the server drops it.
+    net::QueryClient::Options client_options;
+    client_options.retry.max_attempts = 1;  // Sheds must return instantly.
+    net::QueryClient client("127.0.0.1", port, client_options);
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      const Clock::time_point arrival =
+          start + std::chrono::duration_cast<Clock::duration>(interval * i);
+      std::this_thread::sleep_until(arrival);
+      auto response = client.Execute(prototype);
+      const Clock::time_point done = Clock::now();
+      if (!response.ok() || !response->outcome.ok()) {
+        kind[i] = 2;
+      } else if (response->snapshot_version == 0) {
+        kind[i] = 1;  // Shed at the front door, shipped as a degradation.
+      } else {
+        latency_us[i] =
+            std::chrono::duration<double, std::micro>(done - arrival)
+                .count();
+      }
+    }
+  };
+
+  std::vector<std::thread> issuers;
+  issuers.reserve(kIssuers);
+  for (size_t t = 0; t < kIssuers; ++t) issuers.emplace_back(issuer);
+  for (std::thread& t : issuers) t.join();
+
+  LoadOutcome outcome;
+  for (size_t i = 0; i < n; ++i) {
+    if (kind[i] == 0) {
+      outcome.admitted_us.push_back(latency_us[i]);
+    } else if (kind[i] == 1) {
+      ++outcome.shed;
+    } else {
+      ++outcome.errors;
+    }
+  }
+  return outcome;
+}
+
+// Args: {admission on/off, offered load in tenths of capacity}.
+void BM_NetOpenLoop(benchmark::State& state) {
+  const bool admission = state.range(0) != 0;
+  const double load = static_cast<double>(state.range(1)) / 10.0;
+
+  const MultiRelationalGraph& graph = []() -> const MultiRelationalGraph& {
+    static MultiRelationalGraph g = bench::MakeErGraph(256, 3, 4.0, 19);
+    return g;
+  }();
+
+  SnapshotRegistry registry;
+  if (!registry.HotSwap(LoadSnapshot(graph)).ok()) {
+    state.SkipWithError("snapshot publish failed");
+    return;
+  }
+  ThreadPool pool(kPoolThreads);
+
+  QueryService::Options options;
+  options.pool = &pool;
+  options.obs = bench::TraceRegistry();
+  options.retry.max_attempts = 1;
+  TenantQuota quota;
+  if (admission) {
+    quota.max_in_flight = kInFlightCap;
+    quota.max_queued = 0;  // Fail fast: shed rather than queue.
+  } else {
+    quota.max_in_flight = kBatch;
+    quota.max_queued = kBatch;
+    options.admission.global_max_in_flight = kBatch;
+    options.admission.global_max_queued = kBatch;
+  }
+  QueryService service(registry, options);
+  if (!service.RegisterTenant("load", quota).ok()) {
+    state.SkipWithError("tenant registration failed");
+    return;
+  }
+
+  net::QueryServer::Options server_options;
+  server_options.obs = bench::TraceRegistry();
+  server_options.max_connections = kIssuers + 4;
+  server_options.max_pending_requests = admission ? 1 : kBatch;
+  server_options.dispatch_threads = std::max<size_t>(2, kPoolThreads);
+  net::QueryServer server(service, server_options);
+  if (!server.Start().ok()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+
+  // Uncontended reference over the full socket path: one connection,
+  // sequential requests. The mean sets the capacity scale.
+  std::vector<double> solo_us;
+  {
+    net::QueryClient client("127.0.0.1", server.port());
+    for (int i = 0; i < 64; ++i) {
+      const auto t0 = std::chrono::steady_clock::now();
+      auto response = client.Execute(MakeRequest());
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!response.ok() || !response->outcome.ok()) {
+        state.SkipWithError("uncontended query failed");
+        server.Shutdown();
+        return;
+      }
+      solo_us.push_back(
+          std::chrono::duration<double, std::micro>(t1 - t0).count());
+    }
+  }
+  const double solo_mean_us =
+      std::accumulate(solo_us.begin(), solo_us.end(), 0.0) / solo_us.size();
+  const double capacity_qps = 1e6 / std::max(1.0, solo_mean_us);
+  const double offered_qps = load * capacity_qps;
+
+  LoadOutcome outcome;
+  for (auto _ : state) {
+    outcome = RunOpenLoop(server.port(), offered_qps, kBatch);
+  }
+  server.Shutdown();
+
+  state.counters["offered_qps"] = offered_qps;
+  state.counters["admitted"] = static_cast<double>(outcome.admitted_us.size());
+  state.counters["shed_pct"] = 100.0 * static_cast<double>(outcome.shed) /
+                               static_cast<double>(kBatch);
+  state.counters["errors"] = static_cast<double>(outcome.errors);
+  state.counters["p50_us"] = Percentile(outcome.admitted_us, 0.50);
+  state.counters["p99_us"] = Percentile(outcome.admitted_us, 0.99);
+  state.counters["uncontended_p99_us"] = Percentile(solo_us, 0.99);
+}
+
+BENCHMARK(BM_NetOpenLoop)
+    ->ArgNames({"admission", "load_x10"})
+    ->Args({1, 5})
+    ->Args({1, 10})
+    ->Args({1, 20})
+    ->Args({0, 5})
+    ->Args({0, 10})
+    ->Args({0, 20})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// The codec alone: encode request + extract + decode, then the same for a
+// response carrying `paths` one-edge paths — the serialization floor under
+// every wire round trip above.
+void BM_WireRoundTrip(benchmark::State& state) {
+  const size_t paths = static_cast<size_t>(state.range(0));
+  net::WireResponse response;
+  response.snapshot_version = 3;
+  response.attempts = 1;
+  response.mode = net::AnswerMode::kPaths;
+  {
+    std::vector<Path> content;
+    for (size_t i = 0; i < paths; ++i) {
+      content.emplace_back(std::vector<Edge>{
+          Edge(static_cast<VertexId>(i), 0, static_cast<VertexId>(i + 1))});
+    }
+    response.paths = PathSet(std::move(content));
+    response.count = response.paths.size();
+    response.exists = paths > 0;
+  }
+  const net::WireRequest request = MakeRequest();
+
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto request_frame = net::EncodeRequestFrame(request);
+    auto extracted_request = net::ExtractFrame(*request_frame);
+    auto decoded_request = net::DecodeRequestPayload(
+        std::span<const uint8_t>(*request_frame)
+            .subspan(net::kFrameHeaderBytes,
+                     extracted_request.frame_bytes - net::kFrameHeaderBytes));
+    benchmark::DoNotOptimize(decoded_request);
+    auto response_frame = net::EncodeResponseFrame(response);
+    auto extracted_response = net::ExtractFrame(*response_frame);
+    auto decoded_response = net::DecodeResponsePayload(
+        std::span<const uint8_t>(*response_frame)
+            .subspan(net::kFrameHeaderBytes,
+                     extracted_response.frame_bytes - net::kFrameHeaderBytes));
+    benchmark::DoNotOptimize(decoded_response);
+    bytes = request_frame->size() + response_frame->size();
+  }
+  state.counters["frame_bytes"] = static_cast<double>(bytes);
+}
+
+BENCHMARK(BM_WireRoundTrip)
+    ->ArgNames({"paths"})
+    ->Arg(0)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace mrpa
+
+MRPA_BENCH_MAIN();

@@ -11,7 +11,9 @@
 # path: sparse/dense crossover, §IV-C projection throughput, kernel-tier
 # ratio), E23 (live-graph delta pipeline: overlay read overhead at
 # 0/1/10% delta fill, view build + compaction throughput, hot-swap
-# latency) — writing one machine-readable BENCH_<n>.json
+# latency), and E24 (network front door: open-loop latency-vs-offered-QPS
+# through real sockets with admission on/off, plus the wire-codec
+# round-trip floor) — writing one machine-readable BENCH_<n>.json
 # per experiment via the --json flag (see MRPA_BENCH_MAIN in
 # bench/bench_common.h), plus a TRACE_<n>.json span/counter breakdown via
 # --trace (the ObsRegistry export; schema locked by tests/obs_json_test.cc).
@@ -47,7 +49,7 @@ cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "${BUILD_DIR}" -j "$(nproc)" \
   --target bench_guard_overhead bench_parallel_traversal bench_path_arena \
            bench_snapshot bench_service bench_compiler bench_frontier \
-           bench_delta
+           bench_delta bench_net
 
 mkdir -p "${OUT_DIR}"
 
@@ -73,6 +75,7 @@ run_bench 20 bench_service
 run_bench 21 bench_compiler
 run_bench 22 bench_frontier
 run_bench 23 bench_delta
+run_bench 24 bench_net
 
 echo "Wrote $(ls "${OUT_DIR}"/BENCH_*.json | wc -l) result files to ${OUT_DIR}/"
 

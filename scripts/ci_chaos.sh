@@ -44,7 +44,7 @@ run_service_suites() {  # run_service_suites <build-dir> <sanitizer>
   # by itself, and sharing cores with sibling suites would starve the
   # controller thread's swap/fault cadence.
   MRPA_CHAOS_SOAK_MS="${SOAK_MS}" \
-    ctest --test-dir "${dir}" -L "service|delta" --output-on-failure -j 1
+    ctest --test-dir "${dir}" -L "service|delta|net" --output-on-failure -j 1
 }
 
 export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1"
@@ -53,4 +53,4 @@ run_service_suites "${ASAN_DIR}" address
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 run_service_suites "${TSAN_DIR}" thread
 
-echo "chaos: service+delta suites clean under ASan and TSan (soak ${SOAK_MS}ms x2)"
+echo "chaos: service+delta+net suites clean under ASan and TSan (soak ${SOAK_MS}ms x2)"

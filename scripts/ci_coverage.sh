@@ -17,7 +17,9 @@
 # tier or boundary lane is silent wrong-answer territory on the next CPU),
 # and src/delta/ (the live-graph merge view and compactor are the mutable
 # path — an unexercised tombstone or fail-closed branch is a data-loss bug
-# waiting for production traffic).
+# waiting for production traffic), and src/net/ (the wire codec is the
+# second untrusted-input surface — every decode branch must fail closed
+# against hostile bytes, and an unexercised one is an open door).
 #
 # Usage: scripts/ci_coverage.sh [build-dir]   (default: build-coverage)
 # Env:   MRPA_COVERAGE_THRESHOLD_OBS      — override the src/obs gate (default 80).
@@ -26,6 +28,7 @@
 #        MRPA_COVERAGE_THRESHOLD_COMPILER — override the src/compiler gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_FRONTIER — override the src/frontier gate (default 80).
 #        MRPA_COVERAGE_THRESHOLD_DELTA    — override the src/delta gate (default 80).
+#        MRPA_COVERAGE_THRESHOLD_NET      — override the src/net gate (default 80).
 
 set -euo pipefail
 
@@ -38,6 +41,7 @@ THRESHOLD_SERVICE="${MRPA_COVERAGE_THRESHOLD_SERVICE:-80}"
 THRESHOLD_COMPILER="${MRPA_COVERAGE_THRESHOLD_COMPILER:-80}"
 THRESHOLD_FRONTIER="${MRPA_COVERAGE_THRESHOLD_FRONTIER:-80}"
 THRESHOLD_DELTA="${MRPA_COVERAGE_THRESHOLD_DELTA:-80}"
+THRESHOLD_NET="${MRPA_COVERAGE_THRESHOLD_NET:-80}"
 
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
@@ -57,7 +61,7 @@ if [[ ! -s "${BUILD_DIR}/gcda_files.txt" ]]; then
   exit 1
 fi
 
-python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" "${THRESHOLD_FRONTIER}" "${THRESHOLD_DELTA}" <<'PY'
+python3 - "${BUILD_DIR}/gcda_files.txt" "${THRESHOLD}" "${THRESHOLD_STORAGE}" "${THRESHOLD_SERVICE}" "${THRESHOLD_COMPILER}" "${THRESHOLD_FRONTIER}" "${THRESHOLD_DELTA}" "${THRESHOLD_NET}" <<'PY'
 import collections
 import json
 import os
@@ -70,6 +74,7 @@ threshold_service = float(sys.argv[4])
 threshold_compiler = float(sys.argv[5])
 threshold_frontier = float(sys.argv[6])
 threshold_delta = float(sys.argv[7])
+threshold_net = float(sys.argv[8])
 repo = os.getcwd()
 src_root = os.path.join(repo, "src")
 
@@ -125,6 +130,7 @@ service_covered = service_total = 0
 compiler_covered = compiler_total = 0
 frontier_covered = frontier_total = 0
 delta_covered = delta_total = 0
+net_covered = net_total = 0
 all_covered = all_total = 0
 for d in sorted(by_dir):
     covered, total = by_dir[d]
@@ -148,6 +154,9 @@ for d in sorted(by_dir):
     if d.startswith(os.path.join("src", "delta")):
         delta_covered += covered
         delta_total += total
+    if d.startswith(os.path.join("src", "net")):
+        net_covered += covered
+        net_total += total
     print(f"{d:57} {covered:8d} {total:6d} {100.0 * covered / total:6.1f}%")
 print(f"{'src/ total':57} {all_covered:8d} {all_total:6d} "
       f"{100.0 * all_covered / all_total:6.1f}%")
@@ -206,6 +215,15 @@ print(f"src/delta line coverage: {delta_pct:.1f}% "
 if delta_pct < threshold_delta:
     failures.append(
         f"src/delta coverage {delta_pct:.1f}% < {threshold_delta:.0f}%")
+
+if net_total == 0:
+    sys.exit("error: no coverage data for src/net/")
+net_pct = 100.0 * net_covered / net_total
+print(f"src/net line coverage: {net_pct:.1f}% "
+      f"(gate: {threshold_net:.0f}%)")
+if net_pct < threshold_net:
+    failures.append(
+        f"src/net coverage {net_pct:.1f}% < {threshold_net:.0f}%")
 
 if failures:
     sys.exit("FAIL: " + "; ".join(failures))

@@ -24,7 +24,12 @@
 # `delta`-labeled suites — the live-graph step-wise differential harness
 # runs overlay merge views through the parallel engine at pool widths
 # 1/2/8, and dynamic_graph_test's concurrent-const-reads regression (the
-# lazy-cache rebuild race) only means something under TSAN; the rest of the
+# lazy-cache rebuild race) only means something under TSAN, plus the
+# `net`-labeled suites — the epoll server splits every request across
+# three threads (event loop, dispatch worker, back through the loop via
+# the completion queue), the background CompactionScheduler races a live
+# overlay writer, and the socket chaos soak runs all of it against
+# hot-swaps at once; the rest of the
 # test matrix is single-threaded and covered by the regular tier1 job.
 #
 # The race-sensitive labels then run a SECOND leg with MRPA_FORCE_SCALAR=1:
@@ -53,7 +58,7 @@ cmake --build "${BUILD_DIR}" -j "$(nproc)"
 # second_deadlock_stack gives usable reports for lock-order findings.
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
 
-ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler|frontier|delta" --output-on-failure -j 2
+ctest --test-dir "${BUILD_DIR}" -L "parallel|arena|obs|storage|service|compiler|frontier|delta|net" --output-on-failure -j 2
 
 echo "=== forced-scalar leg (MRPA_FORCE_SCALAR=1) ==="
 MRPA_FORCE_SCALAR=1 ctest --test-dir "${BUILD_DIR}" \

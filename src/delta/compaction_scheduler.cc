@@ -1,0 +1,91 @@
+#include "delta/compaction_scheduler.h"
+
+#include <atomic>
+#include <utility>
+
+namespace mrpa::delta {
+
+CompactionScheduler::CompactionScheduler(service::SnapshotRegistry& registry,
+                                         DeltaOverlay& delta,
+                                         Compactor& compactor,
+                                         Options options)
+    : registry_(registry),
+      delta_(delta),
+      compactor_(compactor),
+      options_(options) {
+  if (options_.poll_interval.count() <= 0) {
+    options_.poll_interval = std::chrono::milliseconds(1);
+  }
+  // A first compaction is allowed immediately: backdate the rate limiter.
+  last_compaction_ =
+      std::chrono::steady_clock::now() - options_.min_interval;
+}
+
+CompactionScheduler::~CompactionScheduler() { Stop(); }
+
+Status CompactionScheduler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (running_) return Status::AlreadyExists("scheduler already running");
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { Run(); });
+  return Status::OK();
+}
+
+void CompactionScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+bool CompactionScheduler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_;
+}
+
+bool CompactionScheduler::ShouldCompact(
+    std::chrono::steady_clock::time_point now) const {
+  if (now - last_compaction_ < options_.min_interval) return false;
+  const size_t delta_bytes =
+      (delta_.pending_ops() + delta_.sealed_ops()) * sizeof(DeltaEntry);
+  return delta_bytes >= options_.min_delta_bytes;
+}
+
+void CompactionScheduler::Run() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, options_.poll_interval, [this] { return stop_; });
+      if (stop_) return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (!ShouldCompact(now)) continue;
+    // Pin the current base for the duration of the fold. No image yet
+    // published → nothing to fold over; wait for one.
+    service::SnapshotRegistry::Guard guard = registry_.Acquire();
+    if (!guard) continue;
+    Result<CompactionResult> result =
+        compactor_.Compact(guard.universe(), delta_);
+    last_compaction_ = std::chrono::steady_clock::now();
+    if (result.ok()) {
+      compactions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Failures are clean by the Compactor's contract; try again next
+      // cycle.
+      failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Our own guard pinned the pre-swap version through the fold, so the
+    // generation drop usually deferred. Release it and reclaim now rather
+    // than carrying the folded generations to the next cycle.
+    guard = service::SnapshotRegistry::Guard();
+    compactor_.ReclaimDrops(delta_);
+  }
+}
+
+}  // namespace mrpa::delta

@@ -1,0 +1,112 @@
+// CompactionScheduler: the background thread that closes the delta loop.
+//
+// PR 9 shipped the mechanism — DeltaOverlay's writer-mutex'd Seal/Drop
+// entry points and Compactor's fold-validate-publish-drop pipeline — but
+// left the POLICY to callers: something must decide when to compact. This
+// is that something, deliberately minimal:
+//
+//   trigger  =  enough time since the last compaction (min_interval — a
+//               rate limit, so a hot writer cannot make compaction a
+//               permanent tax on the machine)
+//           AND enough accumulated delta (min_delta_bytes over sealed +
+//               pending verdict bytes — so an idle overlay is never folded
+//               just because the clock ticked).
+//
+// Each cycle pins the registry's current image with an epoch guard, folds
+// base+delta through Compactor::Compact (publishing a fresh image via
+// HotSwap), releases the guard, and then calls ReclaimDrops — the guard
+// held during the fold pins the PRE-swap version, so the drop of the
+// folded generations typically defers until the guard is gone; reclaiming
+// right after release keeps the overlay small without waiting for the next
+// cycle. Compaction failures (injected faults, validation errors) are
+// counted and retried next cycle — the Compactor guarantees failures leave
+// the overlay, registry, and disk untouched.
+//
+// Threading: Start() spawns one dedicated thread; Stop() (and the
+// destructor) wakes it and joins. The overlay's writer mutex makes the
+// scheduler safe beside the application's writer thread with no external
+// locking — tests/compaction_scheduler_test.cc runs exactly that race
+// under TSan.
+
+#ifndef MRPA_DELTA_COMPACTION_SCHEDULER_H_
+#define MRPA_DELTA_COMPACTION_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+#include "delta/compactor.h"
+#include "delta/delta_overlay.h"
+#include "service/snapshot_registry.h"
+#include "util/status.h"
+
+namespace mrpa::delta {
+
+class CompactionScheduler {
+ public:
+  struct Options {
+    // Minimum spacing between compaction attempts (the rate limit).
+    std::chrono::milliseconds min_interval{100};
+    // Minimum accumulated delta — sealed + pending verdicts, in entry
+    // bytes — before a compaction is worth its fold.
+    size_t min_delta_bytes = 16 * 1024;
+    // How often the thread re-evaluates the trigger while idle.
+    std::chrono::milliseconds poll_interval{10};
+  };
+
+  // All three referents must outlive the scheduler. The registry must have
+  // a published image before the first compaction can run (cycles are
+  // skipped until it does).
+  CompactionScheduler(service::SnapshotRegistry& registry,
+                      DeltaOverlay& delta, Compactor& compactor,
+                      Options options);
+  ~CompactionScheduler();
+
+  CompactionScheduler(const CompactionScheduler&) = delete;
+  CompactionScheduler& operator=(const CompactionScheduler&) = delete;
+
+  // Spawns the scheduler thread. kAlreadyExists if running.
+  Status Start();
+  // Wakes and joins the thread. Idempotent; a compaction in progress
+  // completes first (the Compactor's phases are not interruptible —
+  // stopping mid-publish would be exactly the torn state it exists to
+  // prevent).
+  void Stop();
+
+  bool running() const;
+
+  // Cycle counters (test hooks; racy-read safe).
+  uint64_t compactions() const {
+    return compactions_.load(std::memory_order_relaxed);
+  }
+  uint64_t failures() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Run();
+  // True when the accumulated delta and the rate limit both say go.
+  bool ShouldCompact(std::chrono::steady_clock::time_point now) const;
+
+  service::SnapshotRegistry& registry_;
+  DeltaOverlay& delta_;
+  Compactor& compactor_;
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  std::chrono::steady_clock::time_point last_compaction_;
+  std::atomic<uint64_t> compactions_{0};
+  std::atomic<uint64_t> failures_{0};
+};
+
+}  // namespace mrpa::delta
+
+#endif  // MRPA_DELTA_COMPACTION_SCHEDULER_H_

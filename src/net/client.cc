@@ -1,0 +1,237 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace mrpa::net {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string("net: ") + what + ": " +
+                         std::strerror(errno));
+}
+
+// True for the shed shape QueryService (and DegradedWireResponse) emits:
+// truncated-empty, limit kResourceExhausted, and — the discriminator from a
+// budget trip, which also reports kResourceExhausted — snapshot_version 0:
+// the request never reached a snapshot, so re-admitting can succeed.
+bool IsRetryableShed(const WireResponse& response) {
+  return response.outcome.ok() && response.truncated &&
+         response.snapshot_version == 0 &&
+         response.limit.IsResourceExhausted();
+}
+
+}  // namespace
+
+QueryClient::QueryClient(std::string host, uint16_t port, Options options)
+    : host_(std::move(host)),
+      port_(port),
+      options_(std::move(options)),
+      rng_(options_.retry_seed) {
+  if (options_.retry.max_attempts == 0) options_.retry.max_attempts = 1;
+}
+
+QueryClient::~QueryClient() { Close(); }
+
+Status QueryClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  in_.clear();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("net: bad host address " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+void QueryClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  in_.clear();
+}
+
+Status QueryClient::SetIoTimeout(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  auto budget = std::chrono::duration_cast<std::chrono::microseconds>(
+      options_.io_timeout);
+  if (deadline.has_value()) {
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        *deadline - std::chrono::steady_clock::now());
+    budget = std::min(budget, std::max(std::chrono::microseconds(1), left));
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(budget.count() / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(budget.count() % 1000000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(timeout)");
+  }
+  return Status::OK();
+}
+
+Status QueryClient::SendAll(const std::vector<uint8_t>& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n =
+        ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Errno("send");
+  }
+  return Status::OK();
+}
+
+Result<WireResponse> QueryClient::Attempt(
+    const WireRequest& request,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  MRPA_RETURN_IF_ERROR(Connect());
+  MRPA_RETURN_IF_ERROR(SetIoTimeout(deadline));
+  Result<std::vector<uint8_t>> frame =
+      EncodeRequestFrame(request, options_.max_frame_bytes);
+  if (!frame.ok()) return frame.status();  // Caller error; not retryable.
+  MRPA_RETURN_IF_ERROR(SendAll(*frame));
+
+  uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ExtractResult extracted =
+        ExtractFrame(in_, options_.max_frame_bytes);
+    if (extracted.state == FrameState::kError) {
+      // The server wrote something that is not a frame: fail closed. This
+      // is data corruption, not a transient — no retry.
+      Close();
+      return extracted.error;
+    }
+    if (extracted.state == FrameState::kFrame) {
+      if (extracted.header.type != FrameType::kResponse) {
+        Close();
+        return Status::Corruption("wire: unexpected frame type in response");
+      }
+      Result<WireResponse> response = DecodeResponsePayload(
+          std::span<const uint8_t>(in_).subspan(
+              kFrameHeaderBytes, extracted.frame_bytes - kFrameHeaderBytes));
+      if (!response.ok()) {
+        Close();
+        return response.status();
+      }
+      in_.erase(in_.begin(),
+                in_.begin() + static_cast<ptrdiff_t>(extracted.frame_bytes));
+      return response;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      in_.insert(in_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      Close();
+      return Status::IOError("net: connection closed mid-response");
+    }
+    Status status = (errno == EAGAIN || errno == EWOULDBLOCK)
+                        ? Status::IOError("net: receive timed out")
+                        : Errno("recv");
+    Close();
+    return status;
+  }
+}
+
+Result<WireResponse> QueryClient::Execute(const WireRequest& request,
+                                          size_t* attempts_out) {
+  // The caller's budget, fixed once: retries and backoffs spend it.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (request.deadline_micros.has_value()) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(*request.deadline_micros);
+  }
+  auto set_attempts = [attempts_out](size_t n) {
+    if (attempts_out != nullptr) *attempts_out = n;
+  };
+
+  Status last_transport;
+  Result<WireResponse> last_shed = Status::Internal("net: unreachable");
+  bool last_was_shed = false;
+  for (size_t attempt = 1;; ++attempt) {
+    WireRequest wire = request;
+    if (deadline.has_value()) {
+      const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (left.count() <= 0) {
+        set_attempts(attempt - 1);
+        return DegradedWireResponse(
+            Status::DeadlineExceeded("net: deadline passed before attempt " +
+                                     std::to_string(attempt)),
+            request.mode, attempt - 1);
+      }
+      wire.deadline_micros = static_cast<uint64_t>(left.count());
+    }
+
+    Result<WireResponse> response = Attempt(wire, deadline);
+    bool retryable = false;
+    if (response.ok()) {
+      if (!IsRetryableShed(*response)) {
+        set_attempts(attempt);
+        return response;  // Complete answers, budget trips, deadline/cancel,
+      }                   // and error outcomes alike: terminal.
+      last_shed = std::move(response);
+      last_was_shed = true;
+      retryable = true;
+    } else {
+      if (!service::RetryPolicy::IsRetryableExecution(response.status())) {
+        set_attempts(attempt);
+        return response.status();  // Corrupt frame, caller error, ...
+      }
+      last_transport = response.status();
+      last_was_shed = false;
+      retryable = true;
+    }
+
+    if (!retryable || attempt >= options_.retry.max_attempts) {
+      set_attempts(attempt);
+      // Out of attempts. A final shed degrades like the in-process service;
+      // an unhealable transport surfaces as the error it is.
+      if (last_was_shed) return last_shed;
+      return last_transport;
+    }
+    const std::chrono::nanoseconds backoff =
+        options_.retry.BackoffFor(attempt, rng_);
+    if (deadline.has_value() &&
+        std::chrono::steady_clock::now() + backoff >= *deadline) {
+      set_attempts(attempt);
+      return DegradedWireResponse(
+          Status::DeadlineExceeded(
+              "net: retry backoff does not fit the deadline"),
+          request.mode, attempt);
+    }
+    std::this_thread::sleep_for(backoff);
+  }
+}
+
+}  // namespace mrpa::net

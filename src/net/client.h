@@ -1,0 +1,104 @@
+// QueryClient: a blocking wire-protocol client with the PR 6 retry
+// taxonomy applied across the network boundary.
+//
+// The client owns one connection and runs one request at a time (the
+// protocol correlates by byte order, so concurrency belongs in more
+// clients, not more in-flight frames). Execute() is where the retry
+// taxonomy meets the wire:
+//
+//   retryable, with deterministic jittered backoff (RetryPolicy):
+//     * transport failures — connect/send/recv errors, a connection the
+//       server closed mid-exchange — surface as kIOError; the query is an
+//       idempotent read, so the client reconnects and re-sends;
+//     * admission sheds — an OK response in the shed shape (truncated,
+//       empty, limit kResourceExhausted, snapshot_version == 0); capacity
+//       frees as other tenants drain, exactly the in-process case.
+//
+//   terminal, returned as-is:
+//     * budget trips — truncated responses with snapshot_version > 0: the
+//       partial answer IS the answer (the version field is the wire's
+//       shed-vs-trip discriminator);
+//     * kDeadlineExceeded / kCancelled outcomes, and every non-OK outcome
+//       (unknown tenant, corrupt state): more attempts cannot help.
+//
+// Deadline propagation: the caller's budget is fixed once at Execute()
+// entry (now + deadline_micros) and every retry attempt re-encodes the
+// REMAINING window — backoff sleeps and dead attempts spend the caller's
+// budget, they never extend it. A backoff that does not fit the remaining
+// window short-circuits to the same degraded kDeadlineExceeded shape
+// QueryService uses, so callers see one contract with or without a network
+// in between.
+
+#ifndef MRPA_NET_CLIENT_H_
+#define MRPA_NET_CLIENT_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/wire.h"
+#include "service/retry.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mrpa::net {
+
+class QueryClient {
+ public:
+  struct Options {
+    service::RetryPolicy retry;
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    // Per-socket-operation timeout when the request carries no deadline
+    // (a deadline tightens it further). Guards against a hung server.
+    std::chrono::milliseconds io_timeout{5000};
+    // Seeds the backoff jitter stream (deterministic given seed and call
+    // order).
+    uint64_t retry_seed = 0xc11e4785ULL;
+  };
+
+  QueryClient(std::string host, uint16_t port)
+      : QueryClient(std::move(host), port, Options()) {}
+  QueryClient(std::string host, uint16_t port, Options options);
+  ~QueryClient();
+
+  QueryClient(const QueryClient&) = delete;
+  QueryClient& operator=(const QueryClient&) = delete;
+
+  // Connects eagerly. Optional — Execute() connects on demand.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // One governed query, retries included. Non-OK only for hard failures
+  // (transport exhausted its retry budget, a malformed response, an error
+  // outcome from the server); every governance outcome — including sheds
+  // that outlived max_attempts and deadlines that could not fit another
+  // attempt — returns OK in the degraded truncated shape, mirroring
+  // QueryService::Execute. `attempts_out`, when non-null, receives the
+  // number of wire attempts this call consumed.
+  Result<WireResponse> Execute(const WireRequest& request,
+                               size_t* attempts_out = nullptr);
+
+ private:
+  // One encode → send → receive → decode exchange on the live connection.
+  Result<WireResponse> Attempt(
+      const WireRequest& request,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+  Status SendAll(const std::vector<uint8_t>& frame);
+  Status SetIoTimeout(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  std::string host_;
+  uint16_t port_;
+  Options options_;
+  Rng rng_;
+  int fd_ = -1;
+  std::vector<uint8_t> in_;  // Bytes received beyond the last frame.
+};
+
+}  // namespace mrpa::net
+
+#endif  // MRPA_NET_CLIENT_H_

@@ -65,6 +65,13 @@ constexpr std::string_view kMetricNames[] = {
     "delta.views_built",
     "delta.edges_merged",
     "delta.compactions",
+    "net.connections_accepted",
+    "net.connections_refused",
+    "net.frames_read",
+    "net.frames_written",
+    "net.protocol_errors",
+    "net.requests_dispatched",
+    "net.backpressure_pauses",
 };
 static_assert(std::size(kMetricNames) == static_cast<size_t>(Metric::kCount),
               "kMetricNames must cover every Metric");
@@ -82,6 +89,8 @@ constexpr std::string_view kHistNames[] = {
     "frontier.kernel_nanos",
     "delta.view_build_nanos",
     "delta.compact_nanos",
+    "net.frame_bytes",
+    "net.request_nanos",
 };
 static_assert(std::size(kHistNames) == static_cast<size_t>(Hist::kCount),
               "kHistNames must cover every Hist");

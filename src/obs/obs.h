@@ -157,6 +157,19 @@ enum class Metric : uint32_t {
   kDeltaViewsBuilt,
   kDeltaEdgesMerged,
   kDeltaCompactions,
+  // The network front door (src/net/): connections the listener accepted
+  // vs refused (draining, or at the connection cap), frames decoded off /
+  // written onto sockets, hostile or malformed byte streams that closed a
+  // connection fail-closed, requests dispatched through QueryService, and
+  // read-side pauses where per-connection backpressure stopped the parser
+  // until the client drained its responses.
+  kNetConnectionsAccepted,
+  kNetConnectionsRefused,
+  kNetFramesRead,
+  kNetFramesWritten,
+  kNetProtocolErrors,
+  kNetRequestsDispatched,
+  kNetBackpressurePauses,
   kCount
 };
 
@@ -189,6 +202,11 @@ enum class Hist : uint32_t {
   // compaction (seal + merge + serialize + validate + swap), nanoseconds.
   kDeltaViewBuildNanos,
   kDeltaCompactNanos,
+  // Network front door: size of every frame moved across a socket (read and
+  // written both recorded), and server-side latency of each dispatched
+  // request (frame decoded → response frame queued, nanoseconds).
+  kNetFrameBytes,
+  kNetRequestNanos,
   kCount
 };
 

@@ -1,0 +1,201 @@
+// CompactionScheduler beside a live writer — the TSan test for the PR 9
+// threading contract. One application thread mutates a DeltaOverlay
+// (Add/Remove/Seal against whatever image the registry currently
+// publishes) while the scheduler thread seals, folds, hot-swaps, and drops
+// generations on its own cadence, with NO synchronization between the two
+// beyond the overlay's writer mutex and the registry's epoch guards. The
+// differential: every mutation verdict matches a pure std::set model
+// throughout the churn, and after a clean Stop() the sealed merge view is
+// edge-for-edge identical to the model — compaction may have folded the
+// content into any number of published images at arbitrary points, but it
+// must never have changed it.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "delta/compaction_scheduler.h"
+#include "delta/compactor.h"
+#include "delta/delta_overlay.h"
+#include "generators/generators.h"
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+#include "service/snapshot_registry.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mrpa::delta {
+namespace {
+
+MultiRelationalGraph BaseGraph() {
+  ErdosRenyiParams params;
+  params.num_vertices = 20;
+  params.num_labels = 3;
+  params.num_edges = 80;
+  params.seed = 4242;
+  return GenerateErdosRenyi(params).value();
+}
+
+Edge RandomEdge(Rng& rng) {
+  return Edge(static_cast<VertexId>(rng.Below(24)),
+              static_cast<LabelId>(rng.Below(4)),
+              static_cast<VertexId>(rng.Below(24)));
+}
+
+// Publishes a first image so the scheduler has a base to fold over.
+void PublishGenesis(const MultiRelationalGraph& base, DeltaOverlay& overlay,
+                    Compactor& compactor) {
+  ASSERT_TRUE(overlay.AddEdge(base, Edge(0, 0, 19)).ok() ||
+              base.HasEdge(Edge(0, 0, 19)));
+  overlay.Seal();
+  auto genesis = compactor.Compact(base, overlay);
+  ASSERT_TRUE(genesis.ok()) << genesis.status();
+  compactor.ReclaimDrops(overlay);
+}
+
+TEST(CompactionSchedulerTest, StartStopLifecycle) {
+  MultiRelationalGraph base = BaseGraph();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  Compactor compactor(&registry);
+
+  CompactionScheduler scheduler(registry, overlay, compactor,
+                                CompactionScheduler::Options{});
+  EXPECT_FALSE(scheduler.running());
+  ASSERT_TRUE(scheduler.Start().ok());
+  EXPECT_TRUE(scheduler.running());
+  EXPECT_TRUE(scheduler.Start().IsAlreadyExists());
+  scheduler.Stop();
+  EXPECT_FALSE(scheduler.running());
+  scheduler.Stop();  // Idempotent.
+  EXPECT_FALSE(scheduler.running());
+  // Restartable after a stop.
+  ASSERT_TRUE(scheduler.Start().ok());
+  scheduler.Stop();
+  EXPECT_FALSE(scheduler.running());
+}
+
+TEST(CompactionSchedulerTest, IdleOverlayIsNeverCompacted) {
+  MultiRelationalGraph base = BaseGraph();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  Compactor compactor(&registry);
+  PublishGenesis(base, overlay, compactor);
+
+  CompactionScheduler::Options options;
+  options.min_interval = std::chrono::milliseconds(1);
+  options.min_delta_bytes = 1 << 20;  // Far more than three verdicts.
+  options.poll_interval = std::chrono::milliseconds(1);
+  CompactionScheduler scheduler(registry, overlay, compactor, options);
+  ASSERT_TRUE(scheduler.Start().ok());
+
+  {
+    service::SnapshotRegistry::Guard guard = registry.Acquire();
+    ASSERT_TRUE(guard);
+    for (uint32_t i = 0; i < 3; ++i) {
+      (void)overlay.AddEdge(guard.universe(), Edge(i, 1, i + 1));
+    }
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  scheduler.Stop();
+  EXPECT_EQ(scheduler.compactions(), 0u);  // The clock alone is no trigger.
+}
+
+TEST(CompactionSchedulerTest, CompactsBesideLiveWriterWithoutChangingContent) {
+  MultiRelationalGraph base = BaseGraph();
+  service::SnapshotRegistry registry;
+  DeltaOverlay overlay;
+  Compactor compactor(&registry);
+  PublishGenesis(base, overlay, compactor);
+
+  // The pure model, re-seeded from the genesis image (PublishGenesis may
+  // have added an edge the generator did not).
+  std::set<Edge> model;
+  {
+    service::SnapshotRegistry::Guard guard = registry.Acquire();
+    ASSERT_TRUE(guard);
+    auto edges = guard.universe().AllEdges();
+    model.insert(edges.begin(), edges.end());
+  }
+
+  CompactionScheduler::Options options;
+  options.min_interval = std::chrono::milliseconds(2);
+  options.min_delta_bytes = sizeof(DeltaEntry);  // One verdict suffices.
+  options.poll_interval = std::chrono::milliseconds(1);
+  CompactionScheduler scheduler(registry, overlay, compactor, options);
+  ASSERT_TRUE(scheduler.Start().ok());
+
+  // The live writer. Every verdict is checked against the model WHILE the
+  // scheduler folds and swaps underneath — the overlay's writer mutex and
+  // the idempotence of folded generations are what keep these equal.
+  Rng rng(0x5c4ed);
+  const auto writer_deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(400);
+  size_t ops = 0;
+  while (std::chrono::steady_clock::now() < writer_deadline) {
+    service::SnapshotRegistry::Guard guard = registry.Acquire();
+    ASSERT_TRUE(guard);
+    const Edge e = RandomEdge(rng);
+    if (rng.Chance(0.55)) {
+      const Status live = overlay.AddEdge(guard.universe(), e);
+      if (model.insert(e).second) {
+        ASSERT_TRUE(live.ok()) << live << " adding " << e.ToString();
+      } else {
+        ASSERT_TRUE(live.IsAlreadyExists()) << live;
+      }
+    } else {
+      const Status live = overlay.RemoveEdge(guard.universe(), e);
+      if (model.erase(e) > 0) {
+        ASSERT_TRUE(live.ok()) << live << " removing " << e.ToString();
+      } else {
+        ASSERT_TRUE(live.IsNotFound()) << live;
+      }
+    }
+    if (rng.Chance(0.05)) overlay.Seal();
+    if (++ops % 64 == 0) {
+      // Give the 1-CPU container a scheduling point so the background
+      // thread actually runs during the soak.
+      std::this_thread::yield();
+    }
+  }
+
+  // The scheduler had verdicts and time: it must have compacted, and a
+  // clean Stop() must leave no thread behind (the fixture-level proof is
+  // TSan + ASan on this binary).
+  const auto stop_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (scheduler.compactions() == 0 &&
+         std::chrono::steady_clock::now() < stop_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  scheduler.Stop();
+  EXPECT_FALSE(scheduler.running());
+  EXPECT_GE(scheduler.compactions(), 1u);
+
+  // Differential close-out: seal what is pending and compare the merged
+  // view, edge for edge, with the model. However many times the content
+  // was folded, swapped, and dropped mid-soak, it must not have changed.
+  overlay.Seal();
+  service::SnapshotRegistry::Guard guard = registry.Acquire();
+  ASSERT_TRUE(guard);
+  auto view = overlay.View(guard.universe());
+  ASSERT_TRUE(view.ok()) << view.status();
+  const std::vector<Edge> expected(model.begin(), model.end());
+  auto got = view->AllEdges();
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "at canonical index " << i;
+  }
+
+  // And the registry's published image converges to the same content after
+  // one more manual fold.
+  auto final_fold = compactor.Compact(guard.universe(), overlay);
+  ASSERT_TRUE(final_fold.ok()) << final_fold.status();
+  EXPECT_EQ(final_fold->edges, expected.size());
+}
+
+}  // namespace
+}  // namespace mrpa::delta

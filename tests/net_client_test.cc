@@ -1,0 +1,404 @@
+// End-to-end client/server tests over real sockets: QueryClient speaking
+// the wire protocol to a QueryServer on a loopback ephemeral port, with
+// QueryService underneath. What is proven here:
+//
+//   * answers through the network equal answers from a direct
+//     QueryService::Execute against the same snapshot, for every answer
+//     mode (the single-version differential; net_chaos_test does the
+//     hot-swap version);
+//   * the retry taxonomy holds across the wire — admission sheds and
+//     transport failures retry (including a reconnect to a restarted
+//     server), budget trips and deadlines are terminal;
+//   * graceful drain: Shutdown() refuses new connections, completes the
+//     in-flight request with a well-formed response frame, and ends with
+//     zero live connections.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/edge_pattern.h"
+#include "generators/generators.h"
+#include "graph/multi_graph.h"
+#include "gtest/gtest.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "obs/obs.h"
+#include "service/admission.h"
+#include "service/query_service.h"
+#include "service/snapshot_registry.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_universe.h"
+#include "storage/snapshot_writer.h"
+#include "util/fault_injector.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mrpa::net {
+namespace {
+
+using service::QueryKind;
+using service::QueryService;
+using service::SnapshotRegistry;
+using service::TenantQuota;
+using storage::SnapshotReader;
+using storage::SnapshotUniverse;
+using storage::SnapshotWriter;
+
+MultiRelationalGraph MakeContent() {
+  ErdosRenyiParams params;
+  params.num_vertices = 22;
+  params.num_labels = 3;
+  params.num_edges = 100;
+  params.seed = 77;
+  return GenerateErdosRenyi(params).value();
+}
+
+// Everything a test needs to talk to a served snapshot, torn down in
+// reverse order by ~TestStack.
+struct TestStack {
+  obs::ObsRegistry obs;
+  ThreadPool pool{2};
+  SnapshotRegistry registry{&obs};
+  std::unique_ptr<QueryService> service;
+  std::unique_ptr<QueryServer> server;
+
+  explicit TestStack(size_t service_attempts = 3) {
+    QueryService::Options options;
+    options.obs = &obs;
+    options.pool = &pool;
+    options.retry.max_attempts = service_attempts;
+    options.retry.initial_backoff = std::chrono::microseconds(50);
+    options.retry.max_backoff = std::chrono::microseconds(500);
+    service = std::make_unique<QueryService>(registry, options);
+
+    auto bytes = SnapshotWriter().Serialize(MakeContent());
+    EXPECT_TRUE(bytes.ok()) << bytes.status();
+    auto universe = SnapshotReader().FromBuffer(*bytes);
+    EXPECT_TRUE(universe.ok()) << universe.status();
+    auto version = registry.HotSwap(std::move(*universe));
+    EXPECT_TRUE(version.ok()) << version.status();
+
+    TenantQuota generous;
+    generous.max_in_flight = 8;
+    generous.query_limits.max_steps = 100000;
+    EXPECT_TRUE(service->RegisterTenant("tenant", generous).ok());
+  }
+
+  Status Serve(QueryServer::Options server_options = {}) {
+    server_options.obs = &obs;
+    server = std::make_unique<QueryServer>(*service, server_options);
+    return server->Start();
+  }
+};
+
+std::vector<EdgePattern> Steps() {
+  return {EdgePattern::LabeledAnyOf({0, 1}),
+          EdgePattern(IdConstraint(), IdConstraint::Exactly(1),
+                      IdConstraint())};
+}
+
+WireRequest MakeRequest(AnswerMode mode,
+                        QueryKind kind = QueryKind::kTraversal) {
+  WireRequest request;
+  request.tenant = "tenant";
+  request.kind = kind;
+  request.mode = mode;
+  request.steps = Steps();
+  return request;
+}
+
+TEST(NetClientTest, ExecuteMatchesDirectServiceForEveryMode) {
+  TestStack stack;
+  ASSERT_TRUE(stack.Serve().ok());
+  QueryClient client("127.0.0.1", stack.server->port());
+
+  for (const QueryKind kind :
+       {QueryKind::kTraversal, QueryKind::kChainForward,
+        QueryKind::kChainBackward}) {
+    // The direct oracle: same tenant, same snapshot (no swaps here).
+    service::QueryRequest direct;
+    direct.kind = kind;
+    direct.steps = Steps();
+    auto expected = stack.service->Execute("tenant", direct);
+    ASSERT_TRUE(expected.ok()) << expected.status();
+
+    for (const AnswerMode mode :
+         {AnswerMode::kPaths, AnswerMode::kCount, AnswerMode::kExists}) {
+      const WireResponse oracle = MakeWireResponse(*expected, mode);
+      size_t attempts = 0;
+      auto got = client.Execute(MakeRequest(mode, kind), &attempts);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(attempts, 1u);
+      EXPECT_TRUE(got->outcome.ok());
+      EXPECT_EQ(got->truncated, oracle.truncated);
+      EXPECT_EQ(got->limit, oracle.limit);
+      EXPECT_EQ(got->snapshot_version, oracle.snapshot_version);
+      EXPECT_EQ(got->mode, mode);
+      EXPECT_EQ(got->paths, oracle.paths);
+      EXPECT_EQ(got->count, oracle.count);
+      EXPECT_EQ(got->exists, oracle.exists);
+    }
+  }
+}
+
+TEST(NetClientTest, UnknownTenantIsATerminalErrorOutcome) {
+  TestStack stack;
+  ASSERT_TRUE(stack.Serve().ok());
+  QueryClient client("127.0.0.1", stack.server->port());
+  WireRequest request = MakeRequest(AnswerMode::kPaths);
+  request.tenant = "nobody";
+  size_t attempts = 0;
+  auto got = client.Execute(request, &attempts);
+  ASSERT_TRUE(got.ok()) << got.status();  // The frame came back fine...
+  EXPECT_TRUE(got->outcome.IsNotFound());  // ...carrying the service error.
+  EXPECT_EQ(attempts, 1u);
+}
+
+TEST(NetClientTest, ShedRetriesAndRecovers) {
+  // Service-side retries off (max_attempts = 1): one injected admission
+  // failure becomes one shed ON THE WIRE, and recovery must come from the
+  // CLIENT's retry loop.
+  TestStack stack(/*service_attempts=*/1);
+  ASSERT_TRUE(stack.Serve().ok());
+  QueryClient::Options client_options;
+  client_options.retry.initial_backoff = std::chrono::microseconds(100);
+  QueryClient client("127.0.0.1", stack.server->port(), client_options);
+
+  ScopedFault fault(service::kFaultSiteServiceAdmit, 1,
+                    Status::ResourceExhausted("injected shed"));
+  size_t attempts = 0;
+  auto got = client.Execute(MakeRequest(AnswerMode::kCount), &attempts);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(attempts, 2u);  // Shed once, clean on the retry.
+  EXPECT_TRUE(got->outcome.ok());
+  EXPECT_FALSE(got->truncated);
+  EXPECT_GT(got->snapshot_version, 0u);
+}
+
+TEST(NetClientTest, PersistentShedDegradesAfterRetryBudget) {
+  // A starved token bucket (one token ever, microscopic refill) with no
+  // queue: every admission after the first sheds immediately. The client
+  // must spend its whole retry budget and then return the degraded shed
+  // shape — OK, truncated, version 0 — exactly like the in-process service.
+  TestStack stack(/*service_attempts=*/1);
+  TenantQuota starved;
+  starved.qps = 1e-6;
+  starved.burst = 1;
+  starved.max_queued = 0;
+  ASSERT_TRUE(stack.service->RegisterTenant("starved", starved).ok());
+  ASSERT_TRUE(stack.Serve().ok());
+
+  QueryClient::Options client_options;
+  client_options.retry.max_attempts = 3;
+  client_options.retry.initial_backoff = std::chrono::microseconds(100);
+  QueryClient client("127.0.0.1", stack.server->port(), client_options);
+
+  WireRequest request = MakeRequest(AnswerMode::kPaths);
+  request.tenant = "starved";
+  size_t attempts = 0;
+  auto warm = client.Execute(request, &attempts);  // Takes the one token.
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_TRUE(warm->outcome.ok());
+  ASSERT_FALSE(warm->truncated);
+
+  auto shed = client.Execute(request, &attempts);
+  ASSERT_TRUE(shed.ok()) << shed.status();
+  EXPECT_EQ(attempts, 3u);  // Every attempt shed; budget exhausted.
+  EXPECT_TRUE(shed->outcome.ok());
+  EXPECT_TRUE(shed->truncated);
+  EXPECT_TRUE(shed->limit.IsResourceExhausted());
+  EXPECT_EQ(shed->snapshot_version, 0u);  // The shed discriminator.
+  EXPECT_TRUE(shed->paths.empty());
+}
+
+TEST(NetClientTest, BudgetTripIsTerminalNotRetried) {
+  TestStack stack;
+  TenantQuota tight;
+  tight.query_limits.max_paths = 1;  // Guaranteed trip on this content.
+  ASSERT_TRUE(stack.service->RegisterTenant("tight", tight).ok());
+  ASSERT_TRUE(stack.Serve().ok());
+  QueryClient client("127.0.0.1", stack.server->port());
+
+  WireRequest request = MakeRequest(AnswerMode::kPaths);
+  request.tenant = "tight";
+  size_t attempts = 0;
+  auto got = client.Execute(request, &attempts);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(attempts, 1u);  // The partial answer IS the answer.
+  EXPECT_TRUE(got->truncated);
+  EXPECT_TRUE(got->limit.IsResourceExhausted());
+  EXPECT_GT(got->snapshot_version, 0u);  // Trip, not shed: not retryable.
+}
+
+TEST(NetClientTest, DeadlineAlreadySpentIsTerminal) {
+  TestStack stack;
+  ASSERT_TRUE(stack.Serve().ok());
+  QueryClient client("127.0.0.1", stack.server->port());
+  WireRequest request = MakeRequest(AnswerMode::kExists);
+  request.deadline_micros = 0;  // Nothing left before the first attempt.
+  size_t attempts = 0;
+  auto got = client.Execute(request, &attempts);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_EQ(attempts, 0u);
+  EXPECT_TRUE(got->truncated);
+  EXPECT_TRUE(got->limit.IsDeadlineExceeded());
+}
+
+TEST(NetClientTest, TransportFailureReconnectsToRestartedServer) {
+  TestStack stack;
+  ASSERT_TRUE(stack.Serve().ok());
+  const uint16_t port = stack.server->port();
+  QueryClient::Options client_options;
+  client_options.retry.initial_backoff = std::chrono::milliseconds(2);
+  QueryClient client("127.0.0.1", port, client_options);
+
+  size_t attempts = 0;
+  auto warm = client.Execute(MakeRequest(AnswerMode::kCount), &attempts);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_EQ(attempts, 1u);
+
+  // Bounce the server; the client still holds the dead connection. Its
+  // first attempt fails in transport, and the retry must reconnect to the
+  // reincarnation on the same port (SO_REUSEADDR).
+  stack.server->Shutdown();
+  QueryServer::Options same_port;
+  same_port.port = port;
+  ASSERT_TRUE(stack.Serve(same_port).ok());
+  ASSERT_EQ(stack.server->port(), port);
+
+  auto got = client.Execute(MakeRequest(AnswerMode::kCount), &attempts);
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_GE(attempts, 2u);
+  EXPECT_TRUE(got->outcome.ok());
+  EXPECT_EQ(got->count, warm->count);
+}
+
+TEST(NetClientTest, TransportExhaustionSurfacesIOError) {
+  // Find a port with no listener by binding an ephemeral port and closing
+  // it again.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const uint16_t dead_port = ntohs(addr.sin_port);
+  ::close(probe);
+
+  QueryClient::Options client_options;
+  client_options.retry.max_attempts = 2;
+  client_options.retry.initial_backoff = std::chrono::microseconds(200);
+  QueryClient client("127.0.0.1", dead_port, client_options);
+  size_t attempts = 0;
+  auto got = client.Execute(MakeRequest(AnswerMode::kPaths), &attempts);
+  EXPECT_FALSE(got.ok());
+  EXPECT_TRUE(got.status().IsIOError()) << got.status();
+  EXPECT_EQ(attempts, 2u);  // Connect refused is retryable; it just never
+}                           // healed.
+
+TEST(NetClientTest, GracefulDrainFinishesInFlightAndRefusesNew) {
+  TestStack stack;
+  ASSERT_TRUE(stack.Serve().ok());
+  const uint16_t port = stack.server->port();
+
+  // A raw socket so the test controls timing: send one request, then begin
+  // the drain while its response is still in flight.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  auto frame = EncodeRequestFrame(MakeRequest(AnswerMode::kPaths));
+  ASSERT_TRUE(frame.ok());
+  ASSERT_EQ(::send(fd, frame->data(), frame->size(), 0),
+            static_cast<ssize_t>(frame->size()));
+
+  // Wait until the server has actually picked the request up, so Shutdown
+  // finds it in flight rather than unread in a kernel buffer.
+  const auto pickup_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (stack.obs.Value(obs::Metric::kNetRequestsDispatched) == 0 &&
+         std::chrono::steady_clock::now() < pickup_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GT(stack.obs.Value(obs::Metric::kNetRequestsDispatched), 0u);
+
+  stack.server->Shutdown();  // Blocks until the drain completes.
+
+  // The in-flight request's response must have been flushed, well-formed,
+  // before the connection closed.
+  std::vector<uint8_t> in;
+  uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // Orderly EOF after the frame.
+    in.insert(in.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+  const ExtractResult extracted = ExtractFrame(in);
+  ASSERT_EQ(extracted.state, FrameState::kFrame) << extracted.error;
+  EXPECT_EQ(extracted.frame_bytes, in.size());  // Exactly one whole frame.
+  auto response = DecodeResponsePayload(std::span<const uint8_t>(in).subspan(
+      kFrameHeaderBytes, extracted.frame_bytes - kFrameHeaderBytes));
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_TRUE(response->outcome.ok());
+
+  // Drained: no live connections, and the door is shut for newcomers.
+  EXPECT_EQ(stack.server->active_connections(), 0u);
+  const int late = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(late, 0);
+  EXPECT_NE(::connect(late, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::close(late);
+}
+
+TEST(NetClientTest, HostileBytesGetTheConnectionClosed) {
+  TestStack stack;
+  ASSERT_TRUE(stack.Serve().ok());
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(stack.server->port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_GT(::send(fd, junk, sizeof(junk) - 1, 0), 0);
+  uint8_t chunk[64];
+  const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);  // Blocks till close.
+  EXPECT_LE(n, 0);  // No error frame, no resync: the connection just ends.
+  ::close(fd);
+  // And the server is unharmed for well-behaved peers.
+  QueryClient client("127.0.0.1", stack.server->port());
+  auto got = client.Execute(MakeRequest(AnswerMode::kExists));
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(got->outcome.ok());
+}
+
+}  // namespace
+}  // namespace mrpa::net
